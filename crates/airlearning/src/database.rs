@@ -1,0 +1,277 @@
+//! The Air Learning policy database (Phase-1 output artifact).
+
+use policy_nn::PolicyHyperparams;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::env::ObstacleDensity;
+
+/// How a database entry's success rate was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrainingMethod {
+    /// Real tabular Q-learning run ([`QTrainer`](crate::QTrainer)).
+    QLearning,
+    /// Fitted surrogate ([`SuccessSurrogate`](crate::SuccessSurrogate)).
+    Surrogate,
+}
+
+/// One validated policy: hyperparameters, scenario, and success rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyRecord {
+    /// Stable identifier, e.g. `"l7f48-dense"`.
+    pub id: String,
+    /// Template hyperparameters.
+    pub hyperparams: PolicyHyperparams,
+    /// Deployment scenario the policy was trained and validated in.
+    pub density: ObstacleDensity,
+    /// Validated task success rate in `[0, 1]`.
+    pub success_rate: f64,
+    /// Provenance of the success rate.
+    pub method: TrainingMethod,
+    /// Training seed.
+    pub seed: u64,
+}
+
+impl PolicyRecord {
+    /// Builds the canonical identifier for a (hyperparams, density) pair.
+    pub fn make_id(hyperparams: PolicyHyperparams, density: ObstacleDensity) -> String {
+        format!("{}-{}", hyperparams.id(), density.id())
+    }
+}
+
+/// The Phase-1 database: every trained policy with its validated success
+/// rate, keyed by (hyperparameters, scenario).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AirLearningDatabase {
+    records: Vec<PolicyRecord>,
+}
+
+impl AirLearningDatabase {
+    /// Creates an empty database.
+    pub fn new() -> AirLearningDatabase {
+        AirLearningDatabase::default()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the database holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Inserts or replaces the record for its (hyperparams, density) key.
+    pub fn upsert(&mut self, record: PolicyRecord) {
+        match self
+            .records
+            .iter_mut()
+            .find(|r| r.hyperparams == record.hyperparams && r.density == record.density)
+        {
+            Some(existing) => *existing = record,
+            None => self.records.push(record),
+        }
+    }
+
+    /// Looks up the record for a (hyperparams, density) pair.
+    pub fn get(
+        &self,
+        hyperparams: PolicyHyperparams,
+        density: ObstacleDensity,
+    ) -> Option<&PolicyRecord> {
+        self.records
+            .iter()
+            .find(|r| r.hyperparams == hyperparams && r.density == density)
+    }
+
+    /// Validated success rate for a (hyperparams, density) pair.
+    pub fn success_rate(
+        &self,
+        hyperparams: PolicyHyperparams,
+        density: ObstacleDensity,
+    ) -> Option<f64> {
+        self.get(hyperparams, density).map(|r| r.success_rate)
+    }
+
+    /// All records, in insertion order.
+    pub fn records(&self) -> &[PolicyRecord] {
+        &self.records
+    }
+
+    /// Records for one scenario.
+    pub fn records_for(&self, density: ObstacleDensity) -> Vec<&PolicyRecord> {
+        self.records.iter().filter(|r| r.density == density).collect()
+    }
+
+    /// The record with the highest success rate for a scenario.
+    pub fn best_for(&self, density: ObstacleDensity) -> Option<&PolicyRecord> {
+        self.records_for(density)
+            .into_iter()
+            .max_by(|a, b| {
+                a.success_rate
+                    .partial_cmp(&b.success_rate)
+                    .expect("success rates are finite")
+            })
+    }
+
+    /// Serializes the database to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("database serializes")
+    }
+
+    /// Parses a database from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatabaseError::Parse`] on malformed JSON.
+    pub fn from_json(json: &str) -> Result<AirLearningDatabase, DatabaseError> {
+        serde_json::from_str(json).map_err(|e| DatabaseError::Parse { message: e.to_string() })
+    }
+
+    /// Saves the database to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatabaseError::Io`] on filesystem failures.
+    pub fn save(&self, path: &Path) -> Result<(), DatabaseError> {
+        fs::write(path, self.to_json()).map_err(DatabaseError::from)
+    }
+
+    /// Loads a database from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatabaseError::Io`] on filesystem failures and
+    /// [`DatabaseError::Parse`] on malformed content.
+    pub fn load(path: &Path) -> Result<AirLearningDatabase, DatabaseError> {
+        let json = fs::read_to_string(path)?;
+        Self::from_json(&json)
+    }
+}
+
+/// Error working with the policy database.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DatabaseError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Malformed JSON content.
+    Parse {
+        /// Underlying parser message.
+        message: String,
+    },
+}
+
+impl fmt::Display for DatabaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatabaseError::Io(e) => write!(f, "database file access failed: {e}"),
+            DatabaseError::Parse { message } => write!(f, "database content invalid: {message}"),
+        }
+    }
+}
+
+impl Error for DatabaseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DatabaseError::Io(e) => Some(e),
+            DatabaseError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for DatabaseError {
+    fn from(e: io::Error) -> Self {
+        DatabaseError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(l: usize, f: usize, density: ObstacleDensity, rate: f64) -> PolicyRecord {
+        let h = PolicyHyperparams::new(l, f).unwrap();
+        PolicyRecord {
+            id: PolicyRecord::make_id(h, density),
+            hyperparams: h,
+            density,
+            success_rate: rate,
+            method: TrainingMethod::Surrogate,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn upsert_replaces_existing_key() {
+        let mut db = AirLearningDatabase::new();
+        db.upsert(record(5, 32, ObstacleDensity::Low, 0.8));
+        db.upsert(record(5, 32, ObstacleDensity::Low, 0.9));
+        assert_eq!(db.len(), 1);
+        assert_eq!(
+            db.success_rate(PolicyHyperparams::new(5, 32).unwrap(), ObstacleDensity::Low),
+            Some(0.9)
+        );
+    }
+
+    #[test]
+    fn same_hyper_different_density_coexist() {
+        let mut db = AirLearningDatabase::new();
+        db.upsert(record(5, 32, ObstacleDensity::Low, 0.8));
+        db.upsert(record(5, 32, ObstacleDensity::Dense, 0.6));
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn best_for_picks_highest_rate() {
+        let mut db = AirLearningDatabase::new();
+        db.upsert(record(3, 32, ObstacleDensity::Dense, 0.6));
+        db.upsert(record(7, 48, ObstacleDensity::Dense, 0.83));
+        db.upsert(record(9, 64, ObstacleDensity::Dense, 0.7));
+        let best = db.best_for(ObstacleDensity::Dense).unwrap();
+        assert_eq!(best.hyperparams, PolicyHyperparams::new(7, 48).unwrap());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut db = AirLearningDatabase::new();
+        db.upsert(record(4, 48, ObstacleDensity::Medium, 0.85));
+        let restored = AirLearningDatabase::from_json(&db.to_json()).unwrap();
+        assert_eq!(db, restored);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut db = AirLearningDatabase::new();
+        db.upsert(record(2, 64, ObstacleDensity::Low, 0.7));
+        let path = std::env::temp_dir().join("air_sim_db_test.json");
+        db.save(&path).unwrap();
+        let restored = AirLearningDatabase::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(db, restored);
+    }
+
+    #[test]
+    fn parse_error_is_reported() {
+        let err = AirLearningDatabase::from_json("{not json").unwrap_err();
+        assert!(matches!(err, DatabaseError::Parse { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = AirLearningDatabase::load(Path::new("/nonexistent/db.json")).unwrap_err();
+        assert!(matches!(err, DatabaseError::Io(_)));
+    }
+
+    #[test]
+    fn make_id_format() {
+        let h = PolicyHyperparams::new(7, 48).unwrap();
+        assert_eq!(PolicyRecord::make_id(h, ObstacleDensity::Dense), "l7f48-dense");
+    }
+}

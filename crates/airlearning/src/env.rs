@@ -1,0 +1,327 @@
+//! Domain-randomized arena generation.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Deployment-scenario obstacle density (Section V-A).
+///
+/// * `Low` — four randomly placed obstacles, random goal (sparse farmland
+///   style).
+/// * `Medium` — four fixed plus up to three random obstacles.
+/// * `Dense` — four fixed plus up to five random obstacles (search-and-
+///   rescue / racing style clutter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObstacleDensity {
+    /// Sparse scenario.
+    Low,
+    /// Moderately cluttered scenario.
+    Medium,
+    /// Densely cluttered scenario.
+    Dense,
+}
+
+impl ObstacleDensity {
+    /// All densities in increasing difficulty order.
+    pub const ALL: [ObstacleDensity; 3] =
+        [ObstacleDensity::Low, ObstacleDensity::Medium, ObstacleDensity::Dense];
+
+    /// Number of fixed obstacles in every episode.
+    pub fn fixed_obstacles(&self) -> usize {
+        match self {
+            ObstacleDensity::Low => 0,
+            ObstacleDensity::Medium | ObstacleDensity::Dense => 4,
+        }
+    }
+
+    /// Maximum number of randomly placed obstacles per episode.
+    pub fn max_random_obstacles(&self) -> usize {
+        match self {
+            ObstacleDensity::Low => 4,
+            ObstacleDensity::Medium => 3,
+            ObstacleDensity::Dense => 5,
+        }
+    }
+
+    /// Stable lower-case identifier (`"low"`, `"medium"`, `"dense"`).
+    pub fn id(&self) -> &'static str {
+        match self {
+            ObstacleDensity::Low => "low",
+            ObstacleDensity::Medium => "medium",
+            ObstacleDensity::Dense => "dense",
+        }
+    }
+}
+
+impl fmt::Display for ObstacleDensity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One generated episode arena: a square occupancy grid with a start and
+/// a goal cell, guaranteed reachable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arena {
+    size: usize,
+    occupied: Vec<bool>,
+    start: (usize, usize),
+    goal: (usize, usize),
+}
+
+impl Arena {
+    /// Grid side length in cells.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Start cell `(x, y)`.
+    pub fn start(&self) -> (usize, usize) {
+        self.start
+    }
+
+    /// Goal cell `(x, y)`.
+    pub fn goal(&self) -> (usize, usize) {
+        self.goal
+    }
+
+    /// True when the cell is blocked by an obstacle (out-of-bounds counts
+    /// as blocked).
+    pub fn blocked(&self, x: isize, y: isize) -> bool {
+        if x < 0 || y < 0 || x as usize >= self.size || y as usize >= self.size {
+            return true;
+        }
+        self.occupied[y as usize * self.size + x as usize]
+    }
+
+    /// Number of obstacle cells.
+    pub fn obstacle_cells(&self) -> usize {
+        self.occupied.iter().filter(|&&b| b).count()
+    }
+
+    /// Renders the arena (and an optional trajectory) as ASCII art:
+    /// `S` start, `G` goal, `#` obstacle, `*` trajectory, `.` free.
+    pub fn render_ascii(&self, trajectory: &[(usize, usize)]) -> String {
+        let mut out = String::with_capacity((self.size + 1) * self.size);
+        for y in 0..self.size {
+            for x in 0..self.size {
+                let c = if (x, y) == self.start {
+                    'S'
+                } else if (x, y) == self.goal {
+                    'G'
+                } else if self.occupied[y * self.size + x] {
+                    '#'
+                } else if trajectory.contains(&(x, y)) {
+                    '*'
+                } else {
+                    '.'
+                };
+                out.push(c);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// True when a free 4-connected path exists from start to goal.
+    pub fn solvable(&self) -> bool {
+        let mut seen = vec![false; self.size * self.size];
+        let mut q = VecDeque::new();
+        q.push_back(self.start);
+        seen[self.start.1 * self.size + self.start.0] = true;
+        while let Some((x, y)) = q.pop_front() {
+            if (x, y) == self.goal {
+                return true;
+            }
+            let deltas = [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)];
+            for (dx, dy) in deltas {
+                let nx = x as i64 + dx;
+                let ny = y as i64 + dy;
+                if nx < 0 || ny < 0 || nx as usize >= self.size || ny as usize >= self.size {
+                    continue;
+                }
+                let idx = ny as usize * self.size + nx as usize;
+                if !seen[idx] && !self.occupied[idx] {
+                    seen[idx] = true;
+                    q.push_back((nx as usize, ny as usize));
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Seeded generator of domain-randomized arenas for one density preset.
+#[derive(Debug, Clone)]
+pub struct EnvironmentGenerator {
+    density: ObstacleDensity,
+    arena_size: usize,
+    rng: ChaCha12Rng,
+}
+
+impl EnvironmentGenerator {
+    /// Default arena side length in cells (each cell ~2 m: an 80 m
+    /// course diagonal, matching the default mission profile).
+    pub const DEFAULT_ARENA: usize = 25;
+
+    /// Creates a generator for `density` seeded with `seed`.
+    pub fn new(density: ObstacleDensity, seed: u64) -> EnvironmentGenerator {
+        EnvironmentGenerator {
+            density,
+            arena_size: Self::DEFAULT_ARENA,
+            rng: ChaCha12Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The density preset of this generator.
+    pub fn density(&self) -> ObstacleDensity {
+        self.density
+    }
+
+    /// Generates the next randomized episode arena (always solvable).
+    pub fn next_arena(&mut self) -> Arena {
+        loop {
+            let arena = self.generate_candidate();
+            if arena.solvable() {
+                return arena;
+            }
+        }
+    }
+
+    fn generate_candidate(&mut self) -> Arena {
+        let n = self.arena_size;
+        let mut occupied = vec![false; n * n];
+
+        // Fixed obstacles: 2x2 blocks at deterministic positions scaled to
+        // the arena (the paper's medium/dense presets share them).
+        let fixed_anchors = [(0.3, 0.3), (0.7, 0.3), (0.3, 0.7), (0.7, 0.7)];
+        for &(fx, fy) in fixed_anchors.iter().take(self.density.fixed_obstacles()) {
+            let cx = (fx * n as f64) as usize;
+            let cy = (fy * n as f64) as usize;
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    let x = (cx + dx).min(n - 1);
+                    let y = (cy + dy).min(n - 1);
+                    occupied[y * n + x] = true;
+                }
+            }
+        }
+
+        // Random obstacles: 1..=max random 2x2 blocks.
+        let max_rand = self.density.max_random_obstacles();
+        let count = if max_rand == 0 { 0 } else { self.rng.random_range(1..=max_rand) };
+        for _ in 0..count {
+            let cx = self.rng.random_range(0..n - 1);
+            let cy = self.rng.random_range(0..n - 1);
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    occupied[(cy + dy) * n + (cx + dx)] = true;
+                }
+            }
+        }
+
+        // Start on the left edge, goal randomized on the right half
+        // (goal position changes every episode per the paper).
+        let start = (0usize, self.rng.random_range(0..n));
+        let goal = (n - 1, self.rng.random_range(0..n));
+        let start_idx = start.1 * n + start.0;
+        let goal_idx = goal.1 * n + goal.0;
+        occupied[start_idx] = false;
+        occupied[goal_idx] = false;
+
+        Arena { size: n, occupied, start, goal }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_arenas_are_solvable() {
+        for density in ObstacleDensity::ALL {
+            let mut generator = EnvironmentGenerator::new(density, 42);
+            for _ in 0..20 {
+                let a = generator.next_arena();
+                assert!(a.solvable());
+                assert!(!a.blocked(a.start().0 as isize, a.start().1 as isize));
+                assert!(!a.blocked(a.goal().0 as isize, a.goal().1 as isize));
+            }
+        }
+    }
+
+    #[test]
+    fn denser_presets_have_more_obstacles_on_average() {
+        let mean_cells = |d: ObstacleDensity| -> f64 {
+            let mut generator = EnvironmentGenerator::new(d, 7);
+            (0..50).map(|_| generator.next_arena().obstacle_cells()).sum::<usize>() as f64 / 50.0
+        };
+        let low = mean_cells(ObstacleDensity::Low);
+        let medium = mean_cells(ObstacleDensity::Medium);
+        let dense = mean_cells(ObstacleDensity::Dense);
+        assert!(medium > low, "medium {medium} <= low {low}");
+        assert!(dense > medium, "dense {dense} <= medium {medium}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = EnvironmentGenerator::new(ObstacleDensity::Dense, 11);
+        let mut b = EnvironmentGenerator::new(ObstacleDensity::Dense, 11);
+        for _ in 0..5 {
+            assert_eq!(a.next_arena(), b.next_arena());
+        }
+    }
+
+    #[test]
+    fn different_seeds_randomize_goals() {
+        let mut a = EnvironmentGenerator::new(ObstacleDensity::Low, 1);
+        let mut b = EnvironmentGenerator::new(ObstacleDensity::Low, 2);
+        let goals_a: Vec<_> = (0..10).map(|_| a.next_arena().goal()).collect();
+        let goals_b: Vec<_> = (0..10).map(|_| b.next_arena().goal()).collect();
+        assert_ne!(goals_a, goals_b);
+    }
+
+    #[test]
+    fn out_of_bounds_is_blocked() {
+        let mut generator = EnvironmentGenerator::new(ObstacleDensity::Low, 3);
+        let a = generator.next_arena();
+        assert!(a.blocked(-1, 0));
+        assert!(a.blocked(0, a.size() as isize));
+    }
+
+    #[test]
+    fn density_identifiers() {
+        assert_eq!(ObstacleDensity::Low.id(), "low");
+        assert_eq!(ObstacleDensity::Dense.to_string(), "dense");
+    }
+}
+
+#[cfg(test)]
+mod render_tests {
+    use super::*;
+
+    #[test]
+    fn ascii_render_marks_landmarks() {
+        let mut generator = EnvironmentGenerator::new(ObstacleDensity::Dense, 4);
+        let arena = generator.next_arena();
+        let art = arena.render_ascii(&[]);
+        assert_eq!(art.lines().count(), arena.size());
+        assert_eq!(art.matches('S').count(), 1);
+        assert_eq!(art.matches('G').count(), 1);
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn trajectory_cells_are_starred() {
+        let mut generator = EnvironmentGenerator::new(ObstacleDensity::Low, 4);
+        let arena = generator.next_arena();
+        let (sx, sy) = arena.start();
+        let probe = ((sx + 2).min(arena.size() - 1), sy);
+        let art = arena.render_ascii(&[probe]);
+        if !arena.blocked(probe.0 as isize, probe.1 as isize) && probe != arena.goal() {
+            assert!(art.contains('*'));
+        }
+    }
+}

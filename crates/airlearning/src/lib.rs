@@ -1,0 +1,51 @@
+//! # air-sim
+//!
+//! A deterministic, domain-randomized UAV navigation simulator standing in
+//! for the Air Learning environment generator (Krishnan et al., 2021) in
+//! AutoPilot's Phase 1.
+//!
+//! The original front end trains DQN policies in Unreal-Engine
+//! environments; what Phase 2 consumes from it is only the mapping from
+//! E2E-template hyperparameters to a validated *task success rate* per
+//! deployment scenario. This crate provides that mapping two ways:
+//!
+//! * [`QTrainer`] — a real reinforcement-learning substrate: tabular
+//!   Q-learning over domain-randomized grid arenas, where the state
+//!   aggregation resolution is derived from the policy model's capacity
+//!   (bigger template instances = finer function approximation = higher
+//!   success, saturating), and
+//! * [`SuccessSurrogate`] — a fast fitted model of the same
+//!   capacity-to-success curve, calibrated to the paper's Fig. 2b band
+//!   (60–91 %) and to the per-scenario best models reported in Section
+//!   V-A (5 layers/32 filters for low, 4/48 for medium, 7/48 for dense
+//!   obstacle scenarios).
+//!
+//! Results are stored in an [`AirLearningDatabase`], mirroring the paper's
+//! Phase-1 output artifact.
+//!
+//! # Example
+//!
+//! ```
+//! use air_sim::{ObstacleDensity, SuccessSurrogate};
+//! use policy_nn::{PolicyHyperparams, PolicyModel};
+//!
+//! let surrogate = SuccessSurrogate::paper_calibrated();
+//! let model = PolicyModel::build(PolicyHyperparams::new(7, 48).unwrap());
+//! let s = surrogate.success_rate(&model, ObstacleDensity::Dense);
+//! assert!((0.5..=1.0).contains(&s));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod database;
+mod env;
+pub mod source_seeking;
+pub mod spa;
+mod surrogate;
+mod train;
+
+pub use database::{AirLearningDatabase, DatabaseError, PolicyRecord, TrainingMethod};
+pub use env::{Arena, EnvironmentGenerator, ObstacleDensity};
+pub use surrogate::SuccessSurrogate;
+pub use train::{QTrainer, TrainingOutcome};

@@ -1,0 +1,162 @@
+//! Source seeking: the second UAV application the paper motivates
+//! (Duisterhof et al., "Tiny robot learning for source seeking on a nano
+//! quadcopter", ICRA 2021).
+//!
+//! A scalar source (gas leak, radio beacon, light) sits somewhere in the
+//! arena; the UAV observes a noisy local concentration gradient and must
+//! climb it to the source while avoiding the obstacles. Policy capacity
+//! maps to observation noise exactly as in the navigation trainer, so the
+//! same Phase-1 capacity/success relationship emerges for a different
+//! task specification.
+
+use policy_nn::PolicyModel;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::env::{EnvironmentGenerator, ObstacleDensity};
+use crate::train::QTrainer;
+
+/// Outcome of evaluating source seeking over randomized episodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeekOutcome {
+    /// Fraction of episodes that reached the source.
+    pub success_rate: f64,
+    /// Mean steps taken in successful episodes.
+    pub mean_steps_to_source: f64,
+    /// Episodes evaluated.
+    pub episodes: usize,
+}
+
+/// Gradient-climbing source seeker with capacity-dependent sensing noise.
+#[derive(Debug, Clone)]
+pub struct SourceSeeker {
+    seed: u64,
+    noise_sigma: f64,
+    max_steps: usize,
+}
+
+impl SourceSeeker {
+    /// Creates a seeker whose sensing noise is derived from the policy
+    /// model's capacity (same mapping as the navigation trainer's
+    /// perception-miss probability).
+    pub fn for_model(seed: u64, model: &PolicyModel) -> SourceSeeker {
+        // Miss probability in [0.02, 0.45] maps to gradient noise; the
+        // scale is chosen so the Table II capacity range spans the regime
+        // where the seeker's success responds to sensing quality.
+        let miss = QTrainer::miss_probability(model);
+        SourceSeeker { seed, noise_sigma: miss * 3.0, max_steps: 60 }
+    }
+
+    /// Creates a seeker with an explicit noise level (for sweeps).
+    pub fn with_noise(seed: u64, noise_sigma: f64) -> SourceSeeker {
+        SourceSeeker { seed, noise_sigma: noise_sigma.max(0.0), max_steps: 60 }
+    }
+
+    /// Concentration at squared distance `d2` from the source.
+    fn concentration(d2: f64) -> f64 {
+        1.0 / (1.0 + d2 / 20.0)
+    }
+
+    /// Evaluates the seeker over `episodes` randomized arenas; the
+    /// source is placed at the arena's goal cell. The step budget models
+    /// the flight-time the mission allows: a noisy seeker meanders and
+    /// runs out of it.
+    pub fn evaluate(&self, density: ObstacleDensity, episodes: usize) -> SeekOutcome {
+        let mut generator = EnvironmentGenerator::new(density, self.seed.wrapping_add(0x5ee));
+        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+        let deltas: [(i64, i64); 8] =
+            [(1, 0), (-1, 0), (0, 1), (0, -1), (1, 1), (1, -1), (-1, 1), (-1, -1)];
+        let mut successes = 0usize;
+        let mut steps_sum = 0usize;
+
+        for _ in 0..episodes.max(1) {
+            let arena = generator.next_arena();
+            let source = arena.goal();
+            let mut pos = arena.start();
+            for step in 0..self.max_steps {
+                if pos == source {
+                    successes += 1;
+                    steps_sum += step;
+                    break;
+                }
+                // Sample the perceived concentration of each free
+                // neighbour; move to the highest.
+                let mut best: Option<((usize, usize), f64)> = None;
+                for (dx, dy) in deltas {
+                    let nx = pos.0 as i64 + dx;
+                    let ny = pos.1 as i64 + dy;
+                    if nx < 0
+                        || ny < 0
+                        || arena.blocked(nx as isize, ny as isize)
+                    {
+                        continue;
+                    }
+                    let np = (nx as usize, ny as usize);
+                    let d2 = (np.0 as f64 - source.0 as f64).powi(2)
+                        + (np.1 as f64 - source.1 as f64).powi(2);
+                    let noise: f64 = rng.random_range(-1.0..1.0) * self.noise_sigma;
+                    let perceived = Self::concentration(d2) * (1.0 + noise);
+                    if best.is_none_or(|(_, b)| perceived > b) {
+                        best = Some((np, perceived));
+                    }
+                }
+                match best {
+                    Some((np, _)) => pos = np,
+                    None => break, // boxed in
+                }
+            }
+        }
+
+        SeekOutcome {
+            success_rate: successes as f64 / episodes.max(1) as f64,
+            mean_steps_to_source: if successes > 0 {
+                steps_sum as f64 / successes as f64
+            } else {
+                f64::NAN
+            },
+            episodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use policy_nn::PolicyHyperparams;
+
+    #[test]
+    fn noiseless_seeker_almost_always_finds_the_source() {
+        let out = SourceSeeker::with_noise(3, 0.0).evaluate(ObstacleDensity::Low, 80);
+        assert!(out.success_rate > 0.9, "success {:.2}", out.success_rate);
+        assert!(out.mean_steps_to_source < 120.0);
+    }
+
+    #[test]
+    fn noise_degrades_seeking() {
+        let clean = SourceSeeker::with_noise(5, 0.02).evaluate(ObstacleDensity::Medium, 80);
+        let noisy = SourceSeeker::with_noise(5, 1.5).evaluate(ObstacleDensity::Medium, 80);
+        assert!(clean.success_rate > noisy.success_rate);
+    }
+
+    #[test]
+    fn bigger_models_seek_better() {
+        let small = PolicyModel::build(PolicyHyperparams::new(2, 32).unwrap());
+        let large = PolicyModel::build(PolicyHyperparams::new(10, 64).unwrap());
+        let s = SourceSeeker::for_model(7, &small).evaluate(ObstacleDensity::Medium, 100);
+        let l = SourceSeeker::for_model(7, &large).evaluate(ObstacleDensity::Medium, 100);
+        assert!(
+            l.success_rate >= s.success_rate,
+            "large {:.2} < small {:.2}",
+            l.success_rate,
+            s.success_rate
+        );
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let a = SourceSeeker::with_noise(9, 0.3).evaluate(ObstacleDensity::Dense, 40);
+        let b = SourceSeeker::with_noise(9, 0.3).evaluate(ObstacleDensity::Dense, 40);
+        assert_eq!(a, b);
+    }
+}

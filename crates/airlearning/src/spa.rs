@@ -1,0 +1,369 @@
+//! The Sense-Plan-Act (SPA) autonomy paradigm: occupancy mapping + A*
+//! planning + path following.
+//!
+//! The paper contrasts E2E learning against the classic SPA pipeline
+//! (Section II) and sketches how AutoPilot would extend to SPA stacks
+//! (Section VII). This module provides a working SPA substrate over the
+//! same domain-randomized arenas: a noisy occupancy-mapping stage, an A*
+//! planning stage, and a path-following controller, plus a compute-cost
+//! profile (node expansions, map updates) so the paradigms can be
+//! compared on both task success and decision latency.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::env::{Arena, EnvironmentGenerator, ObstacleDensity};
+
+/// A probabilistic occupancy grid built from noisy range observations.
+#[derive(Debug, Clone)]
+pub struct OccupancyGrid {
+    size: usize,
+    /// Log-odds style occupancy belief in [0, 1]; 0.5 = unknown.
+    belief: Vec<f64>,
+}
+
+impl OccupancyGrid {
+    /// Creates an all-unknown grid.
+    pub fn new(size: usize) -> OccupancyGrid {
+        OccupancyGrid { size, belief: vec![0.5; size * size] }
+    }
+
+    /// Grid side length.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Occupancy belief of a cell (out of range reads as occupied).
+    pub fn belief(&self, x: usize, y: usize) -> f64 {
+        if x >= self.size || y >= self.size {
+            return 1.0;
+        }
+        self.belief[y * self.size + x]
+    }
+
+    /// True when the planner should treat the cell as blocked.
+    pub fn blocked(&self, x: usize, y: usize) -> bool {
+        self.belief(x, y) > 0.65
+    }
+
+    /// Integrates one (possibly noisy) observation of a cell.
+    pub fn observe(&mut self, x: usize, y: usize, occupied: bool) {
+        if x >= self.size || y >= self.size {
+            return;
+        }
+        let b = &mut self.belief[y * self.size + x];
+        // Exponential update toward the observation.
+        let target = if occupied { 1.0 } else { 0.0 };
+        *b += 0.6 * (target - *b);
+    }
+
+    /// Senses a square window of the arena around `pos` with a per-cell
+    /// false-negative probability `miss`, updating the map. Returns the
+    /// number of cells observed (the mapping stage's workload).
+    pub fn sense(
+        &mut self,
+        arena: &Arena,
+        pos: (usize, usize),
+        radius: usize,
+        miss: f64,
+        rng: &mut ChaCha12Rng,
+    ) -> usize {
+        let mut observed = 0;
+        let r = radius as isize;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let x = pos.0 as isize + dx;
+                let y = pos.1 as isize + dy;
+                if x < 0 || y < 0 || x as usize >= self.size || y as usize >= self.size {
+                    continue;
+                }
+                let truly = arena.blocked(x, y);
+                let seen = if truly && rng.random_bool(miss) { false } else { truly };
+                self.observe(x as usize, y as usize, seen);
+                observed += 1;
+            }
+        }
+        observed
+    }
+}
+
+/// Per-decision compute workload of the SPA pipeline, used to compare
+/// decision latency against the E2E paradigm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SpaWorkload {
+    /// Cells integrated by the mapping stage.
+    pub map_updates: u64,
+    /// Nodes expanded by the A* planner.
+    pub planner_expansions: u64,
+    /// Replans performed.
+    pub replans: u64,
+}
+
+impl SpaWorkload {
+    /// Rough per-decision operation count: mapping is a few ops per cell,
+    /// planning a few hundred per expansion (priority queue + neighbour
+    /// scan).
+    pub fn ops(&self) -> u64 {
+        self.map_updates * 8 + self.planner_expansions * 300
+    }
+}
+
+/// A* shortest path over the current occupancy belief. Returns the path
+/// (start..=goal) and the number of expansions, or `None` when the
+/// believed map admits no path.
+pub fn astar(
+    grid: &OccupancyGrid,
+    start: (usize, usize),
+    goal: (usize, usize),
+) -> Option<(Vec<(usize, usize)>, u64)> {
+    let n = grid.size();
+    let idx = |p: (usize, usize)| p.1 * n + p.0;
+    let h = |p: (usize, usize)| {
+        let dx = p.0.abs_diff(goal.0) as f64;
+        let dy = p.1.abs_diff(goal.1) as f64;
+        // Octile distance for 8-connected motion.
+        let (lo, hi) = if dx < dy { (dx, dy) } else { (dy, dx) };
+        hi + 0.4142 * lo
+    };
+    let mut g = vec![f64::INFINITY; n * n];
+    let mut parent = vec![usize::MAX; n * n];
+    let mut open: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let key = |f: f64| (f * 1024.0) as u64;
+    g[idx(start)] = 0.0;
+    open.push(Reverse((key(h(start)), idx(start))));
+    let mut expansions = 0u64;
+
+    let deltas: [(i64, i64, f64); 8] = [
+        (1, 0, 1.0),
+        (-1, 0, 1.0),
+        (0, 1, 1.0),
+        (0, -1, 1.0),
+        (1, 1, 1.4142),
+        (1, -1, 1.4142),
+        (-1, 1, 1.4142),
+        (-1, -1, 1.4142),
+    ];
+
+    while let Some(Reverse((_, current))) = open.pop() {
+        expansions += 1;
+        let cur = (current % n, current / n);
+        if cur == goal {
+            // Reconstruct.
+            let mut path = vec![cur];
+            let mut at = current;
+            while parent[at] != usize::MAX {
+                at = parent[at];
+                path.push((at % n, at / n));
+            }
+            path.reverse();
+            return Some((path, expansions));
+        }
+        for (dx, dy, cost) in deltas {
+            let nx = cur.0 as i64 + dx;
+            let ny = cur.1 as i64 + dy;
+            if nx < 0 || ny < 0 || nx as usize >= n || ny as usize >= n {
+                continue;
+            }
+            let np = (nx as usize, ny as usize);
+            if grid.blocked(np.0, np.1) && np != goal {
+                continue;
+            }
+            let tentative = g[current] + cost;
+            if tentative < g[idx(np)] {
+                g[idx(np)] = tentative;
+                parent[idx(np)] = current;
+                open.push(Reverse((key(tentative + h(np)), idx(np))));
+            }
+        }
+        if expansions > (n * n * 8) as u64 {
+            break; // defensive bound
+        }
+    }
+    None
+}
+
+/// Outcome of evaluating the SPA pipeline over randomized episodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpaOutcome {
+    /// Fraction of episodes reaching the goal.
+    pub success_rate: f64,
+    /// Mean per-decision workload across episodes.
+    pub mean_workload: SpaWorkload,
+    /// Episodes evaluated.
+    pub episodes: usize,
+}
+
+/// The Sense-Plan-Act agent: sense a window, update the map, replan with
+/// A* when the current path is invalidated, follow the path.
+#[derive(Debug, Clone)]
+pub struct SpaAgent {
+    sensor_radius: usize,
+    perception_miss: f64,
+    max_steps: usize,
+    seed: u64,
+}
+
+impl SpaAgent {
+    /// Creates an agent with a given perception quality (same semantics
+    /// as the E2E trainer's miss probability).
+    pub fn new(seed: u64, perception_miss: f64) -> SpaAgent {
+        SpaAgent {
+            sensor_radius: 4,
+            perception_miss: perception_miss.clamp(0.0, 1.0),
+            max_steps: 250,
+            seed,
+        }
+    }
+
+    /// Evaluates the agent over `episodes` randomized arenas.
+    pub fn evaluate(&self, density: ObstacleDensity, episodes: usize) -> SpaOutcome {
+        let mut generator = EnvironmentGenerator::new(density, self.seed.wrapping_add(0x59a));
+        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+        let mut successes = 0usize;
+        let mut total = SpaWorkload::default();
+        let mut decisions = 0u64;
+
+        for _ in 0..episodes.max(1) {
+            let arena = generator.next_arena();
+            let mut grid = OccupancyGrid::new(arena.size());
+            let mut pos = arena.start();
+            let mut path: Vec<(usize, usize)> = Vec::new();
+            let mut cursor = 0usize;
+
+            for _ in 0..self.max_steps {
+                decisions += 1;
+                total.map_updates +=
+                    grid.sense(&arena, pos, self.sensor_radius, self.perception_miss, &mut rng)
+                        as u64;
+
+                // Replan when we have no path or the next waypoint is now
+                // believed blocked.
+                let next_blocked = path
+                    .get(cursor + 1)
+                    .is_some_and(|&(x, y)| grid.blocked(x, y));
+                if path.is_empty() || cursor + 1 >= path.len() || next_blocked {
+                    match astar(&grid, pos, arena.goal()) {
+                        Some((p, expansions)) => {
+                            total.planner_expansions += expansions;
+                            total.replans += 1;
+                            path = p;
+                            cursor = 0;
+                        }
+                        None => break, // believed unreachable
+                    }
+                }
+
+                let next = path[cursor + 1];
+                // Execute against ground truth.
+                if arena.blocked(next.0 as isize, next.1 as isize) {
+                    break; // collision with a misperceived obstacle
+                }
+                pos = next;
+                cursor += 1;
+                if pos == arena.goal() {
+                    successes += 1;
+                    break;
+                }
+            }
+        }
+
+        let mean = if decisions > 0 {
+            SpaWorkload {
+                map_updates: total.map_updates / decisions,
+                planner_expansions: total.planner_expansions / decisions,
+                replans: total.replans / decisions.max(1),
+            }
+        } else {
+            SpaWorkload::default()
+        };
+        SpaOutcome {
+            success_rate: successes as f64 / episodes.max(1) as f64,
+            mean_workload: mean,
+            episodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn astar_finds_straight_path_on_empty_map() {
+        let grid = OccupancyGrid::new(10);
+        let (path, expansions) = astar(&grid, (0, 0), (9, 9)).expect("path");
+        assert_eq!(path.first(), Some(&(0, 0)));
+        assert_eq!(path.last(), Some(&(9, 9)));
+        assert_eq!(path.len(), 10); // pure diagonal
+        assert!(expansions >= 10);
+    }
+
+    #[test]
+    fn astar_routes_around_known_walls() {
+        let mut grid = OccupancyGrid::new(8);
+        for y in 0..7 {
+            grid.observe(4, y, true);
+            grid.observe(4, y, true); // push belief over threshold
+        }
+        let (path, _) = astar(&grid, (0, 0), (7, 0)).expect("path exists around wall");
+        assert!(path.iter().all(|&(x, y)| !(x == 4 && y < 7)));
+    }
+
+    #[test]
+    fn astar_reports_unreachable() {
+        let mut grid = OccupancyGrid::new(6);
+        for y in 0..6 {
+            grid.observe(3, y, true);
+            grid.observe(3, y, true);
+        }
+        assert!(astar(&grid, (0, 0), (5, 0)).is_none());
+    }
+
+    #[test]
+    fn occupancy_updates_converge() {
+        let mut grid = OccupancyGrid::new(4);
+        for _ in 0..6 {
+            grid.observe(1, 1, true);
+        }
+        assert!(grid.blocked(1, 1));
+        for _ in 0..8 {
+            grid.observe(1, 1, false);
+        }
+        assert!(!grid.blocked(1, 1));
+    }
+
+    #[test]
+    fn spa_agent_succeeds_with_good_perception() {
+        let outcome = SpaAgent::new(3, 0.05).evaluate(ObstacleDensity::Low, 60);
+        assert!(
+            outcome.success_rate > 0.7,
+            "SPA success {:.2} too low",
+            outcome.success_rate
+        );
+        assert!(outcome.mean_workload.ops() > 0);
+    }
+
+    #[test]
+    fn worse_perception_lowers_spa_success() {
+        let good = SpaAgent::new(5, 0.02).evaluate(ObstacleDensity::Dense, 60);
+        let bad = SpaAgent::new(5, 0.45).evaluate(ObstacleDensity::Dense, 60);
+        assert!(good.success_rate >= bad.success_rate);
+    }
+
+    #[test]
+    fn out_of_range_cells_read_as_occupied() {
+        let grid = OccupancyGrid::new(4);
+        assert!(grid.blocked(9, 9));
+        assert_eq!(grid.belief(9, 0), 1.0);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let a = SpaAgent::new(9, 0.1).evaluate(ObstacleDensity::Medium, 30);
+        let b = SpaAgent::new(9, 0.1).evaluate(ObstacleDensity::Medium, 30);
+        assert_eq!(a, b);
+    }
+}

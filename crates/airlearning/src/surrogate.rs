@@ -1,0 +1,186 @@
+//! Fast fitted success-rate model.
+
+use policy_nn::PolicyHyperparams;
+use policy_nn::PolicyModel;
+use serde::{Deserialize, Serialize};
+
+use crate::env::ObstacleDensity;
+
+/// A fitted capacity-to-success model calibrated against the paper.
+///
+/// The curve rises sigmoidally with model capacity (Fig. 2b) and declines
+/// gently past a per-scenario ideal capacity — over-parameterized policies
+/// train less reliably within the fixed one-million-step budget, which is
+/// what produces the paper's per-scenario best models:
+///
+/// * low obstacles — 5 layers / 32 filters,
+/// * medium obstacles — 4 layers / 48 filters,
+/// * dense obstacles — 7 layers / 48 filters.
+///
+/// Success rates span the paper's reported 60–91 % band.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuccessSurrogate {
+    slope: f64,
+    penalty: f64,
+    rise_offset: f64,
+}
+
+impl SuccessSurrogate {
+    /// The calibration used throughout the reproduction.
+    pub fn paper_calibrated() -> SuccessSurrogate {
+        SuccessSurrogate { slope: 10.0, penalty: 0.8, rise_offset: 0.3 }
+    }
+
+    /// The hyperparameters of the best policy per scenario, as reported
+    /// in Section V-A of the paper. These anchor the surrogate's ideal
+    /// capacity per density.
+    pub fn paper_best_model(density: ObstacleDensity) -> PolicyHyperparams {
+        let (layers, filters) = match density {
+            ObstacleDensity::Low => (5, 32),
+            ObstacleDensity::Medium => (4, 48),
+            ObstacleDensity::Dense => (7, 48),
+        };
+        PolicyHyperparams::new(layers, filters).expect("paper models are in the Table II space")
+    }
+
+    /// Success ceiling per density (harder scenarios cap lower).
+    fn ceiling(density: ObstacleDensity) -> f64 {
+        match density {
+            ObstacleDensity::Low => 0.91,
+            ObstacleDensity::Medium => 0.88,
+            ObstacleDensity::Dense => 0.84,
+        }
+    }
+
+    /// Success floor per density.
+    fn floor(density: ObstacleDensity) -> f64 {
+        match density {
+            ObstacleDensity::Low => 0.66,
+            ObstacleDensity::Medium => 0.63,
+            ObstacleDensity::Dense => 0.58,
+        }
+    }
+
+    /// Ideal capacity for `density` (capacity of the paper's best model).
+    pub fn ideal_capacity(density: ObstacleDensity) -> f64 {
+        PolicyModel::build(Self::paper_best_model(density)).capacity_score()
+    }
+
+    /// Predicted validated task success rate of `model` in `density`
+    /// scenarios, in `[0, 1]`.
+    pub fn success_rate(&self, model: &PolicyModel, density: ObstacleDensity) -> f64 {
+        let c = model.capacity_score();
+        let ideal = Self::ideal_capacity(density);
+        let theta = ideal - self.rise_offset;
+        let rise = sigmoid(self.slope * (c - theta));
+        let decay = self.penalty * (c - ideal).max(0.0);
+        let g = (rise - decay).clamp(0.0, 1.0);
+        let floor = Self::floor(density);
+        let ceiling = Self::ceiling(density);
+        floor + (ceiling - floor) * g
+    }
+
+    /// The model with the highest predicted success rate for `density`
+    /// over the whole Table II space.
+    pub fn best_model(&self, density: ObstacleDensity) -> PolicyHyperparams {
+        PolicyHyperparams::enumerate()
+            .into_iter()
+            .max_by(|a, b| {
+                let sa = self.success_rate(&PolicyModel::build(*a), density);
+                let sb = self.success_rate(&PolicyModel::build(*b), density);
+                sa.partial_cmp(&sb).expect("success rates are finite")
+            })
+            .expect("non-empty space")
+    }
+}
+
+impl Default for SuccessSurrogate {
+    fn default() -> Self {
+        SuccessSurrogate::paper_calibrated()
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(l: usize, f: usize) -> PolicyModel {
+        PolicyModel::build(PolicyHyperparams::new(l, f).unwrap())
+    }
+
+    #[test]
+    fn argmax_matches_paper_selections() {
+        let s = SuccessSurrogate::paper_calibrated();
+        for density in ObstacleDensity::ALL {
+            let best = s.best_model(density);
+            assert_eq!(
+                best,
+                SuccessSurrogate::paper_best_model(density),
+                "{density}: surrogate argmax {best} diverges from the paper"
+            );
+        }
+    }
+
+    #[test]
+    fn success_band_matches_fig_2b() {
+        let s = SuccessSurrogate::paper_calibrated();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for h in PolicyHyperparams::enumerate() {
+            for density in ObstacleDensity::ALL {
+                let v = s.success_rate(&PolicyModel::build(h), density);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        assert!((0.55..=0.70).contains(&lo), "floor {lo:.2}");
+        assert!((0.85..=0.95).contains(&hi), "ceiling {hi:.2}");
+    }
+
+    #[test]
+    fn harder_scenarios_need_bigger_models() {
+        // At a fixed small model, success drops with density; the ideal
+        // capacity grows with density.
+        let s = SuccessSurrogate::paper_calibrated();
+        let small = model(3, 32);
+        let low = s.success_rate(&small, ObstacleDensity::Low);
+        let dense = s.success_rate(&small, ObstacleDensity::Dense);
+        assert!(low > dense);
+        assert!(
+            SuccessSurrogate::ideal_capacity(ObstacleDensity::Dense)
+                > SuccessSurrogate::ideal_capacity(ObstacleDensity::Low)
+        );
+    }
+
+    #[test]
+    fn rises_with_capacity_before_ideal() {
+        let s = SuccessSurrogate::paper_calibrated();
+        let tiny = s.success_rate(&model(2, 32), ObstacleDensity::Dense);
+        let right = s.success_rate(&model(7, 48), ObstacleDensity::Dense);
+        assert!(right > tiny + 0.1);
+    }
+
+    #[test]
+    fn oversized_models_degrade_mildly() {
+        let s = SuccessSurrogate::paper_calibrated();
+        let ideal = s.success_rate(&model(5, 32), ObstacleDensity::Low);
+        let huge = s.success_rate(&model(10, 64), ObstacleDensity::Low);
+        assert!(huge < ideal);
+        assert!(huge >= 0.55, "degradation too steep: {huge:.2}");
+    }
+
+    #[test]
+    fn all_rates_are_probabilities() {
+        let s = SuccessSurrogate::paper_calibrated();
+        for h in PolicyHyperparams::enumerate() {
+            for density in ObstacleDensity::ALL {
+                let v = s.success_rate(&PolicyModel::build(h), density);
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the Air Learning substrate.
+
+use air_sim::spa::{astar, OccupancyGrid};
+use air_sim::{
+    AirLearningDatabase, EnvironmentGenerator, ObstacleDensity, PolicyRecord, SuccessSurrogate,
+    TrainingMethod,
+};
+use policy_nn::{PolicyHyperparams, PolicyModel};
+use proptest::prelude::*;
+
+fn arb_density() -> impl Strategy<Value = ObstacleDensity> {
+    prop::sample::select(vec![
+        ObstacleDensity::Low,
+        ObstacleDensity::Medium,
+        ObstacleDensity::Dense,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generated arena is solvable with free start/goal cells and a
+    /// bounded obstacle budget.
+    #[test]
+    fn arenas_are_well_formed(density in arb_density(), seed in 0u64..1000) {
+        let mut generator = EnvironmentGenerator::new(density, seed);
+        for _ in 0..3 {
+            let arena = generator.next_arena();
+            prop_assert!(arena.solvable());
+            let (sx, sy) = arena.start();
+            let (gx, gy) = arena.goal();
+            prop_assert!(!arena.blocked(sx as isize, sy as isize));
+            prop_assert!(!arena.blocked(gx as isize, gy as isize));
+            // Fixed + random obstacles, 2x2 cells each, is the ceiling.
+            let max_cells =
+                (density.fixed_obstacles() + density.max_random_obstacles()) * 4;
+            prop_assert!(arena.obstacle_cells() <= max_cells);
+        }
+    }
+
+    /// A* on the true occupancy always finds a path on solvable arenas,
+    /// and the path is collision-free and connected.
+    #[test]
+    fn astar_paths_are_valid(density in arb_density(), seed in 0u64..500) {
+        let mut generator = EnvironmentGenerator::new(density, seed);
+        let arena = generator.next_arena();
+        let mut grid = OccupancyGrid::new(arena.size());
+        for y in 0..arena.size() {
+            for x in 0..arena.size() {
+                let b = arena.blocked(x as isize, y as isize);
+                grid.observe(x, y, b);
+                grid.observe(x, y, b);
+            }
+        }
+        let (path, _) = astar(&grid, arena.start(), arena.goal())
+            .expect("solvable arena must admit a path");
+        prop_assert_eq!(path[0], arena.start());
+        prop_assert_eq!(*path.last().unwrap(), arena.goal());
+        for w in path.windows(2) {
+            let dx = w[0].0.abs_diff(w[1].0);
+            let dy = w[0].1.abs_diff(w[1].1);
+            prop_assert!(dx <= 1 && dy <= 1, "disconnected step");
+            prop_assert!(!arena.blocked(w[1].0 as isize, w[1].1 as isize));
+        }
+    }
+
+    /// Surrogate success rates are valid probabilities, monotone with
+    /// scenario difficulty for any fixed model.
+    #[test]
+    fn surrogate_orders_scenarios(layers in prop::sample::select(vec![2usize,3,4,5,6,7,8,9,10]),
+                                  filters in prop::sample::select(vec![32usize,48,64])) {
+        let model = PolicyModel::build(PolicyHyperparams::new(layers, filters).unwrap());
+        let s = SuccessSurrogate::paper_calibrated();
+        let low = s.success_rate(&model, ObstacleDensity::Low);
+        let medium = s.success_rate(&model, ObstacleDensity::Medium);
+        let dense = s.success_rate(&model, ObstacleDensity::Dense);
+        for v in [low, medium, dense] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        prop_assert!(low >= dense - 0.03, "low {low} should not trail dense {dense}");
+        prop_assert!(medium <= low + 0.03);
+    }
+
+    /// Database upserts are idempotent and lookups total over inserts.
+    #[test]
+    fn database_upsert_semantics(rates in prop::collection::vec(0.0f64..1.0, 1..20)) {
+        let mut db = AirLearningDatabase::new();
+        let all = PolicyHyperparams::enumerate();
+        for (i, &rate) in rates.iter().enumerate() {
+            let h = all[i % all.len()];
+            db.upsert(PolicyRecord {
+                id: PolicyRecord::make_id(h, ObstacleDensity::Low),
+                hyperparams: h,
+                density: ObstacleDensity::Low,
+                success_rate: rate,
+                method: TrainingMethod::Surrogate,
+                seed: 0,
+            });
+        }
+        prop_assert!(db.len() <= all.len().min(rates.len()));
+        for r in db.records() {
+            prop_assert!(db.get(r.hyperparams, r.density).is_some());
+        }
+        // JSON round trip preserves everything.
+        let restored = AirLearningDatabase::from_json(&db.to_json()).unwrap();
+        prop_assert_eq!(db, restored);
+    }
+}

@@ -1,0 +1,91 @@
+//! Criterion benchmarks for the DSE machinery: GP regression,
+//! hypervolume computation, and full optimizer runs on a synthetic
+//! problem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dse_opt::pareto::hypervolume;
+use dse_opt::{
+    DesignSpace, Evaluator, GaussianProcess, MultiObjectiveOptimizer, Nsga2Optimizer,
+    RandomSearch, SmsEgoOptimizer,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::hint::black_box;
+
+struct Synthetic;
+
+impl Evaluator for Synthetic {
+    fn num_objectives(&self) -> usize {
+        3
+    }
+    fn evaluate(&self, point: &[usize]) -> Vec<f64> {
+        let x: Vec<f64> = point.iter().map(|&p| p as f64 / 7.0).collect();
+        vec![
+            x[0] + 0.1 * x[2],
+            (1.0 - x[0]).powi(2) + x[1],
+            (x[1] - 0.5).abs() + (x[2] - 0.3).powi(2),
+        ]
+    }
+    fn reference_point(&self) -> Vec<f64> {
+        vec![3.0, 3.0, 3.0]
+    }
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gaussian_process");
+    for n in [32usize, 128, 256] {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let x: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..7).map(|_| rng.random::<f64>()).collect()).collect();
+        let y: Vec<f64> = x.iter().map(|p| p.iter().sum::<f64>().sin()).collect();
+        group.bench_with_input(BenchmarkId::new("fit", n), &n, |b, _| {
+            b.iter(|| black_box(GaussianProcess::fit(black_box(&x), black_box(&y))))
+        });
+        let gp = GaussianProcess::fit(&x, &y).unwrap();
+        let q = vec![0.4; 7];
+        group.bench_with_input(BenchmarkId::new("predict", n), &n, |b, _| {
+            b.iter(|| black_box(gp.predict(black_box(&q))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hypervolume(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypervolume");
+    let mut rng = ChaCha12Rng::seed_from_u64(2);
+    for n in [32usize, 128] {
+        let pts3: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..3).map(|_| rng.random::<f64>()).collect()).collect();
+        let r3 = [1.5, 1.5, 1.5];
+        group.bench_with_input(BenchmarkId::new("3d", n), &n, |b, _| {
+            b.iter(|| black_box(hypervolume(black_box(&pts3), black_box(&r3))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_run_budget40");
+    group.sample_size(10);
+    let space = DesignSpace::new(vec![8; 7]).unwrap();
+    group.bench_function("sms_ego", |b| {
+        b.iter(|| {
+            black_box(
+                SmsEgoOptimizer::new(3)
+                    .with_init_samples(10)
+                    .with_candidate_pool(64)
+                    .run(&space, &Synthetic, 40),
+            )
+        })
+    });
+    group.bench_function("nsga2", |b| {
+        b.iter(|| black_box(Nsga2Optimizer::new(3).with_population(12).run(&space, &Synthetic, 40)))
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| black_box(RandomSearch::new(3).run(&space, &Synthetic, 40)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gp, bench_hypervolume, bench_optimizers);
+criterion_main!(benches);

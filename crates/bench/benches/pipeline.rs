@@ -1,0 +1,60 @@
+//! Criterion benchmarks for the AutoPilot pipeline stages.
+
+use air_sim::{AirLearningDatabase, ObstacleDensity};
+use autopilot::{
+    AutoPilot, AutopilotConfig, DssocEvaluator, OptimizerChoice, Phase1, Phase3, SuccessModel,
+    TaskSpec,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uav_dynamics::UavSpec;
+
+fn bench_phase1(c: &mut Criterion) {
+    c.bench_function("phase1_surrogate_populate_27", |b| {
+        b.iter(|| {
+            let mut db = AirLearningDatabase::new();
+            Phase1::new(SuccessModel::Surrogate, 1).populate(ObstacleDensity::Dense, &mut db);
+            black_box(db)
+        })
+    });
+}
+
+fn bench_evaluator(c: &mut Criterion) {
+    let mut db = AirLearningDatabase::new();
+    Phase1::new(SuccessModel::Surrogate, 1).populate(ObstacleDensity::Dense, &mut db);
+    let ev = DssocEvaluator::new(db, ObstacleDensity::Dense);
+    c.bench_function("phase2_evaluate_design", |b| {
+        b.iter(|| black_box(ev.evaluate_design(black_box(&[5, 1, 3, 3, 2, 2, 2]))))
+    });
+}
+
+fn bench_phase3(c: &mut Criterion) {
+    let mut db = AirLearningDatabase::new();
+    Phase1::new(SuccessModel::Surrogate, 1).populate(ObstacleDensity::Dense, &mut db);
+    let ev = DssocEvaluator::new(db, ObstacleDensity::Dense);
+    let candidate = ev.evaluate_design(&[5, 1, 1, 1, 1, 1, 1]);
+    let uav = UavSpec::nano();
+    let task = TaskSpec::navigation(ObstacleDensity::Dense);
+    c.bench_function("phase3_mission_report", |b| {
+        b.iter(|| black_box(Phase3::mission_report(&uav, &task, black_box(&candidate))))
+    });
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_pipeline");
+    group.sample_size(10);
+    group.bench_function("random_budget30", |b| {
+        let pilot = AutoPilot::new(
+            AutopilotConfig::fast(7).with_budget(30).with_optimizer(OptimizerChoice::Random),
+        );
+        b.iter(|| {
+            black_box(
+                pilot.run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Dense)),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_phase1, bench_evaluator, bench_phase3, bench_full_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the systolic-array simulator (the Phase-2
+//! inner loop's dominant cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use policy_nn::{PolicyHyperparams, PolicyModel};
+use std::hint::black_box;
+use systolic_sim::{ArrayConfig, Dataflow, Layer, Simulator};
+
+fn bench_layers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_layer");
+    let conv = Layer::conv2d(96, 96, 48, 48, 3, 1, 1);
+    let dense = Layer::dense(5632, 5632);
+    for df in Dataflow::ALL {
+        let sim = Simulator::new(
+            ArrayConfig::builder().rows(32).cols(32).dataflow(df).build().unwrap(),
+        );
+        group.bench_with_input(BenchmarkId::new("conv_96x96x48", df), &sim, |b, sim| {
+            b.iter(|| black_box(sim.simulate_layer(black_box(&conv))))
+        });
+        group.bench_with_input(BenchmarkId::new("dense_5632", df), &sim, |b, sim| {
+            b.iter(|| black_box(sim.simulate_layer(black_box(&dense))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_networks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_network");
+    for (l, f) in [(2usize, 32usize), (7, 48), (10, 64)] {
+        let model = PolicyModel::build(PolicyHyperparams::new(l, f).unwrap());
+        let sim = Simulator::new(ArrayConfig::default());
+        group.bench_function(BenchmarkId::from_parameter(format!("l{l}f{f}")), |b| {
+            b.iter(|| black_box(sim.simulate_network(black_box(model.layers()))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_traces(c: &mut Criterion) {
+    let sim = Simulator::new(ArrayConfig::default());
+    let layer = Layer::conv2d(96, 96, 48, 48, 3, 1, 1);
+    c.bench_function("trace_layer_drain", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for ev in sim.trace_layer(black_box(&layer)) {
+                acc += ev.ifmap_reads;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_layers, bench_networks, bench_traces);
+criterion_main!(benches);

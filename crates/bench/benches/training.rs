@@ -1,0 +1,44 @@
+//! Criterion benchmarks for the Air Learning substrate (environment
+//! generation and Q-learning).
+
+use air_sim::{EnvironmentGenerator, ObstacleDensity, QTrainer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use policy_nn::{PolicyHyperparams, PolicyModel};
+use std::hint::black_box;
+
+fn bench_environments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("environment_generation");
+    for density in ObstacleDensity::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(density), &density, |b, &d| {
+            let mut generator = EnvironmentGenerator::new(d, 42);
+            b.iter(|| black_box(generator.next_arena()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q_learning");
+    group.sample_size(10);
+    let model = PolicyModel::build(PolicyHyperparams::new(5, 32).unwrap());
+    for episodes in [100usize, 400] {
+        group.bench_with_input(
+            BenchmarkId::new("train_low", episodes),
+            &episodes,
+            |b, &e| {
+                b.iter(|| {
+                    black_box(
+                        QTrainer::new(7)
+                            .with_episodes(e)
+                            .with_eval_episodes(50)
+                            .train(&model, ObstacleDensity::Low),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_environments, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks for the UAV dynamics / F-1 / mission models
+//! (Phase 3's inner loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uav_dynamics::{F1Model, MissionProfile, UavSpec};
+
+fn bench_f1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_model");
+    for spec in UavSpec::all() {
+        let f1 = F1Model::new(spec.clone(), 24.0, 60.0);
+        group.bench_with_input(
+            BenchmarkId::new("safe_velocity", &spec.name),
+            &f1,
+            |b, f1| b.iter(|| black_box(f1.safe_velocity(black_box(46.0)))),
+        );
+        group.bench_with_input(BenchmarkId::new("knee_fps", &spec.name), &f1, |b, f1| {
+            b.iter(|| black_box(f1.knee_fps()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_missions(c: &mut Criterion) {
+    let profile = MissionProfile::default();
+    let uav = UavSpec::nano();
+    c.bench_function("mission_evaluate", |b| {
+        b.iter(|| black_box(profile.evaluate(&uav, black_box(24.0), black_box(9.5), 0.7)))
+    });
+}
+
+fn bench_curves(c: &mut Criterion) {
+    let f1 = F1Model::new(UavSpec::micro(), 24.0, 60.0);
+    c.bench_function("f1_curve_64pts", |b| b.iter(|| black_box(f1.curve(64))));
+}
+
+criterion_group!(benches, bench_f1, bench_missions, bench_curves);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Reproduction binary for the dataflow ablation.
+
+fn main() {
+    autopilot_bench::emit("ablate_dataflow.txt", &autopilot_bench::experiments::ablations::run_dataflows());
+}

@@ -1,0 +1,8 @@
+//! Reproduction binary for the E2E-vs-SPA paradigm ablation.
+
+fn main() {
+    autopilot_bench::emit(
+        "ablate_paradigm.txt",
+        &autopilot_bench::experiments::ablations::run_paradigms(800),
+    );
+}

@@ -1,0 +1,60 @@
+//! Calibration probe: prints the accelerator template's FPS / power /
+//! weight envelope across the Table II space corners and a coarse grid,
+//! plus per-UAV knee-points. Used to verify the Table III bands
+//! (22–200 FPS, 0.7–8.24 W) are qualitatively reproduced.
+
+use air_sim::{AirLearningDatabase, ObstacleDensity};
+use autopilot::{DssocEvaluator, JointSpace, Phase1, SuccessModel};
+use autopilot_bench::TextTable;
+use uav_dynamics::{F1Model, UavSpec};
+
+fn main() {
+    let mut db = AirLearningDatabase::new();
+    Phase1::new(SuccessModel::Surrogate, 1).populate(ObstacleDensity::Dense, &mut db);
+    let ev = DssocEvaluator::new(db, ObstacleDensity::Dense);
+
+    let mut table = TextTable::new(vec![
+        "pe", "sram_kb", "fps", "latency_ms", "soc_avg_w", "tdp_w", "payload_g", "fps_per_w",
+    ]);
+    // Fixed dense-scenario policy (7 layers, 48 filters), sweep hardware.
+    let mut min_fps = f64::INFINITY;
+    let mut max_fps: f64 = 0.0;
+    let mut min_w = f64::INFINITY;
+    let mut max_w: f64 = 0.0;
+    for pe_idx in 0..8 {
+        for sram_idx in [0usize, 3, 7] {
+            let point = vec![5, 1, pe_idx, pe_idx, sram_idx, sram_idx, sram_idx];
+            let c = ev.evaluate_design(&point);
+            min_fps = min_fps.min(c.fps);
+            max_fps = max_fps.max(c.fps);
+            min_w = min_w.min(c.soc_avg_w);
+            max_w = max_w.max(c.soc_avg_w);
+            table.row(vec![
+                format!("{}x{}", c.config.rows(), c.config.cols()),
+                format!("{}", c.config.ifmap_sram_bytes() / 1024),
+                format!("{:.1}", c.fps),
+                format!("{:.2}", c.latency_s * 1e3),
+                format!("{:.3}", c.soc_avg_w),
+                format!("{:.3}", c.tdp_w),
+                format!("{:.1}", c.payload_g),
+                format!("{:.1}", c.efficiency_fps_per_w),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("FPS band: {min_fps:.1} .. {max_fps:.1} (paper: 22 .. 205)");
+    println!("SoC power band: {min_w:.3} .. {max_w:.3} W (paper: 0.7 .. 8.24)");
+
+    for uav in UavSpec::all() {
+        let f1 = F1Model::new(uav.clone(), 24.0, 60.0);
+        println!(
+            "{}: knee = {:?} FPS, ceiling = {:.2} m/s, a_max = {:.2} m/s^2",
+            uav.name,
+            f1.knee_fps().map(|k| (k * 10.0).round() / 10.0),
+            f1.velocity_ceiling(),
+            f1.payload().max_accel_ms2
+        );
+    }
+
+    println!("joint design space size = {}", JointSpace::size());
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary for Fig. 10 (HE vs AP).
+
+fn main() {
+    autopilot_bench::emit("fig10.txt", &autopilot_bench::experiments::pitfalls::run_fig10());
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary for Fig. 11 (agility vs compute requirement).
+
+fn main() {
+    autopilot_bench::emit("fig11.txt", &autopilot_bench::experiments::fig11::run());
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary for Fig. 2b (model parameters vs success rate).
+
+fn main() {
+    autopilot_bench::emit("fig2b.txt", &autopilot_bench::experiments::fig2b::run());
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary for Fig. 3b (accelerator template Pareto sweep).
+
+fn main() {
+    autopilot_bench::emit("fig3b.txt", &autopilot_bench::experiments::fig3b::run());
+}

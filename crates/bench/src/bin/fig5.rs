@@ -1,0 +1,5 @@
+//! Reproduction binary for Fig. 5 (missions vs baselines, 9 scenarios).
+
+fn main() {
+    autopilot_bench::emit("fig5.txt", &autopilot_bench::experiments::fig5::run());
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary for Fig. 6 (architectural parameter variation).
+
+fn main() {
+    autopilot_bench::emit("fig6.txt", &autopilot_bench::experiments::fig6::run());
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary for Fig. 7 (HT/LP/HE/AP design profiles).
+
+fn main() {
+    autopilot_bench::emit("fig7.txt", &autopilot_bench::experiments::fig7::run());
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary for Fig. 8 (HT vs AP).
+
+fn main() {
+    autopilot_bench::emit("fig8.txt", &autopilot_bench::experiments::pitfalls::run_fig8());
+}

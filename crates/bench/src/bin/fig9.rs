@@ -1,0 +1,5 @@
+//! Reproduction binary for Fig. 9 (LP vs AP).
+
+fn main() {
+    autopilot_bench::emit("fig9.txt", &autopilot_bench::experiments::pitfalls::run_fig9());
+}

@@ -1,0 +1,33 @@
+//! Runs every paper-reproduction experiment and persists the reports
+//! under `results/`.
+
+use autopilot_bench::{emit, experiments as ex};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let steps: Vec<(&str, fn() -> String)> = vec![
+        ("fig2b.txt", ex::fig2b::run as fn() -> String),
+        ("fig3b.txt", ex::fig3b::run),
+        ("table2.txt", ex::table2::run),
+        ("table3.txt", ex::table3::run),
+        ("fig5.txt", ex::fig5::run),
+        ("fig6.txt", ex::fig6::run),
+        ("fig7.txt", ex::fig7::run),
+        ("fig8_9_10.txt", ex::pitfalls::run_all),
+        ("fig11.txt", ex::fig11::run),
+        ("table5.txt", ex::table5::run),
+        ("ablate_dataflow.txt", ex::ablations::run_dataflows),
+        ("ablate_phase3.txt", ex::ablations::run_phase3),
+    ];
+    for (name, f) in steps {
+        let t = Instant::now();
+        emit(name, &f());
+        eprintln!("[{name} took {:?}]", t.elapsed());
+    }
+    // Budget-heavier ablations last.
+    emit("ablate_paradigm.txt", &ex::ablations::run_paradigms(800));
+    emit("ablate_optimizers.txt", &ex::ablations::run_optimizers(120));
+    emit("ablate_success_models.txt", &ex::ablations::run_success_models(600));
+    eprintln!("total: {:?}", t0.elapsed());
+}

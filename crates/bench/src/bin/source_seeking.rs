@@ -1,0 +1,35 @@
+//! Task-generalization experiment: the Phase-1 capacity/success
+//! relationship re-emerges for the paper's second motivating application
+//! (source seeking, Duisterhof et al. ICRA 2021) without touching the
+//! methodology.
+
+use air_sim::source_seeking::SourceSeeker;
+use air_sim::ObstacleDensity;
+use autopilot_bench::TextTable;
+use policy_nn::{PolicyHyperparams, PolicyModel};
+
+fn main() {
+    let mut table = TextTable::new(vec![
+        "model", "params(M)", "low", "medium", "dense",
+    ]);
+    for (l, f) in [(2, 32), (3, 32), (5, 32), (4, 48), (7, 48), (10, 64)] {
+        let hyper = PolicyHyperparams::new(l, f).expect("in space");
+        let model = PolicyModel::build(hyper);
+        let mut cells = vec![
+            hyper.id(),
+            format!("{:.1}", model.parameter_count() as f64 / 1e6),
+        ];
+        for density in ObstacleDensity::ALL {
+            let out = SourceSeeker::for_model(7, &model).evaluate(density, 300);
+            cells.push(format!("{:.0}%", out.success_rate * 100.0));
+        }
+        table.row(cells);
+    }
+    autopilot_bench::emit(
+        "source_seeking.txt",
+        &format!(
+            "Task generalization: source seeking success vs model capacity\n\n{}",
+            table.render()
+        ),
+    );
+}

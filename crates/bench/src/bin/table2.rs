@@ -1,0 +1,5 @@
+//! Reproduction binary for Table II (design space definition).
+
+fn main() {
+    autopilot_bench::emit("table2.txt", &autopilot_bench::experiments::table2::run());
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary for Table III (DSSoC component spec).
+
+fn main() {
+    autopilot_bench::emit("table3.txt", &autopilot_bench::experiments::table3::run());
+}

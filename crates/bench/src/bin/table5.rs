@@ -1,0 +1,5 @@
+//! Reproduction binary for Table V (specialization cost).
+
+fn main() {
+    autopilot_bench::emit("table5.txt", &autopilot_bench::experiments::table5::run());
+}

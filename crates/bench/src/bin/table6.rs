@@ -1,0 +1,27 @@
+//! Reproduction binary for Table VI (the methodology-generalization
+//! taxonomy of Section VII).
+
+use autopilot::taxonomy::taxonomy;
+use autopilot_bench::TextTable;
+
+fn main() {
+    let mut table = TextTable::new(vec![
+        "domain", "paradigm", "phase 1 front end", "phase 2 HW templates", "phase 2 optimizers",
+        "phase 3 back end", "here?",
+    ]);
+    for row in taxonomy() {
+        table.row(vec![
+            row.domain.to_owned(),
+            row.paradigm.to_string(),
+            row.front_end.to_owned(),
+            row.hardware_templates.to_owned(),
+            row.optimizers.to_owned(),
+            row.back_end.to_owned(),
+            if row.implemented_here { "yes" } else { "" }.to_owned(),
+        ]);
+    }
+    autopilot_bench::emit(
+        "table6.txt",
+        &format!("Table VI: AutoPilot methodology taxonomy across domains\n\n{}", table.render()),
+    );
+}

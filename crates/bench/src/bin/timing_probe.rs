@@ -1,0 +1,28 @@
+//! Timing probe for one paper-configuration AutoPilot run (not part of
+//! the experiment set; used to budget the reproduction binaries).
+
+use air_sim::ObstacleDensity;
+use autopilot::{AutoPilot, AutopilotConfig, TaskSpec};
+use std::time::Instant;
+use uav_dynamics::UavSpec;
+
+fn main() {
+    let t0 = Instant::now();
+    let pilot = AutoPilot::new(AutopilotConfig::paper(7));
+    let result = pilot.run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Dense));
+    let sel = result.selection.expect("selection");
+    println!(
+        "paper-config run: {:?} | {} evals | selected {} {}x{} @ {:.0} MHz -> {:.1} FPS, {:.2} W tdp, {:.1} g, {:.1} missions (knee {:?})",
+        t0.elapsed(),
+        result.phase2.candidates.len(),
+        sel.candidate.policy.id(),
+        sel.candidate.config.rows(),
+        sel.candidate.config.cols(),
+        sel.candidate.config.clock_mhz(),
+        sel.candidate.fps,
+        sel.candidate.tdp_w,
+        sel.candidate.payload_g,
+        sel.missions.missions,
+        sel.knee_fps.map(|k| k.round()),
+    );
+}

@@ -1,0 +1,41 @@
+//! Empirical validation of the analytic safety model: closed-loop
+//! braking simulation vs. the closed form, across the three UAV
+//! platforms and a range of pipeline rates.
+
+use autopilot_bench::TextTable;
+use uav_dynamics::{BrakingSim, F1Model, UavSpec};
+
+fn main() {
+    let sim = BrakingSim::new();
+    let mut table = TextTable::new(vec![
+        "uav", "pipeline_fps", "analytic v_safe", "simulated v_max", "rel err",
+    ]);
+    let mut worst: f64 = 0.0;
+    for uav in UavSpec::all() {
+        let f1 = F1Model::new(uav.clone(), 24.0, 60.0);
+        for fps in [6.0, 20.0, 46.0, 60.0] {
+            let t = f1.response_time_s(fps);
+            let analytic =
+                uav_dynamics::safe_velocity(f1.payload().max_accel_ms2, t, uav.sensor_range_m);
+            let simulated =
+                sim.max_safe_velocity(f1.payload().max_accel_ms2, t, uav.sensor_range_m);
+            let err = if analytic > 0.0 { (analytic - simulated).abs() / analytic } else { 0.0 };
+            worst = worst.max(err);
+            table.row(vec![
+                uav.class.to_string(),
+                format!("{fps:.0}"),
+                format!("{analytic:.3}"),
+                format!("{simulated:.3}"),
+                format!("{:.2}%", err * 100.0),
+            ]);
+        }
+    }
+    autopilot_bench::emit(
+        "validate_safety.txt",
+        &format!(
+            "Safety-model validation: closed-loop braking simulation vs closed form\n\n{}\nworst relative error: {:.2}%\n",
+            table.render(),
+            worst * 100.0
+        ),
+    );
+}

@@ -1,0 +1,310 @@
+//! Ablation studies for the design choices called out in DESIGN.md:
+//! optimizer choice (BO vs. GA vs. SA vs. random), dataflow choice, the
+//! Phase-3 full-system back end, and the surrogate-vs-trained success
+//! model agreement.
+
+use air_sim::{AirLearningDatabase, ObstacleDensity, QTrainer, SuccessSurrogate};
+use autopilot::{
+    DesignCandidate, DssocEvaluator, OptimizerChoice, Phase1, Phase2, Phase3, SuccessModel,
+    TaskSpec,
+};
+use policy_nn::{PolicyHyperparams, PolicyModel};
+use systolic_sim::{ArrayConfig, Dataflow, Simulator};
+use uav_dynamics::UavSpec;
+
+use crate::TextTable;
+
+fn dense_evaluator(seed: u64) -> DssocEvaluator {
+    let mut db = AirLearningDatabase::new();
+    Phase1::new(SuccessModel::Surrogate, seed).populate(ObstacleDensity::Dense, &mut db);
+    DssocEvaluator::new(db, ObstacleDensity::Dense)
+}
+
+/// Optimizer ablation at an equal evaluation budget (3-seed means).
+///
+/// Raw hypervolume against the evaluator's generous reference box
+/// saturates after one evaluation, so the comparison uses metrics that
+/// discriminate: hypervolume over *normalized* objectives (pooled
+/// min/max across all runs, reference at 1.1) and the inverted
+/// generational distance to the pooled Pareto front.
+pub fn run_optimizers(budget: usize) -> String {
+    use dse_opt::pareto::{hypervolume, inverted_generational_distance, pareto_indices};
+
+    let ev = dense_evaluator(super::SEED);
+    let runs = 3u64;
+
+    // Collect every run's objective vectors.
+    let mut per_optimizer: Vec<(OptimizerChoice, Vec<Vec<Vec<f64>>>)> = Vec::new();
+    let mut pooled: Vec<Vec<f64>> = Vec::new();
+    for choice in OptimizerChoice::ALL {
+        let mut seeds = Vec::new();
+        for seed in 0..runs {
+            let out = Phase2::new(choice, budget, super::SEED + seed).run(&ev);
+            let objs: Vec<Vec<f64>> =
+                out.result.evaluations.iter().map(|e| e.objectives.clone()).collect();
+            pooled.extend(objs.clone());
+            seeds.push(objs);
+        }
+        per_optimizer.push((choice, seeds));
+    }
+
+    // Pooled normalization and reference front.
+    let dims = 3;
+    let mut mins = vec![f64::INFINITY; dims];
+    let mut maxs = vec![f64::NEG_INFINITY; dims];
+    for o in &pooled {
+        for d in 0..dims {
+            mins[d] = mins[d].min(o[d]);
+            maxs[d] = maxs[d].max(o[d]);
+        }
+    }
+    let normalize = |o: &Vec<f64>| -> Vec<f64> {
+        (0..dims)
+            .map(|d| if maxs[d] > mins[d] { (o[d] - mins[d]) / (maxs[d] - mins[d]) } else { 0.5 })
+            .collect()
+    };
+    let pooled_norm: Vec<Vec<f64>> = pooled.iter().map(normalize).collect();
+    let reference_front: Vec<Vec<f64>> = pareto_indices(&pooled_norm)
+        .into_iter()
+        .map(|i| pooled_norm[i].clone())
+        .collect();
+    let reference_point = vec![1.1; dims];
+
+    let mut table = TextTable::new(vec![
+        "optimizer",
+        "normalized hypervolume (mean)",
+        "IGD to pooled front (mean)",
+    ]);
+    for (choice, seeds) in &per_optimizer {
+        let mut hv = 0.0;
+        let mut igd = 0.0;
+        for objs in seeds {
+            let norm: Vec<Vec<f64>> = objs.iter().map(normalize).collect();
+            let front: Vec<Vec<f64>> =
+                pareto_indices(&norm).into_iter().map(|i| norm[i].clone()).collect();
+            hv += hypervolume(&front, &reference_point);
+            igd += inverted_generational_distance(&front, &reference_front);
+        }
+        table.row(vec![
+            choice.name().to_owned(),
+            format!("{:.4}", hv / runs as f64),
+            format!("{:.4}", igd / runs as f64),
+        ]);
+    }
+    format!(
+        "Ablation: Phase-2 optimizer choice (budget {budget}, dense scenario, {runs} seeds)\nHigher hypervolume and lower IGD are better.\n\n{}",
+        table.render()
+    )
+}
+
+/// Dataflow ablation: OS vs. WS vs. IS on a mid-size array for the three
+/// paper-selected policies.
+pub fn run_dataflows() -> String {
+    let mut table = TextTable::new(vec!["policy", "dataflow", "cycles(M)", "fps", "mean util"]);
+    for (l, f) in [(5, 32), (4, 48), (7, 48)] {
+        let model = PolicyModel::build(PolicyHyperparams::new(l, f).expect("in space"));
+        for df in Dataflow::ALL {
+            let cfg = ArrayConfig::builder()
+                .rows(32)
+                .cols(32)
+                .dataflow(df)
+                .clock_mhz(200.0)
+                .dram_bandwidth(48.0)
+                .build()
+                .expect("valid config");
+            let stats = Simulator::new(cfg).simulate_network(model.layers());
+            table.row(vec![
+                format!("l{l}f{f}"),
+                df.to_string(),
+                format!("{:.2}", stats.total_cycles() as f64 / 1e6),
+                format!("{:.1}", stats.fps()),
+                format!("{:.2}", stats.mean_utilization()),
+            ]);
+        }
+    }
+    format!("Ablation: dataflow choice (32x32 array)\n\n{}", table.render())
+}
+
+/// Phase-3 ablation: what the conventional (compute-metric) selections
+/// lose versus the full-system selection, per UAV.
+pub fn run_phase3() -> String {
+    let mut table = TextTable::new(vec![
+        "uav",
+        "selection rule",
+        "fps",
+        "payload_g",
+        "missions",
+        "vs full-system",
+    ]);
+    for uav in UavSpec::all() {
+        let task = TaskSpec::navigation(ObstacleDensity::Dense);
+        let result = super::run_scenario(&uav, ObstacleDensity::Dense);
+        let Some(sel) = result.selection else { continue };
+        let full = sel.missions.missions;
+        let best_success = result.phase2.best_success();
+        let eligible: Vec<&DesignCandidate> = result
+            .phase2
+            .candidates
+            .iter()
+            .filter(|c| c.success_rate >= best_success - 0.02)
+            .collect();
+        let rules: [(&str, Box<dyn Fn(&DesignCandidate) -> f64>); 3] = [
+            ("max throughput", Box::new(|c| c.fps)),
+            ("min power", Box::new(|c| -c.soc_avg_w)),
+            ("max efficiency", Box::new(|c| c.efficiency_fps_per_w)),
+        ];
+        table.row(vec![
+            uav.class.to_string(),
+            "full-system (AutoPilot)".to_owned(),
+            format!("{:.0}", sel.candidate.fps),
+            format!("{:.1}", sel.candidate.payload_g),
+            format!("{full:.1}"),
+            "1.00x".to_owned(),
+        ]);
+        for (name, score) in &rules {
+            let pick = eligible
+                .iter()
+                .max_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite"))
+                .expect("eligible non-empty");
+            let missions = Phase3::mission_report(&uav, &task, pick).missions;
+            table.row(vec![
+                uav.class.to_string(),
+                (*name).to_owned(),
+                format!("{:.0}", pick.fps),
+                format!("{:.1}", pick.payload_g),
+                format!("{missions:.1}"),
+                crate::ratio(missions, full),
+            ]);
+        }
+    }
+    format!(
+        "Ablation: Phase-3 full-system back end vs conventional selection rules (dense scenario)\n\n{}",
+        table.render()
+    )
+}
+
+/// Surrogate-vs-trained agreement: rank correlation between the Phase-1
+/// surrogate and the Q-learning substrate over a capacity ladder.
+pub fn run_success_models(episodes: usize) -> String {
+    let surrogate = SuccessSurrogate::paper_calibrated();
+    let ladder = [(2, 32), (3, 32), (5, 32), (4, 48), (7, 48), (8, 64), (10, 64)];
+    let mut table = TextTable::new(vec!["model", "surrogate", "q-learning (3-seed mean)"]);
+    let mut pairs = Vec::new();
+    for (l, f) in ladder {
+        let hyper = PolicyHyperparams::new(l, f).expect("in space");
+        let model = PolicyModel::build(hyper);
+        let s = surrogate.success_rate(&model, ObstacleDensity::Dense);
+        let q: f64 = (0..3)
+            .map(|seed| {
+                QTrainer::new(seed)
+                    .with_episodes(episodes)
+                    .with_eval_episodes(200)
+                    .train(&model, ObstacleDensity::Dense)
+                    .success_rate
+            })
+            .sum::<f64>()
+            / 3.0;
+        pairs.push((s, q));
+        table.row(vec![hyper.id(), format!("{:.1}%", s * 100.0), format!("{:.1}%", q * 100.0)]);
+    }
+    let rho = spearman(&pairs);
+    format!(
+        "Ablation: surrogate vs Q-learning success model (dense scenario, {episodes} episodes)\n\n{}\nSpearman rank correlation: {rho:.2}\n",
+        table.render()
+    )
+}
+
+/// Spearman rank correlation of paired samples.
+fn spearman(pairs: &[(f64, f64)]) -> f64 {
+    let rank = |vals: Vec<f64>| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..vals.len()).collect();
+        idx.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).expect("finite"));
+        let mut r = vec![0.0; vals.len()];
+        for (rank_pos, &i) in idx.iter().enumerate() {
+            r[i] = rank_pos as f64;
+        }
+        r
+    };
+    let xs = rank(pairs.iter().map(|p| p.0).collect());
+    let ys = rank(pairs.iter().map(|p| p.1).collect());
+    let n = pairs.len() as f64;
+    let mean = (n - 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for (x, y) in xs.iter().zip(&ys) {
+        num += (x - mean) * (y - mean);
+        dx += (x - mean) * (x - mean);
+        dy += (y - mean) * (y - mean);
+    }
+    if dx > 0.0 && dy > 0.0 {
+        num / (dx * dy).sqrt()
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spearman_perfect_and_inverse() {
+        let inc: Vec<(f64, f64)> = (0..6).map(|i| (i as f64, i as f64 * 2.0)).collect();
+        assert!((spearman(&inc) - 1.0).abs() < 1e-12);
+        let dec: Vec<(f64, f64)> = (0..6).map(|i| (i as f64, -(i as f64))).collect();
+        assert!((spearman(&dec) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dataflow_ablation_runs() {
+        let r = run_dataflows();
+        assert!(r.contains("os") && r.contains("ws") && r.contains("is"));
+    }
+}
+
+/// Paradigm comparison: the E2E pipeline (Q-learning substrate) versus
+/// the Sense-Plan-Act pipeline (mapping + A* + path following) at equal
+/// perception quality — the Section II/VII contrast. E2E's per-decision
+/// compute is a single forward pass on the accelerator; SPA pays mapping
+/// and replanning on a general-purpose core.
+pub fn run_paradigms(episodes: usize) -> String {
+    use air_sim::spa::SpaAgent;
+    let mut table = TextTable::new(vec![
+        "paradigm",
+        "scenario",
+        "success",
+        "per-decision workload",
+    ]);
+    let model = PolicyModel::build(PolicyHyperparams::new(7, 48).expect("in space"));
+    let miss = QTrainer::miss_probability(&model);
+    for density in [ObstacleDensity::Low, ObstacleDensity::Dense] {
+        let e2e = QTrainer::new(super::SEED)
+            .with_episodes(episodes)
+            .with_eval_episodes(200)
+            .train(&model, density);
+        table.row(vec![
+            "E2E (l7f48)".to_owned(),
+            density.to_string(),
+            format!("{:.1}%", e2e.success_rate * 100.0),
+            format!("{:.0} MMAC forward pass", model.mac_count() as f64 / 1e6),
+        ]);
+        let spa = SpaAgent::new(super::SEED, miss).evaluate(density, 200);
+        table.row(vec![
+            "SPA (map+A*)".to_owned(),
+            density.to_string(),
+            format!("{:.1}%", spa.success_rate * 100.0),
+            format!(
+                "{} map updates + {} A* expansions (~{} kops on CPU)",
+                spa.mean_workload.map_updates,
+                spa.mean_workload.planner_expansions,
+                spa.mean_workload.ops() / 1000
+            ),
+        ]);
+    }
+    format!(
+        "Ablation: E2E vs Sense-Plan-Act at matched perception quality (miss {:.2})\n\n{}\nThe paper's Section II observation: E2E needs no map or planning stage, so its\nper-decision cost is one (acceleratable) forward pass, while SPA pays serial\nmapping + replanning on a general-purpose core.\n",
+        miss,
+        table.render()
+    )
+}

@@ -1,0 +1,70 @@
+//! Fig. 11 — UAV agility raises the compute-throughput requirement: the
+//! nano-UAV (higher thrust-to-weight) needs a ~2x faster
+//! sensor-compute-control pipeline than the DJI Spark to maximize safe
+//! velocity, and AutoPilot picks accordingly.
+
+use air_sim::ObstacleDensity;
+use uav_dynamics::{F1Model, UavSpec};
+
+use crate::TextTable;
+
+/// Regenerates the Fig. 11 comparison (both UAVs with 60 FPS sensors).
+pub fn run() -> String {
+    let payload = 24.0; // AP-class compute payload for both platforms
+    let spark = F1Model::new(UavSpec::micro(), payload, 60.0);
+    let nano = F1Model::new(UavSpec::nano(), payload, 60.0);
+
+    let mut curve = TextTable::new(vec![
+        "throughput_fps",
+        "v_safe DJI Spark",
+        "v_safe nano-UAV",
+    ]);
+    for f in [2.0, 5.0, 10.0, 15.0, 20.0, 27.0, 35.0, 46.0, 60.0] {
+        curve.row(vec![
+            format!("{f:.0}"),
+            format!("{:.2}", spark.safe_velocity(f)),
+            format!("{:.2}", nano.safe_velocity(f)),
+        ]);
+    }
+
+    let spark_knee = spark.knee_fps().expect("spark knee");
+    let nano_knee = nano.knee_fps().expect("nano knee");
+
+    // What AutoPilot actually selects for each UAV (dense scenario).
+    let spark_sel = super::run_scenario(&UavSpec::micro(), ObstacleDensity::Dense).selection;
+    let nano_sel = super::run_scenario(&UavSpec::nano(), ObstacleDensity::Dense).selection;
+    let mut picks = TextTable::new(vec!["uav", "knee_fps", "selected_fps", "provisioning"]);
+    for (name, knee, sel) in [
+        ("DJI Spark", spark_knee, spark_sel),
+        ("nano-UAV", nano_knee, nano_sel),
+    ] {
+        if let Some(s) = sel {
+            picks.row(vec![
+                name.to_owned(),
+                format!("{knee:.1}"),
+                format!("{:.1}", s.candidate.fps),
+                format!("{:?}", s.provisioning),
+            ]);
+        }
+    }
+
+    format!(
+        "Fig. 11: UAV agility vs compute requirement (60 FPS sensors, {payload} g payload)\n\n{}\nknee-points: DJI Spark {spark_knee:.1} FPS, nano-UAV {nano_knee:.1} FPS (paper: 27 and 46)\nknee ratio: {:.2}x (paper ~1.7x: AutoPilot picks ~2x more compute for the nano)\n\nAutoPilot selections (dense scenario):\n{}",
+        curve.render(),
+        nano_knee / spark_knee,
+        picks.render(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knee_points_match_paper_shape() {
+        let spark = F1Model::new(UavSpec::micro(), 24.0, 60.0);
+        let nano = F1Model::new(UavSpec::nano(), 24.0, 60.0);
+        let ratio = nano.knee_fps().unwrap() / spark.knee_fps().unwrap();
+        assert!((1.4..=2.0).contains(&ratio), "knee ratio {ratio:.2}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Fig. 2b — E2E model parameters vs. task-level success rate.
+//!
+//! The paper plots the template instances' parameter counts against their
+//! validated success rates (60–91 % band, rising with capacity and
+//! saturating). This experiment regenerates the series for all 27
+//! Table II models across the three deployment scenarios, using the
+//! calibrated Phase-1 surrogate; `run_trained` regenerates a subset with
+//! the real Q-learning substrate for cross-checking.
+
+use air_sim::{ObstacleDensity, QTrainer, SuccessSurrogate};
+use policy_nn::{PolicyHyperparams, PolicyModel};
+
+use crate::TextTable;
+
+/// Regenerates the Fig. 2b series (surrogate success model).
+pub fn run() -> String {
+    let surrogate = SuccessSurrogate::paper_calibrated();
+    let mut table = TextTable::new(vec![
+        "model", "params(M)", "macs(M)", "low", "medium", "dense",
+    ]);
+    let mut min_s = f64::INFINITY;
+    let mut max_s: f64 = 0.0;
+    for hyper in PolicyHyperparams::enumerate() {
+        let model = PolicyModel::build(hyper);
+        let rates: Vec<f64> = ObstacleDensity::ALL
+            .iter()
+            .map(|&d| surrogate.success_rate(&model, d))
+            .collect();
+        for &r in &rates {
+            min_s = min_s.min(r);
+            max_s = max_s.max(r);
+        }
+        table.row(vec![
+            hyper.id(),
+            format!("{:.1}", model.parameter_count() as f64 / 1e6),
+            format!("{:.0}", model.mac_count() as f64 / 1e6),
+            format!("{:.1}%", rates[0] * 100.0),
+            format!("{:.1}%", rates[1] * 100.0),
+            format!("{:.1}%", rates[2] * 100.0),
+        ]);
+    }
+    let mut out = String::from("Fig. 2b: E2E model parameters vs task success rate\n\n");
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nsuccess band: {:.0}% .. {:.0}% (paper: 60% .. 91%)\n",
+        min_s * 100.0,
+        max_s * 100.0
+    ));
+    for d in ObstacleDensity::ALL {
+        let surrogate_best = surrogate.best_model(d);
+        out.push_str(&format!("best model for {d}: {surrogate_best}\n"));
+    }
+    out
+}
+
+/// Regenerates a Fig. 2b cross-check with the real Q-learning substrate
+/// (slower; a capacity ladder rather than the full space).
+pub fn run_trained(episodes: usize) -> String {
+    let mut table = TextTable::new(vec!["model", "params(M)", "low", "medium", "dense"]);
+    for (l, f) in [(2, 32), (4, 48), (5, 32), (7, 48), (10, 64)] {
+        let hyper = PolicyHyperparams::new(l, f).expect("in space");
+        let model = PolicyModel::build(hyper);
+        let mut cells = vec![
+            hyper.id(),
+            format!("{:.1}", model.parameter_count() as f64 / 1e6),
+        ];
+        for density in ObstacleDensity::ALL {
+            // Mean over three seeds to damp RL variance.
+            let mean: f64 = (0..3)
+                .map(|seed| {
+                    QTrainer::new(seed)
+                        .with_episodes(episodes)
+                        .with_eval_episodes(200)
+                        .train(&model, density)
+                        .success_rate
+                })
+                .sum::<f64>()
+                / 3.0;
+            cells.push(format!("{:.1}%", mean * 100.0));
+        }
+        table.row(cells);
+    }
+    format!(
+        "Fig. 2b (Q-learning substrate, {episodes} episodes, 3-seed means)\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_all_models() {
+        let r = run();
+        for hyper in PolicyHyperparams::enumerate() {
+            assert!(r.contains(&hyper.id()), "missing {}", hyper.id());
+        }
+        assert!(r.contains("best model for dense: 7 layers x 48 filters"));
+    }
+
+    #[test]
+    fn trained_report_runs_with_tiny_budget() {
+        let r = run_trained(20);
+        assert!(r.contains("l10f64"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Fig. 6 — DSSoC architectural-parameter variation across the nine
+//! (UAV x scenario) combinations.
+//!
+//! The paper normalizes each selected design's parameters to the smallest
+//! value observed for that parameter, visualizing how much the optimal
+//! DSSoC changes with UAV type and deployment scenario — the argument for
+//! needing *custom* DSSoCs.
+
+use air_sim::ObstacleDensity;
+use uav_dynamics::UavSpec;
+
+use crate::TextTable;
+
+/// Regenerates the Fig. 6 parameter matrix.
+pub fn run() -> String {
+    struct Row {
+        label: String,
+        layers: f64,
+        filters: f64,
+        pe_rows: f64,
+        pe_cols: f64,
+        sram_kb: f64,
+        clock: f64,
+    }
+    let mut rows = Vec::new();
+    for uav in UavSpec::all() {
+        for density in ObstacleDensity::ALL {
+            let result = super::run_scenario(&uav, density);
+            if let Some(sel) = result.selection {
+                let c = &sel.candidate;
+                rows.push(Row {
+                    label: super::scenario_label(&uav, density),
+                    layers: c.policy.conv_layers() as f64,
+                    filters: c.policy.filters() as f64,
+                    pe_rows: c.config.rows() as f64,
+                    pe_cols: c.config.cols() as f64,
+                    sram_kb: (c.config.total_sram_bytes() / 1024) as f64,
+                    clock: c.config.clock_mhz(),
+                });
+            }
+        }
+    }
+
+    let min = |f: fn(&Row) -> f64| rows.iter().map(f).fold(f64::INFINITY, f64::min);
+    let mins = [
+        min(|r| r.layers),
+        min(|r| r.filters),
+        min(|r| r.pe_rows),
+        min(|r| r.pe_cols),
+        min(|r| r.sram_kb),
+        min(|r| r.clock),
+    ];
+
+    let mut table = TextTable::new(vec![
+        "scenario",
+        "layers",
+        "filters",
+        "pe_rows",
+        "pe_cols",
+        "sram_kb",
+        "clock_mhz",
+        "normalized (layers/filters/rows/cols/sram/clock)",
+    ]);
+    for r in &rows {
+        let vals = [r.layers, r.filters, r.pe_rows, r.pe_cols, r.sram_kb, r.clock];
+        let norm: Vec<String> = vals
+            .iter()
+            .zip(&mins)
+            .map(|(v, m)| format!("{:.1}", if *m > 0.0 { v / m } else { 1.0 }))
+            .collect();
+        table.row(vec![
+            r.label.clone(),
+            format!("{:.0}", r.layers),
+            format!("{:.0}", r.filters),
+            format!("{:.0}", r.pe_rows),
+            format!("{:.0}", r.pe_cols),
+            format!("{:.0}", r.sram_kb),
+            format!("{:.0}", r.clock),
+            norm.join("/"),
+        ]);
+    }
+
+    // How much does each parameter vary across scenarios?
+    let spread = |f: fn(&Row) -> f64| {
+        let lo = rows.iter().map(f).fold(f64::INFINITY, f64::min);
+        let hi = rows.iter().map(f).fold(0.0f64, f64::max);
+        if lo > 0.0 {
+            hi / lo
+        } else {
+            1.0
+        }
+    };
+    format!(
+        "Fig. 6: selected DSSoC parameters across the nine scenarios\n\n{}\nparameter spread (max/min): layers {:.1}x, filters {:.1}x, PE rows {:.1}x, PE cols {:.1}x, SRAM {:.1}x, clock {:.1}x\n",
+        table.render(),
+        spread(|r| r.layers),
+        spread(|r| r.filters),
+        spread(|r| r.pe_rows),
+        spread(|r| r.pe_cols),
+        spread(|r| r.sram_kb),
+        spread(|r| r.clock),
+    )
+}

@@ -1,0 +1,48 @@
+//! One module per table/figure of the paper's evaluation, each exposing a
+//! deterministic `run()` that regenerates the exhibit's rows/series as a
+//! text report. The `src/bin` binaries are thin wrappers; `repro_all`
+//! executes the full set.
+
+pub mod ablations;
+pub mod fig11;
+pub mod fig2b;
+pub mod fig3b;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod pitfalls;
+pub mod table2;
+pub mod table3;
+pub mod table5;
+
+use air_sim::ObstacleDensity;
+use autopilot::{AutoPilot, AutopilotConfig, AutopilotResult, TaskSpec};
+use uav_dynamics::UavSpec;
+
+/// The seed used by every reproduction experiment.
+pub const SEED: u64 = 7;
+
+/// Runs the full AutoPilot pipeline in the paper configuration for one
+/// (UAV, scenario) pair.
+pub fn run_scenario(uav: &UavSpec, density: ObstacleDensity) -> AutopilotResult {
+    let pilot = AutoPilot::new(AutopilotConfig::paper(SEED));
+    pilot.run(uav, &TaskSpec::navigation(density))
+}
+
+/// Short scenario label like `"nano-UAV/dense"`.
+pub fn scenario_label(uav: &UavSpec, density: ObstacleDensity) -> String {
+    format!("{}/{}", uav.class, density)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_labels() {
+        assert_eq!(
+            scenario_label(&UavSpec::nano(), ObstacleDensity::Dense),
+            "nano-UAV/dense"
+        );
+    }
+}

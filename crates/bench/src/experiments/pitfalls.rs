@@ -1,0 +1,93 @@
+//! Figs. 8–10 — pitfalls of conventional domain-agnostic DSE: HT, LP, and
+//! HE designs vs. AutoPilot's AP design on the nano-UAV, in missions and
+//! on the F-1 roofline.
+
+use air_sim::ObstacleDensity;
+use autopilot::{DesignCandidate, Phase3, TaskSpec};
+use uav_dynamics::{F1Model, UavSpec};
+
+use super::fig7::{labelled_designs, LabelledDesigns};
+use crate::{ratio, TextTable};
+
+fn compare(name: &str, rival: &DesignCandidate, designs: &LabelledDesigns, paper: &str) -> String {
+    let uav = UavSpec::nano();
+    let task = TaskSpec::navigation(ObstacleDensity::Dense);
+    let ap = &designs.ap.candidate;
+    let ap_missions = Phase3::mission_report(&uav, &task, ap);
+    let rival_missions = Phase3::mission_report(&uav, &task, rival);
+
+    let mut table = TextTable::new(vec![
+        "design", "fps", "tdp_w", "payload_g", "v_safe", "missions", "provisioning",
+    ]);
+    for (label, c) in [("AP", ap), (name, rival)] {
+        let f1 = F1Model::new(uav.clone(), c.payload_g, task.sensor_fps);
+        let report = Phase3::mission_report(&uav, &task, c);
+        table.row(vec![
+            label.to_owned(),
+            format!("{:.0}", c.fps),
+            format!("{:.2}", c.tdp_w),
+            format!("{:.1}", c.payload_g),
+            format!("{:.2}", report.v_safe_ms),
+            format!("{:.1}", report.missions),
+            format!("{:?}", f1.classify(c.fps)),
+        ]);
+    }
+
+    // F-1 roofline samples for both payloads.
+    let f1_ap = F1Model::new(uav.clone(), ap.payload_g, task.sensor_fps);
+    let f1_rival = F1Model::new(uav.clone(), rival.payload_g, task.sensor_fps);
+    let mut curve = TextTable::new(vec![
+        "throughput_fps".to_owned(),
+        "v_safe (AP payload)".to_owned(),
+        format!("v_safe ({name} payload)"),
+    ]);
+    for f in [2.0, 5.0, 10.0, 20.0, 30.0, 45.0, 60.0] {
+        curve.row(vec![
+            format!("{f:.0}"),
+            format!("{:.2}", f1_ap.safe_velocity(f)),
+            format!("{:.2}", f1_rival.safe_velocity(f)),
+        ]);
+    }
+
+    format!(
+        "{name} vs AP on the nano-UAV (dense scenario)\n\n{}\nAP/{name} missions: {} (paper: {paper})\n\nF-1 roofline:\n{}\nAP knee: {:?} FPS; ceilings: AP {:.2} m/s vs {name} {:.2} m/s\n",
+        table.render(),
+        ratio(ap_missions.missions, rival_missions.missions),
+        curve.render(),
+        f1_ap.knee_fps().map(|k| k.round()),
+        f1_ap.velocity_ceiling(),
+        f1_rival.velocity_ceiling(),
+    )
+}
+
+/// Fig. 8 — high-throughput design vs. AP (paper: AP 2.25x missions).
+pub fn run_fig8() -> String {
+    let designs = labelled_designs();
+    format!("Fig. 8: {}", compare("HT", &designs.ht.clone(), &designs, "2.25x"))
+}
+
+/// Fig. 9 — low-power design vs. AP (paper: AP 1.8x missions; LP's
+/// action throughput sits well below the knee).
+pub fn run_fig9() -> String {
+    let designs = labelled_designs();
+    format!("Fig. 9: {}", compare("LP", &designs.lp.clone(), &designs, "1.8x"))
+}
+
+/// Fig. 10 — high-efficiency design vs. AP (paper: AP 1.3x missions; HE
+/// over-provisioned ~2x past the knee).
+pub fn run_fig10() -> String {
+    let designs = labelled_designs();
+    format!("Fig. 10: {}", compare("HE", &designs.he.clone(), &designs, "1.3x"))
+}
+
+/// All three pitfall comparisons in one report (they share the Phase-2
+/// run).
+pub fn run_all() -> String {
+    let designs = labelled_designs();
+    format!(
+        "Fig. 8: {}\nFig. 9: {}\nFig. 10: {}",
+        compare("HT", &designs.ht.clone(), &designs, "2.25x"),
+        compare("LP", &designs.lp.clone(), &designs, "1.8x"),
+        compare("HE", &designs.he.clone(), &designs, "1.3x"),
+    )
+}

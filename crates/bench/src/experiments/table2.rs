@@ -1,0 +1,55 @@
+//! Table II — the searched design factors and the resulting space size.
+
+use autopilot::{JointSpace, PE_CHOICES, SRAM_KB_CHOICES};
+use policy_nn::{PolicyHyperparams, FILTER_CHOICES, LAYER_CHOICES};
+
+use crate::TextTable;
+
+/// Regenerates Table II.
+pub fn run() -> String {
+    let mut table = TextTable::new(vec!["component", "hyper-parameter", "values"]);
+    table.row(vec![
+        "Neural Network".to_owned(),
+        "# Layers".to_owned(),
+        format!("{LAYER_CHOICES:?}"),
+    ]);
+    table.row(vec![
+        "Neural Network".to_owned(),
+        "# Filter".to_owned(),
+        format!("{FILTER_CHOICES:?}"),
+    ]);
+    table.row(vec![
+        "Hardware".to_owned(),
+        "# PE Row".to_owned(),
+        format!("{PE_CHOICES:?}"),
+    ]);
+    table.row(vec![
+        "Hardware".to_owned(),
+        "# PE Column".to_owned(),
+        format!("{PE_CHOICES:?}"),
+    ]);
+    table.row(vec![
+        "Hardware".to_owned(),
+        "IFMAP/Filter/OFMAP SRAM (KB)".to_owned(),
+        format!("{SRAM_KB_CHOICES:?}"),
+    ]);
+
+    format!(
+        "Table II: E2E model and architectural parameters tuned in AutoPilot\n\n{}\nalgorithm space: {} points\nhardware space:  {} points\njoint space:     {} points\n",
+        table.render(),
+        PolicyHyperparams::space_size(),
+        JointSpace::size() as usize / PolicyHyperparams::space_size(),
+        JointSpace::size()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn space_sizes_reported() {
+        let r = super::run();
+        assert!(r.contains("884736"));
+        assert!(r.contains("algorithm space: 27"));
+        assert!(r.contains("32768"));
+    }
+}

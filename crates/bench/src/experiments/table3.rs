@@ -1,0 +1,79 @@
+//! Table III — the DSSoC component specification, including the
+//! accelerator subsystem's achievable power/throughput envelope.
+
+use air_sim::{AirLearningDatabase, ObstacleDensity};
+use autopilot::{DssocEvaluator, Phase1, SuccessModel};
+use soc_power::calib;
+
+use crate::TextTable;
+
+/// Regenerates Table III.
+pub fn run() -> String {
+    // Envelope of the accelerator subsystem over the Table II corners for
+    // the dense-scenario policy.
+    let mut db = AirLearningDatabase::new();
+    Phase1::new(SuccessModel::Surrogate, super::SEED).populate(ObstacleDensity::Dense, &mut db);
+    let ev = DssocEvaluator::new(db, ObstacleDensity::Dense);
+    let mut min_fps = f64::INFINITY;
+    let mut max_fps: f64 = 0.0;
+    let mut min_w = f64::INFINITY;
+    let mut max_w: f64 = 0.0;
+    for pe in 0..6 {
+        // PE 8..256: the band the paper's Pareto designs occupy.
+        for sram in [0usize, 7] {
+            let c = ev.evaluate_design(&[5, 1, pe, pe, sram, sram, sram]);
+            min_fps = min_fps.min(c.fps);
+            max_fps = max_fps.max(c.fps);
+            min_w = min_w.min(c.tdp_w);
+            max_w = max_w.max(c.tdp_w);
+        }
+    }
+
+    let mut table = TextTable::new(vec![
+        "component", "name", "peak power", "throughput", "parameters",
+    ]);
+    table.row(vec![
+        "ULP MCU".to_owned(),
+        "2x Cortex-M (ARMv8-M)".to_owned(),
+        format!("{:.2} mW", calib::MCU_POWER_W * 1e3),
+        "100 MHz".to_owned(),
+        "fixed".to_owned(),
+    ]);
+    table.row(vec![
+        "Sensor".to_owned(),
+        "OV9755-class RGB".to_owned(),
+        format!("{:.0} mW", calib::SENSOR_POWER_W * 1e3),
+        "30-90 FPS".to_owned(),
+        "fixed".to_owned(),
+    ]);
+    table.row(vec![
+        "Sensor interface".to_owned(),
+        "MIPI CSI".to_owned(),
+        format!("{:.0} mW", calib::MIPI_POWER_W * 1e3),
+        "62.5 MHz".to_owned(),
+        "fixed".to_owned(),
+    ]);
+    table.row(vec![
+        "E2E NPU".to_owned(),
+        "Systolic array".to_owned(),
+        format!("{min_w:.2} W to {max_w:.2} W"),
+        format!("{min_fps:.0}-{max_fps:.0} FPS"),
+        "variable".to_owned(),
+    ]);
+
+    format!(
+        "Table III: DSSoC component specification\n\n{}\npaper accelerator band: 0.7 W to 8.24 W, 22-200 FPS\n",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bands_are_reported() {
+        let r = super::run();
+        assert!(r.contains("E2E NPU"));
+        assert!(r.contains("MIPI"));
+        assert!(r.contains("FPS"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Table V — specialization cost vs. mission efficiency: reusing a single
+//! DSSoC design (or a general-purpose board) for the mini-UAV
+//! medium-obstacle scenario instead of the scenario-specific design.
+//!
+//! Reuse semantics follow the paper: the *hardware* (array geometry,
+//! scratchpads, tuned clock) comes from scenario X, but in the medium
+//! deployment it must execute the medium scenario's validated policy, so
+//! hardware sized to another model's knee ends up compute-bound (low) or
+//! over-built (dense).
+//!
+//! Paper numbers: knee(low) 30 % fewer missions (compute bound),
+//! knee(medium) 0 %, knee(dense) 27 % (weight lowers the roofline),
+//! Nvidia TX2 30 % (weight), Intel NCS 67 % (compute bound).
+
+use air_sim::{AirLearningDatabase, ObstacleDensity};
+use autopilot::{
+    BaselineBoard, DesignCandidate, DssocEvaluator, Phase1, Phase3, SuccessModel, TaskSpec,
+};
+use policy_nn::PolicyModel;
+use soc_power::TechNode;
+use uav_dynamics::{F1Model, UavSpec};
+
+use crate::TextTable;
+
+/// Regenerates Table V.
+pub fn run() -> String {
+    let uav = UavSpec::mini();
+    let task = TaskSpec::navigation(ObstacleDensity::Medium);
+
+    // Scenario-specific selections.
+    let mut selections: Vec<(ObstacleDensity, DesignCandidate)> = Vec::new();
+    for density in ObstacleDensity::ALL {
+        let result = super::run_scenario(&uav, density);
+        if let Some(sel) = result.selection {
+            selections.push((density, sel.candidate));
+        }
+    }
+    let medium = selections
+        .iter()
+        .find(|(d, _)| *d == ObstacleDensity::Medium)
+        .map(|(_, c)| c.clone())
+        .expect("medium-scenario selection exists");
+
+    // Deployment evaluator: the medium scenario's database and policy.
+    let mut db = AirLearningDatabase::new();
+    Phase1::new(SuccessModel::Surrogate, super::SEED).populate(ObstacleDensity::Medium, &mut db);
+    let ev = DssocEvaluator::new(db, ObstacleDensity::Medium);
+    let deployment_policy = medium.policy;
+
+    let reference = Phase3::mission_report(&uav, &task, &medium).missions;
+
+    let mut table =
+        TextTable::new(vec!["design", "fps", "payload_g", "missions", "degradation", "comment"]);
+    for (density, c) in &selections {
+        // Reuse the hardware, run the deployment policy on it.
+        let reused = ev.evaluate_config(
+            c.point.clone(),
+            deployment_policy,
+            c.config.clone(),
+            TechNode::N28,
+        );
+        let missions = Phase3::mission_report(&uav, &task, &reused).missions;
+        let degradation = (1.0 - missions / reference).max(0.0) * 100.0;
+        let f1 = F1Model::new(uav.clone(), reused.payload_g, task.sensor_fps);
+        let comment = match f1.classify(reused.fps) {
+            uav_dynamics::Provisioning::UnderProvisioned => "compute bound lowers Vsafe",
+            uav_dynamics::Provisioning::Balanced => "optimal design",
+            uav_dynamics::Provisioning::OverProvisioned => "weight lowers the roofline",
+        };
+        table.row(vec![
+            format!("knee-point ({density} obs.)"),
+            format!("{:.0}", reused.fps),
+            format!("{:.1}", reused.payload_g),
+            format!("{missions:.1}"),
+            format!("{degradation:.0}%"),
+            comment.to_owned(),
+        ]);
+    }
+
+    // General-purpose boards running the medium-scenario policy.
+    let model = PolicyModel::build(deployment_policy);
+    for board in [BaselineBoard::jetson_tx2(), BaselineBoard::intel_ncs()] {
+        let eval = board.evaluate(&uav, &task, &model);
+        let degradation = (1.0 - eval.missions.missions / reference).max(0.0) * 100.0;
+        let f1 = F1Model::new(uav.clone(), board.weight_g, task.sensor_fps);
+        let comment = match f1.classify(eval.fps) {
+            uav_dynamics::Provisioning::UnderProvisioned => "compute bound lowers Vsafe",
+            uav_dynamics::Provisioning::Balanced => "balanced by accident",
+            uav_dynamics::Provisioning::OverProvisioned => "weight lowers the roofline",
+        };
+        table.row(vec![
+            board.name.clone(),
+            format!("{:.0}", eval.fps),
+            format!("{:.1}", board.weight_g),
+            format!("{:.1}", eval.missions.missions),
+            format!("{degradation:.0}%"),
+            comment.to_owned(),
+        ]);
+    }
+
+    format!(
+        "Table V: design reuse on the mini-UAV, medium-obstacle deployment\n\n{}\npaper degradations: knee(low) 30%, knee(medium) 0%, knee(dense) 27%, TX2 30%, NCS 67%\n",
+        table.render()
+    )
+}

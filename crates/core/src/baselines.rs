@@ -1,0 +1,208 @@
+//! Baseline hardware platforms used in the paper's comparisons: Jetson
+//! TX2, Xavier NX, Intel NCS, and PULP-DroNet.
+//!
+//! Each board is modelled by a small datasheet-derived triple: effective
+//! compute rate, effective memory bandwidth, and (power, weight). The
+//! achievable frame rate for a policy is the minimum of its compute-bound
+//! and memory-bound rates — exactly what the mission model needs, since
+//! Fig. 5 / Table V compare platforms only through their (throughput,
+//! power, weight) triples. PULP-DroNet is handled per the paper's
+//! optimistic assumption: its published 6 FPS @ 64 mW is used as-is even
+//! for AutoPilot's much larger models.
+
+use policy_nn::PolicyModel;
+use serde::{Deserialize, Serialize};
+use uav_dynamics::{F1Model, MissionReport, UavSpec};
+
+use crate::spec::TaskSpec;
+
+/// A fixed (off-the-shelf or published) compute platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineBoard {
+    /// Platform name.
+    pub name: String,
+    /// Carried weight (module + carrier), grams.
+    pub weight_g: f64,
+    /// Board power under inference load, watts.
+    pub power_w: f64,
+    /// Effective sustained compute rate, MAC/s (derated from peak).
+    pub effective_macs_per_s: f64,
+    /// Effective memory bandwidth for streaming weights, bytes/s.
+    pub effective_mem_bw: f64,
+    /// Weight word size on this platform (2 = fp16 GPU, 1 = int8 NPU).
+    pub weight_word_bytes: usize,
+    /// Fixed frame rate override (PULP-DroNet's published number).
+    pub fixed_fps: Option<f64>,
+}
+
+impl BaselineBoard {
+    /// NVIDIA Jetson TX2 (256-core Pascal, ~1.3 TFLOPS fp16 peak,
+    /// 7.5–15 W envelope, 85 g module).
+    pub fn jetson_tx2() -> BaselineBoard {
+        BaselineBoard {
+            name: "Jetson TX2".to_owned(),
+            weight_g: 85.0,
+            power_w: 9.0,
+            effective_macs_per_s: 250.0e9,
+            effective_mem_bw: 5.0e9,
+            weight_word_bytes: 2,
+            fixed_fps: None,
+        }
+    }
+
+    /// NVIDIA Xavier NX (Volta + NVDLA, 21 TOPS int8 peak at 15 W,
+    /// compact module).
+    pub fn xavier_nx() -> BaselineBoard {
+        BaselineBoard {
+            name: "Xavier NX".to_owned(),
+            weight_g: 35.0,
+            power_w: 10.0,
+            effective_macs_per_s: 900.0e9,
+            effective_mem_bw: 8.0e9,
+            weight_word_bytes: 1,
+            fixed_fps: None,
+        }
+    }
+
+    /// Intel Neural Compute Stick (Myriad VPU, ~1 W, USB-bandwidth
+    /// limited).
+    pub fn intel_ncs() -> BaselineBoard {
+        BaselineBoard {
+            name: "Intel NCS".to_owned(),
+            weight_g: 18.0,
+            power_w: 1.2,
+            effective_macs_per_s: 50.0e9,
+            effective_mem_bw: 1.0e9,
+            weight_word_bytes: 2,
+            fixed_fps: None,
+        }
+    }
+
+    /// PULP-DroNet (Palossi et al.): 6 FPS at 64 mW on a ~5 g deck. Per
+    /// the paper, these published numbers are used unchanged even for
+    /// the 100x larger AutoPilot models (an optimistic assumption in
+    /// PULP's favour).
+    pub fn pulp_dronet() -> BaselineBoard {
+        BaselineBoard {
+            name: "P-DroNet".to_owned(),
+            weight_g: 5.0,
+            power_w: 0.064,
+            effective_macs_per_s: 0.5e9,
+            effective_mem_bw: 0.1e9,
+            weight_word_bytes: 1,
+            fixed_fps: Some(6.0),
+        }
+    }
+
+    /// The general-purpose comparison set of Fig. 5.
+    pub fn figure5_set() -> Vec<BaselineBoard> {
+        vec![Self::jetson_tx2(), Self::xavier_nx(), Self::pulp_dronet()]
+    }
+
+    /// Achievable inference rate for `model` on this board, FPS.
+    pub fn fps(&self, model: &PolicyModel) -> f64 {
+        if let Some(f) = self.fixed_fps {
+            return f;
+        }
+        let compute_bound = self.effective_macs_per_s / model.mac_count() as f64;
+        let memory_bound =
+            self.effective_mem_bw / model.weight_bytes(self.weight_word_bytes) as f64;
+        compute_bound.min(memory_bound)
+    }
+
+    /// Full-system mission evaluation of this board flying `model` on
+    /// `uav`.
+    pub fn evaluate(&self, uav: &UavSpec, task: &TaskSpec, model: &PolicyModel) -> BaselineEvaluation {
+        let fps = self.fps(model);
+        let f1 = F1Model::new(uav.clone(), self.weight_g, task.sensor_fps);
+        let v_safe = f1.safe_velocity(fps);
+        let missions = task.mission.evaluate(uav, self.weight_g, v_safe, self.power_w);
+        BaselineEvaluation { board: self.clone(), fps, missions }
+    }
+}
+
+/// Mission-level evaluation of one baseline board.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineEvaluation {
+    /// The evaluated board.
+    pub board: BaselineBoard,
+    /// Achieved policy inference rate, FPS.
+    pub fps: f64,
+    /// Mission report on the target UAV.
+    pub missions: MissionReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use air_sim::ObstacleDensity;
+    use policy_nn::PolicyHyperparams;
+
+    fn model() -> PolicyModel {
+        PolicyModel::build(PolicyHyperparams::new(7, 48).unwrap())
+    }
+
+    #[test]
+    fn board_throughput_ordering_is_sane() {
+        let m = model();
+        let tx2 = BaselineBoard::jetson_tx2().fps(&m);
+        let nx = BaselineBoard::xavier_nx().fps(&m);
+        let ncs = BaselineBoard::intel_ncs().fps(&m);
+        let pulp = BaselineBoard::pulp_dronet().fps(&m);
+        assert!(nx > tx2, "NX {nx} <= TX2 {tx2}");
+        assert!(tx2 > ncs, "TX2 {tx2} <= NCS {ncs}");
+        assert!(ncs > pulp, "NCS {ncs} <= PULP {pulp}");
+        assert_eq!(pulp, 6.0);
+    }
+
+    #[test]
+    fn ncs_is_memory_bound_on_large_models() {
+        // 36 MB of weights over ~1 GB/s: tens of FPS at best.
+        let fps = BaselineBoard::intel_ncs().fps(&model());
+        assert!(fps < 40.0, "NCS at {fps} FPS is implausible");
+    }
+
+    #[test]
+    fn tx2_weight_hurts_nano_uav() {
+        // An 85 g module on a 50 g nano-UAV still flies (TWR 3.0 base)
+        // but loses most of its missions versus the same board at an
+        // AutoPilot-class 24 g payload.
+        let task = TaskSpec::navigation(ObstacleDensity::Low);
+        let tx2 = BaselineBoard::jetson_tx2();
+        let heavy = tx2.evaluate(&UavSpec::nano(), &task, &model());
+        let mut light_board = tx2.clone();
+        light_board.weight_g = 24.0;
+        let light = light_board.evaluate(&UavSpec::nano(), &task, &model());
+        assert!(heavy.missions.missions > 0.0);
+        assert!(
+            heavy.missions.missions < 0.6 * light.missions.missions,
+            "heavy {:.1} vs light {:.1}",
+            heavy.missions.missions,
+            light.missions.missions
+        );
+    }
+
+    #[test]
+    fn mini_uav_carries_all_boards() {
+        let task = TaskSpec::navigation(ObstacleDensity::Low);
+        for board in BaselineBoard::figure5_set() {
+            let eval = board.evaluate(&UavSpec::mini(), &task, &model());
+            assert!(
+                eval.missions.missions > 0.0,
+                "{} flies zero missions on the mini-UAV",
+                board.name
+            );
+        }
+    }
+
+    #[test]
+    fn pulp_is_underprovisioned_but_light() {
+        let task = TaskSpec::navigation(ObstacleDensity::Low);
+        let pulp = BaselineBoard::pulp_dronet().evaluate(&UavSpec::nano(), &task, &model());
+        // It flies (light), but slowly (6 FPS decision rate).
+        assert!(pulp.missions.missions > 0.0);
+        assert!(pulp.missions.v_safe_ms > 0.0);
+        let f1 = F1Model::new(UavSpec::nano(), 5.0, task.sensor_fps);
+        assert!(pulp.missions.v_safe_ms < f1.velocity_ceiling() * 0.9);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the AutoPilot pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the AutoPilot pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AutopilotError {
+    /// Phase 2 produced no candidate meeting the task's success
+    /// threshold.
+    NoCandidateMeetsSuccess {
+        /// Required success rate.
+        required: f64,
+        /// Best success rate observed.
+        best: f64,
+    },
+    /// No evaluated design can fly the chosen UAV (every payload grounds
+    /// it).
+    NoFlyableDesign {
+        /// UAV platform name.
+        uav: String,
+    },
+    /// An accelerator configuration failed validation.
+    InvalidConfiguration(systolic_sim::ConfigError),
+}
+
+impl fmt::Display for AutopilotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutopilotError::NoCandidateMeetsSuccess { required, best } => write!(
+                f,
+                "no design candidate reaches the required success rate {required:.2} (best {best:.2})"
+            ),
+            AutopilotError::NoFlyableDesign { uav } => {
+                write!(f, "no evaluated design produces a flyable payload for {uav}")
+            }
+            AutopilotError::InvalidConfiguration(e) => {
+                write!(f, "invalid accelerator configuration: {e}")
+            }
+        }
+    }
+}
+
+impl Error for AutopilotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AutopilotError::InvalidConfiguration(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<systolic_sim::ConfigError> for AutopilotError {
+    fn from(e: systolic_sim::ConfigError) -> Self {
+        AutopilotError::InvalidConfiguration(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = AutopilotError::NoCandidateMeetsSuccess { required: 0.8, best: 0.6 };
+        assert!(e.to_string().contains("0.80"));
+        let e = AutopilotError::NoFlyableDesign { uav: "nano".into() };
+        assert!(e.to_string().contains("nano"));
+    }
+
+    #[test]
+    fn config_error_converts() {
+        let source = systolic_sim::ArrayConfig::builder().rows(0).build().unwrap_err();
+        let e = AutopilotError::from(source);
+        assert!(matches!(e, AutopilotError::InvalidConfiguration(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,133 @@
+//! Phase 1: domain-specific front end (policy training & validation).
+
+use air_sim::{
+    AirLearningDatabase, ObstacleDensity, PolicyRecord, QTrainer, SuccessSurrogate,
+    TrainingMethod,
+};
+use policy_nn::{PolicyHyperparams, PolicyModel};
+use serde::{Deserialize, Serialize};
+
+/// How Phase 1 obtains success rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SuccessModel {
+    /// Fast fitted surrogate (default; seconds for the full space).
+    Surrogate,
+    /// Real tabular Q-learning runs with the given per-policy episode
+    /// budget (minutes for the full space; the honest substrate).
+    QLearning {
+        /// Training episodes per policy.
+        episodes: usize,
+        /// Held-out evaluation episodes per policy.
+        eval_episodes: usize,
+    },
+}
+
+/// The domain-specific front end: expands the Table II algorithm space,
+/// trains/validates every candidate policy for the requested scenario,
+/// and records the results in the Air Learning database.
+#[derive(Debug, Clone)]
+pub struct Phase1 {
+    model: SuccessModel,
+    seed: u64,
+}
+
+impl Phase1 {
+    /// Creates the front end.
+    pub fn new(model: SuccessModel, seed: u64) -> Phase1 {
+        Phase1 { model, seed }
+    }
+
+    /// The configured success model.
+    pub fn success_model(&self) -> SuccessModel {
+        self.model
+    }
+
+    /// Trains and validates every Table II policy for `density`,
+    /// upserting one record per policy into `db`. Returns the number of
+    /// records written.
+    pub fn populate(&self, density: ObstacleDensity, db: &mut AirLearningDatabase) -> usize {
+        let mut written = 0;
+        for hyper in PolicyHyperparams::enumerate() {
+            let model = PolicyModel::build(hyper);
+            let (rate, method) = match self.model {
+                SuccessModel::Surrogate => (
+                    SuccessSurrogate::paper_calibrated().success_rate(&model, density),
+                    TrainingMethod::Surrogate,
+                ),
+                SuccessModel::QLearning { episodes, eval_episodes } => {
+                    let outcome = QTrainer::new(self.seed)
+                        .with_episodes(episodes)
+                        .with_eval_episodes(eval_episodes)
+                        .train(&model, density);
+                    (outcome.success_rate, TrainingMethod::QLearning)
+                }
+            };
+            db.upsert(PolicyRecord {
+                id: PolicyRecord::make_id(hyper, density),
+                hyperparams: hyper,
+                density,
+                success_rate: rate,
+                method,
+                seed: self.seed,
+            });
+            written += 1;
+        }
+        written
+    }
+
+    /// Populates `db` for every scenario density.
+    pub fn populate_all(&self, db: &mut AirLearningDatabase) -> usize {
+        ObstacleDensity::ALL.iter().map(|&d| self.populate(d, db)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surrogate_populates_full_space() {
+        let mut db = AirLearningDatabase::new();
+        let n = Phase1::new(SuccessModel::Surrogate, 1).populate(ObstacleDensity::Low, &mut db);
+        assert_eq!(n, 27);
+        assert_eq!(db.len(), 27);
+        // Best recorded model matches the paper's low-obstacle pick.
+        let best = db.best_for(ObstacleDensity::Low).unwrap();
+        assert_eq!(best.hyperparams, PolicyHyperparams::new(5, 32).unwrap());
+    }
+
+    #[test]
+    fn populate_all_covers_three_scenarios() {
+        let mut db = AirLearningDatabase::new();
+        let n = Phase1::new(SuccessModel::Surrogate, 1).populate_all(&mut db);
+        assert_eq!(n, 81);
+        assert_eq!(db.len(), 81);
+    }
+
+    #[test]
+    fn qlearning_mode_records_real_outcomes() {
+        let mut db = AirLearningDatabase::new();
+        // A minimal budget just to exercise the path.
+        let phase1 = Phase1::new(
+            SuccessModel::QLearning { episodes: 30, eval_episodes: 20 },
+            3,
+        );
+        // Populate only one density to keep the test fast; full-space
+        // Q-learning runs live in the benches.
+        phase1.populate(ObstacleDensity::Low, &mut db);
+        assert_eq!(db.len(), 27);
+        assert!(db
+            .records()
+            .iter()
+            .all(|r| r.method == TrainingMethod::QLearning));
+    }
+
+    #[test]
+    fn repopulating_is_idempotent() {
+        let mut db = AirLearningDatabase::new();
+        let p = Phase1::new(SuccessModel::Surrogate, 1);
+        p.populate(ObstacleDensity::Dense, &mut db);
+        p.populate(ObstacleDensity::Dense, &mut db);
+        assert_eq!(db.len(), 27);
+    }
+}

@@ -1,0 +1,202 @@
+//! The end-to-end AutoPilot pipeline (Fig. 1).
+
+use air_sim::AirLearningDatabase;
+use serde::{Deserialize, Serialize};
+use uav_dynamics::UavSpec;
+
+use crate::error::AutopilotError;
+use crate::phase1::{Phase1, SuccessModel};
+use crate::phase2::{DssocEvaluator, OptimizerChoice, Phase2, Phase2Output};
+use crate::phase3::{Phase3, Phase3Selection};
+use crate::spec::TaskSpec;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutopilotConfig {
+    /// Deterministic seed for every stochastic component.
+    pub seed: u64,
+    /// Phase-2 evaluation budget.
+    pub phase2_budget: usize,
+    /// Phase-2 optimizer.
+    pub optimizer: OptimizerChoice,
+    /// Phase-1 success model.
+    pub success_model: SuccessModel,
+    /// Whether Phase 3 may fine-tune clock/node toward the knee.
+    pub fine_tuning: bool,
+}
+
+impl AutopilotConfig {
+    /// A fast configuration (surrogate success model, modest DSE budget)
+    /// suitable for tests and examples.
+    pub fn fast(seed: u64) -> AutopilotConfig {
+        AutopilotConfig {
+            seed,
+            phase2_budget: 60,
+            optimizer: OptimizerChoice::SmsEgo,
+            success_model: SuccessModel::Surrogate,
+            fine_tuning: true,
+        }
+    }
+
+    /// The configuration used for the paper-reproduction experiments:
+    /// larger DSE budget, surrogate success model (the Q-learning
+    /// substrate is exercised by its own experiments).
+    pub fn paper(seed: u64) -> AutopilotConfig {
+        AutopilotConfig { phase2_budget: 200, ..AutopilotConfig::fast(seed) }
+    }
+
+    /// Overrides the Phase-2 optimizer.
+    pub fn with_optimizer(mut self, optimizer: OptimizerChoice) -> AutopilotConfig {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Overrides the Phase-2 budget.
+    pub fn with_budget(mut self, budget: usize) -> AutopilotConfig {
+        self.phase2_budget = budget;
+        self
+    }
+}
+
+/// The AutoPilot methodology, ready to run on (UAV, task) pairs.
+#[derive(Debug, Clone)]
+pub struct AutoPilot {
+    config: AutopilotConfig,
+}
+
+impl AutoPilot {
+    /// Creates a pipeline with `config`.
+    pub fn new(config: AutopilotConfig) -> AutoPilot {
+        AutoPilot { config }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &AutopilotConfig {
+        &self.config
+    }
+
+    /// Runs all three phases for one (UAV, task) pair.
+    ///
+    /// `selection` is `None` when Phase 3 found no flyable design (see
+    /// [`AutoPilot::select`] for the error detail).
+    pub fn run(&self, uav: &UavSpec, task: &TaskSpec) -> AutopilotResult {
+        // Phase 1: front end.
+        let mut db = AirLearningDatabase::new();
+        Phase1::new(self.config.success_model, self.config.seed).populate(task.density, &mut db);
+
+        // Phase 2: multi-objective DSE.
+        let evaluator = DssocEvaluator::new(db.clone(), task.density);
+        let phase2 =
+            Phase2::new(self.config.optimizer, self.config.phase2_budget, self.config.seed)
+                .run(&evaluator);
+
+        // Phase 3: full-system back end.
+        let phase3 =
+            if self.config.fine_tuning { Phase3::new() } else { Phase3::without_fine_tuning() };
+        let selection = phase3.select(uav, task, &phase2, &evaluator);
+
+        AutopilotResult {
+            uav: uav.clone(),
+            task: task.clone(),
+            database: db,
+            phase2,
+            selection_error: selection.as_ref().err().map(|e| e.to_string()),
+            selection: selection.ok(),
+        }
+    }
+
+    /// Like [`AutoPilot::run`] but surfacing the Phase-3 error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AutopilotError`] from Phase 3 (no candidate meets the
+    /// success threshold, or no design can fly the UAV).
+    pub fn select(
+        &self,
+        uav: &UavSpec,
+        task: &TaskSpec,
+    ) -> Result<Phase3Selection, AutopilotError> {
+        let result = self.run(uav, task);
+        match result.selection {
+            Some(s) => Ok(s),
+            None => {
+                // Re-derive the typed error.
+                let evaluator = DssocEvaluator::new(result.database, task.density);
+                let phase3 = if self.config.fine_tuning {
+                    Phase3::new()
+                } else {
+                    Phase3::without_fine_tuning()
+                };
+                Err(phase3
+                    .select(uav, task, &result.phase2, &evaluator)
+                    .expect_err("selection failed above"))
+            }
+        }
+    }
+}
+
+/// Everything one pipeline run produced.
+#[derive(Debug, Clone)]
+pub struct AutopilotResult {
+    /// The UAV the run targeted.
+    pub uav: UavSpec,
+    /// The task specification.
+    pub task: TaskSpec,
+    /// Phase-1 database (policy success rates).
+    pub database: AirLearningDatabase,
+    /// Phase-2 output (all candidates, Pareto frontier, optimizer
+    /// history).
+    pub phase2: Phase2Output,
+    /// Phase-3 selection, when one exists.
+    pub selection: Option<Phase3Selection>,
+    /// Human-readable reason when `selection` is `None`.
+    pub selection_error: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use air_sim::ObstacleDensity;
+
+    fn fast_pilot(seed: u64) -> AutoPilot {
+        AutoPilot::new(
+            AutopilotConfig::fast(seed)
+                .with_optimizer(OptimizerChoice::Random)
+                .with_budget(24),
+        )
+    }
+
+    #[test]
+    fn full_pipeline_selects_for_nano() {
+        let result =
+            fast_pilot(3).run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Dense));
+        let sel = result.selection.expect("nano selection");
+        assert!(sel.missions.missions > 0.0);
+        assert_eq!(result.database.len(), 27);
+        assert!(!result.phase2.candidates.is_empty());
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let task = TaskSpec::navigation(ObstacleDensity::Medium);
+        let a = fast_pilot(9).run(&UavSpec::micro(), &task);
+        let b = fast_pilot(9).run(&UavSpec::micro(), &task);
+        assert_eq!(a.selection, b.selection);
+        assert_eq!(a.phase2.candidates.len(), b.phase2.candidates.len());
+    }
+
+    #[test]
+    fn select_surfaces_errors() {
+        let mut weak = UavSpec::nano();
+        weak.base_thrust_to_weight = 1.01;
+        let err = fast_pilot(1)
+            .select(&weak, &TaskSpec::navigation(ObstacleDensity::Low))
+            .unwrap_err();
+        assert!(matches!(err, AutopilotError::NoFlyableDesign { .. }));
+    }
+
+    #[test]
+    fn config_presets() {
+        assert!(AutopilotConfig::paper(0).phase2_budget > AutopilotConfig::fast(0).phase2_budget);
+    }
+}

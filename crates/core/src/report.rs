@@ -1,0 +1,154 @@
+//! Serializable run summaries for downstream tooling.
+
+use serde::{Deserialize, Serialize};
+
+use crate::phase2::DesignCandidate;
+use crate::pipeline::AutopilotResult;
+
+/// Compact, serializable description of one design candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateSummary {
+    /// Policy identifier (e.g. `"l7f48"`).
+    pub policy: String,
+    /// PE array geometry.
+    pub pe_rows: usize,
+    /// PE array geometry.
+    pub pe_cols: usize,
+    /// Scratchpad sizes in KiB (ifmap, filter, ofmap).
+    pub sram_kb: (usize, usize, usize),
+    /// Accelerator clock, MHz.
+    pub clock_mhz: f64,
+    /// Validated task success rate.
+    pub success_rate: f64,
+    /// Inference throughput, FPS.
+    pub fps: f64,
+    /// Average SoC power, watts.
+    pub soc_avg_w: f64,
+    /// Accelerator TDP, watts.
+    pub tdp_w: f64,
+    /// Compute payload, grams.
+    pub payload_g: f64,
+}
+
+impl From<&DesignCandidate> for CandidateSummary {
+    fn from(c: &DesignCandidate) -> CandidateSummary {
+        CandidateSummary {
+            policy: c.policy.id(),
+            pe_rows: c.config.rows(),
+            pe_cols: c.config.cols(),
+            sram_kb: (
+                c.config.ifmap_sram_bytes() / 1024,
+                c.config.filter_sram_bytes() / 1024,
+                c.config.ofmap_sram_bytes() / 1024,
+            ),
+            clock_mhz: c.config.clock_mhz(),
+            success_rate: c.success_rate,
+            fps: c.fps,
+            soc_avg_w: c.soc_avg_w,
+            tdp_w: c.tdp_w,
+            payload_g: c.payload_g,
+        }
+    }
+}
+
+/// Serializable summary of a full pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// UAV platform name.
+    pub uav: String,
+    /// Deployment scenario identifier.
+    pub scenario: String,
+    /// Phase-2 evaluations consumed.
+    pub evaluations: usize,
+    /// Size of the Phase-2 Pareto frontier.
+    pub pareto_size: usize,
+    /// Best success rate observed.
+    pub best_success: f64,
+    /// The selected design, when one exists.
+    pub selection: Option<CandidateSummary>,
+    /// Missions per charge of the selection.
+    pub missions: Option<f64>,
+    /// Safe velocity of the selection, m/s.
+    pub v_safe_ms: Option<f64>,
+    /// F-1 knee-point of the selection's configuration, FPS.
+    pub knee_fps: Option<f64>,
+    /// Why selection failed, when it did.
+    pub error: Option<String>,
+}
+
+impl RunSummary {
+    /// Builds the summary of a pipeline result.
+    pub fn from_result(result: &AutopilotResult) -> RunSummary {
+        RunSummary {
+            uav: result.uav.name.clone(),
+            scenario: result.task.density.id().to_owned(),
+            evaluations: result.phase2.candidates.len(),
+            pareto_size: result.phase2.pareto_indices.len(),
+            best_success: result.phase2.best_success(),
+            selection: result.selection.as_ref().map(|s| (&s.candidate).into()),
+            missions: result.selection.as_ref().map(|s| s.missions.missions),
+            v_safe_ms: result.selection.as_ref().map(|s| s.missions.v_safe_ms),
+            knee_fps: result.selection.as_ref().and_then(|s| s.knee_fps),
+            error: result.selection_error.clone(),
+        }
+    }
+
+    /// Pretty JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("summary serializes")
+    }
+
+    /// Parses a summary back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error message on malformed
+    /// input.
+    pub fn from_json(json: &str) -> Result<RunSummary, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{AutoPilot, AutopilotConfig};
+    use crate::phase2::OptimizerChoice;
+    use crate::spec::TaskSpec;
+    use air_sim::ObstacleDensity;
+    use uav_dynamics::UavSpec;
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let pilot = AutoPilot::new(
+            AutopilotConfig::fast(3).with_budget(16).with_optimizer(OptimizerChoice::Random),
+        );
+        let result = pilot.run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Low));
+        let summary = RunSummary::from_result(&result);
+        let restored = RunSummary::from_json(&summary.to_json()).expect("parse");
+        // Compare via re-serialization: floating-point JSON text is only
+        // guaranteed to round-trip to the same shortest representation.
+        assert_eq!(summary.to_json(), restored.to_json());
+        assert_eq!(summary.evaluations, 16);
+        assert!(summary.selection.is_some());
+        assert!(summary.missions.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn failed_selection_keeps_error() {
+        let mut weak = UavSpec::nano();
+        weak.base_thrust_to_weight = 1.01;
+        let pilot = AutoPilot::new(
+            AutopilotConfig::fast(3).with_budget(12).with_optimizer(OptimizerChoice::Random),
+        );
+        let result = pilot.run(&weak, &TaskSpec::navigation(ObstacleDensity::Low));
+        let summary = RunSummary::from_result(&result);
+        assert!(summary.selection.is_none());
+        assert!(summary.error.is_some());
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(RunSummary::from_json("{broken").is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! The joint algorithm x accelerator design space (Table II).
+
+use dse_opt::DesignSpace;
+use policy_nn::{PolicyHyperparams, FILTER_CHOICES, LAYER_CHOICES};
+use serde::{Deserialize, Serialize};
+use systolic_sim::{ArrayConfig, Dataflow};
+
+/// PE-array row/column choices (Table II).
+pub const PE_CHOICES: [usize; 8] = [8, 16, 32, 64, 128, 256, 512, 1024];
+
+/// Scratchpad size choices in KiB, shared by ifmap/filter/ofmap
+/// (Table II).
+pub const SRAM_KB_CHOICES: [usize; 8] = [32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+/// Default accelerator clock in MHz (fixed during Phase 2; architectural
+/// fine-tuning in Phase 3 may scale it).
+pub const DEFAULT_CLOCK_MHZ: f64 = 200.0;
+
+/// Default sustained DRAM bandwidth in bytes/cycle (LPDDR4-class).
+pub const DEFAULT_DRAM_BW: f64 = 48.0;
+
+/// The seven-dimensional joint space AutoPilot's Phase 2 searches:
+/// `(layers, filters, pe_rows, pe_cols, ifmap KB, filter KB, ofmap KB)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct JointSpace;
+
+impl JointSpace {
+    /// Dimension index of each parameter, in point order.
+    pub const DIM_LAYERS: usize = 0;
+    /// See [`JointSpace::DIM_LAYERS`].
+    pub const DIM_FILTERS: usize = 1;
+    /// See [`JointSpace::DIM_LAYERS`].
+    pub const DIM_PE_ROWS: usize = 2;
+    /// See [`JointSpace::DIM_LAYERS`].
+    pub const DIM_PE_COLS: usize = 3;
+    /// See [`JointSpace::DIM_LAYERS`].
+    pub const DIM_IFMAP_KB: usize = 4;
+    /// See [`JointSpace::DIM_LAYERS`].
+    pub const DIM_FILTER_KB: usize = 5;
+    /// See [`JointSpace::DIM_LAYERS`].
+    pub const DIM_OFMAP_KB: usize = 6;
+
+    /// The [`DesignSpace`] over index vectors.
+    pub fn design_space() -> DesignSpace {
+        DesignSpace::new(vec![
+            LAYER_CHOICES.len(),
+            FILTER_CHOICES.len(),
+            PE_CHOICES.len(),
+            PE_CHOICES.len(),
+            SRAM_KB_CHOICES.len(),
+            SRAM_KB_CHOICES.len(),
+            SRAM_KB_CHOICES.len(),
+        ])
+        .expect("joint space dimensions are non-empty")
+    }
+
+    /// Total number of joint design points.
+    pub fn size() -> u128 {
+        JointSpace::design_space().len()
+    }
+
+    /// Decodes a design-space point into hyperparameters and an
+    /// accelerator configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` is outside the space.
+    pub fn decode(point: &[usize]) -> (PolicyHyperparams, ArrayConfig) {
+        assert_eq!(point.len(), 7, "joint point must have 7 dimensions");
+        let hyper = PolicyHyperparams::new(
+            LAYER_CHOICES[point[Self::DIM_LAYERS]],
+            FILTER_CHOICES[point[Self::DIM_FILTERS]],
+        )
+        .expect("choices come from the Table II lists");
+        let config = ArrayConfig::builder()
+            .rows(PE_CHOICES[point[Self::DIM_PE_ROWS]])
+            .cols(PE_CHOICES[point[Self::DIM_PE_COLS]])
+            .ifmap_sram_kb(SRAM_KB_CHOICES[point[Self::DIM_IFMAP_KB]])
+            .filter_sram_kb(SRAM_KB_CHOICES[point[Self::DIM_FILTER_KB]])
+            .ofmap_sram_kb(SRAM_KB_CHOICES[point[Self::DIM_OFMAP_KB]])
+            .dataflow(Dataflow::OutputStationary)
+            .clock_mhz(DEFAULT_CLOCK_MHZ)
+            .dram_bandwidth(DEFAULT_DRAM_BW)
+            .build()
+            .expect("Table II choices produce valid configurations");
+        (hyper, config)
+    }
+
+    /// Encodes `(hyper, rows, cols, ifmap_kb, filter_kb, ofmap_kb)` back
+    /// into a design-space point, or `None` when a value is not a legal
+    /// Table II choice.
+    pub fn encode(
+        hyper: PolicyHyperparams,
+        rows: usize,
+        cols: usize,
+        ifmap_kb: usize,
+        filter_kb: usize,
+        ofmap_kb: usize,
+    ) -> Option<Vec<usize>> {
+        Some(vec![
+            LAYER_CHOICES.iter().position(|&l| l == hyper.conv_layers())?,
+            FILTER_CHOICES.iter().position(|&f| f == hyper.filters())?,
+            PE_CHOICES.iter().position(|&p| p == rows)?,
+            PE_CHOICES.iter().position(|&p| p == cols)?,
+            SRAM_KB_CHOICES.iter().position(|&s| s == ifmap_kb)?,
+            SRAM_KB_CHOICES.iter().position(|&s| s == filter_kb)?,
+            SRAM_KB_CHOICES.iter().position(|&s| s == ofmap_kb)?,
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_space_size() {
+        // 9 layer choices x 3 filter choices x 8^2 PE x 8^3 SRAM.
+        assert_eq!(JointSpace::size(), 9 * 3 * 64 * 512);
+        assert_eq!(JointSpace::size(), 884_736);
+    }
+
+    #[test]
+    fn decode_round_trips_with_encode() {
+        let point = vec![5, 2, 3, 4, 1, 6, 2];
+        let (hyper, config) = JointSpace::decode(&point);
+        let back = JointSpace::encode(
+            hyper,
+            config.rows(),
+            config.cols(),
+            config.ifmap_sram_bytes() / 1024,
+            config.filter_sram_bytes() / 1024,
+            config.ofmap_sram_bytes() / 1024,
+        )
+        .unwrap();
+        assert_eq!(back, point);
+    }
+
+    #[test]
+    fn decode_extremes_are_valid() {
+        let space = JointSpace::design_space();
+        let lo = vec![0; 7];
+        let hi: Vec<usize> = (0..7).map(|d| space.cardinality(d) - 1).collect();
+        let (h_lo, c_lo) = JointSpace::decode(&lo);
+        let (h_hi, c_hi) = JointSpace::decode(&hi);
+        assert_eq!(h_lo.conv_layers(), 2);
+        assert_eq!(c_lo.rows(), 8);
+        assert_eq!(h_hi.conv_layers(), 10);
+        assert_eq!(c_hi.rows(), 1024);
+        assert_eq!(c_hi.ifmap_sram_bytes(), 4096 * 1024);
+    }
+
+    #[test]
+    fn encode_rejects_off_menu_values() {
+        let h = PolicyHyperparams::new(5, 32).unwrap();
+        assert!(JointSpace::encode(h, 12, 8, 32, 32, 32).is_none());
+        assert!(JointSpace::encode(h, 8, 8, 33, 32, 32).is_none());
+    }
+}

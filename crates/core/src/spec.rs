@@ -1,0 +1,76 @@
+//! High-level task specification (the user-facing front-end input).
+
+use air_sim::ObstacleDensity;
+use serde::{Deserialize, Serialize};
+use uav_dynamics::MissionProfile;
+
+/// The task-level specification a user hands to AutoPilot: what the UAV
+/// must do, where, and how well.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Deployment-scenario obstacle density.
+    pub density: ObstacleDensity,
+    /// Minimum acceptable validated task success rate.
+    pub min_success_rate: f64,
+    /// Optional real-time bound on policy inference latency, seconds.
+    pub max_latency_s: Option<f64>,
+    /// Mission profile (distance per sortie).
+    pub mission: MissionProfile,
+    /// Camera frame rate used for deployment, FPS (Table IV lists 30/60).
+    pub sensor_fps: f64,
+}
+
+impl TaskSpec {
+    /// Autonomous-navigation task in a scenario, with the defaults used
+    /// throughout the paper's evaluation: a 60 FPS sensor, the default
+    /// mission distance, and a success threshold just under the
+    /// scenario's saturation ceiling.
+    pub fn navigation(density: ObstacleDensity) -> TaskSpec {
+        let min_success_rate = match density {
+            ObstacleDensity::Low => 0.85,
+            ObstacleDensity::Medium => 0.82,
+            ObstacleDensity::Dense => 0.78,
+        };
+        TaskSpec {
+            density,
+            min_success_rate,
+            max_latency_s: None,
+            mission: MissionProfile::default(),
+            sensor_fps: 60.0,
+        }
+    }
+
+    /// Returns a copy with a different sensor rate.
+    pub fn with_sensor_fps(mut self, fps: f64) -> TaskSpec {
+        self.sensor_fps = fps;
+        self
+    }
+
+    /// Returns a copy with a different success threshold.
+    pub fn with_min_success(mut self, rate: f64) -> TaskSpec {
+        self.min_success_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn navigation_defaults_are_scenario_aware() {
+        let low = TaskSpec::navigation(ObstacleDensity::Low);
+        let dense = TaskSpec::navigation(ObstacleDensity::Dense);
+        assert!(low.min_success_rate > dense.min_success_rate);
+        assert_eq!(low.sensor_fps, 60.0);
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let t = TaskSpec::navigation(ObstacleDensity::Low)
+            .with_sensor_fps(30.0)
+            .with_min_success(2.0);
+        assert_eq!(t.sensor_fps, 30.0);
+        assert_eq!(t.min_success_rate, 1.0); // clamped
+    }
+}

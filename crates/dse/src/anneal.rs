@@ -1,0 +1,202 @@
+//! Multi-objective simulated annealing with random Chebyshev
+//! scalarizations, an alternative Phase-2 optimizer.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::collections::HashMap;
+
+use crate::evaluator::{Evaluator, MultiObjectiveOptimizer};
+use crate::result::{EvaluationRecord, OptimizationResult};
+use crate::space::DesignSpace;
+
+/// Simulated annealing over the discrete space: a random ordinal
+/// neighbour is proposed each step and accepted by the Metropolis rule on
+/// an augmented-Chebyshev scalarization whose weight vector is resampled
+/// periodically, so the archive spreads along the Pareto front.
+#[derive(Debug, Clone)]
+pub struct AnnealingOptimizer {
+    seed: u64,
+    initial_temperature: f64,
+    cooling: f64,
+    reweight_every: usize,
+}
+
+impl AnnealingOptimizer {
+    /// Creates an optimizer with conventional defaults.
+    pub fn new(seed: u64) -> AnnealingOptimizer {
+        AnnealingOptimizer {
+            seed,
+            initial_temperature: 1.0,
+            cooling: 0.97,
+            reweight_every: 10,
+        }
+    }
+
+    /// Overrides the initial temperature.
+    pub fn with_temperature(mut self, t: f64) -> AnnealingOptimizer {
+        self.initial_temperature = t.max(1e-6);
+        self
+    }
+}
+
+impl MultiObjectiveOptimizer for AnnealingOptimizer {
+    fn name(&self) -> &str {
+        "simulated-annealing"
+    }
+
+    fn run<E: Evaluator>(
+        &mut self,
+        space: &DesignSpace,
+        evaluator: &E,
+        budget: usize,
+    ) -> OptimizationResult {
+        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+        let n_obj = evaluator.num_objectives();
+        let mut cache: HashMap<Vec<usize>, Vec<f64>> = HashMap::new();
+        let mut history: Vec<EvaluationRecord> = Vec::new();
+
+        let eval = |p: &Vec<usize>,
+                        cache: &mut HashMap<Vec<usize>, Vec<f64>>,
+                        history: &mut Vec<EvaluationRecord>|
+         -> Vec<f64> {
+            if let Some(o) = cache.get(p) {
+                return o.clone();
+            }
+            let o = evaluator.evaluate(p);
+            cache.insert(p.clone(), o.clone());
+            history.push(EvaluationRecord {
+                iteration: history.len(),
+                point: p.clone(),
+                objectives: o.clone(),
+            });
+            o
+        };
+
+        // Unique evaluations are bounded by the space; see the NSGA-II
+        // implementation for the same convergence guard.
+        let budget = (budget as u128).min(space.len()) as usize;
+        let mut stale_steps = 0usize;
+
+        let mut current = space.random_point(&mut rng);
+        let mut current_objs = eval(&current, &mut cache, &mut history);
+        let mut temperature = self.initial_temperature;
+        let mut weights = random_weights(n_obj, &mut rng);
+        // Running objective ranges for normalization.
+        let mut mins = current_objs.clone();
+        let mut maxs = current_objs.clone();
+
+        let mut step = 0usize;
+        while history.len() < budget {
+            step += 1;
+            if step % self.reweight_every == 0 {
+                weights = random_weights(n_obj, &mut rng);
+                // Occasional restart from a random point keeps the
+                // archive exploring distant regions of the front.
+                if rng.random_bool(0.15) {
+                    current = space.random_point(&mut rng);
+                    current_objs = eval(&current, &mut cache, &mut history);
+                    if history.len() >= budget {
+                        break;
+                    }
+                }
+            }
+            let neighbors = space.neighbors(&current);
+            if neighbors.is_empty() {
+                break;
+            }
+            let proposal = neighbors[rng.random_range(0..neighbors.len())].clone();
+            let was_cached = cache.contains_key(&proposal);
+            let proposal_objs = eval(&proposal, &mut cache, &mut history);
+            if was_cached {
+                stale_steps += 1;
+                if stale_steps > budget * 20 + 500 {
+                    break; // converged: the walk revisits known points only
+                }
+            } else {
+                stale_steps = 0;
+            }
+            for i in 0..n_obj {
+                mins[i] = mins[i].min(proposal_objs[i]);
+                maxs[i] = maxs[i].max(proposal_objs[i]);
+            }
+            let e_cur = chebyshev(&current_objs, &weights, &mins, &maxs);
+            let e_new = chebyshev(&proposal_objs, &weights, &mins, &maxs);
+            let accept = e_new <= e_cur
+                || rng.random_bool(((e_cur - e_new) / temperature.max(1e-9)).exp().min(1.0));
+            if accept {
+                current = proposal;
+                current_objs = proposal_objs;
+            }
+            temperature *= self.cooling;
+        }
+
+        history.truncate(budget);
+        OptimizationResult::from_history(self.name(), history, evaluator.reference_point())
+    }
+}
+
+fn random_weights(n: usize, rng: &mut ChaCha12Rng) -> Vec<f64> {
+    let raw: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..1.0)).collect();
+    let sum: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / sum).collect()
+}
+
+/// Augmented Chebyshev scalarization on normalized objectives.
+fn chebyshev(objs: &[f64], weights: &[f64], mins: &[f64], maxs: &[f64]) -> f64 {
+    let norm = |v: f64, i: usize| {
+        if maxs[i] > mins[i] {
+            (v - mins[i]) / (maxs[i] - mins[i])
+        } else {
+            0.5
+        }
+    };
+    let mut max_term: f64 = 0.0;
+    let mut sum_term = 0.0;
+    for (i, (&v, &w)) in objs.iter().zip(weights).enumerate() {
+        let n = norm(v, i) * w;
+        max_term = max_term.max(n);
+        sum_term += n;
+    }
+    max_term + 0.05 * sum_term
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::test_problems::{Bowl3, Tradeoff};
+
+    #[test]
+    fn respects_budget() {
+        let space = DesignSpace::new(vec![32]).unwrap();
+        let mut sa = AnnealingOptimizer::new(2);
+        let res = sa.run(&space, &Tradeoff, 25);
+        assert!(res.evaluation_count() <= 25);
+        assert!(res.evaluation_count() > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let space = DesignSpace::new(vec![8, 8, 8]).unwrap();
+        let a = AnnealingOptimizer::new(4).run(&space, &Bowl3, 40);
+        let b = AnnealingOptimizer::new(4).run(&space, &Bowl3, 40);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn improves_over_first_sample() {
+        let space = DesignSpace::new(vec![32]).unwrap();
+        let res = AnnealingOptimizer::new(8).run(&space, &Tradeoff, 60);
+        assert!(res.final_hypervolume() >= res.hypervolume_trace[0]);
+        assert!(!res.pareto_front().is_empty());
+    }
+
+    #[test]
+    fn explores_multiple_points() {
+        let space = DesignSpace::new(vec![16, 16]).unwrap();
+        let res = AnnealingOptimizer::new(5).run(&space, &Tradeoff, 30);
+        let mut pts: Vec<_> = res.evaluations.iter().map(|e| e.point.clone()).collect();
+        pts.sort();
+        pts.dedup();
+        assert!(pts.len() > 5, "only {} unique points", pts.len());
+    }
+}

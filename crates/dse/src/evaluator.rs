@@ -1,0 +1,130 @@
+//! The evaluator and optimizer abstractions shared by all DSE algorithms.
+
+use crate::result::OptimizationResult;
+use crate::space::DesignSpace;
+
+/// A black-box, multi-objective function over a discrete design space.
+///
+/// All objectives are minimized. Implementations should be deterministic
+/// for a given point (AutoPilot's evaluations — simulator runs and
+/// database lookups — are).
+pub trait Evaluator {
+    /// Number of objectives returned by [`Evaluator::evaluate`].
+    fn num_objectives(&self) -> usize;
+
+    /// Evaluates the objectives at `point` (a design-space index vector).
+    fn evaluate(&self, point: &[usize]) -> Vec<f64>;
+
+    /// Reference point for hypervolume bookkeeping: a vector that every
+    /// attainable objective vector dominates. The default is a generous
+    /// constant; evaluators with known objective scales should override
+    /// it.
+    fn reference_point(&self) -> Vec<f64> {
+        vec![1.0e9; self.num_objectives()]
+    }
+}
+
+impl<E: Evaluator + ?Sized> Evaluator for &E {
+    fn num_objectives(&self) -> usize {
+        (**self).num_objectives()
+    }
+    fn evaluate(&self, point: &[usize]) -> Vec<f64> {
+        (**self).evaluate(point)
+    }
+    fn reference_point(&self) -> Vec<f64> {
+        (**self).reference_point()
+    }
+}
+
+/// A budgeted multi-objective optimizer.
+///
+/// Implementations are seeded at construction; `run` may be called
+/// repeatedly (each call restarts the optimization).
+pub trait MultiObjectiveOptimizer {
+    /// Human-readable algorithm name for reports.
+    fn name(&self) -> &str;
+
+    /// Runs the optimizer for at most `budget` objective evaluations.
+    fn run<E: Evaluator>(
+        &mut self,
+        space: &DesignSpace,
+        evaluator: &E,
+        budget: usize,
+    ) -> OptimizationResult;
+}
+
+#[cfg(test)]
+pub(crate) mod test_problems {
+    use super::Evaluator;
+
+    /// A tiny bi-objective trade-off problem over a 32-level dimension:
+    /// f0 = x, f1 = (1 - x)^2, whose Pareto front is the whole axis.
+    pub struct Tradeoff;
+
+    impl Evaluator for Tradeoff {
+        fn num_objectives(&self) -> usize {
+            2
+        }
+        fn evaluate(&self, point: &[usize]) -> Vec<f64> {
+            let x = point[0] as f64 / 31.0;
+            vec![x, (1.0 - x) * (1.0 - x)]
+        }
+        fn reference_point(&self) -> Vec<f64> {
+            vec![1.1, 1.1]
+        }
+    }
+
+    /// A 3-dimensional, 3-objective problem with a known optimal region:
+    /// a discretized DTLZ2-like bowl.
+    pub struct Bowl3;
+
+    impl Evaluator for Bowl3 {
+        fn num_objectives(&self) -> usize {
+            3
+        }
+        fn evaluate(&self, point: &[usize]) -> Vec<f64> {
+            let x: Vec<f64> = point.iter().map(|&p| p as f64 / 7.0).collect();
+            let g = (x[2] - 0.5) * (x[2] - 0.5);
+            let a = 0.5 * std::f64::consts::PI * x[0];
+            let b = 0.5 * std::f64::consts::PI * x[1];
+            vec![
+                (1.0 + g) * a.cos() * b.cos(),
+                (1.0 + g) * a.cos() * b.sin(),
+                (1.0 + g) * a.sin(),
+            ]
+        }
+        fn reference_point(&self) -> Vec<f64> {
+            vec![2.0, 2.0, 2.0]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_problems::Tradeoff;
+    use super::*;
+
+    #[test]
+    fn evaluator_impl_for_references() {
+        fn takes_eval<E: Evaluator>(e: &E) -> usize {
+            e.num_objectives()
+        }
+        let t = Tradeoff;
+        assert_eq!(takes_eval(&t), 2);
+        assert_eq!(takes_eval(&&t), 2);
+    }
+
+    #[test]
+    fn default_reference_point_is_per_objective() {
+        struct One;
+        impl Evaluator for One {
+            fn num_objectives(&self) -> usize {
+                4
+            }
+            fn evaluate(&self, _: &[usize]) -> Vec<f64> {
+                vec![0.0; 4]
+            }
+        }
+        assert_eq!(One.reference_point().len(), 4);
+    }
+}

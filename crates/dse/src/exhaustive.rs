@@ -1,0 +1,81 @@
+//! Exhaustive enumeration, the ground-truth baseline for small spaces.
+
+use crate::evaluator::{Evaluator, MultiObjectiveOptimizer};
+use crate::result::{EvaluationRecord, OptimizationResult};
+use crate::space::DesignSpace;
+
+/// Enumerates the design space in lexicographic order until the budget
+/// (or the space) is exhausted.
+///
+/// On spaces small enough to cover fully this recovers the exact Pareto
+/// frontier, making it the reference against which sampling optimizers
+/// are validated.
+#[derive(Debug, Clone, Default)]
+pub struct ExhaustiveSearch;
+
+impl ExhaustiveSearch {
+    /// Creates the optimizer.
+    pub fn new() -> ExhaustiveSearch {
+        ExhaustiveSearch
+    }
+}
+
+impl MultiObjectiveOptimizer for ExhaustiveSearch {
+    fn name(&self) -> &str {
+        "exhaustive"
+    }
+
+    fn run<E: Evaluator>(
+        &mut self,
+        space: &DesignSpace,
+        evaluator: &E,
+        budget: usize,
+    ) -> OptimizationResult {
+        let history: Vec<EvaluationRecord> = space
+            .iter_points()
+            .take(budget)
+            .enumerate()
+            .map(|(iteration, point)| {
+                let objectives = evaluator.evaluate(&point);
+                EvaluationRecord { iteration, point, objectives }
+            })
+            .collect();
+        OptimizationResult::from_history(self.name(), history, evaluator.reference_point())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::test_problems::Tradeoff;
+    use crate::pareto::hypervolume;
+    use crate::random::RandomSearch;
+
+    #[test]
+    fn covers_small_space_exactly() {
+        let space = DesignSpace::new(vec![32]).unwrap();
+        let res = ExhaustiveSearch::new().run(&space, &Tradeoff, 1000);
+        assert_eq!(res.evaluation_count(), 32);
+    }
+
+    #[test]
+    fn recovers_ground_truth_hypervolume() {
+        let space = DesignSpace::new(vec![32]).unwrap();
+        let truth = ExhaustiveSearch::new().run(&space, &Tradeoff, 1000);
+        let sampled = RandomSearch::new(1).run(&space, &Tradeoff, 16);
+        let r = Tradeoff.reference_point();
+        let truth_hv = hypervolume(
+            &truth.evaluations.iter().map(|e| e.objectives.clone()).collect::<Vec<_>>(),
+            &r,
+        );
+        assert!(truth_hv >= sampled.final_hypervolume());
+        assert!((truth.final_hypervolume() - truth_hv).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_budget_on_large_space() {
+        let space = DesignSpace::new(vec![100, 100]).unwrap();
+        let res = ExhaustiveSearch::new().run(&space, &Tradeoff, 50);
+        assert_eq!(res.evaluation_count(), 50);
+    }
+}

@@ -1,0 +1,243 @@
+//! NSGA-II genetic algorithm (Deb et al.), one of the alternative
+//! optimizers the paper lists for Phase 2.
+
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::collections::HashMap;
+
+use crate::evaluator::{Evaluator, MultiObjectiveOptimizer};
+use crate::pareto::{crowding_distance, non_dominated_sort};
+use crate::result::{EvaluationRecord, OptimizationResult};
+use crate::space::DesignSpace;
+
+/// Elitist non-dominated-sorting genetic algorithm over discrete index
+/// vectors. Uniform crossover, per-dimension random-reset mutation, and
+/// binary tournament selection by (rank, crowding distance).
+///
+/// Objective evaluations are memoized: only *new* points consume budget,
+/// matching how expensive DSE evaluations are accounted in practice.
+#[derive(Debug, Clone)]
+pub struct Nsga2Optimizer {
+    seed: u64,
+    population: usize,
+    crossover_prob: f64,
+    mutation_scale: f64,
+}
+
+impl Nsga2Optimizer {
+    /// Creates an optimizer with conventional defaults (population 24).
+    pub fn new(seed: u64) -> Nsga2Optimizer {
+        Nsga2Optimizer { seed, population: 24, crossover_prob: 0.9, mutation_scale: 1.0 }
+    }
+
+    /// Overrides the population size.
+    pub fn with_population(mut self, n: usize) -> Nsga2Optimizer {
+        self.population = n.max(4);
+        self
+    }
+}
+
+impl MultiObjectiveOptimizer for Nsga2Optimizer {
+    fn name(&self) -> &str {
+        "nsga-ii"
+    }
+
+    fn run<E: Evaluator>(
+        &mut self,
+        space: &DesignSpace,
+        evaluator: &E,
+        budget: usize,
+    ) -> OptimizationResult {
+        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+        let mut cache: HashMap<Vec<usize>, Vec<f64>> = HashMap::new();
+        let mut history: Vec<EvaluationRecord> = Vec::new();
+
+        let eval = |p: &Vec<usize>,
+                        cache: &mut HashMap<Vec<usize>, Vec<f64>>,
+                        history: &mut Vec<EvaluationRecord>|
+         -> Vec<f64> {
+            if let Some(o) = cache.get(p) {
+                return o.clone();
+            }
+            let o = evaluator.evaluate(p);
+            cache.insert(p.clone(), o.clone());
+            history.push(EvaluationRecord {
+                iteration: history.len(),
+                point: p.clone(),
+                objectives: o.clone(),
+            });
+            o
+        };
+
+        // The space itself bounds how many *unique* evaluations exist;
+        // without this cap a converged population of cache hits would
+        // spin forever on small spaces.
+        let budget = (budget as u128).min(space.len()) as usize;
+        let mut stale_generations = 0usize;
+
+        // Initial population.
+        let mut pop: Vec<Vec<usize>> = (0..self.population)
+            .map(|_| space.random_point(&mut rng))
+            .collect();
+        let mut pop_objs: Vec<Vec<f64>> = pop
+            .iter()
+            .map(|p| eval(p, &mut cache, &mut history))
+            .collect();
+
+        while history.len() < budget {
+            let history_before = history.len();
+            // Ranks and crowding for parent selection.
+            let fronts = non_dominated_sort(&pop_objs);
+            let mut rank = vec![0usize; pop.len()];
+            let mut crowd = vec![0.0f64; pop.len()];
+            for (r, front) in fronts.iter().enumerate() {
+                let d = crowding_distance(&pop_objs, front);
+                for (k, &i) in front.iter().enumerate() {
+                    rank[i] = r;
+                    crowd[i] = d[k];
+                }
+            }
+            let tournament = |rng: &mut ChaCha12Rng| -> usize {
+                let idx: Vec<usize> = (0..pop.len()).collect();
+                let a = *idx.choose(rng).expect("non-empty population");
+                let b = *idx.choose(rng).expect("non-empty population");
+                if rank[a] < rank[b] || (rank[a] == rank[b] && crowd[a] > crowd[b]) {
+                    a
+                } else {
+                    b
+                }
+            };
+
+            // Offspring generation.
+            let mut offspring: Vec<Vec<usize>> = Vec::with_capacity(self.population);
+            while offspring.len() < self.population {
+                let p1 = &pop[tournament(&mut rng)];
+                let p2 = &pop[tournament(&mut rng)];
+                let mut child: Vec<usize> = if rng.random_bool(self.crossover_prob) {
+                    p1.iter()
+                        .zip(p2)
+                        .map(|(&a, &b)| if rng.random_bool(0.5) { a } else { b })
+                        .collect()
+                } else {
+                    p1.clone()
+                };
+                // Random-reset mutation with expected `mutation_scale`
+                // genes flipped.
+                let pm = (self.mutation_scale / space.dims() as f64).min(1.0);
+                for (d, gene) in child.iter_mut().enumerate() {
+                    if rng.random_bool(pm) {
+                        *gene = rng.random_range(0..space.cardinality(d));
+                    }
+                }
+                offspring.push(child);
+            }
+
+            // Evaluate offspring (respecting the budget for new points).
+            let mut off_objs: Vec<Vec<f64>> = Vec::with_capacity(offspring.len());
+            for p in &offspring {
+                if history.len() >= budget && !cache.contains_key(p) {
+                    // Budget exhausted; fall back to parent duplication so
+                    // arrays stay aligned.
+                    off_objs.push(pop_objs[0].clone());
+                    continue;
+                }
+                off_objs.push(eval(p, &mut cache, &mut history));
+            }
+
+            // Environmental selection over parents + offspring.
+            let mut union = pop.clone();
+            union.extend(offspring);
+            let mut union_objs = pop_objs.clone();
+            union_objs.extend(off_objs);
+            let fronts = non_dominated_sort(&union_objs);
+            let mut next: Vec<usize> = Vec::with_capacity(self.population);
+            for front in fronts {
+                if next.len() + front.len() <= self.population {
+                    next.extend(front);
+                } else {
+                    let d = crowding_distance(&union_objs, &front);
+                    let mut order: Vec<usize> = (0..front.len()).collect();
+                    order.sort_by(|&a, &b| {
+                        d[b].partial_cmp(&d[a]).expect("crowding distances comparable")
+                    });
+                    for &k in order.iter().take(self.population - next.len()) {
+                        next.push(front[k]);
+                    }
+                    break;
+                }
+            }
+            pop = next.iter().map(|&i| union[i].clone()).collect();
+            pop_objs = next.iter().map(|&i| union_objs[i].clone()).collect();
+
+            // Terminate on convergence: generations that discover no new
+            // point cannot make progress toward the budget.
+            if history.len() == history_before {
+                stale_generations += 1;
+                if stale_generations >= 30 {
+                    break;
+                }
+            } else {
+                stale_generations = 0;
+            }
+            if history.len() >= budget {
+                break;
+            }
+        }
+
+        history.truncate(budget);
+        OptimizationResult::from_history(self.name(), history, evaluator.reference_point())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::test_problems::{Bowl3, Tradeoff};
+    use crate::random::RandomSearch;
+
+    #[test]
+    fn respects_budget() {
+        let space = DesignSpace::new(vec![32]).unwrap();
+        let mut ga = Nsga2Optimizer::new(11).with_population(8);
+        let res = ga.run(&space, &Tradeoff, 30);
+        assert!(res.evaluation_count() <= 30);
+        assert!(res.evaluation_count() >= 8);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let space = DesignSpace::new(vec![8, 8, 8]).unwrap();
+        let a = Nsga2Optimizer::new(7).with_population(8).run(&space, &Bowl3, 40);
+        let b = Nsga2Optimizer::new(7).with_population(8).run(&space, &Bowl3, 40);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn competitive_with_random_search() {
+        let space = DesignSpace::new(vec![8, 8, 8]).unwrap();
+        let budget = 60;
+        let mut ga_total = 0.0;
+        let mut rs_total = 0.0;
+        for seed in 0..3 {
+            ga_total += Nsga2Optimizer::new(seed)
+                .with_population(12)
+                .run(&space, &Bowl3, budget)
+                .final_hypervolume();
+            rs_total += RandomSearch::new(seed).run(&space, &Bowl3, budget).final_hypervolume();
+        }
+        assert!(ga_total >= rs_total * 0.95, "GA {ga_total:.4} vs RS {rs_total:.4}");
+    }
+
+    #[test]
+    fn finds_tradeoff_extremes() {
+        let space = DesignSpace::new(vec![32]).unwrap();
+        let res = Nsga2Optimizer::new(3).with_population(12).run(&space, &Tradeoff, 64);
+        let front = res.pareto_front();
+        // Both ends of the trade-off should be on the front.
+        let min_f0 = front.iter().map(|e| e.objectives[0]).fold(f64::INFINITY, f64::min);
+        let min_f1 = front.iter().map(|e| e.objectives[1]).fold(f64::INFINITY, f64::min);
+        assert!(min_f0 < 0.1, "min f0 {min_f0}");
+        assert!(min_f1 < 0.1, "min f1 {min_f1}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Exact Gaussian-process regression with a squared-exponential kernel.
+
+use crate::linalg::{sq_dist, Matrix};
+
+/// A fitted Gaussian process over normalized inputs in `[0, 1]^d`.
+///
+/// The paper uses GP surrogates with the squared-exponential (SE) kernel
+/// for each objective; this implementation follows the standard
+/// Rasmussen & Williams recipe (Cholesky of the kernel matrix, `alpha =
+/// K^-1 y`). Hyperparameters are set by simple, robust heuristics: signal
+/// variance from the sample variance, a shared isotropic lengthscale from
+/// the median pairwise distance, and a small noise floor for numerical
+/// stability.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    x: Vec<Vec<f64>>,
+    chol: Matrix,
+    alpha: Vec<f64>,
+    mean_y: f64,
+    signal_var: f64,
+    lengthscale_sq: f64,
+}
+
+impl GaussianProcess {
+    /// Fits a GP to `(x, y)` observations.
+    ///
+    /// Inputs should be normalized to roughly the unit cube; outputs are
+    /// centred internally.
+    ///
+    /// Returns `None` when fewer than two observations are provided or the
+    /// kernel matrix cannot be factorized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` lengths differ or input dimensions are
+    /// inconsistent.
+    pub fn fit(x: &[Vec<f64>], y: &[f64]) -> Option<GaussianProcess> {
+        assert_eq!(x.len(), y.len(), "x and y must have equal length");
+        let n = x.len();
+        if n < 2 {
+            return None;
+        }
+        let dim = x[0].len();
+        assert!(x.iter().all(|p| p.len() == dim), "inconsistent input dims");
+
+        let mean_y = y.iter().sum::<f64>() / n as f64;
+        let centred: Vec<f64> = y.iter().map(|v| v - mean_y).collect();
+        let var_y = centred.iter().map(|v| v * v).sum::<f64>() / n as f64;
+        let signal_var = var_y.max(1e-12);
+
+        // Median pairwise squared distance as the (squared) lengthscale.
+        let mut dists: Vec<f64> = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                dists.push(sq_dist(&x[i], &x[j]));
+            }
+        }
+        dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        let median = dists.get(dists.len() / 2).copied().unwrap_or(1.0);
+        let lengthscale_sq = median.max(1e-6);
+
+        let noise = signal_var * 1e-4 + 1e-10;
+        let k = Matrix::from_fn(n, n, |i, j| {
+            let v = signal_var * (-0.5 * sq_dist(&x[i], &x[j]) / lengthscale_sq).exp();
+            if i == j {
+                v + noise
+            } else {
+                v
+            }
+        });
+        let chol = k.cholesky()?;
+        let tmp = chol.solve_lower(&centred);
+        let alpha = chol.solve_lower_transpose(&tmp);
+
+        Some(GaussianProcess {
+            x: x.to_vec(),
+            chol,
+            alpha,
+            mean_y,
+            signal_var,
+            lengthscale_sq,
+        })
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when the GP has no training points (never constructed this
+    /// way, but part of the `len`/`is_empty` contract).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Posterior mean and variance at `point`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` has the wrong dimension.
+    pub fn predict(&self, point: &[f64]) -> (f64, f64) {
+        assert_eq!(point.len(), self.x[0].len(), "dimension mismatch");
+        let kstar: Vec<f64> = self
+            .x
+            .iter()
+            .map(|xi| self.signal_var * (-0.5 * sq_dist(xi, point) / self.lengthscale_sq).exp())
+            .collect();
+        let mean = self.mean_y + kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
+        let v = self.chol.solve_lower(&kstar);
+        let var = (self.signal_var - v.iter().map(|x| x * x).sum::<f64>()).max(0.0);
+        (mean, var)
+    }
+
+    /// Lower confidence bound `mean - beta * std` at `point`.
+    pub fn lcb(&self, point: &[f64], beta: f64) -> f64 {
+        let (m, v) = self.predict(point);
+        m - beta * v.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let x = grid1d(8);
+        let y: Vec<f64> = x.iter().map(|p| (4.0 * p[0]).sin()).collect();
+        let gp = GaussianProcess::fit(&x, &y).unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            let (m, v) = gp.predict(xi);
+            assert!((m - yi).abs() < 1e-2, "mean {m} vs {yi}");
+            assert!(v < 1e-2, "variance {v} at training point");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let x = vec![vec![0.0], vec![0.1], vec![0.2]];
+        let y = vec![0.0, 0.1, 0.2];
+        let gp = GaussianProcess::fit(&x, &y).unwrap();
+        let (_, v_near) = gp.predict(&[0.1]);
+        let (_, v_far) = gp.predict(&[5.0]);
+        assert!(v_far > v_near);
+    }
+
+    #[test]
+    fn prediction_reasonable_between_points() {
+        let x = grid1d(16);
+        let y: Vec<f64> = x.iter().map(|p| p[0] * p[0]).collect();
+        let gp = GaussianProcess::fit(&x, &y).unwrap();
+        let (m, _) = gp.predict(&[0.5]);
+        assert!((m - 0.25).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn too_few_points_returns_none() {
+        assert!(GaussianProcess::fit(&[vec![0.0]], &[1.0]).is_none());
+        assert!(GaussianProcess::fit(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn lcb_below_mean() {
+        let x = grid1d(6);
+        let y: Vec<f64> = x.iter().map(|p| p[0]).collect();
+        let gp = GaussianProcess::fit(&x, &y).unwrap();
+        let (m, _) = gp.predict(&[0.55]);
+        assert!(gp.lcb(&[0.55], 2.0) <= m);
+    }
+
+    #[test]
+    fn constant_targets_are_handled() {
+        let x = grid1d(5);
+        let y = vec![3.0; 5];
+        let gp = GaussianProcess::fit(&x, &y).unwrap();
+        let (m, _) = gp.predict(&[0.5]);
+        assert!((m - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn len_reports_training_size() {
+        let x = grid1d(5);
+        let y = vec![0.0; 5];
+        let gp = GaussianProcess::fit(&x, &y).unwrap();
+        assert_eq!(gp.len(), 5);
+        assert!(!gp.is_empty());
+    }
+}

@@ -1,0 +1,345 @@
+//! Pareto dominance, non-dominated sorting, crowding distance, and exact
+//! hypervolume for two and three objectives. All objectives are minimized.
+
+/// True when `a` Pareto-dominates `b` (no worse in every objective,
+/// strictly better in at least one).
+///
+/// # Panics
+///
+/// Panics if the objective vectors have different lengths.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective dimension mismatch");
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Indices of the non-dominated points in `points`.
+///
+/// Duplicate objective vectors are all retained (none dominates another).
+pub fn pareto_indices(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut out = Vec::new();
+    'outer: for (i, p) in points.iter().enumerate() {
+        for (j, q) in points.iter().enumerate() {
+            if i != j && (dominates(q, p) || (q == p && j < i)) {
+                continue 'outer;
+            }
+        }
+        out.push(i);
+    }
+    out
+}
+
+/// Fast non-dominated sort (NSGA-II): returns fronts of indices, best
+/// front first.
+pub fn non_dominated_sort(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let n = points.len();
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // i dominates these
+    let mut domination_count = vec![0usize; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if dominates(&points[i], &points[j]) {
+                dominated_by[i].push(j);
+            } else if dominates(&points[j], &points[i]) {
+                domination_count[i] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominated_by[i] {
+                domination_count[j] -= 1;
+                if domination_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::take(&mut current));
+        current = next;
+    }
+    fronts
+}
+
+/// NSGA-II crowding distance for the points at `indices` (within one
+/// front). Boundary points receive `f64::INFINITY`.
+pub fn crowding_distance(points: &[Vec<f64>], indices: &[usize]) -> Vec<f64> {
+    let m = indices.len();
+    let mut dist = vec![0.0; m];
+    if m == 0 {
+        return dist;
+    }
+    let objectives = points[indices[0]].len();
+    for obj in 0..objectives {
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&a, &b| {
+            points[indices[a]][obj]
+                .partial_cmp(&points[indices[b]][obj])
+                .expect("finite objectives")
+        });
+        let lo = points[indices[order[0]]][obj];
+        let hi = points[indices[order[m - 1]]][obj];
+        dist[order[0]] = f64::INFINITY;
+        dist[order[m - 1]] = f64::INFINITY;
+        let range = hi - lo;
+        if range <= 0.0 {
+            continue;
+        }
+        for w in 1..m - 1 {
+            let prev = points[indices[order[w - 1]]][obj];
+            let next = points[indices[order[w + 1]]][obj];
+            dist[order[w]] += (next - prev) / range;
+        }
+    }
+    dist
+}
+
+/// Exact hypervolume (to be maximized) of a minimization front with
+/// respect to `reference` (an upper bound that every point must
+/// dominate). Points not dominating the reference contribute nothing.
+///
+/// Supports 1, 2, and 3 objectives.
+///
+/// # Panics
+///
+/// Panics for more than three objectives or mismatched dimensions.
+pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let d = reference.len();
+    assert!(
+        (1..=3).contains(&d),
+        "hypervolume implemented for 1-3 objectives, got {d}"
+    );
+    let filtered: Vec<Vec<f64>> = points
+        .iter()
+        .filter(|p| {
+            assert_eq!(p.len(), d, "objective dimension mismatch");
+            p.iter().zip(reference).all(|(x, r)| x < r)
+        })
+        .cloned()
+        .collect();
+    if filtered.is_empty() {
+        return 0.0;
+    }
+    let idx = pareto_indices(&filtered);
+    let front: Vec<Vec<f64>> = idx.into_iter().map(|i| filtered[i].clone()).collect();
+    match d {
+        1 => reference[0] - front.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min),
+        2 => hv2d(&front, reference),
+        3 => hv3d(&front, reference),
+        _ => unreachable!(),
+    }
+}
+
+/// 2-D hypervolume by a left-to-right sweep over the sorted front.
+fn hv2d(front: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let mut pts: Vec<(f64, f64)> = front.iter().map(|p| (p[0], p[1])).collect();
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite objectives"));
+    let mut hv = 0.0;
+    let mut prev_y = reference[1];
+    for (x, y) in pts {
+        if y < prev_y {
+            hv += (reference[0] - x) * (prev_y - y);
+            prev_y = y;
+        }
+    }
+    hv
+}
+
+/// 3-D hypervolume by slicing along the third objective: between
+/// consecutive z-levels the dominated area is the 2-D hypervolume of the
+/// points at or below the slab.
+fn hv3d(front: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let mut order: Vec<usize> = (0..front.len()).collect();
+    order.sort_by(|&a, &b| front[a][2].partial_cmp(&front[b][2]).expect("finite objectives"));
+    let mut hv = 0.0;
+    let mut active: Vec<Vec<f64>> = Vec::new();
+    for (rank, &i) in order.iter().enumerate() {
+        let z_lo = front[i][2];
+        let z_hi = if rank + 1 < order.len() {
+            front[order[rank + 1]][2]
+        } else {
+            reference[2]
+        };
+        active.push(vec![front[i][0], front[i][1]]);
+        if z_hi > z_lo {
+            let ref2 = [reference[0], reference[1]];
+            let idx = pareto_indices(&active);
+            let front2: Vec<Vec<f64>> = idx.iter().map(|&j| active[j].clone()).collect();
+            hv += hv2d(&front2, &ref2) * (z_hi - z_lo);
+        }
+    }
+    hv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]));
+    }
+
+    #[test]
+    fn pareto_indices_filters_dominated() {
+        let pts = vec![
+            vec![1.0, 4.0],
+            vec![2.0, 2.0],
+            vec![4.0, 1.0],
+            vec![3.0, 3.0], // dominated by [2,2]
+        ];
+        assert_eq!(pareto_indices(&pts), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pareto_keeps_one_of_duplicates() {
+        let pts = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert_eq!(pareto_indices(&pts), vec![0]);
+    }
+
+    #[test]
+    fn nds_orders_fronts() {
+        let pts = vec![
+            vec![1.0, 1.0], // front 0 (dominates everything)
+            vec![2.0, 2.0], // front 1
+            vec![3.0, 3.0], // front 2
+        ];
+        let fronts = non_dominated_sort(&pts);
+        assert_eq!(fronts, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn crowding_rewards_boundary_and_spread() {
+        let pts = vec![vec![0.0, 4.0], vec![1.0, 2.0], vec![2.0, 1.5], vec![4.0, 0.0]];
+        let idx = vec![0, 1, 2, 3];
+        let d = crowding_distance(&pts, &idx);
+        assert!(d[0].is_infinite() && d[3].is_infinite());
+        assert!(d[1] > 0.0 && d[2] > 0.0);
+    }
+
+    #[test]
+    fn hv2d_rectangle() {
+        // Single point (1,1) with reference (3,3): area 2x2 = 4.
+        assert!((hypervolume(&[vec![1.0, 1.0]], &[3.0, 3.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hv2d_two_points_union() {
+        // (1,2) and (2,1) with ref (3,3): union area = 2*1 + 1*2 - 1*1 = hmm
+        // sweep: (1,2): (3-1)*(3-2)=2; (2,1): (3-2)*(2-1)=1 -> 3.
+        let hv = hypervolume(&[vec![1.0, 2.0], vec![2.0, 1.0]], &[3.0, 3.0]);
+        assert!((hv - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hv3d_box() {
+        // Point (0,0,0) with ref (1,2,3) -> volume 6.
+        let hv = hypervolume(&[vec![0.0, 0.0, 0.0]], &[1.0, 2.0, 3.0]);
+        assert!((hv - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hv3d_union_of_two_boxes() {
+        // Boxes from (0,0,0) and (0.5,0.5,-1)... use simple orthogonal case:
+        // p1=(0,1,1), p2=(1,0,1), ref=(2,2,2).
+        // slice z in [1,2): 2D front {(0,1),(1,0)} area = 2*1+1*1 = 3
+        // volume = 3 * 1 = 3.
+        let hv = hypervolume(&[vec![0.0, 1.0, 1.0], vec![1.0, 0.0, 1.0]], &[2.0, 2.0, 2.0]);
+        assert!((hv - 3.0).abs() < 1e-12, "hv = {hv}");
+    }
+
+    #[test]
+    fn hv_monotone_in_added_points() {
+        let base = vec![vec![2.0, 2.0, 2.0]];
+        let more = vec![vec![2.0, 2.0, 2.0], vec![1.0, 3.0, 1.0]];
+        let r = [4.0, 4.0, 4.0];
+        assert!(hypervolume(&more, &r) >= hypervolume(&base, &r));
+    }
+
+    #[test]
+    fn points_outside_reference_ignored() {
+        let hv = hypervolume(&[vec![5.0, 5.0]], &[3.0, 3.0]);
+        assert_eq!(hv, 0.0);
+    }
+
+    #[test]
+    fn dominated_point_adds_nothing() {
+        let r = [4.0, 4.0];
+        let a = hypervolume(&[vec![1.0, 1.0]], &r);
+        let b = hypervolume(&[vec![1.0, 1.0], vec![2.0, 2.0]], &r);
+        assert!((a - b).abs() < 1e-12);
+    }
+}
+
+/// Inverted generational distance: mean Euclidean distance from each
+/// reference-front point to its nearest point in `approximation`. Lower
+/// is better; zero means the approximation covers the reference front.
+///
+/// # Panics
+///
+/// Panics when `reference_front` is empty or dimensions are
+/// inconsistent.
+pub fn inverted_generational_distance(
+    approximation: &[Vec<f64>],
+    reference_front: &[Vec<f64>],
+) -> f64 {
+    assert!(!reference_front.is_empty(), "reference front must be non-empty");
+    if approximation.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut total = 0.0;
+    for r in reference_front {
+        let nearest = approximation
+            .iter()
+            .map(|a| {
+                assert_eq!(a.len(), r.len(), "objective dimension mismatch");
+                a.iter().zip(r).map(|(x, y)| (x - y) * (x - y)).sum::<f64>()
+            })
+            .fold(f64::INFINITY, f64::min);
+        total += nearest.sqrt();
+    }
+    total / reference_front.len() as f64
+}
+
+#[cfg(test)]
+mod igd_tests {
+    use super::*;
+
+    #[test]
+    fn perfect_cover_has_zero_igd() {
+        let front = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        assert_eq!(inverted_generational_distance(&front, &front), 0.0);
+    }
+
+    #[test]
+    fn distance_grows_with_gap() {
+        let reference = vec![vec![0.0, 0.0]];
+        let near = vec![vec![0.1, 0.0]];
+        let far = vec![vec![1.0, 0.0]];
+        assert!(
+            inverted_generational_distance(&near, &reference)
+                < inverted_generational_distance(&far, &reference)
+        );
+    }
+
+    #[test]
+    fn empty_approximation_is_infinite() {
+        let reference = vec![vec![0.0, 0.0]];
+        assert!(inverted_generational_distance(&[], &reference).is_infinite());
+    }
+}

@@ -1,0 +1,89 @@
+//! Random-search baseline.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::collections::HashSet;
+
+use crate::evaluator::{Evaluator, MultiObjectiveOptimizer};
+use crate::result::{EvaluationRecord, OptimizationResult};
+use crate::space::DesignSpace;
+
+/// Uniform random search without replacement (up to a retry bound).
+///
+/// The weakest sensible baseline for Phase-2 DSE comparisons.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    seed: u64,
+}
+
+impl RandomSearch {
+    /// Creates a random search with a deterministic seed.
+    pub fn new(seed: u64) -> RandomSearch {
+        RandomSearch { seed }
+    }
+}
+
+impl MultiObjectiveOptimizer for RandomSearch {
+    fn name(&self) -> &str {
+        "random-search"
+    }
+
+    fn run<E: Evaluator>(
+        &mut self,
+        space: &DesignSpace,
+        evaluator: &E,
+        budget: usize,
+    ) -> OptimizationResult {
+        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+        let mut seen: HashSet<Vec<usize>> = HashSet::new();
+        let mut history = Vec::with_capacity(budget);
+        let mut retries = 0usize;
+        while history.len() < budget && retries < budget * 20 {
+            let p = space.random_point(&mut rng);
+            if !seen.insert(p.clone()) {
+                retries += 1;
+                continue;
+            }
+            let objectives = evaluator.evaluate(&p);
+            history.push(EvaluationRecord {
+                iteration: history.len(),
+                point: p,
+                objectives,
+            });
+        }
+        OptimizationResult::from_history(self.name(), history, evaluator.reference_point())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::test_problems::Tradeoff;
+
+    #[test]
+    fn respects_budget_and_dedupes() {
+        let space = DesignSpace::new(vec![32]).unwrap();
+        let mut rs = RandomSearch::new(1);
+        let res = rs.run(&space, &Tradeoff, 16);
+        assert!(res.evaluation_count() <= 16);
+        let mut pts: Vec<_> = res.evaluations.iter().map(|e| e.point.clone()).collect();
+        pts.sort();
+        pts.dedup();
+        assert_eq!(pts.len(), res.evaluation_count());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let space = DesignSpace::new(vec![32]).unwrap();
+        let a = RandomSearch::new(9).run(&space, &Tradeoff, 10);
+        let b = RandomSearch::new(9).run(&space, &Tradeoff, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exhausts_small_space() {
+        let space = DesignSpace::new(vec![4]).unwrap();
+        let res = RandomSearch::new(2).run(&space, &Tradeoff, 100);
+        assert_eq!(res.evaluation_count(), 4);
+    }
+}

@@ -1,0 +1,250 @@
+//! Discrete design spaces and their normalized encodings.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// A discrete, rectangular design space: dimension `i` takes one of
+/// `cardinalities[i]` ordinal levels.
+///
+/// Points are index vectors (`Vec<usize>`); [`DesignSpace::encode`] maps
+/// them to `[0, 1]^d` for surrogate models, preserving the ordinal
+/// structure of the underlying parameter lists (Table II parameters are
+/// all ordered: layer counts, filter counts, power-of-two PE and SRAM
+/// sizes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    cardinalities: Vec<usize>,
+}
+
+impl DesignSpace {
+    /// Creates a space from per-dimension cardinalities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError`] when there are no dimensions or any
+    /// dimension has zero levels.
+    pub fn new(cardinalities: Vec<usize>) -> Result<DesignSpace, SpaceError> {
+        if cardinalities.is_empty() {
+            return Err(SpaceError::NoDimensions);
+        }
+        if let Some(dim) = cardinalities.iter().position(|&c| c == 0) {
+            return Err(SpaceError::EmptyDimension { dim });
+        }
+        Ok(DesignSpace { cardinalities })
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.cardinalities.len()
+    }
+
+    /// Number of levels in dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range.
+    pub fn cardinality(&self, dim: usize) -> usize {
+        self.cardinalities[dim]
+    }
+
+    /// Total number of points (saturating).
+    pub fn len(&self) -> u128 {
+        self.cardinalities.iter().fold(1u128, |acc, &c| acc.saturating_mul(c as u128))
+    }
+
+    /// True when the space has zero points (never constructible; part of
+    /// the `len`/`is_empty` contract).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when `point` is inside the space.
+    pub fn contains(&self, point: &[usize]) -> bool {
+        point.len() == self.dims()
+            && point.iter().zip(&self.cardinalities).all(|(&p, &c)| p < c)
+    }
+
+    /// Normalized `[0, 1]^d` encoding of `point` (level midpoint
+    /// encoding; single-level dimensions encode to 0.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` is outside the space.
+    pub fn encode(&self, point: &[usize]) -> Vec<f64> {
+        assert!(self.contains(point), "point outside design space");
+        point
+            .iter()
+            .zip(&self.cardinalities)
+            .map(|(&p, &c)| {
+                if c == 1 {
+                    0.5
+                } else {
+                    p as f64 / (c - 1) as f64
+                }
+            })
+            .collect()
+    }
+
+    /// A uniformly random point.
+    pub fn random_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<usize> {
+        self.cardinalities.iter().map(|&c| rng.random_range(0..c)).collect()
+    }
+
+    /// All 1-step ordinal neighbours of `point` (each dimension +-1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` is outside the space.
+    pub fn neighbors(&self, point: &[usize]) -> Vec<Vec<usize>> {
+        assert!(self.contains(point), "point outside design space");
+        let mut out = Vec::new();
+        for d in 0..self.dims() {
+            if point[d] > 0 {
+                let mut p = point.to_vec();
+                p[d] -= 1;
+                out.push(p);
+            }
+            if point[d] + 1 < self.cardinalities[d] {
+                let mut p = point.to_vec();
+                p[d] += 1;
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Iterates over every point of the space in lexicographic order.
+    ///
+    /// Intended for small spaces (exhaustive baselines and tests); the
+    /// iterator is lazy so it is safe to `take` from a large space.
+    pub fn iter_points(&self) -> impl Iterator<Item = Vec<usize>> + '_ {
+        let dims = self.dims();
+        let mut current = vec![0usize; dims];
+        let mut done = false;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            let out = current.clone();
+            // Advance odometer.
+            let mut d = dims;
+            loop {
+                if d == 0 {
+                    done = true;
+                    break;
+                }
+                d -= 1;
+                current[d] += 1;
+                if current[d] < self.cardinalities[d] {
+                    break;
+                }
+                current[d] = 0;
+            }
+            Some(out)
+        })
+    }
+}
+
+/// Error constructing a [`DesignSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpaceError {
+    /// The space has no dimensions.
+    NoDimensions,
+    /// Dimension `dim` has zero levels.
+    EmptyDimension {
+        /// Offending dimension index.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::NoDimensions => write!(f, "design space must have at least one dimension"),
+            SpaceError::EmptyDimension { dim } => {
+                write!(f, "design-space dimension {dim} has zero levels")
+            }
+        }
+    }
+}
+
+impl Error for SpaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn size_is_product_of_cardinalities() {
+        let s = DesignSpace::new(vec![9, 3, 8, 8, 8, 8, 8]).unwrap();
+        assert_eq!(s.len(), 9 * 3 * 8u128.pow(5));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn rejects_degenerate_spaces() {
+        assert_eq!(DesignSpace::new(vec![]), Err(SpaceError::NoDimensions));
+        assert_eq!(
+            DesignSpace::new(vec![3, 0]),
+            Err(SpaceError::EmptyDimension { dim: 1 })
+        );
+    }
+
+    #[test]
+    fn encode_maps_to_unit_interval() {
+        let s = DesignSpace::new(vec![5, 1]).unwrap();
+        assert_eq!(s.encode(&[0, 0]), vec![0.0, 0.5]);
+        assert_eq!(s.encode(&[4, 0]), vec![1.0, 0.5]);
+        assert_eq!(s.encode(&[2, 0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn random_points_are_contained() {
+        let s = DesignSpace::new(vec![9, 3, 8]).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert!(s.contains(&s.random_point(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn neighbors_differ_in_one_dim() {
+        let s = DesignSpace::new(vec![3, 3]).unwrap();
+        let n = s.neighbors(&[1, 1]);
+        assert_eq!(n.len(), 4);
+        for p in &n {
+            let diff: usize = p
+                .iter()
+                .zip(&[1usize, 1])
+                .map(|(a, b)| a.abs_diff(*b))
+                .sum();
+            assert_eq!(diff, 1);
+        }
+        // Corner point has fewer neighbours.
+        assert_eq!(s.neighbors(&[0, 0]).len(), 2);
+    }
+
+    #[test]
+    fn iter_points_is_exhaustive_and_unique() {
+        let s = DesignSpace::new(vec![3, 2, 2]).unwrap();
+        let all: Vec<_> = s.iter_points().collect();
+        assert_eq!(all.len(), 12);
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 12);
+        assert!(all.iter().all(|p| s.contains(p)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside design space")]
+    fn encode_rejects_out_of_range() {
+        let s = DesignSpace::new(vec![2, 2]).unwrap();
+        let _ = s.encode(&[2, 0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the DSE machinery.
+
+use dse_opt::pareto::{
+    crowding_distance, dominates, hypervolume, inverted_generational_distance,
+    non_dominated_sort, pareto_indices,
+};
+use dse_opt::{
+    AnnealingOptimizer, DesignSpace, Evaluator, ExhaustiveSearch, MultiObjectiveOptimizer,
+    Nsga2Optimizer, RandomSearch,
+};
+use proptest::prelude::*;
+
+fn arb_points(max_n: usize, d: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0f64..10.0, d..=d), 1..max_n)
+}
+
+struct Weighted;
+
+impl Evaluator for Weighted {
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn evaluate(&self, point: &[usize]) -> Vec<f64> {
+        let x = point[0] as f64 / 15.0;
+        let y = point.get(1).copied().unwrap_or(0) as f64 / 15.0;
+        vec![x + 0.2 * y, (1.0 - x) + 0.3 * (1.0 - y)]
+    }
+    fn reference_point(&self) -> Vec<f64> {
+        vec![2.0, 2.0]
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No point on the Pareto front is dominated by any other point.
+    #[test]
+    fn pareto_front_is_mutually_nondominated(points in arb_points(24, 3)) {
+        let front = pareto_indices(&points);
+        for &i in &front {
+            for (j, q) in points.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!dominates(q, &points[i]) || points[i] == *q);
+                }
+            }
+        }
+    }
+
+    /// Every point belongs to exactly one front of the non-dominated
+    /// sort, and front ranks respect dominance.
+    #[test]
+    fn nds_partitions_points(points in arb_points(20, 2)) {
+        let fronts = non_dominated_sort(&points);
+        let mut seen = vec![false; points.len()];
+        for front in &fronts {
+            for &i in front {
+                prop_assert!(!seen[i], "point {i} appears twice");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // A point in front k+1 must be dominated by someone in front k.
+        for w in fronts.windows(2) {
+            for &j in &w[1] {
+                prop_assert!(
+                    w[0].iter().any(|&i| dominates(&points[i], &points[j])),
+                    "front ordering violated"
+                );
+            }
+        }
+    }
+
+    /// Hypervolume never decreases when a point is added.
+    #[test]
+    fn hypervolume_monotone_in_points(points in arb_points(16, 3), extra in prop::collection::vec(0.0f64..10.0, 3)) {
+        let reference = [11.0, 11.0, 11.0];
+        let base = hypervolume(&points, &reference);
+        let mut more = points.clone();
+        more.push(extra);
+        prop_assert!(hypervolume(&more, &reference) >= base - 1e-9);
+    }
+
+    /// Hypervolume is bounded by the reference box volume.
+    #[test]
+    fn hypervolume_bounded_by_box(points in arb_points(16, 2)) {
+        let reference = [10.5, 10.5];
+        let hv = hypervolume(&points, &reference);
+        prop_assert!(hv <= 10.5 * 10.5 + 1e-9);
+        prop_assert!(hv >= 0.0);
+    }
+
+    /// Crowding distances are non-negative and boundary points infinite.
+    #[test]
+    fn crowding_distances_well_formed(points in arb_points(12, 2)) {
+        let idx: Vec<usize> = (0..points.len()).collect();
+        let d = crowding_distance(&points, &idx);
+        prop_assert_eq!(d.len(), points.len());
+        prop_assert!(d.iter().all(|&x| x >= 0.0));
+        if points.len() >= 2 {
+            prop_assert!(d.iter().filter(|x| x.is_infinite()).count() >= 2);
+        }
+    }
+
+    /// IGD of the exhaustive front against itself is zero; any sampled
+    /// subset has non-negative IGD.
+    #[test]
+    fn igd_properties(seed in 0u64..64) {
+        let space = DesignSpace::new(vec![16, 16]).unwrap();
+        let truth = ExhaustiveSearch::new().run(&space, &Weighted, 10_000);
+        let truth_front: Vec<Vec<f64>> =
+            truth.pareto_front().iter().map(|e| e.objectives.clone()).collect();
+        prop_assert_eq!(
+            inverted_generational_distance(&truth_front, &truth_front), 0.0);
+        let sampled = RandomSearch::new(seed).run(&space, &Weighted, 20);
+        let approx: Vec<Vec<f64>> =
+            sampled.pareto_front().iter().map(|e| e.objectives.clone()).collect();
+        prop_assert!(inverted_generational_distance(&approx, &truth_front) >= 0.0);
+    }
+
+    /// All optimizers respect the budget and never report points outside
+    /// the space.
+    #[test]
+    fn optimizers_respect_budget_and_space(seed in 0u64..32, budget in 4usize..40) {
+        let space = DesignSpace::new(vec![16, 16]).unwrap();
+        let results = [
+            RandomSearch::new(seed).run(&space, &Weighted, budget),
+            Nsga2Optimizer::new(seed).with_population(6).run(&space, &Weighted, budget),
+            AnnealingOptimizer::new(seed).run(&space, &Weighted, budget),
+        ];
+        for r in results {
+            prop_assert!(r.evaluation_count() <= budget, "{} over budget", r.algorithm);
+            for e in &r.evaluations {
+                prop_assert!(space.contains(&e.point));
+            }
+            // Hypervolume trace is monotone.
+            for w in r.hypervolume_trace.windows(2) {
+                prop_assert!(w[1] >= w[0] - 1e-12);
+            }
+        }
+    }
+}

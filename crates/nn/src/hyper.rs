@@ -1,0 +1,163 @@
+//! Hyperparameters of the E2E template and the Table II search space.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Legal values for the `# Layers` hyperparameter (Table II).
+pub const LAYER_CHOICES: [usize; 9] = [2, 3, 4, 5, 6, 7, 8, 9, 10];
+
+/// Legal values for the `# Filter` hyperparameter (Table II).
+pub const FILTER_CHOICES: [usize; 3] = [32, 48, 64];
+
+/// Hyperparameters of one instance of the multi-modal E2E template.
+///
+/// Only values listed in Table II of the paper are accepted; use
+/// [`PolicyHyperparams::enumerate`] to iterate over the full 27-point
+/// algorithm space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PolicyHyperparams {
+    conv_layers: usize,
+    filters: usize,
+}
+
+impl PolicyHyperparams {
+    /// Creates hyperparameters after validating them against Table II.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperparamError`] when either value is outside the
+    /// published search space.
+    pub fn new(conv_layers: usize, filters: usize) -> Result<PolicyHyperparams, HyperparamError> {
+        if !LAYER_CHOICES.contains(&conv_layers) {
+            return Err(HyperparamError::InvalidLayerCount { value: conv_layers });
+        }
+        if !FILTER_CHOICES.contains(&filters) {
+            return Err(HyperparamError::InvalidFilterCount { value: filters });
+        }
+        Ok(PolicyHyperparams { conv_layers, filters })
+    }
+
+    /// Number of convolution layers in the image trunk.
+    pub fn conv_layers(&self) -> usize {
+        self.conv_layers
+    }
+
+    /// Filter count of every convolution layer.
+    pub fn filters(&self) -> usize {
+        self.filters
+    }
+
+    /// Enumerates the full algorithm search space in a deterministic order
+    /// (layers outer, filters inner).
+    pub fn enumerate() -> Vec<PolicyHyperparams> {
+        let mut out = Vec::with_capacity(LAYER_CHOICES.len() * FILTER_CHOICES.len());
+        for &l in &LAYER_CHOICES {
+            for &f in &FILTER_CHOICES {
+                out.push(PolicyHyperparams { conv_layers: l, filters: f });
+            }
+        }
+        out
+    }
+
+    /// Size of the algorithm search space (27 in the paper).
+    pub fn space_size() -> usize {
+        LAYER_CHOICES.len() * FILTER_CHOICES.len()
+    }
+
+    /// A stable short identifier, e.g. `"l7f48"`.
+    pub fn id(&self) -> String {
+        format!("l{}f{}", self.conv_layers, self.filters)
+    }
+}
+
+impl fmt::Display for PolicyHyperparams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} layers x {} filters", self.conv_layers, self.filters)
+    }
+}
+
+/// Error returned for hyperparameters outside the Table II space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HyperparamError {
+    /// Layer count not in [`LAYER_CHOICES`].
+    InvalidLayerCount {
+        /// Rejected value.
+        value: usize,
+    },
+    /// Filter count not in [`FILTER_CHOICES`].
+    InvalidFilterCount {
+        /// Rejected value.
+        value: usize,
+    },
+}
+
+impl fmt::Display for HyperparamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HyperparamError::InvalidLayerCount { value } => {
+                write!(f, "layer count {value} is not one of {LAYER_CHOICES:?}")
+            }
+            HyperparamError::InvalidFilterCount { value } => {
+                write!(f, "filter count {value} is not one of {FILTER_CHOICES:?}")
+            }
+        }
+    }
+}
+
+impl Error for HyperparamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_all_table_ii_values() {
+        for &l in &LAYER_CHOICES {
+            for &f in &FILTER_CHOICES {
+                assert!(PolicyHyperparams::new(l, f).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_space_values() {
+        assert!(matches!(
+            PolicyHyperparams::new(1, 32),
+            Err(HyperparamError::InvalidLayerCount { value: 1 })
+        ));
+        assert!(matches!(
+            PolicyHyperparams::new(11, 32),
+            Err(HyperparamError::InvalidLayerCount { value: 11 })
+        ));
+        assert!(matches!(
+            PolicyHyperparams::new(5, 33),
+            Err(HyperparamError::InvalidFilterCount { value: 33 })
+        ));
+    }
+
+    #[test]
+    fn enumeration_covers_space_without_duplicates() {
+        let all = PolicyHyperparams::enumerate();
+        assert_eq!(all.len(), PolicyHyperparams::space_size());
+        assert_eq!(all.len(), 27);
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+
+    #[test]
+    fn id_and_display_are_stable() {
+        let h = PolicyHyperparams::new(7, 48).unwrap();
+        assert_eq!(h.id(), "l7f48");
+        assert_eq!(h.to_string(), "7 layers x 48 filters");
+    }
+
+    #[test]
+    fn error_messages_name_offending_value() {
+        let e = PolicyHyperparams::new(1, 32).unwrap_err();
+        assert!(e.to_string().contains('1'));
+    }
+}

@@ -1,0 +1,42 @@
+//! # policy-nn
+//!
+//! The parameterized multi-modal end-to-end (E2E) UAV policy model template
+//! from the AutoPilot paper (Fig. 2a / Table II).
+//!
+//! AutoPilot does not search arbitrary neural architectures: it starts from
+//! a known-good multi-modal template (image trunk + UAV state input, two
+//! wide dense layers, discrete action head) and varies only the number of
+//! convolution layers and the filter count. This crate builds concrete
+//! layer stacks ([`PolicyModel`]) from those hyperparameters
+//! ([`PolicyHyperparams`]) so the systolic-array simulator can execute
+//! them, and exposes the paper's Table II search space.
+//!
+//! # Example
+//!
+//! ```
+//! use policy_nn::{PolicyHyperparams, PolicyModel};
+//!
+//! # fn main() -> Result<(), policy_nn::HyperparamError> {
+//! let hyper = PolicyHyperparams::new(7, 48)?;
+//! let model = PolicyModel::build(hyper);
+//! // The AutoPilot E2E models are ~109-121x larger than DroNet.
+//! let ratio = model.parameter_count() as f64
+//!     / policy_nn::reference::DRONET_PARAMETERS as f64;
+//! assert!(ratio > 100.0 && ratio < 130.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod hyper;
+mod model;
+pub mod reference;
+mod summary;
+mod template;
+
+pub use hyper::{HyperparamError, PolicyHyperparams, FILTER_CHOICES, LAYER_CHOICES};
+pub use model::PolicyModel;
+pub use summary::model_summary;
+pub use template::TemplateConfig;

@@ -1,0 +1,173 @@
+//! Concrete layer stacks expanded from the template.
+
+use serde::{Deserialize, Serialize};
+use systolic_sim::Layer;
+
+use crate::hyper::PolicyHyperparams;
+use crate::template::TemplateConfig;
+
+/// One fully expanded instance of the E2E policy template.
+///
+/// The model owns the exact [`Layer`] sequence the accelerator executes;
+/// this is what Phase 2 hands to the systolic simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyModel {
+    hyper: PolicyHyperparams,
+    template: TemplateConfig,
+    layers: Vec<Layer>,
+}
+
+impl PolicyModel {
+    /// Expands `hyper` with the default [`TemplateConfig::AUTOPILOT`]
+    /// geometry.
+    pub fn build(hyper: PolicyHyperparams) -> PolicyModel {
+        PolicyModel::with_template(hyper, TemplateConfig::AUTOPILOT)
+    }
+
+    /// Expands `hyper` with an explicit template geometry.
+    pub fn with_template(hyper: PolicyHyperparams, template: TemplateConfig) -> PolicyModel {
+        let f = hyper.filters();
+        let k = template.kernel;
+        let pad = k / 2;
+        let mut layers = Vec::with_capacity(hyper.conv_layers() + 4);
+
+        let mut hw = template.image_hw;
+        let mut channels = template.image_channels;
+        for i in 0..hyper.conv_layers() {
+            let stride = if i < template.stride2_layers { 2 } else { 1 };
+            layers.push(Layer::conv2d(hw, hw, channels, f, k, stride, pad));
+            hw = if stride == 2 { hw / 2 } else { hw };
+            channels = f;
+        }
+
+        // Adaptive average pool to pooled_hw x pooled_hw.
+        let window = (hw / template.pooled_hw).max(1);
+        layers.push(Layer::Pool { in_h: hw, in_w: hw, channels, window });
+
+        // Dense stack over pooled features + state vector.
+        layers.push(Layer::dense(template.dense_input(f), template.hidden_units));
+        layers.push(Layer::dense(template.hidden_units, template.hidden_units));
+        layers.push(Layer::dense(template.hidden_units, template.actions));
+
+        PolicyModel { hyper, template, layers }
+    }
+
+    /// The hyperparameters this model was expanded from.
+    pub fn hyperparams(&self) -> PolicyHyperparams {
+        self.hyper
+    }
+
+    /// The template geometry used.
+    pub fn template(&self) -> &TemplateConfig {
+        &self.template
+    }
+
+    /// Layers in execution order, suitable for
+    /// [`systolic_sim::Simulator::simulate_network`].
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Total trainable parameters.
+    pub fn parameter_count(&self) -> u64 {
+        self.layers.iter().map(Layer::parameter_count).sum()
+    }
+
+    /// Total multiply-accumulates per inference.
+    pub fn mac_count(&self) -> u64 {
+        self.layers.iter().map(Layer::mac_count).sum()
+    }
+
+    /// Model weights footprint in bytes for `word_bytes`-sized operands.
+    pub fn weight_bytes(&self, word_bytes: usize) -> u64 {
+        self.parameter_count() * word_bytes as u64
+    }
+
+    /// A dimensionless capacity score used by the success-rate models:
+    /// combines depth and parameter count on a log scale.
+    ///
+    /// The score grows with both trunk depth (more non-linear stages help
+    /// harder environments) and width (more filters), matching the Fig. 2b
+    /// trend where deeper/wider template instances reach higher task
+    /// success until saturation.
+    pub fn capacity_score(&self) -> f64 {
+        let depth = self.hyper.conv_layers() as f64;
+        let width = self.hyper.filters() as f64;
+        let params = self.parameter_count() as f64;
+        depth.ln() * 0.5 + (width / 32.0).ln() * 0.35 + (params.ln() - 17.0) * 0.15
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::DRONET_PARAMETERS;
+
+    fn model(l: usize, f: usize) -> PolicyModel {
+        PolicyModel::build(PolicyHyperparams::new(l, f).unwrap())
+    }
+
+    #[test]
+    fn layer_count_matches_template() {
+        // conv trunk + pool + 2 hidden dense + action head.
+        let m = model(7, 48);
+        assert_eq!(m.layers().len(), 7 + 1 + 3);
+    }
+
+    #[test]
+    fn selected_models_land_in_dronet_ratio_band() {
+        // The paper states AutoPilot E2E models are 109x-121x DroNet.
+        for (l, f) in [(5, 32), (4, 48), (7, 48)] {
+            let ratio = model(l, f).parameter_count() as f64 / DRONET_PARAMETERS as f64;
+            assert!(
+                (105.0..=125.0).contains(&ratio),
+                "l{l}f{f} ratio {ratio:.1} outside band"
+            );
+        }
+    }
+
+    #[test]
+    fn parameters_monotone_in_depth_and_width() {
+        assert!(model(5, 48).parameter_count() > model(4, 48).parameter_count());
+        assert!(model(5, 48).parameter_count() > model(5, 32).parameter_count());
+        assert!(model(10, 64).parameter_count() > model(2, 32).parameter_count());
+    }
+
+    #[test]
+    fn macs_monotone_in_depth() {
+        assert!(model(8, 48).mac_count() > model(4, 48).mac_count());
+    }
+
+    #[test]
+    fn conv_shapes_chain_correctly() {
+        let m = model(5, 32);
+        let mut prev_out: Option<(usize, usize, usize)> = None;
+        for layer in m.layers() {
+            if let Layer::Conv2d { in_h, in_w, in_c, .. } = *layer {
+                if let Some((h, w, c)) = prev_out {
+                    assert_eq!((in_h, in_w, in_c), (h, w, c));
+                }
+                prev_out = Some(layer.output_dims());
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_score_monotone() {
+        assert!(model(7, 48).capacity_score() > model(3, 32).capacity_score());
+        assert!(model(5, 64).capacity_score() > model(5, 32).capacity_score());
+    }
+
+    #[test]
+    fn weight_bytes_scale_with_word_size() {
+        let m = model(4, 32);
+        assert_eq!(m.weight_bytes(2), 2 * m.weight_bytes(1));
+    }
+
+    #[test]
+    fn dense_head_outputs_action_space() {
+        let m = model(6, 64);
+        let last = m.layers().last().unwrap();
+        assert_eq!(last.output_dims().2, TemplateConfig::AUTOPILOT.actions);
+    }
+}

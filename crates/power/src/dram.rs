@@ -1,0 +1,70 @@
+//! LPDDR4 DRAM power model (Micron power-calculator style).
+
+use serde::{Deserialize, Serialize};
+
+use crate::calib;
+
+/// DRAM energy model: access energy proportional to traffic plus a
+/// constant background (standby/refresh) power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramModel {
+    energy_per_byte_j: f64,
+    background_w: f64,
+}
+
+impl DramModel {
+    /// Model with the calibrated LPDDR4 constants.
+    pub fn new() -> DramModel {
+        DramModel {
+            energy_per_byte_j: calib::DRAM_ENERGY_PER_BYTE_J,
+            background_w: calib::DRAM_BACKGROUND_W,
+        }
+    }
+
+    /// Access energy for `bytes` of traffic, in joules.
+    pub fn access_energy_j(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.energy_per_byte_j
+    }
+
+    /// Constant background power, in watts.
+    pub fn background_w(&self) -> f64 {
+        self.background_w
+    }
+
+    /// Peak access power at a sustained `bytes_per_second` rate, in watts.
+    pub fn peak_access_w(&self, bytes_per_second: f64) -> f64 {
+        bytes_per_second * self.energy_per_byte_j
+    }
+}
+
+impl Default for DramModel {
+    fn default() -> Self {
+        DramModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_linear_in_traffic() {
+        let m = DramModel::new();
+        assert!((m.access_energy_j(2_000_000) - 2.0 * m.access_energy_j(1_000_000)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn background_power_reasonable() {
+        // Tens of milliwatts for a mobile LPDDR4 device.
+        let m = DramModel::new();
+        assert!(m.background_w() > 0.01 && m.background_w() < 0.5);
+    }
+
+    #[test]
+    fn streaming_power_sane_magnitude() {
+        // 10 GB/s at 32 pJ/B is ~0.32 W.
+        let m = DramModel::new();
+        let p = m.peak_access_w(10.0e9);
+        assert!((0.1..=1.0).contains(&p), "{p} W");
+    }
+}

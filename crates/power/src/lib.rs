@@ -1,0 +1,53 @@
+//! # soc-power
+//!
+//! Power, energy, thermal, and weight models for the AutoPilot DSSoC
+//! (Table III of the paper).
+//!
+//! The original work combined CACTI (SRAM), the Micron DRAM power
+//! calculator, a published 28 nm PE energy model, and a commercial heatsink
+//! calculator. This crate re-implements each as an analytic model with the
+//! calibration constants gathered in [`calib`], so that the paper's
+//! operating points are reproduced:
+//!
+//! * accelerator designs spanning roughly 0.7 W – 8.24 W across the
+//!   Table II template space,
+//! * compute payload weight of ~24 g at 0.7 W TDP and ~65 g at 8.24 W TDP
+//!   (20 g motherboard + TDP-proportional aluminium heatsink).
+//!
+//! The main entry point is [`SocPowerModel`], which converts a simulated
+//! network run ([`systolic_sim::NetworkStats`]) on a given accelerator
+//! configuration into a [`PowerReport`].
+//!
+//! # Example
+//!
+//! ```
+//! use soc_power::SocPowerModel;
+//! use systolic_sim::{ArrayConfig, Layer, Simulator};
+//!
+//! let config = ArrayConfig::default();
+//! let sim = Simulator::new(config.clone());
+//! let stats = sim.simulate_network(&[Layer::conv2d(96, 96, 3, 32, 3, 2, 1)]);
+//! let report = SocPowerModel::new().evaluate(&config, &stats);
+//! assert!(report.total_avg_w() > 0.0);
+//! assert!(report.tdp_w() >= report.accelerator_avg_w());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod breakdown;
+pub mod calib;
+mod dram;
+mod pe;
+mod soc;
+mod sram;
+mod technode;
+mod thermal;
+
+pub use breakdown::power_breakdown;
+pub use dram::DramModel;
+pub use pe::PeModel;
+pub use soc::{PowerReport, SocPowerModel};
+pub use sram::SramModel;
+pub use technode::TechNode;
+pub use thermal::{compute_payload_grams, heatsink_grams, heatsink_volume_cm3, MOTHERBOARD_GRAMS};

@@ -1,0 +1,77 @@
+//! Processing-element energy model (Li et al., DAC 2019 style).
+
+use serde::{Deserialize, Serialize};
+
+use crate::calib;
+use crate::technode::TechNode;
+
+/// Energy/power model of the MAC array.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeModel {
+    node: TechNode,
+}
+
+impl PeModel {
+    /// Model at the given technology node.
+    pub fn new(node: TechNode) -> PeModel {
+        PeModel { node }
+    }
+
+    /// Technology node of this model.
+    pub fn node(&self) -> TechNode {
+        self.node
+    }
+
+    /// Energy of one MAC operation in joules.
+    pub fn mac_energy_j(&self) -> f64 {
+        calib::MAC_ENERGY_J * self.node.dynamic_scale()
+    }
+
+    /// Dynamic energy for `macs` operations, in joules.
+    pub fn dynamic_energy_j(&self, macs: u64) -> f64 {
+        macs as f64 * self.mac_energy_j()
+    }
+
+    /// Leakage power of a `pe_count`-element array, in watts.
+    pub fn leakage_w(&self, pe_count: usize) -> f64 {
+        pe_count as f64 * calib::PE_LEAKAGE_W * self.node.leakage_scale()
+    }
+
+    /// Peak dynamic power with every PE switching each cycle, in watts.
+    pub fn peak_dynamic_w(&self, pe_count: usize, clock_hz: f64) -> f64 {
+        pe_count as f64 * self.mac_energy_j() * clock_hz
+    }
+}
+
+impl Default for PeModel {
+    fn default() -> Self {
+        PeModel::new(TechNode::N28)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_linear_in_macs() {
+        let m = PeModel::default();
+        assert!((m.dynamic_energy_j(2_000) - 2.0 * m.dynamic_energy_j(1_000)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn denser_node_cheaper() {
+        let base = PeModel::new(TechNode::N28);
+        let dense = PeModel::new(TechNode::N7);
+        assert!(dense.mac_energy_j() < base.mac_energy_j());
+        assert!(dense.leakage_w(1024) < base.leakage_w(1024));
+    }
+
+    #[test]
+    fn peak_power_linear_in_clock_and_pes() {
+        let m = PeModel::default();
+        let p1 = m.peak_dynamic_w(1024, 200e6);
+        assert!((m.peak_dynamic_w(2048, 200e6) - 2.0 * p1).abs() < 1e-12);
+        assert!((m.peak_dynamic_w(1024, 400e6) - 2.0 * p1).abs() < 1e-12);
+    }
+}

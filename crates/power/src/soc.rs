@@ -1,0 +1,277 @@
+//! Whole-SoC power aggregation (Table III).
+
+use serde::{Deserialize, Serialize};
+use systolic_sim::{ArrayConfig, NetworkStats};
+
+use crate::calib;
+use crate::dram::DramModel;
+use crate::pe::PeModel;
+use crate::sram::SramModel;
+use crate::technode::TechNode;
+use crate::thermal;
+
+/// Power model for the full DSSoC of Fig. 3a: accelerator subsystem
+/// (PE array + scratchpads + DRAM) plus the fixed platform components
+/// (two ULP MCU cores, RGB sensor, MIPI interface).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SocPowerModel {
+    pe: PeModel,
+    sram: SramModel,
+    dram: DramModel,
+    node: TechNode,
+}
+
+impl SocPowerModel {
+    /// Model at the 28 nm baseline node.
+    pub fn new() -> SocPowerModel {
+        SocPowerModel::at_node(TechNode::N28)
+    }
+
+    /// Model at an explicit technology node (used by architectural
+    /// fine-tuning).
+    pub fn at_node(node: TechNode) -> SocPowerModel {
+        SocPowerModel {
+            pe: PeModel::new(node),
+            sram: SramModel::new(node),
+            dram: DramModel::new(),
+            node,
+        }
+    }
+
+    /// Technology node of the accelerator models.
+    pub fn node(&self) -> TechNode {
+        self.node
+    }
+
+    /// Evaluates power for a simulated network run on `config`.
+    pub fn evaluate(&self, config: &ArrayConfig, stats: &NetworkStats) -> PowerReport {
+        let latency_s = stats.latency_s();
+
+        // Per-frame dynamic energies.
+        let pe_energy_j = self.pe.dynamic_energy_j(stats.total_macs());
+        let mut sram_energy_j = 0.0;
+        for layer in &stats.layers {
+            sram_energy_j += self
+                .sram
+                .dynamic_energy_j(config.ifmap_sram_bytes(), layer.ifmap_sram_reads);
+            sram_energy_j += self
+                .sram
+                .dynamic_energy_j(config.filter_sram_bytes(), layer.filter_sram_reads);
+            sram_energy_j += self.sram.dynamic_energy_j(
+                config.ofmap_sram_bytes(),
+                layer.ofmap_sram_writes + layer.ofmap_sram_reads,
+            );
+        }
+        let dram_energy_j = self.dram.access_energy_j(stats.dram_total_bytes());
+
+        // Always-on power.
+        let pe_leakage_w = self.pe.leakage_w(config.pe_count());
+        let sram_leakage_w = self.sram.leakage_w(config.total_sram_bytes());
+        let dram_background_w = self.dram.background_w();
+        let fixed_w = calib::MCU_POWER_W + calib::SENSOR_POWER_W + calib::MIPI_POWER_W;
+
+        // Peak (TDP) of the accelerator subsystem: everything switching at
+        // once at the configured clock.
+        let clock_hz = config.clock_hz();
+        let mean_sram_access_j = self.sram.access_energy_j(
+            (config.ifmap_sram_bytes() + config.filter_sram_bytes() + config.ofmap_sram_bytes())
+                / 3,
+        );
+        let sram_peak_w =
+            calib::peak_sram_bytes_per_cycle(config.rows(), config.cols()) * mean_sram_access_j
+                * clock_hz;
+        let dram_peak_w = self
+            .dram
+            .peak_access_w(config.dram_bandwidth_bytes_per_cycle() * clock_hz);
+        let tdp_w = self.pe.peak_dynamic_w(config.pe_count(), clock_hz)
+            + sram_peak_w
+            + dram_peak_w
+            + pe_leakage_w
+            + sram_leakage_w
+            + dram_background_w;
+
+        PowerReport {
+            latency_s,
+            pe_energy_j,
+            sram_energy_j,
+            dram_energy_j,
+            pe_leakage_w,
+            sram_leakage_w,
+            dram_background_w,
+            fixed_w,
+            tdp_w,
+        }
+    }
+}
+
+impl Default for SocPowerModel {
+    fn default() -> Self {
+        SocPowerModel::new()
+    }
+}
+
+/// Power evaluation of one (configuration, network) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Inference latency the energies are amortized over, in seconds.
+    pub latency_s: f64,
+    /// PE-array dynamic energy per frame, in joules.
+    pub pe_energy_j: f64,
+    /// Scratchpad dynamic energy per frame, in joules.
+    pub sram_energy_j: f64,
+    /// DRAM access energy per frame, in joules.
+    pub dram_energy_j: f64,
+    /// PE leakage power, in watts.
+    pub pe_leakage_w: f64,
+    /// Scratchpad leakage power, in watts.
+    pub sram_leakage_w: f64,
+    /// DRAM background power, in watts.
+    pub dram_background_w: f64,
+    /// Fixed platform components (MCUs + sensor + MIPI), in watts.
+    pub fixed_w: f64,
+    /// Accelerator-subsystem thermal design power, in watts.
+    pub tdp_w: f64,
+}
+
+impl PowerReport {
+    /// Total dynamic energy per frame, in joules.
+    pub fn frame_energy_j(&self) -> f64 {
+        self.pe_energy_j + self.sram_energy_j + self.dram_energy_j
+    }
+
+    /// Average accelerator-subsystem power while running back-to-back
+    /// inferences, in watts (dynamic amortized over latency + always-on).
+    pub fn accelerator_avg_w(&self) -> f64 {
+        let dynamic = if self.latency_s > 0.0 {
+            self.frame_energy_j() / self.latency_s
+        } else {
+            0.0
+        };
+        dynamic + self.pe_leakage_w + self.sram_leakage_w + self.dram_background_w
+    }
+
+    /// Average whole-SoC power including the fixed platform components,
+    /// in watts.
+    pub fn total_avg_w(&self) -> f64 {
+        self.accelerator_avg_w() + self.fixed_w
+    }
+
+    /// Accelerator TDP used for heatsink sizing, in watts.
+    pub fn tdp_w(&self) -> f64 {
+        self.tdp_w
+    }
+
+    /// Compute payload weight (motherboard + heatsink for this TDP), in
+    /// grams.
+    pub fn compute_payload_grams(&self) -> f64 {
+        thermal::compute_payload_grams(self.tdp_w)
+    }
+
+    /// Achieved inference throughput, in frames per second.
+    pub fn fps(&self) -> f64 {
+        if self.latency_s > 0.0 {
+            1.0 / self.latency_s
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Compute efficiency in frames per second per watt of average SoC
+    /// power (the paper's FPS/W metric).
+    pub fn efficiency_fps_per_w(&self) -> f64 {
+        self.fps() / self.total_avg_w()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_sim::{Layer, Simulator};
+
+    fn eval(rows: usize, cols: usize, sram_kb: usize) -> PowerReport {
+        let cfg = ArrayConfig::builder()
+            .rows(rows)
+            .cols(cols)
+            .ifmap_sram_kb(sram_kb)
+            .filter_sram_kb(sram_kb)
+            .ofmap_sram_kb(sram_kb)
+            .build()
+            .unwrap();
+        let sim = Simulator::new(cfg.clone());
+        let stats = sim.simulate_network(&[
+            Layer::conv2d(96, 96, 3, 48, 3, 2, 1),
+            Layer::conv2d(48, 48, 48, 48, 3, 2, 1),
+            Layer::dense(778, 5632),
+            Layer::dense(5632, 5632),
+        ]);
+        SocPowerModel::new().evaluate(&cfg, &stats)
+    }
+
+    #[test]
+    fn avg_power_below_tdp() {
+        for (r, c) in [(8, 8), (32, 32), (128, 128)] {
+            let rep = eval(r, c, 256);
+            assert!(
+                rep.accelerator_avg_w() <= rep.tdp_w() * 1.001,
+                "{r}x{c}: avg {} > tdp {}",
+                rep.accelerator_avg_w(),
+                rep.tdp_w()
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_array_higher_tdp() {
+        assert!(eval(128, 128, 256).tdp_w() > eval(8, 8, 256).tdp_w());
+    }
+
+    #[test]
+    fn more_sram_more_leakage() {
+        assert!(eval(32, 32, 4096).sram_leakage_w > eval(32, 32, 32).sram_leakage_w);
+    }
+
+    #[test]
+    fn fixed_components_match_table_iii() {
+        let rep = eval(16, 16, 64);
+        // 2 x 0.38 mW + 100 mW + 22 mW.
+        assert!((rep.fixed_w - 0.12276).abs() < 1e-6);
+    }
+
+    #[test]
+    fn efficiency_is_fps_over_watts() {
+        let rep = eval(32, 32, 256);
+        let eff = rep.efficiency_fps_per_w();
+        assert!((eff - rep.fps() / rep.total_avg_w()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frame_energy_components_sum() {
+        let rep = eval(32, 32, 256);
+        assert!(
+            (rep.frame_energy_j() - (rep.pe_energy_j + rep.sram_energy_j + rep.dram_energy_j))
+                .abs()
+                < 1e-15
+        );
+        assert!(rep.pe_energy_j > 0.0 && rep.sram_energy_j > 0.0 && rep.dram_energy_j > 0.0);
+    }
+
+    #[test]
+    fn denser_node_lowers_power() {
+        let cfg = ArrayConfig::default();
+        let sim = Simulator::new(cfg.clone());
+        let stats = sim.simulate_network(&[Layer::conv2d(96, 96, 3, 32, 3, 2, 1)]);
+        let base = SocPowerModel::at_node(TechNode::N28).evaluate(&cfg, &stats);
+        let dense = SocPowerModel::at_node(TechNode::N7).evaluate(&cfg, &stats);
+        assert!(dense.accelerator_avg_w() < base.accelerator_avg_w());
+        assert!(dense.tdp_w() < base.tdp_w());
+    }
+
+    #[test]
+    fn payload_uses_tdp() {
+        let rep = eval(64, 64, 512);
+        assert!(
+            (rep.compute_payload_grams() - thermal::compute_payload_grams(rep.tdp_w())).abs()
+                < 1e-12
+        );
+    }
+}

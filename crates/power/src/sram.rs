@@ -1,0 +1,81 @@
+//! CACTI-style SRAM energy/leakage model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::calib;
+use crate::technode::TechNode;
+
+/// Analytic SRAM model: per-access energy grows sub-linearly with
+/// capacity (longer bit/word lines), leakage grows linearly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramModel {
+    node: TechNode,
+}
+
+impl SramModel {
+    /// Model at the given technology node.
+    pub fn new(node: TechNode) -> SramModel {
+        SramModel { node }
+    }
+
+    /// Technology node of this model.
+    pub fn node(&self) -> TechNode {
+        self.node
+    }
+
+    /// Energy of accessing one byte of a `capacity_bytes` macro, in joules.
+    pub fn access_energy_j(&self, capacity_bytes: usize) -> f64 {
+        let kb = capacity_bytes as f64 / 1024.0;
+        let pj = calib::SRAM_ENERGY_BASE_PJ + calib::SRAM_ENERGY_SLOPE_PJ * kb.max(1.0).sqrt();
+        pj * 1.0e-12 * self.node.dynamic_scale()
+    }
+
+    /// Dynamic energy for `accesses` byte-accesses, in joules.
+    pub fn dynamic_energy_j(&self, capacity_bytes: usize, accesses: u64) -> f64 {
+        accesses as f64 * self.access_energy_j(capacity_bytes)
+    }
+
+    /// Leakage power of a `capacity_bytes` macro, in watts.
+    pub fn leakage_w(&self, capacity_bytes: usize) -> f64 {
+        let kb = capacity_bytes as f64 / 1024.0;
+        kb * calib::SRAM_LEAKAGE_W_PER_KB * self.node.leakage_scale()
+    }
+}
+
+impl Default for SramModel {
+    fn default() -> Self {
+        SramModel::new(TechNode::N28)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_energy_grows_sublinearly_with_capacity() {
+        let m = SramModel::default();
+        let e32 = m.access_energy_j(32 * 1024);
+        let e4096 = m.access_energy_j(4096 * 1024);
+        assert!(e4096 > e32);
+        // 128x capacity should cost far less than 128x energy.
+        assert!(e4096 < 16.0 * e32);
+    }
+
+    #[test]
+    fn leakage_linear_in_capacity() {
+        let m = SramModel::default();
+        let l = m.leakage_w(1024 * 1024);
+        assert!((m.leakage_w(2 * 1024 * 1024) - 2.0 * l).abs() < 1e-12);
+        // ~15 mW per MiB at 28 nm.
+        assert!((l - 0.015).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_scaling_applies() {
+        let base = SramModel::new(TechNode::N28);
+        let dense = SramModel::new(TechNode::N7);
+        assert!(dense.access_energy_j(65536) < base.access_energy_j(65536));
+        assert!(dense.leakage_w(65536) < base.leakage_w(65536));
+    }
+}

@@ -1,0 +1,88 @@
+//! Technology-node scaling used by AutoPilot's architectural fine-tuning.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Silicon process node.
+///
+/// The paper's baseline models are at 28 nm; AutoPilot's fine-tuning step
+/// may move a near-knee design to a denser node to shave power. Scaling
+/// factors are conventional full-node estimates (dynamic energy scales
+/// with `C V^2`, leakage improves more slowly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum TechNode {
+    /// 28 nm planar (baseline, scaling factor 1.0).
+    #[default]
+    N28,
+    /// 16 nm FinFET.
+    N16,
+    /// 7 nm FinFET.
+    N7,
+}
+
+impl TechNode {
+    /// All nodes, densest last.
+    pub const ALL: [TechNode; 3] = [TechNode::N28, TechNode::N16, TechNode::N7];
+
+    /// Multiplier on dynamic (switching) energy relative to 28 nm.
+    pub fn dynamic_scale(&self) -> f64 {
+        match self {
+            TechNode::N28 => 1.0,
+            TechNode::N16 => 0.55,
+            TechNode::N7 => 0.30,
+        }
+    }
+
+    /// Multiplier on leakage power relative to 28 nm.
+    pub fn leakage_scale(&self) -> f64 {
+        match self {
+            TechNode::N28 => 1.0,
+            TechNode::N16 => 0.60,
+            TechNode::N7 => 0.45,
+        }
+    }
+
+    /// Feature size in nanometres.
+    pub fn nanometers(&self) -> u32 {
+        match self {
+            TechNode::N28 => 28,
+            TechNode::N16 => 16,
+            TechNode::N7 => 7,
+        }
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm", self.nanometers())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn denser_nodes_scale_down_monotonically() {
+        let mut prev_dyn = f64::INFINITY;
+        let mut prev_leak = f64::INFINITY;
+        for node in TechNode::ALL {
+            assert!(node.dynamic_scale() < prev_dyn);
+            assert!(node.leakage_scale() < prev_leak);
+            prev_dyn = node.dynamic_scale();
+            prev_leak = node.leakage_scale();
+        }
+    }
+
+    #[test]
+    fn baseline_is_identity() {
+        assert_eq!(TechNode::N28.dynamic_scale(), 1.0);
+        assert_eq!(TechNode::N28.leakage_scale(), 1.0);
+        assert_eq!(TechNode::default(), TechNode::N28);
+    }
+
+    #[test]
+    fn display_formats_nanometers() {
+        assert_eq!(TechNode::N7.to_string(), "7nm");
+    }
+}

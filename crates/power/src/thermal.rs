@@ -1,0 +1,64 @@
+//! Heatsink sizing and compute-payload weight model.
+//!
+//! The paper sizes a passive aluminium heatsink from the SoC's TDP using a
+//! commercial natural-convection calculator, then adds a fixed 20 g
+//! motherboard (Raspberry-Pi/Coral-class PCB) to obtain the compute
+//! payload carried by the UAV. We fit the calculator with a linear
+//! volume-per-watt coefficient (see
+//! [`calib::HEATSINK_CM3_PER_W`](crate::calib::HEATSINK_CM3_PER_W)) which
+//! reproduces the paper's 24 g @ 0.7 W and 65 g @ 8.24 W payload points.
+
+use crate::calib;
+
+/// Weight of the carrier PCB with all electrical components, in grams.
+pub const MOTHERBOARD_GRAMS: f64 = 20.0;
+
+/// Required heatsink volume for a given TDP, in cm^3.
+pub fn heatsink_volume_cm3(tdp_w: f64) -> f64 {
+    tdp_w.max(0.0) * calib::HEATSINK_CM3_PER_W
+}
+
+/// Mass of the aluminium heatsink for a given TDP, in grams.
+pub fn heatsink_grams(tdp_w: f64) -> f64 {
+    heatsink_volume_cm3(tdp_w) * calib::ALUMINUM_G_PER_CM3
+}
+
+/// Total compute payload (motherboard + heatsink) for a given TDP, in
+/// grams.
+pub fn compute_payload_grams(tdp_w: f64) -> f64 {
+    MOTHERBOARD_GRAMS + heatsink_grams(tdp_w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_payload_points() {
+        // AP design: 0.7 W -> ~24 g. HT design: 8.24 W -> ~65 g.
+        let ap = compute_payload_grams(0.7);
+        let ht = compute_payload_grams(8.24);
+        assert!((ap - 24.0).abs() < 1.0, "AP payload {ap} g");
+        assert!((ht - 65.0).abs() < 2.0, "HT payload {ht} g");
+    }
+
+    #[test]
+    fn payload_monotone_in_tdp() {
+        let mut prev = 0.0;
+        for tdp in [0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+            let g = compute_payload_grams(tdp);
+            assert!(g >= prev);
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn zero_tdp_still_has_motherboard() {
+        assert_eq!(compute_payload_grams(0.0), MOTHERBOARD_GRAMS);
+    }
+
+    #[test]
+    fn negative_tdp_clamped() {
+        assert_eq!(heatsink_volume_cm3(-3.0), 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the power/thermal models.
+
+use proptest::prelude::*;
+use soc_power::{compute_payload_grams, DramModel, PeModel, SocPowerModel, SramModel, TechNode};
+use systolic_sim::{ArrayConfig, Layer, Simulator};
+
+fn arb_node() -> impl Strategy<Value = TechNode> {
+    prop::sample::select(vec![TechNode::N28, TechNode::N16, TechNode::N7])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SRAM access energy grows with capacity but sub-linearly.
+    #[test]
+    fn sram_energy_sublinear(node in arb_node(), kb in 8usize..2048) {
+        let m = SramModel::new(node);
+        let e1 = m.access_energy_j(kb * 1024);
+        let e2 = m.access_energy_j(4 * kb * 1024);
+        prop_assert!(e2 > e1);
+        prop_assert!(e2 < 4.0 * e1);
+    }
+
+    /// PE dynamic energy is exactly linear in MAC count.
+    #[test]
+    fn pe_energy_linear(node in arb_node(), macs in 1u64..10_000_000) {
+        let m = PeModel::new(node);
+        let e = m.dynamic_energy_j(macs);
+        prop_assert!((m.dynamic_energy_j(3 * macs) - 3.0 * e).abs() < e * 1e-9);
+    }
+
+    /// DRAM access energy is linear in traffic and non-negative.
+    #[test]
+    fn dram_energy_linear(bytes in 1u64..1_000_000_000) {
+        let m = DramModel::new();
+        prop_assert!(m.access_energy_j(bytes) > 0.0);
+        prop_assert!(
+            (m.access_energy_j(2 * bytes) - 2.0 * m.access_energy_j(bytes)).abs() < 1e-12
+        );
+    }
+
+    /// Payload weight is monotone in TDP and at least the motherboard.
+    #[test]
+    fn payload_monotone(tdp in 0.0f64..40.0, extra in 0.01f64..20.0) {
+        prop_assert!(compute_payload_grams(tdp) >= soc_power::MOTHERBOARD_GRAMS);
+        prop_assert!(compute_payload_grams(tdp + extra) > compute_payload_grams(tdp));
+    }
+
+    /// For any simulated layer, average power is positive, below TDP,
+    /// and improves at denser technology nodes.
+    #[test]
+    fn soc_power_sane_for_any_config(
+        pe_exp in 3u32..8,
+        sram_kb in prop::sample::select(vec![32usize, 128, 1024]),
+        channels in 1usize..32,
+    ) {
+        let pe = 1usize << pe_exp;
+        let cfg = ArrayConfig::builder()
+            .rows(pe).cols(pe)
+            .ifmap_sram_kb(sram_kb).filter_sram_kb(sram_kb).ofmap_sram_kb(sram_kb)
+            .build().unwrap();
+        let stats = Simulator::new(cfg.clone())
+            .simulate_network(&[Layer::conv2d(48, 48, channels, 32, 3, 1, 1)]);
+        let base = SocPowerModel::at_node(TechNode::N28).evaluate(&cfg, &stats);
+        let dense = SocPowerModel::at_node(TechNode::N7).evaluate(&cfg, &stats);
+        prop_assert!(base.total_avg_w() > 0.0);
+        prop_assert!(base.accelerator_avg_w() <= base.tdp_w() * 1.001);
+        prop_assert!(dense.tdp_w() < base.tdp_w());
+        prop_assert!(dense.accelerator_avg_w() < base.accelerator_avg_w());
+    }
+
+    /// Frame energy equals the sum of its components.
+    #[test]
+    fn frame_energy_components(pe_exp in 3u32..7) {
+        let pe = 1usize << pe_exp;
+        let cfg = ArrayConfig::builder().rows(pe).cols(pe).build().unwrap();
+        let stats = Simulator::new(cfg.clone())
+            .simulate_network(&[Layer::conv2d(32, 32, 8, 16, 3, 1, 1)]);
+        let r = SocPowerModel::new().evaluate(&cfg, &stats);
+        prop_assert!(
+            (r.frame_energy_j() - (r.pe_energy_j + r.sram_energy_j + r.dram_energy_j)).abs()
+                < 1e-15
+        );
+    }
+}

@@ -1,0 +1,345 @@
+//! Accelerator array configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataflow::Dataflow;
+use crate::error::ConfigError;
+
+/// Configuration of a systolic-array accelerator instance.
+///
+/// This mirrors the knobs SCALE-Sim exposes: PE array geometry, the three
+/// scratchpad capacities, the dataflow mapping, and system-integration
+/// parameters (DRAM bandwidth, clock). Construct with
+/// [`ArrayConfig::builder`].
+///
+/// # Example
+///
+/// ```
+/// use systolic_sim::{ArrayConfig, Dataflow};
+///
+/// # fn main() -> Result<(), systolic_sim::ConfigError> {
+/// let cfg = ArrayConfig::builder()
+///     .rows(16)
+///     .cols(16)
+///     .dataflow(Dataflow::WeightStationary)
+///     .clock_mhz(500.0)
+///     .build()?;
+/// assert_eq!(cfg.pe_count(), 256);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrayConfig {
+    rows: usize,
+    cols: usize,
+    ifmap_sram_bytes: usize,
+    filter_sram_bytes: usize,
+    ofmap_sram_bytes: usize,
+    dataflow: Dataflow,
+    dram_bandwidth_bytes_per_cycle: f64,
+    clock_mhz: f64,
+    word_bytes: usize,
+}
+
+impl ArrayConfig {
+    /// Returns a builder initialised with SCALE-Sim-like defaults
+    /// (32x32 array, 512 KiB ifmap / 512 KiB filter / 256 KiB ofmap,
+    /// output-stationary, 16 B/cycle DRAM, 200 MHz, int8 operands).
+    pub fn builder() -> ArrayConfigBuilder {
+        ArrayConfigBuilder::new()
+    }
+
+    /// Number of PE rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of PE columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of processing elements.
+    pub fn pe_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Input-feature-map scratchpad capacity in bytes.
+    pub fn ifmap_sram_bytes(&self) -> usize {
+        self.ifmap_sram_bytes
+    }
+
+    /// Filter scratchpad capacity in bytes.
+    pub fn filter_sram_bytes(&self) -> usize {
+        self.filter_sram_bytes
+    }
+
+    /// Output-feature-map scratchpad capacity in bytes.
+    pub fn ofmap_sram_bytes(&self) -> usize {
+        self.ofmap_sram_bytes
+    }
+
+    /// Total on-chip SRAM capacity in bytes.
+    pub fn total_sram_bytes(&self) -> usize {
+        self.ifmap_sram_bytes + self.filter_sram_bytes + self.ofmap_sram_bytes
+    }
+
+    /// Dataflow mapping strategy.
+    pub fn dataflow(&self) -> Dataflow {
+        self.dataflow
+    }
+
+    /// Sustained DRAM bandwidth in bytes per accelerator cycle.
+    pub fn dram_bandwidth_bytes_per_cycle(&self) -> f64 {
+        self.dram_bandwidth_bytes_per_cycle
+    }
+
+    /// Accelerator clock in MHz.
+    pub fn clock_mhz(&self) -> f64 {
+        self.clock_mhz
+    }
+
+    /// Accelerator clock in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_mhz * 1.0e6
+    }
+
+    /// Operand word size in bytes (1 for int8, 2 for fp16, ...).
+    pub fn word_bytes(&self) -> usize {
+        self.word_bytes
+    }
+
+    /// Returns a copy of this configuration running at a different clock.
+    ///
+    /// Used by AutoPilot's architectural fine-tuning step (frequency
+    /// scaling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidClock`] if `mhz` is not positive and
+    /// finite.
+    pub fn with_clock_mhz(&self, mhz: f64) -> Result<ArrayConfig, ConfigError> {
+        if !(mhz.is_finite() && mhz > 0.0) {
+            return Err(ConfigError::InvalidClock { mhz });
+        }
+        let mut c = self.clone();
+        c.clock_mhz = mhz;
+        Ok(c)
+    }
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        ArrayConfigBuilder::new()
+            .build()
+            .expect("default configuration is valid")
+    }
+}
+
+/// Builder for [`ArrayConfig`].
+///
+/// All setters return `&mut Self` so configuration can be chained; call
+/// [`ArrayConfigBuilder::build`] to validate and produce the config.
+#[derive(Debug, Clone)]
+pub struct ArrayConfigBuilder {
+    rows: usize,
+    cols: usize,
+    ifmap_sram_bytes: usize,
+    filter_sram_bytes: usize,
+    ofmap_sram_bytes: usize,
+    dataflow: Dataflow,
+    dram_bandwidth_bytes_per_cycle: f64,
+    clock_mhz: f64,
+    word_bytes: usize,
+}
+
+impl ArrayConfigBuilder {
+    /// Creates a builder with the documented defaults.
+    pub fn new() -> Self {
+        ArrayConfigBuilder {
+            rows: 32,
+            cols: 32,
+            ifmap_sram_bytes: 512 * 1024,
+            filter_sram_bytes: 512 * 1024,
+            ofmap_sram_bytes: 256 * 1024,
+            dataflow: Dataflow::OutputStationary,
+            dram_bandwidth_bytes_per_cycle: 16.0,
+            clock_mhz: 200.0,
+            word_bytes: 1,
+        }
+    }
+
+    /// Sets the number of PE rows.
+    pub fn rows(&mut self, rows: usize) -> &mut Self {
+        self.rows = rows;
+        self
+    }
+
+    /// Sets the number of PE columns.
+    pub fn cols(&mut self, cols: usize) -> &mut Self {
+        self.cols = cols;
+        self
+    }
+
+    /// Sets the ifmap scratchpad capacity in KiB.
+    pub fn ifmap_sram_kb(&mut self, kb: usize) -> &mut Self {
+        self.ifmap_sram_bytes = kb * 1024;
+        self
+    }
+
+    /// Sets the filter scratchpad capacity in KiB.
+    pub fn filter_sram_kb(&mut self, kb: usize) -> &mut Self {
+        self.filter_sram_bytes = kb * 1024;
+        self
+    }
+
+    /// Sets the ofmap scratchpad capacity in KiB.
+    pub fn ofmap_sram_kb(&mut self, kb: usize) -> &mut Self {
+        self.ofmap_sram_bytes = kb * 1024;
+        self
+    }
+
+    /// Sets the dataflow mapping strategy.
+    pub fn dataflow(&mut self, dataflow: Dataflow) -> &mut Self {
+        self.dataflow = dataflow;
+        self
+    }
+
+    /// Sets the sustained DRAM bandwidth in bytes per cycle.
+    pub fn dram_bandwidth(&mut self, bytes_per_cycle: f64) -> &mut Self {
+        self.dram_bandwidth_bytes_per_cycle = bytes_per_cycle;
+        self
+    }
+
+    /// Sets the accelerator clock in MHz.
+    pub fn clock_mhz(&mut self, mhz: f64) -> &mut Self {
+        self.clock_mhz = mhz;
+        self
+    }
+
+    /// Sets the operand word size in bytes.
+    pub fn word_bytes(&mut self, bytes: usize) -> &mut Self {
+        self.word_bytes = bytes;
+        self
+    }
+
+    /// Validates the configuration and builds an [`ArrayConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when a dimension is zero, a scratchpad
+    /// cannot hold two words (the minimum for double buffering), or the
+    /// bandwidth/clock are not positive finite numbers.
+    pub fn build(&self) -> Result<ArrayConfig, ConfigError> {
+        if self.rows == 0 {
+            return Err(ConfigError::ZeroArrayDimension { dimension: "rows" });
+        }
+        if self.cols == 0 {
+            return Err(ConfigError::ZeroArrayDimension { dimension: "cols" });
+        }
+        if self.word_bytes == 0 {
+            return Err(ConfigError::ZeroWordBytes);
+        }
+        for (name, bytes) in [
+            ("ifmap", self.ifmap_sram_bytes),
+            ("filter", self.filter_sram_bytes),
+            ("ofmap", self.ofmap_sram_bytes),
+        ] {
+            if bytes < 2 * self.word_bytes {
+                return Err(ConfigError::ScratchpadTooSmall { buffer: name, bytes });
+            }
+        }
+        if !(self.dram_bandwidth_bytes_per_cycle.is_finite()
+            && self.dram_bandwidth_bytes_per_cycle > 0.0)
+        {
+            return Err(ConfigError::InvalidBandwidth {
+                bytes_per_cycle: self.dram_bandwidth_bytes_per_cycle,
+            });
+        }
+        if !(self.clock_mhz.is_finite() && self.clock_mhz > 0.0) {
+            return Err(ConfigError::InvalidClock { mhz: self.clock_mhz });
+        }
+        Ok(ArrayConfig {
+            rows: self.rows,
+            cols: self.cols,
+            ifmap_sram_bytes: self.ifmap_sram_bytes,
+            filter_sram_bytes: self.filter_sram_bytes,
+            ofmap_sram_bytes: self.ofmap_sram_bytes,
+            dataflow: self.dataflow,
+            dram_bandwidth_bytes_per_cycle: self.dram_bandwidth_bytes_per_cycle,
+            clock_mhz: self.clock_mhz,
+            word_bytes: self.word_bytes,
+        })
+    }
+}
+
+impl Default for ArrayConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        let c = ArrayConfig::default();
+        assert_eq!(c.rows(), 32);
+        assert_eq!(c.cols(), 32);
+        assert_eq!(c.pe_count(), 1024);
+        assert_eq!(c.word_bytes(), 1);
+    }
+
+    #[test]
+    fn builder_rejects_zero_rows() {
+        let err = ArrayConfig::builder().rows(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroArrayDimension { dimension: "rows" });
+    }
+
+    #[test]
+    fn builder_rejects_zero_cols() {
+        let err = ArrayConfig::builder().cols(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroArrayDimension { dimension: "cols" });
+    }
+
+    #[test]
+    fn builder_rejects_negative_bandwidth() {
+        let err = ArrayConfig::builder().dram_bandwidth(-3.0).build().unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidBandwidth { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_nan_clock() {
+        let err = ArrayConfig::builder().clock_mhz(f64::NAN).build().unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidClock { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_zero_word() {
+        let err = ArrayConfig::builder().word_bytes(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroWordBytes);
+    }
+
+    #[test]
+    fn with_clock_scales_frequency_only() {
+        let base = ArrayConfig::default();
+        let fast = base.with_clock_mhz(400.0).unwrap();
+        assert_eq!(fast.clock_mhz(), 400.0);
+        assert_eq!(fast.rows(), base.rows());
+        assert!(base.with_clock_mhz(0.0).is_err());
+    }
+
+    #[test]
+    fn clock_hz_converts_mhz() {
+        let c = ArrayConfig::builder().clock_mhz(250.0).build().unwrap();
+        assert_eq!(c.clock_hz(), 250.0e6);
+    }
+
+    #[test]
+    fn clone_preserves_equality() {
+        let c = ArrayConfig::default();
+        assert_eq!(c, c.clone());
+    }
+}

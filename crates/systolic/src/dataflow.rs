@@ -1,0 +1,418 @@
+//! Dataflow mappings and fold planning.
+//!
+//! A GEMM `C[M x N] = A[M x K] * B[K x N]` is executed on an `R x C` array
+//! as a sequence of *folds*: tiles of the output (or operand) space that fit
+//! the array. The three classic mappings differ in which operand stays
+//! resident in the PEs:
+//!
+//! * **Output stationary (OS)** — each PE accumulates one output element;
+//!   the output is tiled `R x C`, and each fold streams the full `K`
+//!   reduction through the array.
+//! * **Weight stationary (WS)** — a `R x C` tile of `B` (rows = `K`,
+//!   cols = `N`) is pre-loaded; `A` rows stream through, producing partial
+//!   sums that are spilled/merged across `K` folds.
+//! * **Input stationary (IS)** — symmetric to WS with the roles of `A` and
+//!   `B` swapped.
+//!
+//! Cycle counts follow the SCALE-Sim analytical model: each fold pays a
+//! pipeline fill/drain skew of `R + C - 2` cycles plus one cycle per element
+//! streamed through a PE.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::layer::GemmShape;
+
+/// Dataflow mapping strategy for the systolic array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Dataflow {
+    /// Each PE owns one output element (no partial-sum traffic).
+    #[default]
+    OutputStationary,
+    /// Weights are pinned in the PEs; inputs stream through.
+    WeightStationary,
+    /// Inputs are pinned in the PEs; weights stream through.
+    InputStationary,
+}
+
+impl Dataflow {
+    /// All supported dataflows, useful for sweeps.
+    pub const ALL: [Dataflow; 3] = [
+        Dataflow::OutputStationary,
+        Dataflow::WeightStationary,
+        Dataflow::InputStationary,
+    ];
+
+    /// Short SCALE-Sim-style mnemonic (`"os"`, `"ws"`, `"is"`).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Dataflow::OutputStationary => "os",
+            Dataflow::WeightStationary => "ws",
+            Dataflow::InputStationary => "is",
+        }
+    }
+}
+
+impl fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The fold-level execution plan of one GEMM on a given array geometry.
+///
+/// Produced by [`FoldPlan::plan`]; consumed by the simulator core and the
+/// trace generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FoldPlan {
+    /// Dataflow used to build this plan.
+    pub dataflow: Dataflow,
+    /// GEMM being executed.
+    pub gemm: GemmShape,
+    /// Array rows.
+    pub rows: usize,
+    /// Array cols.
+    pub cols: usize,
+    /// Number of folds along the dimension mapped to rows.
+    pub row_folds: usize,
+    /// Number of folds along the dimension mapped to columns.
+    pub col_folds: usize,
+    /// Number of reduction (partial-sum) folds; 1 for OS.
+    pub reduction_folds: usize,
+    /// Compute cycles for the whole GEMM, ignoring memory stalls.
+    pub compute_cycles: u64,
+    /// Cycles spent on pipeline fill/drain skew (subset of
+    /// `compute_cycles`).
+    pub overhead_cycles: u64,
+    /// SRAM reads from the ifmap buffer (elements).
+    pub ifmap_sram_reads: u64,
+    /// SRAM reads from the filter buffer (elements).
+    pub filter_sram_reads: u64,
+    /// SRAM writes to the ofmap buffer (elements), including partial-sum
+    /// spills.
+    pub ofmap_sram_writes: u64,
+    /// SRAM reads from the ofmap buffer for partial-sum merging (elements).
+    pub ofmap_sram_reads: u64,
+    /// Average number of active PEs over the compute window.
+    pub mean_active_pes: f64,
+}
+
+impl FoldPlan {
+    /// Builds the fold plan of `gemm` on an `rows x cols` array under
+    /// `dataflow`.
+    ///
+    /// Degenerate GEMMs (any dimension zero) produce an all-zero plan.
+    pub fn plan(dataflow: Dataflow, gemm: GemmShape, rows: usize, cols: usize) -> FoldPlan {
+        if gemm.is_empty() || rows == 0 || cols == 0 {
+            return FoldPlan {
+                dataflow,
+                gemm,
+                rows,
+                cols,
+                row_folds: 0,
+                col_folds: 0,
+                reduction_folds: 0,
+                compute_cycles: 0,
+                overhead_cycles: 0,
+                ifmap_sram_reads: 0,
+                filter_sram_reads: 0,
+                ofmap_sram_writes: 0,
+                ofmap_sram_reads: 0,
+                mean_active_pes: 0.0,
+            };
+        }
+        match dataflow {
+            Dataflow::OutputStationary => Self::plan_os(gemm, rows, cols),
+            Dataflow::WeightStationary => Self::plan_ws(gemm, rows, cols),
+            Dataflow::InputStationary => Self::plan_is(gemm, rows, cols),
+        }
+    }
+
+    /// Output stationary: tile `M` over rows, `N` over cols. Each fold
+    /// streams the whole reduction (`K` cycles) plus skew.
+    fn plan_os(g: GemmShape, rows: usize, cols: usize) -> FoldPlan {
+        let row_folds = div_ceil(g.m, rows);
+        let col_folds = div_ceil(g.n, cols);
+        let folds = (row_folds * col_folds) as u64;
+        let skew = (rows + cols - 2) as u64;
+        let per_fold = g.k as u64 + skew;
+        let compute_cycles = folds * per_fold;
+        let overhead_cycles = folds * skew;
+
+        // Each fold streams R active-row inputs and C active-col weights
+        // for K cycles. Edge folds have fewer active rows/cols.
+        let (mut ifmap_reads, mut filter_reads, mut ofmap_writes) = (0u64, 0u64, 0u64);
+        let mut active_pe_cycles = 0u64;
+        for rf in 0..row_folds {
+            let act_r = active(g.m, rows, rf) as u64;
+            for cf in 0..col_folds {
+                let act_c = active(g.n, cols, cf) as u64;
+                ifmap_reads += act_r * g.k as u64;
+                filter_reads += act_c * g.k as u64;
+                ofmap_writes += act_r * act_c;
+                active_pe_cycles += act_r * act_c * g.k as u64;
+            }
+        }
+        let mean_active_pes = if compute_cycles > 0 {
+            active_pe_cycles as f64 / compute_cycles as f64
+        } else {
+            0.0
+        };
+        FoldPlan {
+            dataflow: Dataflow::OutputStationary,
+            gemm: g,
+            rows,
+            cols,
+            row_folds,
+            col_folds,
+            reduction_folds: 1,
+            compute_cycles,
+            overhead_cycles,
+            ifmap_sram_reads: ifmap_reads,
+            filter_sram_reads: filter_reads,
+            ofmap_sram_writes: ofmap_writes,
+            ofmap_sram_reads: 0,
+            mean_active_pes,
+        }
+    }
+
+    /// Weight stationary: a `min(K, R) x min(N, C)` weight tile is loaded
+    /// (R cycles), then `M` input rows stream through (`M + skew` cycles).
+    /// `K` is folded over rows, requiring partial-sum spill/merge through
+    /// the ofmap buffer for every fold beyond the first.
+    fn plan_ws(g: GemmShape, rows: usize, cols: usize) -> FoldPlan {
+        let red_folds = div_ceil(g.k, rows);
+        let col_folds = div_ceil(g.n, cols);
+        let folds = (red_folds * col_folds) as u64;
+        let skew = (rows + cols - 2) as u64;
+        let load = rows as u64;
+        let per_fold = load + g.m as u64 + skew;
+        let compute_cycles = folds * per_fold;
+        let overhead_cycles = folds * (load + skew);
+
+        let (mut ifmap_reads, mut filter_reads) = (0u64, 0u64);
+        let mut psum_writes = 0u64;
+        let mut psum_reads = 0u64;
+        let mut active_pe_cycles = 0u64;
+        for kf in 0..red_folds {
+            let act_k = active(g.k, rows, kf) as u64;
+            for cf in 0..col_folds {
+                let act_c = active(g.n, cols, cf) as u64;
+                filter_reads += act_k * act_c; // weight tile load
+                ifmap_reads += g.m as u64 * act_k; // streamed rows
+                psum_writes += g.m as u64 * act_c; // every fold writes psums
+                if kf > 0 {
+                    psum_reads += g.m as u64 * act_c; // merge with previous
+                }
+                active_pe_cycles += g.m as u64 * act_k * act_c;
+            }
+        }
+        let mean_active_pes = if compute_cycles > 0 {
+            active_pe_cycles as f64 / compute_cycles as f64
+        } else {
+            0.0
+        };
+        FoldPlan {
+            dataflow: Dataflow::WeightStationary,
+            gemm: g,
+            rows,
+            cols,
+            row_folds: red_folds,
+            col_folds,
+            reduction_folds: red_folds,
+            compute_cycles,
+            overhead_cycles,
+            ifmap_sram_reads: ifmap_reads,
+            filter_sram_reads: filter_reads,
+            ofmap_sram_writes: psum_writes,
+            ofmap_sram_reads: psum_reads,
+            mean_active_pes,
+        }
+    }
+
+    /// Input stationary: symmetric to WS with `A` pinned — `K` folds over
+    /// rows, `M` folds over cols, `N` weight columns stream through.
+    fn plan_is(g: GemmShape, rows: usize, cols: usize) -> FoldPlan {
+        let red_folds = div_ceil(g.k, rows);
+        let col_folds = div_ceil(g.m, cols);
+        let folds = (red_folds * col_folds) as u64;
+        let skew = (rows + cols - 2) as u64;
+        let load = rows as u64;
+        let per_fold = load + g.n as u64 + skew;
+        let compute_cycles = folds * per_fold;
+        let overhead_cycles = folds * (load + skew);
+
+        let (mut ifmap_reads, mut filter_reads) = (0u64, 0u64);
+        let mut psum_writes = 0u64;
+        let mut psum_reads = 0u64;
+        let mut active_pe_cycles = 0u64;
+        for kf in 0..red_folds {
+            let act_k = active(g.k, rows, kf) as u64;
+            for mf in 0..col_folds {
+                let act_m = active(g.m, cols, mf) as u64;
+                ifmap_reads += act_k * act_m; // input tile load
+                filter_reads += g.n as u64 * act_k; // streamed weight cols
+                psum_writes += g.n as u64 * act_m;
+                if kf > 0 {
+                    psum_reads += g.n as u64 * act_m;
+                }
+                active_pe_cycles += g.n as u64 * act_k * act_m;
+            }
+        }
+        let mean_active_pes = if compute_cycles > 0 {
+            active_pe_cycles as f64 / compute_cycles as f64
+        } else {
+            0.0
+        };
+        FoldPlan {
+            dataflow: Dataflow::InputStationary,
+            gemm: g,
+            rows,
+            cols,
+            row_folds: red_folds,
+            col_folds,
+            reduction_folds: red_folds,
+            compute_cycles,
+            overhead_cycles,
+            ifmap_sram_reads: ifmap_reads,
+            filter_sram_reads: filter_reads,
+            ofmap_sram_writes: psum_writes,
+            ofmap_sram_reads: psum_reads,
+            mean_active_pes,
+        }
+    }
+
+    /// Total number of folds executed.
+    pub fn total_folds(&self) -> usize {
+        self.row_folds * self.col_folds
+    }
+
+    /// Array utilization over the compute window: MACs performed divided by
+    /// peak MAC slots (`compute_cycles * rows * cols`).
+    pub fn utilization(&self) -> f64 {
+        let peak = self.compute_cycles as f64 * (self.rows * self.cols) as f64;
+        if peak == 0.0 {
+            0.0
+        } else {
+            (self.gemm.macs() as f64 / peak).min(1.0)
+        }
+    }
+}
+
+/// Elements actually mapped in fold `idx` when tiling `total` by `tile`.
+fn active(total: usize, tile: usize, idx: usize) -> usize {
+    let start = idx * tile;
+    total.saturating_sub(start).min(tile)
+}
+
+pub(crate) fn div_ceil(a: usize, b: usize) -> usize {
+    if b == 0 {
+        0
+    } else {
+        a.div_ceil(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm(m: usize, k: usize, n: usize) -> GemmShape {
+        GemmShape { m, k, n }
+    }
+
+    #[test]
+    fn os_single_fold_exact_cycles() {
+        // 8x8 array, GEMM fits exactly: one fold, cycles = K + R + C - 2.
+        let p = FoldPlan::plan(Dataflow::OutputStationary, gemm(8, 100, 8), 8, 8);
+        assert_eq!(p.total_folds(), 1);
+        assert_eq!(p.compute_cycles, 100 + 8 + 8 - 2);
+        assert_eq!(p.ifmap_sram_reads, 8 * 100);
+        assert_eq!(p.filter_sram_reads, 8 * 100);
+        assert_eq!(p.ofmap_sram_writes, 64);
+        assert_eq!(p.ofmap_sram_reads, 0);
+    }
+
+    #[test]
+    fn os_fold_counts() {
+        let p = FoldPlan::plan(Dataflow::OutputStationary, gemm(100, 10, 33), 32, 16);
+        assert_eq!(p.row_folds, 4); // ceil(100/32)
+        assert_eq!(p.col_folds, 3); // ceil(33/16)
+        assert_eq!(p.reduction_folds, 1);
+    }
+
+    #[test]
+    fn ws_partial_sum_traffic_appears_with_k_folds() {
+        // K = 40 on 16 rows -> 3 reduction folds -> psum reads from fold 2 on.
+        let p = FoldPlan::plan(Dataflow::WeightStationary, gemm(50, 40, 16), 16, 16);
+        assert_eq!(p.reduction_folds, 3);
+        assert!(p.ofmap_sram_reads > 0);
+        assert_eq!(p.ofmap_sram_writes, 3 * 50 * 16);
+        assert_eq!(p.ofmap_sram_reads, 2 * 50 * 16);
+    }
+
+    #[test]
+    fn ws_no_psum_reads_single_fold() {
+        let p = FoldPlan::plan(Dataflow::WeightStationary, gemm(50, 16, 16), 16, 16);
+        assert_eq!(p.reduction_folds, 1);
+        assert_eq!(p.ofmap_sram_reads, 0);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        for df in Dataflow::ALL {
+            for &(m, k, n) in &[(1, 4096, 256), (3136, 288, 64), (7, 7, 7), (1000, 1, 1)] {
+                let p = FoldPlan::plan(df, gemm(m, k, n), 32, 32);
+                let u = p.utilization();
+                assert!((0.0..=1.0).contains(&u), "{df} util {u} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_fit_os_utilization_high() {
+        // Large K amortizes skew: utilization approaches 1.
+        let p = FoldPlan::plan(Dataflow::OutputStationary, gemm(32, 100_000, 32), 32, 32);
+        assert!(p.utilization() > 0.99, "got {}", p.utilization());
+    }
+
+    #[test]
+    fn degenerate_gemm_zero_plan() {
+        let p = FoldPlan::plan(Dataflow::OutputStationary, gemm(0, 10, 10), 8, 8);
+        assert_eq!(p.compute_cycles, 0);
+        assert_eq!(p.utilization(), 0.0);
+        assert_eq!(p.total_folds(), 0);
+    }
+
+    #[test]
+    fn bigger_array_never_slower_os() {
+        let g = gemm(3136, 288, 64);
+        let small = FoldPlan::plan(Dataflow::OutputStationary, g, 16, 16);
+        let big = FoldPlan::plan(Dataflow::OutputStationary, g, 64, 64);
+        assert!(big.compute_cycles <= small.compute_cycles);
+    }
+
+    #[test]
+    fn mnemonics_and_display() {
+        assert_eq!(Dataflow::OutputStationary.to_string(), "os");
+        assert_eq!(Dataflow::WeightStationary.mnemonic(), "ws");
+        assert_eq!(Dataflow::InputStationary.mnemonic(), "is");
+    }
+
+    #[test]
+    fn is_dataflow_symmetry_with_ws() {
+        // IS on (M,K,N) should mirror WS on (N,K,M) in cycle structure.
+        let ws = FoldPlan::plan(Dataflow::WeightStationary, gemm(30, 64, 40), 16, 16);
+        let is = FoldPlan::plan(Dataflow::InputStationary, gemm(40, 64, 30), 16, 16);
+        assert_eq!(ws.compute_cycles, is.compute_cycles);
+    }
+
+    #[test]
+    fn mean_active_pes_bounded_by_array() {
+        for df in Dataflow::ALL {
+            let p = FoldPlan::plan(df, gemm(100, 200, 50), 16, 16);
+            assert!(p.mean_active_pes <= 256.0);
+            assert!(p.mean_active_pes > 0.0);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Event-driven execution engine: a second, independent timing model
+//! that steps through a layer fold-by-fold with an explicit double-buffer
+//! state machine, used to cross-validate the analytical model.
+//!
+//! The engine tracks three resources per fold: the PE array (busy for the
+//! fold's compute cycles), the DRAM channel (serializes prefetches and
+//! write-backs at the configured bandwidth), and the ping-pong scratchpad
+//! slots (a fold may start only when its operands finished loading).
+//! Prefetch of fold `i+1` overlaps compute of fold `i` exactly when the
+//! double buffer has a free slot — the behaviour the analytical model
+//! approximates with its fill + excess-traffic formula.
+
+use crate::config::ArrayConfig;
+use crate::dataflow::FoldPlan;
+use crate::layer::Layer;
+use crate::memory::ScratchpadPlan;
+
+/// Cycle-level result of executing one layer on the event engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineResult {
+    /// Total cycles from first prefetch to last write-back.
+    pub total_cycles: u64,
+    /// Cycles the array spent computing.
+    pub busy_cycles: u64,
+    /// Cycles the array waited on operands.
+    pub stall_cycles: u64,
+    /// Folds executed.
+    pub folds: u64,
+}
+
+impl EngineResult {
+    /// Array occupancy over the whole window.
+    pub fn occupancy(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+/// Executes `layer` fold-by-fold under `config`.
+///
+/// Pooling / bypass layers take their DMA time only.
+pub fn execute_layer(config: &ArrayConfig, layer: &Layer) -> EngineResult {
+    let gemm = layer.gemm().unwrap_or(crate::layer::GemmShape { m: 0, k: 0, n: 0 });
+    let plan = FoldPlan::plan(config.dataflow(), gemm, config.rows(), config.cols());
+    let mem = ScratchpadPlan::analyze(config, layer, &plan);
+    let bw = config.dram_bandwidth_bytes_per_cycle();
+
+    let folds = plan.total_folds() as u64;
+    if folds == 0 {
+        // Traffic-only layer: one DMA pass.
+        let cycles = ((mem.dram_read_bytes + mem.dram_write_bytes) as f64 / bw).ceil() as u64;
+        return EngineResult {
+            total_cycles: cycles,
+            busy_cycles: 0,
+            stall_cycles: cycles,
+            folds: 0,
+        };
+    }
+
+    // Distribute the layer's DRAM traffic over folds: reads must land
+    // before a fold starts; writes drain after it ends.
+    let read_per_fold = mem.dram_read_bytes / folds;
+    let read_rem = mem.dram_read_bytes % folds;
+    let write_per_fold = mem.dram_write_bytes / folds;
+    let write_rem = mem.dram_write_bytes % folds;
+    let compute_per_fold = plan.compute_cycles / folds;
+    let compute_rem = plan.compute_cycles % folds;
+
+    let to_cycles = |bytes: u64| (bytes as f64 / bw).ceil() as u64;
+
+    // Resource clocks.
+    let mut dram_free = 0u64; // when the DRAM channel is next idle
+    let mut array_free = 0u64; // when the PE array is next idle
+    let mut busy = 0u64;
+    let mut stall = 0u64;
+    // Prefetch completion time of the operands for the next fold; the
+    // double buffer lets exactly one fold be in flight ahead.
+    let mut operands_ready = 0u64;
+
+    // Initial prefetch of fold 0.
+    let first_read = read_per_fold + u64::from(read_rem > 0);
+    dram_free += to_cycles(first_read);
+    operands_ready = operands_ready.max(dram_free);
+
+    let mut end_of_last_write = 0u64;
+    for fold in 0..folds {
+        let compute = compute_per_fold + u64::from(fold < compute_rem);
+        // The fold starts when the array is free AND its operands landed.
+        let start = array_free.max(operands_ready);
+        stall += start - array_free;
+        let end = start + compute;
+        busy += compute;
+        array_free = end;
+
+        // Kick off the next fold's prefetch as soon as the channel frees
+        // (double buffering: it may fully overlap this fold's compute).
+        if fold + 1 < folds {
+            let read = read_per_fold + u64::from(fold + 1 < read_rem);
+            let begin = dram_free.max(start); // slot frees once the fold starts
+            dram_free = begin + to_cycles(read);
+            operands_ready = dram_free;
+        }
+
+        // Write-back of this fold's outputs competes for the channel too.
+        let write = write_per_fold + u64::from(fold < write_rem);
+        if write > 0 {
+            let begin = dram_free.max(end);
+            dram_free = begin + to_cycles(write);
+            end_of_last_write = dram_free;
+        }
+    }
+
+    let total = array_free.max(end_of_last_write);
+    EngineResult { total_cycles: total, busy_cycles: busy, stall_cycles: stall, folds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArrayConfig, Dataflow, Layer, Simulator};
+
+    fn configs() -> Vec<ArrayConfig> {
+        let mut out = Vec::new();
+        for (r, c) in [(8usize, 8usize), (32, 32), (128, 128)] {
+            for bw in [4.0, 48.0] {
+                for df in Dataflow::ALL {
+                    out.push(
+                        ArrayConfig::builder()
+                            .rows(r)
+                            .cols(c)
+                            .dataflow(df)
+                            .dram_bandwidth(bw)
+                            .build()
+                            .unwrap(),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn engine_and_analytic_model_agree() {
+        // The two timing models are independent implementations of the
+        // same microarchitecture; they must agree to ~20 % everywhere.
+        let layers = [
+            Layer::conv2d(96, 96, 16, 32, 3, 2, 1),
+            Layer::conv2d(48, 48, 48, 48, 3, 1, 1),
+            Layer::dense(5632, 5632),
+        ];
+        for config in configs() {
+            let sim = Simulator::new(config.clone());
+            for layer in &layers {
+                let analytic = sim.simulate_layer(layer).total_cycles as f64;
+                let event = execute_layer(&config, layer).total_cycles as f64;
+                let ratio = event / analytic;
+                assert!(
+                    (0.75..=1.35).contains(&ratio),
+                    "{}x{} {} bw={} {:?}: event {event} vs analytic {analytic} ({ratio:.2})",
+                    config.rows(),
+                    config.cols(),
+                    config.dataflow(),
+                    config.dram_bandwidth_bytes_per_cycle(),
+                    layer
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn busy_cycles_match_fold_plan_exactly() {
+        let config = ArrayConfig::default();
+        let layer = Layer::conv2d(48, 48, 32, 64, 3, 1, 1);
+        let plan = FoldPlan::plan(
+            config.dataflow(),
+            layer.gemm().unwrap(),
+            config.rows(),
+            config.cols(),
+        );
+        let result = execute_layer(&config, &layer);
+        assert_eq!(result.busy_cycles, plan.compute_cycles);
+        assert_eq!(result.folds, plan.total_folds() as u64);
+    }
+
+    #[test]
+    fn starved_bandwidth_stalls_the_array() {
+        let fast = ArrayConfig::builder().dram_bandwidth(64.0).build().unwrap();
+        let slow = ArrayConfig::builder().dram_bandwidth(0.5).build().unwrap();
+        let layer = Layer::dense(5632, 5632);
+        let f = execute_layer(&fast, &layer);
+        let s = execute_layer(&slow, &layer);
+        assert!(s.stall_cycles > f.stall_cycles);
+        assert!(s.occupancy() < f.occupancy());
+    }
+
+    #[test]
+    fn pool_layer_is_pure_dma() {
+        let config = ArrayConfig::default();
+        let r = execute_layer(&config, &Layer::Pool { in_h: 48, in_w: 48, channels: 48, window: 12 });
+        assert_eq!(r.busy_cycles, 0);
+        assert_eq!(r.folds, 0);
+        assert!(r.total_cycles > 0);
+    }
+
+    #[test]
+    fn occupancy_bounded() {
+        for config in configs() {
+            let r = execute_layer(&config, &Layer::conv2d(48, 48, 16, 16, 3, 1, 1));
+            assert!((0.0..=1.0).contains(&r.occupancy()));
+            assert_eq!(r.total_cycles, r.total_cycles.max(r.busy_cycles));
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types for simulator configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when an [`ArrayConfig`](crate::ArrayConfig) is invalid.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The PE array has a zero-sized dimension.
+    ZeroArrayDimension {
+        /// Offending dimension name (`"rows"` or `"cols"`).
+        dimension: &'static str,
+    },
+    /// A scratchpad is too small to double-buffer even a single word.
+    ScratchpadTooSmall {
+        /// Offending buffer name.
+        buffer: &'static str,
+        /// Requested capacity in bytes.
+        bytes: usize,
+    },
+    /// The DRAM bandwidth is not a positive, finite number.
+    InvalidBandwidth {
+        /// Requested bandwidth in bytes/cycle.
+        bytes_per_cycle: f64,
+    },
+    /// The clock frequency is not a positive, finite number.
+    InvalidClock {
+        /// Requested frequency in MHz.
+        mhz: f64,
+    },
+    /// The operand word size is zero.
+    ZeroWordBytes,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroArrayDimension { dimension } => {
+                write!(f, "PE array {dimension} must be non-zero")
+            }
+            ConfigError::ScratchpadTooSmall { buffer, bytes } => {
+                write!(f, "{buffer} scratchpad of {bytes} bytes cannot double-buffer one word")
+            }
+            ConfigError::InvalidBandwidth { bytes_per_cycle } => {
+                write!(f, "DRAM bandwidth of {bytes_per_cycle} bytes/cycle is not positive and finite")
+            }
+            ConfigError::InvalidClock { mhz } => {
+                write!(f, "clock of {mhz} MHz is not positive and finite")
+            }
+            ConfigError::ZeroWordBytes => write!(f, "operand word size must be non-zero"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            ConfigError::ZeroArrayDimension { dimension: "rows" },
+            ConfigError::ScratchpadTooSmall { buffer: "ifmap", bytes: 1 },
+            ConfigError::InvalidBandwidth { bytes_per_cycle: -1.0 },
+            ConfigError::InvalidClock { mhz: 0.0 },
+            ConfigError::ZeroWordBytes,
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+}

@@ -1,0 +1,92 @@
+//! CSV export of simulation reports (the SCALE-Sim-style artifact most
+//! downstream analysis scripts expect).
+
+use std::fmt::Write as _;
+
+use crate::report::{LayerStats, NetworkStats};
+
+/// CSV header matching [`layer_csv_row`].
+pub const LAYER_CSV_HEADER: &str = "layer,compute_cycles,stall_cycles,total_cycles,macs,\
+utilization,ifmap_sram_reads,filter_sram_reads,ofmap_sram_writes,ofmap_sram_reads,\
+dram_read_bytes,dram_write_bytes";
+
+/// One CSV row for a layer's statistics.
+pub fn layer_csv_row(index: usize, stats: &LayerStats) -> String {
+    format!(
+        "{index},{},{},{},{},{:.6},{},{},{},{},{},{}",
+        stats.compute_cycles,
+        stats.stall_cycles,
+        stats.total_cycles,
+        stats.macs,
+        stats.utilization,
+        stats.ifmap_sram_reads,
+        stats.filter_sram_reads,
+        stats.ofmap_sram_writes,
+        stats.ofmap_sram_reads,
+        stats.dram_read_bytes,
+        stats.dram_write_bytes,
+    )
+}
+
+/// Full CSV report (header + one row per layer + a totals row) for a
+/// simulated network.
+pub fn network_csv(stats: &NetworkStats) -> String {
+    let mut out = String::from(LAYER_CSV_HEADER);
+    out.push('\n');
+    for (i, layer) in stats.layers.iter().enumerate() {
+        let _ = writeln!(out, "{}", layer_csv_row(i, layer));
+    }
+    let _ = writeln!(
+        out,
+        "total,{},{},{},{},{:.6},{},{},{},{},{},{}",
+        stats.compute_cycles(),
+        stats.stall_cycles(),
+        stats.total_cycles(),
+        stats.total_macs(),
+        stats.mean_utilization(),
+        stats.layers.iter().map(|l| l.ifmap_sram_reads).sum::<u64>(),
+        stats.layers.iter().map(|l| l.filter_sram_reads).sum::<u64>(),
+        stats.layers.iter().map(|l| l.ofmap_sram_writes).sum::<u64>(),
+        stats.layers.iter().map(|l| l.ofmap_sram_reads).sum::<u64>(),
+        stats.dram_read_bytes(),
+        stats.dram_write_bytes(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArrayConfig, Layer, Simulator};
+
+    #[test]
+    fn csv_has_header_layers_and_totals() {
+        let sim = Simulator::new(ArrayConfig::default());
+        let stats = sim.simulate_network(&[
+            Layer::conv2d(32, 32, 3, 16, 3, 2, 1),
+            Layer::dense(1024, 32),
+        ]);
+        let csv = network_csv(&stats);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 2 layers + totals
+        assert!(lines[0].starts_with("layer,"));
+        assert!(lines[3].starts_with("total,"));
+        // Every row has the same number of fields as the header.
+        let fields = lines[0].split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), fields, "row: {line}");
+        }
+    }
+
+    #[test]
+    fn totals_row_is_sum_of_layers() {
+        let sim = Simulator::new(ArrayConfig::default());
+        let stats = sim.simulate_network(&[Layer::conv2d(16, 16, 4, 8, 3, 1, 1)]);
+        let csv = network_csv(&stats);
+        let lines: Vec<&str> = csv.lines().collect();
+        let layer: Vec<&str> = lines[1].split(',').collect();
+        let total: Vec<&str> = lines[2].split(',').collect();
+        // Single layer: totals equal the layer row (ignoring the label).
+        assert_eq!(&layer[1..5], &total[1..5]);
+    }
+}

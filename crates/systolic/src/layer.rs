@@ -1,0 +1,251 @@
+//! Network layer descriptions and their GEMM lowering.
+
+use serde::{Deserialize, Serialize};
+
+/// A single neural-network layer as seen by the accelerator.
+///
+/// Convolutions are lowered to GEMM via im2col (the SCALE-Sim convention);
+/// dense layers map directly. Only the layers appearing in the AutoPilot E2E
+/// template are modelled, plus pooling (which executes on the vector path and
+/// contributes traffic but negligible MACs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Layer {
+    /// 2-D convolution over an `in_h x in_w x in_c` input producing `out_c`
+    /// channels with a square `kernel x kernel` window.
+    Conv2d {
+        /// Input height in pixels.
+        in_h: usize,
+        /// Input width in pixels.
+        in_w: usize,
+        /// Input channels.
+        in_c: usize,
+        /// Output channels (number of filters).
+        out_c: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride in both dimensions.
+        stride: usize,
+        /// Symmetric zero padding in both dimensions.
+        pad: usize,
+    },
+    /// Fully connected layer (`inputs -> outputs`), batch size 1.
+    Dense {
+        /// Input features.
+        inputs: usize,
+        /// Output features.
+        outputs: usize,
+    },
+    /// Max/average pooling; traffic only, no MACs on the systolic array.
+    Pool {
+        /// Input height in pixels.
+        in_h: usize,
+        /// Input width in pixels.
+        in_w: usize,
+        /// Channels.
+        channels: usize,
+        /// Square window and stride.
+        window: usize,
+    },
+}
+
+impl Layer {
+    /// Convenience constructor for a convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero, or if the (padded) input is
+    /// smaller than the kernel.
+    pub fn conv2d(
+        in_h: usize,
+        in_w: usize,
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Layer {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be non-zero");
+        assert!(
+            in_h + 2 * pad >= kernel && in_w + 2 * pad >= kernel,
+            "padded input must be at least as large as the kernel"
+        );
+        Layer::Conv2d { in_h, in_w, in_c, out_c, kernel, stride, pad }
+    }
+
+    /// Convenience constructor for a dense layer.
+    pub fn dense(inputs: usize, outputs: usize) -> Layer {
+        Layer::Dense { inputs, outputs }
+    }
+
+    /// Output spatial/feature dimensions `(h, w, c)` of this layer.
+    pub fn output_dims(&self) -> (usize, usize, usize) {
+        match *self {
+            Layer::Conv2d { in_h, in_w, out_c, kernel, stride, pad, .. } => {
+                let oh = conv_out(in_h, kernel, stride, pad);
+                let ow = conv_out(in_w, kernel, stride, pad);
+                (oh, ow, out_c)
+            }
+            Layer::Dense { outputs, .. } => (1, 1, outputs),
+            Layer::Pool { in_h, in_w, channels, window } => {
+                (in_h / window.max(1), in_w / window.max(1), channels)
+            }
+        }
+    }
+
+    /// Number of trainable parameters (weights + biases).
+    pub fn parameter_count(&self) -> u64 {
+        match *self {
+            Layer::Conv2d { in_c, out_c, kernel, .. } => {
+                (kernel as u64 * kernel as u64 * in_c as u64 + 1) * out_c as u64
+            }
+            Layer::Dense { inputs, outputs } => (inputs as u64 + 1) * outputs as u64,
+            Layer::Pool { .. } => 0,
+        }
+    }
+
+    /// Number of multiply-accumulate operations for one inference.
+    pub fn mac_count(&self) -> u64 {
+        match self.gemm() {
+            Some(g) => g.macs(),
+            None => 0,
+        }
+    }
+
+    /// Lowers the layer to a GEMM shape, or `None` for layers that bypass
+    /// the systolic array (pooling).
+    pub fn gemm(&self) -> Option<GemmShape> {
+        match *self {
+            Layer::Conv2d { in_h, in_w, in_c, out_c, kernel, stride, pad } => {
+                let oh = conv_out(in_h, kernel, stride, pad);
+                let ow = conv_out(in_w, kernel, stride, pad);
+                Some(GemmShape {
+                    m: oh * ow,
+                    k: kernel * kernel * in_c,
+                    n: out_c,
+                })
+            }
+            Layer::Dense { inputs, outputs } => Some(GemmShape { m: 1, k: inputs, n: outputs }),
+            Layer::Pool { .. } => None,
+        }
+    }
+
+    /// Unique input-operand footprint in elements (the im2col source, not
+    /// the expanded matrix).
+    pub fn ifmap_elements(&self) -> u64 {
+        match *self {
+            Layer::Conv2d { in_h, in_w, in_c, .. } => (in_h * in_w * in_c) as u64,
+            Layer::Dense { inputs, .. } => inputs as u64,
+            Layer::Pool { in_h, in_w, channels, .. } => (in_h * in_w * channels) as u64,
+        }
+    }
+
+    /// Unique weight footprint in elements.
+    pub fn filter_elements(&self) -> u64 {
+        match *self {
+            Layer::Conv2d { in_c, out_c, kernel, .. } => {
+                (kernel * kernel * in_c * out_c) as u64
+            }
+            Layer::Dense { inputs, outputs } => (inputs * outputs) as u64,
+            Layer::Pool { .. } => 0,
+        }
+    }
+
+    /// Unique output footprint in elements.
+    pub fn ofmap_elements(&self) -> u64 {
+        let (h, w, c) = self.output_dims();
+        (h * w * c) as u64
+    }
+}
+
+fn conv_out(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    (input + 2 * pad).saturating_sub(kernel) / stride + 1
+}
+
+/// A GEMM problem `C[M x N] = A[M x K] * B[K x N]` as mapped onto the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmShape {
+    /// Output rows (convolution output pixels).
+    pub m: usize,
+    /// Reduction dimension (kernel volume).
+    pub k: usize,
+    /// Output columns (filter count).
+    pub n: usize,
+}
+
+impl GemmShape {
+    /// Total multiply-accumulate operations.
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.k as u64 * self.n as u64
+    }
+
+    /// True when any dimension is zero (degenerate problem).
+    pub fn is_empty(&self) -> bool {
+        self.m == 0 || self.k == 0 || self.n == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_dims_follow_formula() {
+        // 84x84 input, 3x3 kernel, stride 2, pad 1 -> 42x42.
+        let l = Layer::conv2d(84, 84, 3, 32, 3, 2, 1);
+        assert_eq!(l.output_dims(), (42, 42, 32));
+    }
+
+    #[test]
+    fn conv_gemm_lowering_matches_im2col() {
+        let l = Layer::conv2d(56, 56, 32, 64, 3, 1, 1);
+        let g = l.gemm().unwrap();
+        assert_eq!(g.m, 56 * 56);
+        assert_eq!(g.k, 3 * 3 * 32);
+        assert_eq!(g.n, 64);
+        assert_eq!(l.mac_count(), g.macs());
+    }
+
+    #[test]
+    fn dense_gemm_is_m1() {
+        let l = Layer::dense(4096, 256);
+        let g = l.gemm().unwrap();
+        assert_eq!((g.m, g.k, g.n), (1, 4096, 256));
+    }
+
+    #[test]
+    fn parameter_counts_include_bias() {
+        assert_eq!(Layer::dense(10, 5).parameter_count(), 55);
+        let conv = Layer::conv2d(8, 8, 3, 4, 3, 1, 1);
+        assert_eq!(conv.parameter_count(), (3 * 3 * 3 + 1) * 4);
+    }
+
+    #[test]
+    fn pool_has_no_macs_or_params() {
+        let p = Layer::Pool { in_h: 32, in_w: 32, channels: 16, window: 2 };
+        assert_eq!(p.mac_count(), 0);
+        assert_eq!(p.parameter_count(), 0);
+        assert!(p.gemm().is_none());
+        assert_eq!(p.output_dims(), (16, 16, 16));
+    }
+
+    #[test]
+    fn footprints_are_consistent() {
+        let l = Layer::conv2d(28, 28, 16, 32, 3, 1, 1);
+        assert_eq!(l.ifmap_elements(), 28 * 28 * 16);
+        assert_eq!(l.filter_elements(), 3 * 3 * 16 * 32);
+        assert_eq!(l.ofmap_elements(), 28 * 28 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel and stride")]
+    fn conv_rejects_zero_stride() {
+        let _ = Layer::conv2d(8, 8, 3, 4, 3, 0, 1);
+    }
+
+    #[test]
+    fn empty_gemm_detection() {
+        assert!(GemmShape { m: 0, k: 1, n: 1 }.is_empty());
+        assert!(!GemmShape { m: 1, k: 1, n: 1 }.is_empty());
+    }
+}

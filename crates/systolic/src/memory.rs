@@ -1,0 +1,332 @@
+//! Scratchpad fit analysis and DRAM traffic modelling.
+//!
+//! Each operand (ifmap, filter, ofmap) lives in its own double-buffered
+//! scratchpad: half the capacity holds the working tile while the other
+//! half is pre-filled with the next tile. DRAM traffic for an operand is
+//! determined by a three-tier reuse model:
+//!
+//! 1. **Resident** — the full operand fits in half the scratchpad: it is
+//!    fetched exactly once.
+//! 2. **Tiled** — the per-fold working tile fits: tiles are fetched once
+//!    per pass the fold loop makes over the operand (the re-fetch factor
+//!    depends on the dataflow's loop order).
+//! 3. **Streamed** — not even one tile fits: every SRAM read misses on
+//!    chip reuse and the full stream comes from DRAM.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ArrayConfig;
+use crate::dataflow::{Dataflow, FoldPlan};
+use crate::layer::Layer;
+
+/// Identifies one of the three accelerator scratchpads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BufferKind {
+    /// Input feature map buffer.
+    Ifmap,
+    /// Filter/weight buffer.
+    Filter,
+    /// Output feature map / partial sum buffer.
+    Ofmap,
+}
+
+/// Reuse tier assigned to an operand by the fit analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReuseTier {
+    /// Whole operand resident on chip; fetched once.
+    Resident,
+    /// Tiles resident; refetched once per outer-loop pass.
+    Tiled,
+    /// No on-chip reuse; full stream from DRAM.
+    Streamed,
+}
+
+/// DRAM traffic and stall plan for one layer on one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScratchpadPlan {
+    /// Reuse tier of the input feature map.
+    pub ifmap_tier: ReuseTier,
+    /// Reuse tier of the filters.
+    pub filter_tier: ReuseTier,
+    /// Whether partial sums spill to DRAM (ofmap buffer too small).
+    pub psum_spills: bool,
+    /// Total DRAM read traffic in bytes.
+    pub dram_read_bytes: u64,
+    /// Total DRAM write traffic in bytes.
+    pub dram_write_bytes: u64,
+    /// Cycles stalled waiting on DRAM (beyond compute overlap).
+    pub stall_cycles: u64,
+    /// Cycles of the initial, non-overlappable tile fill.
+    pub fill_cycles: u64,
+}
+
+impl ScratchpadPlan {
+    /// Analyses operand reuse and DRAM stalls for `layer` executed
+    /// according to `plan` on `config`.
+    pub fn analyze(config: &ArrayConfig, layer: &Layer, plan: &FoldPlan) -> ScratchpadPlan {
+        let w = config.word_bytes() as u64;
+        let gemm = plan.gemm;
+
+        // Pooling and other bypass layers only move data.
+        if layer.gemm().is_none() || gemm.is_empty() {
+            let read = layer.ifmap_elements() * w;
+            let write = layer.ofmap_elements() * w;
+            let bw = config.dram_bandwidth_bytes_per_cycle();
+            let fill = ((read + write) as f64 / bw).ceil() as u64;
+            return ScratchpadPlan {
+                ifmap_tier: ReuseTier::Streamed,
+                filter_tier: ReuseTier::Resident,
+                psum_spills: false,
+                dram_read_bytes: read,
+                dram_write_bytes: write,
+                stall_cycles: fill,
+                fill_cycles: fill,
+            };
+        }
+
+        let half = |bytes: usize| (bytes as u64) / 2;
+        let ifmap_cap = half(config.ifmap_sram_bytes());
+        let filter_cap = half(config.filter_sram_bytes());
+        let ofmap_cap = half(config.ofmap_sram_bytes());
+
+        let unique_ifmap = layer.ifmap_elements() * w;
+        let unique_filter = layer.filter_elements() * w;
+        let unique_ofmap = layer.ofmap_elements() * w;
+
+        // Per-fold operand tiles and refetch factors by dataflow loop order.
+        let (ifmap_tile, filter_tile, ifmap_refetch, filter_refetch) = match plan.dataflow {
+            // Loop order: row folds outer, col folds inner. The A (ifmap)
+            // tile stays put across the inner loop; B (filter) is re-read
+            // on every outer iteration.
+            Dataflow::OutputStationary => (
+                (plan.rows.min(gemm.m) * gemm.k) as u64 * w,
+                (plan.cols.min(gemm.n) * gemm.k) as u64 * w,
+                1u64,
+                plan.row_folds as u64,
+            ),
+            // Loop order: reduction folds outer, col folds inner. Input
+            // rows stream once per (kf, cf) pair -> refetch = col folds.
+            Dataflow::WeightStationary => (
+                (gemm.m * plan.rows.min(gemm.k)) as u64 * w,
+                (plan.rows.min(gemm.k) * plan.cols.min(gemm.n)) as u64 * w,
+                plan.col_folds as u64,
+                1u64,
+            ),
+            // Symmetric to WS with operands swapped.
+            Dataflow::InputStationary => (
+                (plan.rows.min(gemm.k) * plan.cols.min(gemm.m)) as u64 * w,
+                (gemm.n * plan.rows.min(gemm.k)) as u64 * w,
+                1u64,
+                plan.col_folds as u64,
+            ),
+        };
+
+        let ifmap_stream = plan.ifmap_sram_reads * w;
+        let filter_stream = plan.filter_sram_reads * w;
+
+        let (ifmap_tier, ifmap_dram) = tier_traffic(
+            unique_ifmap,
+            ifmap_tile,
+            ifmap_refetch,
+            ifmap_stream,
+            ifmap_cap,
+        );
+        let (filter_tier, filter_dram) = tier_traffic(
+            unique_filter,
+            filter_tile,
+            filter_refetch,
+            filter_stream,
+            filter_cap,
+        );
+
+        // Partial sums: WS/IS write M*C psums per fold into the ofmap
+        // buffer. If the per-fold psum working set exceeds the buffer, the
+        // merge traffic spills to DRAM.
+        let psum_working = match plan.dataflow {
+            Dataflow::OutputStationary => {
+                (plan.rows.min(gemm.m) * plan.cols.min(gemm.n)) as u64 * w
+            }
+            Dataflow::WeightStationary => (gemm.m * plan.cols.min(gemm.n)) as u64 * w,
+            Dataflow::InputStationary => (gemm.n * plan.cols.min(gemm.m)) as u64 * w,
+        };
+        let psum_spills = psum_working > ofmap_cap && plan.reduction_folds > 1;
+        let mut dram_write = unique_ofmap;
+        let mut dram_read = ifmap_dram + filter_dram;
+        if psum_spills {
+            // All merge traffic beyond the final result goes off-chip.
+            dram_write += plan.ofmap_sram_writes.saturating_sub(layer.ofmap_elements()) * w;
+            dram_read += plan.ofmap_sram_reads * w;
+        }
+
+        // Stall model: the first tile of each operand must land before
+        // compute starts (fill); all remaining traffic overlaps compute via
+        // double buffering, stalling only when demand exceeds bandwidth.
+        let bw = config.dram_bandwidth_bytes_per_cycle();
+        let first_fill = ifmap_tile.min(ifmap_dram) + filter_tile.min(filter_dram);
+        let fill_cycles = (first_fill as f64 / bw).ceil() as u64;
+        let total_dram = dram_read + dram_write;
+        let dram_cycles = (total_dram as f64 / bw).ceil() as u64;
+        let overlap = plan.compute_cycles;
+        let stall_cycles = fill_cycles + dram_cycles.saturating_sub(overlap + fill_cycles).max(0);
+
+        ScratchpadPlan {
+            ifmap_tier,
+            filter_tier,
+            psum_spills,
+            dram_read_bytes: dram_read,
+            dram_write_bytes: dram_write,
+            stall_cycles,
+            fill_cycles,
+        }
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn dram_total_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+}
+
+/// Applies the three-tier reuse model to one operand.
+fn tier_traffic(
+    unique: u64,
+    tile: u64,
+    refetch: u64,
+    stream: u64,
+    capacity: u64,
+) -> (ReuseTier, u64) {
+    if unique <= capacity {
+        (ReuseTier::Resident, unique)
+    } else if tile <= capacity {
+        // Tiles are fetched `refetch` times; never more than the raw stream
+        // and never less than one full pass.
+        let traffic = (unique * refetch.max(1)).min(stream).max(unique);
+        (ReuseTier::Tiled, traffic)
+    } else {
+        (ReuseTier::Streamed, stream.max(unique))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::GemmShape;
+
+    fn config(kb: usize, bw: f64) -> ArrayConfig {
+        ArrayConfig::builder()
+            .rows(16)
+            .cols(16)
+            .ifmap_sram_kb(kb)
+            .filter_sram_kb(kb)
+            .ofmap_sram_kb(kb)
+            .dram_bandwidth(bw)
+            .build()
+            .unwrap()
+    }
+
+    fn analyze(cfg: &ArrayConfig, layer: &Layer) -> (FoldPlan, ScratchpadPlan) {
+        let plan = FoldPlan::plan(cfg.dataflow(), layer.gemm().unwrap(), cfg.rows(), cfg.cols());
+        let sp = ScratchpadPlan::analyze(cfg, layer, &plan);
+        (plan, sp)
+    }
+
+    #[test]
+    fn small_layer_fully_resident() {
+        let cfg = config(1024, 16.0);
+        let layer = Layer::conv2d(16, 16, 8, 8, 3, 1, 1);
+        let (_, sp) = analyze(&cfg, &layer);
+        assert_eq!(sp.ifmap_tier, ReuseTier::Resident);
+        assert_eq!(sp.filter_tier, ReuseTier::Resident);
+        assert!(!sp.psum_spills);
+        assert_eq!(
+            sp.dram_read_bytes,
+            layer.ifmap_elements() + layer.filter_elements()
+        );
+        assert_eq!(sp.dram_write_bytes, layer.ofmap_elements());
+    }
+
+    #[test]
+    fn tiny_sram_forces_streaming() {
+        // 1 KiB scratchpads cannot hold a 112x112x32 operand.
+        let cfg = config(1, 16.0);
+        let layer = Layer::conv2d(112, 112, 32, 64, 3, 1, 1);
+        let (plan, sp) = analyze(&cfg, &layer);
+        assert_eq!(sp.ifmap_tier, ReuseTier::Streamed);
+        assert!(sp.dram_read_bytes >= layer.ifmap_elements() + layer.filter_elements());
+        assert!(sp.dram_read_bytes <= (plan.ifmap_sram_reads + plan.filter_sram_reads) + 1);
+    }
+
+    #[test]
+    fn traffic_monotone_in_sram_size() {
+        let layer = Layer::conv2d(56, 56, 64, 128, 3, 1, 1);
+        let mut prev = u64::MAX;
+        for kb in [2, 8, 32, 128, 512, 2048] {
+            let cfg = config(kb, 16.0);
+            let (_, sp) = analyze(&cfg, &layer);
+            assert!(
+                sp.dram_total_bytes() <= prev,
+                "traffic increased when SRAM grew to {kb} KiB"
+            );
+            prev = sp.dram_total_bytes();
+        }
+    }
+
+    #[test]
+    fn traffic_lower_bound_is_unique_footprint() {
+        let layer = Layer::conv2d(56, 56, 64, 128, 3, 1, 1);
+        for kb in [2, 64, 4096] {
+            let cfg = config(kb, 16.0);
+            let (_, sp) = analyze(&cfg, &layer);
+            let unique =
+                layer.ifmap_elements() + layer.filter_elements() + layer.ofmap_elements();
+            assert!(sp.dram_total_bytes() >= unique);
+        }
+    }
+
+    #[test]
+    fn low_bandwidth_stalls_more() {
+        let layer = Layer::conv2d(56, 56, 64, 128, 3, 1, 1);
+        let fast = analyze(&config(64, 64.0), &layer).1;
+        let slow = analyze(&config(64, 1.0), &layer).1;
+        assert!(slow.stall_cycles > fast.stall_cycles);
+    }
+
+    #[test]
+    fn pool_layer_is_traffic_only() {
+        let cfg = config(64, 16.0);
+        let layer = Layer::Pool { in_h: 32, in_w: 32, channels: 16, window: 2 };
+        let plan = FoldPlan::plan(cfg.dataflow(), GemmShape { m: 0, k: 0, n: 0 }, 16, 16);
+        let sp = ScratchpadPlan::analyze(&cfg, &layer, &plan);
+        assert_eq!(sp.dram_read_bytes, layer.ifmap_elements());
+        assert_eq!(sp.dram_write_bytes, layer.ofmap_elements());
+        assert!(sp.stall_cycles > 0);
+    }
+
+    #[test]
+    fn ws_psum_spill_detected_when_ofmap_tiny() {
+        let mut b = ArrayConfig::builder();
+        let cfg = b
+            .rows(16)
+            .cols(16)
+            .dataflow(Dataflow::WeightStationary)
+            .ifmap_sram_kb(256)
+            .filter_sram_kb(256)
+            .ofmap_sram_kb(2)
+            .build()
+            .unwrap();
+        // Big M with multiple K folds -> psum working set >> 1 KiB.
+        let layer = Layer::conv2d(64, 64, 32, 64, 3, 1, 1);
+        let plan = FoldPlan::plan(cfg.dataflow(), layer.gemm().unwrap(), 16, 16);
+        let sp = ScratchpadPlan::analyze(&cfg, &layer, &plan);
+        assert!(sp.psum_spills);
+        assert!(sp.dram_write_bytes > layer.ofmap_elements());
+    }
+
+    #[test]
+    fn fill_cycles_never_exceed_stall_cycles() {
+        let layer = Layer::conv2d(28, 28, 16, 32, 3, 1, 1);
+        for kb in [2, 64, 1024] {
+            let (_, sp) = analyze(&config(kb, 8.0), &layer);
+            assert!(sp.fill_cycles <= sp.stall_cycles);
+        }
+    }
+}

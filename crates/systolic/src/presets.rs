@@ -1,0 +1,77 @@
+//! Named configuration presets for well-known accelerator classes.
+//!
+//! Handy starting points for experiments and documentation; values are
+//! order-of-magnitude public characterizations, not vendor data.
+
+use crate::config::ArrayConfig;
+use crate::dataflow::Dataflow;
+
+/// An Eyeriss-class edge accelerator: modest array, weight-stationary
+/// style reuse, small scratchpads.
+pub fn eyeriss_like() -> ArrayConfig {
+    ArrayConfig::builder()
+        .rows(12)
+        .cols(14)
+        .dataflow(Dataflow::WeightStationary)
+        .ifmap_sram_kb(108)
+        .filter_sram_kb(108)
+        .ofmap_sram_kb(64)
+        .clock_mhz(200.0)
+        .dram_bandwidth(8.0)
+        .build()
+        .expect("preset is valid")
+}
+
+/// An edge-TPU-class systolic accelerator: larger array, output
+/// stationary, generous on-chip buffering.
+pub fn edge_tpu_like() -> ArrayConfig {
+    ArrayConfig::builder()
+        .rows(64)
+        .cols(64)
+        .dataflow(Dataflow::OutputStationary)
+        .ifmap_sram_kb(512)
+        .filter_sram_kb(512)
+        .ofmap_sram_kb(256)
+        .clock_mhz(480.0)
+        .dram_bandwidth(32.0)
+        .build()
+        .expect("preset is valid")
+}
+
+/// A PULP/GAP8-class ultra-low-power cluster approximated as a tiny
+/// array at a low clock.
+pub fn pulp_like() -> ArrayConfig {
+    ArrayConfig::builder()
+        .rows(4)
+        .cols(2)
+        .dataflow(Dataflow::OutputStationary)
+        .ifmap_sram_kb(64)
+        .filter_sram_kb(64)
+        .ofmap_sram_kb(64)
+        .clock_mhz(100.0)
+        .dram_bandwidth(2.0)
+        .build()
+        .expect("preset is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Layer, Simulator};
+
+    #[test]
+    fn presets_build_and_rank_as_expected() {
+        let layer = Layer::conv2d(96, 96, 16, 32, 3, 1, 1);
+        let pulp = Simulator::new(pulp_like()).simulate_network(&[layer]);
+        let eyeriss = Simulator::new(eyeriss_like()).simulate_network(&[layer]);
+        let tpu = Simulator::new(edge_tpu_like()).simulate_network(&[layer]);
+        assert!(tpu.fps() > eyeriss.fps());
+        assert!(eyeriss.fps() > pulp.fps());
+    }
+
+    #[test]
+    fn presets_use_documented_dataflows() {
+        assert_eq!(eyeriss_like().dataflow(), Dataflow::WeightStationary);
+        assert_eq!(edge_tpu_like().dataflow(), Dataflow::OutputStationary);
+    }
+}

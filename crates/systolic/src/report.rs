@@ -1,0 +1,208 @@
+//! Per-layer and per-network simulation reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::Layer;
+use crate::memory::ReuseTier;
+
+/// Simulation results for a single layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerStats {
+    /// The simulated layer.
+    pub layer: Layer,
+    /// Compute cycles (fold pipeline, no memory stalls).
+    pub compute_cycles: u64,
+    /// Cycles stalled on DRAM (fill + bandwidth).
+    pub stall_cycles: u64,
+    /// Total cycles = compute + stalls.
+    pub total_cycles: u64,
+    /// MAC operations executed.
+    pub macs: u64,
+    /// Array utilization over the total (stall-inclusive) window.
+    pub utilization: f64,
+    /// SRAM reads from the ifmap buffer (elements).
+    pub ifmap_sram_reads: u64,
+    /// SRAM reads from the filter buffer (elements).
+    pub filter_sram_reads: u64,
+    /// SRAM writes to the ofmap buffer (elements).
+    pub ofmap_sram_writes: u64,
+    /// SRAM reads from the ofmap buffer (partial-sum merges, elements).
+    pub ofmap_sram_reads: u64,
+    /// DRAM read traffic (bytes).
+    pub dram_read_bytes: u64,
+    /// DRAM write traffic (bytes).
+    pub dram_write_bytes: u64,
+    /// Reuse tier of the ifmap operand.
+    pub ifmap_tier: ReuseTier,
+    /// Reuse tier of the filter operand.
+    pub filter_tier: ReuseTier,
+    /// Whether partial sums spilled to DRAM.
+    pub psum_spills: bool,
+}
+
+impl LayerStats {
+    /// Total SRAM accesses (reads + writes) across all buffers, in
+    /// elements.
+    pub fn sram_accesses(&self) -> u64 {
+        self.ifmap_sram_reads
+            + self.filter_sram_reads
+            + self.ofmap_sram_writes
+            + self.ofmap_sram_reads
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn dram_total_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+}
+
+/// Aggregated simulation results for a whole network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Per-layer results in network order.
+    pub layers: Vec<LayerStats>,
+    /// Accelerator clock in MHz used for time conversions.
+    pub clock_mhz: f64,
+}
+
+impl NetworkStats {
+    /// Total cycles for one inference.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.total_cycles).sum()
+    }
+
+    /// Total compute (stall-free) cycles.
+    pub fn compute_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.compute_cycles).sum()
+    }
+
+    /// Total stall cycles.
+    pub fn stall_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.stall_cycles).sum()
+    }
+
+    /// Total MACs for one inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Latency of one inference in seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.total_cycles() as f64 / (self.clock_mhz * 1.0e6)
+    }
+
+    /// Latency of one inference in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.latency_s() * 1.0e3
+    }
+
+    /// Inference throughput in frames per second (batch 1, no pipelining
+    /// across frames).
+    pub fn fps(&self) -> f64 {
+        let s = self.latency_s();
+        if s > 0.0 {
+            1.0 / s
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// MAC-weighted mean utilization across layers.
+    pub fn mean_utilization(&self) -> f64 {
+        let macs = self.total_macs();
+        if macs == 0 {
+            return 0.0;
+        }
+        self.layers
+            .iter()
+            .map(|l| l.utilization * l.macs as f64)
+            .sum::<f64>()
+            / macs as f64
+    }
+
+    /// Total SRAM accesses (elements).
+    pub fn sram_accesses(&self) -> u64 {
+        self.layers.iter().map(|l| l.sram_accesses()).sum()
+    }
+
+    /// Total DRAM read traffic in bytes.
+    pub fn dram_read_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.dram_read_bytes).sum()
+    }
+
+    /// Total DRAM write traffic in bytes.
+    pub fn dram_write_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.dram_write_bytes).sum()
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn dram_total_bytes(&self) -> u64 {
+        self.dram_read_bytes() + self.dram_write_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArrayConfig, Layer, Simulator};
+
+    fn stats() -> NetworkStats {
+        let sim = Simulator::new(ArrayConfig::default());
+        sim.simulate_network(&[
+            Layer::conv2d(32, 32, 3, 16, 3, 2, 1),
+            Layer::conv2d(16, 16, 16, 32, 3, 1, 1),
+            Layer::dense(8192, 64),
+        ])
+    }
+
+    #[test]
+    fn totals_are_sums_of_layers() {
+        let s = stats();
+        assert_eq!(
+            s.total_cycles(),
+            s.layers.iter().map(|l| l.total_cycles).sum::<u64>()
+        );
+        assert_eq!(s.total_cycles(), s.compute_cycles() + s.stall_cycles());
+    }
+
+    #[test]
+    fn fps_is_reciprocal_of_latency() {
+        let s = stats();
+        let fps = s.fps();
+        assert!((fps * s.latency_s() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_ms_scales() {
+        let s = stats();
+        assert!((s.latency_ms() - s.latency_s() * 1e3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_utilization_in_unit_interval() {
+        let s = stats();
+        let u = s.mean_utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn macs_match_layer_definitions() {
+        let s = stats();
+        let expected: u64 = [
+            Layer::conv2d(32, 32, 3, 16, 3, 2, 1),
+            Layer::conv2d(16, 16, 16, 32, 3, 1, 1),
+            Layer::dense(8192, 64),
+        ]
+        .iter()
+        .map(|l| l.mac_count())
+        .sum();
+        assert_eq!(s.total_macs(), expected);
+    }
+
+    #[test]
+    fn sram_and_dram_totals_nonzero() {
+        let s = stats();
+        assert!(s.sram_accesses() > 0);
+        assert!(s.dram_total_bytes() > 0);
+    }
+}

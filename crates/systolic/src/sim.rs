@@ -1,0 +1,185 @@
+//! The simulator core tying fold plans, memory plans, and reports together.
+
+use crate::config::ArrayConfig;
+use crate::dataflow::FoldPlan;
+use crate::layer::Layer;
+use crate::memory::ScratchpadPlan;
+use crate::report::{LayerStats, NetworkStats};
+use crate::trace::TraceIter;
+
+/// Cycle-accurate simulator for one accelerator configuration.
+///
+/// The simulator is cheap to construct and stateless across calls; clone or
+/// share it freely.
+///
+/// # Example
+///
+/// ```
+/// use systolic_sim::{ArrayConfig, Layer, Simulator};
+///
+/// let sim = Simulator::new(ArrayConfig::default());
+/// let net = [Layer::conv2d(84, 84, 3, 32, 3, 2, 1), Layer::dense(1024, 25)];
+/// let stats = sim.simulate_network(&net);
+/// assert!(stats.fps() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: ArrayConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for `config`.
+    pub fn new(config: ArrayConfig) -> Simulator {
+        Simulator { config }
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.config
+    }
+
+    /// Simulates a single layer and returns its statistics.
+    pub fn simulate_layer(&self, layer: &Layer) -> LayerStats {
+        let gemm = layer.gemm().unwrap_or(crate::layer::GemmShape { m: 0, k: 0, n: 0 });
+        let plan = FoldPlan::plan(self.config.dataflow(), gemm, self.config.rows(), self.config.cols());
+        let mem = ScratchpadPlan::analyze(&self.config, layer, &plan);
+        let total_cycles = plan.compute_cycles + mem.stall_cycles;
+        let peak = total_cycles as f64 * self.config.pe_count() as f64;
+        let utilization = if peak > 0.0 {
+            (layer.mac_count() as f64 / peak).min(1.0)
+        } else {
+            0.0
+        };
+        LayerStats {
+            layer: *layer,
+            compute_cycles: plan.compute_cycles,
+            stall_cycles: mem.stall_cycles,
+            total_cycles,
+            macs: layer.mac_count(),
+            utilization,
+            ifmap_sram_reads: plan.ifmap_sram_reads,
+            filter_sram_reads: plan.filter_sram_reads,
+            ofmap_sram_writes: plan.ofmap_sram_writes,
+            ofmap_sram_reads: plan.ofmap_sram_reads,
+            dram_read_bytes: mem.dram_read_bytes,
+            dram_write_bytes: mem.dram_write_bytes,
+            ifmap_tier: mem.ifmap_tier,
+            filter_tier: mem.filter_tier,
+            psum_spills: mem.psum_spills,
+        }
+    }
+
+    /// Simulates every layer of `network` in order.
+    pub fn simulate_network(&self, network: &[Layer]) -> NetworkStats {
+        NetworkStats {
+            layers: network.iter().map(|l| self.simulate_layer(l)).collect(),
+            clock_mhz: self.config.clock_mhz(),
+        }
+    }
+
+    /// Returns a cycle-windowed access trace for `layer`, suitable for
+    /// time-resolved power estimation.
+    pub fn trace_layer(&self, layer: &Layer) -> TraceIter {
+        let gemm = layer.gemm().unwrap_or(crate::layer::GemmShape { m: 0, k: 0, n: 0 });
+        let plan = FoldPlan::plan(self.config.dataflow(), gemm, self.config.rows(), self.config.cols());
+        let mem = ScratchpadPlan::analyze(&self.config, layer, &plan);
+        TraceIter::new(plan, mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::Dataflow;
+
+    fn sim(rows: usize, cols: usize, df: Dataflow) -> Simulator {
+        Simulator::new(
+            ArrayConfig::builder()
+                .rows(rows)
+                .cols(cols)
+                .dataflow(df)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn cycles_lower_bound_is_macs_over_pes() {
+        // total cycles can never beat perfect utilization.
+        let layer = Layer::conv2d(56, 56, 32, 64, 3, 1, 1);
+        for df in Dataflow::ALL {
+            let s = sim(32, 32, df).simulate_layer(&layer);
+            let lower = layer.mac_count() / (32 * 32);
+            assert!(
+                s.total_cycles >= lower,
+                "{df}: {} < {lower}",
+                s.total_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn dense_layer_dataflow_tradeoff() {
+        // For M = 1 the large reduction amortizes OS skew, while WS pays a
+        // weight reload for each of the many K folds; OS wins, and both
+        // leave most of the array idle.
+        let layer = Layer::dense(4096, 256);
+        let os = sim(32, 32, Dataflow::OutputStationary).simulate_layer(&layer);
+        let ws = sim(32, 32, Dataflow::WeightStationary).simulate_layer(&layer);
+        assert!(os.compute_cycles < ws.compute_cycles);
+        assert!(os.utilization < 0.1);
+    }
+
+    #[test]
+    fn larger_array_is_not_slower_for_big_convs() {
+        let layer = Layer::conv2d(112, 112, 32, 64, 3, 1, 1);
+        let small = sim(16, 16, Dataflow::OutputStationary).simulate_layer(&layer);
+        let large = sim(128, 128, Dataflow::OutputStationary).simulate_layer(&layer);
+        assert!(large.compute_cycles <= small.compute_cycles);
+    }
+
+    #[test]
+    fn network_simulation_preserves_layer_order() {
+        let net = [Layer::conv2d(32, 32, 3, 16, 3, 2, 1), Layer::dense(4096, 25)];
+        let stats = Simulator::new(ArrayConfig::default()).simulate_network(&net);
+        assert_eq!(stats.layers.len(), 2);
+        assert_eq!(stats.layers[0].layer, net[0]);
+        assert_eq!(stats.layers[1].layer, net[1]);
+    }
+
+    #[test]
+    fn higher_clock_means_higher_fps_same_cycles() {
+        let net = [Layer::conv2d(32, 32, 3, 16, 3, 2, 1)];
+        let slow = Simulator::new(ArrayConfig::builder().clock_mhz(100.0).build().unwrap())
+            .simulate_network(&net);
+        let fast = Simulator::new(ArrayConfig::builder().clock_mhz(400.0).build().unwrap())
+            .simulate_network(&net);
+        assert_eq!(slow.total_cycles(), fast.total_cycles());
+        assert!(fast.fps() > slow.fps() * 3.9);
+    }
+
+    #[test]
+    fn pool_layer_simulates_without_macs() {
+        let s = Simulator::new(ArrayConfig::default())
+            .simulate_layer(&Layer::Pool { in_h: 16, in_w: 16, channels: 8, window: 2 });
+        assert_eq!(s.macs, 0);
+        assert!(s.total_cycles > 0);
+        assert_eq!(s.utilization, 0.0);
+    }
+
+    #[test]
+    fn utilization_accounts_for_stalls() {
+        // With pathological bandwidth the utilization must drop.
+        let starved = Simulator::new(
+            ArrayConfig::builder().dram_bandwidth(0.25).build().unwrap(),
+        );
+        let rich = Simulator::new(
+            ArrayConfig::builder().dram_bandwidth(64.0).build().unwrap(),
+        );
+        let layer = Layer::conv2d(56, 56, 32, 64, 3, 1, 1);
+        let a = starved.simulate_layer(&layer);
+        let b = rich.simulate_layer(&layer);
+        assert!(a.utilization <= b.utilization);
+        assert!(a.total_cycles >= b.total_cycles);
+    }
+}

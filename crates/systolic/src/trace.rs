@@ -1,0 +1,213 @@
+//! Cycle-windowed access traces.
+//!
+//! Rather than emitting one record per address (as file-based SCALE-Sim
+//! traces do), the trace groups execution into per-fold windows: each
+//! [`TraceEvent`] covers the cycles of one fold and carries the SRAM/DRAM
+//! activity inside it. This is lossless for energy integration (energy is
+//! linear in access counts) while keeping traces small enough to iterate
+//! over millions of folds.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataflow::FoldPlan;
+use crate::memory::ScratchpadPlan;
+
+/// One fold-window of accelerator activity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// First cycle of the window (inclusive).
+    pub start_cycle: u64,
+    /// Last cycle of the window (exclusive).
+    pub end_cycle: u64,
+    /// ifmap SRAM reads within the window (elements).
+    pub ifmap_reads: u64,
+    /// filter SRAM reads within the window (elements).
+    pub filter_reads: u64,
+    /// ofmap SRAM writes within the window (elements).
+    pub ofmap_writes: u64,
+    /// ofmap SRAM reads within the window (elements).
+    pub ofmap_reads: u64,
+    /// DRAM traffic overlapped with this window (bytes).
+    pub dram_bytes: u64,
+    /// Mean number of PEs active during the window.
+    pub active_pes: f64,
+}
+
+impl TraceEvent {
+    /// Window length in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end_cycle - self.start_cycle
+    }
+}
+
+/// Iterator over the fold windows of one simulated layer.
+///
+/// Produced by [`Simulator::trace_layer`](crate::Simulator::trace_layer).
+#[derive(Debug, Clone)]
+pub struct TraceIter {
+    plan: FoldPlan,
+    total_folds: u64,
+    per_fold_cycles: u64,
+    ifmap_per_fold: u64,
+    filter_per_fold: u64,
+    ofw_per_fold: u64,
+    ofr_per_fold: u64,
+    dram_per_fold: u64,
+    next_fold: u64,
+    cursor_cycle: u64,
+    stall_tail: u64,
+    emitted_tail: bool,
+}
+
+impl TraceIter {
+    pub(crate) fn new(plan: FoldPlan, mem: ScratchpadPlan) -> TraceIter {
+        let total_folds = plan.total_folds() as u64;
+        let per_fold_cycles = if total_folds > 0 {
+            plan.compute_cycles / total_folds
+        } else {
+            0
+        };
+        let div = |x: u64| if total_folds > 0 { x / total_folds } else { 0 };
+        TraceIter {
+            plan,
+            total_folds,
+            per_fold_cycles,
+            ifmap_per_fold: div(plan.ifmap_sram_reads),
+            filter_per_fold: div(plan.filter_sram_reads),
+            ofw_per_fold: div(plan.ofmap_sram_writes),
+            ofr_per_fold: div(plan.ofmap_sram_reads),
+            dram_per_fold: div(mem.dram_read_bytes + mem.dram_write_bytes),
+            next_fold: 0,
+            cursor_cycle: 0,
+            stall_tail: mem.stall_cycles,
+            emitted_tail: false,
+        }
+    }
+
+    /// Total number of events this trace will yield.
+    pub fn event_count(&self) -> u64 {
+        self.total_folds + u64::from(self.stall_tail > 0)
+    }
+}
+
+impl Iterator for TraceIter {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        if self.next_fold < self.total_folds {
+            let is_last = self.next_fold + 1 == self.total_folds;
+            // Fold up residual cycles/accesses into the last window so the
+            // trace totals match the plan exactly.
+            let cycles = if is_last {
+                self.plan.compute_cycles - self.per_fold_cycles * (self.total_folds - 1)
+            } else {
+                self.per_fold_cycles
+            };
+            let residual = |total: u64, per: u64| {
+                if is_last {
+                    total - per * (self.total_folds - 1)
+                } else {
+                    per
+                }
+            };
+            let ev = TraceEvent {
+                start_cycle: self.cursor_cycle,
+                end_cycle: self.cursor_cycle + cycles,
+                ifmap_reads: residual(self.plan.ifmap_sram_reads, self.ifmap_per_fold),
+                filter_reads: residual(self.plan.filter_sram_reads, self.filter_per_fold),
+                ofmap_writes: residual(self.plan.ofmap_sram_writes, self.ofw_per_fold),
+                ofmap_reads: residual(self.plan.ofmap_sram_reads, self.ofr_per_fold),
+                dram_bytes: self.dram_per_fold,
+                active_pes: self.plan.mean_active_pes,
+            };
+            self.cursor_cycle = ev.end_cycle;
+            self.next_fold += 1;
+            Some(ev)
+        } else if self.stall_tail > 0 && !self.emitted_tail {
+            // Stalls beyond compute overlap appear as an idle tail window
+            // with only DRAM activity.
+            self.emitted_tail = true;
+            Some(TraceEvent {
+                start_cycle: self.cursor_cycle,
+                end_cycle: self.cursor_cycle + self.stall_tail,
+                ifmap_reads: 0,
+                filter_reads: 0,
+                ofmap_writes: 0,
+                ofmap_reads: 0,
+                dram_bytes: 0,
+                active_pes: 0.0,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.total_folds - self.next_fold)
+            + u64::from(self.stall_tail > 0 && !self.emitted_tail);
+        (remaining as usize, Some(remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for TraceIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArrayConfig, Layer, Simulator};
+
+    fn trace_and_stats(layer: Layer) -> (Vec<TraceEvent>, crate::LayerStats) {
+        let sim = Simulator::new(ArrayConfig::default());
+        (sim.trace_layer(&layer).collect(), sim.simulate_layer(&layer))
+    }
+
+    #[test]
+    fn trace_cycle_total_matches_stats() {
+        let (events, stats) = trace_and_stats(Layer::conv2d(56, 56, 16, 32, 3, 1, 1));
+        let cycles: u64 = events.iter().map(|e| e.cycles()).sum();
+        // The trace covers compute plus the non-overlapped stall tail.
+        assert!(cycles >= stats.compute_cycles);
+        assert!(cycles <= stats.total_cycles);
+    }
+
+    #[test]
+    fn trace_access_totals_match_plan_exactly() {
+        let (events, stats) = trace_and_stats(Layer::conv2d(40, 40, 8, 16, 3, 1, 1));
+        let ifmap: u64 = events.iter().map(|e| e.ifmap_reads).sum();
+        let filter: u64 = events.iter().map(|e| e.filter_reads).sum();
+        let ofw: u64 = events.iter().map(|e| e.ofmap_writes).sum();
+        assert_eq!(ifmap, stats.ifmap_sram_reads);
+        assert_eq!(filter, stats.filter_sram_reads);
+        assert_eq!(ofw, stats.ofmap_sram_writes);
+    }
+
+    #[test]
+    fn windows_are_contiguous_and_ordered() {
+        let (events, _) = trace_and_stats(Layer::conv2d(32, 32, 8, 16, 3, 1, 1));
+        let mut cursor = 0;
+        for e in &events {
+            assert_eq!(e.start_cycle, cursor);
+            assert!(e.end_cycle >= e.start_cycle);
+            cursor = e.end_cycle;
+        }
+    }
+
+    #[test]
+    fn exact_size_iterator_contract() {
+        let sim = Simulator::new(ArrayConfig::default());
+        let it = sim.trace_layer(&Layer::conv2d(32, 32, 8, 16, 3, 1, 1));
+        let expected = it.event_count() as usize;
+        assert_eq!(it.len(), expected);
+        assert_eq!(it.count(), expected);
+    }
+
+    #[test]
+    fn degenerate_layer_yields_short_trace() {
+        let sim = Simulator::new(ArrayConfig::default());
+        let events: Vec<_> = sim
+            .trace_layer(&Layer::Pool { in_h: 8, in_w: 8, channels: 4, window: 2 })
+            .collect();
+        // Pool has no folds; only the stall/fill tail appears.
+        assert!(events.len() <= 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the systolic-array simulator invariants.
+
+use proptest::prelude::*;
+use systolic_sim::{ArrayConfig, Dataflow, FoldPlan, GemmShape, Layer, Simulator};
+
+fn arb_dataflow() -> impl Strategy<Value = Dataflow> {
+    prop_oneof![
+        Just(Dataflow::OutputStationary),
+        Just(Dataflow::WeightStationary),
+        Just(Dataflow::InputStationary),
+    ]
+}
+
+fn arb_pow2(lo: u32, hi: u32) -> impl Strategy<Value = usize> {
+    (lo..=hi).prop_map(|e| 1usize << e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MACs executed never exceed the peak MAC slots of the compute window.
+    #[test]
+    fn utilization_never_exceeds_one(
+        df in arb_dataflow(),
+        rows in arb_pow2(3, 8),
+        cols in arb_pow2(3, 8),
+        m in 1usize..4000,
+        k in 1usize..4000,
+        n in 1usize..512,
+    ) {
+        let plan = FoldPlan::plan(df, GemmShape { m, k, n }, rows, cols);
+        prop_assert!(plan.utilization() <= 1.0 + 1e-12);
+        prop_assert!(plan.utilization() >= 0.0);
+    }
+
+    /// Compute cycles are at least the ideal (perfect utilization) bound.
+    #[test]
+    fn cycles_at_least_ideal(
+        df in arb_dataflow(),
+        rows in arb_pow2(3, 7),
+        cols in arb_pow2(3, 7),
+        m in 1usize..2000,
+        k in 1usize..2000,
+        n in 1usize..256,
+    ) {
+        let g = GemmShape { m, k, n };
+        let plan = FoldPlan::plan(df, g, rows, cols);
+        let ideal = g.macs().div_ceil((rows * cols) as u64);
+        prop_assert!(plan.compute_cycles >= ideal);
+    }
+
+    /// Overhead cycles are a subset of compute cycles.
+    #[test]
+    fn overhead_subset_of_compute(
+        df in arb_dataflow(),
+        rows in arb_pow2(3, 7),
+        cols in arb_pow2(3, 7),
+        m in 1usize..2000,
+        k in 1usize..2000,
+        n in 1usize..256,
+    ) {
+        let plan = FoldPlan::plan(df, GemmShape { m, k, n }, rows, cols);
+        prop_assert!(plan.overhead_cycles <= plan.compute_cycles);
+    }
+
+    /// Output-stationary SRAM write count equals output elements exactly.
+    #[test]
+    fn os_writes_every_output_once(
+        rows in arb_pow2(3, 7),
+        cols in arb_pow2(3, 7),
+        m in 1usize..2000,
+        k in 1usize..500,
+        n in 1usize..256,
+    ) {
+        let plan = FoldPlan::plan(
+            Dataflow::OutputStationary, GemmShape { m, k, n }, rows, cols);
+        prop_assert_eq!(plan.ofmap_sram_writes, (m * n) as u64);
+        prop_assert_eq!(plan.ofmap_sram_reads, 0);
+    }
+
+    /// Growing the SRAM never increases DRAM traffic or total cycles.
+    #[test]
+    fn dram_traffic_monotone_in_sram(
+        df in arb_dataflow(),
+        in_hw in 8usize..64,
+        in_c in 1usize..32,
+        out_c in 1usize..64,
+    ) {
+        let layer = Layer::conv2d(in_hw, in_hw, in_c, out_c, 3, 1, 1);
+        let mut prev_traffic = u64::MAX;
+        for kb in [2usize, 16, 128, 1024] {
+            let cfg = ArrayConfig::builder()
+                .rows(16).cols(16)
+                .dataflow(df)
+                .ifmap_sram_kb(kb).filter_sram_kb(kb).ofmap_sram_kb(kb)
+                .build().unwrap();
+            let stats = Simulator::new(cfg).simulate_layer(&layer);
+            let traffic = stats.dram_total_bytes();
+            prop_assert!(traffic <= prev_traffic,
+                "traffic grew from {prev_traffic} to {traffic} at {kb} KiB");
+            prev_traffic = traffic;
+        }
+    }
+
+    /// DRAM traffic is bounded below by the unique operand footprints.
+    #[test]
+    fn dram_traffic_at_least_unique_footprint(
+        df in arb_dataflow(),
+        kb in arb_pow2(1, 12),
+        in_hw in 8usize..64,
+        in_c in 1usize..16,
+        out_c in 1usize..32,
+    ) {
+        let layer = Layer::conv2d(in_hw, in_hw, in_c, out_c, 3, 1, 1);
+        let cfg = ArrayConfig::builder()
+            .rows(16).cols(16)
+            .dataflow(df)
+            .ifmap_sram_kb(kb).filter_sram_kb(kb).ofmap_sram_kb(kb)
+            .build().unwrap();
+        let stats = Simulator::new(cfg).simulate_layer(&layer);
+        let unique = layer.ifmap_elements() + layer.filter_elements()
+            + layer.ofmap_elements();
+        prop_assert!(stats.dram_total_bytes() >= unique);
+    }
+
+    /// Trace access totals always reconcile with the layer statistics.
+    #[test]
+    fn trace_reconciles_with_stats(
+        df in arb_dataflow(),
+        in_hw in 8usize..48,
+        in_c in 1usize..8,
+        out_c in 1usize..32,
+        stride in 1usize..3,
+    ) {
+        let layer = Layer::conv2d(in_hw, in_hw, in_c, out_c, 3, stride, 1);
+        let cfg = ArrayConfig::builder().rows(16).cols(16).dataflow(df)
+            .build().unwrap();
+        let sim = Simulator::new(cfg);
+        let stats = sim.simulate_layer(&layer);
+        let (mut i, mut f, mut ow, mut or) = (0u64, 0u64, 0u64, 0u64);
+        for e in sim.trace_layer(&layer) {
+            i += e.ifmap_reads;
+            f += e.filter_reads;
+            ow += e.ofmap_writes;
+            or += e.ofmap_reads;
+        }
+        prop_assert_eq!(i, stats.ifmap_sram_reads);
+        prop_assert_eq!(f, stats.filter_sram_reads);
+        prop_assert_eq!(ow, stats.ofmap_sram_writes);
+        prop_assert_eq!(or, stats.ofmap_sram_reads);
+    }
+
+    /// Network latency in seconds is inversely proportional to clock.
+    #[test]
+    fn latency_inverse_in_clock(mhz in 50.0f64..2000.0) {
+        let net = [Layer::conv2d(32, 32, 3, 16, 3, 2, 1)];
+        let base = Simulator::new(
+            ArrayConfig::builder().clock_mhz(100.0).build().unwrap())
+            .simulate_network(&net);
+        let scaled = Simulator::new(
+            ArrayConfig::builder().clock_mhz(mhz).build().unwrap())
+            .simulate_network(&net);
+        let expected = base.latency_s() * 100.0 / mhz;
+        prop_assert!((scaled.latency_s() - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,103 @@
+//! Battery discharge model with Peukert-style derating.
+//!
+//! The paper treats battery energy as the plate rating (`mAh x V`); real
+//! packs deliver less at high discharge rates. This optional refinement
+//! derates usable energy by the mission's average C-rate, so mission
+//! counts degrade gracefully for power-hungry configurations instead of
+//! assuming ideal storage.
+
+use serde::{Deserialize, Serialize};
+
+use crate::physics::battery_energy_j;
+
+/// A lithium-polymer pack with capacity-rate derating.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    /// Rated capacity, mAh.
+    pub capacity_mah: f64,
+    /// Nominal voltage, V.
+    pub voltage_v: f64,
+    /// Peukert exponent (1.0 = ideal; LiPo packs are typically
+    /// 1.02–1.10).
+    pub peukert: f64,
+    /// Rated discharge time the capacity was specified at, hours
+    /// (1 h standard).
+    pub rated_hours: f64,
+}
+
+impl Battery {
+    /// An ideal pack (no derating) matching the paper's assumption.
+    pub fn ideal(capacity_mah: f64, voltage_v: f64) -> Battery {
+        Battery { capacity_mah, voltage_v, peukert: 1.0, rated_hours: 1.0 }
+    }
+
+    /// A typical LiPo with a 1.05 Peukert exponent.
+    pub fn lipo(capacity_mah: f64, voltage_v: f64) -> Battery {
+        Battery { capacity_mah, voltage_v, peukert: 1.05, rated_hours: 1.0 }
+    }
+
+    /// Plate energy (no derating), joules.
+    pub fn rated_energy_j(&self) -> f64 {
+        battery_energy_j(self.capacity_mah, self.voltage_v)
+    }
+
+    /// Usable energy when discharged at a constant `load_w` watts,
+    /// joules (Peukert's law on the equivalent current).
+    pub fn usable_energy_j(&self, load_w: f64) -> f64 {
+        let rated = self.rated_energy_j();
+        if load_w <= 0.0 || self.peukert <= 1.0 {
+            return rated;
+        }
+        let rated_current_a = self.capacity_mah / 1000.0 / self.rated_hours;
+        let load_current_a = load_w / self.voltage_v;
+        if load_current_a <= rated_current_a {
+            return rated;
+        }
+        // Effective capacity: C_eff = C * (I_rated / I)^(k - 1).
+        let scale = (rated_current_a / load_current_a).powf(self.peukert - 1.0);
+        rated * scale
+    }
+
+    /// Endurance at a constant load, seconds.
+    pub fn endurance_s(&self, load_w: f64) -> f64 {
+        if load_w <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.usable_energy_j(load_w) / load_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_pack_matches_plate_rating() {
+        let b = Battery::ideal(500.0, 3.7);
+        assert_eq!(b.usable_energy_j(100.0), b.rated_energy_j());
+        assert!((b.rated_energy_j() - 6660.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_c_rate_derates_lipo() {
+        let b = Battery::lipo(1480.0, 11.4);
+        let gentle = b.usable_energy_j(5.0);
+        let brutal = b.usable_energy_j(200.0);
+        assert_eq!(gentle, b.rated_energy_j()); // below 1C
+        assert!(brutal < gentle);
+        assert!(brutal > 0.8 * gentle, "derating implausibly harsh");
+    }
+
+    #[test]
+    fn endurance_decreases_superlinearly_with_load() {
+        let b = Battery::lipo(6250.0, 11.1);
+        let t100 = b.endurance_s(100.0);
+        let t400 = b.endurance_s(400.0);
+        assert!(t400 < t100 / 4.0 + 1.0); // at least proportional + Peukert
+    }
+
+    #[test]
+    fn zero_load_runs_forever() {
+        assert!(Battery::lipo(500.0, 3.7).endurance_s(0.0).is_infinite());
+    }
+}

@@ -1,0 +1,154 @@
+//! Closed-loop braking simulation: an empirical check of the analytic
+//! stopping-distance safety model.
+//!
+//! The vehicle cruises at a commanded velocity; an obstacle materializes
+//! at exactly the sensing range; the sensing-compute-control pipeline
+//! takes its response time to notice; the vehicle then brakes at its
+//! maximum deceleration. Integrating that encounter numerically and
+//! bisecting on the commanded velocity gives the empirical maximum
+//! collision-free speed, which must agree with
+//! [`safe_velocity`](crate::safe_velocity).
+
+use serde::{Deserialize, Serialize};
+
+/// Result of simulating one obstacle encounter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EncounterOutcome {
+    /// Distance remaining to the obstacle when the vehicle stopped
+    /// (negative = collision, by the overlap amount).
+    pub stop_margin_m: f64,
+    /// Time from obstacle appearance to full stop, seconds.
+    pub stop_time_s: f64,
+}
+
+impl EncounterOutcome {
+    /// True when the vehicle stopped short of the obstacle.
+    pub fn safe(&self) -> bool {
+        self.stop_margin_m >= 0.0
+    }
+}
+
+/// Fixed-step braking simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BrakingSim {
+    /// Integration step, seconds.
+    pub dt: f64,
+}
+
+impl BrakingSim {
+    /// Simulator with a 0.5 ms step (fine enough for per-mille agreement
+    /// with the closed form).
+    pub fn new() -> BrakingSim {
+        BrakingSim { dt: 5.0e-4 }
+    }
+
+    /// Simulates one encounter: cruise at `v0` m/s, obstacle appears at
+    /// `sensor_range_m`, braking begins after `response_time_s` at
+    /// `max_decel_ms2`.
+    pub fn encounter(
+        &self,
+        v0: f64,
+        max_decel_ms2: f64,
+        response_time_s: f64,
+        sensor_range_m: f64,
+    ) -> EncounterOutcome {
+        let mut x = 0.0; // distance travelled since appearance
+        let mut v = v0.max(0.0);
+        let mut t = 0.0;
+        // Defensive bound: no encounter lasts beyond ten minutes.
+        while v > 1e-9 && t < 600.0 {
+            let a = if t >= response_time_s { -max_decel_ms2 } else { 0.0 };
+            // Semi-implicit Euler.
+            v = (v + a * self.dt).max(0.0);
+            x += v * self.dt;
+            t += self.dt;
+        }
+        EncounterOutcome { stop_margin_m: sensor_range_m - x, stop_time_s: t }
+    }
+
+    /// Empirical maximum collision-free cruise velocity by bisection.
+    pub fn max_safe_velocity(
+        &self,
+        max_decel_ms2: f64,
+        response_time_s: f64,
+        sensor_range_m: f64,
+    ) -> f64 {
+        if max_decel_ms2 <= 0.0 || sensor_range_m <= 0.0 {
+            return 0.0;
+        }
+        let (mut lo, mut hi) = (0.0, 120.0);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self
+                .encounter(mid, max_decel_ms2, response_time_s, sensor_range_m)
+                .safe()
+            {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+impl Default for BrakingSim {
+    fn default() -> Self {
+        BrakingSim::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::safety::safe_velocity;
+
+    #[test]
+    fn simulation_agrees_with_closed_form() {
+        let sim = BrakingSim::new();
+        for &(a, t, d) in &[(10.0, 0.02, 5.0), (3.8, 0.05, 5.0), (7.6, 0.033, 8.0)] {
+            let analytic = safe_velocity(a, t, d);
+            let empirical = sim.max_safe_velocity(a, t, d);
+            let err = (analytic - empirical).abs() / analytic;
+            assert!(
+                err < 0.01,
+                "a={a}, t={t}, d={d}: analytic {analytic:.3} vs simulated {empirical:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn cruising_at_safe_velocity_never_collides() {
+        let sim = BrakingSim::new();
+        let (a, t, d) = (6.76, 0.037, 5.0);
+        let v = safe_velocity(a, t, d);
+        // At (and just below) V_safe the encounter is safe; 10% above it
+        // is not.
+        assert!(sim.encounter(v * 0.999, a, t, d).safe());
+        assert!(!sim.encounter(v * 1.1, a, t, d).safe());
+    }
+
+    #[test]
+    fn slower_pipelines_force_slower_flight() {
+        let sim = BrakingSim::new();
+        let fast = sim.max_safe_velocity(8.0, 1.0 / 46.0, 5.0);
+        let slow = sim.max_safe_velocity(8.0, 1.0 / 6.0, 5.0);
+        assert!(fast > slow);
+    }
+
+    #[test]
+    fn stop_time_includes_response_delay() {
+        let sim = BrakingSim::new();
+        let out = sim.encounter(5.0, 10.0, 0.1, 20.0);
+        // 0.1 s blind + 0.5 s braking from 5 m/s at 10 m/s^2.
+        assert!((out.stop_time_s - 0.6).abs() < 0.01, "{}", out.stop_time_s);
+        assert!(out.safe());
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe_zeroes() {
+        let sim = BrakingSim::new();
+        assert_eq!(sim.max_safe_velocity(0.0, 0.1, 5.0), 0.0);
+        assert_eq!(sim.max_safe_velocity(5.0, 0.1, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # uav-dynamics
+//!
+//! UAV physics, the cyber-physical safety model, the F-1 roofline, and the
+//! mission-level metrics (Eq. 1–4) used by AutoPilot's domain-specific
+//! back end (Phase 3).
+//!
+//! The crate models the three base UAV systems of Table IV (a mini-, a
+//! micro-, and a nano-UAV), how a compute payload changes their
+//! thrust-to-weight ratio and therefore their maximum acceleration, the
+//! stopping-distance safety model that converts decision latency into a
+//! maximum safe velocity, the [F-1 visual performance
+//! model](https://doi.org/10.1109/LCA.2020.2969961) that relates action
+//! throughput to safe velocity (with its knee-point), and finally the
+//! *number of missions* objective the whole methodology maximizes.
+//!
+//! # Example
+//!
+//! ```
+//! use uav_dynamics::{F1Model, MissionProfile, UavSpec};
+//!
+//! let nano = UavSpec::nano();
+//! // A 24 g compute payload on the nano-UAV with a 60 FPS sensor:
+//! let f1 = F1Model::new(nano.clone(), 24.0, 60.0);
+//! let v = f1.safe_velocity(46.0);
+//! assert!(v > 0.0);
+//! let report = MissionProfile::default().evaluate(&nano, 24.0, v, 0.7);
+//! assert!(report.missions > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod battery;
+mod f1;
+mod flight;
+mod mission;
+mod payload;
+pub mod physics;
+mod rotor;
+mod safety;
+mod spec;
+
+pub use battery::Battery;
+pub use f1::{F1Curve, F1Model, Provisioning};
+pub use flight::{BrakingSim, EncounterOutcome};
+pub use mission::{MissionProfile, MissionReport};
+pub use payload::PayloadAnalysis;
+pub use rotor::hover_power_w;
+pub use safety::safe_velocity;
+pub use spec::{UavClass, UavSpec};

@@ -1,0 +1,181 @@
+//! Mission-level metrics: Eq. 1–4 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::payload::PayloadAnalysis;
+use crate::rotor::hover_power_w;
+use crate::spec::UavSpec;
+
+/// Parameters of one representative mission.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MissionProfile {
+    /// Distance flown per mission, in metres.
+    pub distance_m: f64,
+}
+
+impl MissionProfile {
+    /// Mission profile with an explicit operating distance.
+    pub fn new(distance_m: f64) -> MissionProfile {
+        MissionProfile { distance_m }
+    }
+
+    /// Evaluates Eq. 1–4 for `spec` carrying `payload_g` grams of compute
+    /// payload, flying at `v_safe` m/s with `p_compute_w` watts of compute
+    /// (SoC average) power.
+    ///
+    /// Returns an all-zero report (zero missions) when the UAV cannot fly
+    /// (`v_safe <= 0` or the payload grounds it).
+    pub fn evaluate(
+        &self,
+        spec: &UavSpec,
+        payload_g: f64,
+        v_safe: f64,
+        p_compute_w: f64,
+    ) -> MissionReport {
+        let payload = PayloadAnalysis::new(spec, payload_g);
+        let p_rotors_w = hover_power_w(
+            payload.total_weight_g,
+            spec.rotor_area_m2,
+            spec.figure_of_merit,
+        );
+        let p_others_w = spec.other_electronics_w;
+        let p_total_w = p_rotors_w + p_compute_w + p_others_w;
+
+        if v_safe <= 0.0 || payload.grounded() {
+            return MissionReport {
+                v_safe_ms: 0.0,
+                mission_time_s: f64::INFINITY,
+                mission_energy_j: f64::INFINITY,
+                p_rotors_w,
+                p_compute_w,
+                p_others_w,
+                missions: 0.0,
+            };
+        }
+
+        // Eq. 3: E_mission = P_total * D / V_safe.
+        let mission_time_s = self.distance_m / v_safe;
+        let mission_energy_j = p_total_w * mission_time_s;
+        // Eq. 1/4: N = E_battery / E_mission.
+        let missions = spec.battery_energy_j() / mission_energy_j;
+
+        MissionReport {
+            v_safe_ms: v_safe,
+            mission_time_s,
+            mission_energy_j,
+            p_rotors_w,
+            p_compute_w,
+            p_others_w,
+            missions,
+        }
+    }
+}
+
+impl Default for MissionProfile {
+    /// An 80 m obstacle-course traversal, the arena scale of the Air
+    /// Learning environments.
+    fn default() -> Self {
+        MissionProfile::new(80.0)
+    }
+}
+
+/// Result of evaluating Eq. 1–4 for one design on one UAV.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MissionReport {
+    /// Safe velocity used, m/s.
+    pub v_safe_ms: f64,
+    /// Time per mission, seconds.
+    pub mission_time_s: f64,
+    /// Energy per mission, joules.
+    pub mission_energy_j: f64,
+    /// Rotor propulsion power, watts.
+    pub p_rotors_w: f64,
+    /// Compute power, watts.
+    pub p_compute_w: f64,
+    /// Other electronics power, watts.
+    pub p_others_w: f64,
+    /// Number of missions per battery charge (Eq. 4).
+    pub missions: f64,
+}
+
+impl MissionReport {
+    /// Total platform power during the mission, watts.
+    pub fn p_total_w(&self) -> f64 {
+        self.p_rotors_w + self.p_compute_w + self.p_others_w
+    }
+
+    /// Fraction of total power spent on the rotors (MAVBench reports
+    /// ~95 % for real UAVs).
+    pub fn rotor_power_fraction(&self) -> f64 {
+        self.p_rotors_w / self.p_total_w()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq4_identity_holds() {
+        let spec = UavSpec::nano();
+        let r = MissionProfile::default().evaluate(&spec, 24.0, 8.0, 0.7);
+        let lhs = r.missions;
+        let rhs = spec.battery_energy_j() * r.v_safe_ms / (r.p_total_w() * 80.0);
+        assert!((lhs - rhs).abs() / rhs < 1e-12);
+    }
+
+    #[test]
+    fn faster_flight_more_missions() {
+        let spec = UavSpec::micro();
+        let p = MissionProfile::default();
+        let slow = p.evaluate(&spec, 24.0, 3.0, 0.7);
+        let fast = p.evaluate(&spec, 24.0, 6.0, 0.7);
+        assert!(fast.missions > slow.missions);
+    }
+
+    #[test]
+    fn heavier_compute_fewer_missions_same_velocity() {
+        let spec = UavSpec::micro();
+        let p = MissionProfile::default();
+        let light = p.evaluate(&spec, 24.0, 5.0, 0.7);
+        let heavy = p.evaluate(&spec, 65.0, 5.0, 0.7);
+        assert!(heavy.missions < light.missions);
+    }
+
+    #[test]
+    fn rotors_dominate_power_budget() {
+        // MAVBench: ~95 % of power goes to rotors.
+        for spec in UavSpec::all() {
+            let r = MissionProfile::default().evaluate(&spec, 24.0, 5.0, 0.7);
+            assert!(
+                r.rotor_power_fraction() > 0.6,
+                "{}: rotors only {:.0}%",
+                spec.name,
+                r.rotor_power_fraction() * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn grounded_uav_flies_zero_missions() {
+        let spec = UavSpec::nano();
+        let r = MissionProfile::default().evaluate(&spec, 500.0, 5.0, 0.7);
+        assert_eq!(r.missions, 0.0);
+    }
+
+    #[test]
+    fn zero_velocity_zero_missions() {
+        let spec = UavSpec::mini();
+        let r = MissionProfile::default().evaluate(&spec, 24.0, 0.0, 0.7);
+        assert_eq!(r.missions, 0.0);
+        assert!(r.mission_time_s.is_infinite());
+    }
+
+    #[test]
+    fn longer_missions_reduce_count_proportionally() {
+        let spec = UavSpec::mini();
+        let short = MissionProfile::new(40.0).evaluate(&spec, 24.0, 5.0, 0.7);
+        let long = MissionProfile::new(80.0).evaluate(&spec, 24.0, 5.0, 0.7);
+        assert!((short.missions / long.missions - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,82 @@
+//! Effect of a compute payload on UAV flight physics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::physics::GRAVITY;
+use crate::spec::UavSpec;
+
+/// How a given payload changes a UAV's weight, thrust-to-weight ratio,
+/// and maximum acceleration.
+///
+/// The maximum thrust of the platform is fixed by its motors
+/// (`base_thrust_to_weight * base_weight`); adding payload lowers the
+/// effective thrust-to-weight ratio and with it the maximum lateral
+/// acceleration `a_max = g * (T/W - 1)` the vehicle can command while
+/// holding altitude.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PayloadAnalysis {
+    /// Payload mass in grams.
+    pub payload_g: f64,
+    /// Total takeoff weight in grams.
+    pub total_weight_g: f64,
+    /// Effective thrust-to-weight ratio with the payload.
+    pub thrust_to_weight: f64,
+    /// Maximum acceleration in m/s^2 (zero if the UAV cannot lift the
+    /// payload).
+    pub max_accel_ms2: f64,
+}
+
+impl PayloadAnalysis {
+    /// Analyses `payload_g` grams of payload on `spec`.
+    pub fn new(spec: &UavSpec, payload_g: f64) -> PayloadAnalysis {
+        let payload_g = payload_g.max(0.0);
+        let total_weight_g = spec.base_weight_g + payload_g;
+        let thrust_to_weight = spec.max_thrust_g() / total_weight_g;
+        let max_accel_ms2 = (GRAVITY * (thrust_to_weight - 1.0)).max(0.0);
+        PayloadAnalysis { payload_g, total_weight_g, thrust_to_weight, max_accel_ms2 }
+    }
+
+    /// True when the platform cannot generate more thrust than its own
+    /// weight (it cannot take off, let alone manoeuvre).
+    pub fn grounded(&self) -> bool {
+        self.thrust_to_weight <= 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_payload_recovers_base_twr() {
+        let spec = UavSpec::nano();
+        let a = PayloadAnalysis::new(&spec, 0.0);
+        assert!((a.thrust_to_weight - spec.base_thrust_to_weight).abs() < 1e-12);
+        assert!(a.max_accel_ms2 > 0.0);
+    }
+
+    #[test]
+    fn heavier_payload_less_agile() {
+        let spec = UavSpec::micro();
+        let light = PayloadAnalysis::new(&spec, 24.0);
+        let heavy = PayloadAnalysis::new(&spec, 65.0);
+        assert!(heavy.max_accel_ms2 < light.max_accel_ms2);
+        assert!(heavy.thrust_to_weight < light.thrust_to_weight);
+    }
+
+    #[test]
+    fn overload_grounds_the_uav() {
+        let spec = UavSpec::nano(); // 50 g base, TWR 3.0 -> 150 g thrust
+        let a = PayloadAnalysis::new(&spec, 120.0); // 170 g total > thrust
+        assert!(a.grounded());
+        assert_eq!(a.max_accel_ms2, 0.0);
+    }
+
+    #[test]
+    fn negative_payload_clamped() {
+        let spec = UavSpec::mini();
+        let a = PayloadAnalysis::new(&spec, -10.0);
+        assert_eq!(a.payload_g, 0.0);
+        assert_eq!(a.total_weight_g, spec.base_weight_g);
+    }
+}

@@ -1,0 +1,33 @@
+//! Physical constants shared by the UAV models.
+
+/// Standard gravitational acceleration, m/s^2.
+pub const GRAVITY: f64 = 9.81;
+
+/// Sea-level air density, kg/m^3.
+pub const AIR_DENSITY: f64 = 1.225;
+
+/// Converts grams to kilograms.
+pub fn grams_to_kg(g: f64) -> f64 {
+    g / 1000.0
+}
+
+/// Converts a battery rating (mAh at `volts`) to joules.
+pub fn battery_energy_j(mah: f64, volts: f64) -> f64 {
+    mah / 1000.0 * volts * 3600.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn battery_conversion_matches_hand_calc() {
+        // 500 mAh at 3.7 V = 1.85 Wh = 6660 J.
+        assert!((battery_energy_j(500.0, 3.7) - 6660.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gram_conversion() {
+        assert_eq!(grams_to_kg(1650.0), 1.65);
+    }
+}

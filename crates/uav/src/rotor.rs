@@ -1,0 +1,64 @@
+//! Rotor propulsion power from momentum (actuator-disk) theory.
+
+use crate::physics::{AIR_DENSITY, GRAVITY};
+
+/// Electrical hover power for a multirotor of total mass
+/// `total_weight_g` grams with `rotor_area_m2` total disk area and
+/// propulsive figure of merit `fom`.
+///
+/// Momentum theory gives the ideal induced power `P = T^(3/2) /
+/// sqrt(2 rho A)`; dividing by the figure of merit converts to electrical
+/// power. MAVBench's observation that ~95 % of UAV power goes to the
+/// rotors emerges from this model naturally.
+///
+/// # Panics
+///
+/// Panics if `rotor_area_m2` or `fom` is not positive.
+pub fn hover_power_w(total_weight_g: f64, rotor_area_m2: f64, fom: f64) -> f64 {
+    assert!(rotor_area_m2 > 0.0, "rotor disk area must be positive");
+    assert!(fom > 0.0, "figure of merit must be positive");
+    let thrust_n = (total_weight_g / 1000.0) * GRAVITY;
+    thrust_n.powf(1.5) / (fom * (2.0 * AIR_DENSITY * rotor_area_m2).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::UavSpec;
+
+    #[test]
+    fn nano_hover_power_matches_crazyflie_class() {
+        // ~75 g nano platforms hover at a handful of watts.
+        let nano = UavSpec::nano();
+        let p = hover_power_w(74.0, nano.rotor_area_m2, nano.figure_of_merit);
+        assert!((3.0..=10.0).contains(&p), "{p} W");
+    }
+
+    #[test]
+    fn mini_hover_endurance_plausible() {
+        // AscTec Pelican class: ~200 W hover, ~15-25 min on 69 Wh.
+        let mini = UavSpec::mini();
+        let p = hover_power_w(
+            mini.base_weight_g + 50.0,
+            mini.rotor_area_m2,
+            mini.figure_of_merit,
+        );
+        let minutes = mini.battery_energy_j() / p / 60.0;
+        assert!((100.0..=350.0).contains(&p), "{p} W");
+        assert!((10.0..=30.0).contains(&minutes), "{minutes} min");
+    }
+
+    #[test]
+    fn power_superlinear_in_weight() {
+        let nano = UavSpec::nano();
+        let p1 = hover_power_w(60.0, nano.rotor_area_m2, nano.figure_of_merit);
+        let p2 = hover_power_w(120.0, nano.rotor_area_m2, nano.figure_of_merit);
+        assert!(p2 > 2.0 * p1, "doubling weight must more than double power");
+    }
+
+    #[test]
+    #[should_panic(expected = "figure of merit")]
+    fn rejects_zero_fom() {
+        let _ = hover_power_w(100.0, 0.01, 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Stopping-distance safety model (Liu et al., ICRA 2016 style).
+
+/// Maximum velocity at which a vehicle that senses an obstacle at
+/// `sensor_range_m` metres and reacts after `response_time_s` seconds can
+/// still brake at `max_accel_ms2` without collision.
+///
+/// Solves `v * t + v^2 / (2a) = d` for `v`:
+/// `v_safe = a * (-t + sqrt(t^2 + 2 d / a))`.
+///
+/// Returns 0 when the vehicle cannot accelerate (or the range is
+/// non-positive): an immobile vehicle has no safe velocity.
+pub fn safe_velocity(max_accel_ms2: f64, response_time_s: f64, sensor_range_m: f64) -> f64 {
+    if max_accel_ms2 <= 0.0 || sensor_range_m <= 0.0 {
+        return 0.0;
+    }
+    let t = response_time_s.max(0.0);
+    let a = max_accel_ms2;
+    (a * (-t + (t * t + 2.0 * sensor_range_m / a).sqrt())).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn satisfies_stopping_distance_equation() {
+        let (a, t, d) = (6.0, 0.05, 5.0);
+        let v = safe_velocity(a, t, d);
+        let distance = v * t + v * v / (2.0 * a);
+        assert!((distance - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_latency_gives_kinematic_limit() {
+        let (a, d) = (8.0, 5.0);
+        let v = safe_velocity(a, 0.0, d);
+        assert!((v - (2.0 * a * d).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_decreasing_in_latency() {
+        let mut prev = f64::INFINITY;
+        for t in [0.0, 0.01, 0.05, 0.1, 0.5, 2.0] {
+            let v = safe_velocity(6.0, t, 5.0);
+            assert!(v < prev || t == 0.0);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn monotone_increasing_in_accel_and_range() {
+        assert!(safe_velocity(10.0, 0.05, 5.0) > safe_velocity(4.0, 0.05, 5.0));
+        assert!(safe_velocity(6.0, 0.05, 10.0) > safe_velocity(6.0, 0.05, 5.0));
+    }
+
+    #[test]
+    fn immobile_vehicle_has_zero_safe_velocity() {
+        assert_eq!(safe_velocity(0.0, 0.05, 5.0), 0.0);
+        assert_eq!(safe_velocity(-1.0, 0.05, 5.0), 0.0);
+        assert_eq!(safe_velocity(6.0, 0.05, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Base UAV system specifications (Table IV).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::physics;
+
+/// UAV size category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UavClass {
+    /// Mini-UAV (kg-class, e.g. AscTec Pelican).
+    Mini,
+    /// Micro-UAV (hundreds of grams, e.g. DJI Spark).
+    Micro,
+    /// Nano-UAV (tens of grams, e.g. Zhang et al.).
+    Nano,
+}
+
+impl fmt::Display for UavClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UavClass::Mini => "mini-UAV",
+            UavClass::Micro => "micro-UAV",
+            UavClass::Nano => "nano-UAV",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A base UAV system: frame, rotors, battery, flight controller, and
+/// sensor, everything except the autonomy components AutoPilot designs.
+///
+/// The three constructors ([`UavSpec::mini`], [`UavSpec::micro`],
+/// [`UavSpec::nano`]) reproduce Table IV; the physics fields
+/// (thrust-to-weight, rotor disk area, propulsive figure of merit, sensing
+/// range) are calibrated against publicly reported flight times and the
+/// paper's knee-points (46 FPS nano, 27 FPS micro at 60 FPS sensors).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UavSpec {
+    /// Human-readable platform name.
+    pub name: String,
+    /// Size category.
+    pub class: UavClass,
+    /// Battery capacity in mAh (fixed per Table IV).
+    pub battery_mah: f64,
+    /// Battery voltage in volts.
+    pub battery_v: f64,
+    /// Base weight (frame + rotors + battery + FC) in grams.
+    pub base_weight_g: f64,
+    /// Thrust-to-weight ratio of the *base* platform (max thrust divided
+    /// by base weight).
+    pub base_thrust_to_weight: f64,
+    /// Total rotor disk area in m^2 (all propellers).
+    pub rotor_area_m2: f64,
+    /// Propulsive figure of merit (electrical-to-induced-power
+    /// efficiency).
+    pub figure_of_merit: f64,
+    /// Obstacle sensing range of the onboard camera pipeline, in metres.
+    pub sensor_range_m: f64,
+    /// Inner-loop flight-controller latency, in seconds.
+    pub control_latency_s: f64,
+    /// Power drawn by other electronics (ESCs, radios), in watts.
+    pub other_electronics_w: f64,
+    /// Available sensor frame rates (Table IV lists 30/60 FPS).
+    pub sensor_fps_options: Vec<f64>,
+}
+
+impl UavSpec {
+    /// AscTec Pelican mini-UAV (Table IV row 1).
+    pub fn mini() -> UavSpec {
+        UavSpec {
+            name: "AscTec Pelican".to_owned(),
+            class: UavClass::Mini,
+            battery_mah: 6250.0,
+            battery_v: 11.1,
+            base_weight_g: 1650.0,
+            base_thrust_to_weight: 1.8,
+            rotor_area_m2: 0.2027, // 4 x 10-inch propellers
+            figure_of_merit: 0.45,
+            sensor_range_m: 8.0,
+            control_latency_s: 1.0e-3, // 1 kHz inner loop
+            other_electronics_w: 4.0,
+            sensor_fps_options: vec![30.0, 60.0],
+        }
+    }
+
+    /// DJI Spark micro-UAV (Table IV row 2).
+    pub fn micro() -> UavSpec {
+        UavSpec {
+            name: "DJI Spark".to_owned(),
+            class: UavClass::Micro,
+            battery_mah: 1480.0,
+            battery_v: 11.4,
+            base_weight_g: 300.0,
+            base_thrust_to_weight: 1.5,
+            rotor_area_m2: 0.0452, // 4 x 4.7-inch propellers
+            figure_of_merit: 0.40,
+            sensor_range_m: 5.0,
+            control_latency_s: 1.0e-3,
+            other_electronics_w: 2.0,
+            sensor_fps_options: vec![30.0, 60.0],
+        }
+    }
+
+    /// Zhang et al. nano-UAV (Table IV row 3).
+    pub fn nano() -> UavSpec {
+        UavSpec {
+            name: "Zhang et al. nano-UAV".to_owned(),
+            class: UavClass::Nano,
+            battery_mah: 500.0,
+            battery_v: 3.7,
+            base_weight_g: 50.0,
+            base_thrust_to_weight: 3.0,
+            rotor_area_m2: 0.0133, // 4 x 65-mm propellers
+            figure_of_merit: 0.50,
+            sensor_range_m: 5.0,
+            control_latency_s: 1.0e-3,
+            other_electronics_w: 0.3,
+            sensor_fps_options: vec![30.0, 60.0],
+        }
+    }
+
+    /// All three Table IV platforms.
+    pub fn all() -> Vec<UavSpec> {
+        vec![UavSpec::mini(), UavSpec::micro(), UavSpec::nano()]
+    }
+
+    /// Total onboard battery energy in joules.
+    pub fn battery_energy_j(&self) -> f64 {
+        physics::battery_energy_j(self.battery_mah, self.battery_v)
+    }
+
+    /// Maximum thrust of the base platform, expressed in grams-force.
+    pub fn max_thrust_g(&self) -> f64 {
+        self.base_thrust_to_weight * self.base_weight_g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_battery_and_weight_values() {
+        let mini = UavSpec::mini();
+        assert_eq!(mini.battery_mah, 6250.0);
+        assert_eq!(mini.base_weight_g, 1650.0);
+        let micro = UavSpec::micro();
+        assert_eq!(micro.battery_mah, 1480.0);
+        assert_eq!(micro.base_weight_g, 300.0);
+        let nano = UavSpec::nano();
+        assert_eq!(nano.battery_mah, 500.0);
+        assert_eq!(nano.base_weight_g, 50.0);
+    }
+
+    #[test]
+    fn nano_is_most_agile() {
+        // Fig. 11 premise: the nano has a higher thrust-to-weight ratio
+        // than the DJI Spark.
+        assert!(UavSpec::nano().base_thrust_to_weight > UavSpec::micro().base_thrust_to_weight);
+    }
+
+    #[test]
+    fn sensor_options_match_table_iv() {
+        for spec in UavSpec::all() {
+            assert_eq!(spec.sensor_fps_options, vec![30.0, 60.0]);
+        }
+    }
+
+    #[test]
+    fn battery_energy_scales_with_class() {
+        let e: Vec<f64> = UavSpec::all().iter().map(UavSpec::battery_energy_j).collect();
+        assert!(e[0] > e[1] && e[1] > e[2]); // mini > micro > nano
+    }
+
+    #[test]
+    fn class_display_names() {
+        assert_eq!(UavClass::Nano.to_string(), "nano-UAV");
+        assert_eq!(UavClass::Mini.to_string(), "mini-UAV");
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: design a DSSoC for a nano-UAV flying dense clutter.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use air_sim::ObstacleDensity;
+use autopilot::{AutoPilot, AutopilotConfig, TaskSpec};
+use uav_dynamics::UavSpec;
+
+fn main() {
+    // 1. Pick a UAV platform and describe the task.
+    let uav = UavSpec::nano();
+    let task = TaskSpec::navigation(ObstacleDensity::Dense);
+
+    // 2. Run the three-phase AutoPilot pipeline.
+    let pilot = AutoPilot::new(AutopilotConfig::fast(7));
+    let result = pilot.run(&uav, &task);
+
+    // 3. Inspect the selected design.
+    let sel = result.selection.expect("a flyable design exists for the nano-UAV");
+    let c = &sel.candidate;
+    println!("UAV:      {} ({})", uav.name, uav.class);
+    println!("scenario: {} obstacles, sensor {} FPS", task.density, task.sensor_fps);
+    println!();
+    println!(
+        "selected policy:      {} ({:.1} M parameters, success {:.0}%)",
+        c.policy,
+        policy_nn::PolicyModel::build(c.policy).parameter_count() as f64 / 1e6,
+        c.success_rate * 100.0
+    );
+    println!(
+        "selected accelerator: {}x{} PEs, {}/{}/{} KB scratchpads @ {:.0} MHz",
+        c.config.rows(),
+        c.config.cols(),
+        c.config.ifmap_sram_bytes() / 1024,
+        c.config.filter_sram_bytes() / 1024,
+        c.config.ofmap_sram_bytes() / 1024,
+        c.config.clock_mhz()
+    );
+    println!(
+        "performance:          {:.0} FPS at {:.2} W SoC average ({:.2} W TDP, {:.1} g payload)",
+        c.fps, c.soc_avg_w, c.tdp_w, c.payload_g
+    );
+    println!(
+        "full-system outcome:  {:.2} m/s safe velocity -> {:.0} missions per charge ({:?}, knee {:?} FPS)",
+        sel.missions.v_safe_ms,
+        sel.missions.missions,
+        sel.provisioning,
+        sel.knee_fps.map(|k| k.round())
+    );
+    if let Some(ft) = &sel.fine_tuning {
+        println!(
+            "fine-tuning:          clock moved to {:.0} MHz ({:.0} -> {:.0} missions)",
+            ft.clock_mhz, ft.missions_before, ft.missions_after
+        );
+    }
+}

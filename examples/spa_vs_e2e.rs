@@ -1,0 +1,52 @@
+//! Sense-Plan-Act vs. end-to-end learning on the same arenas, with an
+//! ASCII visualization of one SPA flight.
+//!
+//! ```sh
+//! cargo run --release --example spa_vs_e2e
+//! ```
+
+use air_sim::spa::{astar, OccupancyGrid, SpaAgent};
+use air_sim::{EnvironmentGenerator, ObstacleDensity, QTrainer};
+use policy_nn::{PolicyHyperparams, PolicyModel};
+
+fn main() {
+    let model = PolicyModel::build(PolicyHyperparams::new(7, 48).expect("in space"));
+    let miss = QTrainer::miss_probability(&model);
+
+    println!("comparing paradigms at matched perception quality (miss = {miss:.2})\n");
+    for density in [ObstacleDensity::Low, ObstacleDensity::Dense] {
+        let e2e = QTrainer::new(7)
+            .with_episodes(800)
+            .with_eval_episodes(200)
+            .train(&model, density);
+        let spa = SpaAgent::new(7, miss).evaluate(density, 200);
+        println!("{density}:");
+        println!("  E2E  success {:.0}%  (one {:.0} MMAC forward pass per decision, acceleratable)",
+            e2e.success_rate * 100.0, model.mac_count() as f64 / 1e6);
+        println!(
+            "  SPA  success {:.0}%  ({} map updates + {} A* expansions per decision, CPU-bound)",
+            spa.success_rate * 100.0,
+            spa.mean_workload.map_updates,
+            spa.mean_workload.planner_expansions
+        );
+    }
+
+    // Visualize one SPA plan on a dense arena with perfect perception.
+    println!("\none dense arena with the A* plan (S start, G goal, # obstacle, * path):\n");
+    let mut generator = EnvironmentGenerator::new(ObstacleDensity::Dense, 11);
+    let arena = generator.next_arena();
+    let mut grid = OccupancyGrid::new(arena.size());
+    for y in 0..arena.size() {
+        for x in 0..arena.size() {
+            grid.observe(x, y, arena.blocked(x as isize, y as isize));
+            grid.observe(x, y, arena.blocked(x as isize, y as isize));
+        }
+    }
+    match astar(&grid, arena.start(), arena.goal()) {
+        Some((path, expansions)) => {
+            println!("{}", arena.render_ascii(&path));
+            println!("path length {} cells, {} expansions", path.len(), expansions);
+        }
+        None => println!("no path found (unexpected for a solvable arena)"),
+    }
+}

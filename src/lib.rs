@@ -1,0 +1,26 @@
+//! # autopilot-suite
+//!
+//! Workspace umbrella crate for the AutoPilot reproduction. It re-exports
+//! every member crate so the workspace-level examples (`examples/`) and
+//! cross-crate integration tests (`tests/`) have a single import root.
+//!
+//! The actual functionality lives in the member crates:
+//!
+//! * [`autopilot`] — the three-phase DSSoC design methodology (the paper's
+//!   primary contribution);
+//! * [`systolic_sim`] — SCALE-Sim-like accelerator simulator;
+//! * [`policy_nn`] — parameterized E2E policy model template;
+//! * [`soc_power`] — SRAM/DRAM/PE power, thermal, and weight models;
+//! * [`uav_dynamics`] — UAV physics, safety model, F-1 roofline, missions;
+//! * [`air_sim`] — domain-randomized environments and RL training;
+//! * [`dse_opt`] — multi-objective Bayesian optimization and baselines.
+
+#![forbid(unsafe_code)]
+
+pub use air_sim;
+pub use autopilot;
+pub use dse_opt;
+pub use policy_nn;
+pub use soc_power;
+pub use systolic_sim;
+pub use uav_dynamics;

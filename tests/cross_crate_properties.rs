@@ -1,0 +1,90 @@
+//! Property-based tests spanning crates: any legal joint design point
+//! must evaluate to physically sensible numbers end to end.
+
+use air_sim::{AirLearningDatabase, ObstacleDensity};
+use autopilot::{DssocEvaluator, JointSpace, Phase1, Phase3, SuccessModel, TaskSpec};
+use proptest::prelude::*;
+use uav_dynamics::UavSpec;
+
+fn evaluator() -> DssocEvaluator {
+    let mut db = AirLearningDatabase::new();
+    Phase1::new(SuccessModel::Surrogate, 1).populate(ObstacleDensity::Medium, &mut db);
+    DssocEvaluator::new(db, ObstacleDensity::Medium)
+}
+
+fn arb_point() -> impl Strategy<Value = Vec<usize>> {
+    (0usize..9, 0usize..3, 0usize..8, 0usize..8, 0usize..8, 0usize..8, 0usize..8)
+        .prop_map(|(a, b, c, d, e, f, g)| vec![a, b, c, d, e, f, g])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every joint design point produces finite, positive metrics.
+    #[test]
+    fn any_design_point_evaluates_sanely(point in arb_point()) {
+        let ev = evaluator();
+        let c = ev.evaluate_design(&point);
+        prop_assert!(c.fps.is_finite() && c.fps > 0.0);
+        prop_assert!(c.latency_s > 0.0);
+        prop_assert!((0.0..=1.0).contains(&c.success_rate));
+        prop_assert!(c.soc_avg_w > 0.0 && c.soc_avg_w < 500.0);
+        prop_assert!(c.tdp_w >= c.soc_avg_w * 0.2);
+        prop_assert!(c.payload_g >= 20.0); // at least the motherboard
+        prop_assert!(c.efficiency_fps_per_w > 0.0);
+    }
+
+    /// Decode/encode round-trips over the whole space.
+    #[test]
+    fn joint_space_round_trips(point in arb_point()) {
+        let (hyper, config) = JointSpace::decode(&point);
+        let back = JointSpace::encode(
+            hyper,
+            config.rows(),
+            config.cols(),
+            config.ifmap_sram_bytes() / 1024,
+            config.filter_sram_bytes() / 1024,
+            config.ofmap_sram_bytes() / 1024,
+        ).expect("decoded values are legal");
+        prop_assert_eq!(back, point);
+    }
+
+    /// Mission count decreases (weakly) as compute payload grows, all
+    /// else equal.
+    #[test]
+    fn missions_monotone_in_payload(
+        base in 20.0f64..40.0,
+        extra in 1.0f64..60.0,
+        v in 1.0f64..9.0,
+    ) {
+        let task = TaskSpec::navigation(ObstacleDensity::Medium);
+        let uav = UavSpec::micro();
+        let light = task.mission.evaluate(&uav, base, v, 0.5);
+        let heavy = task.mission.evaluate(&uav, base + extra, v, 0.5);
+        prop_assert!(heavy.missions <= light.missions);
+    }
+
+    /// Mission count increases with safe velocity, all else equal.
+    #[test]
+    fn missions_monotone_in_velocity(
+        v in 1.0f64..9.0,
+        dv in 0.1f64..3.0,
+    ) {
+        let task = TaskSpec::navigation(ObstacleDensity::Medium);
+        let uav = UavSpec::mini();
+        let slow = task.mission.evaluate(&uav, 24.0, v, 0.5);
+        let fast = task.mission.evaluate(&uav, 24.0, v + dv, 0.5);
+        prop_assert!(fast.missions > slow.missions);
+    }
+
+    /// A design's mission report is deterministic.
+    #[test]
+    fn mission_report_deterministic(point in arb_point()) {
+        let ev = evaluator();
+        let c = ev.evaluate_design(&point);
+        let task = TaskSpec::navigation(ObstacleDensity::Medium);
+        let a = Phase3::mission_report(&UavSpec::nano(), &task, &c);
+        let b = Phase3::mission_report(&UavSpec::nano(), &task, &c);
+        prop_assert_eq!(a, b);
+    }
+}

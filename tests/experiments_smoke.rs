@@ -1,0 +1,44 @@
+//! Smoke tests over the lighter paper-reproduction experiments (the
+//! heavy nine-pipeline runs are exercised by the `repro_all` binary).
+
+use autopilot_bench::experiments as ex;
+
+#[test]
+fn fig2b_report_is_complete() {
+    let r = ex::fig2b::run();
+    // All 27 models, three scenario columns, paper picks named.
+    for h in policy_nn::PolicyHyperparams::enumerate() {
+        assert!(r.contains(&h.id()), "missing {}", h.id());
+    }
+    assert!(r.contains("best model for low: 5 layers x 32 filters"));
+    assert!(r.contains("best model for medium: 4 layers x 48 filters"));
+    assert!(r.contains("best model for dense: 7 layers x 48 filters"));
+}
+
+#[test]
+fn fig3b_reports_a_pareto_frontier() {
+    let r = ex::fig3b::run();
+    assert!(r.contains("Pareto-optimal"));
+    assert!(r.contains("latency span"));
+}
+
+#[test]
+fn table2_reports_the_space() {
+    let r = ex::table2::run();
+    assert!(r.contains("884736"));
+    assert!(r.contains("# PE Row"));
+}
+
+#[test]
+fn table3_reports_components_and_band() {
+    let r = ex::table3::run();
+    assert!(r.contains("Systolic array"));
+    assert!(r.contains("OV9755"));
+}
+
+#[test]
+fn dataflow_ablation_prefers_a_dataflow_consistently() {
+    let r = ex::ablations::run_dataflows();
+    assert!(r.contains("l7f48"));
+    assert!(r.lines().count() > 9);
+}

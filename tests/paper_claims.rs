@@ -1,0 +1,110 @@
+//! Quantitative paper-claim checks: the headline numbers the reproduction
+//! must land near (shape fidelity, not exact values — see EXPERIMENTS.md).
+
+use air_sim::{ObstacleDensity, SuccessSurrogate};
+use policy_nn::{PolicyHyperparams, PolicyModel};
+use soc_power::compute_payload_grams;
+use uav_dynamics::{F1Model, UavSpec};
+
+#[test]
+fn table_ii_joint_space_size() {
+    // 9 x 3 x 8 x 8 x 8 x 8 x 8.
+    assert_eq!(autopilot::JointSpace::size(), 884_736);
+}
+
+#[test]
+fn e2e_models_are_100x_dronet() {
+    // Paper: AutoPilot E2E models are 109x-121x larger than DroNet.
+    for (l, f) in [(5, 32), (4, 48), (7, 48)] {
+        let m = PolicyModel::build(PolicyHyperparams::new(l, f).unwrap());
+        let ratio = m.parameter_count() as f64 / policy_nn::reference::DRONET_PARAMETERS as f64;
+        assert!((105.0..=125.0).contains(&ratio), "l{l}f{f}: {ratio:.0}x");
+    }
+}
+
+#[test]
+fn success_band_matches_fig2b() {
+    let s = SuccessSurrogate::paper_calibrated();
+    let mut lo = f64::INFINITY;
+    let mut hi = 0.0f64;
+    for h in PolicyHyperparams::enumerate() {
+        for d in ObstacleDensity::ALL {
+            let v = s.success_rate(&PolicyModel::build(h), d);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    // Paper band: 60%..91%.
+    assert!((0.55..=0.68).contains(&lo), "floor {lo:.2}");
+    assert!((0.86..=0.93).contains(&hi), "ceiling {hi:.2}");
+}
+
+#[test]
+fn scenario_best_models_match_section_v_a() {
+    let s = SuccessSurrogate::paper_calibrated();
+    let expect = [
+        (ObstacleDensity::Low, (5, 32)),
+        (ObstacleDensity::Medium, (4, 48)),
+        (ObstacleDensity::Dense, (7, 48)),
+    ];
+    for (d, (l, f)) in expect {
+        assert_eq!(s.best_model(d), PolicyHyperparams::new(l, f).unwrap(), "{d}");
+    }
+}
+
+#[test]
+fn knee_points_match_fig11() {
+    // Paper: nano ~46 FPS, DJI Spark ~27 FPS with 60 FPS sensors.
+    let nano = F1Model::new(UavSpec::nano(), 24.0, 60.0).knee_fps().unwrap();
+    let spark = F1Model::new(UavSpec::micro(), 24.0, 60.0).knee_fps().unwrap();
+    assert!((40.0..=54.0).contains(&nano), "nano knee {nano:.1}");
+    assert!((24.0..=33.0).contains(&spark), "spark knee {spark:.1}");
+    let ratio = nano / spark;
+    assert!((1.4..=2.0).contains(&ratio), "ratio {ratio:.2} (paper ~1.7)");
+}
+
+#[test]
+fn compute_payload_matches_paper_points() {
+    // Paper: AP design 0.7 W -> 24 g; HT design 8.24 W -> 65 g.
+    assert!((compute_payload_grams(0.7) - 24.0).abs() < 1.5);
+    assert!((compute_payload_grams(8.24) - 65.0).abs() < 3.0);
+}
+
+#[test]
+fn accelerator_band_matches_table_iii() {
+    // The Table II corners must span roughly the paper's 22-200 FPS and
+    // sub-watt to ~8 W envelope.
+    use air_sim::AirLearningDatabase;
+    use autopilot::{DssocEvaluator, Phase1, SuccessModel};
+    let mut db = AirLearningDatabase::new();
+    Phase1::new(SuccessModel::Surrogate, 1).populate(ObstacleDensity::Dense, &mut db);
+    let ev = DssocEvaluator::new(db, ObstacleDensity::Dense);
+    let slow = ev.evaluate_design(&[5, 1, 0, 0, 0, 0, 0]); // 8x8, 32 KB
+    let fast = ev.evaluate_design(&[5, 1, 5, 5, 3, 3, 3]); // 256x256, 256 KB
+    assert!((15.0..=35.0).contains(&slow.fps), "slow corner {:.1} FPS", slow.fps);
+    assert!((180.0..=320.0).contains(&fast.fps), "fast corner {:.1} FPS", fast.fps);
+    assert!(slow.tdp_w < 1.0, "slow corner {:.2} W", slow.tdp_w);
+    assert!((6.0..=11.0).contains(&fast.tdp_w), "fast corner {:.2} W", fast.tdp_w);
+}
+
+#[test]
+fn pulp_dronet_is_badly_underprovisioned() {
+    // Paper motivation: PULP's 6 FPS sits far below every knee.
+    for uav in UavSpec::all() {
+        let f1 = F1Model::new(uav.clone(), 5.0, 60.0);
+        assert_eq!(
+            f1.classify(6.0),
+            uav_dynamics::Provisioning::UnderProvisioned,
+            "{}",
+            uav.name
+        );
+    }
+}
+
+#[test]
+fn heavier_payload_lowers_the_f1_ceiling() {
+    // Fig. 4a: power -> heatsink weight -> lower ceilings.
+    let light = F1Model::new(UavSpec::nano(), compute_payload_grams(0.7), 60.0);
+    let heavy = F1Model::new(UavSpec::nano(), compute_payload_grams(8.24), 60.0);
+    assert!(heavy.velocity_ceiling() < light.velocity_ceiling() * 0.8);
+}

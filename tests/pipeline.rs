@@ -1,0 +1,122 @@
+//! Cross-crate integration tests: the full AutoPilot pipeline composed
+//! from every substrate crate.
+
+use air_sim::ObstacleDensity;
+use autopilot::{AutoPilot, AutopilotConfig, OptimizerChoice, Phase3, TaskSpec};
+use uav_dynamics::{Provisioning, UavSpec};
+
+fn pilot(seed: u64) -> AutoPilot {
+    AutoPilot::new(AutopilotConfig::fast(seed).with_budget(80))
+}
+
+#[test]
+fn nano_dense_selection_is_balanced_at_the_knee() {
+    let result = pilot(7).run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Dense));
+    let sel = result.selection.expect("selection exists");
+    let knee = sel.knee_fps.expect("knee exists");
+    // The selected design sits at (or very near) the F-1 knee-point.
+    assert!(
+        (sel.candidate.fps - knee).abs() / knee < 0.35,
+        "selected {:.1} FPS vs knee {knee:.1}",
+        sel.candidate.fps
+    );
+    assert_ne!(sel.provisioning, Provisioning::OverProvisioned);
+}
+
+#[test]
+fn selection_maximizes_missions_among_high_success_candidates() {
+    let uav = UavSpec::micro();
+    let task = TaskSpec::navigation(ObstacleDensity::Medium);
+    let result = pilot(3).run(&uav, &task);
+    let sel = result.selection.expect("selection");
+    let threshold = result.phase2.best_success() - 0.02;
+    for c in &result.phase2.candidates {
+        if c.success_rate >= threshold.max(task.min_success_rate) {
+            let m = Phase3::mission_report(&uav, &task, c).missions;
+            assert!(
+                sel.missions.missions >= m * 0.97,
+                "{} at {m:.1} missions beats the selection's {:.1}",
+                c.policy,
+                sel.missions.missions
+            );
+        }
+    }
+}
+
+#[test]
+fn selected_policy_matches_phase1_best_for_scenario() {
+    // The Phase-3 success filter keeps AutoPilot on the highest-success
+    // policies; for the dense scenario the surrogate's best is l7f48.
+    let result = pilot(7).run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Dense));
+    let sel = result.selection.expect("selection");
+    let best = result
+        .database
+        .best_for(ObstacleDensity::Dense)
+        .expect("phase 1 populated");
+    assert!(
+        sel.candidate.success_rate >= best.success_rate - 0.02,
+        "selected success {:.2} too far below best {:.2}",
+        sel.candidate.success_rate,
+        best.success_rate
+    );
+}
+
+#[test]
+fn different_uavs_get_different_designs() {
+    // The "no one size fits all" claim: the nano and the micro UAV end up
+    // with different compute throughput targets in the same scenario.
+    let task = TaskSpec::navigation(ObstacleDensity::Dense);
+    let nano = pilot(7).run(&UavSpec::nano(), &task).selection.expect("nano");
+    let micro = pilot(7).run(&UavSpec::micro(), &task).selection.expect("micro");
+    let ratio = nano.candidate.fps / micro.candidate.fps;
+    assert!(
+        ratio > 1.2,
+        "nano ({:.0} FPS) should need clearly more compute than micro ({:.0} FPS)",
+        nano.candidate.fps,
+        micro.candidate.fps
+    );
+}
+
+#[test]
+fn all_optimizers_complete_the_pipeline() {
+    let task = TaskSpec::navigation(ObstacleDensity::Low);
+    for optimizer in OptimizerChoice::ALL {
+        let p = AutoPilot::new(
+            AutopilotConfig::fast(5).with_budget(30).with_optimizer(optimizer),
+        );
+        let result = p.run(&UavSpec::mini(), &task);
+        assert!(
+            result.selection.is_some(),
+            "{} produced no selection",
+            optimizer.name()
+        );
+    }
+}
+
+#[test]
+fn mission_counts_are_physically_plausible() {
+    for uav in UavSpec::all() {
+        let result = pilot(9).run(&uav, &TaskSpec::navigation(ObstacleDensity::Medium));
+        if let Some(sel) = result.selection {
+            // Missions * mission energy must not exceed the battery.
+            let total = sel.missions.missions * sel.missions.mission_energy_j;
+            let battery = uav.battery_energy_j();
+            assert!(
+                (total - battery).abs() / battery < 1e-6,
+                "{}: energy accounting off ({total:.0} J vs battery {battery:.0} J)",
+                uav.name
+            );
+            // Rotors dominate the power budget (MAVBench observation).
+            assert!(sel.missions.rotor_power_fraction() > 0.5);
+        }
+    }
+}
+
+#[test]
+fn phase1_database_round_trips_through_json() {
+    let result = pilot(2).run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Low));
+    let json = result.database.to_json();
+    let restored = air_sim::AirLearningDatabase::from_json(&json).expect("round trip");
+    assert_eq!(result.database, restored);
+    assert_eq!(restored.len(), 27);
+}

@@ -1,0 +1,101 @@
+//! Cross-crate checks over the extension substrates: the event-driven
+//! systolic engine, the SPA pipeline, source seeking, batteries, and the
+//! export/preset helpers.
+
+use air_sim::source_seeking::SourceSeeker;
+use air_sim::spa::SpaAgent;
+use air_sim::ObstacleDensity;
+use policy_nn::{model_summary, PolicyHyperparams, PolicyModel};
+use systolic_sim::engine::execute_layer;
+use systolic_sim::{export, presets, ArrayConfig, Simulator};
+use uav_dynamics::{Battery, BrakingSim, F1Model, UavSpec};
+
+#[test]
+fn event_engine_validates_analytic_model_on_the_policy_network() {
+    // The whole dense-scenario policy, layer by layer, on the AP-class
+    // configuration: the two independent timing models must agree.
+    let model = PolicyModel::build(PolicyHyperparams::new(7, 48).unwrap());
+    let config = ArrayConfig::builder().rows(16).cols(16).build().unwrap();
+    let sim = Simulator::new(config.clone());
+    let mut analytic_total = 0u64;
+    let mut event_total = 0u64;
+    for layer in model.layers() {
+        analytic_total += sim.simulate_layer(layer).total_cycles;
+        event_total += execute_layer(&config, layer).total_cycles;
+    }
+    let ratio = event_total as f64 / analytic_total as f64;
+    assert!(
+        (0.8..=1.25).contains(&ratio),
+        "event {event_total} vs analytic {analytic_total} ({ratio:.2})"
+    );
+}
+
+#[test]
+fn csv_export_covers_the_policy_network() {
+    let model = PolicyModel::build(PolicyHyperparams::new(4, 32).unwrap());
+    let sim = Simulator::new(presets::edge_tpu_like());
+    let stats = sim.simulate_network(model.layers());
+    let csv = export::network_csv(&stats);
+    // Header + one row per layer + totals.
+    assert_eq!(csv.lines().count(), model.layers().len() + 2);
+}
+
+#[test]
+fn model_summary_matches_simulated_macs() {
+    let model = PolicyModel::build(PolicyHyperparams::new(5, 32).unwrap());
+    let summary = model_summary(&model);
+    let sim = Simulator::new(ArrayConfig::default());
+    let stats = sim.simulate_network(model.layers());
+    assert_eq!(stats.total_macs(), model.mac_count());
+    assert!(summary.contains("l5f32"));
+}
+
+#[test]
+fn spa_and_source_seeking_share_the_capacity_story() {
+    // Both alternative task formulations must improve (weakly) with model
+    // capacity, like the navigation trainer.
+    let small = PolicyModel::build(PolicyHyperparams::new(2, 32).unwrap());
+    let large = PolicyModel::build(PolicyHyperparams::new(10, 64).unwrap());
+    let miss = |m: &PolicyModel| air_sim::QTrainer::miss_probability(m);
+
+    let spa_small = SpaAgent::new(5, miss(&small)).evaluate(ObstacleDensity::Dense, 80);
+    let spa_large = SpaAgent::new(5, miss(&large)).evaluate(ObstacleDensity::Dense, 80);
+    assert!(spa_large.success_rate >= spa_small.success_rate);
+
+    let seek_small = SourceSeeker::for_model(5, &small).evaluate(ObstacleDensity::Dense, 150);
+    let seek_large = SourceSeeker::for_model(5, &large).evaluate(ObstacleDensity::Dense, 150);
+    assert!(seek_large.success_rate > seek_small.success_rate);
+}
+
+#[test]
+fn braking_sim_validates_f1_velocities_for_all_platforms() {
+    let sim = BrakingSim::new();
+    for uav in UavSpec::all() {
+        let f1 = F1Model::new(uav.clone(), 24.0, 60.0);
+        let t = f1.response_time_s(46.0);
+        let analytic = uav_dynamics::safe_velocity(
+            f1.payload().max_accel_ms2,
+            t,
+            uav.sensor_range_m,
+        );
+        let empirical = sim.max_safe_velocity(f1.payload().max_accel_ms2, t, uav.sensor_range_m);
+        assert!(
+            (analytic - empirical).abs() / analytic < 0.01,
+            "{}: {analytic:.2} vs {empirical:.2}",
+            uav.name
+        );
+    }
+}
+
+#[test]
+fn battery_derating_reduces_missions_consistently() {
+    // The ideal pack matches the spec's plate energy; a LiPo under a
+    // realistic mission load delivers (weakly) less.
+    for spec in UavSpec::all() {
+        let ideal = Battery::ideal(spec.battery_mah, spec.battery_v);
+        let lipo = Battery::lipo(spec.battery_mah, spec.battery_v);
+        assert!((ideal.rated_energy_j() - spec.battery_energy_j()).abs() < 1e-9);
+        let load = 6.0 * spec.battery_v * spec.battery_mah / 1000.0; // ~6C
+        assert!(lipo.usable_energy_j(load) <= ideal.usable_energy_j(load));
+    }
+}
