@@ -84,9 +84,7 @@ impl AirLearningDatabase {
         hyperparams: PolicyHyperparams,
         density: ObstacleDensity,
     ) -> Option<&PolicyRecord> {
-        self.records
-            .iter()
-            .find(|r| r.hyperparams == hyperparams && r.density == density)
+        self.records.iter().find(|r| r.hyperparams == hyperparams && r.density == density)
     }
 
     /// Validated success rate for a (hyperparams, density) pair.
@@ -110,13 +108,9 @@ impl AirLearningDatabase {
 
     /// The record with the highest success rate for a scenario.
     pub fn best_for(&self, density: ObstacleDensity) -> Option<&PolicyRecord> {
-        self.records_for(density)
-            .into_iter()
-            .max_by(|a, b| {
-                a.success_rate
-                    .partial_cmp(&b.success_rate)
-                    .expect("success rates are finite")
-            })
+        self.records_for(density).into_iter().max_by(|a, b| {
+            a.success_rate.partial_cmp(&b.success_rate).expect("success rates are finite")
+        })
     }
 
     /// Serializes the database to pretty JSON.

@@ -86,10 +86,7 @@ impl SourceSeeker {
                 for (dx, dy) in deltas {
                     let nx = pos.0 as i64 + dx;
                     let ny = pos.1 as i64 + dy;
-                    if nx < 0
-                        || ny < 0
-                        || arena.blocked(nx as isize, ny as isize)
-                    {
+                    if nx < 0 || ny < 0 || arena.blocked(nx as isize, ny as isize) {
                         continue;
                     }
                     let np = (nx as usize, ny as usize);

@@ -241,9 +241,7 @@ impl SpaAgent {
 
                 // Replan when we have no path or the next waypoint is now
                 // believed blocked.
-                let next_blocked = path
-                    .get(cursor + 1)
-                    .is_some_and(|&(x, y)| grid.blocked(x, y));
+                let next_blocked = path.get(cursor + 1).is_some_and(|&(x, y)| grid.blocked(x, y));
                 if path.is_empty() || cursor + 1 >= path.len() || next_blocked {
                     match astar(&grid, pos, arena.goal()) {
                         Some((p, expansions)) => {
@@ -338,11 +336,7 @@ mod tests {
     #[test]
     fn spa_agent_succeeds_with_good_perception() {
         let outcome = SpaAgent::new(3, 0.05).evaluate(ObstacleDensity::Low, 60);
-        assert!(
-            outcome.success_rate > 0.7,
-            "SPA success {:.2} too low",
-            outcome.success_rate
-        );
+        assert!(outcome.success_rate > 0.7, "SPA success {:.2} too low", outcome.success_rate);
         assert!(outcome.mean_workload.ops() > 0);
     }
 

@@ -187,12 +187,7 @@ fn goal_distance(arena: &Arena, pos: (usize, usize)) -> f64 {
 /// Encodes (bucketed goal bearing, perceived obstacle bitmask) into a
 /// state index. Each truly-blocked neighbour bit is missed with
 /// probability `miss`.
-fn encode_state(
-    arena: &Arena,
-    pos: (usize, usize),
-    miss: f64,
-    rng: &mut ChaCha12Rng,
-) -> usize {
+fn encode_state(arena: &Arena, pos: (usize, usize), miss: f64, rng: &mut ChaCha12Rng) -> usize {
     let (px, py) = (pos.0 as f64, pos.1 as f64);
     let (gx, gy) = (arena.goal().0 as f64, arena.goal().1 as f64);
     let n = arena.size() as f64;
@@ -205,8 +200,7 @@ fn encode_state(
     let by = bucket(gy - py);
     let mut mask = 0usize;
     for (i, (dx, dy)) in ACTIONS.iter().enumerate() {
-        let blocked =
-            arena.blocked(pos.0 as isize + *dx as isize, pos.1 as isize + *dy as isize);
+        let blocked = arena.blocked(pos.0 as isize + *dx as isize, pos.1 as isize + *dy as isize);
         if blocked && !rng.random_bool(miss) {
             mask |= 1 << i;
         }
@@ -283,7 +277,9 @@ mod tests {
 
     #[test]
     fn perception_improves_with_capacity() {
-        assert!(QTrainer::miss_probability(&model(10, 64)) < QTrainer::miss_probability(&model(2, 32)));
+        assert!(
+            QTrainer::miss_probability(&model(10, 64)) < QTrainer::miss_probability(&model(2, 32))
+        );
         let m = QTrainer::miss_probability(&model(7, 48));
         assert!((0.02..=0.45).contains(&m));
     }
@@ -293,11 +289,7 @@ mod tests {
         // A reasonable model in the easy scenario should clearly beat a
         // random walk (which almost never reaches the far wall).
         let outcome = fast_trainer(3).train(&model(5, 32), ObstacleDensity::Low);
-        assert!(
-            outcome.success_rate > 0.3,
-            "success {:.2} too low",
-            outcome.success_rate
-        );
+        assert!(outcome.success_rate > 0.3, "success {:.2} too low", outcome.success_rate);
     }
 
     #[test]
@@ -311,12 +303,7 @@ mod tests {
             small += fast_trainer(seed).train(&model(2, 32), ObstacleDensity::Dense).success_rate;
             large += fast_trainer(seed).train(&model(7, 48), ObstacleDensity::Dense).success_rate;
         }
-        assert!(
-            large > small,
-            "large {:.2} not better than small {:.2}",
-            large / 3.0,
-            small / 3.0
-        );
+        assert!(large > small, "large {:.2} not better than small {:.2}", large / 3.0, small / 3.0);
     }
 
     #[test]
@@ -351,8 +338,10 @@ mod debug_sweep {
                     rates.push(t.train(&model, density).success_rate);
                 }
                 let mean = rates.iter().sum::<f64>() / rates.len() as f64;
-                println!("l{l}f{f} {density} miss={:.2} mean={mean:.2} rates={rates:?}",
-                    QTrainer::miss_probability(&model));
+                println!(
+                    "l{l}f{f} {density} miss={:.2} mean={mean:.2} rates={rates:?}",
+                    QTrainer::miss_probability(&model)
+                );
             }
         }
     }

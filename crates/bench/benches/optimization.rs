@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dse_opt::pareto::hypervolume;
 use dse_opt::{
-    DesignSpace, Evaluator, GaussianProcess, MultiObjectiveOptimizer, Nsga2Optimizer,
-    RandomSearch, SmsEgoOptimizer,
+    DesignSpace, Evaluator, GaussianProcess, MultiObjectiveOptimizer, Nsga2Optimizer, RandomSearch,
+    SmsEgoOptimizer,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;

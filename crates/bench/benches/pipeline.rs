@@ -48,9 +48,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
             AutopilotConfig::fast(7).with_budget(30).with_optimizer(OptimizerChoice::Random),
         );
         b.iter(|| {
-            black_box(
-                pilot.run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Dense)),
-            )
+            black_box(pilot.run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Dense)))
         })
     });
     group.finish();

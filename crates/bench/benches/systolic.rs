@@ -11,9 +11,8 @@ fn bench_layers(c: &mut Criterion) {
     let conv = Layer::conv2d(96, 96, 48, 48, 3, 1, 1);
     let dense = Layer::dense(5632, 5632);
     for df in Dataflow::ALL {
-        let sim = Simulator::new(
-            ArrayConfig::builder().rows(32).cols(32).dataflow(df).build().unwrap(),
-        );
+        let sim =
+            Simulator::new(ArrayConfig::builder().rows(32).cols(32).dataflow(df).build().unwrap());
         group.bench_with_input(BenchmarkId::new("conv_96x96x48", df), &sim, |b, sim| {
             b.iter(|| black_box(sim.simulate_layer(black_box(&conv))))
         });

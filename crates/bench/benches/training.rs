@@ -22,20 +22,16 @@ fn bench_training(c: &mut Criterion) {
     group.sample_size(10);
     let model = PolicyModel::build(PolicyHyperparams::new(5, 32).unwrap());
     for episodes in [100usize, 400] {
-        group.bench_with_input(
-            BenchmarkId::new("train_low", episodes),
-            &episodes,
-            |b, &e| {
-                b.iter(|| {
-                    black_box(
-                        QTrainer::new(7)
-                            .with_episodes(e)
-                            .with_eval_episodes(50)
-                            .train(&model, ObstacleDensity::Low),
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("train_low", episodes), &episodes, |b, &e| {
+            b.iter(|| {
+                black_box(
+                    QTrainer::new(7)
+                        .with_episodes(e)
+                        .with_eval_episodes(50)
+                        .train(&model, ObstacleDensity::Low),
+                )
+            })
+        });
     }
     group.finish();
 }

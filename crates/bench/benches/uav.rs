@@ -9,11 +9,9 @@ fn bench_f1(c: &mut Criterion) {
     let mut group = c.benchmark_group("f1_model");
     for spec in UavSpec::all() {
         let f1 = F1Model::new(spec.clone(), 24.0, 60.0);
-        group.bench_with_input(
-            BenchmarkId::new("safe_velocity", &spec.name),
-            &f1,
-            |b, f1| b.iter(|| black_box(f1.safe_velocity(black_box(46.0)))),
-        );
+        group.bench_with_input(BenchmarkId::new("safe_velocity", &spec.name), &f1, |b, f1| {
+            b.iter(|| black_box(f1.safe_velocity(black_box(46.0))))
+        });
         group.bench_with_input(BenchmarkId::new("knee_fps", &spec.name), &f1, |b, f1| {
             b.iter(|| black_box(f1.knee_fps()))
         });

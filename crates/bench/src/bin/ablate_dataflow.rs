@@ -1,5 +1,8 @@
 //! Reproduction binary for the dataflow ablation.
 
 fn main() {
-    autopilot_bench::emit("ablate_dataflow.txt", &autopilot_bench::experiments::ablations::run_dataflows());
+    autopilot_bench::emit(
+        "ablate_dataflow.txt",
+        &autopilot_bench::experiments::ablations::run_dataflows(),
+    );
 }

@@ -1,5 +1,8 @@
 //! Reproduction binary for the optimizer-choice ablation.
 
 fn main() {
-    autopilot_bench::emit("ablate_optimizers.txt", &autopilot_bench::experiments::ablations::run_optimizers(120));
+    autopilot_bench::emit(
+        "ablate_optimizers.txt",
+        &autopilot_bench::experiments::ablations::run_optimizers(120),
+    );
 }

@@ -1,5 +1,8 @@
 //! Reproduction binary for the Phase-3 on/off ablation.
 
 fn main() {
-    autopilot_bench::emit("ablate_phase3.txt", &autopilot_bench::experiments::ablations::run_phase3());
+    autopilot_bench::emit(
+        "ablate_phase3.txt",
+        &autopilot_bench::experiments::ablations::run_phase3(),
+    );
 }

@@ -1,5 +1,8 @@
 //! Reproduction binary for the surrogate-vs-trained success model ablation.
 
 fn main() {
-    autopilot_bench::emit("ablate_success_models.txt", &autopilot_bench::experiments::ablations::run_success_models(600));
+    autopilot_bench::emit(
+        "ablate_success_models.txt",
+        &autopilot_bench::experiments::ablations::run_success_models(600),
+    );
 }

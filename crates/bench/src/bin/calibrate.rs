@@ -14,7 +14,14 @@ fn main() {
     let ev = DssocEvaluator::new(db, ObstacleDensity::Dense);
 
     let mut table = TextTable::new(vec![
-        "pe", "sram_kb", "fps", "latency_ms", "soc_avg_w", "tdp_w", "payload_g", "fps_per_w",
+        "pe",
+        "sram_kb",
+        "fps",
+        "latency_ms",
+        "soc_avg_w",
+        "tdp_w",
+        "payload_g",
+        "fps_per_w",
     ]);
     // Fixed dense-scenario policy (7 layers, 48 filters), sweep hardware.
     let mut min_fps = f64::INFINITY;

@@ -1,5 +1,8 @@
 //! Reproduction binary for Fig. 2b cross-check on the Q-learning substrate.
 
 fn main() {
-    autopilot_bench::emit("fig2b_trained.txt", &autopilot_bench::experiments::fig2b::run_trained(600));
+    autopilot_bench::emit(
+        "fig2b_trained.txt",
+        &autopilot_bench::experiments::fig2b::run_trained(600),
+    );
 }

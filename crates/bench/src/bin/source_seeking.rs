@@ -9,16 +9,11 @@ use autopilot_bench::TextTable;
 use policy_nn::{PolicyHyperparams, PolicyModel};
 
 fn main() {
-    let mut table = TextTable::new(vec![
-        "model", "params(M)", "low", "medium", "dense",
-    ]);
+    let mut table = TextTable::new(vec!["model", "params(M)", "low", "medium", "dense"]);
     for (l, f) in [(2, 32), (3, 32), (5, 32), (4, 48), (7, 48), (10, 64)] {
         let hyper = PolicyHyperparams::new(l, f).expect("in space");
         let model = PolicyModel::build(hyper);
-        let mut cells = vec![
-            hyper.id(),
-            format!("{:.1}", model.parameter_count() as f64 / 1e6),
-        ];
+        let mut cells = vec![hyper.id(), format!("{:.1}", model.parameter_count() as f64 / 1e6)];
         for density in ObstacleDensity::ALL {
             let out = SourceSeeker::for_model(7, &model).evaluate(density, 300);
             cells.push(format!("{:.0}%", out.success_rate * 100.0));

@@ -6,8 +6,13 @@ use autopilot_bench::TextTable;
 
 fn main() {
     let mut table = TextTable::new(vec![
-        "domain", "paradigm", "phase 1 front end", "phase 2 HW templates", "phase 2 optimizers",
-        "phase 3 back end", "here?",
+        "domain",
+        "paradigm",
+        "phase 1 front end",
+        "phase 2 HW templates",
+        "phase 2 optimizers",
+        "phase 3 back end",
+        "here?",
     ]);
     for row in taxonomy() {
         table.row(vec![

@@ -1,15 +1,118 @@
-//! Timing probe for one paper-configuration AutoPilot run (not part of
-//! the experiment set; used to budget the reproduction binaries).
+//! Timing probe for the Phase-2 evaluation engine (not part of the
+//! experiment set; used to budget the reproduction binaries and to track
+//! the cache/parallelism speedups).
+//!
+//! Emits `results/BENCH_phase2.json` with wall-clock numbers for the
+//! paper-configuration dense-scenario DSE:
+//!
+//! - `phase2_parallel_s` — default worker count,
+//! - `phase2_sequential_s` — pinned to one worker,
+//! - `reeval_history_s` — one uncached `evaluate_design` pass over the
+//!   history (the redundant work the memoized candidate path removed;
+//!   the pre-cache implementation paid it on top of the DSE itself),
+//! - `gp_every_iteration_s` / `gp_milestones_s` — the surrogate-refit
+//!   schedules of the pre-incremental engine (full O(n³) fit per
+//!   objective per iteration) and the current engine (milestone refits +
+//!   O(n²) Cholesky extensions), replayed over the same history,
+//! - `uncached_baseline_s` — sequential time plus the re-evaluation pass
+//!   plus the GP-schedule difference: a faithful reconstruction of the
+//!   pre-optimization sequential implementation,
+//!
+//! plus the candidate-cache hit-rate and a full end-to-end pipeline run.
 
-use air_sim::ObstacleDensity;
-use autopilot::{AutoPilot, AutopilotConfig, TaskSpec};
+use air_sim::{AirLearningDatabase, ObstacleDensity};
+use autopilot::{AutoPilot, AutopilotConfig, DssocEvaluator, Phase1, Phase2, TaskSpec};
 use std::time::Instant;
 use uav_dynamics::UavSpec;
 
 fn main() {
+    let config = AutopilotConfig::paper(7);
+    let density = ObstacleDensity::Dense;
+
+    // Phase-1 database once; the probe isolates Phase-2 cost.
+    let mut db = AirLearningDatabase::new();
+    Phase1::new(config.success_model, config.seed).populate(density, &mut db);
+    let evaluator = DssocEvaluator::new(db.clone(), density);
+
+    let workers = dse_opt::par::worker_count();
+    let phase2 = Phase2::new(config.optimizer, config.phase2_budget, config.seed);
+
+    let t = Instant::now();
+    let par_out = phase2.run(&evaluator);
+    let phase2_parallel_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let seq_out = phase2.clone().with_threads(1).run(&evaluator);
+    let phase2_sequential_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        par_out.result, seq_out.result,
+        "optimizer output must be bit-identical across thread counts"
+    );
+
+    // The pre-cache Phase 2 re-ran the simulator over the whole history a
+    // second time while assembling candidates; measure that pass.
+    let t = Instant::now();
+    for e in &seq_out.result.evaluations {
+        std::hint::black_box(evaluator.evaluate_design(&e.point));
+    }
+    let reeval_history_s = t.elapsed().as_secs_f64();
+
+    // The pre-incremental engine refit every GP from scratch each
+    // iteration (O(n^3) per objective); the current engine extends the
+    // Cholesky factor and only refits at milestone growths. Replay both
+    // schedules over the actual run history to cost the difference.
+    let space = autopilot::JointSpace::design_space();
+    let xs: Vec<Vec<f64>> =
+        seq_out.result.evaluations.iter().map(|e| space.encode(&e.point)).collect();
+    let ys: Vec<Vec<f64>> = (0..3)
+        .map(|k| seq_out.result.evaluations.iter().map(|e| e.objectives[k]).collect())
+        .collect();
+    let fit_all_at = |n: usize| {
+        for y in &ys {
+            std::hint::black_box(dse_opt::GaussianProcess::fit(&xs[..n], &y[..n]));
+        }
+    };
+    let init = 16.min(xs.len());
+    let t = Instant::now();
+    for n in init..=xs.len() {
+        fit_all_at(n);
+    }
+    let gp_every_iteration_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let mut n = init;
+    while n <= xs.len() {
+        fit_all_at(n);
+        n += (n / 4).max(4);
+    }
+    let gp_milestones_s = t.elapsed().as_secs_f64();
+    let gp_savings_s = (gp_every_iteration_s - gp_milestones_s).max(0.0);
+
+    let uncached_baseline_s = phase2_sequential_s + reeval_history_s + gp_savings_s;
+
+    let stats = &seq_out.cache_stats;
+    let json = format!(
+        "{{\n  \"budget\": {},\n  \"optimizer\": \"{:?}\",\n  \"workers\": {},\n  \"phase2_parallel_s\": {:.6},\n  \"phase2_sequential_s\": {:.6},\n  \"reeval_history_s\": {:.6},\n  \"gp_every_iteration_s\": {:.6},\n  \"gp_milestones_s\": {:.6},\n  \"uncached_baseline_s\": {:.6},\n  \"speedup_single_thread\": {:.3},\n  \"speedup_parallel\": {:.3},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_hit_rate\": {:.4},\n  \"bit_identical_across_threads\": true\n}}\n",
+        config.phase2_budget,
+        config.optimizer,
+        workers,
+        phase2_parallel_s,
+        phase2_sequential_s,
+        reeval_history_s,
+        gp_every_iteration_s,
+        gp_milestones_s,
+        uncached_baseline_s,
+        uncached_baseline_s / phase2_sequential_s,
+        uncached_baseline_s / phase2_parallel_s,
+        stats.hits,
+        stats.misses,
+        stats.hit_rate(),
+        );
+    autopilot_bench::emit("BENCH_phase2.json", &json);
+
+    // End-to-end sanity run (full pipeline, nano UAV).
     let t0 = Instant::now();
-    let pilot = AutoPilot::new(AutopilotConfig::paper(7));
-    let result = pilot.run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Dense));
+    let pilot = AutoPilot::new(config);
+    let result = pilot.run(&UavSpec::nano(), &TaskSpec::navigation(density));
     let sel = result.selection.expect("selection");
     println!(
         "paper-config run: {:?} | {} evals | selected {} {}x{} @ {:.0} MHz -> {:.1} FPS, {:.2} W tdp, {:.1} g, {:.1} missions (knee {:?})",

@@ -8,7 +8,11 @@ use uav_dynamics::{BrakingSim, F1Model, UavSpec};
 fn main() {
     let sim = BrakingSim::new();
     let mut table = TextTable::new(vec![
-        "uav", "pipeline_fps", "analytic v_safe", "simulated v_max", "rel err",
+        "uav",
+        "pipeline_fps",
+        "analytic v_safe",
+        "simulated v_max",
+        "rel err",
     ]);
     let mut worst: f64 = 0.0;
     for uav in UavSpec::all() {

@@ -64,10 +64,8 @@ pub fn run_optimizers(budget: usize) -> String {
             .collect()
     };
     let pooled_norm: Vec<Vec<f64>> = pooled.iter().map(normalize).collect();
-    let reference_front: Vec<Vec<f64>> = pareto_indices(&pooled_norm)
-        .into_iter()
-        .map(|i| pooled_norm[i].clone())
-        .collect();
+    let reference_front: Vec<Vec<f64>> =
+        pareto_indices(&pooled_norm).into_iter().map(|i| pooled_norm[i].clone()).collect();
     let reference_point = vec![1.1; dims];
 
     let mut table = TextTable::new(vec![
@@ -270,12 +268,8 @@ mod tests {
 /// and replanning on a general-purpose core.
 pub fn run_paradigms(episodes: usize) -> String {
     use air_sim::spa::SpaAgent;
-    let mut table = TextTable::new(vec![
-        "paradigm",
-        "scenario",
-        "success",
-        "per-decision workload",
-    ]);
+    let mut table =
+        TextTable::new(vec!["paradigm", "scenario", "success", "per-decision workload"]);
     let model = PolicyModel::build(PolicyHyperparams::new(7, 48).expect("in space"));
     let miss = QTrainer::miss_probability(&model);
     for density in [ObstacleDensity::Low, ObstacleDensity::Dense] {

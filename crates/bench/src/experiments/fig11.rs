@@ -14,11 +14,7 @@ pub fn run() -> String {
     let spark = F1Model::new(UavSpec::micro(), payload, 60.0);
     let nano = F1Model::new(UavSpec::nano(), payload, 60.0);
 
-    let mut curve = TextTable::new(vec![
-        "throughput_fps",
-        "v_safe DJI Spark",
-        "v_safe nano-UAV",
-    ]);
+    let mut curve = TextTable::new(vec!["throughput_fps", "v_safe DJI Spark", "v_safe nano-UAV"]);
     for f in [2.0, 5.0, 10.0, 15.0, 20.0, 27.0, 35.0, 46.0, 60.0] {
         curve.row(vec![
             format!("{f:.0}"),
@@ -34,10 +30,9 @@ pub fn run() -> String {
     let spark_sel = super::run_scenario(&UavSpec::micro(), ObstacleDensity::Dense).selection;
     let nano_sel = super::run_scenario(&UavSpec::nano(), ObstacleDensity::Dense).selection;
     let mut picks = TextTable::new(vec!["uav", "knee_fps", "selected_fps", "provisioning"]);
-    for (name, knee, sel) in [
-        ("DJI Spark", spark_knee, spark_sel),
-        ("nano-UAV", nano_knee, nano_sel),
-    ] {
+    for (name, knee, sel) in
+        [("DJI Spark", spark_knee, spark_sel), ("nano-UAV", nano_knee, nano_sel)]
+    {
         if let Some(s) = sel {
             picks.row(vec![
                 name.to_owned(),

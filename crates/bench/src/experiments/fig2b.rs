@@ -15,17 +15,13 @@ use crate::TextTable;
 /// Regenerates the Fig. 2b series (surrogate success model).
 pub fn run() -> String {
     let surrogate = SuccessSurrogate::paper_calibrated();
-    let mut table = TextTable::new(vec![
-        "model", "params(M)", "macs(M)", "low", "medium", "dense",
-    ]);
+    let mut table = TextTable::new(vec!["model", "params(M)", "macs(M)", "low", "medium", "dense"]);
     let mut min_s = f64::INFINITY;
     let mut max_s: f64 = 0.0;
     for hyper in PolicyHyperparams::enumerate() {
         let model = PolicyModel::build(hyper);
-        let rates: Vec<f64> = ObstacleDensity::ALL
-            .iter()
-            .map(|&d| surrogate.success_rate(&model, d))
-            .collect();
+        let rates: Vec<f64> =
+            ObstacleDensity::ALL.iter().map(|&d| surrogate.success_rate(&model, d)).collect();
         for &r in &rates {
             min_s = min_s.min(r);
             max_s = max_s.max(r);
@@ -60,10 +56,7 @@ pub fn run_trained(episodes: usize) -> String {
     for (l, f) in [(2, 32), (4, 48), (5, 32), (7, 48), (10, 64)] {
         let hyper = PolicyHyperparams::new(l, f).expect("in space");
         let model = PolicyModel::build(hyper);
-        let mut cells = vec![
-            hyper.id(),
-            format!("{:.1}", model.parameter_count() as f64 / 1e6),
-        ];
+        let mut cells = vec![hyper.id(), format!("{:.1}", model.parameter_count() as f64 / 1e6)];
         for density in ObstacleDensity::ALL {
             // Mean over three seeds to damp RL variance.
             let mean: f64 = (0..3)

@@ -31,12 +31,10 @@ pub fn run() -> String {
             }
         }
     }
-    let pareto: std::collections::HashSet<usize> =
-        pareto_indices(&objs).into_iter().collect();
+    let pareto: std::collections::HashSet<usize> = pareto_indices(&objs).into_iter().collect();
 
-    let mut table = TextTable::new(vec![
-        "pe", "sram_kb", "latency_ms", "fps", "soc_avg_w", "tdp_w", "pareto",
-    ]);
+    let mut table =
+        TextTable::new(vec!["pe", "sram_kb", "latency_ms", "fps", "soc_avg_w", "tdp_w", "pareto"]);
     for (i, c) in points.iter().enumerate() {
         // Keep the report readable: print Pareto points plus the corners.
         let corner = c.config.rows() == c.config.cols()

@@ -17,67 +17,82 @@ use crate::{ratio, TextTable};
 /// Regenerates Fig. 5 (all nine scenario groups).
 pub fn run() -> String {
     let mut table = TextTable::new(vec![
-        "scenario", "platform", "fps", "payload_g", "power_w", "v_safe", "missions", "vs AP",
+        "scenario",
+        "platform",
+        "fps",
+        "payload_g",
+        "power_w",
+        "v_safe",
+        "missions",
+        "vs AP",
     ]);
     let mut out = String::from(
         "Fig. 5: missions per battery charge, AutoPilot vs general-purpose platforms\n\n",
     );
     let mut class_gains: Vec<(String, Vec<f64>)> = Vec::new();
 
-    for uav in UavSpec::all() {
-        let mut gains = Vec::new();
-        for density in ObstacleDensity::ALL {
-            let label = super::scenario_label(&uav, density);
-            let result = super::run_scenario(&uav, density);
-            let task = TaskSpec::navigation(density);
-            let Some(sel) = result.selection else {
-                table.row(vec![
-                    label.clone(),
-                    "AutoPilot".to_owned(),
-                    "-".to_owned(),
-                    "-".to_owned(),
-                    "-".to_owned(),
-                    "-".to_owned(),
-                    "0 (no flyable design)".to_owned(),
-                    "-".to_owned(),
-                ]);
-                continue;
-            };
-            let ap = sel.missions.missions;
+    // All nine pipelines share the scenario cache and fan out across the
+    // evaluation engine's workers; results come back in input order.
+    let pairs: Vec<(UavSpec, ObstacleDensity)> = UavSpec::all()
+        .into_iter()
+        .flat_map(|uav| ObstacleDensity::ALL.iter().map(move |&d| (uav.clone(), d)))
+        .collect();
+    let results = super::run_scenarios(&pairs);
+
+    for ((uav, density), result) in pairs.iter().zip(results) {
+        let class = uav.class.to_string();
+        if class_gains.last().map(|(c, _)| c != &class).unwrap_or(true) {
+            class_gains.push((class, Vec::new()));
+        }
+        let gains = &mut class_gains.last_mut().expect("class entry just pushed").1;
+
+        let label = super::scenario_label(uav, *density);
+        let task = TaskSpec::navigation(*density);
+        let Some(sel) = result.selection else {
             table.row(vec![
                 label.clone(),
                 "AutoPilot".to_owned(),
-                format!("{:.0}", sel.candidate.fps),
-                format!("{:.1}", sel.candidate.payload_g),
-                format!("{:.2}", sel.candidate.soc_avg_w),
-                format!("{:.2}", sel.missions.v_safe_ms),
-                format!("{:.1}", ap),
-                "1.00x".to_owned(),
+                "-".to_owned(),
+                "-".to_owned(),
+                "-".to_owned(),
+                "-".to_owned(),
+                "0 (no flyable design)".to_owned(),
+                "-".to_owned(),
             ]);
+            continue;
+        };
+        let ap = sel.missions.missions;
+        table.row(vec![
+            label.clone(),
+            "AutoPilot".to_owned(),
+            format!("{:.0}", sel.candidate.fps),
+            format!("{:.1}", sel.candidate.payload_g),
+            format!("{:.2}", sel.candidate.soc_avg_w),
+            format!("{:.2}", sel.missions.v_safe_ms),
+            format!("{:.1}", ap),
+            "1.00x".to_owned(),
+        ]);
 
-            let model = PolicyModel::build(sel.candidate.policy);
-            let mut baseline_missions = Vec::new();
-            for board in BaselineBoard::figure5_set() {
-                let eval = board.evaluate(&uav, &task, &model);
-                baseline_missions.push(eval.missions.missions);
-                table.row(vec![
-                    label.clone(),
-                    board.name.clone(),
-                    format!("{:.0}", eval.fps),
-                    format!("{:.1}", board.weight_g),
-                    format!("{:.2}", board.power_w),
-                    format!("{:.2}", eval.missions.v_safe_ms),
-                    format!("{:.1}", eval.missions.missions),
-                    ratio(eval.missions.missions, ap),
-                ]);
-            }
-            let mean =
-                baseline_missions.iter().sum::<f64>() / baseline_missions.len() as f64;
-            if mean > 0.0 {
-                gains.push(ap / mean);
-            }
+        let model = PolicyModel::build(sel.candidate.policy);
+        let mut baseline_missions = Vec::new();
+        for board in BaselineBoard::figure5_set() {
+            let eval = board.evaluate(uav, &task, &model);
+            baseline_missions.push(eval.missions.missions);
+            table.row(vec![
+                label.clone(),
+                board.name.clone(),
+                format!("{:.0}", eval.fps),
+                format!("{:.1}", board.weight_g),
+                format!("{:.2}", board.power_w),
+                format!("{:.2}", eval.missions.v_safe_ms),
+                format!("{:.1}", eval.missions.missions),
+                ratio(eval.missions.missions, ap),
+            ]);
         }
-        class_gains.push((uav.class.to_string(), gains));
+        let mean = baseline_missions.iter().sum::<f64>() / baseline_missions.len() as f64;
+        if mean > 0.0 {
+            gains.push(ap / mean);
+        }
     }
 
     out.push_str(&table.render());

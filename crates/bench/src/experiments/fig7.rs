@@ -34,12 +34,8 @@ pub fn labelled_designs() -> LabelledDesigns {
     // Restrict HT/LP/HE to candidates meeting the same success band AP was
     // chosen from, mirroring the paper (all four run the same policy).
     let best_success = result.phase2.best_success();
-    let eligible: Vec<&DesignCandidate> = result
-        .phase2
-        .candidates
-        .iter()
-        .filter(|c| c.success_rate >= best_success - 0.02)
-        .collect();
+    let eligible: Vec<&DesignCandidate> =
+        result.phase2.candidates.iter().filter(|c| c.success_rate >= best_success - 0.02).collect();
     let pick = |score: &dyn Fn(&DesignCandidate) -> f64| -> DesignCandidate {
         (*eligible
             .iter()
@@ -92,8 +88,17 @@ pub fn run() -> String {
     let uav = UavSpec::nano();
     let designs = labelled_designs();
     let mut table = TextTable::new(vec![
-        "design", "policy", "pe", "sram(i/f/o KB)", "clk_mhz", "fps", "avg_w", "tdp_w",
-        "payload_g", "fps_per_w", "v_safe",
+        "design",
+        "policy",
+        "pe",
+        "sram(i/f/o KB)",
+        "clk_mhz",
+        "fps",
+        "avg_w",
+        "tdp_w",
+        "payload_g",
+        "fps_per_w",
+        "v_safe",
     ]);
     design_row(&mut table, "HT", &designs.ht, &uav);
     design_row(&mut table, "LP", &designs.lp, &uav);

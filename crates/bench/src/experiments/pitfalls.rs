@@ -17,7 +17,13 @@ fn compare(name: &str, rival: &DesignCandidate, designs: &LabelledDesigns, paper
     let rival_missions = Phase3::mission_report(&uav, &task, rival);
 
     let mut table = TextTable::new(vec![
-        "design", "fps", "tdp_w", "payload_g", "v_safe", "missions", "provisioning",
+        "design",
+        "fps",
+        "tdp_w",
+        "payload_g",
+        "v_safe",
+        "missions",
+        "provisioning",
     ]);
     for (label, c) in [("AP", ap), (name, rival)] {
         let f1 = F1Model::new(uav.clone(), c.payload_g, task.sensor_fps);

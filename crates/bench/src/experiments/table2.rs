@@ -18,16 +18,8 @@ pub fn run() -> String {
         "# Filter".to_owned(),
         format!("{FILTER_CHOICES:?}"),
     ]);
-    table.row(vec![
-        "Hardware".to_owned(),
-        "# PE Row".to_owned(),
-        format!("{PE_CHOICES:?}"),
-    ]);
-    table.row(vec![
-        "Hardware".to_owned(),
-        "# PE Column".to_owned(),
-        format!("{PE_CHOICES:?}"),
-    ]);
+    table.row(vec!["Hardware".to_owned(), "# PE Row".to_owned(), format!("{PE_CHOICES:?}")]);
+    table.row(vec!["Hardware".to_owned(), "# PE Column".to_owned(), format!("{PE_CHOICES:?}")]);
     table.row(vec![
         "Hardware".to_owned(),
         "IFMAP/Filter/OFMAP SRAM (KB)".to_owned(),

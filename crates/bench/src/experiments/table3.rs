@@ -29,9 +29,8 @@ pub fn run() -> String {
         }
     }
 
-    let mut table = TextTable::new(vec![
-        "component", "name", "peak power", "throughput", "parameters",
-    ]);
+    let mut table =
+        TextTable::new(vec!["component", "name", "peak power", "throughput", "parameters"]);
     table.row(vec![
         "ULP MCU".to_owned(),
         "2x Cortex-M (ARMv8-M)".to_owned(),

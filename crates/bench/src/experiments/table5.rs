@@ -27,12 +27,14 @@ pub fn run() -> String {
     let uav = UavSpec::mini();
     let task = TaskSpec::navigation(ObstacleDensity::Medium);
 
-    // Scenario-specific selections.
+    // Scenario-specific selections, fanned out through the shared
+    // scenario cache (pure hits when fig. 5 already ran this process).
+    let pairs: Vec<(UavSpec, ObstacleDensity)> =
+        ObstacleDensity::ALL.iter().map(|&d| (uav.clone(), d)).collect();
     let mut selections: Vec<(ObstacleDensity, DesignCandidate)> = Vec::new();
-    for density in ObstacleDensity::ALL {
-        let result = super::run_scenario(&uav, density);
+    for ((_, density), result) in pairs.iter().zip(super::run_scenarios(&pairs)) {
         if let Some(sel) = result.selection {
-            selections.push((density, sel.candidate));
+            selections.push((*density, sel.candidate));
         }
     }
     let medium = selections
@@ -53,12 +55,8 @@ pub fn run() -> String {
         TextTable::new(vec!["design", "fps", "payload_g", "missions", "degradation", "comment"]);
     for (density, c) in &selections {
         // Reuse the hardware, run the deployment policy on it.
-        let reused = ev.evaluate_config(
-            c.point.clone(),
-            deployment_policy,
-            c.config.clone(),
-            TechNode::N28,
-        );
+        let reused =
+            ev.evaluate_config(c.point.clone(), deployment_policy, c.config.clone(), TechNode::N28);
         let missions = Phase3::mission_report(&uav, &task, &reused).missions;
         let degradation = (1.0 - missions / reference).max(0.0) * 100.0;
         let f1 = F1Model::new(uav.clone(), reused.payload_g, task.sensor_fps);

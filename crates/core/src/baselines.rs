@@ -112,7 +112,12 @@ impl BaselineBoard {
 
     /// Full-system mission evaluation of this board flying `model` on
     /// `uav`.
-    pub fn evaluate(&self, uav: &UavSpec, task: &TaskSpec, model: &PolicyModel) -> BaselineEvaluation {
+    pub fn evaluate(
+        &self,
+        uav: &UavSpec,
+        task: &TaskSpec,
+        model: &PolicyModel,
+    ) -> BaselineEvaluation {
         let fps = self.fps(model);
         let f1 = F1Model::new(uav.clone(), self.weight_g, task.sensor_fps);
         let v_safe = f1.safe_velocity(fps);

@@ -50,9 +50,7 @@ fn parse_args() -> Result<Option<Args>, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -89,9 +87,8 @@ fn parse_args() -> Result<Option<Args>, String> {
                 }
             }
             "--budget" => {
-                args.budget = value("--budget")?
-                    .parse()
-                    .map_err(|e| format!("bad --budget: {e}"))?
+                args.budget =
+                    value("--budget")?.parse().map_err(|e| format!("bad --budget: {e}"))?
             }
             "--optimizer" => {
                 args.optimizer = match value("--optimizer")?.as_str() {
@@ -103,13 +100,11 @@ fn parse_args() -> Result<Option<Args>, String> {
                 }
             }
             "--seed" => {
-                args.seed =
-                    value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?
+                args.seed = value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?
             }
             "--sensor-fps" => {
-                args.sensor_fps = value("--sensor-fps")?
-                    .parse()
-                    .map_err(|e| format!("bad --sensor-fps: {e}"))?
+                args.sensor_fps =
+                    value("--sensor-fps")?.parse().map_err(|e| format!("bad --sensor-fps: {e}"))?
             }
             "--json" => args.json_path = Some(value("--json")?),
             other => return Err(format!("unknown flag '{other}' (try --help)")),

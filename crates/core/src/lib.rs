@@ -52,9 +52,11 @@ pub mod taxonomy;
 pub use baselines::{BaselineBoard, BaselineEvaluation};
 pub use error::AutopilotError;
 pub use phase1::{Phase1, SuccessModel};
-pub use phase2::{DesignCandidate, DssocEvaluator, OptimizerChoice, Phase2, Phase2Output};
+pub use phase2::{
+    CandidateCache, DesignCandidate, DssocEvaluator, OptimizerChoice, Phase2, Phase2Output,
+};
 pub use phase3::{FineTuning, Phase3, Phase3Selection};
-pub use pipeline::{AutoPilot, AutopilotConfig, AutopilotResult};
+pub use pipeline::{AutoPilot, AutopilotConfig, AutopilotResult, PipelineCache};
 pub use report::{CandidateSummary, RunSummary};
 pub use space::{JointSpace, PE_CHOICES, SRAM_KB_CHOICES};
 pub use spec::TaskSpec;

@@ -1,8 +1,7 @@
 //! Phase 1: domain-specific front end (policy training & validation).
 
 use air_sim::{
-    AirLearningDatabase, ObstacleDensity, PolicyRecord, QTrainer, SuccessSurrogate,
-    TrainingMethod,
+    AirLearningDatabase, ObstacleDensity, PolicyRecord, QTrainer, SuccessSurrogate, TrainingMethod,
 };
 use policy_nn::{PolicyHyperparams, PolicyModel};
 use serde::{Deserialize, Serialize};
@@ -108,18 +107,12 @@ mod tests {
     fn qlearning_mode_records_real_outcomes() {
         let mut db = AirLearningDatabase::new();
         // A minimal budget just to exercise the path.
-        let phase1 = Phase1::new(
-            SuccessModel::QLearning { episodes: 30, eval_episodes: 20 },
-            3,
-        );
+        let phase1 = Phase1::new(SuccessModel::QLearning { episodes: 30, eval_episodes: 20 }, 3);
         // Populate only one density to keep the test fast; full-space
         // Q-learning runs live in the benches.
         phase1.populate(ObstacleDensity::Low, &mut db);
         assert_eq!(db.len(), 27);
-        assert!(db
-            .records()
-            .iter()
-            .all(|r| r.method == TrainingMethod::QLearning));
+        assert!(db.records().iter().all(|r| r.method == TrainingMethod::QLearning));
     }
 
     #[test]

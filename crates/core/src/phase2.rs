@@ -2,12 +2,15 @@
 
 use air_sim::{AirLearningDatabase, ObstacleDensity, SuccessSurrogate};
 use dse_opt::{
-    AnnealingOptimizer, Evaluator, MultiObjectiveOptimizer, Nsga2Optimizer, OptimizationResult,
-    RandomSearch, SmsEgoOptimizer,
+    AnnealingOptimizer, CacheStats, Evaluator, MultiObjectiveOptimizer, Nsga2Optimizer,
+    OptimizationResult, RandomSearch, SmsEgoOptimizer,
 };
 use policy_nn::{PolicyHyperparams, PolicyModel};
 use serde::{Deserialize, Serialize};
 use soc_power::SocPowerModel;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use systolic_sim::{ArrayConfig, Simulator};
 
 use crate::space::JointSpace;
@@ -81,15 +84,14 @@ impl DssocEvaluator {
     }
 
     /// The policy with the highest Phase-1 success rate for this
-    /// scenario.
+    /// scenario. Each policy's success rate is computed once, not once
+    /// per pairwise comparison.
     pub fn best_policy(&self) -> PolicyHyperparams {
         PolicyHyperparams::enumerate()
             .into_iter()
-            .max_by(|a, b| {
-                self.success_rate(*a)
-                    .partial_cmp(&self.success_rate(*b))
-                    .expect("success rates are finite")
-            })
+            .map(|h| (h, self.success_rate(h)))
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("success rates are finite"))
+            .map(|(h, _)| h)
             .expect("non-empty policy space")
     }
 
@@ -175,23 +177,135 @@ pub struct DesignCandidate {
     pub efficiency_fps_per_w: f64,
 }
 
+/// Thread-safe memoization of full design-point evaluations
+/// (point → [`DesignCandidate`]).
+///
+/// A candidate is a deterministic function of the point for a fixed
+/// evaluator (database, scenario, power model), so one cache must only
+/// ever be fed by evaluators of the same scenario — [`Phase2::run`]
+/// creates a private cache, and the pipeline-level cache keys by
+/// scenario. The lock is not held across simulator runs, so parallel
+/// optimizer workers evaluate distinct points concurrently.
+#[derive(Debug, Default)]
+pub struct CandidateCache {
+    map: Mutex<HashMap<Vec<usize>, DesignCandidate>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl CandidateCache {
+    /// Creates an empty cache.
+    pub fn new() -> CandidateCache {
+        CandidateCache::default()
+    }
+
+    /// Returns the candidate for `point`, running the full evaluation
+    /// (systolic simulation + power models + success lookup) only on the
+    /// first request.
+    pub fn evaluate(&self, evaluator: &DssocEvaluator, point: &[usize]) -> DesignCandidate {
+        if let Some(c) = self.map.lock().expect("cache lock poisoned").get(point) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return c.clone();
+        }
+        let c = evaluator.evaluate_design(point);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .lock()
+            .expect("cache lock poisoned")
+            .entry(point.to_vec())
+            .or_insert_with(|| c.clone());
+        c
+    }
+
+    /// The cached candidate for `point`, if any (does not count toward
+    /// hit/miss statistics).
+    pub fn get(&self, point: &[usize]) -> Option<DesignCandidate> {
+        self.map.lock().expect("cache lock poisoned").get(point).cloned()
+    }
+
+    /// Snapshots hit/miss/entry counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("cache lock poisoned").len(),
+        }
+    }
+
+    /// Number of distinct points cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock poisoned").len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Adapter exposing a [`CandidateCache`]-backed [`DssocEvaluator`] to the
+/// optimizers: objective vectors are derived from cached candidates, so
+/// the simulator runs at most once per design point.
+struct CachingEvaluator<'a> {
+    inner: &'a DssocEvaluator,
+    cache: &'a CandidateCache,
+}
+
+impl Evaluator for CachingEvaluator<'_> {
+    fn num_objectives(&self) -> usize {
+        self.inner.num_objectives()
+    }
+
+    fn evaluate(&self, point: &[usize]) -> Vec<f64> {
+        let c = self.cache.evaluate(self.inner, point);
+        vec![1.0 - c.success_rate, c.soc_avg_w, c.latency_s]
+    }
+
+    fn reference_point(&self) -> Vec<f64> {
+        self.inner.reference_point()
+    }
+}
+
 /// Phase-2 configuration and runner.
 #[derive(Debug, Clone)]
 pub struct Phase2 {
     optimizer: OptimizerChoice,
     budget: usize,
     seed: u64,
+    threads: Option<usize>,
 }
 
 impl Phase2 {
     /// Creates a Phase-2 runner.
     pub fn new(optimizer: OptimizerChoice, budget: usize, seed: u64) -> Phase2 {
-        Phase2 { optimizer, budget: budget.max(4), seed }
+        Phase2 { optimizer, budget: budget.max(4), seed, threads: None }
     }
 
-    /// Runs the DSE and returns every evaluated candidate plus the
-    /// optimizer history.
+    /// Pins the optimizer worker count (default: the engine-wide default,
+    /// see `dse_opt::par::worker_count`). Results are bit-identical at
+    /// any thread count.
+    pub fn with_threads(mut self, n: usize) -> Phase2 {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Runs the DSE with a private candidate cache.
     pub fn run(&self, evaluator: &DssocEvaluator) -> Phase2Output {
+        self.run_with_cache(evaluator, &CandidateCache::new())
+    }
+
+    /// Runs the DSE against a shared candidate cache, so repeated runs on
+    /// the same scenario (e.g. the fig5/table5 sweep) skip the simulator
+    /// for already-evaluated points.
+    ///
+    /// The cache must only hold candidates produced by an evaluator of
+    /// the same scenario as `evaluator`.
+    pub fn run_with_cache(
+        &self,
+        evaluator: &DssocEvaluator,
+        cache: &CandidateCache,
+    ) -> Phase2Output {
+        let stats_before = cache.stats();
         let space = JointSpace::design_space();
         // Domain-informed seeding (Section III-A): start the search at the
         // best-validated policy across a spread of array sizes.
@@ -200,33 +314,57 @@ impl Phase2 {
             .iter()
             .filter_map(|&pe| JointSpace::encode(best, pe, pe, 64, 64, 64))
             .collect();
+        let cached = CachingEvaluator { inner: evaluator, cache };
         let result = match self.optimizer {
-            OptimizerChoice::SmsEgo => SmsEgoOptimizer::new(self.seed)
-                .with_init_samples((self.budget / 4).clamp(8, 32))
-                .with_candidate_pool(128)
-                .with_seed_points(seeds)
-                .run(&space, evaluator, self.budget),
-            OptimizerChoice::Nsga2 => Nsga2Optimizer::new(self.seed)
-                .with_population((self.budget / 6).clamp(8, 32))
-                .run(&space, evaluator, self.budget),
+            OptimizerChoice::SmsEgo => {
+                let mut opt = SmsEgoOptimizer::new(self.seed)
+                    .with_init_samples((self.budget / 4).clamp(8, 32))
+                    .with_candidate_pool(128)
+                    .with_seed_points(seeds);
+                if let Some(t) = self.threads {
+                    opt = opt.with_threads(t);
+                }
+                opt.run(&space, &cached, self.budget)
+            }
+            OptimizerChoice::Nsga2 => {
+                let mut opt =
+                    Nsga2Optimizer::new(self.seed).with_population((self.budget / 6).clamp(8, 32));
+                if let Some(t) = self.threads {
+                    opt = opt.with_threads(t);
+                }
+                opt.run(&space, &cached, self.budget)
+            }
             OptimizerChoice::Annealing => {
-                AnnealingOptimizer::new(self.seed).run(&space, evaluator, self.budget)
+                AnnealingOptimizer::new(self.seed).run(&space, &cached, self.budget)
             }
             OptimizerChoice::Random => {
-                RandomSearch::new(self.seed).run(&space, evaluator, self.budget)
+                let mut opt = RandomSearch::new(self.seed);
+                if let Some(t) = self.threads {
+                    opt = opt.with_threads(t);
+                }
+                opt.run(&space, &cached, self.budget)
             }
         };
+        // Every history point went through the cache, so assembling the
+        // candidate list is a lookup, not a re-simulation (this used to
+        // re-run the simulator once per history point).
         let candidates: Vec<DesignCandidate> = result
             .evaluations
             .iter()
-            .map(|e| evaluator.evaluate_design(&e.point))
+            .map(|e| cache.get(&e.point).unwrap_or_else(|| cache.evaluate(evaluator, &e.point)))
             .collect();
         let pareto: Vec<usize> = {
             let objs: Vec<Vec<f64>> =
                 result.evaluations.iter().map(|e| e.objectives.clone()).collect();
             dse_opt::pareto::pareto_indices(&objs)
         };
-        Phase2Output { result, candidates, pareto_indices: pareto }
+        let stats_after = cache.stats();
+        let cache_stats = CacheStats {
+            hits: stats_after.hits - stats_before.hits,
+            misses: stats_after.misses - stats_before.misses,
+            entries: stats_after.entries,
+        };
+        Phase2Output { result, candidates, pareto_indices: pareto, cache_stats }
     }
 }
 
@@ -239,6 +377,9 @@ pub struct Phase2Output {
     pub candidates: Vec<DesignCandidate>,
     /// Indices into `candidates` forming the Pareto frontier.
     pub pareto_indices: Vec<usize>,
+    /// Candidate-cache hits/misses attributable to this run (entries are
+    /// the cache total, which may span runs when a cache is shared).
+    pub cache_stats: CacheStats,
 }
 
 impl Phase2Output {
@@ -308,5 +449,46 @@ mod tests {
     fn optimizer_names() {
         assert_eq!(OptimizerChoice::SmsEgo.name(), "sms-ego-bo");
         assert_eq!(OptimizerChoice::default(), OptimizerChoice::SmsEgo);
+    }
+
+    #[test]
+    fn shared_cache_makes_repeat_runs_pure_hits() {
+        let ev = evaluator();
+        let cache = CandidateCache::new();
+        let phase2 = Phase2::new(OptimizerChoice::Random, 10, 4);
+        let first = phase2.run_with_cache(&ev, &cache);
+        assert_eq!(first.cache_stats.misses, first.result.evaluation_count());
+        let second = phase2.run_with_cache(&ev, &cache);
+        assert_eq!(second.cache_stats.misses, 0, "second run must re-simulate nothing");
+        assert_eq!(second.cache_stats.hits, second.result.evaluation_count());
+        assert_eq!(first.candidates, second.candidates);
+        assert_eq!(first.result, second.result);
+    }
+
+    #[test]
+    fn cached_and_uncached_runs_agree() {
+        let ev = evaluator();
+        let uncached = Phase2::new(OptimizerChoice::Random, 10, 8).run(&ev);
+        let cache = CandidateCache::new();
+        let cached = Phase2::new(OptimizerChoice::Random, 10, 8).run_with_cache(&ev, &cache);
+        assert_eq!(uncached.result, cached.result);
+        assert_eq!(uncached.candidates, cached.candidates);
+        assert_eq!(uncached.pareto_indices, cached.pareto_indices);
+    }
+
+    #[test]
+    fn candidate_cache_counts_hits() {
+        let ev = evaluator();
+        let cache = CandidateCache::new();
+        assert!(cache.is_empty());
+        let point = vec![5, 2, 3, 3, 3, 3, 3];
+        let a = cache.evaluate(&ev, &point);
+        let b = cache.evaluate(&ev, &point);
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(cache.get(&point), Some(a));
+        assert_eq!(cache.get(&[0, 0, 0, 0, 0, 0, 0]), None);
     }
 }

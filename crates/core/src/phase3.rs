@@ -95,11 +95,8 @@ impl Phase3 {
         } else {
             best_success - 0.02
         };
-        let mut eligible: Vec<&DesignCandidate> = phase2
-            .candidates
-            .iter()
-            .filter(|c| c.success_rate >= threshold)
-            .collect();
+        let mut eligible: Vec<&DesignCandidate> =
+            phase2.candidates.iter().filter(|c| c.success_rate >= threshold).collect();
         if eligible.is_empty() {
             return Err(AutopilotError::NoCandidateMeetsSuccess {
                 required: task.min_success_rate,

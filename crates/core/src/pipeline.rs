@@ -1,7 +1,11 @@
 //! The end-to-end AutoPilot pipeline (Fig. 1).
 
-use air_sim::AirLearningDatabase;
+use air_sim::{AirLearningDatabase, ObstacleDensity};
+use dse_opt::CacheStats;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use uav_dynamics::UavSpec;
 
 use crate::error::AutopilotError;
@@ -58,16 +62,116 @@ impl AutopilotConfig {
     }
 }
 
+/// Cross-run memoization of the UAV-independent pipeline stages.
+///
+/// Phases 1 and 2 depend only on the deployment scenario and the
+/// configuration — not on the UAV — so a sweep over several airframes at
+/// the same obstacle densities (the fig5/table5 pattern: 3 UAVs × 3
+/// densities but only 3 distinct Phase-2 problems) re-runs the DSE once
+/// per scenario instead of once per (UAV, scenario) pair. The cache is
+/// `Sync`; scenario runs may fan out across threads against one shared
+/// instance.
+#[derive(Debug, Default)]
+pub struct PipelineCache {
+    phase1: Mutex<HashMap<String, AirLearningDatabase>>,
+    phase2: Mutex<HashMap<String, Phase2Output>>,
+    phase2_hits: AtomicUsize,
+    phase2_misses: AtomicUsize,
+}
+
+impl PipelineCache {
+    /// Creates an empty cache.
+    pub fn new() -> PipelineCache {
+        PipelineCache::default()
+    }
+
+    fn phase1_key(config: &AutopilotConfig, density: ObstacleDensity) -> String {
+        format!("{:?}|{:?}|{}", density, config.success_model, config.seed)
+    }
+
+    fn phase2_key(config: &AutopilotConfig, density: ObstacleDensity) -> String {
+        // Thread counts are excluded: optimizer output is bit-identical
+        // at any worker count, so it must not split the cache.
+        format!(
+            "{:?}|{:?}|{}|{}|{:?}",
+            density, config.success_model, config.seed, config.phase2_budget, config.optimizer
+        )
+    }
+
+    /// The Phase-1 database for a scenario, populated on first request.
+    pub fn phase1_database(
+        &self,
+        config: &AutopilotConfig,
+        density: ObstacleDensity,
+    ) -> AirLearningDatabase {
+        let key = PipelineCache::phase1_key(config, density);
+        if let Some(db) = self.phase1.lock().expect("cache lock poisoned").get(&key) {
+            return db.clone();
+        }
+        // Populate outside the lock so independent scenarios proceed in
+        // parallel; a racing duplicate is discarded by or_insert.
+        let mut db = AirLearningDatabase::new();
+        Phase1::new(config.success_model, config.seed).populate(density, &mut db);
+        self.phase1.lock().expect("cache lock poisoned").entry(key).or_insert(db).clone()
+    }
+
+    /// The Phase-2 output for a scenario, running the DSE on first
+    /// request.
+    pub fn phase2_output(
+        &self,
+        config: &AutopilotConfig,
+        evaluator: &DssocEvaluator,
+        threads: Option<usize>,
+    ) -> Phase2Output {
+        let key = PipelineCache::phase2_key(config, evaluator.density());
+        if let Some(out) = self.phase2.lock().expect("cache lock poisoned").get(&key) {
+            self.phase2_hits.fetch_add(1, Ordering::Relaxed);
+            return out.clone();
+        }
+        let mut phase2 = Phase2::new(config.optimizer, config.phase2_budget, config.seed);
+        if let Some(t) = threads {
+            phase2 = phase2.with_threads(t);
+        }
+        let out = phase2.run(evaluator);
+        self.phase2_misses.fetch_add(1, Ordering::Relaxed);
+        self.phase2.lock().expect("cache lock poisoned").entry(key).or_insert(out).clone()
+    }
+
+    /// Hit/miss/entry counters for the Phase-2 cache.
+    pub fn phase2_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.phase2_hits.load(Ordering::Relaxed),
+            misses: self.phase2_misses.load(Ordering::Relaxed),
+            entries: self.phase2.lock().expect("cache lock poisoned").len(),
+        }
+    }
+}
+
 /// The AutoPilot methodology, ready to run on (UAV, task) pairs.
 #[derive(Debug, Clone)]
 pub struct AutoPilot {
     config: AutopilotConfig,
+    cache: Option<Arc<PipelineCache>>,
+    threads: Option<usize>,
 }
 
 impl AutoPilot {
     /// Creates a pipeline with `config`.
     pub fn new(config: AutopilotConfig) -> AutoPilot {
-        AutoPilot { config }
+        AutoPilot { config, cache: None, threads: None }
+    }
+
+    /// Shares phase-1/phase-2 results with other runs through `cache`.
+    /// Results are unchanged; only repeated work is skipped.
+    pub fn with_cache(mut self, cache: Arc<PipelineCache>) -> AutoPilot {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Pins the Phase-2 worker count (default: the engine-wide default).
+    pub fn with_threads(mut self, n: usize) -> AutoPilot {
+        self.threads = Some(n.max(1));
+        self
     }
 
     /// The pipeline configuration.
@@ -81,14 +185,29 @@ impl AutoPilot {
     /// [`AutoPilot::select`] for the error detail).
     pub fn run(&self, uav: &UavSpec, task: &TaskSpec) -> AutopilotResult {
         // Phase 1: front end.
-        let mut db = AirLearningDatabase::new();
-        Phase1::new(self.config.success_model, self.config.seed).populate(task.density, &mut db);
+        let db = match &self.cache {
+            Some(cache) => cache.phase1_database(&self.config, task.density),
+            None => {
+                let mut db = AirLearningDatabase::new();
+                Phase1::new(self.config.success_model, self.config.seed)
+                    .populate(task.density, &mut db);
+                db
+            }
+        };
 
         // Phase 2: multi-objective DSE.
         let evaluator = DssocEvaluator::new(db.clone(), task.density);
-        let phase2 =
-            Phase2::new(self.config.optimizer, self.config.phase2_budget, self.config.seed)
-                .run(&evaluator);
+        let phase2 = match &self.cache {
+            Some(cache) => cache.phase2_output(&self.config, &evaluator, self.threads),
+            None => {
+                let mut phase2 =
+                    Phase2::new(self.config.optimizer, self.config.phase2_budget, self.config.seed);
+                if let Some(t) = self.threads {
+                    phase2 = phase2.with_threads(t);
+                }
+                phase2.run(&evaluator)
+            }
+        };
 
         // Phase 3: full-system back end.
         let phase3 =
@@ -160,9 +279,7 @@ mod tests {
 
     fn fast_pilot(seed: u64) -> AutoPilot {
         AutoPilot::new(
-            AutopilotConfig::fast(seed)
-                .with_optimizer(OptimizerChoice::Random)
-                .with_budget(24),
+            AutopilotConfig::fast(seed).with_optimizer(OptimizerChoice::Random).with_budget(24),
         )
     }
 
@@ -189,14 +306,42 @@ mod tests {
     fn select_surfaces_errors() {
         let mut weak = UavSpec::nano();
         weak.base_thrust_to_weight = 1.01;
-        let err = fast_pilot(1)
-            .select(&weak, &TaskSpec::navigation(ObstacleDensity::Low))
-            .unwrap_err();
+        let err =
+            fast_pilot(1).select(&weak, &TaskSpec::navigation(ObstacleDensity::Low)).unwrap_err();
         assert!(matches!(err, AutopilotError::NoFlyableDesign { .. }));
     }
 
     #[test]
     fn config_presets() {
         assert!(AutopilotConfig::paper(0).phase2_budget > AutopilotConfig::fast(0).phase2_budget);
+    }
+
+    #[test]
+    fn shared_cache_reuses_phase2_across_uavs() {
+        let task = TaskSpec::navigation(ObstacleDensity::Dense);
+        let cache = Arc::new(PipelineCache::new());
+        let config =
+            AutopilotConfig::fast(5).with_optimizer(OptimizerChoice::Random).with_budget(16);
+        let pilot = AutoPilot::new(config).with_cache(Arc::clone(&cache));
+        let nano = pilot.run(&UavSpec::nano(), &task);
+        let micro = pilot.run(&UavSpec::micro(), &task);
+        let stats = cache.phase2_stats();
+        assert_eq!(stats.misses, 1, "phase 2 must run once for a shared scenario");
+        assert_eq!(stats.hits, 1);
+        assert_eq!(nano.phase2.candidates, micro.phase2.candidates);
+    }
+
+    #[test]
+    fn cached_pipeline_matches_uncached() {
+        let task = TaskSpec::navigation(ObstacleDensity::Medium);
+        let config =
+            AutopilotConfig::fast(7).with_optimizer(OptimizerChoice::Random).with_budget(16);
+        let plain = AutoPilot::new(config).run(&UavSpec::nano(), &task);
+        let cached = AutoPilot::new(config)
+            .with_cache(Arc::new(PipelineCache::new()))
+            .run(&UavSpec::nano(), &task);
+        assert_eq!(plain.selection, cached.selection);
+        assert_eq!(plain.phase2.candidates, cached.phase2.candidates);
+        assert_eq!(plain.phase2.result, cached.phase2.result);
     }
 }

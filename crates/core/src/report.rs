@@ -112,8 +112,8 @@ impl RunSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::{AutoPilot, AutopilotConfig};
     use crate::phase2::OptimizerChoice;
+    use crate::pipeline::{AutoPilot, AutopilotConfig};
     use crate::spec::TaskSpec;
     use air_sim::ObstacleDensity;
     use uav_dynamics::UavSpec;

@@ -67,9 +67,8 @@ mod tests {
 
     #[test]
     fn builder_style_overrides() {
-        let t = TaskSpec::navigation(ObstacleDensity::Low)
-            .with_sensor_fps(30.0)
-            .with_min_success(2.0);
+        let t =
+            TaskSpec::navigation(ObstacleDensity::Low).with_sensor_fps(30.0).with_min_success(2.0);
         assert_eq!(t.sensor_fps, 30.0);
         assert_eq!(t.min_success_rate, 1.0); // clamped
     }

@@ -24,12 +24,7 @@ pub struct AnnealingOptimizer {
 impl AnnealingOptimizer {
     /// Creates an optimizer with conventional defaults.
     pub fn new(seed: u64) -> AnnealingOptimizer {
-        AnnealingOptimizer {
-            seed,
-            initial_temperature: 1.0,
-            cooling: 0.97,
-            reweight_every: 10,
-        }
+        AnnealingOptimizer { seed, initial_temperature: 1.0, cooling: 0.97, reweight_every: 10 }
     }
 
     /// Overrides the initial temperature.
@@ -56,8 +51,8 @@ impl MultiObjectiveOptimizer for AnnealingOptimizer {
         let mut history: Vec<EvaluationRecord> = Vec::new();
 
         let eval = |p: &Vec<usize>,
-                        cache: &mut HashMap<Vec<usize>, Vec<f64>>,
-                        history: &mut Vec<EvaluationRecord>|
+                    cache: &mut HashMap<Vec<usize>, Vec<f64>>,
+                    history: &mut Vec<EvaluationRecord>|
          -> Vec<f64> {
             if let Some(o) = cache.get(p) {
                 return o.clone();

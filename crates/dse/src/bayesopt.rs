@@ -5,8 +5,9 @@ use rand_chacha::ChaCha12Rng;
 use std::collections::HashSet;
 
 use crate::evaluator::{Evaluator, MultiObjectiveOptimizer};
-use crate::gp::GaussianProcess;
-use crate::pareto::{hypervolume, pareto_indices};
+use crate::gp::{DistanceCache, GaussianProcess};
+use crate::par;
+use crate::pareto::{hypervolume_contribution, pareto_indices};
 use crate::result::{EvaluationRecord, OptimizationResult};
 use crate::space::DesignSpace;
 
@@ -17,6 +18,16 @@ use crate::space::DesignSpace;
 /// the *hypervolume improvement* of their lower-confidence-bound vector
 /// against the current archive front, with an additive penalty for
 /// candidates whose LCB is already (epsilon-)dominated.
+///
+/// The inner loop is engineered to stay cheap at paper-scale budgets:
+/// the per-objective GPs grow by rank-1 Cholesky extension (O(n²) per
+/// new observation) between milestone full refits of the lengthscale,
+/// objective ranges are running min/max rather than per-iteration
+/// rescans, candidate scores use the exclusive hypervolume contribution
+/// (no full-front recomputation per candidate), and both the initial
+/// sampling and the acquisition scoring fan out over worker threads
+/// with results gathered in index order — so a run is bit-identical for
+/// a fixed seed regardless of thread count.
 #[derive(Debug, Clone)]
 pub struct SmsEgoOptimizer {
     seed: u64,
@@ -25,6 +36,7 @@ pub struct SmsEgoOptimizer {
     beta: f64,
     max_gp_points: usize,
     seed_points: Vec<Vec<usize>>,
+    threads: Option<usize>,
 }
 
 impl SmsEgoOptimizer {
@@ -37,6 +49,7 @@ impl SmsEgoOptimizer {
             beta: 1.0,
             max_gp_points: 256,
             seed_points: Vec::new(),
+            threads: None,
         }
     }
 
@@ -65,6 +78,141 @@ impl SmsEgoOptimizer {
         self.beta = beta.max(0.0);
         self
     }
+
+    /// Pins the worker count for parallel evaluation and acquisition
+    /// scoring (default: [`par::worker_count`]).
+    pub fn with_threads(mut self, n: usize) -> SmsEgoOptimizer {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    fn workers(&self) -> usize {
+        self.threads.unwrap_or_else(par::worker_count)
+    }
+}
+
+/// Evaluation archive with running objective ranges (incremental min/max
+/// instead of a full history rescan every BO iteration).
+struct Archive {
+    history: Vec<EvaluationRecord>,
+    seen: HashSet<Vec<usize>>,
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl Archive {
+    fn new(n_obj: usize, budget: usize) -> Archive {
+        Archive {
+            history: Vec::with_capacity(budget),
+            seen: HashSet::new(),
+            mins: vec![f64::INFINITY; n_obj],
+            maxs: vec![f64::NEG_INFINITY; n_obj],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    fn commit(&mut self, point: Vec<usize>, objectives: Vec<f64>) {
+        for (i, &v) in objectives.iter().enumerate() {
+            self.mins[i] = self.mins[i].min(v);
+            self.maxs[i] = self.maxs[i].max(v);
+        }
+        self.seen.insert(point.clone());
+        self.history.push(EvaluationRecord { iteration: self.history.len(), point, objectives });
+    }
+}
+
+/// Per-objective GP surrogates kept current incrementally.
+///
+/// Training targets are objectives normalized by the archive ranges, so
+/// the pack is only extendable while those ranges (and the training
+/// window) are unchanged; any range movement, window slide, milestone
+/// refit, or failed rank-1 extension falls back to a full refit. Between
+/// refits the lengthscale is frozen, which is what makes the O(n²)
+/// Cholesky bordering exact.
+struct Surrogates {
+    gps: Vec<GaussianProcess>,
+    dists: DistanceCache,
+    start: usize,
+    trained: usize,
+    next_refit: usize,
+    norm_mins: Vec<f64>,
+    norm_maxs: Vec<f64>,
+}
+
+impl Surrogates {
+    /// Brings the surrogates up to date with the archive, extending
+    /// incrementally when valid and refitting otherwise. Returns `None`
+    /// when the window cannot be fitted (degenerate geometry); the caller
+    /// then falls back to random sampling for this iteration.
+    fn update(
+        current: Option<Surrogates>,
+        space: &DesignSpace,
+        archive: &Archive,
+        max_gp_points: usize,
+    ) -> Option<Surrogates> {
+        let n = archive.len();
+        let start = n.saturating_sub(max_gp_points);
+        if let Some(mut s) = current {
+            let extendable = s.start == start
+                && n < s.next_refit
+                && s.norm_mins == archive.mins
+                && s.norm_maxs == archive.maxs;
+            if extendable && s.try_extend(space, archive) {
+                return Some(s);
+            }
+        }
+        Surrogates::full_fit(space, archive, start)
+    }
+
+    fn try_extend(&mut self, space: &DesignSpace, archive: &Archive) -> bool {
+        for rec in &archive.history[self.trained..] {
+            let x = space.encode(&rec.point);
+            self.dists.push(x.clone());
+            for (obj, gp) in self.gps.iter_mut().enumerate() {
+                let y = normalize(rec.objectives[obj], self.norm_mins[obj], self.norm_maxs[obj]);
+                if !gp.extend(&x, y) {
+                    return false;
+                }
+            }
+        }
+        self.trained = archive.len();
+        true
+    }
+
+    fn full_fit(space: &DesignSpace, archive: &Archive, start: usize) -> Option<Surrogates> {
+        let n = archive.len();
+        let train = &archive.history[start..];
+        let xs: Vec<Vec<f64>> = train.iter().map(|e| space.encode(&e.point)).collect();
+        let mut dists = DistanceCache::new();
+        for x in &xs {
+            dists.push(x.clone());
+        }
+        let lengthscale_sq = dists.median_sq_dist();
+        let n_obj = archive.mins.len();
+        let mut gps = Vec::with_capacity(n_obj);
+        for obj in 0..n_obj {
+            let ys: Vec<f64> = train
+                .iter()
+                .map(|e| normalize(e.objectives[obj], archive.mins[obj], archive.maxs[obj]))
+                .collect();
+            gps.push(GaussianProcess::fit_with_lengthscale(&xs, &ys, lengthscale_sq)?);
+        }
+        Some(Surrogates {
+            gps,
+            dists,
+            start,
+            trained: n,
+            // Milestone schedule: refreshing the lengthscale every
+            // max(n/4, 4) points amortizes the O(n³) refit to O(n²)
+            // per iteration.
+            next_refit: n + (n / 4).max(4),
+            norm_mins: archive.mins.clone(),
+            norm_maxs: archive.maxs.clone(),
+        })
+    }
 }
 
 impl MultiObjectiveOptimizer for SmsEgoOptimizer {
@@ -80,177 +228,147 @@ impl MultiObjectiveOptimizer for SmsEgoOptimizer {
     ) -> OptimizationResult {
         let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
         let n_obj = evaluator.num_objectives();
-        let mut seen: HashSet<Vec<usize>> = HashSet::new();
-        let mut history: Vec<EvaluationRecord> = Vec::with_capacity(budget);
+        let workers = self.workers();
+        let mut archive = Archive::new(n_obj, budget);
 
-        let evaluate = |p: Vec<usize>,
-                            history: &mut Vec<EvaluationRecord>,
-                            seen: &mut HashSet<Vec<usize>>| {
-            let objectives = evaluator.evaluate(&p);
-            seen.insert(p.clone());
-            history.push(EvaluationRecord { iteration: history.len(), point: p, objectives });
-        };
-
-        // Domain-informed seed points first.
-        for p in self.seed_points.clone() {
-            if history.len() >= budget {
+        // Domain-informed seed points, then the space-filling random
+        // sample. Both phases draw their points first (the sequence never
+        // depends on objective values) and evaluate each batch in
+        // parallel, committing in draw order.
+        let mut planned: Vec<Vec<usize>> = Vec::new();
+        for p in &self.seed_points {
+            if archive.len() + planned.len() >= budget {
                 break;
             }
-            if space.contains(&p) && !seen.contains(&p) {
-                evaluate(p, &mut history, &mut seen);
+            if space.contains(p) && !archive.seen.contains(p) && !planned.contains(p) {
+                planned.push(p.clone());
             }
         }
-
-        // Initial space-filling random sample.
+        for p in &planned {
+            archive.seen.insert(p.clone());
+        }
+        let init_target = self.init_samples.min(budget);
         let mut retries = 0;
-        while history.len() < self.init_samples.min(budget) && retries < budget * 20 + 100 {
+        while archive.len() + planned.len() < init_target && retries < budget * 20 + 100 {
             let p = space.random_point(&mut rng);
-            if seen.contains(&p) {
+            if archive.seen.contains(&p) {
                 retries += 1;
                 continue;
             }
-            evaluate(p, &mut history, &mut seen);
+            archive.seen.insert(p.clone());
+            planned.push(p);
+        }
+        let objectives = par::parallel_map_with(workers, &planned, |_, p| evaluator.evaluate(p));
+        for (p, o) in planned.into_iter().zip(objectives) {
+            archive.commit(p, o);
         }
 
-        // BO loop.
-        while history.len() < budget {
-            // Fit one GP per objective on (up to) the most recent points.
-            let start = history.len().saturating_sub(self.max_gp_points);
-            let train = &history[start..];
-            let xs: Vec<Vec<f64>> = train.iter().map(|e| space.encode(&e.point)).collect();
-            let mut gps: Vec<GaussianProcess> = Vec::with_capacity(n_obj);
-            let mut fit_ok = true;
-            // Normalize each objective to [0, 1] over the archive so the
-            // shared hypervolume reference is meaningful.
-            let (mins, maxs) = objective_ranges(&history, n_obj);
-            for obj in 0..n_obj {
-                let ys: Vec<f64> = train
-                    .iter()
-                    .map(|e| normalize(e.objectives[obj], mins[obj], maxs[obj]))
-                    .collect();
-                match GaussianProcess::fit(&xs, &ys) {
-                    Some(gp) => gps.push(gp),
-                    None => {
-                        fit_ok = false;
-                        break;
-                    }
-                }
-            }
-
-            let next = if fit_ok {
-                self.select_candidate(space, &history, &gps, &mins, &maxs, &seen, &mut rng)
-            } else {
-                None
+        // BO loop: one evaluation per iteration, surrogates kept current
+        // incrementally.
+        let mut surrogates: Option<Surrogates> = None;
+        while archive.len() < budget {
+            surrogates = Surrogates::update(surrogates.take(), space, &archive, self.max_gp_points);
+            let next = match &surrogates {
+                Some(s) => self.select_candidate(space, &archive, s, workers, &mut rng),
+                None => None,
             };
             let p = match next {
                 Some(p) => p,
                 None => {
                     // Fallback: fresh random point.
-                    match fresh_random(space, &seen, &mut rng, 200) {
+                    match fresh_random(space, &archive.seen, &mut rng, 200) {
                         Some(p) => p,
                         None => break, // space exhausted
                     }
                 }
             };
-            evaluate(p, &mut history, &mut seen);
+            let objectives = evaluator.evaluate(&p);
+            archive.commit(p, objectives);
         }
 
-        OptimizationResult::from_history(self.name(), history, evaluator.reference_point())
+        OptimizationResult::from_history(self.name(), archive.history, evaluator.reference_point())
     }
 }
 
 impl SmsEgoOptimizer {
-    #[allow(clippy::too_many_arguments)]
     fn select_candidate(
         &self,
         space: &DesignSpace,
-        history: &[EvaluationRecord],
-        gps: &[GaussianProcess],
-        mins: &[f64],
-        maxs: &[f64],
-        seen: &HashSet<Vec<usize>>,
+        archive: &Archive,
+        surrogates: &Surrogates,
+        workers: usize,
         rng: &mut ChaCha12Rng,
     ) -> Option<Vec<usize>> {
-        // Current normalized front and its hypervolume.
-        let normalized: Vec<Vec<f64>> = history
+        // Current normalized front.
+        let normalized: Vec<Vec<f64>> = archive
+            .history
             .iter()
             .map(|e| {
                 e.objectives
                     .iter()
                     .enumerate()
-                    .map(|(i, &v)| normalize(v, mins[i], maxs[i]))
+                    .map(|(i, &v)| normalize(v, archive.mins[i], archive.maxs[i]))
                     .collect()
             })
             .collect();
-        let front: Vec<Vec<f64>> = pareto_indices(&normalized)
-            .into_iter()
-            .map(|i| normalized[i].clone())
-            .collect();
-        let reference = vec![1.2; gps.len()];
-        let base_hv = hypervolume(&front, &reference);
+        let front: Vec<Vec<f64>> =
+            pareto_indices(&normalized).into_iter().map(|i| normalized[i].clone()).collect();
+        let reference = vec![1.2; surrogates.gps.len()];
 
         // Candidate pool: random points plus ordinal neighbours of the
-        // Pareto-set designs (local refinement).
+        // Pareto-set designs (local refinement). Drawn sequentially so the
+        // RNG stream is independent of the parallel scoring below.
         let mut pool: Vec<Vec<usize>> = Vec::with_capacity(self.candidate_pool + 64);
         for _ in 0..self.candidate_pool {
             pool.push(space.random_point(rng));
         }
         let front_points: Vec<&EvaluationRecord> = {
-            let objs: Vec<Vec<f64>> = history.iter().map(|e| e.objectives.clone()).collect();
-            pareto_indices(&objs).into_iter().map(|i| &history[i]).collect()
+            let objs: Vec<Vec<f64>> =
+                archive.history.iter().map(|e| e.objectives.clone()).collect();
+            pareto_indices(&objs).into_iter().map(|i| &archive.history[i]).collect()
         };
         for rec in front_points.iter().take(16) {
             pool.extend(space.neighbors(&rec.point));
         }
 
-        let mut best: Option<(f64, Vec<usize>)> = None;
-        for cand in pool {
-            if seen.contains(&cand) {
-                continue;
+        // Score the pool in parallel; each score is a pure function of
+        // the frozen surrogates and front.
+        let scores: Vec<Option<f64>> = par::parallel_map_with(workers, &pool, |_, cand| {
+            if archive.seen.contains(cand) {
+                return None;
             }
-            let x = space.encode(&cand);
-            let lcb: Vec<f64> = gps.iter().map(|gp| gp.lcb(&x, self.beta)).collect();
+            let x = space.encode(cand);
+            let lcb: Vec<f64> = surrogates.gps.iter().map(|gp| gp.lcb(&x, self.beta)).collect();
             // SMS-EGO scoring: epsilon-dominated candidates get a negative
             // penalty proportional to how deep they are dominated;
-            // otherwise score by hypervolume improvement.
+            // otherwise score by hypervolume improvement (the exclusive
+            // contribution of the LCB vector to the front).
             let eps = 1e-3;
             let mut penalty = 0.0;
             for f in &front {
                 if f.iter().zip(&lcb).all(|(fv, lv)| *fv <= lv + eps) {
-                    let depth: f64 = f
-                        .iter()
-                        .zip(&lcb)
-                        .map(|(fv, lv)| (lv - fv).max(0.0))
-                        .sum();
+                    let depth: f64 = f.iter().zip(&lcb).map(|(fv, lv)| (lv - fv).max(0.0)).sum();
                     penalty += depth + eps;
                 }
             }
-            let score = if penalty > 0.0 {
+            Some(if penalty > 0.0 {
                 -penalty
             } else {
-                let mut extended = front.clone();
-                extended.push(lcb.clone());
-                hypervolume(&extended, &reference) - base_hv
-            };
+                hypervolume_contribution(&front, &lcb, &reference)
+            })
+        });
+
+        // First-max-wins over the pool, in pool order.
+        let mut best: Option<(f64, usize)> = None;
+        for (i, score) in scores.into_iter().enumerate() {
+            let Some(score) = score else { continue };
             match &best {
                 Some((s, _)) if *s >= score => {}
-                _ => best = Some((score, cand)),
+                _ => best = Some((score, i)),
             }
         }
-        best.map(|(_, p)| p)
+        best.map(|(_, i)| pool.swap_remove(i))
     }
-}
-
-fn objective_ranges(history: &[EvaluationRecord], n_obj: usize) -> (Vec<f64>, Vec<f64>) {
-    let mut mins = vec![f64::INFINITY; n_obj];
-    let mut maxs = vec![f64::NEG_INFINITY; n_obj];
-    for e in history {
-        for (i, &v) in e.objectives.iter().enumerate() {
-            mins[i] = mins[i].min(v);
-            maxs[i] = maxs[i].max(v);
-        }
-    }
-    (mins, maxs)
 }
 
 fn normalize(v: f64, min: f64, max: f64) -> f64 {
@@ -303,6 +421,24 @@ mod tests {
     }
 
     #[test]
+    fn identical_across_thread_counts() {
+        let space = DesignSpace::new(vec![8, 8, 8]).unwrap();
+        let base = SmsEgoOptimizer::new(6)
+            .with_init_samples(8)
+            .with_candidate_pool(32)
+            .with_threads(1)
+            .run(&space, &Bowl3, 20);
+        for t in [2, 3, 5] {
+            let r = SmsEgoOptimizer::new(6)
+                .with_init_samples(8)
+                .with_candidate_pool(32)
+                .with_threads(t)
+                .run(&space, &Bowl3, 20);
+            assert_eq!(base, r, "threads = {t}");
+        }
+    }
+
+    #[test]
     fn beats_random_search_on_bowl() {
         // With equal budgets, BO should reach at least the hypervolume of
         // random search on a smooth problem (averaged over seeds).
@@ -311,8 +447,7 @@ mod tests {
         let mut bo_total = 0.0;
         let mut rs_total = 0.0;
         for seed in 0..3 {
-            let mut bo =
-                SmsEgoOptimizer::new(seed).with_init_samples(10).with_candidate_pool(64);
+            let mut bo = SmsEgoOptimizer::new(seed).with_init_samples(10).with_candidate_pool(64);
             bo_total += bo.run(&space, &Bowl3, budget).final_hypervolume();
             rs_total += RandomSearch::new(seed).run(&space, &Bowl3, budget).final_hypervolume();
         }
@@ -328,5 +463,18 @@ mod tests {
         let mut bo = SmsEgoOptimizer::new(1).with_init_samples(2);
         let res = bo.run(&space, &Tradeoff, 50);
         assert_eq!(res.evaluation_count(), 3); // space exhausted
+    }
+
+    #[test]
+    fn seed_points_appear_first_in_history() {
+        let space = DesignSpace::new(vec![8, 8]).unwrap();
+        let seeds = vec![vec![0, 0], vec![7, 7]];
+        let mut bo = SmsEgoOptimizer::new(2)
+            .with_init_samples(4)
+            .with_candidate_pool(16)
+            .with_seed_points(seeds.clone());
+        let res = bo.run(&space, &Tradeoff, 12);
+        assert_eq!(res.evaluations[0].point, seeds[0]);
+        assert_eq!(res.evaluations[1].point, seeds[1]);
     }
 }

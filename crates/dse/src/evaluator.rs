@@ -8,7 +8,12 @@ use crate::space::DesignSpace;
 /// All objectives are minimized. Implementations should be deterministic
 /// for a given point (AutoPilot's evaluations — simulator runs and
 /// database lookups — are).
-pub trait Evaluator {
+///
+/// The `Sync` supertrait lets optimizers fan evaluations out across
+/// worker threads (see [`crate::par`]); evaluators take `&self`, so a
+/// shared-state implementation must use interior synchronization (as
+/// [`crate::CachedEvaluator`] does).
+pub trait Evaluator: Sync {
     /// Number of objectives returned by [`Evaluator::evaluate`].
     fn num_objectives(&self) -> usize;
 
@@ -87,11 +92,7 @@ pub(crate) mod test_problems {
             let g = (x[2] - 0.5) * (x[2] - 0.5);
             let a = 0.5 * std::f64::consts::PI * x[0];
             let b = 0.5 * std::f64::consts::PI * x[1];
-            vec![
-                (1.0 + g) * a.cos() * b.cos(),
-                (1.0 + g) * a.cos() * b.sin(),
-                (1.0 + g) * a.sin(),
-            ]
+            vec![(1.0 + g) * a.cos() * b.cos(), (1.0 + g) * a.cos() * b.sin(), (1.0 + g) * a.sin()]
         }
         fn reference_point(&self) -> Vec<f64> {
             vec![2.0, 2.0, 2.0]

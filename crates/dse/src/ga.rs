@@ -4,9 +4,10 @@
 use rand::seq::IndexedRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::evaluator::{Evaluator, MultiObjectiveOptimizer};
+use crate::par;
 use crate::pareto::{crowding_distance, non_dominated_sort};
 use crate::result::{EvaluationRecord, OptimizationResult};
 use crate::space::DesignSpace;
@@ -17,24 +18,45 @@ use crate::space::DesignSpace;
 ///
 /// Objective evaluations are memoized: only *new* points consume budget,
 /// matching how expensive DSE evaluations are accounted in practice.
+/// Each generation's uncached points are evaluated as one parallel
+/// batch; the batch is planned from the RNG-drawn offspring before any
+/// evaluation runs, so results are bit-identical to a sequential run for
+/// a fixed seed, at any thread count.
 #[derive(Debug, Clone)]
 pub struct Nsga2Optimizer {
     seed: u64,
     population: usize,
     crossover_prob: f64,
     mutation_scale: f64,
+    threads: Option<usize>,
 }
 
 impl Nsga2Optimizer {
     /// Creates an optimizer with conventional defaults (population 24).
     pub fn new(seed: u64) -> Nsga2Optimizer {
-        Nsga2Optimizer { seed, population: 24, crossover_prob: 0.9, mutation_scale: 1.0 }
+        Nsga2Optimizer {
+            seed,
+            population: 24,
+            crossover_prob: 0.9,
+            mutation_scale: 1.0,
+            threads: None,
+        }
     }
 
     /// Overrides the population size.
     pub fn with_population(mut self, n: usize) -> Nsga2Optimizer {
         self.population = n.max(4);
         self
+    }
+
+    /// Pins the evaluation worker count (default: [`par::worker_count`]).
+    pub fn with_threads(mut self, n: usize) -> Nsga2Optimizer {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    fn workers(&self) -> usize {
+        self.threads.unwrap_or_else(par::worker_count)
     }
 }
 
@@ -50,24 +72,33 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
         budget: usize,
     ) -> OptimizationResult {
         let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+        let workers = self.workers();
         let mut cache: HashMap<Vec<usize>, Vec<f64>> = HashMap::new();
         let mut history: Vec<EvaluationRecord> = Vec::new();
 
-        let eval = |p: &Vec<usize>,
-                        cache: &mut HashMap<Vec<usize>, Vec<f64>>,
-                        history: &mut Vec<EvaluationRecord>|
-         -> Vec<f64> {
-            if let Some(o) = cache.get(p) {
-                return o.clone();
+        // Evaluates the uncached points among `batch` (first occurrence
+        // order) as one parallel map, then commits them to the cache and
+        // history in that same order — exactly the trace a sequential
+        // memoized loop would produce.
+        let eval_batch = |batch: &[Vec<usize>],
+                          cache: &mut HashMap<Vec<usize>, Vec<f64>>,
+                          history: &mut Vec<EvaluationRecord>| {
+            let mut fresh: Vec<Vec<usize>> = Vec::new();
+            let mut fresh_set: HashSet<&[usize]> = HashSet::new();
+            for p in batch {
+                if !cache.contains_key(p) && fresh_set.insert(p.as_slice()) {
+                    fresh.push(p.clone());
+                }
             }
-            let o = evaluator.evaluate(p);
-            cache.insert(p.clone(), o.clone());
-            history.push(EvaluationRecord {
-                iteration: history.len(),
-                point: p.clone(),
-                objectives: o.clone(),
-            });
-            o
+            let objs = par::parallel_map_with(workers, &fresh, |_, p| evaluator.evaluate(p));
+            for (p, o) in fresh.into_iter().zip(objs) {
+                cache.insert(p.clone(), o.clone());
+                history.push(EvaluationRecord {
+                    iteration: history.len(),
+                    point: p,
+                    objectives: o,
+                });
+            }
         };
 
         // The space itself bounds how many *unique* evaluations exist;
@@ -77,13 +108,11 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
         let mut stale_generations = 0usize;
 
         // Initial population.
-        let mut pop: Vec<Vec<usize>> = (0..self.population)
-            .map(|_| space.random_point(&mut rng))
-            .collect();
-        let mut pop_objs: Vec<Vec<f64>> = pop
-            .iter()
-            .map(|p| eval(p, &mut cache, &mut history))
-            .collect();
+        let pop_draw: Vec<Vec<usize>> =
+            (0..self.population).map(|_| space.random_point(&mut rng)).collect();
+        eval_batch(&pop_draw, &mut cache, &mut history);
+        let mut pop = pop_draw;
+        let mut pop_objs: Vec<Vec<f64>> = pop.iter().map(|p| cache[p].clone()).collect();
 
         while history.len() < budget {
             let history_before = history.len();
@@ -133,17 +162,40 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
                 offspring.push(child);
             }
 
-            // Evaluate offspring (respecting the budget for new points).
-            let mut off_objs: Vec<Vec<f64>> = Vec::with_capacity(offspring.len());
-            for p in &offspring {
-                if history.len() >= budget && !cache.contains_key(p) {
-                    // Budget exhausted; fall back to parent duplication so
-                    // arrays stay aligned.
-                    off_objs.push(pop_objs[0].clone());
+            // Plan which offspring fit the remaining budget — walking in
+            // order with a projected history length, so the cut-off falls
+            // on exactly the same offspring as a sequential evaluation
+            // loop — then evaluate the admitted prefix set in parallel.
+            let mut admitted: Vec<Vec<usize>> = Vec::new();
+            let mut admitted_set: HashSet<&[usize]> = HashSet::new();
+            let mut projected = history.len();
+            let mut in_budget = vec![true; offspring.len()];
+            for (k, p) in offspring.iter().enumerate() {
+                if cache.contains_key(p) || admitted_set.contains(p.as_slice()) {
                     continue;
                 }
-                off_objs.push(eval(p, &mut cache, &mut history));
+                if projected >= budget {
+                    in_budget[k] = false;
+                    continue;
+                }
+                admitted.push(p.clone());
+                admitted_set.insert(p.as_slice());
+                projected += 1;
             }
+            eval_batch(&admitted, &mut cache, &mut history);
+            let off_objs: Vec<Vec<f64>> = offspring
+                .iter()
+                .zip(&in_budget)
+                .map(|(p, &ok)| {
+                    if ok {
+                        cache[p].clone()
+                    } else {
+                        // Budget exhausted; fall back to parent duplication
+                        // so arrays stay aligned.
+                        pop_objs[0].clone()
+                    }
+                })
+                .collect();
 
             // Environmental selection over parents + offspring.
             let mut union = pop.clone();
@@ -211,6 +263,18 @@ mod tests {
         let a = Nsga2Optimizer::new(7).with_population(8).run(&space, &Bowl3, 40);
         let b = Nsga2Optimizer::new(7).with_population(8).run(&space, &Bowl3, 40);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let space = DesignSpace::new(vec![8, 8, 8]).unwrap();
+        let base =
+            Nsga2Optimizer::new(9).with_population(8).with_threads(1).run(&space, &Bowl3, 40);
+        for t in [2, 4, 6] {
+            let r =
+                Nsga2Optimizer::new(9).with_population(8).with_threads(t).run(&space, &Bowl3, 40);
+            assert_eq!(base, r, "threads = {t}");
+        }
     }
 
     #[test]

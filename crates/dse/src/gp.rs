@@ -1,6 +1,7 @@
-//! Exact Gaussian-process regression with a squared-exponential kernel.
+//! Exact Gaussian-process regression with a squared-exponential kernel,
+//! supporting incremental O(n²) updates.
 
-use crate::linalg::{sq_dist, Matrix};
+use crate::linalg::{dot, sq_dist, Matrix};
 
 /// A fitted Gaussian process over normalized inputs in `[0, 1]^d`.
 ///
@@ -11,14 +12,34 @@ use crate::linalg::{sq_dist, Matrix};
 /// variance from the sample variance, a shared isotropic lengthscale from
 /// the median pairwise distance, and a small noise floor for numerical
 /// stability.
+///
+/// # Incremental updates
+///
+/// The kernel matrix is held in *correlation form*: `K = σ²·C_j` where
+/// `C_j` has unit diagonal plus a relative jitter. The Cholesky factor of
+/// `C_j` depends only on the inputs and the lengthscale — not on the
+/// targets or signal variance — so when a new observation arrives with
+/// the lengthscale held fixed, [`GaussianProcess::extend`] borders the
+/// factor with one triangular solve (O(n²)) instead of refactorizing
+/// (O(n³)). Callers refresh the lengthscale periodically with a full
+/// [`GaussianProcess::fit`]; between refits the frozen lengthscale is a
+/// valid (slightly stale) hyperparameter choice, not an approximation of
+/// the math: predictions from an extended GP are identical to a
+/// fresh fit at the same lengthscale up to floating-point roundoff.
 #[derive(Debug, Clone)]
 pub struct GaussianProcess {
     x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    /// Cholesky factor of the jittered correlation matrix `C_j`.
     chol: Matrix,
+    /// `C_j⁻¹ (y - mean_y)` — note the σ² cancellation in the posterior
+    /// mean: `k*ᵀK⁻¹(y-ȳ) = c*ᵀC_j⁻¹(y-ȳ)`.
     alpha: Vec<f64>,
     mean_y: f64,
     signal_var: f64,
     lengthscale_sq: f64,
+    /// Relative diagonal jitter, frozen at factorization time.
+    jitter: f64,
 }
 
 impl GaussianProcess {
@@ -40,14 +61,6 @@ impl GaussianProcess {
         if n < 2 {
             return None;
         }
-        let dim = x[0].len();
-        assert!(x.iter().all(|p| p.len() == dim), "inconsistent input dims");
-
-        let mean_y = y.iter().sum::<f64>() / n as f64;
-        let centred: Vec<f64> = y.iter().map(|v| v - mean_y).collect();
-        let var_y = centred.iter().map(|v| v * v).sum::<f64>() / n as f64;
-        let signal_var = var_y.max(1e-12);
-
         // Median pairwise squared distance as the (squared) lengthscale.
         let mut dists: Vec<f64> = Vec::with_capacity(n * (n - 1) / 2);
         for i in 0..n {
@@ -55,31 +68,104 @@ impl GaussianProcess {
                 dists.push(sq_dist(&x[i], &x[j]));
             }
         }
-        dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
-        let median = dists.get(dists.len() / 2).copied().unwrap_or(1.0);
-        let lengthscale_sq = median.max(1e-6);
+        let lengthscale_sq = median_sq_dist(&mut dists);
+        GaussianProcess::fit_with_lengthscale(x, y, lengthscale_sq)
+    }
 
-        let noise = signal_var * 1e-4 + 1e-10;
-        let k = Matrix::from_fn(n, n, |i, j| {
-            let v = signal_var * (-0.5 * sq_dist(&x[i], &x[j]) / lengthscale_sq).exp();
+    /// Fits a GP at an explicitly chosen squared lengthscale, skipping the
+    /// pairwise-distance heuristic. Used by incremental callers that cache
+    /// distances themselves (see [`DistanceCache`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` lengths differ or input dimensions are
+    /// inconsistent.
+    pub fn fit_with_lengthscale(
+        x: &[Vec<f64>],
+        y: &[f64],
+        lengthscale_sq: f64,
+    ) -> Option<GaussianProcess> {
+        assert_eq!(x.len(), y.len(), "x and y must have equal length");
+        let n = x.len();
+        if n < 2 {
+            return None;
+        }
+        let dim = x[0].len();
+        assert!(x.iter().all(|p| p.len() == dim), "inconsistent input dims");
+        let lengthscale_sq = lengthscale_sq.max(1e-6);
+
+        let mean_y = y.iter().sum::<f64>() / n as f64;
+        let centred: Vec<f64> = y.iter().map(|v| v - mean_y).collect();
+        let var_y = centred.iter().map(|v| v * v).sum::<f64>() / n as f64;
+        let signal_var = var_y.max(1e-12);
+
+        // Relative jitter equivalent to the classic absolute noise term
+        // `signal_var * 1e-4 + 1e-10` after dividing K by signal_var.
+        let jitter = 1e-4 + 1e-10 / signal_var;
+        let c = Matrix::from_fn(n, n, |i, j| {
+            let v = (-0.5 * sq_dist(&x[i], &x[j]) / lengthscale_sq).exp();
             if i == j {
-                v + noise
+                v + jitter
             } else {
                 v
             }
         });
-        let chol = k.cholesky()?;
-        let tmp = chol.solve_lower(&centred);
-        let alpha = chol.solve_lower_transpose(&tmp);
-
-        Some(GaussianProcess {
+        let chol = c.cholesky()?;
+        let mut gp = GaussianProcess {
             x: x.to_vec(),
+            y: y.to_vec(),
             chol,
-            alpha,
+            alpha: Vec::new(),
             mean_y,
             signal_var,
             lengthscale_sq,
-        })
+            jitter,
+        };
+        gp.refresh_targets();
+        Some(gp)
+    }
+
+    /// Appends one observation in O(n²) by bordering the existing
+    /// Cholesky factor, keeping the current lengthscale frozen.
+    ///
+    /// Returns `false` — leaving the GP unchanged — when the extension is
+    /// numerically unsafe (the bordered matrix loses positive
+    /// definiteness, e.g. for a near-duplicate input); the caller should
+    /// fall back to a full [`GaussianProcess::fit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_new` has the wrong dimension.
+    pub fn extend(&mut self, x_new: &[f64], y_new: f64) -> bool {
+        assert_eq!(x_new.len(), self.x[0].len(), "dimension mismatch");
+        let c: Vec<f64> = self
+            .x
+            .iter()
+            .map(|xi| (-0.5 * sq_dist(xi, x_new) / self.lengthscale_sq).exp())
+            .collect();
+        let w = self.chol.solve_lower(&c);
+        let d2 = 1.0 + self.jitter - w.iter().map(|v| v * v).sum::<f64>();
+        // Guard well above zero: a tiny pivot makes the factor
+        // ill-conditioned even when it technically exists.
+        if !(d2 > 1e-10) {
+            return false;
+        }
+        self.chol.extend_lower(&w, d2.sqrt());
+        self.x.push(x_new.to_vec());
+        self.y.push(y_new);
+        self.refresh_targets();
+        true
+    }
+
+    /// Recomputes the target-dependent state (mean, signal variance,
+    /// `alpha`) against the current factorization — O(n²).
+    fn refresh_targets(&mut self) {
+        let n = self.y.len();
+        self.mean_y = self.y.iter().sum::<f64>() / n as f64;
+        let centred: Vec<f64> = self.y.iter().map(|v| v - self.mean_y).collect();
+        self.signal_var = (centred.iter().map(|v| v * v).sum::<f64>() / n as f64).max(1e-12);
+        let tmp = self.chol.solve_lower(&centred);
+        self.alpha = self.chol.solve_lower_transpose(&tmp);
     }
 
     /// Number of training points.
@@ -93,6 +179,11 @@ impl GaussianProcess {
         self.x.is_empty()
     }
 
+    /// The squared lengthscale currently in effect (frozen between fits).
+    pub fn lengthscale_sq(&self) -> f64 {
+        self.lengthscale_sq
+    }
+
     /// Posterior mean and variance at `point`.
     ///
     /// # Panics
@@ -100,14 +191,14 @@ impl GaussianProcess {
     /// Panics if `point` has the wrong dimension.
     pub fn predict(&self, point: &[f64]) -> (f64, f64) {
         assert_eq!(point.len(), self.x[0].len(), "dimension mismatch");
-        let kstar: Vec<f64> = self
+        let cstar: Vec<f64> = self
             .x
             .iter()
-            .map(|xi| self.signal_var * (-0.5 * sq_dist(xi, point) / self.lengthscale_sq).exp())
+            .map(|xi| (-0.5 * sq_dist(xi, point) / self.lengthscale_sq).exp())
             .collect();
-        let mean = self.mean_y + kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
-        let v = self.chol.solve_lower(&kstar);
-        let var = (self.signal_var - v.iter().map(|x| x * x).sum::<f64>()).max(0.0);
+        let mean = self.mean_y + dot(&cstar, &self.alpha);
+        let v = self.chol.solve_lower(&cstar);
+        let var = (self.signal_var * (1.0 - v.iter().map(|x| x * x).sum::<f64>())).max(0.0);
         (mean, var)
     }
 
@@ -115,6 +206,68 @@ impl GaussianProcess {
     pub fn lcb(&self, point: &[f64], beta: f64) -> f64 {
         let (m, v) = self.predict(point);
         m - beta * v.sqrt()
+    }
+}
+
+/// Median of a scratch list of squared distances (via selection, O(m));
+/// matches the sorted-middle convention with a floor of `1e-6`.
+fn median_sq_dist(dists: &mut [f64]) -> f64 {
+    if dists.is_empty() {
+        return 1.0;
+    }
+    let mid = dists.len() / 2;
+    let (_, m, _) =
+        dists.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("finite distances"));
+    (*m).max(1e-6)
+}
+
+/// Incrementally maintained pairwise squared distances for the median
+/// lengthscale heuristic.
+///
+/// Appending the `n`-th point costs O(n·d) instead of rebuilding all
+/// O(n²) pairs, so a Bayesian-optimization loop can keep the heuristic
+/// current without quadratic rescans per iteration.
+#[derive(Debug, Clone, Default)]
+pub struct DistanceCache {
+    points: Vec<Vec<f64>>,
+    dists: Vec<f64>,
+}
+
+impl DistanceCache {
+    /// Creates an empty cache.
+    pub fn new() -> DistanceCache {
+        DistanceCache::default()
+    }
+
+    /// Appends a point, recording its distance to every existing point.
+    pub fn push(&mut self, p: Vec<f64>) {
+        for q in &self.points {
+            self.dists.push(sq_dist(q, &p));
+        }
+        self.points.push(p);
+    }
+
+    /// Number of points recorded.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no point has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Drops all recorded points and distances.
+    pub fn clear(&mut self) {
+        self.points.clear();
+        self.dists.clear();
+    }
+
+    /// Median pairwise squared distance (1.0 when fewer than two points),
+    /// floored at `1e-6` — the GP's squared-lengthscale heuristic.
+    pub fn median_sq_dist(&self) -> f64 {
+        let mut scratch = self.dists.clone();
+        median_sq_dist(&mut scratch)
     }
 }
 
@@ -188,5 +341,76 @@ mod tests {
         let gp = GaussianProcess::fit(&x, &y).unwrap();
         assert_eq!(gp.len(), 5);
         assert!(!gp.is_empty());
+    }
+
+    #[test]
+    fn extend_matches_full_refit_at_same_lengthscale() {
+        let x = grid1d(10);
+        let y: Vec<f64> = x.iter().map(|p| (3.0 * p[0]).cos() + 0.5 * p[0]).collect();
+        // Fit on the first 6 points, extend with the remaining 4.
+        let mut inc = GaussianProcess::fit(&x[..6], &y[..6]).unwrap();
+        let ls = inc.lengthscale_sq();
+        for i in 6..10 {
+            assert!(inc.extend(&x[i], y[i]), "extension failed at {i}");
+        }
+        let full = GaussianProcess::fit_with_lengthscale(&x, &y, ls).unwrap();
+        for q in [0.05, 0.33, 0.61, 0.97] {
+            let (mi, vi) = inc.predict(&[q]);
+            let (mf, vf) = full.predict(&[q]);
+            assert!((mi - mf).abs() < 1e-8, "mean {mi} vs {mf} at {q}");
+            assert!((vi - vf).abs() < 1e-8, "var {vi} vs {vf} at {q}");
+        }
+        assert_eq!(inc.len(), 10);
+    }
+
+    #[test]
+    fn extend_rejects_near_duplicate_without_corruption() {
+        let x = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let y = vec![0.0, 1.0, 0.0];
+        let mut gp = GaussianProcess::fit(&x, &y).unwrap();
+        let before = gp.predict(&[0.25]);
+        // A near-exact duplicate may be rejected; the GP must be unchanged
+        // in that case.
+        if !gp.extend(&[0.5 + 1e-15], 1.0) {
+            let after = gp.predict(&[0.25]);
+            assert_eq!(before, after);
+            assert_eq!(gp.len(), 3);
+        }
+    }
+
+    #[test]
+    fn distance_cache_matches_direct_median() {
+        let pts: Vec<Vec<f64>> =
+            (0..9).map(|i| vec![(i * i % 7) as f64 * 0.13, i as f64 * 0.1]).collect();
+        let mut cache = DistanceCache::new();
+        for p in &pts {
+            cache.push(p.clone());
+        }
+        assert_eq!(cache.len(), 9);
+        // Direct computation, seed convention: sort all pairs, take mid.
+        let mut dists = Vec::new();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                dists.push(sq_dist(&pts[i], &pts[j]));
+            }
+        }
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect = dists[dists.len() / 2].max(1e-6);
+        assert_eq!(cache.median_sq_dist(), expect);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.median_sq_dist(), 1.0);
+    }
+
+    #[test]
+    fn fit_uses_median_heuristic() {
+        let x = grid1d(7);
+        let y: Vec<f64> = x.iter().map(|p| p[0]).collect();
+        let gp = GaussianProcess::fit(&x, &y).unwrap();
+        let mut cache = DistanceCache::new();
+        for p in &x {
+            cache.push(p.clone());
+        }
+        assert_eq!(gp.lengthscale_sq(), cache.median_sq_dist());
     }
 }

@@ -46,11 +46,13 @@
 
 mod anneal;
 mod bayesopt;
+mod cache;
 mod evaluator;
 mod exhaustive;
 mod ga;
 mod gp;
 pub mod linalg;
+pub mod par;
 pub mod pareto;
 mod random;
 mod result;
@@ -58,10 +60,11 @@ mod space;
 
 pub use anneal::AnnealingOptimizer;
 pub use bayesopt::SmsEgoOptimizer;
+pub use cache::{CacheStats, CachedEvaluator};
 pub use evaluator::{Evaluator, MultiObjectiveOptimizer};
 pub use exhaustive::ExhaustiveSearch;
 pub use ga::Nsga2Optimizer;
-pub use gp::GaussianProcess;
+pub use gp::{DistanceCache, GaussianProcess};
 pub use random::RandomSearch;
 pub use result::{EvaluationRecord, OptimizationResult};
 pub use space::{DesignSpace, SpaceError};

@@ -113,6 +113,32 @@ impl Matrix {
         x
     }
 
+    /// Grows a lower-triangular `n×n` matrix to `(n+1)×(n+1)` by
+    /// appending `[row, diag]` as the last row (the entries above the new
+    /// diagonal stay zero). This is the rank-1 Cholesky extension step:
+    /// with `row = L⁻¹c` and `diag = sqrt(a − |row|²)`, the result
+    /// factorizes the original matrix bordered by column `c` and corner
+    /// `a` — in O(n) once the triangular solve for `row` is done.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `row.len() != self.rows()`.
+    pub fn extend_lower(&mut self, row: &[f64], diag: f64) {
+        assert_eq!(self.rows, self.cols, "extend_lower requires a square matrix");
+        assert_eq!(self.rows, row.len(), "border row has wrong length");
+        let n = self.rows;
+        let mut data = Vec::with_capacity((n + 1) * (n + 1));
+        for r in 0..n {
+            data.extend_from_slice(&self.data[r * n..(r + 1) * n]);
+            data.push(0.0);
+        }
+        data.extend_from_slice(row);
+        data.push(diag);
+        self.rows = n + 1;
+        self.cols = n + 1;
+        self.data = data;
+    }
+
     /// Matrix-vector product.
     ///
     /// # Panics
@@ -120,9 +146,7 @@ impl Matrix {
     /// Panics if `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len());
-        (0..self.rows)
-            .map(|r| (0..self.cols).map(|c| self[(r, c)] * v[c]).sum())
-            .collect()
+        (0..self.rows).map(|r| (0..self.cols).map(|c| self[(r, c)] * v[c]).sum()).collect()
     }
 }
 
@@ -207,6 +231,33 @@ mod tests {
         let back = a.mul_vec(&x);
         for (bi, yi) in b.iter().zip(&back) {
             assert!((bi - yi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn extend_lower_matches_direct_cholesky() {
+        // Factorize the 3×3 leading block, extend with the last
+        // row/column, and compare against factorizing all of 4×4 at once.
+        let m = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f64 * 0.07 + 0.4);
+        let a = Matrix::from_fn(4, 4, |r, c| {
+            let mut s = if r == c { 2.0 } else { 0.0 };
+            for k in 0..4 {
+                s += m[(r, k)] * m[(c, k)];
+            }
+            s
+        });
+        let block = Matrix::from_fn(3, 3, |r, c| a[(r, c)]);
+        let mut l = block.cholesky().expect("SPD block");
+        let border: Vec<f64> = (0..3).map(|r| a[(r, 3)]).collect();
+        let w = l.solve_lower(&border);
+        let d2 = a[(3, 3)] - w.iter().map(|x| x * x).sum::<f64>();
+        assert!(d2 > 0.0);
+        l.extend_lower(&w, d2.sqrt());
+        let full = a.cholesky().expect("SPD");
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!((l[(r, c)] - full[(r, c)]).abs() < 1e-10, "({r},{c})");
+            }
         }
     }
 

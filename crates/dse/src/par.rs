@@ -1,0 +1,139 @@
+//! Deterministic parallel map built on scoped threads — zero new
+//! dependencies.
+//!
+//! Workers claim item indices from a shared atomic counter, evaluate
+//! `f(index, &item)`, and send `(index, result)` pairs over a channel;
+//! the results are reassembled in index order. The output is therefore
+//! **bit-identical** to a sequential map regardless of worker count or
+//! OS scheduling, which is what lets the DSE optimizers fan out
+//! expensive black-box evaluations and acquisition scoring without
+//! perturbing their deterministic trajectories.
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`]
+//! and can be overridden with the `AUTOPILOT_THREADS` environment
+//! variable (or per-optimizer via their `with_threads` builders).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "AUTOPILOT_THREADS";
+
+/// The effective default worker count: `AUTOPILOT_THREADS` when set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`]
+/// (falling back to 1 when the hardware cannot be queried).
+pub fn worker_count() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => hardware_workers(),
+        },
+        Err(_) => hardware_workers(),
+    }
+}
+
+fn hardware_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Maps `f` over `items` using the default worker count (see
+/// [`worker_count`]); results are returned in item order.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_with(worker_count(), items, f)
+}
+
+/// Like [`parallel_map`] with an explicit worker count. A worker count of
+/// one (or a single item) runs inline on the calling thread, so the
+/// sequential path has zero threading overhead.
+///
+/// # Panics
+///
+/// Propagates any panic raised by `f`.
+pub fn parallel_map_with<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for (i, r) in rx {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|s| s.expect("every claimed index produces a result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map() {
+        let items: Vec<usize> = (0..100).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * x + 1).collect();
+        for workers in [1, 2, 3, 8, 200] {
+            let got = parallel_map_with(workers, &items, |_, &x| x * x + 1);
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn passes_item_indices() {
+        let items = vec!["a", "b", "c"];
+        let got = parallel_map_with(2, &items, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let items: Vec<u8> = Vec::new();
+        let got: Vec<u8> = parallel_map_with(4, &items, |_, &x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn shared_state_is_visible_to_workers() {
+        // Workers borrow the environment: summing through an atomic must
+        // account for every item exactly once.
+        let items: Vec<u64> = (1..=64).collect();
+        let total = std::sync::atomic::AtomicU64::new(0);
+        let _ = parallel_map_with(4, &items, |_, &x| {
+            total.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64 * 65 / 2);
+    }
+}

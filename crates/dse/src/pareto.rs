@@ -117,10 +117,7 @@ pub fn crowding_distance(points: &[Vec<f64>], indices: &[usize]) -> Vec<f64> {
 /// Panics for more than three objectives or mismatched dimensions.
 pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
     let d = reference.len();
-    assert!(
-        (1..=3).contains(&d),
-        "hypervolume implemented for 1-3 objectives, got {d}"
-    );
+    assert!((1..=3).contains(&d), "hypervolume implemented for 1-3 objectives, got {d}");
     let filtered: Vec<Vec<f64>> = points
         .iter()
         .filter(|p| {
@@ -140,6 +137,51 @@ pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
         3 => hv3d(&front, reference),
         _ => unreachable!(),
     }
+}
+
+/// Exact exclusive hypervolume contribution of `candidate` with respect
+/// to `front`: `hypervolume(front ∪ {candidate}) - hypervolume(front)`,
+/// computed without touching the part of the front outside the
+/// candidate's dominated box.
+///
+/// The candidate's box `[candidate, reference]` is intersected with each
+/// front point's box by clipping the point to `max(point, candidate)`
+/// componentwise; the contribution is the candidate's box volume minus
+/// the union volume of the clipped boxes. Front points that weakly
+/// dominate the candidate cover the box entirely (contribution 0, early
+/// exit), and points whose clip collapses against the reference drop
+/// out — so scoring a large candidate pool against a front costs only
+/// the overlapping region per candidate instead of two full-front
+/// hypervolume computations.
+///
+/// Supports 1, 2, and 3 objectives.
+///
+/// # Panics
+///
+/// Panics for more than three objectives or mismatched dimensions.
+pub fn hypervolume_contribution(front: &[Vec<f64>], candidate: &[f64], reference: &[f64]) -> f64 {
+    let d = reference.len();
+    assert!((1..=3).contains(&d), "hypervolume implemented for 1-3 objectives, got {d}");
+    assert_eq!(candidate.len(), d, "objective dimension mismatch");
+    if !candidate.iter().zip(reference).all(|(x, r)| x < r) {
+        return 0.0;
+    }
+    let mut clipped: Vec<Vec<f64>> = Vec::new();
+    for f in front {
+        assert_eq!(f.len(), d, "objective dimension mismatch");
+        if f.iter().zip(candidate).all(|(a, b)| a <= b) {
+            return 0.0;
+        }
+        let g: Vec<f64> = f.iter().zip(candidate).map(|(a, b)| a.max(*b)).collect();
+        if g.iter().zip(reference).all(|(x, r)| x < r) {
+            clipped.push(g);
+        }
+    }
+    let box_vol: f64 = candidate.iter().zip(reference).map(|(c, r)| r - c).product();
+    if clipped.is_empty() {
+        return box_vol;
+    }
+    (box_vol - hypervolume(&clipped, reference)).max(0.0)
 }
 
 /// 2-D hypervolume by a left-to-right sweep over the sorted front.
@@ -167,11 +209,7 @@ fn hv3d(front: &[Vec<f64>], reference: &[f64]) -> f64 {
     let mut active: Vec<Vec<f64>> = Vec::new();
     for (rank, &i) in order.iter().enumerate() {
         let z_lo = front[i][2];
-        let z_hi = if rank + 1 < order.len() {
-            front[order[rank + 1]][2]
-        } else {
-            reference[2]
-        };
+        let z_hi = if rank + 1 < order.len() { front[order[rank + 1]][2] } else { reference[2] };
         active.push(vec![front[i][0], front[i][1]]);
         if z_hi > z_lo {
             let ref2 = [reference[0], reference[1]];
@@ -283,6 +321,60 @@ mod tests {
         let a = hypervolume(&[vec![1.0, 1.0]], &r);
         let b = hypervolume(&[vec![1.0, 1.0], vec![2.0, 2.0]], &r);
         assert!((a - b).abs() < 1e-12);
+    }
+
+    /// Pseudo-random fixed point sets for contribution-equality checks
+    /// (deterministic — a simple LCG, no RNG dependency).
+    fn lcg_points(seed: u64, n: usize, d: usize, scale: f64) -> Vec<Vec<f64>> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 * scale
+        };
+        (0..n).map(|_| (0..d).map(|_| next()).collect()).collect()
+    }
+
+    #[test]
+    fn contribution_matches_hv_difference() {
+        for d in 1..=3usize {
+            let reference = vec![10.0; d];
+            for seed in 0..6u64 {
+                let front = lcg_points(seed * 7 + 1, 12, d, 9.0);
+                let candidates = lcg_points(seed * 13 + 5, 8, d, 11.0);
+                let base = hypervolume(&front, &reference);
+                for c in &candidates {
+                    let mut joined = front.clone();
+                    joined.push(c.clone());
+                    let expect = hypervolume(&joined, &reference) - base;
+                    let got = hypervolume_contribution(&front, c, &reference);
+                    assert!(
+                        (got - expect).abs() < 1e-9,
+                        "d={d} seed={seed}: {got} vs {expect} for {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contribution_of_dominated_candidate_is_zero() {
+        let front = vec![vec![1.0, 1.0, 1.0]];
+        let r = [4.0, 4.0, 4.0];
+        assert_eq!(hypervolume_contribution(&front, &[2.0, 2.0, 2.0], &r), 0.0);
+        assert_eq!(hypervolume_contribution(&front, &[1.0, 1.0, 1.0], &r), 0.0);
+    }
+
+    #[test]
+    fn contribution_outside_reference_is_zero() {
+        let front: Vec<Vec<f64>> = Vec::new();
+        assert_eq!(hypervolume_contribution(&front, &[5.0, 1.0], &[4.0, 4.0]), 0.0);
+    }
+
+    #[test]
+    fn contribution_against_empty_front_is_box_volume() {
+        let front: Vec<Vec<f64>> = Vec::new();
+        let got = hypervolume_contribution(&front, &[1.0, 2.0], &[4.0, 4.0]);
+        assert!((got - 6.0).abs() < 1e-12);
     }
 }
 

@@ -5,21 +5,36 @@ use rand_chacha::ChaCha12Rng;
 use std::collections::HashSet;
 
 use crate::evaluator::{Evaluator, MultiObjectiveOptimizer};
+use crate::par;
 use crate::result::{EvaluationRecord, OptimizationResult};
 use crate::space::DesignSpace;
 
 /// Uniform random search without replacement (up to a retry bound).
 ///
-/// The weakest sensible baseline for Phase-2 DSE comparisons.
+/// The weakest sensible baseline for Phase-2 DSE comparisons. The point
+/// sequence is drawn up front (it depends only on the seed, never on
+/// objective values), so evaluations fan out across worker threads while
+/// the result stays bit-identical to a sequential run.
 #[derive(Debug, Clone)]
 pub struct RandomSearch {
     seed: u64,
+    threads: Option<usize>,
 }
 
 impl RandomSearch {
     /// Creates a random search with a deterministic seed.
     pub fn new(seed: u64) -> RandomSearch {
-        RandomSearch { seed }
+        RandomSearch { seed, threads: None }
+    }
+
+    /// Pins the evaluation worker count (default: [`par::worker_count`]).
+    pub fn with_threads(mut self, n: usize) -> RandomSearch {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    fn workers(&self) -> usize {
+        self.threads.unwrap_or_else(par::worker_count)
     }
 }
 
@@ -36,21 +51,28 @@ impl MultiObjectiveOptimizer for RandomSearch {
     ) -> OptimizationResult {
         let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
         let mut seen: HashSet<Vec<usize>> = HashSet::new();
-        let mut history = Vec::with_capacity(budget);
+        let mut points: Vec<Vec<usize>> = Vec::with_capacity(budget);
         let mut retries = 0usize;
-        while history.len() < budget && retries < budget * 20 {
+        while points.len() < budget && retries < budget * 20 {
             let p = space.random_point(&mut rng);
             if !seen.insert(p.clone()) {
                 retries += 1;
                 continue;
             }
-            let objectives = evaluator.evaluate(&p);
-            history.push(EvaluationRecord {
-                iteration: history.len(),
-                point: p,
-                objectives,
-            });
+            points.push(p);
         }
+        let objectives =
+            par::parallel_map_with(self.workers(), &points, |_, p| evaluator.evaluate(p));
+        let history: Vec<EvaluationRecord> = points
+            .into_iter()
+            .zip(objectives)
+            .enumerate()
+            .map(|(iteration, (point, objectives))| EvaluationRecord {
+                iteration,
+                point,
+                objectives,
+            })
+            .collect();
         OptimizationResult::from_history(self.name(), history, evaluator.reference_point())
     }
 }
@@ -85,5 +107,15 @@ mod tests {
         let space = DesignSpace::new(vec![4]).unwrap();
         let res = RandomSearch::new(2).run(&space, &Tradeoff, 100);
         assert_eq!(res.evaluation_count(), 4);
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let space = DesignSpace::new(vec![16, 16]).unwrap();
+        let base = RandomSearch::new(5).with_threads(1).run(&space, &Tradeoff, 24);
+        for t in [2, 4, 7] {
+            let r = RandomSearch::new(5).with_threads(t).run(&space, &Tradeoff, 24);
+            assert_eq!(base, r, "threads = {t}");
+        }
     }
 }

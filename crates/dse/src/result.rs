@@ -52,8 +52,7 @@ impl OptimizationResult {
 
     /// The non-dominated subset of all evaluations.
     pub fn pareto_front(&self) -> Vec<&EvaluationRecord> {
-        let objs: Vec<Vec<f64>> =
-            self.evaluations.iter().map(|e| e.objectives.clone()).collect();
+        let objs: Vec<Vec<f64>> = self.evaluations.iter().map(|e| e.objectives.clone()).collect();
         pareto_indices(&objs).into_iter().map(|i| &self.evaluations[i]).collect()
     }
 

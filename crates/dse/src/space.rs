@@ -62,8 +62,7 @@ impl DesignSpace {
 
     /// True when `point` is inside the space.
     pub fn contains(&self, point: &[usize]) -> bool {
-        point.len() == self.dims()
-            && point.iter().zip(&self.cardinalities).all(|(&p, &c)| p < c)
+        point.len() == self.dims() && point.iter().zip(&self.cardinalities).all(|(&p, &c)| p < c)
     }
 
     /// Normalized `[0, 1]^d` encoding of `point` (level midpoint
@@ -77,13 +76,7 @@ impl DesignSpace {
         point
             .iter()
             .zip(&self.cardinalities)
-            .map(|(&p, &c)| {
-                if c == 1 {
-                    0.5
-                } else {
-                    p as f64 / (c - 1) as f64
-                }
-            })
+            .map(|(&p, &c)| if c == 1 { 0.5 } else { p as f64 / (c - 1) as f64 })
             .collect()
     }
 
@@ -189,10 +182,7 @@ mod tests {
     #[test]
     fn rejects_degenerate_spaces() {
         assert_eq!(DesignSpace::new(vec![]), Err(SpaceError::NoDimensions));
-        assert_eq!(
-            DesignSpace::new(vec![3, 0]),
-            Err(SpaceError::EmptyDimension { dim: 1 })
-        );
+        assert_eq!(DesignSpace::new(vec![3, 0]), Err(SpaceError::EmptyDimension { dim: 1 }));
     }
 
     #[test]
@@ -218,11 +208,7 @@ mod tests {
         let n = s.neighbors(&[1, 1]);
         assert_eq!(n.len(), 4);
         for p in &n {
-            let diff: usize = p
-                .iter()
-                .zip(&[1usize, 1])
-                .map(|(a, b)| a.abs_diff(*b))
-                .sum();
+            let diff: usize = p.iter().zip(&[1usize, 1]).map(|(a, b)| a.abs_diff(*b)).sum();
             assert_eq!(diff, 1);
         }
         // Corner point has fewer neighbours.

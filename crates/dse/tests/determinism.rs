@@ -1,0 +1,138 @@
+//! Cross-cutting guarantees of the parallel evaluation engine: for a
+//! fixed seed, every optimizer produces bit-identical results at any
+//! worker count, and wrapping an evaluator in [`CachedEvaluator`] never
+//! changes what the optimizer sees.
+
+use dse_opt::{
+    CachedEvaluator, DesignSpace, Evaluator, MultiObjectiveOptimizer, Nsga2Optimizer,
+    OptimizationResult, RandomSearch, SmsEgoOptimizer,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A three-objective bowl with competing minima — enough structure that
+/// the optimizers actually take different trajectories if anything about
+/// evaluation order or caching leaks into their decisions.
+struct Bowl;
+
+impl Evaluator for Bowl {
+    fn num_objectives(&self) -> usize {
+        3
+    }
+    fn evaluate(&self, point: &[usize]) -> Vec<f64> {
+        let x = point[0] as f64 / 7.0;
+        let y = point[1] as f64 / 7.0;
+        let z = point[2] as f64 / 7.0;
+        vec![(x - 0.2).powi(2) + 0.3 * y, (y - 0.8).powi(2) + 0.1 * z, (z - 0.5).powi(2) + 0.2 * x]
+    }
+    fn reference_point(&self) -> Vec<f64> {
+        vec![2.0, 2.0, 2.0]
+    }
+}
+
+/// `Bowl` plus an invocation counter, to assert how often the underlying
+/// simulator actually ran.
+struct CountingBowl {
+    calls: AtomicUsize,
+}
+
+impl CountingBowl {
+    fn new() -> CountingBowl {
+        CountingBowl { calls: AtomicUsize::new(0) }
+    }
+}
+
+impl Evaluator for CountingBowl {
+    fn num_objectives(&self) -> usize {
+        Bowl.num_objectives()
+    }
+    fn evaluate(&self, point: &[usize]) -> Vec<f64> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        Bowl.evaluate(point)
+    }
+    fn reference_point(&self) -> Vec<f64> {
+        Bowl.reference_point()
+    }
+}
+
+fn space() -> DesignSpace {
+    DesignSpace::new(vec![8, 8, 8]).expect("valid space")
+}
+
+fn run_all(threads: usize) -> [OptimizationResult; 3] {
+    let space = space();
+    [
+        SmsEgoOptimizer::new(13).with_threads(threads).run(&space, &Bowl, 28),
+        Nsga2Optimizer::new(13).with_population(8).with_threads(threads).run(&space, &Bowl, 40),
+        RandomSearch::new(13).with_threads(threads).run(&space, &Bowl, 32),
+    ]
+}
+
+#[test]
+fn optimizers_bit_identical_across_thread_counts() {
+    let base = run_all(1);
+    for threads in [2, 3, 8] {
+        let got = run_all(threads);
+        for (b, g) in base.iter().zip(&got) {
+            assert_eq!(b, g, "{} diverged at {threads} threads", b.algorithm);
+        }
+    }
+}
+
+#[test]
+fn cached_evaluator_transparent_to_optimizers() {
+    let space = space();
+    let plain = SmsEgoOptimizer::new(5).run(&space, &Bowl, 24);
+    let cached_eval = CachedEvaluator::new(Bowl);
+    let cached = SmsEgoOptimizer::new(5).run(&space, &cached_eval, 24);
+    assert_eq!(plain, cached);
+
+    let plain = Nsga2Optimizer::new(5).with_population(8).run(&space, &Bowl, 36);
+    let cached =
+        Nsga2Optimizer::new(5).with_population(8).run(&space, &CachedEvaluator::new(Bowl), 36);
+    assert_eq!(plain, cached);
+
+    let plain = RandomSearch::new(5).run(&space, &Bowl, 24);
+    let cached = RandomSearch::new(5).run(&space, &CachedEvaluator::new(Bowl), 24);
+    assert_eq!(plain, cached);
+}
+
+#[test]
+fn cache_shared_across_runs_skips_reevaluation() {
+    let space = space();
+    let counting = CountingBowl::new();
+    let cached = CachedEvaluator::new(&counting);
+
+    let first = SmsEgoOptimizer::new(2).run(&space, &cached, 20);
+    let after_first = counting.calls.load(Ordering::Relaxed);
+    assert_eq!(after_first, first.evaluation_count());
+
+    // Same seed, same trajectory: the second run must be pure cache hits.
+    let second = SmsEgoOptimizer::new(2).run(&space, &cached, 20);
+    assert_eq!(first, second);
+    assert_eq!(counting.calls.load(Ordering::Relaxed), after_first);
+    let stats = cached.stats();
+    assert_eq!(stats.misses, after_first);
+    assert!(stats.hits >= second.evaluation_count());
+}
+
+#[test]
+fn cached_objectives_always_match_inner() {
+    let space = space();
+    let cached = CachedEvaluator::new(Bowl);
+    let _ = Nsga2Optimizer::new(17).with_population(8).run(&space, &cached, 48);
+    // Every memoized entry must still agree with a fresh evaluation.
+    let mut checked = 0usize;
+    for x in 0..8 {
+        for y in 0..8 {
+            for z in 0..8 {
+                let point = vec![x, y, z];
+                if let Some(stored) = cached.peek(&point) {
+                    assert_eq!(stored, Bowl.evaluate(&point), "stale entry for {point:?}");
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(checked, cached.len());
+    assert!(checked > 0);
+}

@@ -1,12 +1,12 @@
 //! Property-based tests for the DSE machinery.
 
 use dse_opt::pareto::{
-    crowding_distance, dominates, hypervolume, inverted_generational_distance,
-    non_dominated_sort, pareto_indices,
+    crowding_distance, dominates, hypervolume, inverted_generational_distance, non_dominated_sort,
+    pareto_indices,
 };
 use dse_opt::{
-    AnnealingOptimizer, DesignSpace, Evaluator, ExhaustiveSearch, MultiObjectiveOptimizer,
-    Nsga2Optimizer, RandomSearch,
+    AnnealingOptimizer, CachedEvaluator, DesignSpace, Evaluator, ExhaustiveSearch,
+    MultiObjectiveOptimizer, Nsga2Optimizer, RandomSearch,
 };
 use proptest::prelude::*;
 
@@ -137,5 +137,28 @@ proptest! {
                 prop_assert!(w[1] >= w[0] - 1e-12);
             }
         }
+    }
+
+    /// A memoizing evaluator never returns stale objectives: for any
+    /// query sequence (duplicates included), every answer equals a fresh
+    /// inner evaluation, and the bookkeeping adds up.
+    #[test]
+    fn cached_evaluator_never_stale(
+        queries in prop::collection::vec(
+            prop::collection::vec(0usize..16, 2..=2), 1..64)
+    ) {
+        let cached = CachedEvaluator::new(Weighted);
+        for q in &queries {
+            prop_assert_eq!(cached.evaluate(q), Weighted.evaluate(q), "query {:?}", q);
+            // The stored entry matches what was just returned.
+            prop_assert_eq!(cached.peek(q), Some(Weighted.evaluate(q)));
+        }
+        let mut distinct: Vec<&Vec<usize>> = queries.iter().collect();
+        distinct.sort();
+        distinct.dedup();
+        let stats = cached.stats();
+        prop_assert_eq!(stats.misses, distinct.len());
+        prop_assert_eq!(stats.entries, distinct.len());
+        prop_assert_eq!(stats.hits, queries.len() - distinct.len());
     }
 }

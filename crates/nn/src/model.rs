@@ -119,10 +119,7 @@ mod tests {
         // The paper states AutoPilot E2E models are 109x-121x DroNet.
         for (l, f) in [(5, 32), (4, 48), (7, 48)] {
             let ratio = model(l, f).parameter_count() as f64 / DRONET_PARAMETERS as f64;
-            assert!(
-                (105.0..=125.0).contains(&ratio),
-                "l{l}f{f} ratio {ratio:.1} outside band"
-            );
+            assert!((105.0..=125.0).contains(&ratio), "l{l}f{f} ratio {ratio:.1} outside band");
         }
     }
 

@@ -53,8 +53,8 @@ mod tests {
     #[test]
     fn breakdown_shares_sum_to_one() {
         let cfg = ArrayConfig::default();
-        let stats = Simulator::new(cfg.clone())
-            .simulate_network(&[Layer::conv2d(96, 96, 3, 32, 3, 2, 1)]);
+        let stats =
+            Simulator::new(cfg.clone()).simulate_network(&[Layer::conv2d(96, 96, 3, 32, 3, 2, 1)]);
         let report = SocPowerModel::new().evaluate(&cfg, &stats);
         let text = power_breakdown(&report);
         let shares: f64 = text

@@ -51,12 +51,10 @@ impl SocPowerModel {
         let pe_energy_j = self.pe.dynamic_energy_j(stats.total_macs());
         let mut sram_energy_j = 0.0;
         for layer in &stats.layers {
-            sram_energy_j += self
-                .sram
-                .dynamic_energy_j(config.ifmap_sram_bytes(), layer.ifmap_sram_reads);
-            sram_energy_j += self
-                .sram
-                .dynamic_energy_j(config.filter_sram_bytes(), layer.filter_sram_reads);
+            sram_energy_j +=
+                self.sram.dynamic_energy_j(config.ifmap_sram_bytes(), layer.ifmap_sram_reads);
+            sram_energy_j +=
+                self.sram.dynamic_energy_j(config.filter_sram_bytes(), layer.filter_sram_reads);
             sram_energy_j += self.sram.dynamic_energy_j(
                 config.ofmap_sram_bytes(),
                 layer.ofmap_sram_writes + layer.ofmap_sram_reads,
@@ -77,12 +75,11 @@ impl SocPowerModel {
             (config.ifmap_sram_bytes() + config.filter_sram_bytes() + config.ofmap_sram_bytes())
                 / 3,
         );
-        let sram_peak_w =
-            calib::peak_sram_bytes_per_cycle(config.rows(), config.cols()) * mean_sram_access_j
-                * clock_hz;
-        let dram_peak_w = self
-            .dram
-            .peak_access_w(config.dram_bandwidth_bytes_per_cycle() * clock_hz);
+        let sram_peak_w = calib::peak_sram_bytes_per_cycle(config.rows(), config.cols())
+            * mean_sram_access_j
+            * clock_hz;
+        let dram_peak_w =
+            self.dram.peak_access_w(config.dram_bandwidth_bytes_per_cycle() * clock_hz);
         let tdp_w = self.pe.peak_dynamic_w(config.pe_count(), clock_hz)
             + sram_peak_w
             + dram_peak_w
@@ -142,11 +139,8 @@ impl PowerReport {
     /// Average accelerator-subsystem power while running back-to-back
     /// inferences, in watts (dynamic amortized over latency + always-on).
     pub fn accelerator_avg_w(&self) -> f64 {
-        let dynamic = if self.latency_s > 0.0 {
-            self.frame_energy_j() / self.latency_s
-        } else {
-            0.0
-        };
+        let dynamic =
+            if self.latency_s > 0.0 { self.frame_energy_j() / self.latency_s } else { 0.0 };
         dynamic + self.pe_leakage_w + self.sram_leakage_w + self.dram_background_w
     }
 

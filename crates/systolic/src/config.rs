@@ -130,9 +130,7 @@ impl ArrayConfig {
 
 impl Default for ArrayConfig {
     fn default() -> Self {
-        ArrayConfigBuilder::new()
-            .build()
-            .expect("default configuration is valid")
+        ArrayConfigBuilder::new().build().expect("default configuration is valid")
     }
 }
 

@@ -37,11 +37,8 @@ pub enum Dataflow {
 
 impl Dataflow {
     /// All supported dataflows, useful for sweeps.
-    pub const ALL: [Dataflow; 3] = [
-        Dataflow::OutputStationary,
-        Dataflow::WeightStationary,
-        Dataflow::InputStationary,
-    ];
+    pub const ALL: [Dataflow; 3] =
+        [Dataflow::OutputStationary, Dataflow::WeightStationary, Dataflow::InputStationary];
 
     /// Short SCALE-Sim-style mnemonic (`"os"`, `"ws"`, `"is"`).
     pub fn mnemonic(&self) -> &'static str {
@@ -153,11 +150,8 @@ impl FoldPlan {
                 active_pe_cycles += act_r * act_c * g.k as u64;
             }
         }
-        let mean_active_pes = if compute_cycles > 0 {
-            active_pe_cycles as f64 / compute_cycles as f64
-        } else {
-            0.0
-        };
+        let mean_active_pes =
+            if compute_cycles > 0 { active_pe_cycles as f64 / compute_cycles as f64 } else { 0.0 };
         FoldPlan {
             dataflow: Dataflow::OutputStationary,
             gemm: g,
@@ -207,11 +201,8 @@ impl FoldPlan {
                 active_pe_cycles += g.m as u64 * act_k * act_c;
             }
         }
-        let mean_active_pes = if compute_cycles > 0 {
-            active_pe_cycles as f64 / compute_cycles as f64
-        } else {
-            0.0
-        };
+        let mean_active_pes =
+            if compute_cycles > 0 { active_pe_cycles as f64 / compute_cycles as f64 } else { 0.0 };
         FoldPlan {
             dataflow: Dataflow::WeightStationary,
             gemm: g,
@@ -259,11 +250,8 @@ impl FoldPlan {
                 active_pe_cycles += g.n as u64 * act_k * act_m;
             }
         }
-        let mean_active_pes = if compute_cycles > 0 {
-            active_pe_cycles as f64 / compute_cycles as f64
-        } else {
-            0.0
-        };
+        let mean_active_pes =
+            if compute_cycles > 0 { active_pe_cycles as f64 / compute_cycles as f64 } else { 0.0 };
         FoldPlan {
             dataflow: Dataflow::InputStationary,
             gemm: g,

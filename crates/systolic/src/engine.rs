@@ -174,12 +174,8 @@ mod tests {
     fn busy_cycles_match_fold_plan_exactly() {
         let config = ArrayConfig::default();
         let layer = Layer::conv2d(48, 48, 32, 64, 3, 1, 1);
-        let plan = FoldPlan::plan(
-            config.dataflow(),
-            layer.gemm().unwrap(),
-            config.rows(),
-            config.cols(),
-        );
+        let plan =
+            FoldPlan::plan(config.dataflow(), layer.gemm().unwrap(), config.rows(), config.cols());
         let result = execute_layer(&config, &layer);
         assert_eq!(result.busy_cycles, plan.compute_cycles);
         assert_eq!(result.folds, plan.total_folds() as u64);
@@ -199,7 +195,8 @@ mod tests {
     #[test]
     fn pool_layer_is_pure_dma() {
         let config = ArrayConfig::default();
-        let r = execute_layer(&config, &Layer::Pool { in_h: 48, in_w: 48, channels: 48, window: 12 });
+        let r =
+            execute_layer(&config, &Layer::Pool { in_h: 48, in_w: 48, channels: 48, window: 12 });
         assert_eq!(r.busy_cycles, 0);
         assert_eq!(r.folds, 0);
         assert!(r.total_cycles > 0);

@@ -43,7 +43,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "{buffer} scratchpad of {bytes} bytes cannot double-buffer one word")
             }
             ConfigError::InvalidBandwidth { bytes_per_cycle } => {
-                write!(f, "DRAM bandwidth of {bytes_per_cycle} bytes/cycle is not positive and finite")
+                write!(
+                    f,
+                    "DRAM bandwidth of {bytes_per_cycle} bytes/cycle is not positive and finite"
+                )
             }
             ConfigError::InvalidClock { mhz } => {
                 write!(f, "clock of {mhz} MHz is not positive and finite")

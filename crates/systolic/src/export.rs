@@ -62,10 +62,8 @@ mod tests {
     #[test]
     fn csv_has_header_layers_and_totals() {
         let sim = Simulator::new(ArrayConfig::default());
-        let stats = sim.simulate_network(&[
-            Layer::conv2d(32, 32, 3, 16, 3, 2, 1),
-            Layer::dense(1024, 32),
-        ]);
+        let stats =
+            sim.simulate_network(&[Layer::conv2d(32, 32, 3, 16, 3, 2, 1), Layer::dense(1024, 32)]);
         let csv = network_csv(&stats);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 4); // header + 2 layers + totals

@@ -119,11 +119,7 @@ impl Layer {
             Layer::Conv2d { in_h, in_w, in_c, out_c, kernel, stride, pad } => {
                 let oh = conv_out(in_h, kernel, stride, pad);
                 let ow = conv_out(in_w, kernel, stride, pad);
-                Some(GemmShape {
-                    m: oh * ow,
-                    k: kernel * kernel * in_c,
-                    n: out_c,
-                })
+                Some(GemmShape { m: oh * ow, k: kernel * kernel * in_c, n: out_c })
             }
             Layer::Dense { inputs, outputs } => Some(GemmShape { m: 1, k: inputs, n: outputs }),
             Layer::Pool { .. } => None,
@@ -143,9 +139,7 @@ impl Layer {
     /// Unique weight footprint in elements.
     pub fn filter_elements(&self) -> u64 {
         match *self {
-            Layer::Conv2d { in_c, out_c, kernel, .. } => {
-                (kernel * kernel * in_c * out_c) as u64
-            }
+            Layer::Conv2d { in_c, out_c, kernel, .. } => (kernel * kernel * in_c * out_c) as u64,
             Layer::Dense { inputs, outputs } => (inputs * outputs) as u64,
             Layer::Pool { .. } => 0,
         }

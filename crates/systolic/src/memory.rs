@@ -124,20 +124,10 @@ impl ScratchpadPlan {
         let ifmap_stream = plan.ifmap_sram_reads * w;
         let filter_stream = plan.filter_sram_reads * w;
 
-        let (ifmap_tier, ifmap_dram) = tier_traffic(
-            unique_ifmap,
-            ifmap_tile,
-            ifmap_refetch,
-            ifmap_stream,
-            ifmap_cap,
-        );
-        let (filter_tier, filter_dram) = tier_traffic(
-            unique_filter,
-            filter_tile,
-            filter_refetch,
-            filter_stream,
-            filter_cap,
-        );
+        let (ifmap_tier, ifmap_dram) =
+            tier_traffic(unique_ifmap, ifmap_tile, ifmap_refetch, ifmap_stream, ifmap_cap);
+        let (filter_tier, filter_dram) =
+            tier_traffic(unique_filter, filter_tile, filter_refetch, filter_stream, filter_cap);
 
         // Partial sums: WS/IS write M*C psums per fold into the ofmap
         // buffer. If the per-fold psum working set exceeds the buffer, the
@@ -237,10 +227,7 @@ mod tests {
         assert_eq!(sp.ifmap_tier, ReuseTier::Resident);
         assert_eq!(sp.filter_tier, ReuseTier::Resident);
         assert!(!sp.psum_spills);
-        assert_eq!(
-            sp.dram_read_bytes,
-            layer.ifmap_elements() + layer.filter_elements()
-        );
+        assert_eq!(sp.dram_read_bytes, layer.ifmap_elements() + layer.filter_elements());
         assert_eq!(sp.dram_write_bytes, layer.ofmap_elements());
     }
 
@@ -262,10 +249,7 @@ mod tests {
         for kb in [2, 8, 32, 128, 512, 2048] {
             let cfg = config(kb, 16.0);
             let (_, sp) = analyze(&cfg, &layer);
-            assert!(
-                sp.dram_total_bytes() <= prev,
-                "traffic increased when SRAM grew to {kb} KiB"
-            );
+            assert!(sp.dram_total_bytes() <= prev, "traffic increased when SRAM grew to {kb} KiB");
             prev = sp.dram_total_bytes();
         }
     }
@@ -276,8 +260,7 @@ mod tests {
         for kb in [2, 64, 4096] {
             let cfg = config(kb, 16.0);
             let (_, sp) = analyze(&cfg, &layer);
-            let unique =
-                layer.ifmap_elements() + layer.filter_elements() + layer.ofmap_elements();
+            let unique = layer.ifmap_elements() + layer.filter_elements() + layer.ofmap_elements();
             assert!(sp.dram_total_bytes() >= unique);
         }
     }

@@ -113,11 +113,7 @@ impl NetworkStats {
         if macs == 0 {
             return 0.0;
         }
-        self.layers
-            .iter()
-            .map(|l| l.utilization * l.macs as f64)
-            .sum::<f64>()
-            / macs as f64
+        self.layers.iter().map(|l| l.utilization * l.macs as f64).sum::<f64>() / macs as f64
     }
 
     /// Total SRAM accesses (elements).
@@ -158,10 +154,7 @@ mod tests {
     #[test]
     fn totals_are_sums_of_layers() {
         let s = stats();
-        assert_eq!(
-            s.total_cycles(),
-            s.layers.iter().map(|l| l.total_cycles).sum::<u64>()
-        );
+        assert_eq!(s.total_cycles(), s.layers.iter().map(|l| l.total_cycles).sum::<u64>());
         assert_eq!(s.total_cycles(), s.compute_cycles() + s.stall_cycles());
     }
 

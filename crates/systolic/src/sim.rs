@@ -41,15 +41,12 @@ impl Simulator {
     /// Simulates a single layer and returns its statistics.
     pub fn simulate_layer(&self, layer: &Layer) -> LayerStats {
         let gemm = layer.gemm().unwrap_or(crate::layer::GemmShape { m: 0, k: 0, n: 0 });
-        let plan = FoldPlan::plan(self.config.dataflow(), gemm, self.config.rows(), self.config.cols());
+        let plan =
+            FoldPlan::plan(self.config.dataflow(), gemm, self.config.rows(), self.config.cols());
         let mem = ScratchpadPlan::analyze(&self.config, layer, &plan);
         let total_cycles = plan.compute_cycles + mem.stall_cycles;
         let peak = total_cycles as f64 * self.config.pe_count() as f64;
-        let utilization = if peak > 0.0 {
-            (layer.mac_count() as f64 / peak).min(1.0)
-        } else {
-            0.0
-        };
+        let utilization = if peak > 0.0 { (layer.mac_count() as f64 / peak).min(1.0) } else { 0.0 };
         LayerStats {
             layer: *layer,
             compute_cycles: plan.compute_cycles,
@@ -81,7 +78,8 @@ impl Simulator {
     /// time-resolved power estimation.
     pub fn trace_layer(&self, layer: &Layer) -> TraceIter {
         let gemm = layer.gemm().unwrap_or(crate::layer::GemmShape { m: 0, k: 0, n: 0 });
-        let plan = FoldPlan::plan(self.config.dataflow(), gemm, self.config.rows(), self.config.cols());
+        let plan =
+            FoldPlan::plan(self.config.dataflow(), gemm, self.config.rows(), self.config.cols());
         let mem = ScratchpadPlan::analyze(&self.config, layer, &plan);
         TraceIter::new(plan, mem)
     }
@@ -93,14 +91,7 @@ mod tests {
     use crate::dataflow::Dataflow;
 
     fn sim(rows: usize, cols: usize, df: Dataflow) -> Simulator {
-        Simulator::new(
-            ArrayConfig::builder()
-                .rows(rows)
-                .cols(cols)
-                .dataflow(df)
-                .build()
-                .unwrap(),
-        )
+        Simulator::new(ArrayConfig::builder().rows(rows).cols(cols).dataflow(df).build().unwrap())
     }
 
     #[test]
@@ -110,11 +101,7 @@ mod tests {
         for df in Dataflow::ALL {
             let s = sim(32, 32, df).simulate_layer(&layer);
             let lower = layer.mac_count() / (32 * 32);
-            assert!(
-                s.total_cycles >= lower,
-                "{df}: {} < {lower}",
-                s.total_cycles
-            );
+            assert!(s.total_cycles >= lower, "{df}: {} < {lower}", s.total_cycles);
         }
     }
 
@@ -160,8 +147,12 @@ mod tests {
 
     #[test]
     fn pool_layer_simulates_without_macs() {
-        let s = Simulator::new(ArrayConfig::default())
-            .simulate_layer(&Layer::Pool { in_h: 16, in_w: 16, channels: 8, window: 2 });
+        let s = Simulator::new(ArrayConfig::default()).simulate_layer(&Layer::Pool {
+            in_h: 16,
+            in_w: 16,
+            channels: 8,
+            window: 2,
+        });
         assert_eq!(s.macs, 0);
         assert!(s.total_cycles > 0);
         assert_eq!(s.utilization, 0.0);
@@ -170,12 +161,8 @@ mod tests {
     #[test]
     fn utilization_accounts_for_stalls() {
         // With pathological bandwidth the utilization must drop.
-        let starved = Simulator::new(
-            ArrayConfig::builder().dram_bandwidth(0.25).build().unwrap(),
-        );
-        let rich = Simulator::new(
-            ArrayConfig::builder().dram_bandwidth(64.0).build().unwrap(),
-        );
+        let starved = Simulator::new(ArrayConfig::builder().dram_bandwidth(0.25).build().unwrap());
+        let rich = Simulator::new(ArrayConfig::builder().dram_bandwidth(64.0).build().unwrap());
         let layer = Layer::conv2d(56, 56, 32, 64, 3, 1, 1);
         let a = starved.simulate_layer(&layer);
         let b = rich.simulate_layer(&layer);

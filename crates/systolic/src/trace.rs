@@ -62,11 +62,7 @@ pub struct TraceIter {
 impl TraceIter {
     pub(crate) fn new(plan: FoldPlan, mem: ScratchpadPlan) -> TraceIter {
         let total_folds = plan.total_folds() as u64;
-        let per_fold_cycles = if total_folds > 0 {
-            plan.compute_cycles / total_folds
-        } else {
-            0
-        };
+        let per_fold_cycles = if total_folds > 0 { plan.compute_cycles / total_folds } else { 0 };
         let div = |x: u64| if total_folds > 0 { x / total_folds } else { 0 };
         TraceIter {
             plan,
@@ -204,9 +200,8 @@ mod tests {
     #[test]
     fn degenerate_layer_yields_short_trace() {
         let sim = Simulator::new(ArrayConfig::default());
-        let events: Vec<_> = sim
-            .trace_layer(&Layer::Pool { in_h: 8, in_w: 8, channels: 4, window: 2 })
-            .collect();
+        let events: Vec<_> =
+            sim.trace_layer(&Layer::Pool { in_h: 8, in_w: 8, channels: 4, window: 2 }).collect();
         // Pool has no folds; only the stall/fill tail appears.
         assert!(events.len() <= 1);
     }

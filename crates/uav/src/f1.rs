@@ -169,11 +169,7 @@ impl F1Model {
                 samples.push((f, self.safe_velocity(f)));
             }
         }
-        F1Curve {
-            samples,
-            ceiling: self.velocity_ceiling(),
-            knee_fps: self.knee_fps(),
-        }
+        F1Curve { samples, ceiling: self.velocity_ceiling(), knee_fps: self.knee_fps() }
     }
 }
 
@@ -226,14 +222,8 @@ mod tests {
         // 60 FPS sensors). Shape target: nano knee ~1.7x the micro knee.
         let nano_knee = nano().knee_fps().expect("nano knee");
         let micro_knee = micro().knee_fps().expect("micro knee");
-        assert!(
-            (40.0..=52.0).contains(&nano_knee),
-            "nano knee {nano_knee:.1} FPS"
-        );
-        assert!(
-            (23.0..=32.0).contains(&micro_knee),
-            "micro knee {micro_knee:.1} FPS"
-        );
+        assert!((40.0..=52.0).contains(&nano_knee), "nano knee {nano_knee:.1} FPS");
+        assert!((23.0..=32.0).contains(&micro_knee), "micro knee {micro_knee:.1} FPS");
         let ratio = nano_knee / micro_knee;
         assert!((1.4..=2.0).contains(&ratio), "knee ratio {ratio:.2}");
     }

@@ -79,10 +79,7 @@ impl BrakingSim {
         let (mut lo, mut hi) = (0.0, 120.0);
         for _ in 0..60 {
             let mid = 0.5 * (lo + hi);
-            if self
-                .encounter(mid, max_decel_ms2, response_time_s, sensor_range_m)
-                .safe()
-            {
+            if self.encounter(mid, max_decel_ms2, response_time_s, sensor_range_m).safe() {
                 lo = mid;
             } else {
                 hi = mid;

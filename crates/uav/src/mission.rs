@@ -33,11 +33,8 @@ impl MissionProfile {
         p_compute_w: f64,
     ) -> MissionReport {
         let payload = PayloadAnalysis::new(spec, payload_g);
-        let p_rotors_w = hover_power_w(
-            payload.total_weight_g,
-            spec.rotor_area_m2,
-            spec.figure_of_merit,
-        );
+        let p_rotors_w =
+            hover_power_w(payload.total_weight_g, spec.rotor_area_m2, spec.figure_of_merit);
         let p_others_w = spec.other_electronics_w;
         let p_total_w = p_rotors_w + p_compute_w + p_others_w;
 

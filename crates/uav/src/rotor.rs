@@ -38,11 +38,7 @@ mod tests {
     fn mini_hover_endurance_plausible() {
         // AscTec Pelican class: ~200 W hover, ~15-25 min on 69 Wh.
         let mini = UavSpec::mini();
-        let p = hover_power_w(
-            mini.base_weight_g + 50.0,
-            mini.rotor_area_m2,
-            mini.figure_of_merit,
-        );
+        let p = hover_power_w(mini.base_weight_g + 50.0, mini.rotor_area_m2, mini.figure_of_merit);
         let minutes = mini.battery_energy_j() / p / 60.0;
         assert!((100.0..=350.0).contains(&p), "{p} W");
         assert!((10.0..=30.0).contains(&minutes), "{minutes} min");

@@ -69,9 +69,6 @@ fn main() {
                 );
             }
         }
-        None => println!(
-            "no flyable design: {}",
-            result.selection_error.unwrap_or_default()
-        ),
+        None => println!("no flyable design: {}", result.selection_error.unwrap_or_default()),
     }
 }

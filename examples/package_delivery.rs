@@ -36,9 +36,7 @@ fn main() {
     );
     println!(
         "cruise {:.1} m/s -> {:.1} deliveries per charge ({:.0} s each)",
-        sel.missions.v_safe_ms,
-        sel.missions.missions,
-        sel.missions.mission_time_s
+        sel.missions.v_safe_ms, sel.missions.missions, sel.missions.mission_time_s
     );
 
     println!();

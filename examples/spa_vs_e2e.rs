@@ -15,14 +15,15 @@ fn main() {
 
     println!("comparing paradigms at matched perception quality (miss = {miss:.2})\n");
     for density in [ObstacleDensity::Low, ObstacleDensity::Dense] {
-        let e2e = QTrainer::new(7)
-            .with_episodes(800)
-            .with_eval_episodes(200)
-            .train(&model, density);
+        let e2e =
+            QTrainer::new(7).with_episodes(800).with_eval_episodes(200).train(&model, density);
         let spa = SpaAgent::new(7, miss).evaluate(density, 200);
         println!("{density}:");
-        println!("  E2E  success {:.0}%  (one {:.0} MMAC forward pass per decision, acceleratable)",
-            e2e.success_rate * 100.0, model.mac_count() as f64 / 1e6);
+        println!(
+            "  E2E  success {:.0}%  (one {:.0} MMAC forward pass per decision, acceleratable)",
+            e2e.success_rate * 100.0,
+            model.mac_count() as f64 / 1e6
+        );
         println!(
             "  SPA  success {:.0}%  ({} map updates + {} A* expansions per decision, CPU-bound)",
             spa.success_rate * 100.0,

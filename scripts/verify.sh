@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local verification: formatting, lints, and the workspace test
+# suite. This is what CI runs; run it before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "verify: OK"

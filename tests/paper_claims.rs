@@ -92,12 +92,7 @@ fn pulp_dronet_is_badly_underprovisioned() {
     // Paper motivation: PULP's 6 FPS sits far below every knee.
     for uav in UavSpec::all() {
         let f1 = F1Model::new(uav.clone(), 5.0, 60.0);
-        assert_eq!(
-            f1.classify(6.0),
-            uav_dynamics::Provisioning::UnderProvisioned,
-            "{}",
-            uav.name
-        );
+        assert_eq!(f1.classify(6.0), uav_dynamics::Provisioning::UnderProvisioned, "{}", uav.name);
     }
 }
 

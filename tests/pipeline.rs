@@ -49,10 +49,7 @@ fn selected_policy_matches_phase1_best_for_scenario() {
     // policies; for the dense scenario the surrogate's best is l7f48.
     let result = pilot(7).run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Dense));
     let sel = result.selection.expect("selection");
-    let best = result
-        .database
-        .best_for(ObstacleDensity::Dense)
-        .expect("phase 1 populated");
+    let best = result.database.best_for(ObstacleDensity::Dense).expect("phase 1 populated");
     assert!(
         sel.candidate.success_rate >= best.success_rate - 0.02,
         "selected success {:.2} too far below best {:.2}",
@@ -81,15 +78,9 @@ fn different_uavs_get_different_designs() {
 fn all_optimizers_complete_the_pipeline() {
     let task = TaskSpec::navigation(ObstacleDensity::Low);
     for optimizer in OptimizerChoice::ALL {
-        let p = AutoPilot::new(
-            AutopilotConfig::fast(5).with_budget(30).with_optimizer(optimizer),
-        );
+        let p = AutoPilot::new(AutopilotConfig::fast(5).with_budget(30).with_optimizer(optimizer));
         let result = p.run(&UavSpec::mini(), &task);
-        assert!(
-            result.selection.is_some(),
-            "{} produced no selection",
-            optimizer.name()
-        );
+        assert!(result.selection.is_some(), "{} produced no selection", optimizer.name());
     }
 }
 

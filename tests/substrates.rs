@@ -73,11 +73,8 @@ fn braking_sim_validates_f1_velocities_for_all_platforms() {
     for uav in UavSpec::all() {
         let f1 = F1Model::new(uav.clone(), 24.0, 60.0);
         let t = f1.response_time_s(46.0);
-        let analytic = uav_dynamics::safe_velocity(
-            f1.payload().max_accel_ms2,
-            t,
-            uav.sensor_range_m,
-        );
+        let analytic =
+            uav_dynamics::safe_velocity(f1.payload().max_accel_ms2, t, uav.sensor_range_m);
         let empirical = sim.max_safe_velocity(f1.payload().max_accel_ms2, t, uav.sensor_range_m);
         assert!(
             (analytic - empirical).abs() / analytic < 0.01,
