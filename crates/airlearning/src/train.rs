@@ -12,6 +12,7 @@
 //! capacity and saturates — the Fig. 2b relationship — for mechanical,
 //! simulated-perception reasons rather than by fiat.
 
+use autopilot_obs as obs;
 use policy_nn::PolicyModel;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
@@ -93,6 +94,9 @@ impl QTrainer {
     /// Trains a policy of `model`'s capacity in `density` scenarios and
     /// evaluates it on fresh domain-randomized episodes.
     pub fn train(&self, model: &PolicyModel, density: ObstacleDensity) -> TrainingOutcome {
+        let _span = obs::span("phase1.qtrain");
+        obs::add("phase1.train_episodes", self.episodes as u64);
+        obs::add("phase1.eval_episodes", self.eval_episodes as u64);
         let miss = Self::miss_probability(model);
         let states = BEARING_RESOLUTION * BEARING_RESOLUTION * 256;
         let mut q = vec![0.0f64; states * ACTIONS.len()];

@@ -5,4 +5,5 @@ fn main() {
         "ablate_dataflow.txt",
         &autopilot_bench::experiments::ablations::run_dataflows(),
     );
+    autopilot_bench::write_telemetry("ablate_dataflow");
 }

@@ -5,4 +5,5 @@ fn main() {
         "ablate_optimizers.txt",
         &autopilot_bench::experiments::ablations::run_optimizers(120),
     );
+    autopilot_bench::write_telemetry("ablate_optimizers");
 }

@@ -5,4 +5,5 @@ fn main() {
         "ablate_paradigm.txt",
         &autopilot_bench::experiments::ablations::run_paradigms(800),
     );
+    autopilot_bench::write_telemetry("ablate_paradigm");
 }

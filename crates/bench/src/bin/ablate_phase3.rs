@@ -5,4 +5,5 @@ fn main() {
         "ablate_phase3.txt",
         &autopilot_bench::experiments::ablations::run_phase3(),
     );
+    autopilot_bench::write_telemetry("ablate_phase3");
 }

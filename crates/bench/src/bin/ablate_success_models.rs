@@ -5,4 +5,5 @@ fn main() {
         "ablate_success_models.txt",
         &autopilot_bench::experiments::ablations::run_success_models(600),
     );
+    autopilot_bench::write_telemetry("ablate_success_models");
 }

@@ -64,4 +64,5 @@ fn main() {
     }
 
     println!("joint design space size = {}", JointSpace::size());
+    autopilot_bench::write_telemetry("calibrate");
 }

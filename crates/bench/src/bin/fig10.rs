@@ -2,4 +2,5 @@
 
 fn main() {
     autopilot_bench::emit("fig10.txt", &autopilot_bench::experiments::pitfalls::run_fig10());
+    autopilot_bench::write_telemetry("fig10");
 }

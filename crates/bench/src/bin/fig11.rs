@@ -2,4 +2,5 @@
 
 fn main() {
     autopilot_bench::emit("fig11.txt", &autopilot_bench::experiments::fig11::run());
+    autopilot_bench::write_telemetry("fig11");
 }

@@ -2,4 +2,5 @@
 
 fn main() {
     autopilot_bench::emit("fig2b.txt", &autopilot_bench::experiments::fig2b::run());
+    autopilot_bench::write_telemetry("fig2b");
 }

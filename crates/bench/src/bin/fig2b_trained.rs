@@ -5,4 +5,5 @@ fn main() {
         "fig2b_trained.txt",
         &autopilot_bench::experiments::fig2b::run_trained(600),
     );
+    autopilot_bench::write_telemetry("fig2b_trained");
 }

@@ -2,4 +2,5 @@
 
 fn main() {
     autopilot_bench::emit("fig3b.txt", &autopilot_bench::experiments::fig3b::run());
+    autopilot_bench::write_telemetry("fig3b");
 }

@@ -2,4 +2,5 @@
 
 fn main() {
     autopilot_bench::emit("fig5.txt", &autopilot_bench::experiments::fig5::run());
+    autopilot_bench::write_telemetry("fig5");
 }

@@ -2,4 +2,5 @@
 
 fn main() {
     autopilot_bench::emit("fig6.txt", &autopilot_bench::experiments::fig6::run());
+    autopilot_bench::write_telemetry("fig6");
 }

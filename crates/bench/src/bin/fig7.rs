@@ -2,4 +2,5 @@
 
 fn main() {
     autopilot_bench::emit("fig7.txt", &autopilot_bench::experiments::fig7::run());
+    autopilot_bench::write_telemetry("fig7");
 }

@@ -2,4 +2,5 @@
 
 fn main() {
     autopilot_bench::emit("fig8.txt", &autopilot_bench::experiments::pitfalls::run_fig8());
+    autopilot_bench::write_telemetry("fig8");
 }

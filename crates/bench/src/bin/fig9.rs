@@ -2,4 +2,5 @@
 
 fn main() {
     autopilot_bench::emit("fig9.txt", &autopilot_bench::experiments::pitfalls::run_fig9());
+    autopilot_bench::write_telemetry("fig9");
 }

@@ -2,6 +2,7 @@
 //! under `results/`.
 
 use autopilot_bench::{emit, experiments as ex};
+use autopilot_obs::obs_info;
 use std::time::Instant;
 
 fn main() {
@@ -23,11 +24,12 @@ fn main() {
     for (name, f) in steps {
         let t = Instant::now();
         emit(name, &f());
-        eprintln!("[{name} took {:?}]", t.elapsed());
+        obs_info!("[{name} took {:?}]", t.elapsed());
     }
     // Budget-heavier ablations last.
     emit("ablate_paradigm.txt", &ex::ablations::run_paradigms(800));
     emit("ablate_optimizers.txt", &ex::ablations::run_optimizers(120));
     emit("ablate_success_models.txt", &ex::ablations::run_success_models(600));
-    eprintln!("total: {:?}", t0.elapsed());
+    obs_info!("total: {:?}", t0.elapsed());
+    autopilot_bench::write_telemetry("repro_all");
 }

@@ -27,4 +27,5 @@ fn main() {
             table.render()
         ),
     );
+    autopilot_bench::write_telemetry("source_seeking");
 }

@@ -2,4 +2,5 @@
 
 fn main() {
     autopilot_bench::emit("table2.txt", &autopilot_bench::experiments::table2::run());
+    autopilot_bench::write_telemetry("table2");
 }

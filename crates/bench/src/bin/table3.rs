@@ -2,4 +2,5 @@
 
 fn main() {
     autopilot_bench::emit("table3.txt", &autopilot_bench::experiments::table3::run());
+    autopilot_bench::write_telemetry("table3");
 }

@@ -2,4 +2,5 @@
 
 fn main() {
     autopilot_bench::emit("table5.txt", &autopilot_bench::experiments::table5::run());
+    autopilot_bench::write_telemetry("table5");
 }

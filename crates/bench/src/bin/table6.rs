@@ -29,4 +29,5 @@ fn main() {
         "table6.txt",
         &format!("Table VI: AutoPilot methodology taxonomy across domains\n\n{}", table.render()),
     );
+    autopilot_bench::write_telemetry("table6");
 }

@@ -42,4 +42,5 @@ fn main() {
             worst * 100.0
         ),
     );
+    autopilot_bench::write_telemetry("validate_safety");
 }

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use autopilot_obs as obs;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -89,9 +90,32 @@ pub fn emit(name: &str, content: &str) {
     println!("{content}");
     let path = results_dir().join(name);
     if let Err(e) = fs::write(&path, content) {
-        eprintln!("warning: could not persist {}: {e}", path.display());
+        obs::obs_warn!("warning: could not persist {}: {e}", path.display());
     } else {
-        eprintln!("[saved {}]", path.display());
+        obs::obs_info!("[saved {}]", path.display());
+    }
+}
+
+/// Writes the global telemetry snapshot to
+/// `results/telemetry_<run>.json` and returns the path.
+///
+/// A no-op returning `None` when `AUTOPILOT_OBS` metrics are off, so
+/// every experiment binary can call it unconditionally at exit without
+/// paying anything in the default configuration.
+pub fn write_telemetry(run: &str) -> Option<PathBuf> {
+    if !obs::metrics_enabled() {
+        return None;
+    }
+    let path = results_dir().join(format!("telemetry_{run}.json"));
+    match obs::snapshot().write_json(&path) {
+        Ok(()) => {
+            obs::obs_info!("[telemetry {}]", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            obs::obs_warn!("warning: could not write telemetry {}: {e}", path.display());
+            None
+        }
     }
 }
 

@@ -7,6 +7,7 @@
 
 use air_sim::ObstacleDensity;
 use autopilot::{AutoPilot, AutopilotConfig, OptimizerChoice, RunSummary, TaskSpec};
+use autopilot_obs::{obs_error, obs_info, obs_warn};
 use std::process::ExitCode;
 use uav_dynamics::UavSpec;
 
@@ -118,7 +119,7 @@ fn main() -> ExitCode {
         Ok(Some(a)) => a,
         Ok(None) => return ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
+            obs_error!("error: {e}\n\n{USAGE}");
             return ExitCode::FAILURE;
         }
     };
@@ -131,7 +132,7 @@ fn main() -> ExitCode {
         fine_tuning: true,
     };
     let task = TaskSpec::navigation(args.density).with_sensor_fps(args.sensor_fps);
-    eprintln!(
+    obs_info!(
         "designing for {} / {} obstacles ({} evaluations, {})...",
         args.uav.name,
         args.density,
@@ -164,7 +165,7 @@ fn main() -> ExitCode {
             );
         }
         None => {
-            eprintln!(
+            obs_warn!(
                 "no flyable design: {}",
                 result.selection_error.as_deref().unwrap_or("unknown")
             );
@@ -173,11 +174,18 @@ fn main() -> ExitCode {
 
     if let Some(path) = args.json_path {
         match std::fs::write(&path, summary.to_json()) {
-            Ok(()) => eprintln!("wrote {path}"),
+            Ok(()) => obs_info!("wrote {path}"),
             Err(e) => {
-                eprintln!("error: could not write {path}: {e}");
+                obs_error!("error: could not write {path}: {e}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    if autopilot_obs::metrics_enabled() {
+        let path = std::path::Path::new("results").join("telemetry_autopilot.json");
+        match autopilot_obs::snapshot().write_json(&path) {
+            Ok(()) => obs_info!("telemetry: {}", path.display()),
+            Err(e) => obs_warn!("telemetry write failed: {e}"),
         }
     }
     if result.selection.is_some() {

@@ -3,6 +3,7 @@
 use air_sim::{
     AirLearningDatabase, ObstacleDensity, PolicyRecord, QTrainer, SuccessSurrogate, TrainingMethod,
 };
+use autopilot_obs as obs;
 use policy_nn::{PolicyHyperparams, PolicyModel};
 use serde::{Deserialize, Serialize};
 
@@ -45,6 +46,7 @@ impl Phase1 {
     /// upserting one record per policy into `db`. Returns the number of
     /// records written.
     pub fn populate(&self, density: ObstacleDensity, db: &mut AirLearningDatabase) -> usize {
+        let _span = obs::span("phase1.populate");
         let mut written = 0;
         for hyper in PolicyHyperparams::enumerate() {
             let model = PolicyModel::build(hyper);
@@ -71,6 +73,7 @@ impl Phase1 {
             });
             written += 1;
         }
+        obs::add("phase1.policies", written as u64);
         written
     }
 

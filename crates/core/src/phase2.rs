@@ -1,6 +1,7 @@
 //! Phase 2: domain-agnostic multi-objective HW-SW co-design.
 
 use air_sim::{AirLearningDatabase, ObstacleDensity, SuccessSurrogate};
+use autopilot_obs as obs;
 use dse_opt::{
     AnnealingOptimizer, CacheStats, Evaluator, MultiObjectiveOptimizer, Nsga2Optimizer,
     OptimizationResult, RandomSearch, SmsEgoOptimizer,
@@ -205,10 +206,12 @@ impl CandidateCache {
     pub fn evaluate(&self, evaluator: &DssocEvaluator, point: &[usize]) -> DesignCandidate {
         if let Some(c) = self.map.lock().expect("cache lock poisoned").get(point) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            obs::add("phase2.candidate_cache.hits", 1);
             return c.clone();
         }
         let c = evaluator.evaluate_design(point);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::add("phase2.candidate_cache.misses", 1);
         self.map
             .lock()
             .expect("cache lock poisoned")
@@ -305,6 +308,7 @@ impl Phase2 {
         evaluator: &DssocEvaluator,
         cache: &CandidateCache,
     ) -> Phase2Output {
+        let _span = obs::span("phase2.run");
         let stats_before = cache.stats();
         let space = JointSpace::design_space();
         // Domain-informed seeding (Section III-A): start the search at the
@@ -364,6 +368,7 @@ impl Phase2 {
             misses: stats_after.misses - stats_before.misses,
             entries: stats_after.entries,
         };
+        obs::gauge_set("phase2.final_hypervolume", result.final_hypervolume());
         Phase2Output { result, candidates, pareto_indices: pareto, cache_stats }
     }
 }

@@ -1,5 +1,6 @@
 //! Phase 3: domain-specific back end (full-system UAV co-design).
 
+use autopilot_obs as obs;
 use serde::{Deserialize, Serialize};
 use soc_power::TechNode;
 use uav_dynamics::{F1Model, MissionReport, Provisioning, UavSpec};
@@ -85,6 +86,7 @@ impl Phase3 {
         phase2: &Phase2Output,
         evaluator: &DssocEvaluator,
     ) -> Result<Phase3Selection, AutopilotError> {
+        let _span = obs::span("phase3.select");
         let best_success = phase2.best_success();
         // The paper filters to the designs "with the highest success rate
         // (based on the input specification)": keep candidates within 2 %
@@ -130,6 +132,7 @@ impl Phase3 {
         let mut fine_tuning = None;
         if self.enable_fine_tuning {
             if let Some(tuned) = self.fine_tune(uav, task, &selected, evaluator) {
+                obs::add("phase3.fine_tuned", 1);
                 fine_tuning = Some(FineTuning {
                     clock_mhz: tuned.config.clock_mhz(),
                     node: TechNode::N28,

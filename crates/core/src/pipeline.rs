@@ -1,6 +1,7 @@
 //! The end-to-end AutoPilot pipeline (Fig. 1).
 
 use air_sim::{AirLearningDatabase, ObstacleDensity};
+use autopilot_obs as obs;
 use dse_opt::CacheStats;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -106,10 +107,12 @@ impl PipelineCache {
     ) -> AirLearningDatabase {
         let key = PipelineCache::phase1_key(config, density);
         if let Some(db) = self.phase1.lock().expect("cache lock poisoned").get(&key) {
+            obs::add("pipeline.phase1_cache.hits", 1);
             return db.clone();
         }
         // Populate outside the lock so independent scenarios proceed in
         // parallel; a racing duplicate is discarded by or_insert.
+        obs::add("pipeline.phase1_cache.misses", 1);
         let mut db = AirLearningDatabase::new();
         Phase1::new(config.success_model, config.seed).populate(density, &mut db);
         self.phase1.lock().expect("cache lock poisoned").entry(key).or_insert(db).clone()
@@ -126,6 +129,7 @@ impl PipelineCache {
         let key = PipelineCache::phase2_key(config, evaluator.density());
         if let Some(out) = self.phase2.lock().expect("cache lock poisoned").get(&key) {
             self.phase2_hits.fetch_add(1, Ordering::Relaxed);
+            obs::add("pipeline.phase2_cache.hits", 1);
             return out.clone();
         }
         let mut phase2 = Phase2::new(config.optimizer, config.phase2_budget, config.seed);
@@ -134,6 +138,7 @@ impl PipelineCache {
         }
         let out = phase2.run(evaluator);
         self.phase2_misses.fetch_add(1, Ordering::Relaxed);
+        obs::add("pipeline.phase2_cache.misses", 1);
         self.phase2.lock().expect("cache lock poisoned").entry(key).or_insert(out).clone()
     }
 
@@ -184,6 +189,7 @@ impl AutoPilot {
     /// `selection` is `None` when Phase 3 found no flyable design (see
     /// [`AutoPilot::select`] for the error detail).
     pub fn run(&self, uav: &UavSpec, task: &TaskSpec) -> AutopilotResult {
+        let _span = obs::span("pipeline.run");
         // Phase 1: front end.
         let db = match &self.cache {
             Some(cache) => cache.phase1_database(&self.config, task.density),

@@ -1,5 +1,6 @@
 //! Multi-objective Bayesian optimization with the SMS-EGO acquisition.
 
+use autopilot_obs as obs;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use std::collections::HashSet;
@@ -160,10 +161,16 @@ impl Surrogates {
                 && n < s.next_refit
                 && s.norm_mins == archive.mins
                 && s.norm_maxs == archive.maxs;
-            if extendable && s.try_extend(space, archive) {
-                return Some(s);
+            if extendable {
+                let before = s.trained;
+                if s.try_extend(space, archive) {
+                    obs::add("dse.gp.rank1_extend", (s.trained - before) as u64);
+                    return Some(s);
+                }
+                obs::add("dse.gp.extend_fallback", 1);
             }
         }
+        obs::add("dse.gp.full_refit", 1);
         Surrogates::full_fit(space, archive, start)
     }
 
@@ -226,6 +233,7 @@ impl MultiObjectiveOptimizer for SmsEgoOptimizer {
         evaluator: &E,
         budget: usize,
     ) -> OptimizationResult {
+        let _span = obs::span("sms_ego.run");
         let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
         let n_obj = evaluator.num_objectives();
         let workers = self.workers();
@@ -267,9 +275,14 @@ impl MultiObjectiveOptimizer for SmsEgoOptimizer {
         // incrementally.
         let mut surrogates: Option<Surrogates> = None;
         while archive.len() < budget {
-            surrogates = Surrogates::update(surrogates.take(), space, &archive, self.max_gp_points);
+            let _iter = obs::span("bo.iteration");
+            surrogates = obs::time("bo.surrogate_update", || {
+                Surrogates::update(surrogates.take(), space, &archive, self.max_gp_points)
+            });
             let next = match &surrogates {
-                Some(s) => self.select_candidate(space, &archive, s, workers, &mut rng),
+                Some(s) => obs::time("bo.acquisition", || {
+                    self.select_candidate(space, &archive, s, workers, &mut rng)
+                }),
                 None => None,
             };
             let p = match next {

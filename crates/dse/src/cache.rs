@@ -8,6 +8,7 @@
 //! deterministic functions of their coordinates, so cached objectives
 //! can never go stale for a fixed inner evaluator.
 
+use autopilot_obs as obs;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -110,12 +111,14 @@ impl<E: Evaluator> Evaluator for CachedEvaluator<E> {
     fn evaluate(&self, point: &[usize]) -> Vec<f64> {
         if let Some(objs) = self.map.lock().expect("cache lock poisoned").get(point) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            obs::add("dse.cached_evaluator.hits", 1);
             return objs.clone();
         }
         // Run the (possibly expensive) inner evaluation without holding
         // the lock so other workers proceed on other points.
         let objs = self.inner.evaluate(point);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::add("dse.cached_evaluator.misses", 1);
         self.map
             .lock()
             .expect("cache lock poisoned")

@@ -1,6 +1,7 @@
 //! NSGA-II genetic algorithm (Deb et al.), one of the alternative
 //! optimizers the paper lists for Phase 2.
 
+use autopilot_obs as obs;
 use rand::seq::IndexedRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
@@ -71,6 +72,7 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
         evaluator: &E,
         budget: usize,
     ) -> OptimizationResult {
+        let _span = obs::span("nsga2.run");
         let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
         let workers = self.workers();
         let mut cache: HashMap<Vec<usize>, Vec<f64>> = HashMap::new();
@@ -115,6 +117,8 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
         let mut pop_objs: Vec<Vec<f64>> = pop.iter().map(|p| cache[p].clone()).collect();
 
         while history.len() < budget {
+            let _gen = obs::span("nsga2.generation");
+            obs::add("dse.nsga2.generations", 1);
             let history_before = history.len();
             // Ranks and crowding for parent selection.
             let fronts = non_dominated_sort(&pop_objs);

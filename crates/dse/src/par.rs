@@ -13,8 +13,11 @@
 //! and can be overridden with the `AUTOPILOT_THREADS` environment
 //! variable (or per-optimizer via their `with_threads` builders).
 
+use autopilot_obs as obs;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "AUTOPILOT_THREADS";
@@ -64,6 +67,10 @@ where
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    // Per-worker busy time and item counts, collected only when metrics
+    // are on (the per-item `Instant` reads are confined to that mode).
+    let track = obs::metrics_enabled();
+    let worker_stats: Mutex<Vec<(Duration, u64)>> = Mutex::new(Vec::new());
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
     std::thread::scope(|scope| {
@@ -71,25 +78,70 @@ where
             let tx = tx.clone();
             let next = &next;
             let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            let worker_stats = &worker_stats;
+            scope.spawn(move || {
+                let mut busy = Duration::ZERO;
+                let mut claimed = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = if track {
+                        let t = Instant::now();
+                        let r = f(i, &items[i]);
+                        busy += t.elapsed();
+                        claimed += 1;
+                        r
+                    } else {
+                        f(i, &items[i])
+                    };
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
                 }
-                let r = f(i, &items[i]);
-                if tx.send((i, r)).is_err() {
-                    break;
+                if track {
+                    worker_stats.lock().expect("worker stats lock").push((busy, claimed));
                 }
             });
         }
     });
     drop(tx);
+    if track {
+        record_worker_stats(workers, items.len(), &worker_stats.into_inner().expect("stats lock"));
+    }
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     for (i, r) in rx {
         slots[i] = Some(r);
     }
     slots.into_iter().map(|s| s.expect("every claimed index produces a result")).collect()
+}
+
+/// Publishes per-worker busy time and queue imbalance to the obs
+/// registry after a tracked parallel map.
+fn record_worker_stats(workers: usize, items: usize, stats: &[(Duration, u64)]) {
+    obs::add("par.calls", 1);
+    obs::add("par.items", items as u64);
+    let mut busiest = 0.0f64;
+    let mut total = 0.0f64;
+    for &(busy, claimed) in stats {
+        let s = busy.as_secs_f64();
+        obs::observe("par.worker_busy_s", s);
+        obs::observe_with(
+            "par.worker_items",
+            &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0],
+            claimed as f64,
+        );
+        busiest = busiest.max(s);
+        total += s;
+    }
+    // Imbalance: busiest worker relative to the mean (1.0 = perfectly
+    // even). Recorded as a histogram so repeated maps show the spread.
+    if workers > 0 && total > 0.0 {
+        let mean = total / workers as f64;
+        obs::observe_with("par.imbalance", &[1.0, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0], busiest / mean);
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Random-search baseline.
 
+use autopilot_obs as obs;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use std::collections::HashSet;
@@ -49,6 +50,7 @@ impl MultiObjectiveOptimizer for RandomSearch {
         evaluator: &E,
         budget: usize,
     ) -> OptimizationResult {
+        let _span = obs::span("random_search.run");
         let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
         let mut seen: HashSet<Vec<usize>> = HashSet::new();
         let mut points: Vec<Vec<usize>> = Vec::with_capacity(budget);

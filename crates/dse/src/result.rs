@@ -1,5 +1,6 @@
 //! Optimization histories and results.
 
+use autopilot_obs as obs;
 use serde::{Deserialize, Serialize};
 
 use crate::pareto::{hypervolume, pareto_indices};
@@ -42,12 +43,17 @@ impl OptimizationResult {
             seen.push(ev.objectives.clone());
             trace.push(hypervolume(&seen, &reference_point));
         }
-        OptimizationResult {
+        let result = OptimizationResult {
             algorithm: algorithm.into(),
             evaluations,
             reference_point,
             hypervolume_trace: trace,
+        };
+        if obs::metrics_enabled() {
+            obs::add("dse.evaluations", result.evaluations.len() as u64);
+            obs::gauge_set("dse.final_hypervolume", result.final_hypervolume());
         }
+        result
     }
 
     /// The non-dominated subset of all evaluations.

@@ -1,5 +1,7 @@
 //! The simulator core tying fold plans, memory plans, and reports together.
 
+use autopilot_obs as obs;
+
 use crate::config::ArrayConfig;
 use crate::dataflow::FoldPlan;
 use crate::layer::Layer;
@@ -47,6 +49,20 @@ impl Simulator {
         let total_cycles = plan.compute_cycles + mem.stall_cycles;
         let peak = total_cycles as f64 * self.config.pe_count() as f64;
         let utilization = if peak > 0.0 { (layer.mac_count() as f64 / peak).min(1.0) } else { 0.0 };
+        if obs::metrics_enabled() {
+            let g = obs::global();
+            g.counter("systolic.layers").incr();
+            g.counter("systolic.cycles").add(total_cycles);
+            g.counter("systolic.stall_cycles").add(mem.stall_cycles);
+            g.counter("systolic.sram_reads")
+                .add(plan.ifmap_sram_reads + plan.filter_sram_reads + plan.ofmap_sram_reads);
+            g.counter("systolic.sram_writes").add(plan.ofmap_sram_writes);
+            g.counter("systolic.dram_read_bytes").add(mem.dram_read_bytes);
+            g.counter("systolic.dram_write_bytes").add(mem.dram_write_bytes);
+            g.histogram("systolic.cycles_per_layer", &obs::CYCLE_BOUNDS)
+                .observe(total_cycles as f64);
+            g.histogram("systolic.pe_utilization", &obs::RATIO_BOUNDS).observe(utilization);
+        }
         LayerStats {
             layer: *layer,
             compute_cycles: plan.compute_cycles,

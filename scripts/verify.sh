@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> telemetry smoke (obs_smoke: small experiment + JSON validation)"
+# Runs a small two-UAV scenario with metrics forced on, writes
+# results/telemetry_obs_smoke.json, parses it back, and asserts the
+# snapshot carries non-zero span and cache-counter data.
+AUTOPILOT_OBS=1 cargo run -q --release -p autopilot-bench --bin obs_smoke
+
 echo "verify: OK"

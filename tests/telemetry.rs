@@ -1,0 +1,130 @@
+//! Telemetry regression tests: the obs instrumentation wired through the
+//! pipeline must record real cache traffic and span timings, and the
+//! snapshot schema must survive a JSON round-trip.
+//!
+//! These tests mutate the process-global obs registry, so they serialize
+//! on one lock and assert on snapshot *deltas*, never absolute counts.
+
+use air_sim::{AirLearningDatabase, ObstacleDensity};
+use autopilot::{
+    AutoPilot, AutopilotConfig, CandidateCache, DssocEvaluator, OptimizerChoice, Phase1, Phase2,
+    PipelineCache, SuccessModel, TaskSpec,
+};
+use autopilot_obs as obs;
+use dse_opt::{CachedEvaluator, Evaluator};
+use std::sync::{Arc, Mutex, MutexGuard};
+use uav_dynamics::UavSpec;
+
+/// Serializes tests that toggle the global metrics gate.
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn evaluator() -> DssocEvaluator {
+    let mut db = AirLearningDatabase::new();
+    Phase1::new(SuccessModel::Surrogate, 1).populate(ObstacleDensity::Dense, &mut db);
+    DssocEvaluator::new(db, ObstacleDensity::Dense)
+}
+
+#[test]
+fn repeated_scenario_run_records_candidate_cache_hits() {
+    let _guard = guard();
+    obs::force_metrics(true);
+    let before = obs::snapshot();
+
+    // Fig5-style repetition: the same scenario DSE twice against one
+    // shared candidate cache — the second run must be pure hits, and the
+    // obs counters must see that traffic.
+    let ev = evaluator();
+    let cache = CandidateCache::new();
+    let phase2 = Phase2::new(OptimizerChoice::Random, 12, 4);
+    let first = phase2.run_with_cache(&ev, &cache);
+    let second = phase2.run_with_cache(&ev, &cache);
+    assert_eq!(first.candidates, second.candidates);
+
+    let after = obs::snapshot();
+    let hits = after.counter("phase2.candidate_cache.hits")
+        - before.counter("phase2.candidate_cache.hits");
+    let misses = after.counter("phase2.candidate_cache.misses")
+        - before.counter("phase2.candidate_cache.misses");
+    assert!(hits > 0, "repeat run produced no candidate-cache hits");
+    assert!(misses > 0, "first run produced no candidate-cache misses");
+    assert_eq!(hits as usize, second.cache_stats.hits, "obs delta must match cache stats");
+    assert!(
+        after.span_total_s("phase2.run") > before.span_total_s("phase2.run"),
+        "phase2.run span recorded no time"
+    );
+}
+
+#[test]
+fn pipeline_cache_hits_are_counted_across_uavs() {
+    let _guard = guard();
+    obs::force_metrics(true);
+    let before = obs::snapshot();
+
+    let task = TaskSpec::navigation(ObstacleDensity::Medium);
+    let cache = Arc::new(PipelineCache::new());
+    let config = AutopilotConfig::fast(5).with_optimizer(OptimizerChoice::Random).with_budget(16);
+    let pilot = AutoPilot::new(config).with_cache(Arc::clone(&cache));
+    pilot.run(&UavSpec::nano(), &task);
+    pilot.run(&UavSpec::micro(), &task);
+
+    let after = obs::snapshot();
+    let delta = |name: &str| after.counter(name) - before.counter(name);
+    assert_eq!(delta("pipeline.phase2_cache.misses"), 1, "phase 2 must run once");
+    assert_eq!(delta("pipeline.phase2_cache.hits"), 1, "second UAV must hit the phase-2 cache");
+    assert_eq!(delta("pipeline.phase1_cache.hits"), 1, "second UAV must hit the phase-1 cache");
+}
+
+#[test]
+fn cached_evaluator_traffic_reaches_obs() {
+    let _guard = guard();
+    obs::force_metrics(true);
+    let before = obs::snapshot();
+
+    let cached = CachedEvaluator::new(evaluator());
+    let point = vec![5, 2, 3, 3, 3, 3, 3];
+    let a = cached.evaluate(&point);
+    let b = cached.evaluate(&point);
+    assert_eq!(a, b);
+
+    let after = obs::snapshot();
+    let delta = |name: &str| after.counter(name) - before.counter(name);
+    assert_eq!(delta("dse.cached_evaluator.misses"), 1);
+    assert_eq!(delta("dse.cached_evaluator.hits"), 1);
+}
+
+#[test]
+fn telemetry_snapshot_round_trips_through_json() {
+    let _guard = guard();
+    obs::force_metrics(true);
+    // Make sure there is real data of every kind in the registry.
+    let ev = evaluator();
+    ev.evaluate(&[5, 2, 3, 3, 3, 3, 3]);
+    obs::observe("telemetry.test_seconds", 0.125);
+    obs::gauge_set("telemetry.test_gauge", -3.5);
+
+    let snap = obs::snapshot();
+    assert!(snap.counter("systolic.layers") > 0);
+    let json = snap.to_json();
+    let restored = obs::Snapshot::from_json(&json).expect("snapshot JSON parses");
+    assert_eq!(restored.version, snap.version);
+    assert_eq!(json, restored.to_json(), "round-trip must be lossless");
+}
+
+#[test]
+fn disabled_metrics_record_nothing() {
+    let _guard = guard();
+    obs::force_metrics(false);
+    let before = obs::snapshot();
+    let ev = evaluator();
+    ev.evaluate(&[5, 2, 2, 2, 2, 2, 2]);
+    let after = obs::snapshot();
+    assert_eq!(
+        before.counter("systolic.layers"),
+        after.counter("systolic.layers"),
+        "gated-off instrumentation must not record"
+    );
+    obs::force_metrics(true);
+}
