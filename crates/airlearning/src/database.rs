@@ -67,7 +67,17 @@ impl AirLearningDatabase {
     }
 
     /// Inserts or replaces the record for its (hyperparams, density) key.
-    pub fn upsert(&mut self, record: PolicyRecord) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatabaseError::NonFiniteSuccessRate`] when the record's
+    /// success rate is NaN or infinite — a corrupt rate would silently
+    /// poison every downstream `best_for` ranking, so it is rejected at
+    /// the door.
+    pub fn upsert(&mut self, record: PolicyRecord) -> Result<(), DatabaseError> {
+        if !record.success_rate.is_finite() {
+            return Err(DatabaseError::NonFiniteSuccessRate { id: record.id });
+        }
         match self
             .records
             .iter_mut()
@@ -76,6 +86,7 @@ impl AirLearningDatabase {
             Some(existing) => *existing = record,
             None => self.records.push(record),
         }
+        Ok(())
     }
 
     /// Looks up the record for a (hyperparams, density) pair.
@@ -106,16 +117,32 @@ impl AirLearningDatabase {
         self.records.iter().filter(|r| r.density == density).collect()
     }
 
-    /// The record with the highest success rate for a scenario.
-    pub fn best_for(&self, density: ObstacleDensity) -> Option<&PolicyRecord> {
-        self.records_for(density).into_iter().max_by(|a, b| {
-            a.success_rate.partial_cmp(&b.success_rate).expect("success rates are finite")
-        })
+    /// The record with the highest success rate for a scenario, or
+    /// `Ok(None)` when the scenario has no records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatabaseError::NonFiniteSuccessRate`] when a stored rate
+    /// is NaN or infinite (possible only for databases deserialized from
+    /// external JSON — [`AirLearningDatabase::upsert`] rejects such rates
+    /// at insert time).
+    pub fn best_for(&self, density: ObstacleDensity) -> Result<Option<&PolicyRecord>, DatabaseError> {
+        let candidates = self.records_for(density);
+        if let Some(bad) = candidates.iter().find(|r| !r.success_rate.is_finite()) {
+            return Err(DatabaseError::NonFiniteSuccessRate { id: bad.id.clone() });
+        }
+        Ok(candidates.into_iter().max_by(|a, b| a.success_rate.total_cmp(&b.success_rate)))
     }
 
     /// Serializes the database to pretty JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("database serializes")
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatabaseError::Serialize`] when the serializer fails
+    /// (e.g. a backend without JSON support).
+    pub fn to_json(&self) -> Result<String, DatabaseError> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| DatabaseError::Serialize { message: e.to_string() })
     }
 
     /// Parses a database from JSON.
@@ -133,7 +160,7 @@ impl AirLearningDatabase {
     ///
     /// Returns [`DatabaseError::Io`] on filesystem failures.
     pub fn save(&self, path: &Path) -> Result<(), DatabaseError> {
-        fs::write(path, self.to_json()).map_err(DatabaseError::from)
+        fs::write(path, self.to_json()?).map_err(DatabaseError::from)
     }
 
     /// Loads a database from a JSON file.
@@ -159,6 +186,16 @@ pub enum DatabaseError {
         /// Underlying parser message.
         message: String,
     },
+    /// Serialization failed.
+    Serialize {
+        /// Underlying serializer message.
+        message: String,
+    },
+    /// A record carries a NaN or infinite success rate.
+    NonFiniteSuccessRate {
+        /// Identifier of the offending record.
+        id: String,
+    },
 }
 
 impl fmt::Display for DatabaseError {
@@ -166,6 +203,12 @@ impl fmt::Display for DatabaseError {
         match self {
             DatabaseError::Io(e) => write!(f, "database file access failed: {e}"),
             DatabaseError::Parse { message } => write!(f, "database content invalid: {message}"),
+            DatabaseError::Serialize { message } => {
+                write!(f, "database serialization failed: {message}")
+            }
+            DatabaseError::NonFiniteSuccessRate { id } => {
+                write!(f, "record {id:?} has a non-finite success rate")
+            }
         }
     }
 }
@@ -174,7 +217,7 @@ impl Error for DatabaseError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             DatabaseError::Io(e) => Some(e),
-            DatabaseError::Parse { .. } => None,
+            _ => None,
         }
     }
 }
@@ -204,8 +247,8 @@ mod tests {
     #[test]
     fn upsert_replaces_existing_key() {
         let mut db = AirLearningDatabase::new();
-        db.upsert(record(5, 32, ObstacleDensity::Low, 0.8));
-        db.upsert(record(5, 32, ObstacleDensity::Low, 0.9));
+        db.upsert(record(5, 32, ObstacleDensity::Low, 0.8)).unwrap();
+        db.upsert(record(5, 32, ObstacleDensity::Low, 0.9)).unwrap();
         assert_eq!(db.len(), 1);
         assert_eq!(
             db.success_rate(PolicyHyperparams::new(5, 32).unwrap(), ObstacleDensity::Low),
@@ -216,33 +259,33 @@ mod tests {
     #[test]
     fn same_hyper_different_density_coexist() {
         let mut db = AirLearningDatabase::new();
-        db.upsert(record(5, 32, ObstacleDensity::Low, 0.8));
-        db.upsert(record(5, 32, ObstacleDensity::Dense, 0.6));
+        db.upsert(record(5, 32, ObstacleDensity::Low, 0.8)).unwrap();
+        db.upsert(record(5, 32, ObstacleDensity::Dense, 0.6)).unwrap();
         assert_eq!(db.len(), 2);
     }
 
     #[test]
     fn best_for_picks_highest_rate() {
         let mut db = AirLearningDatabase::new();
-        db.upsert(record(3, 32, ObstacleDensity::Dense, 0.6));
-        db.upsert(record(7, 48, ObstacleDensity::Dense, 0.83));
-        db.upsert(record(9, 64, ObstacleDensity::Dense, 0.7));
-        let best = db.best_for(ObstacleDensity::Dense).unwrap();
+        db.upsert(record(3, 32, ObstacleDensity::Dense, 0.6)).unwrap();
+        db.upsert(record(7, 48, ObstacleDensity::Dense, 0.83)).unwrap();
+        db.upsert(record(9, 64, ObstacleDensity::Dense, 0.7)).unwrap();
+        let best = db.best_for(ObstacleDensity::Dense).unwrap().unwrap();
         assert_eq!(best.hyperparams, PolicyHyperparams::new(7, 48).unwrap());
     }
 
     #[test]
     fn json_round_trip() {
         let mut db = AirLearningDatabase::new();
-        db.upsert(record(4, 48, ObstacleDensity::Medium, 0.85));
-        let restored = AirLearningDatabase::from_json(&db.to_json()).unwrap();
+        db.upsert(record(4, 48, ObstacleDensity::Medium, 0.85)).unwrap();
+        let restored = AirLearningDatabase::from_json(&db.to_json().unwrap()).unwrap();
         assert_eq!(db, restored);
     }
 
     #[test]
     fn file_round_trip() {
         let mut db = AirLearningDatabase::new();
-        db.upsert(record(2, 64, ObstacleDensity::Low, 0.7));
+        db.upsert(record(2, 64, ObstacleDensity::Low, 0.7)).unwrap();
         let path = std::env::temp_dir().join("air_sim_db_test.json");
         db.save(&path).unwrap();
         let restored = AirLearningDatabase::load(&path).unwrap();
@@ -261,6 +304,23 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = AirLearningDatabase::load(Path::new("/nonexistent/db.json")).unwrap_err();
         assert!(matches!(err, DatabaseError::Io(_)));
+    }
+
+    #[test]
+    fn nan_success_rate_rejected_at_insert() {
+        let mut db = AirLearningDatabase::new();
+        let err = db.upsert(record(5, 32, ObstacleDensity::Low, f64::NAN)).unwrap_err();
+        assert!(matches!(err, DatabaseError::NonFiniteSuccessRate { .. }));
+        assert!(db.is_empty());
+        let err = db.upsert(record(5, 32, ObstacleDensity::Low, f64::INFINITY)).unwrap_err();
+        assert!(err.to_string().contains("non-finite"));
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn best_for_empty_scenario_is_ok_none() {
+        let db = AirLearningDatabase::new();
+        assert!(db.best_for(ObstacleDensity::Dense).unwrap().is_none());
     }
 
     #[test]

@@ -29,10 +29,13 @@
 //! use air_sim::{ObstacleDensity, SuccessSurrogate};
 //! use policy_nn::{PolicyHyperparams, PolicyModel};
 //!
+//! # fn main() -> Result<(), policy_nn::HyperparamError> {
 //! let surrogate = SuccessSurrogate::paper_calibrated();
-//! let model = PolicyModel::build(PolicyHyperparams::new(7, 48).unwrap());
+//! let model = PolicyModel::build(PolicyHyperparams::new(7, 48)?);
 //! let s = surrogate.success_rate(&model, ObstacleDensity::Dense);
 //! assert!((0.5..=1.0).contains(&s));
+//! # Ok(())
+//! # }
 //! ```
 
 #![warn(missing_docs)]

@@ -40,7 +40,9 @@ impl SuccessSurrogate {
             ObstacleDensity::Medium => (4, 48),
             ObstacleDensity::Dense => (7, 48),
         };
-        PolicyHyperparams::new(layers, filters).expect("paper models are in the Table II space")
+        // The (layers, filters) pairs above are all Table II values, so
+        // construction cannot fail; the fallback keeps this panic-free.
+        PolicyHyperparams::new(layers, filters).unwrap_or_else(|_| PolicyHyperparams::smallest())
     }
 
     /// Success ceiling per density (harder scenarios cap lower).
@@ -88,9 +90,11 @@ impl SuccessSurrogate {
             .max_by(|a, b| {
                 let sa = self.success_rate(&PolicyModel::build(*a), density);
                 let sb = self.success_rate(&PolicyModel::build(*b), density);
-                sa.partial_cmp(&sb).expect("success rates are finite")
+                sa.total_cmp(&sb)
             })
-            .expect("non-empty space")
+            // The Table II space is never empty; the paper's best model
+            // is the panic-free fallback.
+            .unwrap_or_else(|| Self::paper_best_model(density))
     }
 }
 

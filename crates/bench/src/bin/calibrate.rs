@@ -31,7 +31,7 @@ fn main() {
     for pe_idx in 0..8 {
         for sram_idx in [0usize, 3, 7] {
             let point = vec![5, 1, pe_idx, pe_idx, sram_idx, sram_idx, sram_idx];
-            let c = ev.evaluate_design(&point);
+            let c = ev.evaluate_design(&point).expect("Table II point");
             min_fps = min_fps.min(c.fps);
             max_fps = max_fps.max(c.fps);
             min_w = min_w.min(c.soc_avg_w);

@@ -19,8 +19,8 @@ fn main() {
     let config = AutopilotConfig::fast(5).with_optimizer(OptimizerChoice::Random).with_budget(16);
     let pilot = AutoPilot::new(config).with_cache(Arc::clone(&cache));
     // Two UAVs, one scenario: the second run must hit the phase-2 cache.
-    let nano = pilot.run(&UavSpec::nano(), &task);
-    let micro = pilot.run(&UavSpec::micro(), &task);
+    let nano = pilot.run(&UavSpec::nano(), &task).expect("nano pipeline runs");
+    let micro = pilot.run(&UavSpec::micro(), &task).expect("micro pipeline runs");
     assert_eq!(nano.phase2.candidates, micro.phase2.candidates, "shared-cache runs must agree");
 
     let path = autopilot_bench::write_telemetry("obs_smoke").expect("telemetry written");

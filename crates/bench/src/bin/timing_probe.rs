@@ -57,14 +57,14 @@ fn main() {
     // the whole cost of the instrumentation.
     const OVERHEAD_REPS: usize = 3;
     obs::force_metrics(false);
-    let warm_out = phase2.clone().with_threads(1).run(&evaluator);
+    let warm_out = phase2.clone().with_threads(1).run(&evaluator).expect("phase 2 runs");
     let mut phase2_obs_off_s = f64::INFINITY;
     let mut phase2_sequential_s = f64::INFINITY;
     let mut last_on = None;
     for rep in 0..OVERHEAD_REPS {
         obs::force_metrics(false);
         let t = Instant::now();
-        let off_out = phase2.clone().with_threads(1).run(&evaluator);
+        let off_out = phase2.clone().with_threads(1).run(&evaluator).expect("phase 2 runs");
         phase2_obs_off_s = phase2_obs_off_s.min(t.elapsed().as_secs_f64());
         assert_eq!(warm_out.result, off_out.result, "sequential runs must be deterministic");
 
@@ -75,7 +75,7 @@ fn main() {
             obs::reset();
         }
         let t = Instant::now();
-        let on_out = phase2.clone().with_threads(1).run(&evaluator);
+        let on_out = phase2.clone().with_threads(1).run(&evaluator).expect("phase 2 runs");
         phase2_sequential_s = phase2_sequential_s.min(t.elapsed().as_secs_f64());
         assert_eq!(off_out.result, on_out.result, "metrics gating must not change results");
         last_on = Some(on_out);
@@ -84,7 +84,7 @@ fn main() {
     let obs_overhead_pct = (phase2_sequential_s - phase2_obs_off_s) / phase2_obs_off_s * 100.0;
 
     let t = Instant::now();
-    let par_out = phase2.run(&evaluator);
+    let par_out = phase2.run(&evaluator).expect("phase 2 runs");
     let phase2_parallel_s = t.elapsed().as_secs_f64();
     assert_eq!(
         par_out.result, seq_out.result,
@@ -107,7 +107,7 @@ fn main() {
     // second time while assembling candidates; measure that pass.
     let t = Instant::now();
     for e in &seq_out.result.evaluations {
-        std::hint::black_box(evaluator.evaluate_design(&e.point));
+        let _ = std::hint::black_box(evaluator.evaluate_design(&e.point));
     }
     let reeval_history_s = t.elapsed().as_secs_f64();
 
@@ -123,7 +123,7 @@ fn main() {
         .collect();
     let fit_all_at = |n: usize| {
         for y in &ys {
-            std::hint::black_box(dse_opt::GaussianProcess::fit(&xs[..n], &y[..n]));
+            let _ = std::hint::black_box(dse_opt::GaussianProcess::fit(&xs[..n], &y[..n]));
         }
     };
     let init = 16.min(xs.len());
@@ -185,7 +185,8 @@ fn main() {
     // End-to-end sanity run (full pipeline, nano UAV).
     let t0 = Instant::now();
     let pilot = AutoPilot::new(config);
-    let result = pilot.run(&UavSpec::nano(), &TaskSpec::navigation(density));
+    let result =
+        pilot.run(&UavSpec::nano(), &TaskSpec::navigation(density)).expect("pipeline runs");
     let sel = result.selection.expect("selection");
     println!(
         "paper-config run: {:?} | {} evals | selected {} {}x{} @ {:.0} MHz -> {:.1} FPS, {:.2} W tdp, {:.1} g, {:.1} missions (knee {:?})",

@@ -39,7 +39,7 @@ pub fn run_optimizers(budget: usize) -> String {
     for choice in OptimizerChoice::ALL {
         let mut seeds = Vec::new();
         for seed in 0..runs {
-            let out = Phase2::new(choice, budget, super::SEED + seed).run(&ev);
+            let out = Phase2::new(choice, budget, super::SEED + seed).run(&ev).expect("phase 2 runs");
             let objs: Vec<Vec<f64>> =
                 out.result.evaluations.iter().map(|e| e.objectives.clone()).collect();
             pooled.extend(objs.clone());

@@ -25,7 +25,7 @@ pub fn run() -> String {
         for pe_c in 0..8 {
             for sram in 0..8 {
                 let point = vec![5, 1, pe_r, pe_c, sram, sram, sram];
-                let c = ev.evaluate_design(&point);
+                let c = ev.evaluate_design(&point).expect("Table II point");
                 objs.push(vec![c.latency_s, c.soc_avg_w]);
                 points.push(c);
             }

@@ -41,7 +41,7 @@ pub fn shared_cache() -> Arc<PipelineCache> {
 /// [`shared_cache`].
 pub fn run_scenario(uav: &UavSpec, density: ObstacleDensity) -> AutopilotResult {
     let pilot = AutoPilot::new(AutopilotConfig::paper(SEED)).with_cache(shared_cache());
-    pilot.run(uav, &TaskSpec::navigation(density))
+    pilot.run(uav, &TaskSpec::navigation(density)).expect("paper pipeline runs")
 }
 
 /// Runs several (UAV, density) scenarios, fanning the work out across the
@@ -62,7 +62,7 @@ pub fn run_scenarios(pairs: &[(UavSpec, ObstacleDensity)]) -> Vec<AutopilotResul
     dse_opt::par::parallel_map(&densities, |_, &density| {
         let db = cache.phase1_database(&config, density);
         let evaluator = DssocEvaluator::new(db, density);
-        cache.phase2_output(&config, &evaluator, None);
+        cache.phase2_output(&config, &evaluator, None).expect("phase 2 warms");
     });
     dse_opt::par::parallel_map(pairs, |_, (uav, density)| run_scenario(uav, *density))
 }

@@ -21,7 +21,7 @@ pub fn run() -> String {
     for pe in 0..6 {
         // PE 8..256: the band the paper's Pareto designs occupy.
         for sram in [0usize, 7] {
-            let c = ev.evaluate_design(&[5, 1, pe, pe, sram, sram, sram]);
+            let c = ev.evaluate_design(&[5, 1, pe, pe, sram, sram, sram]).expect("Table II point");
             min_fps = min_fps.min(c.fps);
             max_fps = max_fps.max(c.fps);
             min_w = min_w.min(c.tdp_w);

@@ -6,7 +6,7 @@
 //! ```
 
 use air_sim::ObstacleDensity;
-use autopilot::{AutoPilot, AutopilotConfig, OptimizerChoice, RunSummary, TaskSpec};
+use autopilot::{registry, AutoPilot, AutopilotConfig, OptimizerChoice, RunSummary, TaskSpec};
 use autopilot_obs::{obs_error, obs_info, obs_warn};
 use std::process::ExitCode;
 use uav_dynamics::UavSpec;
@@ -21,6 +21,29 @@ struct Args {
     json_path: Option<String>,
 }
 
+/// Resolves an `--optimizer` argument: short aliases first, then any
+/// name in the runtime optimizer registry (only built-in registry names
+/// map onto [`OptimizerChoice`]; others are rejected with the registered
+/// list).
+fn parse_optimizer(arg: &str) -> Result<OptimizerChoice, String> {
+    let resolved = match arg {
+        "bo" | "sms-ego" => "sms-ego-bo",
+        "ga" | "nsga2" => "nsga-ii",
+        "sa" | "annealing" => "simulated-annealing",
+        "random" => "random-search",
+        other => other,
+    };
+    OptimizerChoice::ALL
+        .into_iter()
+        .find(|c| c.name() == resolved)
+        .ok_or_else(|| {
+            format!(
+                "unknown optimizer '{arg}' (registered: {})",
+                registry::registered_optimizers().join(", ")
+            )
+        })
+}
+
 const USAGE: &str = "\
 autopilot - automatic domain-specific SoC design for autonomous UAVs
 
@@ -31,7 +54,8 @@ OPTIONS:
     --uav <mini|micro|nano>        target platform        [default: nano]
     --scenario <low|medium|dense>  deployment scenario    [default: dense]
     --budget <N>                   phase-2 evaluations    [default: 200]
-    --optimizer <bo|ga|sa|random>  phase-2 optimizer      [default: bo]
+    --optimizer <NAME>             phase-2 optimizer by registry name
+                                   (bo|ga|sa|random aliases) [default: bo]
     --seed <N>                     deterministic seed     [default: 7]
     --sensor-fps <30|60|...>       camera frame rate      [default: 60]
     --json <PATH>                  also write a JSON run summary
@@ -91,15 +115,7 @@ fn parse_args() -> Result<Option<Args>, String> {
                 args.budget =
                     value("--budget")?.parse().map_err(|e| format!("bad --budget: {e}"))?
             }
-            "--optimizer" => {
-                args.optimizer = match value("--optimizer")?.as_str() {
-                    "bo" | "sms-ego" => OptimizerChoice::SmsEgo,
-                    "ga" | "nsga2" => OptimizerChoice::Nsga2,
-                    "sa" | "annealing" => OptimizerChoice::Annealing,
-                    "random" => OptimizerChoice::Random,
-                    other => return Err(format!("unknown optimizer '{other}'")),
-                }
-            }
+            "--optimizer" => args.optimizer = parse_optimizer(&value("--optimizer")?)?,
             "--seed" => {
                 args.seed = value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?
             }
@@ -139,7 +155,13 @@ fn main() -> ExitCode {
         args.budget,
         args.optimizer.name()
     );
-    let result = AutoPilot::new(config).run(&args.uav, &task);
+    let result = match AutoPilot::new(config).run(&args.uav, &task) {
+        Ok(r) => r,
+        Err(e) => {
+            obs_error!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let summary = RunSummary::from_result(&result);
 
     match &result.selection {
@@ -173,7 +195,14 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = args.json_path {
-        match std::fs::write(&path, summary.to_json()) {
+        let json = match summary.to_json() {
+            Ok(j) => j,
+            Err(e) => {
+                obs_error!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match std::fs::write(&path, json) {
             Ok(()) => obs_info!("wrote {path}"),
             Err(e) => {
                 obs_error!("error: could not write {path}: {e}");

@@ -1,4 +1,12 @@
 //! Error type for the AutoPilot pipeline.
+//!
+//! [`AutopilotError`] is the outermost layer of the error chain
+//! `EvalError` → `DseError` → `AutopilotError`: evaluation and surrogate
+//! failures from the `dse_opt` engine, configuration errors from the
+//! systolic simulator, and database errors from the Air Learning store
+//! all convert into it via `From`, so a failure anywhere in the three
+//! phases reaches the CLI as one typed, displayable error instead of a
+//! panic.
 
 use std::error::Error;
 use std::fmt;
@@ -23,6 +31,31 @@ pub enum AutopilotError {
     },
     /// An accelerator configuration failed validation.
     InvalidConfiguration(systolic_sim::ConfigError),
+    /// The Air Learning database failed (I/O, parsing, or a record with
+    /// a non-finite success rate).
+    Database(air_sim::DatabaseError),
+    /// The design-space exploration engine failed (evaluation error,
+    /// surrogate fit failure, or a malformed design space).
+    Dse(dse_opt::DseError),
+    /// A design-space point does not decode to a valid design.
+    InvalidDesignPoint {
+        /// The offending index vector.
+        point: Vec<usize>,
+        /// Why it could not be decoded.
+        reason: String,
+    },
+    /// No optimizer with this name is registered.
+    UnknownOptimizer {
+        /// The requested name.
+        name: String,
+        /// Names currently registered, sorted.
+        available: Vec<String>,
+    },
+    /// A result could not be serialized.
+    Serialization {
+        /// Underlying serializer message.
+        message: String,
+    },
 }
 
 impl fmt::Display for AutopilotError {
@@ -38,6 +71,17 @@ impl fmt::Display for AutopilotError {
             AutopilotError::InvalidConfiguration(e) => {
                 write!(f, "invalid accelerator configuration: {e}")
             }
+            AutopilotError::Database(e) => write!(f, "air-learning database error: {e}"),
+            AutopilotError::Dse(e) => write!(f, "design-space exploration failed: {e}"),
+            AutopilotError::InvalidDesignPoint { point, reason } => {
+                write!(f, "design point {point:?} is invalid: {reason}")
+            }
+            AutopilotError::UnknownOptimizer { name, available } => {
+                write!(f, "unknown optimizer {name:?}; registered: {}", available.join(", "))
+            }
+            AutopilotError::Serialization { message } => {
+                write!(f, "serialization failed: {message}")
+            }
         }
     }
 }
@@ -46,6 +90,8 @@ impl Error for AutopilotError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             AutopilotError::InvalidConfiguration(e) => Some(e),
+            AutopilotError::Database(e) => Some(e),
+            AutopilotError::Dse(e) => Some(e),
             _ => None,
         }
     }
@@ -54,6 +100,30 @@ impl Error for AutopilotError {
 impl From<systolic_sim::ConfigError> for AutopilotError {
     fn from(e: systolic_sim::ConfigError) -> Self {
         AutopilotError::InvalidConfiguration(e)
+    }
+}
+
+impl From<air_sim::DatabaseError> for AutopilotError {
+    fn from(e: air_sim::DatabaseError) -> Self {
+        AutopilotError::Database(e)
+    }
+}
+
+impl From<dse_opt::DseError> for AutopilotError {
+    fn from(e: dse_opt::DseError) -> Self {
+        AutopilotError::Dse(e)
+    }
+}
+
+impl From<dse_opt::EvalError> for AutopilotError {
+    fn from(e: dse_opt::EvalError) -> Self {
+        AutopilotError::Dse(dse_opt::DseError::from(e))
+    }
+}
+
+impl From<dse_opt::GpError> for AutopilotError {
+    fn from(e: dse_opt::GpError) -> Self {
+        AutopilotError::Dse(dse_opt::DseError::from(e))
     }
 }
 
@@ -67,6 +137,14 @@ mod tests {
         assert!(e.to_string().contains("0.80"));
         let e = AutopilotError::NoFlyableDesign { uav: "nano".into() };
         assert!(e.to_string().contains("nano"));
+        let e = AutopilotError::UnknownOptimizer {
+            name: "mystery".into(),
+            available: vec!["nsga-ii".into(), "sms-ego-bo".into()],
+        };
+        assert!(e.to_string().contains("mystery"));
+        assert!(e.to_string().contains("nsga-ii"));
+        let e = AutopilotError::InvalidDesignPoint { point: vec![9, 9], reason: "too big".into() };
+        assert!(e.to_string().contains("[9, 9]"));
     }
 
     #[test]
@@ -74,6 +152,26 @@ mod tests {
         let source = systolic_sim::ArrayConfig::builder().rows(0).build().unwrap_err();
         let e = AutopilotError::from(source);
         assert!(matches!(e, AutopilotError::InvalidConfiguration(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn dse_error_chain_converts() {
+        let eval = dse_opt::EvalError::Failed { message: "sim crashed".into() };
+        let e = AutopilotError::from(eval);
+        assert!(matches!(e, AutopilotError::Dse(dse_opt::DseError::Eval(_))));
+        assert!(e.to_string().contains("sim crashed"));
+        let gp = dse_opt::GpError::NotPositiveDefinite;
+        let e = AutopilotError::from(gp);
+        assert!(matches!(e, AutopilotError::Dse(dse_opt::DseError::Surrogate(_))));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn database_error_converts() {
+        let source = air_sim::AirLearningDatabase::from_json("{broken").unwrap_err();
+        let e = AutopilotError::from(source);
+        assert!(matches!(e, AutopilotError::Database(_)));
         assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -25,14 +25,19 @@
 //!
 //! ```no_run
 //! use air_sim::ObstacleDensity;
-//! use autopilot::{AutoPilot, AutopilotConfig, TaskSpec};
+//! use autopilot::{AutoPilot, AutopilotConfig, AutopilotError, TaskSpec};
 //! use uav_dynamics::UavSpec;
 //!
+//! # fn main() -> Result<(), AutopilotError> {
 //! let pilot = AutoPilot::new(AutopilotConfig::fast(7));
-//! let result = pilot.run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Dense));
-//! let sel = result.selection.expect("a flyable design exists");
-//! println!("selected {} at {:.0} FPS -> {:.0} missions",
-//!          sel.candidate.policy, sel.candidate.fps, sel.missions.missions);
+//! let result =
+//!     pilot.run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Dense))?;
+//! if let Some(sel) = result.selection {
+//!     println!("selected {} at {:.0} FPS -> {:.0} missions",
+//!              sel.candidate.policy, sel.candidate.fps, sel.missions.missions);
+//! }
+//! # Ok(())
+//! # }
 //! ```
 
 #![warn(missing_docs)]
@@ -44,6 +49,7 @@ mod phase1;
 mod phase2;
 mod phase3;
 mod pipeline;
+pub mod registry;
 mod report;
 mod space;
 mod spec;
@@ -57,6 +63,9 @@ pub use phase2::{
 };
 pub use phase3::{FineTuning, Phase3, Phase3Selection};
 pub use pipeline::{AutoPilot, AutopilotConfig, AutopilotResult, PipelineCache};
+pub use registry::{
+    build_optimizer, register_optimizer, registered_optimizers, BoxedOptimizer, OptimizerContext,
+};
 pub use report::{CandidateSummary, RunSummary};
 pub use space::{JointSpace, PE_CHOICES, SRAM_KB_CHOICES};
 pub use spec::TaskSpec;

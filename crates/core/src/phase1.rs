@@ -63,15 +63,21 @@ impl Phase1 {
                     (outcome.success_rate, TrainingMethod::QLearning)
                 }
             };
-            db.upsert(PolicyRecord {
+            let record = PolicyRecord {
                 id: PolicyRecord::make_id(hyper, density),
                 hyperparams: hyper,
                 density,
                 success_rate: rate,
                 method,
                 seed: self.seed,
-            });
-            written += 1;
+            };
+            // A non-finite rate (possible only from a broken training
+            // substrate) is skipped and reported, not propagated: the
+            // remaining 26 policies still populate the database.
+            match db.upsert(record) {
+                Ok(()) => written += 1,
+                Err(e) => obs::obs_warn!("phase1: skipping {hyper}: {e}"),
+            }
         }
         obs::add("phase1.policies", written as u64);
         written
@@ -94,7 +100,7 @@ mod tests {
         assert_eq!(n, 27);
         assert_eq!(db.len(), 27);
         // Best recorded model matches the paper's low-obstacle pick.
-        let best = db.best_for(ObstacleDensity::Low).unwrap();
+        let best = db.best_for(ObstacleDensity::Low).unwrap().unwrap();
         assert_eq!(best.hyperparams, PolicyHyperparams::new(5, 32).unwrap());
     }
 

@@ -2,22 +2,26 @@
 
 use air_sim::{AirLearningDatabase, ObstacleDensity, SuccessSurrogate};
 use autopilot_obs as obs;
-use dse_opt::{
-    AnnealingOptimizer, CacheStats, Evaluator, MultiObjectiveOptimizer, Nsga2Optimizer,
-    OptimizationResult, RandomSearch, SmsEgoOptimizer,
-};
+use dse_opt::{CacheStats, EvalError, Evaluator, OptimizationResult};
 use policy_nn::{PolicyHyperparams, PolicyModel};
 use serde::{Deserialize, Serialize};
 use soc_power::SocPowerModel;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use systolic_sim::{ArrayConfig, Simulator};
 
+use crate::error::AutopilotError;
+use crate::registry::{self, OptimizerContext};
 use crate::space::JointSpace;
 
 /// Which optimizer drives the DSE (the paper uses Bayesian optimization
 /// and lists the others as drop-in replacements).
+///
+/// This enum names the built-in registry entries; [`Phase2::new`] also
+/// accepts any string registered through
+/// [`registry::register_optimizer`], so downstream crates are not
+/// limited to these variants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum OptimizerChoice {
     /// Multi-objective Bayesian optimization with SMS-EGO (the paper's
@@ -41,7 +45,7 @@ impl OptimizerChoice {
         OptimizerChoice::Random,
     ];
 
-    /// Human-readable name.
+    /// The registry name of this optimizer.
     pub fn name(&self) -> &'static str {
         match self {
             OptimizerChoice::SmsEgo => "sms-ego-bo",
@@ -49,6 +53,12 @@ impl OptimizerChoice {
             OptimizerChoice::Annealing => "simulated-annealing",
             OptimizerChoice::Random => "random-search",
         }
+    }
+}
+
+impl From<OptimizerChoice> for String {
+    fn from(choice: OptimizerChoice) -> String {
+        choice.name().to_owned()
     }
 }
 
@@ -91,15 +101,22 @@ impl DssocEvaluator {
         PolicyHyperparams::enumerate()
             .into_iter()
             .map(|h| (h, self.success_rate(h)))
-            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("success rates are finite"))
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(h, _)| h)
-            .expect("non-empty policy space")
+            // The Table II space is never empty; the fallback keeps this
+            // panic-free regardless.
+            .unwrap_or_else(PolicyHyperparams::smallest)
     }
 
     /// Full evaluation of one joint design point.
-    pub fn evaluate_design(&self, point: &[usize]) -> DesignCandidate {
-        let (hyper, config) = JointSpace::decode(point);
-        self.evaluate_config(point.to_vec(), hyper, config, soc_power::TechNode::N28)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutopilotError::InvalidDesignPoint`] when `point` does
+    /// not decode to a Table II design.
+    pub fn evaluate_design(&self, point: &[usize]) -> Result<DesignCandidate, AutopilotError> {
+        let (hyper, config) = JointSpace::decode(point)?;
+        Ok(self.evaluate_config(point.to_vec(), hyper, config, soc_power::TechNode::N28))
     }
 
     /// Full evaluation of an explicit (policy, configuration) pair at a
@@ -136,14 +153,25 @@ impl DssocEvaluator {
     }
 }
 
+/// Maps a pipeline error to the evaluator-layer error the optimizers
+/// understand, preserving the invalid-point detail when there is one.
+fn to_eval_error(e: AutopilotError) -> EvalError {
+    match e {
+        AutopilotError::InvalidDesignPoint { point, reason } => {
+            EvalError::InvalidPoint { point, reason }
+        }
+        other => EvalError::Failed { message: other.to_string() },
+    }
+}
+
 impl Evaluator for DssocEvaluator {
     fn num_objectives(&self) -> usize {
         3
     }
 
-    fn evaluate(&self, point: &[usize]) -> Vec<f64> {
-        let c = self.evaluate_design(point);
-        vec![1.0 - c.success_rate, c.soc_avg_w, c.latency_s]
+    fn evaluate(&self, point: &[usize]) -> Result<Vec<f64>, EvalError> {
+        let c = self.evaluate_design(point).map_err(to_eval_error)?;
+        Ok(vec![1.0 - c.success_rate, c.soc_avg_w, c.latency_s])
     }
 
     fn reference_point(&self) -> Vec<f64> {
@@ -186,7 +214,9 @@ pub struct DesignCandidate {
 /// ever be fed by evaluators of the same scenario — [`Phase2::run`]
 /// creates a private cache, and the pipeline-level cache keys by
 /// scenario. The lock is not held across simulator runs, so parallel
-/// optimizer workers evaluate distinct points concurrently.
+/// optimizer workers evaluate distinct points concurrently. Failed
+/// evaluations are never cached, and a poisoned lock is recovered (the
+/// map is always left consistent: entries are inserted atomically).
 #[derive(Debug, Default)]
 pub struct CandidateCache {
     map: Mutex<HashMap<Vec<usize>, DesignCandidate>>,
@@ -200,30 +230,40 @@ impl CandidateCache {
         CandidateCache::default()
     }
 
+    fn map_lock(&self) -> MutexGuard<'_, HashMap<Vec<usize>, DesignCandidate>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Returns the candidate for `point`, running the full evaluation
     /// (systolic simulation + power models + success lookup) only on the
-    /// first request.
-    pub fn evaluate(&self, evaluator: &DssocEvaluator, point: &[usize]) -> DesignCandidate {
-        if let Some(c) = self.map.lock().expect("cache lock poisoned").get(point) {
+    /// first request. Failures are returned, not cached, so a transient
+    /// failure is retried on the next request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AutopilotError`] from
+    /// [`DssocEvaluator::evaluate_design`].
+    pub fn evaluate(
+        &self,
+        evaluator: &DssocEvaluator,
+        point: &[usize],
+    ) -> Result<DesignCandidate, AutopilotError> {
+        if let Some(c) = self.map_lock().get(point) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             obs::add("phase2.candidate_cache.hits", 1);
-            return c.clone();
+            return Ok(c.clone());
         }
-        let c = evaluator.evaluate_design(point);
+        let c = evaluator.evaluate_design(point)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         obs::add("phase2.candidate_cache.misses", 1);
-        self.map
-            .lock()
-            .expect("cache lock poisoned")
-            .entry(point.to_vec())
-            .or_insert_with(|| c.clone());
-        c
+        self.map_lock().entry(point.to_vec()).or_insert_with(|| c.clone());
+        Ok(c)
     }
 
     /// The cached candidate for `point`, if any (does not count toward
     /// hit/miss statistics).
     pub fn get(&self, point: &[usize]) -> Option<DesignCandidate> {
-        self.map.lock().expect("cache lock poisoned").get(point).cloned()
+        self.map_lock().get(point).cloned()
     }
 
     /// Snapshots hit/miss/entry counters.
@@ -231,13 +271,13 @@ impl CandidateCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("cache lock poisoned").len(),
+            entries: self.map_lock().len(),
         }
     }
 
     /// Number of distinct points cached.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock poisoned").len()
+        self.map_lock().len()
     }
 
     /// True when nothing has been cached yet.
@@ -259,9 +299,9 @@ impl Evaluator for CachingEvaluator<'_> {
         self.inner.num_objectives()
     }
 
-    fn evaluate(&self, point: &[usize]) -> Vec<f64> {
-        let c = self.cache.evaluate(self.inner, point);
-        vec![1.0 - c.success_rate, c.soc_avg_w, c.latency_s]
+    fn evaluate(&self, point: &[usize]) -> Result<Vec<f64>, EvalError> {
+        let c = self.cache.evaluate(self.inner, point).map_err(to_eval_error)?;
+        Ok(vec![1.0 - c.success_rate, c.soc_avg_w, c.latency_s])
     }
 
     fn reference_point(&self) -> Vec<f64> {
@@ -270,18 +310,29 @@ impl Evaluator for CachingEvaluator<'_> {
 }
 
 /// Phase-2 configuration and runner.
+///
+/// The optimizer is selected *by name* through the
+/// [`registry`](crate::registry): the built-in choices are covered by
+/// [`OptimizerChoice`] (which converts into its registry name), and any
+/// optimizer registered at runtime is equally selectable.
 #[derive(Debug, Clone)]
 pub struct Phase2 {
-    optimizer: OptimizerChoice,
+    optimizer: String,
     budget: usize,
     seed: u64,
     threads: Option<usize>,
 }
 
 impl Phase2 {
-    /// Creates a Phase-2 runner.
-    pub fn new(optimizer: OptimizerChoice, budget: usize, seed: u64) -> Phase2 {
-        Phase2 { optimizer, budget: budget.max(4), seed, threads: None }
+    /// Creates a Phase-2 runner. `optimizer` is a registry name (or an
+    /// [`OptimizerChoice`], which converts to one).
+    pub fn new(optimizer: impl Into<String>, budget: usize, seed: u64) -> Phase2 {
+        Phase2 { optimizer: optimizer.into(), budget: budget.max(4), seed, threads: None }
+    }
+
+    /// The registry name of the configured optimizer.
+    pub fn optimizer(&self) -> &str {
+        &self.optimizer
     }
 
     /// Pins the optimizer worker count (default: the engine-wide default,
@@ -293,7 +344,11 @@ impl Phase2 {
     }
 
     /// Runs the DSE with a private candidate cache.
-    pub fn run(&self, evaluator: &DssocEvaluator) -> Phase2Output {
+    ///
+    /// # Errors
+    ///
+    /// See [`Phase2::run_with_cache`].
+    pub fn run(&self, evaluator: &DssocEvaluator) -> Result<Phase2Output, AutopilotError> {
         self.run_with_cache(evaluator, &CandidateCache::new())
     }
 
@@ -303,11 +358,18 @@ impl Phase2 {
     ///
     /// The cache must only hold candidates produced by an evaluator of
     /// the same scenario as `evaluator`.
+    ///
+    /// # Errors
+    ///
+    /// * [`AutopilotError::UnknownOptimizer`] when the configured name is
+    ///   not registered.
+    /// * [`AutopilotError::Dse`] when the optimizer or an evaluation
+    ///   fails mid-run.
     pub fn run_with_cache(
         &self,
         evaluator: &DssocEvaluator,
         cache: &CandidateCache,
-    ) -> Phase2Output {
+    ) -> Result<Phase2Output, AutopilotError> {
         let _span = obs::span("phase2.run");
         let stats_before = cache.stats();
         let space = JointSpace::design_space();
@@ -319,44 +381,25 @@ impl Phase2 {
             .filter_map(|&pe| JointSpace::encode(best, pe, pe, 64, 64, 64))
             .collect();
         let cached = CachingEvaluator { inner: evaluator, cache };
-        let result = match self.optimizer {
-            OptimizerChoice::SmsEgo => {
-                let mut opt = SmsEgoOptimizer::new(self.seed)
-                    .with_init_samples((self.budget / 4).clamp(8, 32))
-                    .with_candidate_pool(128)
-                    .with_seed_points(seeds);
-                if let Some(t) = self.threads {
-                    opt = opt.with_threads(t);
-                }
-                opt.run(&space, &cached, self.budget)
-            }
-            OptimizerChoice::Nsga2 => {
-                let mut opt =
-                    Nsga2Optimizer::new(self.seed).with_population((self.budget / 6).clamp(8, 32));
-                if let Some(t) = self.threads {
-                    opt = opt.with_threads(t);
-                }
-                opt.run(&space, &cached, self.budget)
-            }
-            OptimizerChoice::Annealing => {
-                AnnealingOptimizer::new(self.seed).run(&space, &cached, self.budget)
-            }
-            OptimizerChoice::Random => {
-                let mut opt = RandomSearch::new(self.seed);
-                if let Some(t) = self.threads {
-                    opt = opt.with_threads(t);
-                }
-                opt.run(&space, &cached, self.budget)
-            }
+        let ctx = OptimizerContext {
+            seed: self.seed,
+            budget: self.budget,
+            threads: self.threads,
+            seed_points: seeds,
         };
+        let mut opt = registry::build_optimizer(&self.optimizer, &ctx)?;
+        let result = opt.run(&space, &cached, self.budget)?;
         // Every history point went through the cache, so assembling the
         // candidate list is a lookup, not a re-simulation (this used to
         // re-run the simulator once per history point).
-        let candidates: Vec<DesignCandidate> = result
-            .evaluations
-            .iter()
-            .map(|e| cache.get(&e.point).unwrap_or_else(|| cache.evaluate(evaluator, &e.point)))
-            .collect();
+        let mut candidates: Vec<DesignCandidate> = Vec::with_capacity(result.evaluations.len());
+        for e in &result.evaluations {
+            let c = match cache.get(&e.point) {
+                Some(c) => c,
+                None => cache.evaluate(evaluator, &e.point)?,
+            };
+            candidates.push(c);
+        }
         let pareto: Vec<usize> = {
             let objs: Vec<Vec<f64>> =
                 result.evaluations.iter().map(|e| e.objectives.clone()).collect();
@@ -369,7 +412,7 @@ impl Phase2 {
             entries: stats_after.entries,
         };
         obs::gauge_set("phase2.final_hypervolume", result.final_hypervolume());
-        Phase2Output { result, candidates, pareto_indices: pareto, cache_stats }
+        Ok(Phase2Output { result, candidates, pareto_indices: pareto, cache_stats })
     }
 }
 
@@ -413,7 +456,7 @@ mod tests {
     #[test]
     fn objectives_are_well_scaled() {
         let ev = evaluator();
-        let objs = ev.evaluate(&[5, 2, 3, 3, 3, 3, 3]);
+        let objs = ev.evaluate(&[5, 2, 3, 3, 3, 3, 3]).unwrap();
         assert_eq!(objs.len(), 3);
         let reference = ev.reference_point();
         for (o, r) in objs.iter().zip(&reference) {
@@ -424,11 +467,20 @@ mod tests {
     #[test]
     fn bigger_array_faster_but_hotter() {
         let ev = evaluator();
-        let small = ev.evaluate_design(&[5, 2, 0, 0, 3, 3, 3]);
-        let large = ev.evaluate_design(&[5, 2, 5, 5, 3, 3, 3]);
+        let small = ev.evaluate_design(&[5, 2, 0, 0, 3, 3, 3]).unwrap();
+        let large = ev.evaluate_design(&[5, 2, 5, 5, 3, 3, 3]).unwrap();
         assert!(large.fps > small.fps);
         assert!(large.tdp_w > small.tdp_w);
         assert!(large.payload_g > small.payload_g);
+    }
+
+    #[test]
+    fn invalid_point_is_a_typed_error() {
+        let ev = evaluator();
+        let err = ev.evaluate_design(&[0, 0, 0]).unwrap_err();
+        assert!(matches!(err, AutopilotError::InvalidDesignPoint { .. }));
+        let err = ev.evaluate(&[0, 0, 0]).unwrap_err();
+        assert!(matches!(err, EvalError::InvalidPoint { .. }));
     }
 
     #[test]
@@ -444,16 +496,26 @@ mod tests {
     #[test]
     fn random_phase2_produces_pareto_candidates() {
         let ev = evaluator();
-        let out = Phase2::new(OptimizerChoice::Random, 12, 3).run(&ev);
+        let out = Phase2::new(OptimizerChoice::Random, 12, 3).run(&ev).unwrap();
         assert_eq!(out.candidates.len(), out.result.evaluation_count());
         assert!(!out.pareto_candidates().is_empty());
         assert!(out.best_success() > 0.5);
     }
 
     #[test]
+    fn unknown_optimizer_is_a_typed_error() {
+        let ev = evaluator();
+        let err = Phase2::new("no-such-optimizer", 8, 1).run(&ev).unwrap_err();
+        assert!(matches!(err, AutopilotError::UnknownOptimizer { .. }));
+        assert!(err.to_string().contains("sms-ego-bo"));
+    }
+
+    #[test]
     fn optimizer_names() {
         assert_eq!(OptimizerChoice::SmsEgo.name(), "sms-ego-bo");
         assert_eq!(OptimizerChoice::default(), OptimizerChoice::SmsEgo);
+        assert_eq!(String::from(OptimizerChoice::Nsga2), "nsga-ii");
+        assert_eq!(Phase2::new(OptimizerChoice::Annealing, 8, 0).optimizer(), "simulated-annealing");
     }
 
     #[test]
@@ -461,9 +523,9 @@ mod tests {
         let ev = evaluator();
         let cache = CandidateCache::new();
         let phase2 = Phase2::new(OptimizerChoice::Random, 10, 4);
-        let first = phase2.run_with_cache(&ev, &cache);
+        let first = phase2.run_with_cache(&ev, &cache).unwrap();
         assert_eq!(first.cache_stats.misses, first.result.evaluation_count());
-        let second = phase2.run_with_cache(&ev, &cache);
+        let second = phase2.run_with_cache(&ev, &cache).unwrap();
         assert_eq!(second.cache_stats.misses, 0, "second run must re-simulate nothing");
         assert_eq!(second.cache_stats.hits, second.result.evaluation_count());
         assert_eq!(first.candidates, second.candidates);
@@ -473,9 +535,9 @@ mod tests {
     #[test]
     fn cached_and_uncached_runs_agree() {
         let ev = evaluator();
-        let uncached = Phase2::new(OptimizerChoice::Random, 10, 8).run(&ev);
+        let uncached = Phase2::new(OptimizerChoice::Random, 10, 8).run(&ev).unwrap();
         let cache = CandidateCache::new();
-        let cached = Phase2::new(OptimizerChoice::Random, 10, 8).run_with_cache(&ev, &cache);
+        let cached = Phase2::new(OptimizerChoice::Random, 10, 8).run_with_cache(&ev, &cache).unwrap();
         assert_eq!(uncached.result, cached.result);
         assert_eq!(uncached.candidates, cached.candidates);
         assert_eq!(uncached.pareto_indices, cached.pareto_indices);
@@ -487,13 +549,21 @@ mod tests {
         let cache = CandidateCache::new();
         assert!(cache.is_empty());
         let point = vec![5, 2, 3, 3, 3, 3, 3];
-        let a = cache.evaluate(&ev, &point);
-        let b = cache.evaluate(&ev, &point);
+        let a = cache.evaluate(&ev, &point).unwrap();
+        let b = cache.evaluate(&ev, &point).unwrap();
         assert_eq!(a, b);
         assert_eq!(cache.len(), 1);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
         assert_eq!(cache.get(&point), Some(a));
         assert_eq!(cache.get(&[0, 0, 0, 0, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn candidate_cache_does_not_cache_failures() {
+        let ev = evaluator();
+        let cache = CandidateCache::new();
+        assert!(cache.evaluate(&ev, &[99, 99, 99, 99, 99, 99, 99]).is_err());
+        assert!(cache.is_empty());
     }
 }

@@ -121,7 +121,7 @@ impl Phase3 {
             .collect();
         let (best_missions, best) = scored
             .iter()
-            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("missions are finite"))
+            .max_by(|a, b| a.0.total_cmp(&b.0))
             .copied()
             .ok_or_else(|| AutopilotError::NoFlyableDesign { uav: uav.name.clone() })?;
         if best_missions <= 0.0 {
@@ -206,7 +206,7 @@ mod tests {
         let mut db = AirLearningDatabase::new();
         Phase1::new(SuccessModel::Surrogate, 1).populate(density, &mut db);
         let ev = DssocEvaluator::new(db, density);
-        let out = Phase2::new(OptimizerChoice::Random, 24, 5).run(&ev);
+        let out = Phase2::new(OptimizerChoice::Random, 24, 5).run(&ev).expect("phase 2 runs");
         (ev, out)
     }
 

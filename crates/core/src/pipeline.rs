@@ -6,7 +6,7 @@ use dse_opt::CacheStats;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use uav_dynamics::UavSpec;
 
 use crate::error::AutopilotError;
@@ -106,7 +106,9 @@ impl PipelineCache {
         density: ObstacleDensity,
     ) -> AirLearningDatabase {
         let key = PipelineCache::phase1_key(config, density);
-        if let Some(db) = self.phase1.lock().expect("cache lock poisoned").get(&key) {
+        if let Some(db) =
+            self.phase1.lock().unwrap_or_else(PoisonError::into_inner).get(&key)
+        {
             obs::add("pipeline.phase1_cache.hits", 1);
             return db.clone();
         }
@@ -115,31 +117,49 @@ impl PipelineCache {
         obs::add("pipeline.phase1_cache.misses", 1);
         let mut db = AirLearningDatabase::new();
         Phase1::new(config.success_model, config.seed).populate(density, &mut db);
-        self.phase1.lock().expect("cache lock poisoned").entry(key).or_insert(db).clone()
+        self.phase1
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(key)
+            .or_insert(db)
+            .clone()
     }
 
     /// The Phase-2 output for a scenario, running the DSE on first
-    /// request.
+    /// request. Failed runs are returned, not cached, so a transient
+    /// failure is retried on the next request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AutopilotError`] from [`Phase2::run`].
     pub fn phase2_output(
         &self,
         config: &AutopilotConfig,
         evaluator: &DssocEvaluator,
         threads: Option<usize>,
-    ) -> Phase2Output {
+    ) -> Result<Phase2Output, AutopilotError> {
         let key = PipelineCache::phase2_key(config, evaluator.density());
-        if let Some(out) = self.phase2.lock().expect("cache lock poisoned").get(&key) {
+        if let Some(out) =
+            self.phase2.lock().unwrap_or_else(PoisonError::into_inner).get(&key)
+        {
             self.phase2_hits.fetch_add(1, Ordering::Relaxed);
             obs::add("pipeline.phase2_cache.hits", 1);
-            return out.clone();
+            return Ok(out.clone());
         }
         let mut phase2 = Phase2::new(config.optimizer, config.phase2_budget, config.seed);
         if let Some(t) = threads {
             phase2 = phase2.with_threads(t);
         }
-        let out = phase2.run(evaluator);
+        let out = phase2.run(evaluator)?;
         self.phase2_misses.fetch_add(1, Ordering::Relaxed);
         obs::add("pipeline.phase2_cache.misses", 1);
-        self.phase2.lock().expect("cache lock poisoned").entry(key).or_insert(out).clone()
+        Ok(self
+            .phase2
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(key)
+            .or_insert(out)
+            .clone())
     }
 
     /// Hit/miss/entry counters for the Phase-2 cache.
@@ -147,7 +167,7 @@ impl PipelineCache {
         CacheStats {
             hits: self.phase2_hits.load(Ordering::Relaxed),
             misses: self.phase2_misses.load(Ordering::Relaxed),
-            entries: self.phase2.lock().expect("cache lock poisoned").len(),
+            entries: self.phase2.lock().unwrap_or_else(PoisonError::into_inner).len(),
         }
     }
 }
@@ -188,7 +208,15 @@ impl AutoPilot {
     ///
     /// `selection` is `None` when Phase 3 found no flyable design (see
     /// [`AutoPilot::select`] for the error detail).
-    pub fn run(&self, uav: &UavSpec, task: &TaskSpec) -> AutopilotResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutopilotError`] when Phase 2 itself fails (unknown
+    /// optimizer name, or an evaluation/surrogate failure mid-search).
+    /// Phase-3 selection failures are *not* errors at this level: they
+    /// are recorded in [`AutopilotResult::selection_error`] so sweeps
+    /// over many (UAV, task) pairs keep the partial result.
+    pub fn run(&self, uav: &UavSpec, task: &TaskSpec) -> Result<AutopilotResult, AutopilotError> {
         let _span = obs::span("pipeline.run");
         // Phase 1: front end.
         let db = match &self.cache {
@@ -204,14 +232,14 @@ impl AutoPilot {
         // Phase 2: multi-objective DSE.
         let evaluator = DssocEvaluator::new(db.clone(), task.density);
         let phase2 = match &self.cache {
-            Some(cache) => cache.phase2_output(&self.config, &evaluator, self.threads),
+            Some(cache) => cache.phase2_output(&self.config, &evaluator, self.threads)?,
             None => {
                 let mut phase2 =
                     Phase2::new(self.config.optimizer, self.config.phase2_budget, self.config.seed);
                 if let Some(t) = self.threads {
                     phase2 = phase2.with_threads(t);
                 }
-                phase2.run(&evaluator)
+                phase2.run(&evaluator)?
             }
         };
 
@@ -220,41 +248,43 @@ impl AutoPilot {
             if self.config.fine_tuning { Phase3::new() } else { Phase3::without_fine_tuning() };
         let selection = phase3.select(uav, task, &phase2, &evaluator);
 
-        AutopilotResult {
+        Ok(AutopilotResult {
             uav: uav.clone(),
             task: task.clone(),
             database: db,
             phase2,
             selection_error: selection.as_ref().err().map(|e| e.to_string()),
             selection: selection.ok(),
-        }
+        })
     }
 
     /// Like [`AutoPilot::run`] but surfacing the Phase-3 error.
     ///
     /// # Errors
     ///
-    /// Propagates [`AutopilotError`] from Phase 3 (no candidate meets the
-    /// success threshold, or no design can fly the UAV).
+    /// Propagates [`AutopilotError`] from any phase — including Phase 3's
+    /// selection errors (no candidate meets the success threshold, or no
+    /// design can fly the UAV), which [`AutoPilot::run`] only records.
     pub fn select(
         &self,
         uav: &UavSpec,
         task: &TaskSpec,
     ) -> Result<Phase3Selection, AutopilotError> {
-        let result = self.run(uav, task);
+        let result = self.run(uav, task)?;
         match result.selection {
             Some(s) => Ok(s),
             None => {
-                // Re-derive the typed error.
+                // Re-derive the typed error (run() keeps only its text).
                 let evaluator = DssocEvaluator::new(result.database, task.density);
                 let phase3 = if self.config.fine_tuning {
                     Phase3::new()
                 } else {
                     Phase3::without_fine_tuning()
                 };
-                Err(phase3
-                    .select(uav, task, &result.phase2, &evaluator)
-                    .expect_err("selection failed above"))
+                // Selection is deterministic, so this re-selection fails
+                // exactly as the one inside run() did; if it somehow
+                // succeeds, the selection is simply returned.
+                phase3.select(uav, task, &result.phase2, &evaluator)
             }
         }
     }
@@ -291,8 +321,9 @@ mod tests {
 
     #[test]
     fn full_pipeline_selects_for_nano() {
-        let result =
-            fast_pilot(3).run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Dense));
+        let result = fast_pilot(3)
+            .run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Dense))
+            .expect("pipeline runs");
         let sel = result.selection.expect("nano selection");
         assert!(sel.missions.missions > 0.0);
         assert_eq!(result.database.len(), 27);
@@ -302,8 +333,8 @@ mod tests {
     #[test]
     fn pipeline_is_deterministic() {
         let task = TaskSpec::navigation(ObstacleDensity::Medium);
-        let a = fast_pilot(9).run(&UavSpec::micro(), &task);
-        let b = fast_pilot(9).run(&UavSpec::micro(), &task);
+        let a = fast_pilot(9).run(&UavSpec::micro(), &task).expect("pipeline runs");
+        let b = fast_pilot(9).run(&UavSpec::micro(), &task).expect("pipeline runs");
         assert_eq!(a.selection, b.selection);
         assert_eq!(a.phase2.candidates.len(), b.phase2.candidates.len());
     }
@@ -318,6 +349,19 @@ mod tests {
     }
 
     #[test]
+    fn unknown_optimizer_surfaces_from_run() {
+        // A config whose optimizer name is not registered must error,
+        // not panic. AutopilotConfig only names builtins, so drive
+        // Phase2 directly through the cache layer.
+        let cache = PipelineCache::new();
+        let config = AutopilotConfig::fast(1).with_budget(8);
+        let db = cache.phase1_database(&config, ObstacleDensity::Low);
+        let ev = DssocEvaluator::new(db, ObstacleDensity::Low);
+        let err = Phase2::new("not-registered", 8, 1).run(&ev).unwrap_err();
+        assert!(matches!(err, AutopilotError::UnknownOptimizer { .. }));
+    }
+
+    #[test]
     fn config_presets() {
         assert!(AutopilotConfig::paper(0).phase2_budget > AutopilotConfig::fast(0).phase2_budget);
     }
@@ -329,8 +373,8 @@ mod tests {
         let config =
             AutopilotConfig::fast(5).with_optimizer(OptimizerChoice::Random).with_budget(16);
         let pilot = AutoPilot::new(config).with_cache(Arc::clone(&cache));
-        let nano = pilot.run(&UavSpec::nano(), &task);
-        let micro = pilot.run(&UavSpec::micro(), &task);
+        let nano = pilot.run(&UavSpec::nano(), &task).expect("pipeline runs");
+        let micro = pilot.run(&UavSpec::micro(), &task).expect("pipeline runs");
         let stats = cache.phase2_stats();
         assert_eq!(stats.misses, 1, "phase 2 must run once for a shared scenario");
         assert_eq!(stats.hits, 1);
@@ -342,10 +386,11 @@ mod tests {
         let task = TaskSpec::navigation(ObstacleDensity::Medium);
         let config =
             AutopilotConfig::fast(7).with_optimizer(OptimizerChoice::Random).with_budget(16);
-        let plain = AutoPilot::new(config).run(&UavSpec::nano(), &task);
+        let plain = AutoPilot::new(config).run(&UavSpec::nano(), &task).expect("pipeline runs");
         let cached = AutoPilot::new(config)
             .with_cache(Arc::new(PipelineCache::new()))
-            .run(&UavSpec::nano(), &task);
+            .run(&UavSpec::nano(), &task)
+            .expect("pipeline runs");
         assert_eq!(plain.selection, cached.selection);
         assert_eq!(plain.phase2.candidates, cached.phase2.candidates);
         assert_eq!(plain.phase2.result, cached.phase2.result);

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::AutopilotError;
 use crate::phase2::DesignCandidate;
 use crate::pipeline::AutopilotResult;
 
@@ -94,8 +95,14 @@ impl RunSummary {
     }
 
     /// Pretty JSON rendering.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("summary serializes")
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutopilotError::Serialization`] when the serializer
+    /// fails (e.g. a backend without JSON support).
+    pub fn to_json(&self) -> Result<String, AutopilotError> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| AutopilotError::Serialization { message: e.to_string() })
     }
 
     /// Parses a summary back from JSON.
@@ -123,12 +130,14 @@ mod tests {
         let pilot = AutoPilot::new(
             AutopilotConfig::fast(3).with_budget(16).with_optimizer(OptimizerChoice::Random),
         );
-        let result = pilot.run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Low));
+        let result = pilot
+            .run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Low))
+            .expect("pipeline runs");
         let summary = RunSummary::from_result(&result);
-        let restored = RunSummary::from_json(&summary.to_json()).expect("parse");
+        let restored = RunSummary::from_json(&summary.to_json().expect("serializes")).expect("parse");
         // Compare via re-serialization: floating-point JSON text is only
         // guaranteed to round-trip to the same shortest representation.
-        assert_eq!(summary.to_json(), restored.to_json());
+        assert_eq!(summary.to_json().expect("serializes"), restored.to_json().expect("serializes"));
         assert_eq!(summary.evaluations, 16);
         assert!(summary.selection.is_some());
         assert!(summary.missions.unwrap() > 0.0);
@@ -141,7 +150,8 @@ mod tests {
         let pilot = AutoPilot::new(
             AutopilotConfig::fast(3).with_budget(12).with_optimizer(OptimizerChoice::Random),
         );
-        let result = pilot.run(&weak, &TaskSpec::navigation(ObstacleDensity::Low));
+        let result =
+            pilot.run(&weak, &TaskSpec::navigation(ObstacleDensity::Low)).expect("pipeline runs");
         let summary = RunSummary::from_result(&result);
         assert!(summary.selection.is_none());
         assert!(summary.error.is_some());

@@ -5,6 +5,8 @@ use policy_nn::{PolicyHyperparams, FILTER_CHOICES, LAYER_CHOICES};
 use serde::{Deserialize, Serialize};
 use systolic_sim::{ArrayConfig, Dataflow};
 
+use crate::error::AutopilotError;
+
 /// PE-array row/column choices (Table II).
 pub const PE_CHOICES: [usize; 8] = [8, 16, 32, 64, 128, 256, 512, 1024];
 
@@ -42,6 +44,8 @@ impl JointSpace {
 
     /// The [`DesignSpace`] over index vectors.
     pub fn design_space() -> DesignSpace {
+        // The choice lists are non-empty const arrays, so construction
+        // cannot fail; the unit-space fallback keeps this panic-free.
         DesignSpace::new(vec![
             LAYER_CHOICES.len(),
             FILTER_CHOICES.len(),
@@ -51,7 +55,7 @@ impl JointSpace {
             SRAM_KB_CHOICES.len(),
             SRAM_KB_CHOICES.len(),
         ])
-        .expect("joint space dimensions are non-empty")
+        .unwrap_or_else(|_| DesignSpace::unit())
     }
 
     /// Total number of joint design points.
@@ -62,28 +66,44 @@ impl JointSpace {
     /// Decodes a design-space point into hyperparameters and an
     /// accelerator configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `point` is outside the space.
-    pub fn decode(point: &[usize]) -> (PolicyHyperparams, ArrayConfig) {
-        assert_eq!(point.len(), 7, "joint point must have 7 dimensions");
-        let hyper = PolicyHyperparams::new(
-            LAYER_CHOICES[point[Self::DIM_LAYERS]],
-            FILTER_CHOICES[point[Self::DIM_FILTERS]],
-        )
-        .expect("choices come from the Table II lists");
+    /// Returns [`AutopilotError::InvalidDesignPoint`] when `point` has
+    /// the wrong arity or an index outside its dimension's Table II
+    /// choice list, and [`AutopilotError::InvalidConfiguration`] when
+    /// the decoded accelerator configuration fails validation.
+    pub fn decode(point: &[usize]) -> Result<(PolicyHyperparams, ArrayConfig), AutopilotError> {
+        let invalid = |reason: String| AutopilotError::InvalidDesignPoint {
+            point: point.to_vec(),
+            reason,
+        };
+        if point.len() != 7 {
+            return Err(invalid(format!("expected 7 dimensions, got {}", point.len())));
+        }
+        let pick = |list: &[usize], dim: usize, name: &str| {
+            list.get(point[dim]).copied().ok_or_else(|| {
+                invalid(format!(
+                    "{name} index {} out of range (dimension has {} choices)",
+                    point[dim],
+                    list.len()
+                ))
+            })
+        };
+        let layers = pick(&LAYER_CHOICES, Self::DIM_LAYERS, "layer")?;
+        let filters = pick(&FILTER_CHOICES, Self::DIM_FILTERS, "filter")?;
+        let hyper = PolicyHyperparams::new(layers, filters)
+            .map_err(|e| invalid(e.to_string()))?;
         let config = ArrayConfig::builder()
-            .rows(PE_CHOICES[point[Self::DIM_PE_ROWS]])
-            .cols(PE_CHOICES[point[Self::DIM_PE_COLS]])
-            .ifmap_sram_kb(SRAM_KB_CHOICES[point[Self::DIM_IFMAP_KB]])
-            .filter_sram_kb(SRAM_KB_CHOICES[point[Self::DIM_FILTER_KB]])
-            .ofmap_sram_kb(SRAM_KB_CHOICES[point[Self::DIM_OFMAP_KB]])
+            .rows(pick(&PE_CHOICES, Self::DIM_PE_ROWS, "PE-row")?)
+            .cols(pick(&PE_CHOICES, Self::DIM_PE_COLS, "PE-col")?)
+            .ifmap_sram_kb(pick(&SRAM_KB_CHOICES, Self::DIM_IFMAP_KB, "ifmap-SRAM")?)
+            .filter_sram_kb(pick(&SRAM_KB_CHOICES, Self::DIM_FILTER_KB, "filter-SRAM")?)
+            .ofmap_sram_kb(pick(&SRAM_KB_CHOICES, Self::DIM_OFMAP_KB, "ofmap-SRAM")?)
             .dataflow(Dataflow::OutputStationary)
             .clock_mhz(DEFAULT_CLOCK_MHZ)
             .dram_bandwidth(DEFAULT_DRAM_BW)
-            .build()
-            .expect("Table II choices produce valid configurations");
-        (hyper, config)
+            .build()?;
+        Ok((hyper, config))
     }
 
     /// Encodes `(hyper, rows, cols, ifmap_kb, filter_kb, ofmap_kb)` back
@@ -123,7 +143,7 @@ mod tests {
     #[test]
     fn decode_round_trips_with_encode() {
         let point = vec![5, 2, 3, 4, 1, 6, 2];
-        let (hyper, config) = JointSpace::decode(&point);
+        let (hyper, config) = JointSpace::decode(&point).unwrap();
         let back = JointSpace::encode(
             hyper,
             config.rows(),
@@ -141,13 +161,21 @@ mod tests {
         let space = JointSpace::design_space();
         let lo = vec![0; 7];
         let hi: Vec<usize> = (0..7).map(|d| space.cardinality(d) - 1).collect();
-        let (h_lo, c_lo) = JointSpace::decode(&lo);
-        let (h_hi, c_hi) = JointSpace::decode(&hi);
+        let (h_lo, c_lo) = JointSpace::decode(&lo).unwrap();
+        let (h_hi, c_hi) = JointSpace::decode(&hi).unwrap();
         assert_eq!(h_lo.conv_layers(), 2);
         assert_eq!(c_lo.rows(), 8);
         assert_eq!(h_hi.conv_layers(), 10);
         assert_eq!(c_hi.rows(), 1024);
         assert_eq!(c_hi.ifmap_sram_bytes(), 4096 * 1024);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_points() {
+        let err = JointSpace::decode(&[0, 0]).unwrap_err();
+        assert!(matches!(err, AutopilotError::InvalidDesignPoint { .. }));
+        let err = JointSpace::decode(&[0, 0, 99, 0, 0, 0, 0]).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use std::collections::HashMap;
 
+use crate::error::{DseError, EvalError};
 use crate::evaluator::{Evaluator, MultiObjectiveOptimizer};
 use crate::result::{EvaluationRecord, OptimizationResult};
 use crate::space::DesignSpace;
@@ -39,12 +40,12 @@ impl MultiObjectiveOptimizer for AnnealingOptimizer {
         "simulated-annealing"
     }
 
-    fn run<E: Evaluator>(
+    fn run(
         &mut self,
         space: &DesignSpace,
-        evaluator: &E,
+        evaluator: &dyn Evaluator,
         budget: usize,
-    ) -> OptimizationResult {
+    ) -> Result<OptimizationResult, DseError> {
         let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
         let n_obj = evaluator.num_objectives();
         let mut cache: HashMap<Vec<usize>, Vec<f64>> = HashMap::new();
@@ -53,18 +54,18 @@ impl MultiObjectiveOptimizer for AnnealingOptimizer {
         let eval = |p: &Vec<usize>,
                     cache: &mut HashMap<Vec<usize>, Vec<f64>>,
                     history: &mut Vec<EvaluationRecord>|
-         -> Vec<f64> {
+         -> Result<Vec<f64>, EvalError> {
             if let Some(o) = cache.get(p) {
-                return o.clone();
+                return Ok(o.clone());
             }
-            let o = evaluator.evaluate(p);
+            let o = evaluator.evaluate(p)?;
             cache.insert(p.clone(), o.clone());
             history.push(EvaluationRecord {
                 iteration: history.len(),
                 point: p.clone(),
                 objectives: o.clone(),
             });
-            o
+            Ok(o)
         };
 
         // Unique evaluations are bounded by the space; see the NSGA-II
@@ -73,7 +74,7 @@ impl MultiObjectiveOptimizer for AnnealingOptimizer {
         let mut stale_steps = 0usize;
 
         let mut current = space.random_point(&mut rng);
-        let mut current_objs = eval(&current, &mut cache, &mut history);
+        let mut current_objs = eval(&current, &mut cache, &mut history)?;
         let mut temperature = self.initial_temperature;
         let mut weights = random_weights(n_obj, &mut rng);
         // Running objective ranges for normalization.
@@ -89,7 +90,7 @@ impl MultiObjectiveOptimizer for AnnealingOptimizer {
                 // archive exploring distant regions of the front.
                 if rng.random_bool(0.15) {
                     current = space.random_point(&mut rng);
-                    current_objs = eval(&current, &mut cache, &mut history);
+                    current_objs = eval(&current, &mut cache, &mut history)?;
                     if history.len() >= budget {
                         break;
                     }
@@ -101,7 +102,7 @@ impl MultiObjectiveOptimizer for AnnealingOptimizer {
             }
             let proposal = neighbors[rng.random_range(0..neighbors.len())].clone();
             let was_cached = cache.contains_key(&proposal);
-            let proposal_objs = eval(&proposal, &mut cache, &mut history);
+            let proposal_objs = eval(&proposal, &mut cache, &mut history)?;
             if was_cached {
                 stale_steps += 1;
                 if stale_steps > budget * 20 + 500 {
@@ -126,7 +127,7 @@ impl MultiObjectiveOptimizer for AnnealingOptimizer {
         }
 
         history.truncate(budget);
-        OptimizationResult::from_history(self.name(), history, evaluator.reference_point())
+        Ok(OptimizationResult::from_history(self.name(), history, evaluator.reference_point()))
     }
 }
 
@@ -164,7 +165,7 @@ mod tests {
     fn respects_budget() {
         let space = DesignSpace::new(vec![32]).unwrap();
         let mut sa = AnnealingOptimizer::new(2);
-        let res = sa.run(&space, &Tradeoff, 25);
+        let res = sa.run(&space, &Tradeoff, 25).unwrap();
         assert!(res.evaluation_count() <= 25);
         assert!(res.evaluation_count() > 0);
     }
@@ -172,15 +173,15 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let space = DesignSpace::new(vec![8, 8, 8]).unwrap();
-        let a = AnnealingOptimizer::new(4).run(&space, &Bowl3, 40);
-        let b = AnnealingOptimizer::new(4).run(&space, &Bowl3, 40);
+        let a = AnnealingOptimizer::new(4).run(&space, &Bowl3, 40).unwrap();
+        let b = AnnealingOptimizer::new(4).run(&space, &Bowl3, 40).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn improves_over_first_sample() {
         let space = DesignSpace::new(vec![32]).unwrap();
-        let res = AnnealingOptimizer::new(8).run(&space, &Tradeoff, 60);
+        let res = AnnealingOptimizer::new(8).run(&space, &Tradeoff, 60).unwrap();
         assert!(res.final_hypervolume() >= res.hypervolume_trace[0]);
         assert!(!res.pareto_front().is_empty());
     }
@@ -188,7 +189,7 @@ mod tests {
     #[test]
     fn explores_multiple_points() {
         let space = DesignSpace::new(vec![16, 16]).unwrap();
-        let res = AnnealingOptimizer::new(5).run(&space, &Tradeoff, 30);
+        let res = AnnealingOptimizer::new(5).run(&space, &Tradeoff, 30).unwrap();
         let mut pts: Vec<_> = res.evaluations.iter().map(|e| e.point.clone()).collect();
         pts.sort();
         pts.dedup();

@@ -5,6 +5,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use std::collections::HashSet;
 
+use crate::error::{DseError, EvalError};
 use crate::evaluator::{Evaluator, MultiObjectiveOptimizer};
 use crate::gp::{DistanceCache, GaussianProcess};
 use crate::par;
@@ -205,7 +206,10 @@ impl Surrogates {
                 .iter()
                 .map(|e| normalize(e.objectives[obj], archive.mins[obj], archive.maxs[obj]))
                 .collect();
-            gps.push(GaussianProcess::fit_with_lengthscale(&xs, &ys, lengthscale_sq)?);
+            // A degenerate fit (duplicate geometry, singular kernel) is
+            // non-fatal here: the caller falls back to random sampling
+            // for this iteration rather than aborting the run.
+            gps.push(GaussianProcess::fit_with_lengthscale(&xs, &ys, lengthscale_sq).ok()?);
         }
         Some(Surrogates {
             gps,
@@ -227,12 +231,12 @@ impl MultiObjectiveOptimizer for SmsEgoOptimizer {
         "sms-ego-bo"
     }
 
-    fn run<E: Evaluator>(
+    fn run(
         &mut self,
         space: &DesignSpace,
-        evaluator: &E,
+        evaluator: &dyn Evaluator,
         budget: usize,
-    ) -> OptimizationResult {
+    ) -> Result<OptimizationResult, DseError> {
         let _span = obs::span("sms_ego.run");
         let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
         let n_obj = evaluator.num_objectives();
@@ -266,9 +270,10 @@ impl MultiObjectiveOptimizer for SmsEgoOptimizer {
             archive.seen.insert(p.clone());
             planned.push(p);
         }
-        let objectives = par::parallel_map_with(workers, &planned, |_, p| evaluator.evaluate(p));
+        let objectives: Vec<Result<Vec<f64>, EvalError>> =
+            par::parallel_map_with(workers, &planned, |_, p| evaluator.evaluate(p));
         for (p, o) in planned.into_iter().zip(objectives) {
-            archive.commit(p, o);
+            archive.commit(p, o?);
         }
 
         // BO loop: one evaluation per iteration, surrogates kept current
@@ -295,11 +300,15 @@ impl MultiObjectiveOptimizer for SmsEgoOptimizer {
                     }
                 }
             };
-            let objectives = evaluator.evaluate(&p);
+            let objectives = evaluator.evaluate(&p)?;
             archive.commit(p, objectives);
         }
 
-        OptimizationResult::from_history(self.name(), archive.history, evaluator.reference_point())
+        Ok(OptimizationResult::from_history(
+            self.name(),
+            archive.history,
+            evaluator.reference_point(),
+        ))
     }
 }
 
@@ -417,7 +426,7 @@ mod tests {
     fn respects_budget_without_duplicates() {
         let space = DesignSpace::new(vec![32]).unwrap();
         let mut bo = SmsEgoOptimizer::new(3).with_init_samples(6).with_candidate_pool(32);
-        let res = bo.run(&space, &Tradeoff, 20);
+        let res = bo.run(&space, &Tradeoff, 20).unwrap();
         assert!(res.evaluation_count() <= 20);
         let mut pts: Vec<_> = res.evaluations.iter().map(|e| e.point.clone()).collect();
         pts.sort();
@@ -430,7 +439,7 @@ mod tests {
         let space = DesignSpace::new(vec![8, 8, 8]).unwrap();
         let mut a = SmsEgoOptimizer::new(5).with_init_samples(8).with_candidate_pool(32);
         let mut b = SmsEgoOptimizer::new(5).with_init_samples(8).with_candidate_pool(32);
-        assert_eq!(a.run(&space, &Bowl3, 24), b.run(&space, &Bowl3, 24));
+        assert_eq!(a.run(&space, &Bowl3, 24).unwrap(), b.run(&space, &Bowl3, 24).unwrap());
     }
 
     #[test]
@@ -440,13 +449,15 @@ mod tests {
             .with_init_samples(8)
             .with_candidate_pool(32)
             .with_threads(1)
-            .run(&space, &Bowl3, 20);
+            .run(&space, &Bowl3, 20)
+            .unwrap();
         for t in [2, 3, 5] {
             let r = SmsEgoOptimizer::new(6)
                 .with_init_samples(8)
                 .with_candidate_pool(32)
                 .with_threads(t)
-                .run(&space, &Bowl3, 20);
+                .run(&space, &Bowl3, 20)
+                .unwrap();
             assert_eq!(base, r, "threads = {t}");
         }
     }
@@ -461,8 +472,8 @@ mod tests {
         let mut rs_total = 0.0;
         for seed in 0..3 {
             let mut bo = SmsEgoOptimizer::new(seed).with_init_samples(10).with_candidate_pool(64);
-            bo_total += bo.run(&space, &Bowl3, budget).final_hypervolume();
-            rs_total += RandomSearch::new(seed).run(&space, &Bowl3, budget).final_hypervolume();
+            bo_total += bo.run(&space, &Bowl3, budget).unwrap().final_hypervolume();
+            rs_total += RandomSearch::new(seed).run(&space, &Bowl3, budget).unwrap().final_hypervolume();
         }
         assert!(
             bo_total >= rs_total * 0.98,
@@ -474,7 +485,7 @@ mod tests {
     fn handles_tiny_space_gracefully() {
         let space = DesignSpace::new(vec![3]).unwrap();
         let mut bo = SmsEgoOptimizer::new(1).with_init_samples(2);
-        let res = bo.run(&space, &Tradeoff, 50);
+        let res = bo.run(&space, &Tradeoff, 50).unwrap();
         assert_eq!(res.evaluation_count(), 3); // space exhausted
     }
 
@@ -486,7 +497,7 @@ mod tests {
             .with_init_samples(4)
             .with_candidate_pool(16)
             .with_seed_points(seeds.clone());
-        let res = bo.run(&space, &Tradeoff, 12);
+        let res = bo.run(&space, &Tradeoff, 12).unwrap();
         assert_eq!(res.evaluations[0].point, seeds[0]);
         assert_eq!(res.evaluations[1].point, seeds[1]);
     }

@@ -11,8 +11,9 @@
 use autopilot_obs as obs;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
+use crate::error::EvalError;
 use crate::evaluator::Evaluator;
 
 /// Hit/miss counters for a [`CachedEvaluator`], captured at a point in
@@ -43,7 +44,9 @@ impl CacheStats {
 ///
 /// The first evaluation of each point delegates to the inner evaluator;
 /// subsequent evaluations of the same point return the stored objective
-/// vector (a clone, bit-identical to the original). The map is guarded
+/// vector (a clone, bit-identical to the original). **Failed evaluations
+/// are never cached** — the error is returned and a later retry of the
+/// same point runs the inner evaluator again. The map is guarded
 /// by a mutex that is **not** held across inner evaluations, so parallel
 /// workers can evaluate distinct points concurrently. Two threads racing
 /// on the same uncached point may both run the inner evaluator, but only
@@ -78,18 +81,26 @@ impl<E: Evaluator> CachedEvaluator<E> {
         self.inner
     }
 
+    /// Locks the map, recovering from a poisoned lock: the cache only
+    /// stores completed (point, objectives) entries, which stay
+    /// internally consistent even when another worker panicked, so the
+    /// memo data is safe to keep using.
+    fn map_lock(&self) -> MutexGuard<'_, HashMap<Vec<usize>, Vec<f64>>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Snapshots hit/miss/entry counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("cache lock poisoned").len(),
+            entries: self.map_lock().len(),
         }
     }
 
     /// Number of distinct points stored.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock poisoned").len()
+        self.map_lock().len()
     }
 
     /// True when no point has been evaluated yet.
@@ -99,7 +110,7 @@ impl<E: Evaluator> CachedEvaluator<E> {
 
     /// Returns the cached objectives for `point` without evaluating.
     pub fn peek(&self, point: &[usize]) -> Option<Vec<f64>> {
-        self.map.lock().expect("cache lock poisoned").get(point).cloned()
+        self.map_lock().get(point).cloned()
     }
 }
 
@@ -108,23 +119,20 @@ impl<E: Evaluator> Evaluator for CachedEvaluator<E> {
         self.inner.num_objectives()
     }
 
-    fn evaluate(&self, point: &[usize]) -> Vec<f64> {
-        if let Some(objs) = self.map.lock().expect("cache lock poisoned").get(point) {
+    fn evaluate(&self, point: &[usize]) -> Result<Vec<f64>, EvalError> {
+        if let Some(objs) = self.map_lock().get(point) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             obs::add("dse.cached_evaluator.hits", 1);
-            return objs.clone();
+            return Ok(objs.clone());
         }
         // Run the (possibly expensive) inner evaluation without holding
-        // the lock so other workers proceed on other points.
-        let objs = self.inner.evaluate(point);
+        // the lock so other workers proceed on other points. Errors are
+        // returned without caching so a retry re-runs the evaluator.
+        let objs = self.inner.evaluate(point)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         obs::add("dse.cached_evaluator.misses", 1);
-        self.map
-            .lock()
-            .expect("cache lock poisoned")
-            .entry(point.to_vec())
-            .or_insert_with(|| objs.clone());
-        objs
+        self.map_lock().entry(point.to_vec()).or_insert_with(|| objs.clone());
+        Ok(objs)
     }
 
     fn reference_point(&self) -> Vec<f64> {
@@ -150,20 +158,38 @@ mod tests {
         fn num_objectives(&self) -> usize {
             2
         }
-        fn evaluate(&self, point: &[usize]) -> Vec<f64> {
+        fn evaluate(&self, point: &[usize]) -> Result<Vec<f64>, EvalError> {
             self.calls.fetch_add(1, Ordering::Relaxed);
-            vec![point[0] as f64, 10.0 - point[0] as f64]
+            Ok(vec![point[0] as f64, 10.0 - point[0] as f64])
         }
         fn reference_point(&self) -> Vec<f64> {
             vec![20.0, 20.0]
         }
     }
 
+    /// Fails on odd points, succeeds on even ones, counting every call.
+    struct FlakyOdd {
+        calls: AtomicUsize,
+    }
+
+    impl Evaluator for FlakyOdd {
+        fn num_objectives(&self) -> usize {
+            2
+        }
+        fn evaluate(&self, point: &[usize]) -> Result<Vec<f64>, EvalError> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            if point[0] % 2 == 1 {
+                return Err(EvalError::Failed { message: format!("odd point {point:?}") });
+            }
+            Ok(vec![point[0] as f64, 1.0])
+        }
+    }
+
     #[test]
     fn second_lookup_is_a_hit() {
         let cached = CachedEvaluator::new(Counting::new());
-        let a = cached.evaluate(&[3]);
-        let b = cached.evaluate(&[3]);
+        let a = cached.evaluate(&[3]).unwrap();
+        let b = cached.evaluate(&[3]).unwrap();
         assert_eq!(a, b);
         assert_eq!(cached.inner().calls.load(Ordering::Relaxed), 1);
         let stats = cached.stats();
@@ -177,7 +203,7 @@ mod tests {
     fn distinct_points_are_distinct_entries() {
         let cached = CachedEvaluator::new(Counting::new());
         for p in [[0usize], [1], [2], [1], [0]] {
-            cached.evaluate(&p);
+            cached.evaluate(&p).unwrap();
         }
         assert_eq!(cached.len(), 3);
         assert_eq!(cached.inner().calls.load(Ordering::Relaxed), 3);
@@ -186,10 +212,26 @@ mod tests {
     #[test]
     fn cached_objectives_match_inner() {
         let cached = CachedEvaluator::new(Counting::new());
-        let first = cached.evaluate(&[7]);
+        let first = cached.evaluate(&[7]).unwrap();
         assert_eq!(cached.peek(&[7]), Some(first.clone()));
-        assert_eq!(cached.evaluate(&[7]), first);
+        assert_eq!(cached.evaluate(&[7]).unwrap(), first);
         assert_eq!(first, vec![7.0, 3.0]);
+    }
+
+    #[test]
+    fn failed_evaluations_are_not_cached() {
+        let cached = CachedEvaluator::new(FlakyOdd { calls: AtomicUsize::new(0) });
+        assert!(cached.evaluate(&[1]).is_err());
+        assert!(cached.evaluate(&[1]).is_err());
+        // Both failures ran the inner evaluator: nothing was memoized.
+        assert_eq!(cached.inner().calls.load(Ordering::Relaxed), 2);
+        assert_eq!(cached.len(), 0);
+        assert_eq!(cached.peek(&[1]), None);
+        // A successful point still caches normally.
+        assert!(cached.evaluate(&[2]).is_ok());
+        assert!(cached.evaluate(&[2]).is_ok());
+        assert_eq!(cached.inner().calls.load(Ordering::Relaxed), 3);
+        assert_eq!(cached.len(), 1);
     }
 
     #[test]
@@ -198,7 +240,7 @@ mod tests {
         let points: Vec<Vec<usize>> = (0..64).map(|i| vec![i % 8]).collect();
         let results = crate::par::parallel_map_with(4, &points, |_, p| cached.evaluate(p));
         for (p, r) in points.iter().zip(&results) {
-            assert_eq!(*r, vec![p[0] as f64, 10.0 - p[0] as f64]);
+            assert_eq!(r.clone().unwrap(), vec![p[0] as f64, 10.0 - p[0] as f64]);
         }
         assert_eq!(cached.len(), 8);
         let stats = cached.stats();

@@ -1,0 +1,199 @@
+//! The DSE error taxonomy.
+//!
+//! Three layers, from innermost to outermost:
+//!
+//! * [`EvalError`] — a single objective evaluation failed (bad point,
+//!   wrong arity, non-finite objective, or a domain-specific failure
+//!   reported by the evaluator).
+//! * [`GpError`] — a Gaussian-process surrogate could not be fit
+//!   (degenerate geometry, dimension mismatch, or a kernel matrix that
+//!   is not positive definite).
+//! * [`DseError`] — what an optimizer run returns: an evaluation or
+//!   surrogate failure, or a design space the algorithm cannot operate
+//!   on.
+//!
+//! Downstream crates wrap [`DseError`] in their own error types (the
+//! `autopilot` core maps it into `AutopilotError`), so the chain
+//! `EvalError` → `DseError` → `AutopilotError` carries failure context
+//! from a single simulator run all the way to the CLI without a panic
+//! anywhere in between.
+
+use std::fmt;
+
+use crate::space::SpaceError;
+
+/// A single objective evaluation failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// The design point could not be interpreted by the evaluator.
+    InvalidPoint {
+        /// The offending design-space index vector.
+        point: Vec<usize>,
+        /// Why the evaluator rejected it.
+        reason: String,
+    },
+    /// The evaluator returned the wrong number of objectives.
+    ObjectiveCount {
+        /// Objectives promised by [`crate::Evaluator::num_objectives`].
+        expected: usize,
+        /// Objectives actually returned.
+        got: usize,
+    },
+    /// An objective value was NaN or infinite.
+    NonFiniteObjective {
+        /// The design point that produced the value.
+        point: Vec<usize>,
+        /// Index of the non-finite objective.
+        objective: usize,
+    },
+    /// A domain-specific failure reported by the evaluator.
+    Failed {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::InvalidPoint { point, reason } => {
+                write!(f, "invalid design point {point:?}: {reason}")
+            }
+            EvalError::ObjectiveCount { expected, got } => {
+                write!(f, "evaluator returned {got} objectives, expected {expected}")
+            }
+            EvalError::NonFiniteObjective { point, objective } => {
+                write!(f, "objective {objective} is not finite at design point {point:?}")
+            }
+            EvalError::Failed { message } => write!(f, "evaluation failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A Gaussian-process surrogate fit failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GpError {
+    /// Fewer than two training points — nothing to interpolate.
+    TooFewPoints {
+        /// Number of points supplied.
+        got: usize,
+    },
+    /// Training inputs and targets disagree in length, or inputs have
+    /// inconsistent dimensionality.
+    DimensionMismatch {
+        /// Describes which lengths disagreed.
+        detail: String,
+    },
+    /// A training input or target is NaN or infinite.
+    NonFiniteInput,
+    /// The kernel matrix is singular or non-finite, so the Cholesky
+    /// factorization failed (duplicate points or a degenerate
+    /// lengthscale).
+    NotPositiveDefinite,
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::TooFewPoints { got } => {
+                write!(f, "gaussian process needs at least 2 training points, got {got}")
+            }
+            GpError::DimensionMismatch { detail } => {
+                write!(f, "gaussian process dimension mismatch: {detail}")
+            }
+            GpError::NonFiniteInput => {
+                write!(f, "gaussian process training data contains NaN or infinite values")
+            }
+            GpError::NotPositiveDefinite => {
+                write!(f, "kernel matrix is singular or non-finite (not positive definite)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpError {}
+
+/// An optimizer run failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DseError {
+    /// An objective evaluation failed and the optimizer cannot proceed.
+    Eval(EvalError),
+    /// A surrogate model could not be built or updated.
+    Surrogate(GpError),
+    /// The design space is malformed for this algorithm.
+    Space(SpaceError),
+}
+
+impl fmt::Display for DseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DseError::Eval(e) => write!(f, "{e}"),
+            DseError::Surrogate(e) => write!(f, "{e}"),
+            DseError::Space(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DseError::Eval(e) => Some(e),
+            DseError::Surrogate(e) => Some(e),
+            DseError::Space(e) => Some(e),
+        }
+    }
+}
+
+impl From<EvalError> for DseError {
+    fn from(e: EvalError) -> DseError {
+        DseError::Eval(e)
+    }
+}
+
+impl From<GpError> for DseError {
+    fn from(e: GpError) -> DseError {
+        DseError::Surrogate(e)
+    }
+}
+
+impl From<SpaceError> for DseError {
+    fn from(e: SpaceError) -> DseError {
+        DseError::Space(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EvalError::InvalidPoint { point: vec![1, 2], reason: "out of range".into() };
+        assert!(e.to_string().contains("[1, 2]"));
+        let e = EvalError::ObjectiveCount { expected: 3, got: 2 };
+        assert!(e.to_string().contains("expected 3"));
+        let e = GpError::TooFewPoints { got: 1 };
+        assert!(e.to_string().contains("got 1"));
+        assert!(GpError::NotPositiveDefinite.to_string().contains("positive definite"));
+    }
+
+    #[test]
+    fn from_chain_reaches_dse_error() {
+        let d: DseError = EvalError::Failed { message: "boom".into() }.into();
+        assert!(matches!(d, DseError::Eval(_)));
+        let d: DseError = GpError::NotPositiveDefinite.into();
+        assert!(matches!(d, DseError::Surrogate(_)));
+    }
+
+    #[test]
+    fn source_exposes_inner_error() {
+        use std::error::Error;
+        let d: DseError = EvalError::Failed { message: "x".into() }.into();
+        assert!(d.source().is_some());
+    }
+}

@@ -1,5 +1,6 @@
 //! The evaluator and optimizer abstractions shared by all DSE algorithms.
 
+use crate::error::{DseError, EvalError};
 use crate::result::OptimizationResult;
 use crate::space::DesignSpace;
 
@@ -8,6 +9,10 @@ use crate::space::DesignSpace;
 /// All objectives are minimized. Implementations should be deterministic
 /// for a given point (AutoPilot's evaluations — simulator runs and
 /// database lookups — are).
+///
+/// Evaluation is fallible: a bad design point, a simulator failure, or a
+/// non-finite objective is reported as an [`EvalError`] rather than a
+/// panic, and optimizers propagate it out of their `run` loop.
 ///
 /// The `Sync` supertrait lets optimizers fan evaluations out across
 /// worker threads (see [`crate::par`]); evaluators take `&self`, so a
@@ -18,7 +23,12 @@ pub trait Evaluator: Sync {
     fn num_objectives(&self) -> usize;
 
     /// Evaluates the objectives at `point` (a design-space index vector).
-    fn evaluate(&self, point: &[usize]) -> Vec<f64>;
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] when the point cannot be evaluated —
+    /// implementations must not panic on bad input.
+    fn evaluate(&self, point: &[usize]) -> Result<Vec<f64>, EvalError>;
 
     /// Reference point for hypervolume bookkeeping: a vector that every
     /// attainable objective vector dominates. The default is a generous
@@ -33,7 +43,7 @@ impl<E: Evaluator + ?Sized> Evaluator for &E {
     fn num_objectives(&self) -> usize {
         (**self).num_objectives()
     }
-    fn evaluate(&self, point: &[usize]) -> Vec<f64> {
+    fn evaluate(&self, point: &[usize]) -> Result<Vec<f64>, EvalError> {
         (**self).evaluate(point)
     }
     fn reference_point(&self) -> Vec<f64> {
@@ -45,22 +55,32 @@ impl<E: Evaluator + ?Sized> Evaluator for &E {
 ///
 /// Implementations are seeded at construction; `run` may be called
 /// repeatedly (each call restarts the optimization).
+///
+/// The trait is **object-safe**: optimizers are driven through
+/// `&dyn Evaluator`, so registries can hold `Box<dyn
+/// MultiObjectiveOptimizer>` factories and select a backend at runtime
+/// by name (see the `autopilot` core's optimizer registry).
 pub trait MultiObjectiveOptimizer {
     /// Human-readable algorithm name for reports.
     fn name(&self) -> &str;
 
     /// Runs the optimizer for at most `budget` objective evaluations.
-    fn run<E: Evaluator>(
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DseError`] when an evaluation fails or the search
+    /// cannot proceed; optimizers never panic on evaluator failures.
+    fn run(
         &mut self,
         space: &DesignSpace,
-        evaluator: &E,
+        evaluator: &dyn Evaluator,
         budget: usize,
-    ) -> OptimizationResult;
+    ) -> Result<OptimizationResult, DseError>;
 }
 
 #[cfg(test)]
 pub(crate) mod test_problems {
-    use super::Evaluator;
+    use super::{EvalError, Evaluator};
 
     /// A tiny bi-objective trade-off problem over a 32-level dimension:
     /// f0 = x, f1 = (1 - x)^2, whose Pareto front is the whole axis.
@@ -70,9 +90,9 @@ pub(crate) mod test_problems {
         fn num_objectives(&self) -> usize {
             2
         }
-        fn evaluate(&self, point: &[usize]) -> Vec<f64> {
+        fn evaluate(&self, point: &[usize]) -> Result<Vec<f64>, EvalError> {
             let x = point[0] as f64 / 31.0;
-            vec![x, (1.0 - x) * (1.0 - x)]
+            Ok(vec![x, (1.0 - x) * (1.0 - x)])
         }
         fn reference_point(&self) -> Vec<f64> {
             vec![1.1, 1.1]
@@ -87,15 +107,43 @@ pub(crate) mod test_problems {
         fn num_objectives(&self) -> usize {
             3
         }
-        fn evaluate(&self, point: &[usize]) -> Vec<f64> {
+        fn evaluate(&self, point: &[usize]) -> Result<Vec<f64>, EvalError> {
             let x: Vec<f64> = point.iter().map(|&p| p as f64 / 7.0).collect();
             let g = (x[2] - 0.5) * (x[2] - 0.5);
             let a = 0.5 * std::f64::consts::PI * x[0];
             let b = 0.5 * std::f64::consts::PI * x[1];
-            vec![(1.0 + g) * a.cos() * b.cos(), (1.0 + g) * a.cos() * b.sin(), (1.0 + g) * a.sin()]
+            Ok(vec![
+                (1.0 + g) * a.cos() * b.cos(),
+                (1.0 + g) * a.cos() * b.sin(),
+                (1.0 + g) * a.sin(),
+            ])
         }
         fn reference_point(&self) -> Vec<f64> {
             vec![2.0, 2.0, 2.0]
+        }
+    }
+
+    /// An evaluator that fails on every point past a threshold index sum,
+    /// used to drive optimizer error paths.
+    pub struct Failing {
+        /// Fail once the sum of indices reaches this value (0 = always).
+        pub threshold: usize,
+    }
+
+    impl Evaluator for Failing {
+        fn num_objectives(&self) -> usize {
+            2
+        }
+        fn evaluate(&self, point: &[usize]) -> Result<Vec<f64>, EvalError> {
+            let s: usize = point.iter().sum();
+            if s >= self.threshold {
+                return Err(EvalError::Failed { message: format!("injected failure at {point:?}") });
+            }
+            let x = point[0] as f64 / 31.0;
+            Ok(vec![x, 1.0 - x])
+        }
+        fn reference_point(&self) -> Vec<f64> {
+            vec![1.1, 1.1]
         }
     }
 }
@@ -113,6 +161,11 @@ mod tests {
         let t = Tradeoff;
         assert_eq!(takes_eval(&t), 2);
         assert_eq!(takes_eval(&&t), 2);
+        // And through a trait object, which the optimizer registry relies
+        // on.
+        let d: &dyn Evaluator = &t;
+        assert_eq!(d.num_objectives(), 2);
+        assert_eq!(takes_eval(&d), 2);
     }
 
     #[test]
@@ -122,10 +175,16 @@ mod tests {
             fn num_objectives(&self) -> usize {
                 4
             }
-            fn evaluate(&self, _: &[usize]) -> Vec<f64> {
-                vec![0.0; 4]
+            fn evaluate(&self, _: &[usize]) -> Result<Vec<f64>, EvalError> {
+                Ok(vec![0.0; 4])
             }
         }
         assert_eq!(One.reference_point().len(), 4);
+    }
+
+    #[test]
+    fn optimizer_trait_is_object_safe() {
+        fn assert_object_safe(_: Option<&dyn MultiObjectiveOptimizer>) {}
+        assert_object_safe(None);
     }
 }

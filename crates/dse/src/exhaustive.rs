@@ -1,5 +1,6 @@
 //! Exhaustive enumeration, the ground-truth baseline for small spaces.
 
+use crate::error::DseError;
 use crate::evaluator::{Evaluator, MultiObjectiveOptimizer};
 use crate::result::{EvaluationRecord, OptimizationResult};
 use crate::space::DesignSpace;
@@ -25,22 +26,18 @@ impl MultiObjectiveOptimizer for ExhaustiveSearch {
         "exhaustive"
     }
 
-    fn run<E: Evaluator>(
+    fn run(
         &mut self,
         space: &DesignSpace,
-        evaluator: &E,
+        evaluator: &dyn Evaluator,
         budget: usize,
-    ) -> OptimizationResult {
-        let history: Vec<EvaluationRecord> = space
-            .iter_points()
-            .take(budget)
-            .enumerate()
-            .map(|(iteration, point)| {
-                let objectives = evaluator.evaluate(&point);
-                EvaluationRecord { iteration, point, objectives }
-            })
-            .collect();
-        OptimizationResult::from_history(self.name(), history, evaluator.reference_point())
+    ) -> Result<OptimizationResult, DseError> {
+        let mut history: Vec<EvaluationRecord> = Vec::new();
+        for (iteration, point) in space.iter_points().take(budget).enumerate() {
+            let objectives = evaluator.evaluate(&point)?;
+            history.push(EvaluationRecord { iteration, point, objectives });
+        }
+        Ok(OptimizationResult::from_history(self.name(), history, evaluator.reference_point()))
     }
 }
 
@@ -54,15 +51,15 @@ mod tests {
     #[test]
     fn covers_small_space_exactly() {
         let space = DesignSpace::new(vec![32]).unwrap();
-        let res = ExhaustiveSearch::new().run(&space, &Tradeoff, 1000);
+        let res = ExhaustiveSearch::new().run(&space, &Tradeoff, 1000).unwrap();
         assert_eq!(res.evaluation_count(), 32);
     }
 
     #[test]
     fn recovers_ground_truth_hypervolume() {
         let space = DesignSpace::new(vec![32]).unwrap();
-        let truth = ExhaustiveSearch::new().run(&space, &Tradeoff, 1000);
-        let sampled = RandomSearch::new(1).run(&space, &Tradeoff, 16);
+        let truth = ExhaustiveSearch::new().run(&space, &Tradeoff, 1000).unwrap();
+        let sampled = RandomSearch::new(1).run(&space, &Tradeoff, 16).unwrap();
         let r = Tradeoff.reference_point();
         let truth_hv = hypervolume(
             &truth.evaluations.iter().map(|e| e.objectives.clone()).collect::<Vec<_>>(),
@@ -75,7 +72,7 @@ mod tests {
     #[test]
     fn respects_budget_on_large_space() {
         let space = DesignSpace::new(vec![100, 100]).unwrap();
-        let res = ExhaustiveSearch::new().run(&space, &Tradeoff, 50);
+        let res = ExhaustiveSearch::new().run(&space, &Tradeoff, 50).unwrap();
         assert_eq!(res.evaluation_count(), 50);
     }
 }

@@ -7,6 +7,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use std::collections::{HashMap, HashSet};
 
+use crate::error::{DseError, EvalError};
 use crate::evaluator::{Evaluator, MultiObjectiveOptimizer};
 use crate::par;
 use crate::pareto::{crowding_distance, non_dominated_sort};
@@ -66,12 +67,12 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
         "nsga-ii"
     }
 
-    fn run<E: Evaluator>(
+    fn run(
         &mut self,
         space: &DesignSpace,
-        evaluator: &E,
+        evaluator: &dyn Evaluator,
         budget: usize,
-    ) -> OptimizationResult {
+    ) -> Result<OptimizationResult, DseError> {
         let _span = obs::span("nsga2.run");
         let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
         let workers = self.workers();
@@ -84,7 +85,8 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
         // memoized loop would produce.
         let eval_batch = |batch: &[Vec<usize>],
                           cache: &mut HashMap<Vec<usize>, Vec<f64>>,
-                          history: &mut Vec<EvaluationRecord>| {
+                          history: &mut Vec<EvaluationRecord>|
+         -> Result<(), EvalError> {
             let mut fresh: Vec<Vec<usize>> = Vec::new();
             let mut fresh_set: HashSet<&[usize]> = HashSet::new();
             for p in batch {
@@ -92,8 +94,10 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
                     fresh.push(p.clone());
                 }
             }
-            let objs = par::parallel_map_with(workers, &fresh, |_, p| evaluator.evaluate(p));
+            let objs: Vec<Result<Vec<f64>, EvalError>> =
+                par::parallel_map_with(workers, &fresh, |_, p| evaluator.evaluate(p));
             for (p, o) in fresh.into_iter().zip(objs) {
+                let o = o?;
                 cache.insert(p.clone(), o.clone());
                 history.push(EvaluationRecord {
                     iteration: history.len(),
@@ -101,6 +105,7 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
                     objectives: o,
                 });
             }
+            Ok(())
         };
 
         // The space itself bounds how many *unique* evaluations exist;
@@ -112,7 +117,7 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
         // Initial population.
         let pop_draw: Vec<Vec<usize>> =
             (0..self.population).map(|_| space.random_point(&mut rng)).collect();
-        eval_batch(&pop_draw, &mut cache, &mut history);
+        eval_batch(&pop_draw, &mut cache, &mut history)?;
         let mut pop = pop_draw;
         let mut pop_objs: Vec<Vec<f64>> = pop.iter().map(|p| cache[p].clone()).collect();
 
@@ -132,9 +137,12 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
                 }
             }
             let tournament = |rng: &mut ChaCha12Rng| -> usize {
+                // The population is never empty (population >= 4), so the
+                // fallback index 0 is unreachable; `unwrap_or` keeps the
+                // exact RNG stream of `choose` without a panic path.
                 let idx: Vec<usize> = (0..pop.len()).collect();
-                let a = *idx.choose(rng).expect("non-empty population");
-                let b = *idx.choose(rng).expect("non-empty population");
+                let a = idx.choose(rng).copied().unwrap_or(0);
+                let b = idx.choose(rng).copied().unwrap_or(0);
                 if rank[a] < rank[b] || (rank[a] == rank[b] && crowd[a] > crowd[b]) {
                     a
                 } else {
@@ -186,7 +194,7 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
                 admitted_set.insert(p.as_slice());
                 projected += 1;
             }
-            eval_batch(&admitted, &mut cache, &mut history);
+            eval_batch(&admitted, &mut cache, &mut history)?;
             let off_objs: Vec<Vec<f64>> = offspring
                 .iter()
                 .zip(&in_budget)
@@ -214,9 +222,7 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
                 } else {
                     let d = crowding_distance(&union_objs, &front);
                     let mut order: Vec<usize> = (0..front.len()).collect();
-                    order.sort_by(|&a, &b| {
-                        d[b].partial_cmp(&d[a]).expect("crowding distances comparable")
-                    });
+                    order.sort_by(|&a, &b| d[b].total_cmp(&d[a]));
                     for &k in order.iter().take(self.population - next.len()) {
                         next.push(front[k]);
                     }
@@ -242,7 +248,7 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
         }
 
         history.truncate(budget);
-        OptimizationResult::from_history(self.name(), history, evaluator.reference_point())
+        Ok(OptimizationResult::from_history(self.name(), history, evaluator.reference_point()))
     }
 }
 
@@ -256,7 +262,7 @@ mod tests {
     fn respects_budget() {
         let space = DesignSpace::new(vec![32]).unwrap();
         let mut ga = Nsga2Optimizer::new(11).with_population(8);
-        let res = ga.run(&space, &Tradeoff, 30);
+        let res = ga.run(&space, &Tradeoff, 30).unwrap();
         assert!(res.evaluation_count() <= 30);
         assert!(res.evaluation_count() >= 8);
     }
@@ -264,8 +270,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let space = DesignSpace::new(vec![8, 8, 8]).unwrap();
-        let a = Nsga2Optimizer::new(7).with_population(8).run(&space, &Bowl3, 40);
-        let b = Nsga2Optimizer::new(7).with_population(8).run(&space, &Bowl3, 40);
+        let a = Nsga2Optimizer::new(7).with_population(8).run(&space, &Bowl3, 40).unwrap();
+        let b = Nsga2Optimizer::new(7).with_population(8).run(&space, &Bowl3, 40).unwrap();
         assert_eq!(a, b);
     }
 
@@ -273,10 +279,10 @@ mod tests {
     fn identical_across_thread_counts() {
         let space = DesignSpace::new(vec![8, 8, 8]).unwrap();
         let base =
-            Nsga2Optimizer::new(9).with_population(8).with_threads(1).run(&space, &Bowl3, 40);
+            Nsga2Optimizer::new(9).with_population(8).with_threads(1).run(&space, &Bowl3, 40).unwrap();
         for t in [2, 4, 6] {
             let r =
-                Nsga2Optimizer::new(9).with_population(8).with_threads(t).run(&space, &Bowl3, 40);
+                Nsga2Optimizer::new(9).with_population(8).with_threads(t).run(&space, &Bowl3, 40).unwrap();
             assert_eq!(base, r, "threads = {t}");
         }
     }
@@ -291,8 +297,9 @@ mod tests {
             ga_total += Nsga2Optimizer::new(seed)
                 .with_population(12)
                 .run(&space, &Bowl3, budget)
+                .unwrap()
                 .final_hypervolume();
-            rs_total += RandomSearch::new(seed).run(&space, &Bowl3, budget).final_hypervolume();
+            rs_total += RandomSearch::new(seed).run(&space, &Bowl3, budget).unwrap().final_hypervolume();
         }
         assert!(ga_total >= rs_total * 0.95, "GA {ga_total:.4} vs RS {rs_total:.4}");
     }
@@ -300,7 +307,7 @@ mod tests {
     #[test]
     fn finds_tradeoff_extremes() {
         let space = DesignSpace::new(vec![32]).unwrap();
-        let res = Nsga2Optimizer::new(3).with_population(12).run(&space, &Tradeoff, 64);
+        let res = Nsga2Optimizer::new(3).with_population(12).run(&space, &Tradeoff, 64).unwrap();
         let front = res.pareto_front();
         // Both ends of the trade-off should be on the front.
         let min_f0 = front.iter().map(|e| e.objectives[0]).fold(f64::INFINITY, f64::min);

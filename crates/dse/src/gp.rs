@@ -1,6 +1,7 @@
 //! Exact Gaussian-process regression with a squared-exponential kernel,
 //! supporting incremental O(n²) updates.
 
+use crate::error::GpError;
 use crate::linalg::{dot, sq_dist, Matrix};
 
 /// A fitted Gaussian process over normalized inputs in `[0, 1]^d`.
@@ -48,18 +49,22 @@ impl GaussianProcess {
     /// Inputs should be normalized to roughly the unit cube; outputs are
     /// centred internally.
     ///
-    /// Returns `None` when fewer than two observations are provided or the
-    /// kernel matrix cannot be factorized.
+    /// # Errors
     ///
-    /// # Panics
-    ///
-    /// Panics if `x` and `y` lengths differ or input dimensions are
-    /// inconsistent.
-    pub fn fit(x: &[Vec<f64>], y: &[f64]) -> Option<GaussianProcess> {
-        assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    /// * [`GpError::TooFewPoints`] with fewer than two observations,
+    /// * [`GpError::DimensionMismatch`] when `x` and `y` lengths differ or
+    ///   input dimensions are inconsistent,
+    /// * [`GpError::NotPositiveDefinite`] when the kernel matrix cannot be
+    ///   factorized (singular or non-finite).
+    pub fn fit(x: &[Vec<f64>], y: &[f64]) -> Result<GaussianProcess, GpError> {
+        if x.len() != y.len() {
+            return Err(GpError::DimensionMismatch {
+                detail: format!("{} inputs vs {} targets", x.len(), y.len()),
+            });
+        }
         let n = x.len();
         if n < 2 {
-            return None;
+            return Err(GpError::TooFewPoints { got: n });
         }
         // Median pairwise squared distance as the (squared) lengthscale.
         let mut dists: Vec<f64> = Vec::with_capacity(n * (n - 1) / 2);
@@ -76,22 +81,32 @@ impl GaussianProcess {
     /// pairwise-distance heuristic. Used by incremental callers that cache
     /// distances themselves (see [`DistanceCache`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `x` and `y` lengths differ or input dimensions are
-    /// inconsistent.
+    /// Same taxonomy as [`GaussianProcess::fit`].
     pub fn fit_with_lengthscale(
         x: &[Vec<f64>],
         y: &[f64],
         lengthscale_sq: f64,
-    ) -> Option<GaussianProcess> {
-        assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    ) -> Result<GaussianProcess, GpError> {
+        if x.len() != y.len() {
+            return Err(GpError::DimensionMismatch {
+                detail: format!("{} inputs vs {} targets", x.len(), y.len()),
+            });
+        }
         let n = x.len();
         if n < 2 {
-            return None;
+            return Err(GpError::TooFewPoints { got: n });
         }
         let dim = x[0].len();
-        assert!(x.iter().all(|p| p.len() == dim), "inconsistent input dims");
+        if let Some(bad) = x.iter().find(|p| p.len() != dim) {
+            return Err(GpError::DimensionMismatch {
+                detail: format!("input dims {} vs {}", bad.len(), dim),
+            });
+        }
+        if x.iter().flatten().chain(y).any(|v| !v.is_finite()) {
+            return Err(GpError::NonFiniteInput);
+        }
         let lengthscale_sq = lengthscale_sq.max(1e-6);
 
         let mean_y = y.iter().sum::<f64>() / n as f64;
@@ -110,7 +125,7 @@ impl GaussianProcess {
                 v
             }
         });
-        let chol = c.cholesky()?;
+        let chol = c.cholesky().ok_or(GpError::NotPositiveDefinite)?;
         let mut gp = GaussianProcess {
             x: x.to_vec(),
             y: y.to_vec(),
@@ -122,7 +137,7 @@ impl GaussianProcess {
             jitter,
         };
         gp.refresh_targets();
-        Some(gp)
+        Ok(gp)
     }
 
     /// Appends one observation in O(n²) by bordering the existing
@@ -216,8 +231,7 @@ fn median_sq_dist(dists: &mut [f64]) -> f64 {
         return 1.0;
     }
     let mid = dists.len() / 2;
-    let (_, m, _) =
-        dists.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("finite distances"));
+    let (_, m, _) = dists.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
     (*m).max(1e-6)
 }
 
@@ -311,9 +325,29 @@ mod tests {
     }
 
     #[test]
-    fn too_few_points_returns_none() {
-        assert!(GaussianProcess::fit(&[vec![0.0]], &[1.0]).is_none());
-        assert!(GaussianProcess::fit(&[], &[]).is_none());
+    fn too_few_points_is_an_error() {
+        assert!(matches!(
+            GaussianProcess::fit(&[vec![0.0]], &[1.0]),
+            Err(GpError::TooFewPoints { got: 1 })
+        ));
+        assert!(matches!(GaussianProcess::fit(&[], &[]), Err(GpError::TooFewPoints { got: 0 })));
+    }
+
+    #[test]
+    fn mismatched_lengths_are_an_error() {
+        let r = GaussianProcess::fit(&[vec![0.0], vec![1.0]], &[1.0]);
+        assert!(matches!(r, Err(GpError::DimensionMismatch { .. })));
+        let r = GaussianProcess::fit_with_lengthscale(&[vec![0.0], vec![1.0, 2.0]], &[1.0, 2.0], 0.5);
+        assert!(matches!(r, Err(GpError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn non_finite_training_data_is_an_error() {
+        let x = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let y = vec![0.0, f64::NAN, 1.0];
+        assert!(matches!(GaussianProcess::fit(&x, &y), Err(GpError::NonFiniteInput)));
+        let x = vec![vec![0.0], vec![f64::INFINITY]];
+        assert!(matches!(GaussianProcess::fit(&x, &[0.0, 1.0]), Err(GpError::NonFiniteInput)));
     }
 
     #[test]

@@ -21,24 +21,33 @@
 //! All objectives are **minimized**; wrap maximization objectives as
 //! negations (AutoPilot minimizes `1 - success_rate`).
 //!
+//! Evaluation and optimization are **fallible**: [`Evaluator::evaluate`]
+//! returns `Result<Vec<f64>, EvalError>` and
+//! [`MultiObjectiveOptimizer::run`] returns
+//! `Result<OptimizationResult, DseError>`, with the optimizer trait
+//! object-safe so backends can be registered and selected at runtime.
+//!
 //! # Example
 //!
 //! ```
-//! use dse_opt::{DesignSpace, Evaluator, MultiObjectiveOptimizer, RandomSearch};
+//! use dse_opt::{DesignSpace, EvalError, Evaluator, MultiObjectiveOptimizer, RandomSearch};
 //!
 //! struct Toy;
 //! impl Evaluator for Toy {
 //!     fn num_objectives(&self) -> usize { 2 }
-//!     fn evaluate(&self, point: &[usize]) -> Vec<f64> {
+//!     fn evaluate(&self, point: &[usize]) -> Result<Vec<f64>, EvalError> {
 //!         let x = point[0] as f64 / 9.0;
-//!         vec![x, (1.0 - x).powi(2)]
+//!         Ok(vec![x, (1.0 - x).powi(2)])
 //!     }
 //! }
 //!
-//! let space = DesignSpace::new(vec![10]).unwrap();
+//! # fn main() -> Result<(), dse_opt::DseError> {
+//! let space = DesignSpace::new(vec![10])?;
 //! let mut opt = RandomSearch::new(7);
-//! let result = opt.run(&space, &Toy, 20);
+//! let result = opt.run(&space, &Toy, 20)?;
 //! assert!(!result.pareto_front().is_empty());
+//! # Ok(())
+//! # }
 //! ```
 
 #![warn(missing_docs)]
@@ -47,6 +56,7 @@
 mod anneal;
 mod bayesopt;
 mod cache;
+mod error;
 mod evaluator;
 mod exhaustive;
 mod ga;
@@ -61,6 +71,7 @@ mod space;
 pub use anneal::AnnealingOptimizer;
 pub use bayesopt::SmsEgoOptimizer;
 pub use cache::{CacheStats, CachedEvaluator};
+pub use error::{DseError, EvalError, GpError};
 pub use evaluator::{Evaluator, MultiObjectiveOptimizer};
 pub use exhaustive::ExhaustiveSearch;
 pub use ga::Nsga2Optimizer;

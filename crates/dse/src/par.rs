@@ -16,7 +16,7 @@
 use autopilot_obs as obs;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Environment variable overriding the default worker count.
@@ -24,15 +24,30 @@ pub const THREADS_ENV: &str = "AUTOPILOT_THREADS";
 
 /// The effective default worker count: `AUTOPILOT_THREADS` when set to a
 /// positive integer, otherwise [`std::thread::available_parallelism`]
-/// (falling back to 1 when the hardware cannot be queried).
+/// (falling back to 1 when the hardware cannot be queried). An
+/// unparsable `AUTOPILOT_THREADS` falls back to the hardware count and
+/// emits a warn-level obs event (once per process) so the
+/// misconfiguration is visible instead of silently ignored.
 pub fn worker_count() -> usize {
     match std::env::var(THREADS_ENV) {
         Ok(v) => match v.trim().parse::<usize>() {
             Ok(n) if n >= 1 => n,
-            _ => hardware_workers(),
+            _ => {
+                warn_bad_threads_env(&v);
+                hardware_workers()
+            }
         },
         Err(_) => hardware_workers(),
     }
+}
+
+fn warn_bad_threads_env(value: &str) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        obs::obs_warn!(
+            "par: {THREADS_ENV}={value:?} is not a positive integer; using hardware parallelism"
+        );
+    });
 }
 
 fn hardware_workers() -> usize {
@@ -101,21 +116,35 @@ where
                     }
                 }
                 if track {
-                    worker_stats.lock().expect("worker stats lock").push((busy, claimed));
+                    // Stats are advisory; a poisoned lock (another worker
+                    // panicked mid-push) must not take down the fan-out.
+                    worker_stats
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push((busy, claimed));
                 }
             });
         }
     });
     drop(tx);
     if track {
-        record_worker_stats(workers, items.len(), &worker_stats.into_inner().expect("stats lock"));
+        let stats = worker_stats.into_inner().unwrap_or_else(PoisonError::into_inner);
+        record_worker_stats(workers, items.len(), &stats);
     }
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     for (i, r) in rx {
         slots[i] = Some(r);
     }
-    slots.into_iter().map(|s| s.expect("every claimed index produces a result")).collect()
+    // Every index in 0..items.len() was claimed by exactly one worker and
+    // sent exactly one result before the scope joined, so each slot is
+    // filled; an empty slot (impossible today) falls back to evaluating
+    // inline rather than panicking the whole map.
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| f(i, &items[i])))
+        .collect()
 }
 
 /// Publishes per-worker busy time and queue imbalance to the obs

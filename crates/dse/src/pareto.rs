@@ -84,11 +84,7 @@ pub fn crowding_distance(points: &[Vec<f64>], indices: &[usize]) -> Vec<f64> {
     let objectives = points[indices[0]].len();
     for obj in 0..objectives {
         let mut order: Vec<usize> = (0..m).collect();
-        order.sort_by(|&a, &b| {
-            points[indices[a]][obj]
-                .partial_cmp(&points[indices[b]][obj])
-                .expect("finite objectives")
-        });
+        order.sort_by(|&a, &b| points[indices[a]][obj].total_cmp(&points[indices[b]][obj]));
         let lo = points[indices[order[0]]][obj];
         let hi = points[indices[order[m - 1]]][obj];
         dist[order[0]] = f64::INFINITY;
@@ -134,8 +130,7 @@ pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
     match d {
         1 => reference[0] - front.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min),
         2 => hv2d(&front, reference),
-        3 => hv3d(&front, reference),
-        _ => unreachable!(),
+        _ => hv3d(&front, reference),
     }
 }
 
@@ -187,7 +182,7 @@ pub fn hypervolume_contribution(front: &[Vec<f64>], candidate: &[f64], reference
 /// 2-D hypervolume by a left-to-right sweep over the sorted front.
 fn hv2d(front: &[Vec<f64>], reference: &[f64]) -> f64 {
     let mut pts: Vec<(f64, f64)> = front.iter().map(|p| (p[0], p[1])).collect();
-    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite objectives"));
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut hv = 0.0;
     let mut prev_y = reference[1];
     for (x, y) in pts {
@@ -204,7 +199,7 @@ fn hv2d(front: &[Vec<f64>], reference: &[f64]) -> f64 {
 /// points at or below the slab.
 fn hv3d(front: &[Vec<f64>], reference: &[f64]) -> f64 {
     let mut order: Vec<usize> = (0..front.len()).collect();
-    order.sort_by(|&a, &b| front[a][2].partial_cmp(&front[b][2]).expect("finite objectives"));
+    order.sort_by(|&a, &b| front[a][2].total_cmp(&front[b][2]));
     let mut hv = 0.0;
     let mut active: Vec<Vec<f64>> = Vec::new();
     for (rank, &i) in order.iter().enumerate() {

@@ -5,6 +5,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use std::collections::HashSet;
 
+use crate::error::{DseError, EvalError};
 use crate::evaluator::{Evaluator, MultiObjectiveOptimizer};
 use crate::par;
 use crate::result::{EvaluationRecord, OptimizationResult};
@@ -44,12 +45,12 @@ impl MultiObjectiveOptimizer for RandomSearch {
         "random-search"
     }
 
-    fn run<E: Evaluator>(
+    fn run(
         &mut self,
         space: &DesignSpace,
-        evaluator: &E,
+        evaluator: &dyn Evaluator,
         budget: usize,
-    ) -> OptimizationResult {
+    ) -> Result<OptimizationResult, DseError> {
         let _span = obs::span("random_search.run");
         let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
         let mut seen: HashSet<Vec<usize>> = HashSet::new();
@@ -63,19 +64,13 @@ impl MultiObjectiveOptimizer for RandomSearch {
             }
             points.push(p);
         }
-        let objectives =
+        let objectives: Vec<Result<Vec<f64>, EvalError>> =
             par::parallel_map_with(self.workers(), &points, |_, p| evaluator.evaluate(p));
-        let history: Vec<EvaluationRecord> = points
-            .into_iter()
-            .zip(objectives)
-            .enumerate()
-            .map(|(iteration, (point, objectives))| EvaluationRecord {
-                iteration,
-                point,
-                objectives,
-            })
-            .collect();
-        OptimizationResult::from_history(self.name(), history, evaluator.reference_point())
+        let mut history: Vec<EvaluationRecord> = Vec::with_capacity(points.len());
+        for (iteration, (point, objectives)) in points.into_iter().zip(objectives).enumerate() {
+            history.push(EvaluationRecord { iteration, point, objectives: objectives? });
+        }
+        Ok(OptimizationResult::from_history(self.name(), history, evaluator.reference_point()))
     }
 }
 
@@ -88,7 +83,7 @@ mod tests {
     fn respects_budget_and_dedupes() {
         let space = DesignSpace::new(vec![32]).unwrap();
         let mut rs = RandomSearch::new(1);
-        let res = rs.run(&space, &Tradeoff, 16);
+        let res = rs.run(&space, &Tradeoff, 16).unwrap();
         assert!(res.evaluation_count() <= 16);
         let mut pts: Vec<_> = res.evaluations.iter().map(|e| e.point.clone()).collect();
         pts.sort();
@@ -99,24 +94,24 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let space = DesignSpace::new(vec![32]).unwrap();
-        let a = RandomSearch::new(9).run(&space, &Tradeoff, 10);
-        let b = RandomSearch::new(9).run(&space, &Tradeoff, 10);
+        let a = RandomSearch::new(9).run(&space, &Tradeoff, 10).unwrap();
+        let b = RandomSearch::new(9).run(&space, &Tradeoff, 10).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn exhausts_small_space() {
         let space = DesignSpace::new(vec![4]).unwrap();
-        let res = RandomSearch::new(2).run(&space, &Tradeoff, 100);
+        let res = RandomSearch::new(2).run(&space, &Tradeoff, 100).unwrap();
         assert_eq!(res.evaluation_count(), 4);
     }
 
     #[test]
     fn identical_across_thread_counts() {
         let space = DesignSpace::new(vec![16, 16]).unwrap();
-        let base = RandomSearch::new(5).with_threads(1).run(&space, &Tradeoff, 24);
+        let base = RandomSearch::new(5).with_threads(1).run(&space, &Tradeoff, 24).unwrap();
         for t in [2, 4, 7] {
-            let r = RandomSearch::new(5).with_threads(t).run(&space, &Tradeoff, 24);
+            let r = RandomSearch::new(5).with_threads(t).run(&space, &Tradeoff, 24).unwrap();
             assert_eq!(base, r, "threads = {t}");
         }
     }

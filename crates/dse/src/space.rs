@@ -35,6 +35,13 @@ impl DesignSpace {
         Ok(DesignSpace { cardinalities })
     }
 
+    /// The trivial one-dimensional, one-point space. Infallible, so
+    /// callers constructing a space from dimensions they have proved
+    /// non-empty can fall back to it instead of panicking.
+    pub fn unit() -> DesignSpace {
+        DesignSpace { cardinalities: vec![1] }
+    }
+
     /// Number of dimensions.
     pub fn dims(&self) -> usize {
         self.cardinalities.len()

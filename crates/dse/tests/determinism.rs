@@ -4,7 +4,7 @@
 //! changes what the optimizer sees.
 
 use dse_opt::{
-    CachedEvaluator, DesignSpace, Evaluator, MultiObjectiveOptimizer, Nsga2Optimizer,
+    CachedEvaluator, DesignSpace, EvalError, Evaluator, MultiObjectiveOptimizer, Nsga2Optimizer,
     OptimizationResult, RandomSearch, SmsEgoOptimizer,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -18,11 +18,15 @@ impl Evaluator for Bowl {
     fn num_objectives(&self) -> usize {
         3
     }
-    fn evaluate(&self, point: &[usize]) -> Vec<f64> {
+    fn evaluate(&self, point: &[usize]) -> Result<Vec<f64>, EvalError> {
         let x = point[0] as f64 / 7.0;
         let y = point[1] as f64 / 7.0;
         let z = point[2] as f64 / 7.0;
-        vec![(x - 0.2).powi(2) + 0.3 * y, (y - 0.8).powi(2) + 0.1 * z, (z - 0.5).powi(2) + 0.2 * x]
+        Ok(vec![
+            (x - 0.2).powi(2) + 0.3 * y,
+            (y - 0.8).powi(2) + 0.1 * z,
+            (z - 0.5).powi(2) + 0.2 * x,
+        ])
     }
     fn reference_point(&self) -> Vec<f64> {
         vec![2.0, 2.0, 2.0]
@@ -45,7 +49,7 @@ impl Evaluator for CountingBowl {
     fn num_objectives(&self) -> usize {
         Bowl.num_objectives()
     }
-    fn evaluate(&self, point: &[usize]) -> Vec<f64> {
+    fn evaluate(&self, point: &[usize]) -> Result<Vec<f64>, EvalError> {
         self.calls.fetch_add(1, Ordering::Relaxed);
         Bowl.evaluate(point)
     }
@@ -61,9 +65,13 @@ fn space() -> DesignSpace {
 fn run_all(threads: usize) -> [OptimizationResult; 3] {
     let space = space();
     [
-        SmsEgoOptimizer::new(13).with_threads(threads).run(&space, &Bowl, 28),
-        Nsga2Optimizer::new(13).with_population(8).with_threads(threads).run(&space, &Bowl, 40),
-        RandomSearch::new(13).with_threads(threads).run(&space, &Bowl, 32),
+        SmsEgoOptimizer::new(13).with_threads(threads).run(&space, &Bowl, 28).unwrap(),
+        Nsga2Optimizer::new(13)
+            .with_population(8)
+            .with_threads(threads)
+            .run(&space, &Bowl, 40)
+            .unwrap(),
+        RandomSearch::new(13).with_threads(threads).run(&space, &Bowl, 32).unwrap(),
     ]
 }
 
@@ -81,18 +89,20 @@ fn optimizers_bit_identical_across_thread_counts() {
 #[test]
 fn cached_evaluator_transparent_to_optimizers() {
     let space = space();
-    let plain = SmsEgoOptimizer::new(5).run(&space, &Bowl, 24);
+    let plain = SmsEgoOptimizer::new(5).run(&space, &Bowl, 24).unwrap();
     let cached_eval = CachedEvaluator::new(Bowl);
-    let cached = SmsEgoOptimizer::new(5).run(&space, &cached_eval, 24);
+    let cached = SmsEgoOptimizer::new(5).run(&space, &cached_eval, 24).unwrap();
     assert_eq!(plain, cached);
 
-    let plain = Nsga2Optimizer::new(5).with_population(8).run(&space, &Bowl, 36);
-    let cached =
-        Nsga2Optimizer::new(5).with_population(8).run(&space, &CachedEvaluator::new(Bowl), 36);
+    let plain = Nsga2Optimizer::new(5).with_population(8).run(&space, &Bowl, 36).unwrap();
+    let cached = Nsga2Optimizer::new(5)
+        .with_population(8)
+        .run(&space, &CachedEvaluator::new(Bowl), 36)
+        .unwrap();
     assert_eq!(plain, cached);
 
-    let plain = RandomSearch::new(5).run(&space, &Bowl, 24);
-    let cached = RandomSearch::new(5).run(&space, &CachedEvaluator::new(Bowl), 24);
+    let plain = RandomSearch::new(5).run(&space, &Bowl, 24).unwrap();
+    let cached = RandomSearch::new(5).run(&space, &CachedEvaluator::new(Bowl), 24).unwrap();
     assert_eq!(plain, cached);
 }
 
@@ -102,12 +112,12 @@ fn cache_shared_across_runs_skips_reevaluation() {
     let counting = CountingBowl::new();
     let cached = CachedEvaluator::new(&counting);
 
-    let first = SmsEgoOptimizer::new(2).run(&space, &cached, 20);
+    let first = SmsEgoOptimizer::new(2).run(&space, &cached, 20).unwrap();
     let after_first = counting.calls.load(Ordering::Relaxed);
     assert_eq!(after_first, first.evaluation_count());
 
     // Same seed, same trajectory: the second run must be pure cache hits.
-    let second = SmsEgoOptimizer::new(2).run(&space, &cached, 20);
+    let second = SmsEgoOptimizer::new(2).run(&space, &cached, 20).unwrap();
     assert_eq!(first, second);
     assert_eq!(counting.calls.load(Ordering::Relaxed), after_first);
     let stats = cached.stats();
@@ -119,7 +129,7 @@ fn cache_shared_across_runs_skips_reevaluation() {
 fn cached_objectives_always_match_inner() {
     let space = space();
     let cached = CachedEvaluator::new(Bowl);
-    let _ = Nsga2Optimizer::new(17).with_population(8).run(&space, &cached, 48);
+    let _ = Nsga2Optimizer::new(17).with_population(8).run(&space, &cached, 48).unwrap();
     // Every memoized entry must still agree with a fresh evaluation.
     let mut checked = 0usize;
     for x in 0..8 {
@@ -127,7 +137,11 @@ fn cached_objectives_always_match_inner() {
             for z in 0..8 {
                 let point = vec![x, y, z];
                 if let Some(stored) = cached.peek(&point) {
-                    assert_eq!(stored, Bowl.evaluate(&point), "stale entry for {point:?}");
+                    assert_eq!(
+                        stored,
+                        Bowl.evaluate(&point).unwrap(),
+                        "stale entry for {point:?}"
+                    );
                     checked += 1;
                 }
             }

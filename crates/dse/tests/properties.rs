@@ -5,7 +5,7 @@ use dse_opt::pareto::{
     pareto_indices,
 };
 use dse_opt::{
-    AnnealingOptimizer, CachedEvaluator, DesignSpace, Evaluator, ExhaustiveSearch,
+    AnnealingOptimizer, CachedEvaluator, DesignSpace, EvalError, Evaluator, ExhaustiveSearch,
     MultiObjectiveOptimizer, Nsga2Optimizer, RandomSearch,
 };
 use proptest::prelude::*;
@@ -20,10 +20,10 @@ impl Evaluator for Weighted {
     fn num_objectives(&self) -> usize {
         2
     }
-    fn evaluate(&self, point: &[usize]) -> Vec<f64> {
+    fn evaluate(&self, point: &[usize]) -> Result<Vec<f64>, EvalError> {
         let x = point[0] as f64 / 15.0;
         let y = point.get(1).copied().unwrap_or(0) as f64 / 15.0;
-        vec![x + 0.2 * y, (1.0 - x) + 0.3 * (1.0 - y)]
+        Ok(vec![x + 0.2 * y, (1.0 - x) + 0.3 * (1.0 - y)])
     }
     fn reference_point(&self) -> Vec<f64> {
         vec![2.0, 2.0]
@@ -106,12 +106,12 @@ proptest! {
     #[test]
     fn igd_properties(seed in 0u64..64) {
         let space = DesignSpace::new(vec![16, 16]).unwrap();
-        let truth = ExhaustiveSearch::new().run(&space, &Weighted, 10_000);
+        let truth = ExhaustiveSearch::new().run(&space, &Weighted, 10_000).unwrap();
         let truth_front: Vec<Vec<f64>> =
             truth.pareto_front().iter().map(|e| e.objectives.clone()).collect();
         prop_assert_eq!(
             inverted_generational_distance(&truth_front, &truth_front), 0.0);
-        let sampled = RandomSearch::new(seed).run(&space, &Weighted, 20);
+        let sampled = RandomSearch::new(seed).run(&space, &Weighted, 20).unwrap();
         let approx: Vec<Vec<f64>> =
             sampled.pareto_front().iter().map(|e| e.objectives.clone()).collect();
         prop_assert!(inverted_generational_distance(&approx, &truth_front) >= 0.0);
@@ -123,9 +123,9 @@ proptest! {
     fn optimizers_respect_budget_and_space(seed in 0u64..32, budget in 4usize..40) {
         let space = DesignSpace::new(vec![16, 16]).unwrap();
         let results = [
-            RandomSearch::new(seed).run(&space, &Weighted, budget),
-            Nsga2Optimizer::new(seed).with_population(6).run(&space, &Weighted, budget),
-            AnnealingOptimizer::new(seed).run(&space, &Weighted, budget),
+            RandomSearch::new(seed).run(&space, &Weighted, budget).unwrap(),
+            Nsga2Optimizer::new(seed).with_population(6).run(&space, &Weighted, budget).unwrap(),
+            AnnealingOptimizer::new(seed).run(&space, &Weighted, budget).unwrap(),
         ];
         for r in results {
             prop_assert!(r.evaluation_count() <= budget, "{} over budget", r.algorithm);
@@ -149,9 +149,10 @@ proptest! {
     ) {
         let cached = CachedEvaluator::new(Weighted);
         for q in &queries {
-            prop_assert_eq!(cached.evaluate(q), Weighted.evaluate(q), "query {:?}", q);
+            let fresh = Weighted.evaluate(q).unwrap();
+            prop_assert_eq!(cached.evaluate(q).unwrap(), fresh.clone(), "query {:?}", q);
             // The stored entry matches what was just returned.
-            prop_assert_eq!(cached.peek(q), Some(Weighted.evaluate(q)));
+            prop_assert_eq!(cached.peek(q), Some(fresh));
         }
         let mut distinct: Vec<&Vec<usize>> = queries.iter().collect();
         distinct.sort();

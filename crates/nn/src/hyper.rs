@@ -48,6 +48,13 @@ impl PolicyHyperparams {
         self.filters
     }
 
+    /// The smallest Table II policy (2 layers, 32 filters). Infallible,
+    /// so callers ranking the enumerated space can fall back to it
+    /// instead of panicking on an impossible empty iterator.
+    pub fn smallest() -> PolicyHyperparams {
+        PolicyHyperparams { conv_layers: LAYER_CHOICES[0], filters: FILTER_CHOICES[0] }
+    }
+
     /// Enumerates the full algorithm search space in a deterministic order
     /// (layers outer, filters inner).
     pub fn enumerate() -> Vec<PolicyHyperparams> {

@@ -130,7 +130,19 @@ impl ArrayConfig {
 
 impl Default for ArrayConfig {
     fn default() -> Self {
-        ArrayConfigBuilder::new().build().expect("default configuration is valid")
+        // Mirrors ArrayConfigBuilder::new(); written as a literal so the
+        // infallible Default never routes through fallible validation.
+        ArrayConfig {
+            rows: 32,
+            cols: 32,
+            ifmap_sram_bytes: 512 * 1024,
+            filter_sram_bytes: 512 * 1024,
+            ofmap_sram_bytes: 256 * 1024,
+            dataflow: Dataflow::OutputStationary,
+            dram_bandwidth_bytes_per_cycle: 16.0,
+            clock_mhz: 200.0,
+            word_bytes: 1,
+        }
     }
 }
 

@@ -18,8 +18,10 @@ pub fn eyeriss_like() -> ArrayConfig {
         .ofmap_sram_kb(64)
         .clock_mhz(200.0)
         .dram_bandwidth(8.0)
+        // Preset values are statically valid; the fallback keeps the
+        // constructor infallible without a panic path.
         .build()
-        .expect("preset is valid")
+        .unwrap_or_else(|_| ArrayConfig::default())
 }
 
 /// An edge-TPU-class systolic accelerator: larger array, output
@@ -34,8 +36,10 @@ pub fn edge_tpu_like() -> ArrayConfig {
         .ofmap_sram_kb(256)
         .clock_mhz(480.0)
         .dram_bandwidth(32.0)
+        // Preset values are statically valid; the fallback keeps the
+        // constructor infallible without a panic path.
         .build()
-        .expect("preset is valid")
+        .unwrap_or_else(|_| ArrayConfig::default())
 }
 
 /// A PULP/GAP8-class ultra-low-power cluster approximated as a tiny
@@ -50,8 +54,10 @@ pub fn pulp_like() -> ArrayConfig {
         .ofmap_sram_kb(64)
         .clock_mhz(100.0)
         .dram_bandwidth(2.0)
+        // Preset values are statically valid; the fallback keeps the
+        // constructor infallible without a panic path.
         .build()
-        .expect("preset is valid")
+        .unwrap_or_else(|_| ArrayConfig::default())
 }
 
 #[cfg(test)]

@@ -41,7 +41,7 @@ fn main() {
     );
 
     let pilot = AutoPilot::new(AutopilotConfig::fast(21));
-    let result = pilot.run(&racer, &task);
+    let result = pilot.run(&racer, &task).expect("pipeline runs");
     match result.selection {
         Some(sel) => {
             println!(
@@ -60,7 +60,9 @@ fn main() {
             // Compare against the nano-UAV pick: agility demands more
             // compute (the Fig. 11 effect on a platform the paper never
             // evaluated).
-            let nano = pilot.run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Dense));
+            let nano = pilot
+                .run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Dense))
+                .expect("pipeline runs");
             if let Some(nano_sel) = nano.selection {
                 println!(
                     "for reference, the nano-UAV pick runs at {:.0} FPS; the racer needs {:.1}x that",

@@ -21,7 +21,7 @@ fn main() {
     task.mission = MissionProfile::new(500.0);
 
     let pilot = AutoPilot::new(AutopilotConfig::fast(11));
-    let result = pilot.run(&uav, &task);
+    let result = pilot.run(&uav, &task).expect("pipeline runs");
     let sel = result.selection.expect("mini-UAV selection");
 
     println!("--- AutoPilot DSSoC ---");

@@ -15,7 +15,7 @@ fn main() {
 
     // 2. Run the three-phase AutoPilot pipeline.
     let pilot = AutoPilot::new(AutopilotConfig::fast(7));
-    let result = pilot.run(&uav, &task);
+    let result = pilot.run(&uav, &task).expect("pipeline runs");
 
     // 3. Inspect the selected design.
     let sel = result.selection.expect("a flyable design exists for the nano-UAV");

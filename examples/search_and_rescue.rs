@@ -16,7 +16,7 @@ fn main() {
 
     for sensor_fps in [30.0, 60.0] {
         let task = TaskSpec::navigation(ObstacleDensity::Dense).with_sensor_fps(sensor_fps);
-        let result = pilot.run(&uav, &task);
+        let result = pilot.run(&uav, &task).expect("pipeline runs");
         let Some(sel) = result.selection else {
             println!("{sensor_fps:.0} FPS sensor: no flyable design");
             continue;

@@ -8,6 +8,10 @@ echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy (workspace, warnings are errors)"
+# -D warnings also promotes the workspace panic-free lints
+# (clippy::unwrap_used / clippy::expect_used, see Cargo.toml) to errors
+# for the library crates that opt in; tests/benches are exempt via
+# clippy.toml.
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo test"

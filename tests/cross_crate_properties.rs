@@ -24,7 +24,7 @@ proptest! {
     #[test]
     fn any_design_point_evaluates_sanely(point in arb_point()) {
         let ev = evaluator();
-        let c = ev.evaluate_design(&point);
+        let c = ev.evaluate_design(&point).expect("legal point evaluates");
         prop_assert!(c.fps.is_finite() && c.fps > 0.0);
         prop_assert!(c.latency_s > 0.0);
         prop_assert!((0.0..=1.0).contains(&c.success_rate));
@@ -37,7 +37,7 @@ proptest! {
     /// Decode/encode round-trips over the whole space.
     #[test]
     fn joint_space_round_trips(point in arb_point()) {
-        let (hyper, config) = JointSpace::decode(&point);
+        let (hyper, config) = JointSpace::decode(&point).expect("legal point decodes");
         let back = JointSpace::encode(
             hyper,
             config.rows(),
@@ -81,7 +81,7 @@ proptest! {
     #[test]
     fn mission_report_deterministic(point in arb_point()) {
         let ev = evaluator();
-        let c = ev.evaluate_design(&point);
+        let c = ev.evaluate_design(&point).expect("legal point evaluates");
         let task = TaskSpec::navigation(ObstacleDensity::Medium);
         let a = Phase3::mission_report(&UavSpec::nano(), &task, &c);
         let b = Phase3::mission_report(&UavSpec::nano(), &task, &c);

@@ -79,8 +79,8 @@ fn accelerator_band_matches_table_iii() {
     let mut db = AirLearningDatabase::new();
     Phase1::new(SuccessModel::Surrogate, 1).populate(ObstacleDensity::Dense, &mut db);
     let ev = DssocEvaluator::new(db, ObstacleDensity::Dense);
-    let slow = ev.evaluate_design(&[5, 1, 0, 0, 0, 0, 0]); // 8x8, 32 KB
-    let fast = ev.evaluate_design(&[5, 1, 5, 5, 3, 3, 3]); // 256x256, 256 KB
+    let slow = ev.evaluate_design(&[5, 1, 0, 0, 0, 0, 0]).expect("corner point"); // 8x8, 32 KB
+    let fast = ev.evaluate_design(&[5, 1, 5, 5, 3, 3, 3]).expect("corner point"); // 256x256, 256 KB
     assert!((15.0..=35.0).contains(&slow.fps), "slow corner {:.1} FPS", slow.fps);
     assert!((180.0..=320.0).contains(&fast.fps), "fast corner {:.1} FPS", fast.fps);
     assert!(slow.tdp_w < 1.0, "slow corner {:.2} W", slow.tdp_w);

@@ -11,7 +11,9 @@ fn pilot(seed: u64) -> AutoPilot {
 
 #[test]
 fn nano_dense_selection_is_balanced_at_the_knee() {
-    let result = pilot(7).run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Dense));
+    let result = pilot(7)
+        .run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Dense))
+        .expect("pipeline runs");
     let sel = result.selection.expect("selection exists");
     let knee = sel.knee_fps.expect("knee exists");
     // The selected design sits at (or very near) the F-1 knee-point.
@@ -27,7 +29,7 @@ fn nano_dense_selection_is_balanced_at_the_knee() {
 fn selection_maximizes_missions_among_high_success_candidates() {
     let uav = UavSpec::micro();
     let task = TaskSpec::navigation(ObstacleDensity::Medium);
-    let result = pilot(3).run(&uav, &task);
+    let result = pilot(3).run(&uav, &task).expect("pipeline runs");
     let sel = result.selection.expect("selection");
     let threshold = result.phase2.best_success() - 0.02;
     for c in &result.phase2.candidates {
@@ -47,9 +49,15 @@ fn selection_maximizes_missions_among_high_success_candidates() {
 fn selected_policy_matches_phase1_best_for_scenario() {
     // The Phase-3 success filter keeps AutoPilot on the highest-success
     // policies; for the dense scenario the surrogate's best is l7f48.
-    let result = pilot(7).run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Dense));
+    let result = pilot(7)
+        .run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Dense))
+        .expect("pipeline runs");
     let sel = result.selection.expect("selection");
-    let best = result.database.best_for(ObstacleDensity::Dense).expect("phase 1 populated");
+    let best = result
+        .database
+        .best_for(ObstacleDensity::Dense)
+        .expect("database is well formed")
+        .expect("phase 1 populated");
     assert!(
         sel.candidate.success_rate >= best.success_rate - 0.02,
         "selected success {:.2} too far below best {:.2}",
@@ -63,8 +71,10 @@ fn different_uavs_get_different_designs() {
     // The "no one size fits all" claim: the nano and the micro UAV end up
     // with different compute throughput targets in the same scenario.
     let task = TaskSpec::navigation(ObstacleDensity::Dense);
-    let nano = pilot(7).run(&UavSpec::nano(), &task).selection.expect("nano");
-    let micro = pilot(7).run(&UavSpec::micro(), &task).selection.expect("micro");
+    let nano =
+        pilot(7).run(&UavSpec::nano(), &task).expect("pipeline runs").selection.expect("nano");
+    let micro =
+        pilot(7).run(&UavSpec::micro(), &task).expect("pipeline runs").selection.expect("micro");
     let ratio = nano.candidate.fps / micro.candidate.fps;
     assert!(
         ratio > 1.2,
@@ -79,7 +89,7 @@ fn all_optimizers_complete_the_pipeline() {
     let task = TaskSpec::navigation(ObstacleDensity::Low);
     for optimizer in OptimizerChoice::ALL {
         let p = AutoPilot::new(AutopilotConfig::fast(5).with_budget(30).with_optimizer(optimizer));
-        let result = p.run(&UavSpec::mini(), &task);
+        let result = p.run(&UavSpec::mini(), &task).expect("pipeline runs");
         assert!(result.selection.is_some(), "{} produced no selection", optimizer.name());
     }
 }
@@ -87,7 +97,8 @@ fn all_optimizers_complete_the_pipeline() {
 #[test]
 fn mission_counts_are_physically_plausible() {
     for uav in UavSpec::all() {
-        let result = pilot(9).run(&uav, &TaskSpec::navigation(ObstacleDensity::Medium));
+        let result =
+            pilot(9).run(&uav, &TaskSpec::navigation(ObstacleDensity::Medium)).expect("pipeline runs");
         if let Some(sel) = result.selection {
             // Missions * mission energy must not exceed the battery.
             let total = sel.missions.missions * sel.missions.mission_energy_j;
@@ -105,8 +116,10 @@ fn mission_counts_are_physically_plausible() {
 
 #[test]
 fn phase1_database_round_trips_through_json() {
-    let result = pilot(2).run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Low));
-    let json = result.database.to_json();
+    let result = pilot(2)
+        .run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Low))
+        .expect("pipeline runs");
+    let json = result.database.to_json().expect("serializes");
     let restored = air_sim::AirLearningDatabase::from_json(&json).expect("round trip");
     assert_eq!(result.database, restored);
     assert_eq!(restored.len(), 27);

@@ -1,0 +1,83 @@
+//! Acceptance test for the runtime optimizer registry: an optimizer
+//! defined *outside* the core crate, registered by name, runs the full
+//! Phase-2 DSE end to end.
+
+use air_sim::{AirLearningDatabase, ObstacleDensity};
+use autopilot::{
+    register_optimizer, registered_optimizers, DssocEvaluator, OptimizerContext, Phase1, Phase2,
+    SuccessModel,
+};
+use dse_opt::{
+    DesignSpace, DseError, EvaluationRecord, Evaluator, MultiObjectiveOptimizer,
+    OptimizationResult,
+};
+
+/// A deterministic diagonal sweep: walks the design space along its main
+/// diagonal (clamping each coordinate to the dimension's cardinality).
+/// Intentionally simplistic — the point is that it lives outside the
+/// `autopilot` crate and still drives Phase 2.
+struct DiagonalSweep {
+    stride: usize,
+}
+
+impl MultiObjectiveOptimizer for DiagonalSweep {
+    fn name(&self) -> &str {
+        "diagonal-sweep"
+    }
+
+    fn run(
+        &mut self,
+        space: &DesignSpace,
+        evaluator: &dyn Evaluator,
+        budget: usize,
+    ) -> Result<OptimizationResult, DseError> {
+        let mut evaluations = Vec::new();
+        for step in 0..budget {
+            let level = step * self.stride;
+            let point: Vec<usize> =
+                (0..space.dims()).map(|d| level.min(space.cardinality(d) - 1)).collect();
+            let objectives = evaluator.evaluate(&point)?;
+            evaluations.push(EvaluationRecord { iteration: step, point, objectives });
+        }
+        Ok(OptimizationResult::from_history(
+            self.name().to_string(),
+            evaluations,
+            evaluator.reference_point(),
+        ))
+    }
+}
+
+fn evaluator() -> DssocEvaluator {
+    let mut db = AirLearningDatabase::new();
+    Phase1::new(SuccessModel::Surrogate, 1).populate(ObstacleDensity::Medium, &mut db);
+    DssocEvaluator::new(db, ObstacleDensity::Medium)
+}
+
+#[test]
+fn custom_optimizer_runs_phase2_end_to_end() {
+    register_optimizer("diagonal-sweep", |_ctx: &OptimizerContext| {
+        Box::new(DiagonalSweep { stride: 1 })
+    });
+    assert!(registered_optimizers().contains(&"diagonal-sweep".to_string()));
+
+    let out = Phase2::new("diagonal-sweep", 6, 11).run(&evaluator()).expect("phase 2 runs");
+    assert_eq!(out.result.algorithm, "diagonal-sweep");
+    assert_eq!(out.result.evaluation_count(), 6);
+    assert!(!out.candidates.is_empty());
+    for c in &out.candidates {
+        assert!(c.fps.is_finite() && c.fps > 0.0);
+        assert!((0.0..=1.0).contains(&c.success_rate));
+    }
+}
+
+#[test]
+fn custom_optimizer_is_deterministic_across_runs() {
+    register_optimizer("diagonal-sweep-2", |_ctx: &OptimizerContext| {
+        Box::new(DiagonalSweep { stride: 2 })
+    });
+    let ev = evaluator();
+    let a = Phase2::new("diagonal-sweep-2", 4, 3).run(&ev).expect("run a");
+    let b = Phase2::new("diagonal-sweep-2", 4, 3).run(&ev).expect("run b");
+    assert_eq!(a.result, b.result);
+    assert_eq!(a.candidates, b.candidates);
+}

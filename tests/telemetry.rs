@@ -39,8 +39,8 @@ fn repeated_scenario_run_records_candidate_cache_hits() {
     let ev = evaluator();
     let cache = CandidateCache::new();
     let phase2 = Phase2::new(OptimizerChoice::Random, 12, 4);
-    let first = phase2.run_with_cache(&ev, &cache);
-    let second = phase2.run_with_cache(&ev, &cache);
+    let first = phase2.run_with_cache(&ev, &cache).expect("phase 2 runs");
+    let second = phase2.run_with_cache(&ev, &cache).expect("phase 2 runs");
     assert_eq!(first.candidates, second.candidates);
 
     let after = obs::snapshot();
@@ -67,8 +67,8 @@ fn pipeline_cache_hits_are_counted_across_uavs() {
     let cache = Arc::new(PipelineCache::new());
     let config = AutopilotConfig::fast(5).with_optimizer(OptimizerChoice::Random).with_budget(16);
     let pilot = AutoPilot::new(config).with_cache(Arc::clone(&cache));
-    pilot.run(&UavSpec::nano(), &task);
-    pilot.run(&UavSpec::micro(), &task);
+    pilot.run(&UavSpec::nano(), &task).expect("pipeline runs");
+    pilot.run(&UavSpec::micro(), &task).expect("pipeline runs");
 
     let after = obs::snapshot();
     let delta = |name: &str| after.counter(name) - before.counter(name);
