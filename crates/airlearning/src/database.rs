@@ -1,7 +1,7 @@
 //! The Air Learning policy database (Phase-1 output artifact).
 
+use autopilot_obs::json::Value;
 use policy_nn::PolicyHyperparams;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 use std::fs;
@@ -11,7 +11,7 @@ use std::path::Path;
 use crate::env::ObstacleDensity;
 
 /// How a database entry's success rate was obtained.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TrainingMethod {
     /// Real tabular Q-learning run ([`QTrainer`](crate::QTrainer)).
     QLearning,
@@ -19,8 +19,26 @@ pub enum TrainingMethod {
     Surrogate,
 }
 
+impl TrainingMethod {
+    /// Stable identifier used in the JSON artifact.
+    pub fn id(&self) -> &'static str {
+        match self {
+            TrainingMethod::QLearning => "q-learning",
+            TrainingMethod::Surrogate => "surrogate",
+        }
+    }
+
+    fn parse_id(id: &str) -> Option<TrainingMethod> {
+        match id {
+            "q-learning" => Some(TrainingMethod::QLearning),
+            "surrogate" => Some(TrainingMethod::Surrogate),
+            _ => None,
+        }
+    }
+}
+
 /// One validated policy: hyperparameters, scenario, and success rate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PolicyRecord {
     /// Stable identifier, e.g. `"l7f48-dense"`.
     pub id: String,
@@ -45,7 +63,7 @@ impl PolicyRecord {
 
 /// The Phase-1 database: every trained policy with its validated success
 /// rate, keyed by (hyperparameters, scenario).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AirLearningDatabase {
     records: Vec<PolicyRecord>,
 }
@@ -126,7 +144,10 @@ impl AirLearningDatabase {
     /// is NaN or infinite (possible only for databases deserialized from
     /// external JSON — [`AirLearningDatabase::upsert`] rejects such rates
     /// at insert time).
-    pub fn best_for(&self, density: ObstacleDensity) -> Result<Option<&PolicyRecord>, DatabaseError> {
+    pub fn best_for(
+        &self,
+        density: ObstacleDensity,
+    ) -> Result<Option<&PolicyRecord>, DatabaseError> {
         let candidates = self.records_for(density);
         if let Some(bad) = candidates.iter().find(|r| !r.success_rate.is_finite()) {
             return Err(DatabaseError::NonFiniteSuccessRate { id: bad.id.clone() });
@@ -138,20 +159,99 @@ impl AirLearningDatabase {
     ///
     /// # Errors
     ///
-    /// Returns [`DatabaseError::Serialize`] when the serializer fails
-    /// (e.g. a backend without JSON support).
+    /// Returns [`DatabaseError::Serialize`] when a record cannot be
+    /// represented (a success rate or seed outside JSON's exact numeric
+    /// range).
     pub fn to_json(&self) -> Result<String, DatabaseError> {
-        serde_json::to_string_pretty(self)
-            .map_err(|e| DatabaseError::Serialize { message: e.to_string() })
+        let records: Vec<Value> = self
+            .records
+            .iter()
+            .map(|r| {
+                if r.seed > (1u64 << 53) {
+                    return Err(DatabaseError::Serialize {
+                        message: format!("seed {} of record {:?} exceeds 2^53", r.seed, r.id),
+                    });
+                }
+                Ok(Value::Obj(vec![
+                    ("id".into(), Value::Str(r.id.clone())),
+                    (
+                        "hyperparams".into(),
+                        Value::Obj(vec![
+                            ("conv_layers".into(), Value::Num(r.hyperparams.conv_layers() as f64)),
+                            ("filters".into(), Value::Num(r.hyperparams.filters() as f64)),
+                        ]),
+                    ),
+                    ("density".into(), Value::Str(r.density.id().into())),
+                    ("success_rate".into(), Value::Num(r.success_rate)),
+                    ("method".into(), Value::Str(r.method.id().into())),
+                    ("seed".into(), Value::Num(r.seed as f64)),
+                ]))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(Value::Obj(vec![("records".into(), Value::Arr(records))]).to_json_pretty())
     }
 
     /// Parses a database from JSON.
     ///
     /// # Errors
     ///
-    /// Returns [`DatabaseError::Parse`] on malformed JSON.
+    /// Returns [`DatabaseError::Parse`] on malformed JSON or a record
+    /// with missing or invalid fields.
     pub fn from_json(json: &str) -> Result<AirLearningDatabase, DatabaseError> {
-        serde_json::from_str(json).map_err(|e| DatabaseError::Parse { message: e.to_string() })
+        let parse_err = |message: &str| DatabaseError::Parse { message: message.into() };
+        let root =
+            Value::parse(json).map_err(|e| DatabaseError::Parse { message: e.to_string() })?;
+        let records = root
+            .get("records")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| parse_err("missing `records` array"))?;
+        let mut db = AirLearningDatabase::new();
+        for rec in records {
+            let id = rec
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or_else(|| parse_err("record missing `id`"))?;
+            let hyper =
+                rec.get("hyperparams").ok_or_else(|| parse_err("record missing `hyperparams`"))?;
+            let conv_layers = hyper
+                .get("conv_layers")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| parse_err("hyperparams missing `conv_layers`"))?;
+            let filters = hyper
+                .get("filters")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| parse_err("hyperparams missing `filters`"))?;
+            let hyperparams = PolicyHyperparams::new(conv_layers as usize, filters as usize)
+                .map_err(|e| DatabaseError::Parse { message: e.to_string() })?;
+            let density = rec
+                .get("density")
+                .and_then(Value::as_str)
+                .and_then(ObstacleDensity::parse_id)
+                .ok_or_else(|| parse_err("record has an unknown `density`"))?;
+            let success_rate = rec
+                .get("success_rate")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| parse_err("record missing `success_rate`"))?;
+            let method = rec
+                .get("method")
+                .and_then(Value::as_str)
+                .and_then(TrainingMethod::parse_id)
+                .ok_or_else(|| parse_err("record has an unknown `method`"))?;
+            let seed = rec
+                .get("seed")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| parse_err("record missing `seed`"))?;
+            db.upsert(PolicyRecord {
+                id: id.to_string(),
+                hyperparams,
+                density,
+                success_rate,
+                method,
+                seed,
+            })
+            .map_err(|e| DatabaseError::Parse { message: e.to_string() })?;
+        }
+        Ok(db)
     }
 
     /// Saves the database to a JSON file.

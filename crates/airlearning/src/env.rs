@@ -1,8 +1,6 @@
 //! Domain-randomized arena generation.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
-use serde::{Deserialize, Serialize};
+use autopilot_rng::Rng;
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -13,7 +11,7 @@ use std::fmt;
 /// * `Medium` — four fixed plus up to three random obstacles.
 /// * `Dense` — four fixed plus up to five random obstacles (search-and-
 ///   rescue / racing style clutter).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ObstacleDensity {
     /// Sparse scenario.
     Low,
@@ -53,6 +51,16 @@ impl ObstacleDensity {
             ObstacleDensity::Dense => "dense",
         }
     }
+
+    /// Parses the identifier produced by [`ObstacleDensity::id`].
+    pub fn parse_id(id: &str) -> Option<ObstacleDensity> {
+        match id {
+            "low" => Some(ObstacleDensity::Low),
+            "medium" => Some(ObstacleDensity::Medium),
+            "dense" => Some(ObstacleDensity::Dense),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ObstacleDensity {
@@ -63,7 +71,7 @@ impl fmt::Display for ObstacleDensity {
 
 /// One generated episode arena: a square occupancy grid with a start and
 /// a goal cell, guaranteed reachable.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Arena {
     size: usize,
     occupied: Vec<bool>,
@@ -158,7 +166,7 @@ impl Arena {
 pub struct EnvironmentGenerator {
     density: ObstacleDensity,
     arena_size: usize,
-    rng: ChaCha12Rng,
+    rng: Rng,
 }
 
 impl EnvironmentGenerator {
@@ -171,7 +179,7 @@ impl EnvironmentGenerator {
         EnvironmentGenerator {
             density,
             arena_size: Self::DEFAULT_ARENA,
-            rng: ChaCha12Rng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 
@@ -211,10 +219,10 @@ impl EnvironmentGenerator {
 
         // Random obstacles: 1..=max random 2x2 blocks.
         let max_rand = self.density.max_random_obstacles();
-        let count = if max_rand == 0 { 0 } else { self.rng.random_range(1..=max_rand) };
+        let count = if max_rand == 0 { 0 } else { self.rng.range_inclusive(1, max_rand) };
         for _ in 0..count {
-            let cx = self.rng.random_range(0..n - 1);
-            let cy = self.rng.random_range(0..n - 1);
+            let cx = self.rng.below(n - 1);
+            let cy = self.rng.below(n - 1);
             for dy in 0..2 {
                 for dx in 0..2 {
                     occupied[(cy + dy) * n + (cx + dx)] = true;
@@ -224,8 +232,8 @@ impl EnvironmentGenerator {
 
         // Start on the left edge, goal randomized on the right half
         // (goal position changes every episode per the paper).
-        let start = (0usize, self.rng.random_range(0..n));
-        let goal = (n - 1, self.rng.random_range(0..n));
+        let start = (0usize, self.rng.below(n));
+        let goal = (n - 1, self.rng.below(n));
         let start_idx = start.1 * n + start.0;
         let goal_idx = goal.1 * n + goal.0;
         occupied[start_idx] = false;

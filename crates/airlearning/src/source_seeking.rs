@@ -9,16 +9,14 @@
 //! same Phase-1 capacity/success relationship emerges for a different
 //! task specification.
 
+use autopilot_rng::Rng;
 use policy_nn::PolicyModel;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::env::{EnvironmentGenerator, ObstacleDensity};
 use crate::train::QTrainer;
 
 /// Outcome of evaluating source seeking over randomized episodes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SeekOutcome {
     /// Fraction of episodes that reached the source.
     pub success_rate: f64,
@@ -64,7 +62,7 @@ impl SourceSeeker {
     /// runs out of it.
     pub fn evaluate(&self, density: ObstacleDensity, episodes: usize) -> SeekOutcome {
         let mut generator = EnvironmentGenerator::new(density, self.seed.wrapping_add(0x5ee));
-        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let deltas: [(i64, i64); 8] =
             [(1, 0), (-1, 0), (0, 1), (0, -1), (1, 1), (1, -1), (-1, 1), (-1, -1)];
         let mut successes = 0usize;
@@ -92,7 +90,7 @@ impl SourceSeeker {
                     let np = (nx as usize, ny as usize);
                     let d2 = (np.0 as f64 - source.0 as f64).powi(2)
                         + (np.1 as f64 - source.1 as f64).powi(2);
-                    let noise: f64 = rng.random_range(-1.0..1.0) * self.noise_sigma;
+                    let noise: f64 = rng.range_f64(-1.0, 1.0) * self.noise_sigma;
                     let perceived = Self::concentration(d2) * (1.0 + noise);
                     if best.is_none_or(|(_, b)| perceived > b) {
                         best = Some((np, perceived));

@@ -9,9 +9,7 @@
 //! profile (node expansions, map updates) so the paradigms can be
 //! compared on both task success and decision latency.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
-use serde::{Deserialize, Serialize};
+use autopilot_rng::Rng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -69,7 +67,7 @@ impl OccupancyGrid {
         pos: (usize, usize),
         radius: usize,
         miss: f64,
-        rng: &mut ChaCha12Rng,
+        rng: &mut Rng,
     ) -> usize {
         let mut observed = 0;
         let r = radius as isize;
@@ -81,7 +79,7 @@ impl OccupancyGrid {
                     continue;
                 }
                 let truly = arena.blocked(x, y);
-                let seen = if truly && rng.random_bool(miss) { false } else { truly };
+                let seen = if truly && rng.chance(miss) { false } else { truly };
                 self.observe(x as usize, y as usize, seen);
                 observed += 1;
             }
@@ -92,7 +90,7 @@ impl OccupancyGrid {
 
 /// Per-decision compute workload of the SPA pipeline, used to compare
 /// decision latency against the E2E paradigm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SpaWorkload {
     /// Cells integrated by the mapping stage.
     pub map_updates: u64,
@@ -136,15 +134,16 @@ pub fn astar(
     open.push(Reverse((key(h(start)), idx(start))));
     let mut expansions = 0u64;
 
+    let diag = std::f64::consts::SQRT_2;
     let deltas: [(i64, i64, f64); 8] = [
         (1, 0, 1.0),
         (-1, 0, 1.0),
         (0, 1, 1.0),
         (0, -1, 1.0),
-        (1, 1, 1.4142),
-        (1, -1, 1.4142),
-        (-1, 1, 1.4142),
-        (-1, -1, 1.4142),
+        (1, 1, diag),
+        (1, -1, diag),
+        (-1, 1, diag),
+        (-1, -1, diag),
     ];
 
     while let Some(Reverse((_, current))) = open.pop() {
@@ -186,7 +185,7 @@ pub fn astar(
 }
 
 /// Outcome of evaluating the SPA pipeline over randomized episodes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpaOutcome {
     /// Fraction of episodes reaching the goal.
     pub success_rate: f64,
@@ -221,7 +220,7 @@ impl SpaAgent {
     /// Evaluates the agent over `episodes` randomized arenas.
     pub fn evaluate(&self, density: ObstacleDensity, episodes: usize) -> SpaOutcome {
         let mut generator = EnvironmentGenerator::new(density, self.seed.wrapping_add(0x59a));
-        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut successes = 0usize;
         let mut total = SpaWorkload::default();
         let mut decisions = 0u64;
@@ -268,14 +267,11 @@ impl SpaAgent {
             }
         }
 
-        let mean = if decisions > 0 {
-            SpaWorkload {
-                map_updates: total.map_updates / decisions,
-                planner_expansions: total.planner_expansions / decisions,
-                replans: total.replans / decisions.max(1),
-            }
-        } else {
-            SpaWorkload::default()
+        let per_decision = |x: u64| x.checked_div(decisions).unwrap_or(0);
+        let mean = SpaWorkload {
+            map_updates: per_decision(total.map_updates),
+            planner_expansions: per_decision(total.planner_expansions),
+            replans: per_decision(total.replans),
         };
         SpaOutcome {
             success_rate: successes as f64 / episodes.max(1) as f64,

@@ -2,7 +2,6 @@
 
 use policy_nn::PolicyHyperparams;
 use policy_nn::PolicyModel;
-use serde::{Deserialize, Serialize};
 
 use crate::env::ObstacleDensity;
 
@@ -18,7 +17,7 @@ use crate::env::ObstacleDensity;
 /// * dense obstacles — 7 layers / 48 filters.
 ///
 /// Success rates span the paper's reported 60–91 % band.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SuccessSurrogate {
     slope: f64,
     penalty: f64,

@@ -13,10 +13,8 @@
 //! simulated-perception reasons rather than by fiat.
 
 use autopilot_obs as obs;
+use autopilot_rng::Rng;
 use policy_nn::PolicyModel;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::env::{Arena, EnvironmentGenerator, ObstacleDensity};
 
@@ -28,7 +26,7 @@ const ACTIONS: [(i64, i64); 8] =
 const BEARING_RESOLUTION: usize = 8;
 
 /// Outcome of training one policy in one scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainingOutcome {
     /// Fraction of held-out randomized evaluation episodes reaching the
     /// goal.
@@ -100,7 +98,7 @@ impl QTrainer {
         let miss = Self::miss_probability(model);
         let states = BEARING_RESOLUTION * BEARING_RESOLUTION * 256;
         let mut q = vec![0.0f64; states * ACTIONS.len()];
-        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut generator = EnvironmentGenerator::new(density, self.seed.wrapping_add(1));
 
         for episode in 0..self.episodes {
@@ -114,8 +112,8 @@ impl QTrainer {
             let alpha = self.alpha * (1.0 - 0.8 * frac);
             for _ in 0..self.max_steps {
                 let s = encode_state(&arena, pos, miss, &mut rng);
-                let a = if rng.random_bool(eps) {
-                    rng.random_range(0..ACTIONS.len())
+                let a = if rng.chance(eps) {
+                    rng.below(ACTIONS.len())
                 } else {
                     argmax_action(&q, s, &arena, pos)
                 };
@@ -141,7 +139,7 @@ impl QTrainer {
         // Held-out evaluation with greedy actions on fresh arenas; the
         // perception noise is part of the deployed policy and stays on.
         let mut eval_gen = EnvironmentGenerator::new(density, self.seed.wrapping_add(0x5eed));
-        let mut eval_rng = ChaCha12Rng::seed_from_u64(self.seed.wrapping_add(0xeab1));
+        let mut eval_rng = Rng::seed_from_u64(self.seed.wrapping_add(0xeab1));
         let mut successes = 0usize;
         for _ in 0..self.eval_episodes {
             let arena = eval_gen.next_arena();
@@ -150,8 +148,8 @@ impl QTrainer {
                 let s = encode_state(&arena, pos, miss, &mut eval_rng);
                 // Small residual exploration breaks the limit cycles a
                 // fully deterministic greedy policy can fall into.
-                let a = if eval_rng.random_bool(0.05) {
-                    eval_rng.random_range(0..ACTIONS.len())
+                let a = if eval_rng.chance(0.05) {
+                    eval_rng.below(ACTIONS.len())
                 } else {
                     argmax_action(&q, s, &arena, pos)
                 };
@@ -191,7 +189,7 @@ fn goal_distance(arena: &Arena, pos: (usize, usize)) -> f64 {
 /// Encodes (bucketed goal bearing, perceived obstacle bitmask) into a
 /// state index. Each truly-blocked neighbour bit is missed with
 /// probability `miss`.
-fn encode_state(arena: &Arena, pos: (usize, usize), miss: f64, rng: &mut ChaCha12Rng) -> usize {
+fn encode_state(arena: &Arena, pos: (usize, usize), miss: f64, rng: &mut Rng) -> usize {
     let (px, py) = (pos.0 as f64, pos.1 as f64);
     let (gx, gy) = (arena.goal().0 as f64, arena.goal().1 as f64);
     let n = arena.size() as f64;
@@ -205,7 +203,7 @@ fn encode_state(arena: &Arena, pos: (usize, usize), miss: f64, rng: &mut ChaCha1
     let mut mask = 0usize;
     for (i, (dx, dy)) in ACTIONS.iter().enumerate() {
         let blocked = arena.blocked(pos.0 as isize + *dx as isize, pos.1 as isize + *dy as isize);
-        if blocked && !rng.random_bool(miss) {
+        if blocked && !rng.chance(miss) {
             mask |= 1 << i;
         }
     }

@@ -1,47 +1,56 @@
-//! Property-based tests for the Air Learning substrate.
+//! Randomized property tests for the Air Learning substrate, driven by
+//! seeded `autopilot-rng` streams (one deterministic stream per test
+//! and case, so failures reproduce exactly).
 
 use air_sim::spa::{astar, OccupancyGrid};
 use air_sim::{
     AirLearningDatabase, EnvironmentGenerator, ObstacleDensity, PolicyRecord, SuccessSurrogate,
     TrainingMethod,
 };
+use autopilot_rng::Rng;
 use policy_nn::{PolicyHyperparams, PolicyModel};
-use proptest::prelude::*;
 
-fn arb_density() -> impl Strategy<Value = ObstacleDensity> {
-    prop::sample::select(vec![
-        ObstacleDensity::Low,
-        ObstacleDensity::Medium,
-        ObstacleDensity::Dense,
-    ])
+const CASES: u64 = 32;
+
+fn case_rng(tag: u64, case: u64) -> Rng {
+    Rng::seed_stream(0xa1e_0000 + tag, case)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn any_density(rng: &mut Rng) -> ObstacleDensity {
+    ObstacleDensity::ALL[rng.below(ObstacleDensity::ALL.len())]
+}
 
-    /// Every generated arena is solvable with free start/goal cells and a
-    /// bounded obstacle budget.
-    #[test]
-    fn arenas_are_well_formed(density in arb_density(), seed in 0u64..1000) {
+/// Every generated arena is solvable with free start/goal cells and a
+/// bounded obstacle budget.
+#[test]
+fn arenas_are_well_formed() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let density = any_density(&mut rng);
+        let seed = rng.below(1000) as u64;
         let mut generator = EnvironmentGenerator::new(density, seed);
         for _ in 0..3 {
             let arena = generator.next_arena();
-            prop_assert!(arena.solvable());
+            assert!(arena.solvable(), "case {case}");
             let (sx, sy) = arena.start();
             let (gx, gy) = arena.goal();
-            prop_assert!(!arena.blocked(sx as isize, sy as isize));
-            prop_assert!(!arena.blocked(gx as isize, gy as isize));
+            assert!(!arena.blocked(sx as isize, sy as isize), "case {case}");
+            assert!(!arena.blocked(gx as isize, gy as isize), "case {case}");
             // Fixed + random obstacles, 2x2 cells each, is the ceiling.
-            let max_cells =
-                (density.fixed_obstacles() + density.max_random_obstacles()) * 4;
-            prop_assert!(arena.obstacle_cells() <= max_cells);
+            let max_cells = (density.fixed_obstacles() + density.max_random_obstacles()) * 4;
+            assert!(arena.obstacle_cells() <= max_cells, "case {case}");
         }
     }
+}
 
-    /// A* on the true occupancy always finds a path on solvable arenas,
-    /// and the path is collision-free and connected.
-    #[test]
-    fn astar_paths_are_valid(density in arb_density(), seed in 0u64..500) {
+/// A* on the true occupancy always finds a path on solvable arenas, and
+/// the path is collision-free and connected.
+#[test]
+fn astar_paths_are_valid() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let density = any_density(&mut rng);
+        let seed = rng.below(500) as u64;
         let mut generator = EnvironmentGenerator::new(density, seed);
         let arena = generator.next_arena();
         let mut grid = OccupancyGrid::new(arena.size());
@@ -52,38 +61,47 @@ proptest! {
                 grid.observe(x, y, b);
             }
         }
-        let (path, _) = astar(&grid, arena.start(), arena.goal())
-            .expect("solvable arena must admit a path");
-        prop_assert_eq!(path[0], arena.start());
-        prop_assert_eq!(*path.last().unwrap(), arena.goal());
+        let (path, _) =
+            astar(&grid, arena.start(), arena.goal()).expect("solvable arena must admit a path");
+        assert_eq!(path[0], arena.start(), "case {case}");
+        assert_eq!(*path.last().expect("non-empty path"), arena.goal(), "case {case}");
         for w in path.windows(2) {
             let dx = w[0].0.abs_diff(w[1].0);
             let dy = w[0].1.abs_diff(w[1].1);
-            prop_assert!(dx <= 1 && dy <= 1, "disconnected step");
-            prop_assert!(!arena.blocked(w[1].0 as isize, w[1].1 as isize));
+            assert!(dx <= 1 && dy <= 1, "case {case}: disconnected step");
+            assert!(!arena.blocked(w[1].0 as isize, w[1].1 as isize), "case {case}");
         }
     }
+}
 
-    /// Surrogate success rates are valid probabilities, monotone with
-    /// scenario difficulty for any fixed model.
-    #[test]
-    fn surrogate_orders_scenarios(layers in prop::sample::select(vec![2usize,3,4,5,6,7,8,9,10]),
-                                  filters in prop::sample::select(vec![32usize,48,64])) {
-        let model = PolicyModel::build(PolicyHyperparams::new(layers, filters).unwrap());
+/// Surrogate success rates are valid probabilities, monotone with
+/// scenario difficulty for any fixed model.
+#[test]
+fn surrogate_orders_scenarios() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let layers = rng.range_inclusive(2, 10);
+        let filters = [32usize, 48, 64][rng.below(3)];
+        let h = PolicyHyperparams::new(layers, filters).expect("Table II hyperparameters");
+        let model = PolicyModel::build(h);
         let s = SuccessSurrogate::paper_calibrated();
         let low = s.success_rate(&model, ObstacleDensity::Low);
         let medium = s.success_rate(&model, ObstacleDensity::Medium);
         let dense = s.success_rate(&model, ObstacleDensity::Dense);
         for v in [low, medium, dense] {
-            prop_assert!((0.0..=1.0).contains(&v));
+            assert!((0.0..=1.0).contains(&v), "case {case}");
         }
-        prop_assert!(low >= dense - 0.03, "low {low} should not trail dense {dense}");
-        prop_assert!(medium <= low + 0.03);
+        assert!(low >= dense - 0.03, "case {case}: low {low} should not trail dense {dense}");
+        assert!(medium <= low + 0.03, "case {case}");
     }
+}
 
-    /// Database upserts are idempotent and lookups total over inserts.
-    #[test]
-    fn database_upsert_semantics(rates in prop::collection::vec(0.0f64..1.0, 1..20)) {
+/// Database upserts are idempotent and lookups total over inserts.
+#[test]
+fn database_upsert_semantics() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let rates: Vec<f64> = (0..rng.range_usize(1, 20)).map(|_| rng.next_f64()).collect();
         let mut db = AirLearningDatabase::new();
         let all = PolicyHyperparams::enumerate();
         for (i, &rate) in rates.iter().enumerate() {
@@ -95,14 +113,16 @@ proptest! {
                 success_rate: rate,
                 method: TrainingMethod::Surrogate,
                 seed: 0,
-            });
+            })
+            .expect("finite success rate upserts");
         }
-        prop_assert!(db.len() <= all.len().min(rates.len()));
+        assert!(db.len() <= all.len().min(rates.len()), "case {case}");
         for r in db.records() {
-            prop_assert!(db.get(r.hyperparams, r.density).is_some());
+            assert!(db.get(r.hyperparams, r.density).is_some(), "case {case}");
         }
         // JSON round trip preserves everything.
-        let restored = AirLearningDatabase::from_json(&db.to_json()).unwrap();
-        prop_assert_eq!(db, restored);
+        let json = db.to_json().expect("small seeds serialize");
+        let restored = AirLearningDatabase::from_json(&json).expect("own output parses");
+        assert_eq!(db, restored, "case {case}");
     }
 }

@@ -1,15 +1,14 @@
-//! Criterion benchmarks for the DSE machinery: GP regression,
-//! hypervolume computation, and full optimizer runs on a synthetic
-//! problem.
+//! Micro-benchmarks for the DSE machinery: GP regression, hypervolume
+//! computation, and full optimizer runs on a synthetic problem.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use autopilot_bench::tinybench::{BenchmarkId, Criterion};
+use autopilot_bench::{bench_group, bench_main};
+use autopilot_rng::Rng;
 use dse_opt::pareto::hypervolume;
 use dse_opt::{
-    DesignSpace, Evaluator, GaussianProcess, MultiObjectiveOptimizer, Nsga2Optimizer, RandomSearch,
-    SmsEgoOptimizer,
+    DesignSpace, EvalError, Evaluator, GaussianProcess, MultiObjectiveOptimizer, Nsga2Optimizer,
+    RandomSearch, SmsEgoOptimizer,
 };
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
 use std::hint::black_box;
 
 struct Synthetic;
@@ -18,13 +17,13 @@ impl Evaluator for Synthetic {
     fn num_objectives(&self) -> usize {
         3
     }
-    fn evaluate(&self, point: &[usize]) -> Vec<f64> {
+    fn evaluate(&self, point: &[usize]) -> Result<Vec<f64>, EvalError> {
         let x: Vec<f64> = point.iter().map(|&p| p as f64 / 7.0).collect();
-        vec![
+        Ok(vec![
             x[0] + 0.1 * x[2],
             (1.0 - x[0]).powi(2) + x[1],
             (x[1] - 0.5).abs() + (x[2] - 0.3).powi(2),
-        ]
+        ])
     }
     fn reference_point(&self) -> Vec<f64> {
         vec![3.0, 3.0, 3.0]
@@ -34,14 +33,13 @@ impl Evaluator for Synthetic {
 fn bench_gp(c: &mut Criterion) {
     let mut group = c.benchmark_group("gaussian_process");
     for n in [32usize, 128, 256] {
-        let mut rng = ChaCha12Rng::seed_from_u64(1);
-        let x: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..7).map(|_| rng.random::<f64>()).collect()).collect();
+        let mut rng = Rng::seed_from_u64(1);
+        let x: Vec<Vec<f64>> = (0..n).map(|_| (0..7).map(|_| rng.next_f64()).collect()).collect();
         let y: Vec<f64> = x.iter().map(|p| p.iter().sum::<f64>().sin()).collect();
         group.bench_with_input(BenchmarkId::new("fit", n), &n, |b, _| {
             b.iter(|| black_box(GaussianProcess::fit(black_box(&x), black_box(&y))))
         });
-        let gp = GaussianProcess::fit(&x, &y).unwrap();
+        let gp = GaussianProcess::fit(&x, &y).expect("GP fits the synthetic sample");
         let q = vec![0.4; 7];
         group.bench_with_input(BenchmarkId::new("predict", n), &n, |b, _| {
             b.iter(|| black_box(gp.predict(black_box(&q))))
@@ -52,10 +50,10 @@ fn bench_gp(c: &mut Criterion) {
 
 fn bench_hypervolume(c: &mut Criterion) {
     let mut group = c.benchmark_group("hypervolume");
-    let mut rng = ChaCha12Rng::seed_from_u64(2);
+    let mut rng = Rng::seed_from_u64(2);
     for n in [32usize, 128] {
         let pts3: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..3).map(|_| rng.random::<f64>()).collect()).collect();
+            (0..n).map(|_| (0..3).map(|_| rng.next_f64()).collect()).collect();
         let r3 = [1.5, 1.5, 1.5];
         group.bench_with_input(BenchmarkId::new("3d", n), &n, |b, _| {
             b.iter(|| black_box(hypervolume(black_box(&pts3), black_box(&r3))))
@@ -67,7 +65,7 @@ fn bench_hypervolume(c: &mut Criterion) {
 fn bench_optimizers(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimizer_run_budget40");
     group.sample_size(10);
-    let space = DesignSpace::new(vec![8; 7]).unwrap();
+    let space = DesignSpace::new(vec![8; 7]).expect("non-empty design space");
     group.bench_function("sms_ego", |b| {
         b.iter(|| {
             black_box(
@@ -87,5 +85,5 @@ fn bench_optimizers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gp, bench_hypervolume, bench_optimizers);
-criterion_main!(benches);
+bench_group!(benches, bench_gp, bench_hypervolume, bench_optimizers);
+bench_main!(benches);

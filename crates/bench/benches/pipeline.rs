@@ -1,11 +1,12 @@
-//! Criterion benchmarks for the AutoPilot pipeline stages.
+//! Micro-benchmarks for the AutoPilot pipeline stages.
 
 use air_sim::{AirLearningDatabase, ObstacleDensity};
 use autopilot::{
     AutoPilot, AutopilotConfig, DssocEvaluator, OptimizerChoice, Phase1, Phase3, SuccessModel,
     TaskSpec,
 };
-use criterion::{criterion_group, criterion_main, Criterion};
+use autopilot_bench::tinybench::Criterion;
+use autopilot_bench::{bench_group, bench_main};
 use std::hint::black_box;
 use uav_dynamics::UavSpec;
 
@@ -32,7 +33,8 @@ fn bench_phase3(c: &mut Criterion) {
     let mut db = AirLearningDatabase::new();
     Phase1::new(SuccessModel::Surrogate, 1).populate(ObstacleDensity::Dense, &mut db);
     let ev = DssocEvaluator::new(db, ObstacleDensity::Dense);
-    let candidate = ev.evaluate_design(&[5, 1, 1, 1, 1, 1, 1]);
+    let candidate =
+        ev.evaluate_design(&[5, 1, 1, 1, 1, 1, 1]).expect("in-range design point evaluates");
     let uav = UavSpec::nano();
     let task = TaskSpec::navigation(ObstacleDensity::Dense);
     c.bench_function("phase3_mission_report", |b| {
@@ -54,5 +56,5 @@ fn bench_full_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_phase1, bench_evaluator, bench_phase3, bench_full_pipeline);
-criterion_main!(benches);
+bench_group!(benches, bench_phase1, bench_evaluator, bench_phase3, bench_full_pipeline);
+bench_main!(benches);

@@ -1,7 +1,8 @@
-//! Criterion benchmarks for the systolic-array simulator (the Phase-2
+//! Micro-benchmarks for the systolic-array simulator (the Phase-2
 //! inner loop's dominant cost).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use autopilot_bench::tinybench::{BenchmarkId, Criterion};
+use autopilot_bench::{bench_group, bench_main};
 use policy_nn::{PolicyHyperparams, PolicyModel};
 use std::hint::black_box;
 use systolic_sim::{ArrayConfig, Dataflow, Layer, Simulator};
@@ -49,5 +50,5 @@ fn bench_traces(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_layers, bench_networks, bench_traces);
-criterion_main!(benches);
+bench_group!(benches, bench_layers, bench_networks, bench_traces);
+bench_main!(benches);

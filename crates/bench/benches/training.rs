@@ -1,8 +1,9 @@
-//! Criterion benchmarks for the Air Learning substrate (environment
+//! Micro-benchmarks for the Air Learning substrate (environment
 //! generation and Q-learning).
 
 use air_sim::{EnvironmentGenerator, ObstacleDensity, QTrainer};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use autopilot_bench::tinybench::{BenchmarkId, Criterion};
+use autopilot_bench::{bench_group, bench_main};
 use policy_nn::{PolicyHyperparams, PolicyModel};
 use std::hint::black_box;
 
@@ -36,5 +37,5 @@ fn bench_training(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_environments, bench_training);
-criterion_main!(benches);
+bench_group!(benches, bench_environments, bench_training);
+bench_main!(benches);

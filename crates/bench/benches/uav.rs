@@ -1,7 +1,8 @@
-//! Criterion benchmarks for the UAV dynamics / F-1 / mission models
+//! Micro-benchmarks for the UAV dynamics / F-1 / mission models
 //! (Phase 3's inner loop).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use autopilot_bench::tinybench::{BenchmarkId, Criterion};
+use autopilot_bench::{bench_group, bench_main};
 use std::hint::black_box;
 use uav_dynamics::{F1Model, MissionProfile, UavSpec};
 
@@ -32,5 +33,5 @@ fn bench_curves(c: &mut Criterion) {
     c.bench_function("f1_curve_64pts", |b| b.iter(|| black_box(f1.curve(64))));
 }
 
-criterion_group!(benches, bench_f1, bench_missions, bench_curves);
-criterion_main!(benches);
+bench_group!(benches, bench_f1, bench_missions, bench_curves);
+bench_main!(benches);

@@ -5,9 +5,11 @@ use autopilot_bench::{emit, experiments as ex};
 use autopilot_obs::obs_info;
 use std::time::Instant;
 
+type Step = (&'static str, fn() -> String);
+
 fn main() {
     let t0 = Instant::now();
-    let steps: Vec<(&str, fn() -> String)> = vec![
+    let steps: Vec<Step> = vec![
         ("fig2b.txt", ex::fig2b::run as fn() -> String),
         ("fig3b.txt", ex::fig3b::run),
         ("table2.txt", ex::table2::run),

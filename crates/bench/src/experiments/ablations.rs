@@ -39,7 +39,8 @@ pub fn run_optimizers(budget: usize) -> String {
     for choice in OptimizerChoice::ALL {
         let mut seeds = Vec::new();
         for seed in 0..runs {
-            let out = Phase2::new(choice, budget, super::SEED + seed).run(&ev).expect("phase 2 runs");
+            let out =
+                Phase2::new(choice, budget, super::SEED + seed).run(&ev).expect("phase 2 runs");
             let objs: Vec<Vec<f64>> =
                 out.result.evaluations.iter().map(|e| e.objectives.clone()).collect();
             pooled.extend(objs.clone());
@@ -123,6 +124,9 @@ pub fn run_dataflows() -> String {
     format!("Ablation: dataflow choice (32x32 array)\n\n{}", table.render())
 }
 
+/// A conventional compute-metric scoring rule over design candidates.
+type ScoreRule = fn(&DesignCandidate) -> f64;
+
 /// Phase-3 ablation: what the conventional (compute-metric) selections
 /// lose versus the full-system selection, per UAV.
 pub fn run_phase3() -> String {
@@ -146,10 +150,10 @@ pub fn run_phase3() -> String {
             .iter()
             .filter(|c| c.success_rate >= best_success - 0.02)
             .collect();
-        let rules: [(&str, Box<dyn Fn(&DesignCandidate) -> f64>); 3] = [
-            ("max throughput", Box::new(|c| c.fps)),
-            ("min power", Box::new(|c| -c.soc_avg_w)),
-            ("max efficiency", Box::new(|c| c.efficiency_fps_per_w)),
+        let rules: [(&str, ScoreRule); 3] = [
+            ("max throughput", |c| c.fps),
+            ("min power", |c| -c.soc_avg_w),
+            ("max efficiency", |c| c.efficiency_fps_per_w),
         ];
         table.row(vec![
             uav.class.to_string(),
@@ -242,25 +246,6 @@ fn spearman(pairs: &[(f64, f64)]) -> f64 {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn spearman_perfect_and_inverse() {
-        let inc: Vec<(f64, f64)> = (0..6).map(|i| (i as f64, i as f64 * 2.0)).collect();
-        assert!((spearman(&inc) - 1.0).abs() < 1e-12);
-        let dec: Vec<(f64, f64)> = (0..6).map(|i| (i as f64, -(i as f64))).collect();
-        assert!((spearman(&dec) + 1.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn dataflow_ablation_runs() {
-        let r = run_dataflows();
-        assert!(r.contains("os") && r.contains("ws") && r.contains("is"));
-    }
-}
-
 /// Paradigm comparison: the E2E pipeline (Q-learning substrate) versus
 /// the Sense-Plan-Act pipeline (mapping + A* + path following) at equal
 /// perception quality — the Section II/VII contrast. E2E's per-decision
@@ -301,4 +286,23 @@ pub fn run_paradigms(episodes: usize) -> String {
         miss,
         table.render()
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spearman_perfect_and_inverse() {
+        let inc: Vec<(f64, f64)> = (0..6).map(|i| (i as f64, i as f64 * 2.0)).collect();
+        assert!((spearman(&inc) - 1.0).abs() < 1e-12);
+        let dec: Vec<(f64, f64)> = (0..6).map(|i| (i as f64, -(i as f64))).collect();
+        assert!((spearman(&dec) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dataflow_ablation_runs() {
+        let r = run_dataflows();
+        assert!(r.contains("os") && r.contains("ws") && r.contains("is"));
+    }
 }

@@ -1,8 +1,8 @@
 //! # autopilot-bench
 //!
 //! Shared infrastructure for the paper-reproduction binaries (one per
-//! table/figure of the MICRO 2022 AutoPilot paper) and the Criterion
-//! micro-benchmarks.
+//! table/figure of the MICRO 2022 AutoPilot paper) and the in-repo
+//! [`tinybench`] micro-benchmark harness.
 //!
 //! Each `src/bin/figN.rs` / `src/bin/tableN.rs` binary regenerates the
 //! rows or series of the corresponding exhibit and prints them as an
@@ -160,3 +160,4 @@ mod tests {
 }
 
 pub mod experiments;
+pub mod tinybench;

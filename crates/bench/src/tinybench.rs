@@ -1,0 +1,272 @@
+//! A minimal in-repo micro-benchmark harness.
+//!
+//! Mirrors the small slice of the Criterion API the bench targets use
+//! (`Criterion`, groups, `BenchmarkId`, `Bencher::iter`) so the
+//! workspace benchmarks run with zero external dependencies. Each
+//! benchmark is warmed up, then timed over `sample_size` samples whose
+//! iteration count is auto-scaled so a sample lasts at least a few
+//! milliseconds; the median, minimum, and mean per-iteration times are
+//! printed.
+//!
+//! Set `AUTOPILOT_BENCH_FAST=1` to cut sample counts for smoke runs
+//! (useful in CI, where statistical quality does not matter).
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of one timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+
+/// The harness entry point: owns defaults and collects results.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Creates a harness with default settings.
+    pub fn new() -> Criterion {
+        Criterion::default()
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        let result = run_benchmark(None, &id, default_samples(), f);
+        self.results.push(result);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: default_samples() }
+    }
+
+    /// Prints the collected results as an aligned table.
+    pub fn summary(&self) {
+        let name_width = self.results.iter().map(|r| r.name.len()).max().unwrap_or(4).max(4);
+        println!("\n{:<name_width$}  {:>12}  {:>12}  {:>12}", "name", "median", "min", "mean");
+        for r in &self.results {
+            println!(
+                "{:<name_width$}  {:>12}  {:>12}  {:>12}",
+                r.name,
+                format_ns(r.median_ns),
+                format_ns(r.min_ns),
+                format_ns(r.mean_ns),
+            );
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        let result = run_benchmark(Some(&self.name), &id, effective_samples(self.sample_size), f);
+        self.criterion.results.push(result);
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (results are already recorded; kept for API
+    /// parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark label, optionally `function/parameter` structured.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label with a function name and a parameter, rendered
+    /// `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{parameter}", function.into()) }
+    }
+
+    /// A label that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> BenchmarkId {
+        BenchmarkId { label: label.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> BenchmarkId {
+        BenchmarkId { label }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, preventing the result from being
+    /// optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Debug)]
+struct BenchResult {
+    name: String,
+    median_ns: f64,
+    min_ns: f64,
+    mean_ns: f64,
+}
+
+fn default_samples() -> usize {
+    effective_samples(20)
+}
+
+fn effective_samples(requested: usize) -> usize {
+    if std::env::var_os("AUTOPILOT_BENCH_FAST").is_some_and(|v| v == "1") {
+        2
+    } else {
+        requested.max(2)
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    samples: usize,
+    mut f: F,
+) -> BenchResult {
+    let name = match group {
+        Some(g) => format!("{g}/{}", id.label),
+        None => id.label.clone(),
+    };
+
+    // Warm-up and calibration: scale the per-sample iteration count so
+    // one sample lasts at least SAMPLE_TARGET.
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let mut iters = 1u64;
+    while bencher.elapsed * (iters as u32).max(1) < SAMPLE_TARGET && iters < (1 << 30) {
+        iters *= 2;
+        bencher.iters = iters;
+        f(&mut bencher);
+        if bencher.elapsed >= SAMPLE_TARGET {
+            break;
+        }
+    }
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        bencher.iters = iters;
+        f(&mut bencher);
+        per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(f64::total_cmp);
+    let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+    let min_ns = per_iter_ns.first().copied().unwrap_or(0.0);
+    let mean_ns = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    println!("{name}: median {} ({} samples x {iters} iters)", format_ns(median_ns), samples);
+    BenchResult { name, median_ns, min_ns, mean_ns }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function from a list of `fn(&mut
+/// Criterion)` benchmark functions (API parity with Criterion's macro).
+#[macro_export]
+macro_rules! bench_group {
+    ($name:ident, $($function:path),+ $(,)?) => {
+        /// Runs every benchmark of this group.
+        pub fn $name(c: &mut $crate::tinybench::Criterion) {
+            $($function(c);)+
+        }
+    };
+}
+
+/// Declares a `main` that runs the listed benchmark groups and prints a
+/// summary table.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::tinybench::Criterion::new();
+            $($group(&mut c);)+
+            c.summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("fit", 32).label, "fit/32");
+        assert_eq!(BenchmarkId::from_parameter("l7f48").label, "l7f48");
+        assert_eq!(BenchmarkId::from("plain").label, "plain");
+    }
+
+    #[test]
+    fn bencher_times_and_scales() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].name.starts_with("smoke/"));
+        assert!(c.results[0].median_ns >= 0.0);
+    }
+
+    #[test]
+    fn format_scales_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("us"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with('s'));
+    }
+}

@@ -11,13 +11,12 @@
 //! for AutoPilot's much larger models.
 
 use policy_nn::PolicyModel;
-use serde::{Deserialize, Serialize};
 use uav_dynamics::{F1Model, MissionReport, UavSpec};
 
 use crate::spec::TaskSpec;
 
 /// A fixed (off-the-shelf or published) compute platform.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BaselineBoard {
     /// Platform name.
     pub name: String,
@@ -127,7 +126,7 @@ impl BaselineBoard {
 }
 
 /// Mission-level evaluation of one baseline board.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BaselineEvaluation {
     /// The evaluated board.
     pub board: BaselineBoard,

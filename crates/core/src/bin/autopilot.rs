@@ -33,15 +33,12 @@ fn parse_optimizer(arg: &str) -> Result<OptimizerChoice, String> {
         "random" => "random-search",
         other => other,
     };
-    OptimizerChoice::ALL
-        .into_iter()
-        .find(|c| c.name() == resolved)
-        .ok_or_else(|| {
-            format!(
-                "unknown optimizer '{arg}' (registered: {})",
-                registry::registered_optimizers().join(", ")
-            )
-        })
+    OptimizerChoice::ALL.into_iter().find(|c| c.name() == resolved).ok_or_else(|| {
+        format!(
+            "unknown optimizer '{arg}' (registered: {})",
+            registry::registered_optimizers().join(", ")
+        )
+    })
 }
 
 const USAGE: &str = "\

@@ -5,10 +5,9 @@ use air_sim::{
 };
 use autopilot_obs as obs;
 use policy_nn::{PolicyHyperparams, PolicyModel};
-use serde::{Deserialize, Serialize};
 
 /// How Phase 1 obtains success rates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SuccessModel {
     /// Fast fitted surrogate (default; seconds for the full space).
     Surrogate,

@@ -4,7 +4,6 @@ use air_sim::{AirLearningDatabase, ObstacleDensity, SuccessSurrogate};
 use autopilot_obs as obs;
 use dse_opt::{CacheStats, EvalError, Evaluator, OptimizationResult};
 use policy_nn::{PolicyHyperparams, PolicyModel};
-use serde::{Deserialize, Serialize};
 use soc_power::SocPowerModel;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -22,7 +21,7 @@ use crate::space::JointSpace;
 /// accepts any string registered through
 /// [`registry::register_optimizer`], so downstream crates are not
 /// limited to these variants.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum OptimizerChoice {
     /// Multi-objective Bayesian optimization with SMS-EGO (the paper's
     /// choice).
@@ -182,7 +181,7 @@ impl Evaluator for DssocEvaluator {
 }
 
 /// One fully evaluated DSSoC design candidate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignCandidate {
     /// Joint design-space point.
     pub point: Vec<usize>,
@@ -515,7 +514,10 @@ mod tests {
         assert_eq!(OptimizerChoice::SmsEgo.name(), "sms-ego-bo");
         assert_eq!(OptimizerChoice::default(), OptimizerChoice::SmsEgo);
         assert_eq!(String::from(OptimizerChoice::Nsga2), "nsga-ii");
-        assert_eq!(Phase2::new(OptimizerChoice::Annealing, 8, 0).optimizer(), "simulated-annealing");
+        assert_eq!(
+            Phase2::new(OptimizerChoice::Annealing, 8, 0).optimizer(),
+            "simulated-annealing"
+        );
     }
 
     #[test]
@@ -537,7 +539,8 @@ mod tests {
         let ev = evaluator();
         let uncached = Phase2::new(OptimizerChoice::Random, 10, 8).run(&ev).unwrap();
         let cache = CandidateCache::new();
-        let cached = Phase2::new(OptimizerChoice::Random, 10, 8).run_with_cache(&ev, &cache).unwrap();
+        let cached =
+            Phase2::new(OptimizerChoice::Random, 10, 8).run_with_cache(&ev, &cache).unwrap();
         assert_eq!(uncached.result, cached.result);
         assert_eq!(uncached.candidates, cached.candidates);
         assert_eq!(uncached.pareto_indices, cached.pareto_indices);

@@ -1,7 +1,6 @@
 //! Phase 3: domain-specific back end (full-system UAV co-design).
 
 use autopilot_obs as obs;
-use serde::{Deserialize, Serialize};
 use soc_power::TechNode;
 use uav_dynamics::{F1Model, MissionReport, Provisioning, UavSpec};
 
@@ -12,7 +11,7 @@ use crate::spec::TaskSpec;
 /// Architectural fine-tuning applied to move a selected design toward the
 /// F-1 knee-point (frequency scaling, optionally a denser technology
 /// node).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FineTuning {
     /// Adjusted accelerator clock, MHz.
     pub clock_mhz: f64,
@@ -26,7 +25,7 @@ pub struct FineTuning {
 
 /// The design AutoPilot selected for a (UAV, task) pair, with its
 /// full-system evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Phase3Selection {
     /// The selected design candidate (post fine-tuning when applied).
     pub candidate: DesignCandidate,

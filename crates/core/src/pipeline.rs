@@ -3,7 +3,6 @@
 use air_sim::{AirLearningDatabase, ObstacleDensity};
 use autopilot_obs as obs;
 use dse_opt::CacheStats;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -16,7 +15,7 @@ use crate::phase3::{Phase3, Phase3Selection};
 use crate::spec::TaskSpec;
 
 /// Pipeline configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AutopilotConfig {
     /// Deterministic seed for every stochastic component.
     pub seed: u64,
@@ -106,9 +105,7 @@ impl PipelineCache {
         density: ObstacleDensity,
     ) -> AirLearningDatabase {
         let key = PipelineCache::phase1_key(config, density);
-        if let Some(db) =
-            self.phase1.lock().unwrap_or_else(PoisonError::into_inner).get(&key)
-        {
+        if let Some(db) = self.phase1.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
             obs::add("pipeline.phase1_cache.hits", 1);
             return db.clone();
         }
@@ -117,12 +114,7 @@ impl PipelineCache {
         obs::add("pipeline.phase1_cache.misses", 1);
         let mut db = AirLearningDatabase::new();
         Phase1::new(config.success_model, config.seed).populate(density, &mut db);
-        self.phase1
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .entry(key)
-            .or_insert(db)
-            .clone()
+        self.phase1.lock().unwrap_or_else(PoisonError::into_inner).entry(key).or_insert(db).clone()
     }
 
     /// The Phase-2 output for a scenario, running the DSE on first
@@ -139,9 +131,7 @@ impl PipelineCache {
         threads: Option<usize>,
     ) -> Result<Phase2Output, AutopilotError> {
         let key = PipelineCache::phase2_key(config, evaluator.density());
-        if let Some(out) =
-            self.phase2.lock().unwrap_or_else(PoisonError::into_inner).get(&key)
-        {
+        if let Some(out) = self.phase2.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
             self.phase2_hits.fetch_add(1, Ordering::Relaxed);
             obs::add("pipeline.phase2_cache.hits", 1);
             return Ok(out.clone());

@@ -133,16 +133,17 @@ pub fn registered_optimizers() -> Vec<String> {
 ///
 /// Returns [`AutopilotError::UnknownOptimizer`] (listing the registered
 /// names) when no factory matches.
-pub fn build_optimizer(name: &str, ctx: &OptimizerContext) -> Result<BoxedOptimizer, AutopilotError> {
-    let factory = registry()
-        .read()
-        .unwrap_or_else(PoisonError::into_inner)
-        .get(name)
-        .cloned()
-        .ok_or_else(|| AutopilotError::UnknownOptimizer {
-            name: name.to_owned(),
-            available: registered_optimizers(),
-        })?;
+pub fn build_optimizer(
+    name: &str,
+    ctx: &OptimizerContext,
+) -> Result<BoxedOptimizer, AutopilotError> {
+    let factory =
+        registry().read().unwrap_or_else(PoisonError::into_inner).get(name).cloned().ok_or_else(
+            || AutopilotError::UnknownOptimizer {
+                name: name.to_owned(),
+                available: registered_optimizers(),
+            },
+        )?;
     Ok(factory(ctx))
 }
 

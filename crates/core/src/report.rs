@@ -1,13 +1,13 @@
 //! Serializable run summaries for downstream tooling.
 
-use serde::{Deserialize, Serialize};
+use autopilot_obs::json::Value;
 
 use crate::error::AutopilotError;
 use crate::phase2::DesignCandidate;
 use crate::pipeline::AutopilotResult;
 
 /// Compact, serializable description of one design candidate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CandidateSummary {
     /// Policy identifier (e.g. `"l7f48"`).
     pub policy: String,
@@ -53,7 +53,7 @@ impl From<&DesignCandidate> for CandidateSummary {
 }
 
 /// Serializable summary of a full pipeline run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
     /// UAV platform name.
     pub uav: String,
@@ -98,21 +98,125 @@ impl RunSummary {
     ///
     /// # Errors
     ///
-    /// Returns [`AutopilotError::Serialization`] when the serializer
-    /// fails (e.g. a backend without JSON support).
+    /// Returns [`AutopilotError::Serialization`] when the summary cannot
+    /// be represented (currently unreachable: every field maps directly
+    /// onto a JSON value).
     pub fn to_json(&self) -> Result<String, AutopilotError> {
-        serde_json::to_string_pretty(self)
-            .map_err(|e| AutopilotError::Serialization { message: e.to_string() })
+        let opt_num = |v: Option<f64>| v.map_or(Value::Null, Value::Num);
+        let selection = match &self.selection {
+            None => Value::Null,
+            Some(c) => Value::Obj(vec![
+                ("policy".into(), Value::Str(c.policy.clone())),
+                ("pe_rows".into(), Value::Num(c.pe_rows as f64)),
+                ("pe_cols".into(), Value::Num(c.pe_cols as f64)),
+                (
+                    "sram_kb".into(),
+                    Value::Arr(vec![
+                        Value::Num(c.sram_kb.0 as f64),
+                        Value::Num(c.sram_kb.1 as f64),
+                        Value::Num(c.sram_kb.2 as f64),
+                    ]),
+                ),
+                ("clock_mhz".into(), Value::Num(c.clock_mhz)),
+                ("success_rate".into(), Value::Num(c.success_rate)),
+                ("fps".into(), Value::Num(c.fps)),
+                ("soc_avg_w".into(), Value::Num(c.soc_avg_w)),
+                ("tdp_w".into(), Value::Num(c.tdp_w)),
+                ("payload_g".into(), Value::Num(c.payload_g)),
+            ]),
+        };
+        let root = Value::Obj(vec![
+            ("uav".into(), Value::Str(self.uav.clone())),
+            ("scenario".into(), Value::Str(self.scenario.clone())),
+            ("evaluations".into(), Value::Num(self.evaluations as f64)),
+            ("pareto_size".into(), Value::Num(self.pareto_size as f64)),
+            ("best_success".into(), Value::Num(self.best_success)),
+            ("selection".into(), selection),
+            ("missions".into(), opt_num(self.missions)),
+            ("v_safe_ms".into(), opt_num(self.v_safe_ms)),
+            ("knee_fps".into(), opt_num(self.knee_fps)),
+            ("error".into(), self.error.as_ref().map_or(Value::Null, |e| Value::Str(e.clone()))),
+        ]);
+        Ok(root.to_json_pretty())
     }
 
     /// Parses a summary back from JSON.
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error message on malformed
-    /// input.
+    /// Returns a descriptive message on malformed input or missing
+    /// fields.
     pub fn from_json(json: &str) -> Result<RunSummary, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+        let root = Value::parse(json).map_err(|e| e.to_string())?;
+        let str_field = |key: &str| -> Result<String, String> {
+            root.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field `{key}`"))
+        };
+        let num_field = |key: &str| -> Result<f64, String> {
+            root.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing numeric field `{key}`"))
+        };
+        let opt_num = |key: &str| -> Option<f64> { root.get(key).and_then(Value::as_f64) };
+        let selection = match root.get("selection") {
+            None | Some(Value::Null) => None,
+            Some(c) => {
+                let s = |key: &str| -> Result<String, String> {
+                    c.get(key)
+                        .and_then(Value::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("selection missing string field `{key}`"))
+                };
+                let n = |key: &str| -> Result<f64, String> {
+                    c.get(key)
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("selection missing numeric field `{key}`"))
+                };
+                let u = |key: &str| -> Result<usize, String> {
+                    c.get(key)
+                        .and_then(Value::as_u64)
+                        .map(|v| v as usize)
+                        .ok_or_else(|| format!("selection missing integer field `{key}`"))
+                };
+                let sram = c
+                    .get("sram_kb")
+                    .and_then(Value::as_arr)
+                    .filter(|a| a.len() == 3)
+                    .ok_or_else(|| "selection missing `sram_kb` triple".to_string())?;
+                let kb = |i: usize| -> Result<usize, String> {
+                    sram[i]
+                        .as_u64()
+                        .map(|v| v as usize)
+                        .ok_or_else(|| "non-integer `sram_kb` entry".to_string())
+                };
+                Some(CandidateSummary {
+                    policy: s("policy")?,
+                    pe_rows: u("pe_rows")?,
+                    pe_cols: u("pe_cols")?,
+                    sram_kb: (kb(0)?, kb(1)?, kb(2)?),
+                    clock_mhz: n("clock_mhz")?,
+                    success_rate: n("success_rate")?,
+                    fps: n("fps")?,
+                    soc_avg_w: n("soc_avg_w")?,
+                    tdp_w: n("tdp_w")?,
+                    payload_g: n("payload_g")?,
+                })
+            }
+        };
+        Ok(RunSummary {
+            uav: str_field("uav")?,
+            scenario: str_field("scenario")?,
+            evaluations: num_field("evaluations")? as usize,
+            pareto_size: num_field("pareto_size")? as usize,
+            best_success: num_field("best_success")?,
+            selection,
+            missions: opt_num("missions"),
+            v_safe_ms: opt_num("v_safe_ms"),
+            knee_fps: opt_num("knee_fps"),
+            error: root.get("error").and_then(Value::as_str).map(str::to_string),
+        })
     }
 }
 
@@ -134,7 +238,8 @@ mod tests {
             .run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Low))
             .expect("pipeline runs");
         let summary = RunSummary::from_result(&result);
-        let restored = RunSummary::from_json(&summary.to_json().expect("serializes")).expect("parse");
+        let restored =
+            RunSummary::from_json(&summary.to_json().expect("serializes")).expect("parse");
         // Compare via re-serialization: floating-point JSON text is only
         // guaranteed to round-trip to the same shortest representation.
         assert_eq!(summary.to_json().expect("serializes"), restored.to_json().expect("serializes"));

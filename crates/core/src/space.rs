@@ -2,7 +2,6 @@
 
 use dse_opt::DesignSpace;
 use policy_nn::{PolicyHyperparams, FILTER_CHOICES, LAYER_CHOICES};
-use serde::{Deserialize, Serialize};
 use systolic_sim::{ArrayConfig, Dataflow};
 
 use crate::error::AutopilotError;
@@ -23,7 +22,7 @@ pub const DEFAULT_DRAM_BW: f64 = 48.0;
 
 /// The seven-dimensional joint space AutoPilot's Phase 2 searches:
 /// `(layers, filters, pe_rows, pe_cols, ifmap KB, filter KB, ofmap KB)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct JointSpace;
 
 impl JointSpace {
@@ -73,10 +72,8 @@ impl JointSpace {
     /// choice list, and [`AutopilotError::InvalidConfiguration`] when
     /// the decoded accelerator configuration fails validation.
     pub fn decode(point: &[usize]) -> Result<(PolicyHyperparams, ArrayConfig), AutopilotError> {
-        let invalid = |reason: String| AutopilotError::InvalidDesignPoint {
-            point: point.to_vec(),
-            reason,
-        };
+        let invalid =
+            |reason: String| AutopilotError::InvalidDesignPoint { point: point.to_vec(), reason };
         if point.len() != 7 {
             return Err(invalid(format!("expected 7 dimensions, got {}", point.len())));
         }
@@ -91,8 +88,7 @@ impl JointSpace {
         };
         let layers = pick(&LAYER_CHOICES, Self::DIM_LAYERS, "layer")?;
         let filters = pick(&FILTER_CHOICES, Self::DIM_FILTERS, "filter")?;
-        let hyper = PolicyHyperparams::new(layers, filters)
-            .map_err(|e| invalid(e.to_string()))?;
+        let hyper = PolicyHyperparams::new(layers, filters).map_err(|e| invalid(e.to_string()))?;
         let config = ArrayConfig::builder()
             .rows(pick(&PE_CHOICES, Self::DIM_PE_ROWS, "PE-row")?)
             .cols(pick(&PE_CHOICES, Self::DIM_PE_COLS, "PE-col")?)

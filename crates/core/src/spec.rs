@@ -1,12 +1,11 @@
 //! High-level task specification (the user-facing front-end input).
 
 use air_sim::ObstacleDensity;
-use serde::{Deserialize, Serialize};
 use uav_dynamics::MissionProfile;
 
 /// The task-level specification a user hands to AutoPilot: what the UAV
 /// must do, where, and how well.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskSpec {
     /// Deployment-scenario obstacle density.
     pub density: ObstacleDensity,

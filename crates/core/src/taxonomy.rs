@@ -6,10 +6,8 @@
 //! encodes the paper's taxonomy of how each phase instantiates across
 //! closely related autonomous-vehicle domains.
 
-use serde::{Deserialize, Serialize};
-
 /// Autonomy-algorithm paradigm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Paradigm {
     /// End-to-end learned policies.
     EndToEnd,
@@ -31,7 +29,7 @@ impl std::fmt::Display for Paradigm {
 }
 
 /// One row of the Table VI taxonomy.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaxonomyRow {
     /// Target domain.
     pub domain: &'static str,

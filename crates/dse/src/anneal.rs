@@ -1,8 +1,7 @@
 //! Multi-objective simulated annealing with random Chebyshev
 //! scalarizations, an alternative Phase-2 optimizer.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
+use autopilot_rng::Rng;
 use std::collections::HashMap;
 
 use crate::error::{DseError, EvalError};
@@ -46,7 +45,7 @@ impl MultiObjectiveOptimizer for AnnealingOptimizer {
         evaluator: &dyn Evaluator,
         budget: usize,
     ) -> Result<OptimizationResult, DseError> {
-        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let n_obj = evaluator.num_objectives();
         let mut cache: HashMap<Vec<usize>, Vec<f64>> = HashMap::new();
         let mut history: Vec<EvaluationRecord> = Vec::new();
@@ -84,11 +83,11 @@ impl MultiObjectiveOptimizer for AnnealingOptimizer {
         let mut step = 0usize;
         while history.len() < budget {
             step += 1;
-            if step % self.reweight_every == 0 {
+            if step.is_multiple_of(self.reweight_every) {
                 weights = random_weights(n_obj, &mut rng);
                 // Occasional restart from a random point keeps the
                 // archive exploring distant regions of the front.
-                if rng.random_bool(0.15) {
+                if rng.chance(0.15) {
                     current = space.random_point(&mut rng);
                     current_objs = eval(&current, &mut cache, &mut history)?;
                     if history.len() >= budget {
@@ -100,7 +99,7 @@ impl MultiObjectiveOptimizer for AnnealingOptimizer {
             if neighbors.is_empty() {
                 break;
             }
-            let proposal = neighbors[rng.random_range(0..neighbors.len())].clone();
+            let proposal = neighbors[rng.below(neighbors.len())].clone();
             let was_cached = cache.contains_key(&proposal);
             let proposal_objs = eval(&proposal, &mut cache, &mut history)?;
             if was_cached {
@@ -118,7 +117,7 @@ impl MultiObjectiveOptimizer for AnnealingOptimizer {
             let e_cur = chebyshev(&current_objs, &weights, &mins, &maxs);
             let e_new = chebyshev(&proposal_objs, &weights, &mins, &maxs);
             let accept = e_new <= e_cur
-                || rng.random_bool(((e_cur - e_new) / temperature.max(1e-9)).exp().min(1.0));
+                || rng.chance(((e_cur - e_new) / temperature.max(1e-9)).exp().min(1.0));
             if accept {
                 current = proposal;
                 current_objs = proposal_objs;
@@ -131,8 +130,8 @@ impl MultiObjectiveOptimizer for AnnealingOptimizer {
     }
 }
 
-fn random_weights(n: usize, rng: &mut ChaCha12Rng) -> Vec<f64> {
-    let raw: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..1.0)).collect();
+fn random_weights(n: usize, rng: &mut Rng) -> Vec<f64> {
+    let raw: Vec<f64> = (0..n).map(|_| rng.range_f64(0.05, 1.0)).collect();
     let sum: f64 = raw.iter().sum();
     raw.into_iter().map(|w| w / sum).collect()
 }

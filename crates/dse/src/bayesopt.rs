@@ -1,8 +1,7 @@
 //! Multi-objective Bayesian optimization with the SMS-EGO acquisition.
 
 use autopilot_obs as obs;
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
+use autopilot_rng::Rng;
 use std::collections::HashSet;
 
 use crate::error::{DseError, EvalError};
@@ -238,7 +237,7 @@ impl MultiObjectiveOptimizer for SmsEgoOptimizer {
         budget: usize,
     ) -> Result<OptimizationResult, DseError> {
         let _span = obs::span("sms_ego.run");
-        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let n_obj = evaluator.num_objectives();
         let workers = self.workers();
         let mut archive = Archive::new(n_obj, budget);
@@ -319,7 +318,7 @@ impl SmsEgoOptimizer {
         archive: &Archive,
         surrogates: &Surrogates,
         workers: usize,
-        rng: &mut ChaCha12Rng,
+        rng: &mut Rng,
     ) -> Option<Vec<usize>> {
         // Current normalized front.
         let normalized: Vec<Vec<f64>> = archive
@@ -404,7 +403,7 @@ fn normalize(v: f64, min: f64, max: f64) -> f64 {
 fn fresh_random(
     space: &DesignSpace,
     seen: &HashSet<Vec<usize>>,
-    rng: &mut ChaCha12Rng,
+    rng: &mut Rng,
     retries: usize,
 ) -> Option<Vec<usize>> {
     for _ in 0..retries {
@@ -473,7 +472,8 @@ mod tests {
         for seed in 0..3 {
             let mut bo = SmsEgoOptimizer::new(seed).with_init_samples(10).with_candidate_pool(64);
             bo_total += bo.run(&space, &Bowl3, budget).unwrap().final_hypervolume();
-            rs_total += RandomSearch::new(seed).run(&space, &Bowl3, budget).unwrap().final_hypervolume();
+            rs_total +=
+                RandomSearch::new(seed).run(&space, &Bowl3, budget).unwrap().final_hypervolume();
         }
         assert!(
             bo_total >= rs_total * 0.98,

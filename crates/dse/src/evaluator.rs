@@ -122,30 +122,6 @@ pub(crate) mod test_problems {
             vec![2.0, 2.0, 2.0]
         }
     }
-
-    /// An evaluator that fails on every point past a threshold index sum,
-    /// used to drive optimizer error paths.
-    pub struct Failing {
-        /// Fail once the sum of indices reaches this value (0 = always).
-        pub threshold: usize,
-    }
-
-    impl Evaluator for Failing {
-        fn num_objectives(&self) -> usize {
-            2
-        }
-        fn evaluate(&self, point: &[usize]) -> Result<Vec<f64>, EvalError> {
-            let s: usize = point.iter().sum();
-            if s >= self.threshold {
-                return Err(EvalError::Failed { message: format!("injected failure at {point:?}") });
-            }
-            let x = point[0] as f64 / 31.0;
-            Ok(vec![x, 1.0 - x])
-        }
-        fn reference_point(&self) -> Vec<f64> {
-            vec![1.1, 1.1]
-        }
-    }
 }
 
 #[cfg(test)]

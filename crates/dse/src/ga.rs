@@ -2,9 +2,7 @@
 //! optimizers the paper lists for Phase 2.
 
 use autopilot_obs as obs;
-use rand::seq::IndexedRandom;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
+use autopilot_rng::Rng;
 use std::collections::{HashMap, HashSet};
 
 use crate::error::{DseError, EvalError};
@@ -74,7 +72,7 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
         budget: usize,
     ) -> Result<OptimizationResult, DseError> {
         let _span = obs::span("nsga2.run");
-        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let workers = self.workers();
         let mut cache: HashMap<Vec<usize>, Vec<f64>> = HashMap::new();
         let mut history: Vec<EvaluationRecord> = Vec::new();
@@ -136,13 +134,10 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
                     crowd[i] = d[k];
                 }
             }
-            let tournament = |rng: &mut ChaCha12Rng| -> usize {
-                // The population is never empty (population >= 4), so the
-                // fallback index 0 is unreachable; `unwrap_or` keeps the
-                // exact RNG stream of `choose` without a panic path.
-                let idx: Vec<usize> = (0..pop.len()).collect();
-                let a = idx.choose(rng).copied().unwrap_or(0);
-                let b = idx.choose(rng).copied().unwrap_or(0);
+            let tournament = |rng: &mut Rng| -> usize {
+                // The population is never empty (population >= 4).
+                let a = rng.below(pop.len());
+                let b = rng.below(pop.len());
                 if rank[a] < rank[b] || (rank[a] == rank[b] && crowd[a] > crowd[b]) {
                     a
                 } else {
@@ -155,11 +150,8 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
             while offspring.len() < self.population {
                 let p1 = &pop[tournament(&mut rng)];
                 let p2 = &pop[tournament(&mut rng)];
-                let mut child: Vec<usize> = if rng.random_bool(self.crossover_prob) {
-                    p1.iter()
-                        .zip(p2)
-                        .map(|(&a, &b)| if rng.random_bool(0.5) { a } else { b })
-                        .collect()
+                let mut child: Vec<usize> = if rng.chance(self.crossover_prob) {
+                    p1.iter().zip(p2).map(|(&a, &b)| if rng.chance(0.5) { a } else { b }).collect()
                 } else {
                     p1.clone()
                 };
@@ -167,8 +159,8 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
                 // genes flipped.
                 let pm = (self.mutation_scale / space.dims() as f64).min(1.0);
                 for (d, gene) in child.iter_mut().enumerate() {
-                    if rng.random_bool(pm) {
-                        *gene = rng.random_range(0..space.cardinality(d));
+                    if rng.chance(pm) {
+                        *gene = rng.below(space.cardinality(d));
                     }
                 }
                 offspring.push(child);
@@ -278,11 +270,17 @@ mod tests {
     #[test]
     fn identical_across_thread_counts() {
         let space = DesignSpace::new(vec![8, 8, 8]).unwrap();
-        let base =
-            Nsga2Optimizer::new(9).with_population(8).with_threads(1).run(&space, &Bowl3, 40).unwrap();
+        let base = Nsga2Optimizer::new(9)
+            .with_population(8)
+            .with_threads(1)
+            .run(&space, &Bowl3, 40)
+            .unwrap();
         for t in [2, 4, 6] {
-            let r =
-                Nsga2Optimizer::new(9).with_population(8).with_threads(t).run(&space, &Bowl3, 40).unwrap();
+            let r = Nsga2Optimizer::new(9)
+                .with_population(8)
+                .with_threads(t)
+                .run(&space, &Bowl3, 40)
+                .unwrap();
             assert_eq!(base, r, "threads = {t}");
         }
     }
@@ -299,7 +297,8 @@ mod tests {
                 .run(&space, &Bowl3, budget)
                 .unwrap()
                 .final_hypervolume();
-            rs_total += RandomSearch::new(seed).run(&space, &Bowl3, budget).unwrap().final_hypervolume();
+            rs_total +=
+                RandomSearch::new(seed).run(&space, &Bowl3, budget).unwrap().final_hypervolume();
         }
         assert!(ga_total >= rs_total * 0.95, "GA {ga_total:.4} vs RS {rs_total:.4}");
     }

@@ -162,7 +162,7 @@ impl GaussianProcess {
         let d2 = 1.0 + self.jitter - w.iter().map(|v| v * v).sum::<f64>();
         // Guard well above zero: a tiny pivot makes the factor
         // ill-conditioned even when it technically exists.
-        if !(d2 > 1e-10) {
+        if !d2.is_finite() || d2 <= 1e-10 {
             return false;
         }
         self.chol.extend_lower(&w, d2.sqrt());
@@ -337,7 +337,8 @@ mod tests {
     fn mismatched_lengths_are_an_error() {
         let r = GaussianProcess::fit(&[vec![0.0], vec![1.0]], &[1.0]);
         assert!(matches!(r, Err(GpError::DimensionMismatch { .. })));
-        let r = GaussianProcess::fit_with_lengthscale(&[vec![0.0], vec![1.0, 2.0]], &[1.0, 2.0], 0.5);
+        let r =
+            GaussianProcess::fit_with_lengthscale(&[vec![0.0], vec![1.0, 2.0]], &[1.0, 2.0], 0.5);
         assert!(matches!(r, Err(GpError::DimensionMismatch { .. })));
     }
 

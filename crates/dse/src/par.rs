@@ -140,11 +140,7 @@ where
     // sent exactly one result before the scope joined, so each slot is
     // filled; an empty slot (impossible today) falls back to evaluating
     // inline rather than panicking the whole map.
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, s)| s.unwrap_or_else(|| f(i, &items[i])))
-        .collect()
+    slots.into_iter().enumerate().map(|(i, s)| s.unwrap_or_else(|| f(i, &items[i]))).collect()
 }
 
 /// Publishes per-worker busy time and queue imbalance to the obs

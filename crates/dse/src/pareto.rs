@@ -82,6 +82,9 @@ pub fn crowding_distance(points: &[Vec<f64>], indices: &[usize]) -> Vec<f64> {
         return dist;
     }
     let objectives = points[indices[0]].len();
+    // `obj` indexes the inner objective axis of `points`, not `points`
+    // itself, so the range loop is the natural form here.
+    #[allow(clippy::needless_range_loop)]
     for obj in 0..objectives {
         let mut order: Vec<usize> = (0..m).collect();
         order.sort_by(|&a, &b| points[indices[a]][obj].total_cmp(&points[indices[b]][obj]));

@@ -1,8 +1,7 @@
 //! Random-search baseline.
 
 use autopilot_obs as obs;
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
+use autopilot_rng::Rng;
 use std::collections::HashSet;
 
 use crate::error::{DseError, EvalError};
@@ -52,7 +51,7 @@ impl MultiObjectiveOptimizer for RandomSearch {
         budget: usize,
     ) -> Result<OptimizationResult, DseError> {
         let _span = obs::span("random_search.run");
-        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut seen: HashSet<Vec<usize>> = HashSet::new();
         let mut points: Vec<Vec<usize>> = Vec::with_capacity(budget);
         let mut retries = 0usize;

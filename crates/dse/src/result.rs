@@ -1,12 +1,11 @@
 //! Optimization histories and results.
 
 use autopilot_obs as obs;
-use serde::{Deserialize, Serialize};
 
 use crate::pareto::{hypervolume, pareto_indices};
 
 /// One evaluated design point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvaluationRecord {
     /// Evaluation index (0-based order of evaluation).
     pub iteration: usize,
@@ -17,7 +16,7 @@ pub struct EvaluationRecord {
 }
 
 /// The outcome of one optimizer run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OptimizationResult {
     /// Algorithm name.
     pub algorithm: String,

@@ -1,7 +1,6 @@
 //! Discrete design spaces and their normalized encodings.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use autopilot_rng::Rng;
 use std::error::Error;
 use std::fmt;
 
@@ -13,7 +12,7 @@ use std::fmt;
 /// structure of the underlying parameter lists (Table II parameters are
 /// all ordered: layer counts, filter counts, power-of-two PE and SRAM
 /// sizes).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DesignSpace {
     cardinalities: Vec<usize>,
 }
@@ -88,8 +87,8 @@ impl DesignSpace {
     }
 
     /// A uniformly random point.
-    pub fn random_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<usize> {
-        self.cardinalities.iter().map(|&c| rng.random_range(0..c)).collect()
+    pub fn random_point(&self, rng: &mut Rng) -> Vec<usize> {
+        self.cardinalities.iter().map(|&c| rng.below(c)).collect()
     }
 
     /// All 1-step ordinal neighbours of `point` (each dimension +-1).
@@ -176,8 +175,6 @@ impl Error for SpaceError {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha12Rng;
 
     #[test]
     fn size_is_product_of_cardinalities() {
@@ -203,7 +200,7 @@ mod tests {
     #[test]
     fn random_points_are_contained() {
         let s = DesignSpace::new(vec![9, 3, 8]).unwrap();
-        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         for _ in 0..100 {
             assert!(s.contains(&s.random_point(&mut rng)));
         }

@@ -2,6 +2,9 @@
 //! every optimizer — never a panic — and failed evaluations must not be
 //! memoized by [`CachedEvaluator`].
 
+// Helpers shared across #[test] fns fall outside `allow-unwrap-in-tests`.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dse_opt::{
     AnnealingOptimizer, CachedEvaluator, DesignSpace, DseError, EvalError, Evaluator,
     ExhaustiveSearch, MultiObjectiveOptimizer, Nsga2Optimizer, RandomSearch, SmsEgoOptimizer,

@@ -1,5 +1,7 @@
-//! Property-based tests for the DSE machinery.
+//! Property-based tests for the DSE machinery, driven by seeded
+//! `autopilot_rng` case generation (deterministic, no external harness).
 
+use autopilot_rng::Rng;
 use dse_opt::pareto::{
     crowding_distance, dominates, hypervolume, inverted_generational_distance, non_dominated_sort,
     pareto_indices,
@@ -8,10 +10,13 @@ use dse_opt::{
     AnnealingOptimizer, CachedEvaluator, DesignSpace, EvalError, Evaluator, ExhaustiveSearch,
     MultiObjectiveOptimizer, Nsga2Optimizer, RandomSearch,
 };
-use proptest::prelude::*;
 
-fn arb_points(max_n: usize, d: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(prop::collection::vec(0.0f64..10.0, d..=d), 1..max_n)
+const CASES: u64 = 64;
+
+/// 1 to `max_n - 1` points in `[0, 10)^d`.
+fn random_points(rng: &mut Rng, max_n: usize, d: usize) -> Vec<Vec<f64>> {
+    let n = rng.range_usize(1, max_n);
+    (0..n).map(|_| (0..d).map(|_| rng.range_f64(0.0, 10.0)).collect()).collect()
 }
 
 struct Weighted;
@@ -30,97 +35,120 @@ impl Evaluator for Weighted {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// No point on the Pareto front is dominated by any other point.
-    #[test]
-    fn pareto_front_is_mutually_nondominated(points in arb_points(24, 3)) {
+/// No point on the Pareto front is dominated by any other point.
+#[test]
+fn pareto_front_is_mutually_nondominated() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_stream(0xd5e_0001, case);
+        let points = random_points(&mut rng, 24, 3);
         let front = pareto_indices(&points);
         for &i in &front {
             for (j, q) in points.iter().enumerate() {
                 if i != j {
-                    prop_assert!(!dominates(q, &points[i]) || points[i] == *q);
+                    assert!(!dominates(q, &points[i]) || points[i] == *q, "case {case}");
                 }
             }
         }
     }
+}
 
-    /// Every point belongs to exactly one front of the non-dominated
-    /// sort, and front ranks respect dominance.
-    #[test]
-    fn nds_partitions_points(points in arb_points(20, 2)) {
+/// Every point belongs to exactly one front of the non-dominated sort,
+/// and front ranks respect dominance.
+#[test]
+fn nds_partitions_points() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_stream(0xd5e_0002, case);
+        let points = random_points(&mut rng, 20, 2);
         let fronts = non_dominated_sort(&points);
         let mut seen = vec![false; points.len()];
         for front in &fronts {
             for &i in front {
-                prop_assert!(!seen[i], "point {i} appears twice");
+                assert!(!seen[i], "case {case}: point {i} appears twice");
                 seen[i] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s), "case {case}");
         // A point in front k+1 must be dominated by someone in front k.
         for w in fronts.windows(2) {
             for &j in &w[1] {
-                prop_assert!(
+                assert!(
                     w[0].iter().any(|&i| dominates(&points[i], &points[j])),
-                    "front ordering violated"
+                    "case {case}: front ordering violated"
                 );
             }
         }
     }
+}
 
-    /// Hypervolume never decreases when a point is added.
-    #[test]
-    fn hypervolume_monotone_in_points(points in arb_points(16, 3), extra in prop::collection::vec(0.0f64..10.0, 3)) {
+/// Hypervolume never decreases when a point is added.
+#[test]
+fn hypervolume_monotone_in_points() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_stream(0xd5e_0003, case);
+        let points = random_points(&mut rng, 16, 3);
+        let extra: Vec<f64> = (0..3).map(|_| rng.range_f64(0.0, 10.0)).collect();
         let reference = [11.0, 11.0, 11.0];
         let base = hypervolume(&points, &reference);
         let mut more = points.clone();
         more.push(extra);
-        prop_assert!(hypervolume(&more, &reference) >= base - 1e-9);
+        assert!(hypervolume(&more, &reference) >= base - 1e-9, "case {case}");
     }
+}
 
-    /// Hypervolume is bounded by the reference box volume.
-    #[test]
-    fn hypervolume_bounded_by_box(points in arb_points(16, 2)) {
+/// Hypervolume is bounded by the reference box volume.
+#[test]
+fn hypervolume_bounded_by_box() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_stream(0xd5e_0004, case);
+        let points = random_points(&mut rng, 16, 2);
         let reference = [10.5, 10.5];
         let hv = hypervolume(&points, &reference);
-        prop_assert!(hv <= 10.5 * 10.5 + 1e-9);
-        prop_assert!(hv >= 0.0);
+        assert!(hv <= 10.5 * 10.5 + 1e-9, "case {case}");
+        assert!(hv >= 0.0, "case {case}");
     }
+}
 
-    /// Crowding distances are non-negative and boundary points infinite.
-    #[test]
-    fn crowding_distances_well_formed(points in arb_points(12, 2)) {
+/// Crowding distances are non-negative and boundary points infinite.
+#[test]
+fn crowding_distances_well_formed() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_stream(0xd5e_0005, case);
+        let points = random_points(&mut rng, 12, 2);
         let idx: Vec<usize> = (0..points.len()).collect();
         let d = crowding_distance(&points, &idx);
-        prop_assert_eq!(d.len(), points.len());
-        prop_assert!(d.iter().all(|&x| x >= 0.0));
+        assert_eq!(d.len(), points.len(), "case {case}");
+        assert!(d.iter().all(|&x| x >= 0.0), "case {case}");
         if points.len() >= 2 {
-            prop_assert!(d.iter().filter(|x| x.is_infinite()).count() >= 2);
+            assert!(d.iter().filter(|x| x.is_infinite()).count() >= 2, "case {case}");
         }
     }
+}
 
-    /// IGD of the exhaustive front against itself is zero; any sampled
-    /// subset has non-negative IGD.
-    #[test]
-    fn igd_properties(seed in 0u64..64) {
-        let space = DesignSpace::new(vec![16, 16]).unwrap();
-        let truth = ExhaustiveSearch::new().run(&space, &Weighted, 10_000).unwrap();
-        let truth_front: Vec<Vec<f64>> =
-            truth.pareto_front().iter().map(|e| e.objectives.clone()).collect();
-        prop_assert_eq!(
-            inverted_generational_distance(&truth_front, &truth_front), 0.0);
+/// IGD of the exhaustive front against itself is zero; any sampled
+/// subset has non-negative IGD.
+#[test]
+fn igd_properties() {
+    let space = DesignSpace::new(vec![16, 16]).unwrap();
+    let truth = ExhaustiveSearch::new().run(&space, &Weighted, 10_000).unwrap();
+    let truth_front: Vec<Vec<f64>> =
+        truth.pareto_front().iter().map(|e| e.objectives.clone()).collect();
+    assert_eq!(inverted_generational_distance(&truth_front, &truth_front), 0.0);
+    for seed in 0..CASES {
         let sampled = RandomSearch::new(seed).run(&space, &Weighted, 20).unwrap();
         let approx: Vec<Vec<f64>> =
             sampled.pareto_front().iter().map(|e| e.objectives.clone()).collect();
-        prop_assert!(inverted_generational_distance(&approx, &truth_front) >= 0.0);
+        assert!(inverted_generational_distance(&approx, &truth_front) >= 0.0, "seed {seed}");
     }
+}
 
-    /// All optimizers respect the budget and never report points outside
-    /// the space.
-    #[test]
-    fn optimizers_respect_budget_and_space(seed in 0u64..32, budget in 4usize..40) {
+/// All optimizers respect the budget and never report points outside
+/// the space.
+#[test]
+fn optimizers_respect_budget_and_space() {
+    for case in 0..32 {
+        let mut rng = Rng::seed_stream(0xd5e_0006, case);
+        let seed = rng.next_u64();
+        let budget = rng.range_usize(4, 40);
         let space = DesignSpace::new(vec![16, 16]).unwrap();
         let results = [
             RandomSearch::new(seed).run(&space, &Weighted, budget).unwrap(),
@@ -128,38 +156,40 @@ proptest! {
             AnnealingOptimizer::new(seed).run(&space, &Weighted, budget).unwrap(),
         ];
         for r in results {
-            prop_assert!(r.evaluation_count() <= budget, "{} over budget", r.algorithm);
+            assert!(r.evaluation_count() <= budget, "case {case}: {} over budget", r.algorithm);
             for e in &r.evaluations {
-                prop_assert!(space.contains(&e.point));
+                assert!(space.contains(&e.point), "case {case}");
             }
             // Hypervolume trace is monotone.
             for w in r.hypervolume_trace.windows(2) {
-                prop_assert!(w[1] >= w[0] - 1e-12);
+                assert!(w[1] >= w[0] - 1e-12, "case {case}");
             }
         }
     }
+}
 
-    /// A memoizing evaluator never returns stale objectives: for any
-    /// query sequence (duplicates included), every answer equals a fresh
-    /// inner evaluation, and the bookkeeping adds up.
-    #[test]
-    fn cached_evaluator_never_stale(
-        queries in prop::collection::vec(
-            prop::collection::vec(0usize..16, 2..=2), 1..64)
-    ) {
+/// A memoizing evaluator never returns stale objectives: for any query
+/// sequence (duplicates included), every answer equals a fresh inner
+/// evaluation, and the bookkeeping adds up.
+#[test]
+fn cached_evaluator_never_stale() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_stream(0xd5e_0007, case);
+        let queries: Vec<Vec<usize>> =
+            (0..rng.range_usize(1, 64)).map(|_| vec![rng.below(16), rng.below(16)]).collect();
         let cached = CachedEvaluator::new(Weighted);
         for q in &queries {
             let fresh = Weighted.evaluate(q).unwrap();
-            prop_assert_eq!(cached.evaluate(q).unwrap(), fresh.clone(), "query {:?}", q);
+            assert_eq!(cached.evaluate(q).unwrap(), fresh.clone(), "case {case}: query {q:?}");
             // The stored entry matches what was just returned.
-            prop_assert_eq!(cached.peek(q), Some(fresh));
+            assert_eq!(cached.peek(q), Some(fresh), "case {case}");
         }
         let mut distinct: Vec<&Vec<usize>> = queries.iter().collect();
         distinct.sort();
         distinct.dedup();
         let stats = cached.stats();
-        prop_assert_eq!(stats.misses, distinct.len());
-        prop_assert_eq!(stats.entries, distinct.len());
-        prop_assert_eq!(stats.hits, queries.len() - distinct.len());
+        assert_eq!(stats.misses, distinct.len(), "case {case}");
+        assert_eq!(stats.entries, distinct.len(), "case {case}");
+        assert_eq!(stats.hits, queries.len() - distinct.len(), "case {case}");
     }
 }

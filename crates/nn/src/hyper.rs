@@ -1,6 +1,5 @@
 //! Hyperparameters of the E2E template and the Table II search space.
 
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -15,7 +14,7 @@ pub const FILTER_CHOICES: [usize; 3] = [32, 48, 64];
 /// Only values listed in Table II of the paper are accepted; use
 /// [`PolicyHyperparams::enumerate`] to iterate over the full 27-point
 /// algorithm space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PolicyHyperparams {
     conv_layers: usize,
     filters: usize,

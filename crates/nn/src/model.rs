@@ -1,6 +1,5 @@
 //! Concrete layer stacks expanded from the template.
 
-use serde::{Deserialize, Serialize};
 use systolic_sim::Layer;
 
 use crate::hyper::PolicyHyperparams;
@@ -10,7 +9,7 @@ use crate::template::TemplateConfig;
 ///
 /// The model owns the exact [`Layer`] sequence the accelerator executes;
 /// this is what Phase 2 hands to the systolic simulator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PolicyModel {
     hyper: PolicyHyperparams,
     template: TemplateConfig,

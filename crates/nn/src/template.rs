@@ -1,7 +1,5 @@
 //! The multi-modal template geometry (Fig. 2a).
 
-use serde::{Deserialize, Serialize};
-
 /// Fixed geometry of the multi-modal E2E template.
 ///
 /// The paper's Fig. 2a template consumes an RGB camera frame plus a
@@ -10,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// fixed 4x4 grid, concatenates the state, and applies two wide dense
 /// layers before the discrete action head. Only the trunk depth and filter
 /// count are searched; everything here is part of the (fixed) template.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TemplateConfig {
     /// Camera frame height and width in pixels (square input).
     pub image_hw: usize,

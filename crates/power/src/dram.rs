@@ -1,12 +1,10 @@
 //! LPDDR4 DRAM power model (Micron power-calculator style).
 
-use serde::{Deserialize, Serialize};
-
 use crate::calib;
 
 /// DRAM energy model: access energy proportional to traffic plus a
 /// constant background (standby/refresh) power.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramModel {
     energy_per_byte_j: f64,
     background_w: f64,

@@ -1,12 +1,10 @@
 //! Processing-element energy model (Li et al., DAC 2019 style).
 
-use serde::{Deserialize, Serialize};
-
 use crate::calib;
 use crate::technode::TechNode;
 
 /// Energy/power model of the MAC array.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PeModel {
     node: TechNode,
 }

@@ -1,6 +1,5 @@
 //! Whole-SoC power aggregation (Table III).
 
-use serde::{Deserialize, Serialize};
 use systolic_sim::{ArrayConfig, NetworkStats};
 
 use crate::calib;
@@ -13,7 +12,7 @@ use crate::thermal;
 /// Power model for the full DSSoC of Fig. 3a: accelerator subsystem
 /// (PE array + scratchpads + DRAM) plus the fixed platform components
 /// (two ULP MCU cores, RGB sensor, MIPI interface).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SocPowerModel {
     pe: PeModel,
     sram: SramModel,
@@ -108,7 +107,7 @@ impl Default for SocPowerModel {
 }
 
 /// Power evaluation of one (configuration, network) pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerReport {
     /// Inference latency the energies are amortized over, in seconds.
     pub latency_s: f64,

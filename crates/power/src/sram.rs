@@ -1,13 +1,11 @@
 //! CACTI-style SRAM energy/leakage model.
 
-use serde::{Deserialize, Serialize};
-
 use crate::calib;
 use crate::technode::TechNode;
 
 /// Analytic SRAM model: per-access energy grows sub-linearly with
 /// capacity (longer bit/word lines), leakage grows linearly.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SramModel {
     node: TechNode,
 }

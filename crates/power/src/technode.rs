@@ -1,6 +1,5 @@
 //! Technology-node scaling used by AutoPilot's architectural fine-tuning.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Silicon process node.
@@ -9,7 +8,7 @@ use std::fmt;
 /// may move a near-knee design to a denser node to shave power. Scaling
 /// factors are conventional full-node estimates (dynamic energy scales
 /// with `C V^2`, leakage improves more slowly).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TechNode {
     /// 28 nm planar (baseline, scaling factor 1.0).
     #[default]

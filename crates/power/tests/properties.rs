@@ -1,85 +1,118 @@
-//! Property-based tests for the power/thermal models.
+//! Randomized property tests for the power/thermal models, driven by
+//! seeded `autopilot-rng` streams (one deterministic stream per test
+//! and case, so failures reproduce exactly).
 
-use proptest::prelude::*;
+use autopilot_rng::Rng;
 use soc_power::{compute_payload_grams, DramModel, PeModel, SocPowerModel, SramModel, TechNode};
 use systolic_sim::{ArrayConfig, Layer, Simulator};
 
-fn arb_node() -> impl Strategy<Value = TechNode> {
-    prop::sample::select(vec![TechNode::N28, TechNode::N16, TechNode::N7])
+const CASES: u64 = 48;
+
+fn case_rng(tag: u64, case: u64) -> Rng {
+    Rng::seed_stream(0x50c_0000 + tag, case)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn any_node(rng: &mut Rng) -> TechNode {
+    [TechNode::N28, TechNode::N16, TechNode::N7][rng.below(3)]
+}
 
-    /// SRAM access energy grows with capacity but sub-linearly.
-    #[test]
-    fn sram_energy_sublinear(node in arb_node(), kb in 8usize..2048) {
+/// SRAM access energy grows with capacity but sub-linearly.
+#[test]
+fn sram_energy_sublinear() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let node = any_node(&mut rng);
+        let kb = rng.range_usize(8, 2048);
         let m = SramModel::new(node);
         let e1 = m.access_energy_j(kb * 1024);
         let e2 = m.access_energy_j(4 * kb * 1024);
-        prop_assert!(e2 > e1);
-        prop_assert!(e2 < 4.0 * e1);
+        assert!(e2 > e1, "case {case}");
+        assert!(e2 < 4.0 * e1, "case {case}");
     }
+}
 
-    /// PE dynamic energy is exactly linear in MAC count.
-    #[test]
-    fn pe_energy_linear(node in arb_node(), macs in 1u64..10_000_000) {
+/// PE dynamic energy is exactly linear in MAC count.
+#[test]
+fn pe_energy_linear() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let node = any_node(&mut rng);
+        let macs = rng.range_usize(1, 10_000_000) as u64;
         let m = PeModel::new(node);
         let e = m.dynamic_energy_j(macs);
-        prop_assert!((m.dynamic_energy_j(3 * macs) - 3.0 * e).abs() < e * 1e-9);
+        assert!((m.dynamic_energy_j(3 * macs) - 3.0 * e).abs() < e * 1e-9, "case {case}");
     }
+}
 
-    /// DRAM access energy is linear in traffic and non-negative.
-    #[test]
-    fn dram_energy_linear(bytes in 1u64..1_000_000_000) {
+/// DRAM access energy is linear in traffic and non-negative.
+#[test]
+fn dram_energy_linear() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let bytes = rng.range_usize(1, 1_000_000_000) as u64;
         let m = DramModel::new();
-        prop_assert!(m.access_energy_j(bytes) > 0.0);
-        prop_assert!(
-            (m.access_energy_j(2 * bytes) - 2.0 * m.access_energy_j(bytes)).abs() < 1e-12
+        assert!(m.access_energy_j(bytes) > 0.0, "case {case}");
+        assert!(
+            (m.access_energy_j(2 * bytes) - 2.0 * m.access_energy_j(bytes)).abs() < 1e-12,
+            "case {case}"
         );
     }
+}
 
-    /// Payload weight is monotone in TDP and at least the motherboard.
-    #[test]
-    fn payload_monotone(tdp in 0.0f64..40.0, extra in 0.01f64..20.0) {
-        prop_assert!(compute_payload_grams(tdp) >= soc_power::MOTHERBOARD_GRAMS);
-        prop_assert!(compute_payload_grams(tdp + extra) > compute_payload_grams(tdp));
+/// Payload weight is monotone in TDP and at least the motherboard.
+#[test]
+fn payload_monotone() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let tdp = rng.range_f64(0.0, 40.0);
+        let extra = rng.range_f64(0.01, 20.0);
+        assert!(compute_payload_grams(tdp) >= soc_power::MOTHERBOARD_GRAMS, "case {case}");
+        assert!(compute_payload_grams(tdp + extra) > compute_payload_grams(tdp), "case {case}");
     }
+}
 
-    /// For any simulated layer, average power is positive, below TDP,
-    /// and improves at denser technology nodes.
-    #[test]
-    fn soc_power_sane_for_any_config(
-        pe_exp in 3u32..8,
-        sram_kb in prop::sample::select(vec![32usize, 128, 1024]),
-        channels in 1usize..32,
-    ) {
-        let pe = 1usize << pe_exp;
+/// For any simulated layer, average power is positive, below TDP, and
+/// improves at denser technology nodes.
+#[test]
+fn soc_power_sane_for_any_config() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let pe = 1usize << rng.range_inclusive(3, 7);
+        let sram_kb = [32usize, 128, 1024][rng.below(3)];
+        let channels = rng.range_usize(1, 32);
         let cfg = ArrayConfig::builder()
-            .rows(pe).cols(pe)
-            .ifmap_sram_kb(sram_kb).filter_sram_kb(sram_kb).ofmap_sram_kb(sram_kb)
-            .build().unwrap();
+            .rows(pe)
+            .cols(pe)
+            .ifmap_sram_kb(sram_kb)
+            .filter_sram_kb(sram_kb)
+            .ofmap_sram_kb(sram_kb)
+            .build()
+            .expect("valid array config");
         let stats = Simulator::new(cfg.clone())
             .simulate_network(&[Layer::conv2d(48, 48, channels, 32, 3, 1, 1)]);
         let base = SocPowerModel::at_node(TechNode::N28).evaluate(&cfg, &stats);
         let dense = SocPowerModel::at_node(TechNode::N7).evaluate(&cfg, &stats);
-        prop_assert!(base.total_avg_w() > 0.0);
-        prop_assert!(base.accelerator_avg_w() <= base.tdp_w() * 1.001);
-        prop_assert!(dense.tdp_w() < base.tdp_w());
-        prop_assert!(dense.accelerator_avg_w() < base.accelerator_avg_w());
+        assert!(base.total_avg_w() > 0.0, "case {case}");
+        assert!(base.accelerator_avg_w() <= base.tdp_w() * 1.001, "case {case}");
+        assert!(dense.tdp_w() < base.tdp_w(), "case {case}");
+        assert!(dense.accelerator_avg_w() < base.accelerator_avg_w(), "case {case}");
     }
+}
 
-    /// Frame energy equals the sum of its components.
-    #[test]
-    fn frame_energy_components(pe_exp in 3u32..7) {
-        let pe = 1usize << pe_exp;
-        let cfg = ArrayConfig::builder().rows(pe).cols(pe).build().unwrap();
-        let stats = Simulator::new(cfg.clone())
-            .simulate_network(&[Layer::conv2d(32, 32, 8, 16, 3, 1, 1)]);
+/// Frame energy equals the sum of its components.
+#[test]
+fn frame_energy_components() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let pe = 1usize << rng.range_inclusive(3, 6);
+        let cfg = ArrayConfig::builder().rows(pe).cols(pe).build().expect("valid array config");
+        let stats =
+            Simulator::new(cfg.clone()).simulate_network(&[Layer::conv2d(32, 32, 8, 16, 3, 1, 1)]);
         let r = SocPowerModel::new().evaluate(&cfg, &stats);
-        prop_assert!(
+        assert!(
             (r.frame_energy_j() - (r.pe_energy_j + r.sram_energy_j + r.dram_energy_j)).abs()
-                < 1e-15
+                < 1e-15,
+            "case {case}"
         );
     }
 }

@@ -1,0 +1,121 @@
+//! The ChaCha block function (Bernstein's original 64/64 layout).
+//!
+//! State layout is the classic 4x4 word matrix: four constant words
+//! ("expand 32-byte k"), eight key words, a 64-bit little-endian block
+//! counter in words 12-13, and a 64-bit stream (nonce) in words 14-15.
+//! This is the eSTREAM/djb variant — the same one `rand_chacha` uses —
+//! so the 12-round keystream is directly comparable to the published
+//! eSTREAM ChaCha12 test vectors, and the RFC 8439 (IETF) vectors are
+//! expressible by packing the 32-bit counter and 96-bit nonce into the
+//! same four tail words.
+
+/// "expand 32-byte k" as little-endian words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: 16 keystream words for (`key`, `counter`, `stream`)
+/// after `rounds` rounds (12 for the production generator, 20 for the
+/// RFC 8439 known-answer tests). `rounds` must be even; odd values are
+/// rounded down to the preceding double-round.
+pub fn chacha_block(key: &[u32; 8], counter: u64, stream: u64, rounds: usize) -> [u32; 16] {
+    let init: [u32; 16] = [
+        SIGMA[0],
+        SIGMA[1],
+        SIGMA[2],
+        SIGMA[3],
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        stream as u32,
+        (stream >> 32) as u32,
+    ];
+    let mut state = init;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (word, start) in state.iter_mut().zip(init) {
+        *word = word.wrapping_add(start);
+    }
+    state
+}
+
+/// Serializes a keystream block to the canonical little-endian byte
+/// stream the test vectors are published in.
+pub fn block_bytes(block: &[u32; 16]) -> [u8; 64] {
+    let mut out = [0u8; 64];
+    for (chunk, word) in out.chunks_exact_mut(4).zip(block) {
+        chunk.copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Unpacks a 32-byte key into the eight little-endian state words.
+pub fn key_words(key: &[u8; 32]) -> [u32; 8] {
+    let mut words = [0u32; 8];
+    for (word, chunk) in words.iter_mut().zip(key.chunks_exact(4)) {
+        *word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_advances_the_block() {
+        let key = [0u32; 8];
+        assert_ne!(chacha_block(&key, 0, 0, 12), chacha_block(&key, 1, 0, 12));
+    }
+
+    #[test]
+    fn stream_words_separate_streams() {
+        let key = [7u32; 8];
+        assert_ne!(chacha_block(&key, 0, 0, 12), chacha_block(&key, 0, 1, 12));
+    }
+
+    #[test]
+    fn key_words_are_little_endian() {
+        let mut key = [0u8; 32];
+        key[0] = 0x01;
+        key[4] = 0x02;
+        let words = key_words(&key);
+        assert_eq!(words[0], 0x01);
+        assert_eq!(words[1], 0x02);
+    }
+
+    #[test]
+    fn block_bytes_are_little_endian() {
+        let mut block = [0u32; 16];
+        block[0] = 0x0403_0201;
+        let bytes = block_bytes(&block);
+        assert_eq!(&bytes[..4], &[0x01, 0x02, 0x03, 0x04]);
+    }
+}

@@ -1,0 +1,34 @@
+//! # autopilot-rng
+//!
+//! Zero-dependency deterministic randomness for the AutoPilot
+//! reproduction: a [ChaCha12](chacha::chacha_block) keystream generator
+//! ([`Rng`]) with [SplitMix64](SplitMix64) seed expansion and stream
+//! derivation, plus the exact sampling surface the workspace uses —
+//! uniform integers and floats, bias-free bounded ranges, Box-Muller
+//! Gaussians, Fisher-Yates shuffles, and weighted/tournament choice.
+//!
+//! Every stochastic result in the pipeline — Phase-1 policy sampling,
+//! Phase-2 optimizer seeds, Phase-3 scenario fan-out — flows through
+//! this crate, so reproducibility reduces to two auditable properties,
+//! both pinned by tests:
+//!
+//! * the ChaCha12 core matches the published eSTREAM keystream vectors
+//!   (and the 20-round core matches RFC 8439), and SplitMix64 matches
+//!   its reference outputs — see `tests/known_answer.rs`;
+//! * the sampling layer is exactly uniform and deterministic — see
+//!   `tests/properties.rs`.
+//!
+//! ChaCha12 was chosen over a small non-cryptographic generator because
+//! the DSE engine splits work across threads and scenarios: ChaCha's
+//! keyed streams (64-bit stream label, 64-bit block counter) give
+//! provably non-overlapping substreams without coordination, and twelve
+//! rounds still clears every statistical test battery with margin while
+//! costing a fraction of a microsecond per 64-byte block.
+
+mod chacha;
+mod rng;
+mod splitmix;
+
+pub use chacha::{block_bytes, chacha_block, key_words};
+pub use rng::Rng;
+pub use splitmix::{mix64, SplitMix64, GOLDEN_GAMMA};

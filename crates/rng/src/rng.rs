@@ -1,0 +1,353 @@
+//! The production generator: a buffered ChaCha12 keystream with the
+//! sampling surface the AutoPilot pipeline uses.
+
+use crate::chacha::{chacha_block, key_words};
+use crate::splitmix::{mix64, SplitMix64};
+
+/// A deterministic random-number generator on a ChaCha12 keystream.
+///
+/// # Seeding conventions
+///
+/// * [`Rng::seed_from_u64`] expands a 64-bit seed into a 256-bit key via
+///   SplitMix64 and starts stream 0 — the primary stream of that seed.
+/// * [`Rng::seed_stream`] keeps the same key but starts an independent
+///   keystream selected by a 64-bit stream label (ChaCha's nonce words),
+///   for sibling generators that must never overlap: per-phase roles,
+///   per-worker lanes, per-scenario fan-out.
+/// * [`Rng::split`] derives a child generator with a *new* key folded
+///   from the parent key and a label, for nested derivation when no
+///   shared root seed is in scope.
+///
+/// Two generators with different seeds, different stream labels, or
+/// different split labels produce unrelated sequences; the same
+/// construction always reproduces the same sequence bit-for-bit on every
+/// platform (the core is pure integer arithmetic on little-endian
+/// words).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    key: [u32; 8],
+    stream: u64,
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unconsumed word in `buf`; 16 means the buffer is spent.
+    cursor: usize,
+    /// Cached second Box-Muller variate.
+    gauss_spare: Option<f64>,
+}
+
+impl Rng {
+    /// Creates a generator from a full 256-bit key on stream 0.
+    pub fn from_key(key: [u8; 32]) -> Rng {
+        Rng::from_parts(key_words(&key), 0)
+    }
+
+    /// Creates a generator by expanding `seed` with SplitMix64
+    /// (stream 0).
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        Rng::from_parts(SplitMix64::new(seed).key(), 0)
+    }
+
+    /// Creates a generator with `seed`'s key on the independent stream
+    /// `stream` (`seed_stream(s, 0)` equals `seed_from_u64(s)`).
+    pub fn seed_stream(seed: u64, stream: u64) -> Rng {
+        Rng::from_parts(SplitMix64::new(seed).key(), stream)
+    }
+
+    /// Derives an independent child generator from this generator's key
+    /// and `label`, without consuming any of this generator's stream.
+    ///
+    /// Children of one parent with distinct labels — and children of
+    /// distinct parents with any labels — produce unrelated streams.
+    pub fn split(&self, label: u64) -> Rng {
+        let mut folded = mix64(label ^ crate::splitmix::GOLDEN_GAMMA);
+        for pair in self.key.chunks_exact(2) {
+            let word = (pair[1] as u64) << 32 | pair[0] as u64;
+            folded = mix64(folded ^ word);
+        }
+        Rng::from_parts(SplitMix64::new(folded).key(), 0)
+    }
+
+    fn from_parts(key: [u32; 8], stream: u64) -> Rng {
+        Rng { key, stream, counter: 0, buf: [0; 16], cursor: 16, gauss_spare: None }
+    }
+
+    /// The stream label this generator draws from.
+    pub fn stream(&self) -> u64 {
+        self.stream
+    }
+
+    /// The next keystream word.
+    pub fn next_u32(&mut self) -> u32 {
+        if self.cursor == 16 {
+            self.buf = chacha_block(&self.key, self.counter, self.stream, 12);
+            self.counter = self.counter.wrapping_add(1);
+            self.cursor = 0;
+        }
+        let word = self.buf[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    /// The next 64 bits (two keystream words, low word first).
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        hi << 32 | lo
+    }
+
+    /// Fills `dest` from the keystream (little-endian word order, the
+    /// byte stream the known-answer vectors are published in).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`); always draws
+    /// exactly one `f64` so the stream advances identically either way.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniform `u64` in `[0, n)` by Lemire's multiply-shift rejection —
+    /// exactly uniform, no modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero (an empty range has no sample).
+    pub fn bounded_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty sampling range");
+        let mut product = self.next_u64() as u128 * n as u128;
+        if (product as u64) < n {
+            // 2^64 mod n, computed without 128-bit division.
+            let threshold = n.wrapping_neg() % n;
+            while (product as u64) < threshold {
+                product = self.next_u64() as u128 * n as u128;
+            }
+        }
+        (product >> 64) as u64
+    }
+
+    /// Uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.bounded_u64(n as u64) as usize
+    }
+
+    /// Uniform `usize` in the half-open range `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty sampling range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `usize` in the closed range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "empty sampling range");
+        let width = (hi - lo) as u64;
+        if width == u64::MAX {
+            return self.next_u64() as usize;
+        }
+        lo + self.bounded_u64(width + 1) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)` (degenerate ranges return `lo`).
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// A standard-normal variate by the Box-Muller transform (the
+    /// second variate of each pair is cached, so consecutive calls
+    /// consume the keystream only every other time).
+    pub fn next_gaussian(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // u1 must be nonzero for the logarithm; the loop terminates with
+        // probability 1 and in practice immediately.
+        let mut u1 = self.next_f64();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = self.next_f64();
+        }
+        let u2 = self.next_f64();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let angle = 2.0 * std::f64::consts::PI * u2;
+        self.gauss_spare = Some(radius * angle.sin());
+        radius * angle.cos()
+    }
+
+    /// A normal variate with the given mean and standard deviation.
+    pub fn gaussian(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.next_gaussian()
+    }
+
+    /// Fisher-Yates shuffle (uniform over all permutations).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, or `None` for an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.below(items.len())])
+        }
+    }
+
+    /// An index drawn with probability proportional to its weight.
+    /// Negative weights count as zero; returns `None` when the slice is
+    /// empty or no weight is positive and finite.
+    pub fn choose_weighted(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 =
+            weights.iter().map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 }).sum();
+        if total <= 0.0 || !total.is_finite() {
+            return None;
+        }
+        let mut remaining = self.next_f64() * total;
+        let mut last_eligible = 0;
+        for (i, &w) in weights.iter().enumerate() {
+            let w = if w.is_finite() && w > 0.0 { w } else { continue };
+            last_eligible = i;
+            if remaining < w {
+                return Some(i);
+            }
+            remaining -= w;
+        }
+        // Floating-point slack on the final boundary.
+        Some(last_eligible)
+    }
+
+    /// Tournament selection: draws `rounds` uniform indices in
+    /// `[0, len)` and keeps the winner under `better(candidate,
+    /// incumbent)`. Returns `None` when `len` or `rounds` is zero.
+    pub fn tournament(
+        &mut self,
+        len: usize,
+        rounds: usize,
+        better: impl Fn(usize, usize) -> bool,
+    ) -> Option<usize> {
+        if len == 0 || rounds == 0 {
+            return None;
+        }
+        let mut winner = self.below(len);
+        for _ in 1..rounds {
+            let challenger = self.below(len);
+            if better(challenger, winner) {
+                winner = challenger;
+            }
+        }
+        Some(winner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seeds_identical_streams() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seed_stream_zero_is_primary() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_stream(7, 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_matches_word_stream() {
+        let mut a = Rng::seed_from_u64(5);
+        let mut b = Rng::seed_from_u64(5);
+        let mut bytes = [0u8; 8];
+        a.fill_bytes(&mut bytes);
+        assert_eq!(u64::from_le_bytes(bytes), b.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_handles_ragged_tails() {
+        let mut a = Rng::seed_from_u64(5);
+        let mut whole = [0u8; 7];
+        a.fill_bytes(&mut whole);
+        let mut b = Rng::seed_from_u64(5);
+        let word0 = b.next_u32().to_le_bytes();
+        let word1 = b.next_u32().to_le_bytes();
+        assert_eq!(&whole[..4], &word0);
+        assert_eq!(&whole[4..], &word1[..3]);
+    }
+
+    #[test]
+    fn split_is_stable_and_label_sensitive() {
+        let parent = Rng::seed_from_u64(1);
+        assert_eq!(parent.split(3).next_u64(), parent.split(3).next_u64());
+        assert_ne!(parent.split(3).next_u64(), parent.split(4).next_u64());
+        assert_ne!(parent.split(3).next_u64(), Rng::seed_from_u64(2).split(3).next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng::seed_from_u64(0);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.1));
+    }
+
+    #[test]
+    fn choose_weighted_respects_zero_weights() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..200 {
+            let i = rng.choose_weighted(&[0.0, 2.0, 0.0]).unwrap();
+            assert_eq!(i, 1);
+        }
+        assert_eq!(rng.choose_weighted(&[]), None);
+        assert_eq!(rng.choose_weighted(&[0.0, -1.0, f64::NAN]), None);
+    }
+
+    #[test]
+    fn tournament_prefers_winners() {
+        let mut rng = Rng::seed_from_u64(4);
+        // "Smaller index is better" with many rounds should find 0 often.
+        let mut zeros = 0;
+        for _ in 0..100 {
+            if rng.tournament(8, 8, |a, b| a < b) == Some(0) {
+                zeros += 1;
+            }
+        }
+        assert!(zeros > 50, "{zeros} of 100");
+        assert_eq!(rng.tournament(0, 2, |_, _| false), None);
+        assert_eq!(rng.tournament(5, 0, |_, _| false), None);
+    }
+
+    #[test]
+    fn gaussian_spare_keeps_determinism() {
+        let mut a = Rng::seed_from_u64(11);
+        let mut b = Rng::seed_from_u64(11);
+        let first: Vec<f64> = (0..10).map(|_| a.next_gaussian()).collect();
+        let second: Vec<f64> = (0..10).map(|_| b.next_gaussian()).collect();
+        assert_eq!(first, second);
+    }
+}

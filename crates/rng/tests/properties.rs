@@ -1,0 +1,216 @@
+//! Statistical and structural property tests for the sampling layer.
+//!
+//! These are deterministic (fixed seeds, fixed draw counts) so a failure
+//! is always reproducible; tolerances are sized for the configured
+//! sample counts with wide margin (> 10 sigma) to keep the suite free of
+//! statistical flakes while still catching real bias.
+
+use autopilot_rng::Rng;
+
+#[test]
+fn bounded_range_never_escapes() {
+    let mut rng = Rng::seed_from_u64(0x1a2b);
+    for (lo, hi) in [(0usize, 1usize), (0, 7), (3, 12), (100, 101), (0, 1 << 20)] {
+        for _ in 0..2_000 {
+            let v = rng.range_usize(lo, hi);
+            assert!((lo..hi).contains(&v), "{v} outside [{lo}, {hi})");
+        }
+    }
+    for (lo, hi) in [(0usize, 0usize), (1, 5), (9, 9)] {
+        for _ in 0..2_000 {
+            let v = rng.range_inclusive(lo, hi);
+            assert!((lo..=hi).contains(&v), "{v} outside [{lo}, {hi}]");
+        }
+    }
+    for _ in 0..2_000 {
+        let v = rng.range_f64(-1.0, 1.0);
+        assert!((-1.0..1.0).contains(&v));
+    }
+}
+
+#[test]
+fn uniform_f64_is_in_unit_interval_with_uniform_mass() {
+    let mut rng = Rng::seed_from_u64(7);
+    let n = 100_000;
+    let mut buckets = [0u32; 10];
+    let mut sum = 0.0;
+    for _ in 0..n {
+        let v = rng.next_f64();
+        assert!((0.0..1.0).contains(&v), "{v} outside [0, 1)");
+        buckets[(v * 10.0) as usize] += 1;
+        sum += v;
+    }
+    // Mean of U[0,1): 0.5 with sigma ~ 0.29/sqrt(n) ~ 0.0009.
+    let mean = sum / n as f64;
+    assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    // Each decile holds n/10 +- ~1% absolute.
+    for (i, &count) in buckets.iter().enumerate() {
+        let frac = count as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.01, "decile {i} holds {frac}");
+    }
+}
+
+#[test]
+fn bounded_sampling_is_unbiased_across_buckets() {
+    // 3 does not divide 2^64, so a naive modulo would skew these
+    // buckets by ~6e-18 relatively — invisible here — but a *buggy*
+    // rejection loop (e.g. an off-by-one threshold) skews them
+    // massively. Check equal occupancy on a divisor-free bound.
+    let mut rng = Rng::seed_from_u64(99);
+    let n = 90_000;
+    let mut counts = [0u32; 3];
+    for _ in 0..n {
+        counts[rng.below(3)] += 1;
+    }
+    for (i, &count) in counts.iter().enumerate() {
+        let frac = count as f64 / n as f64;
+        assert!((frac - 1.0 / 3.0).abs() < 0.01, "bucket {i} holds {frac}");
+    }
+}
+
+#[test]
+fn gaussian_moments_at_100k() {
+    let mut rng = Rng::seed_from_u64(0x9a55);
+    let n = 100_000;
+    let samples: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+    // sigma(mean) ~ 1/sqrt(n) ~ 0.0032; sigma(var) ~ sqrt(2/n) ~ 0.0045.
+    assert!(mean.abs() < 0.02, "mean {mean}");
+    assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    // Scaled variant.
+    let mut rng = Rng::seed_from_u64(0x9a56);
+    let scaled: Vec<f64> = (0..n).map(|_| rng.gaussian(5.0, 2.0)).collect();
+    let mean = scaled.iter().sum::<f64>() / n as f64;
+    let var = scaled.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+    assert!((mean - 5.0).abs() < 0.05, "scaled mean {mean}");
+    assert!((var - 4.0).abs() < 0.15, "scaled variance {var}");
+}
+
+#[test]
+fn shuffle_is_always_a_permutation() {
+    let mut rng = Rng::seed_from_u64(21);
+    for len in [0usize, 1, 2, 5, 17, 100] {
+        for _ in 0..50 {
+            let mut items: Vec<usize> = (0..len).collect();
+            rng.shuffle(&mut items);
+            let mut sorted = items.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..len).collect::<Vec<_>>(), "len {len}: {items:?}");
+        }
+    }
+}
+
+#[test]
+fn shuffle_moves_mass_uniformly() {
+    // Position 0's element should land everywhere equally often.
+    let mut rng = Rng::seed_from_u64(22);
+    let n = 30_000;
+    let mut landed = [0u32; 5];
+    for _ in 0..n {
+        let mut items = [0usize, 1, 2, 3, 4];
+        rng.shuffle(&mut items);
+        let pos = items.iter().position(|&v| v == 0).unwrap();
+        landed[pos] += 1;
+    }
+    for (i, &count) in landed.iter().enumerate() {
+        let frac = count as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.02, "slot {i} holds {frac}");
+    }
+}
+
+#[test]
+fn identical_seeds_give_identical_streams() {
+    for seed in [0u64, 1, 42, u64::MAX] {
+        let mut a = Rng::seed_from_u64(seed);
+        let mut b = Rng::seed_from_u64(seed);
+        let left: Vec<u64> = (0..1_000).map(|_| a.next_u64()).collect();
+        let right: Vec<u64> = (0..1_000).map(|_| b.next_u64()).collect();
+        assert_eq!(left, right, "seed {seed}");
+    }
+}
+
+#[test]
+fn split_streams_never_collide_on_10k_prefix() {
+    use std::collections::HashSet;
+    let parent = Rng::seed_from_u64(0xf00d);
+    let mut streams: Vec<Vec<u64>> = Vec::new();
+    // Sibling splits of one parent, nested splits, and distinct stream
+    // labels of one seed all have to be pairwise disjoint.
+    for label in 0..4 {
+        let mut child = parent.split(label);
+        streams.push((0..10_000).map(|_| child.next_u64()).collect());
+    }
+    let mut nested = parent.split(0).split(0);
+    streams.push((0..10_000).map(|_| nested.next_u64()).collect());
+    for stream_label in 1..3 {
+        let mut sibling = Rng::seed_stream(0xf00d, stream_label);
+        streams.push((0..10_000).map(|_| sibling.next_u64()).collect());
+    }
+    // No draw appears in two different streams (u64 draws collide with
+    // probability ~ (7 * 10^4)^2 / 2^64 ~ 3e-10 — a hit means real
+    // correlation, not chance).
+    let mut seen: HashSet<u64> = HashSet::new();
+    for (i, stream) in streams.iter().enumerate() {
+        for &draw in stream {
+            assert!(seen.insert(draw), "stream {i} repeats draw {draw:#x}");
+        }
+    }
+}
+
+#[test]
+fn chance_tracks_probability() {
+    let mut rng = Rng::seed_from_u64(0xbeef);
+    let n = 50_000;
+    for p in [0.05f64, 0.5, 0.9] {
+        let hits = (0..n).filter(|_| rng.chance(p)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - p).abs() < 0.02, "p={p}: observed {frac}");
+    }
+}
+
+#[test]
+fn weighted_choice_tracks_weights() {
+    let mut rng = Rng::seed_from_u64(0xcafe);
+    let weights = [1.0f64, 3.0, 0.0, 6.0];
+    let n = 50_000;
+    let mut counts = [0u32; 4];
+    for _ in 0..n {
+        counts[rng.choose_weighted(&weights).unwrap()] += 1;
+    }
+    assert_eq!(counts[2], 0, "zero-weight index drawn");
+    for (i, expected) in [(0usize, 0.1f64), (1, 0.3), (3, 0.6)] {
+        let frac = counts[i] as f64 / n as f64;
+        assert!((frac - expected).abs() < 0.02, "index {i} holds {frac}, expected {expected}");
+    }
+}
+
+#[test]
+fn choose_is_uniform_and_total() {
+    let mut rng = Rng::seed_from_u64(5);
+    let items = ["a", "b", "c", "d"];
+    let n = 40_000;
+    let mut counts = [0u32; 4];
+    for _ in 0..n {
+        let pick = rng.choose(&items).unwrap();
+        counts[items.iter().position(|i| i == pick).unwrap()] += 1;
+    }
+    for (i, &count) in counts.iter().enumerate() {
+        let frac = count as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "item {i} holds {frac}");
+    }
+    let empty: [&str; 0] = [];
+    assert!(rng.choose(&empty).is_none());
+}
+
+#[test]
+fn lemire_handles_extreme_bounds() {
+    let mut rng = Rng::seed_from_u64(8);
+    // Bounds adjacent to powers of two exercise the rejection threshold.
+    for n in [1u64, 2, 3, (1 << 63) - 1, 1 << 63, (1 << 63) + 1, u64::MAX] {
+        for _ in 0..200 {
+            assert!(rng.bounded_u64(n) < n, "bound {n}");
+        }
+    }
+    assert_eq!(rng.bounded_u64(1), 0);
+}

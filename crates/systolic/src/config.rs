@@ -1,7 +1,5 @@
 //! Accelerator array configuration.
 
-use serde::{Deserialize, Serialize};
-
 use crate::dataflow::Dataflow;
 use crate::error::ConfigError;
 
@@ -28,7 +26,7 @@ use crate::error::ConfigError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArrayConfig {
     rows: usize,
     cols: usize,

@@ -18,13 +18,12 @@
 //! pipeline fill/drain skew of `R + C - 2` cycles plus one cycle per element
 //! streamed through a PE.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::layer::GemmShape;
 
 /// Dataflow mapping strategy for the systolic array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Dataflow {
     /// Each PE owns one output element (no partial-sum traffic).
     #[default]
@@ -60,7 +59,7 @@ impl fmt::Display for Dataflow {
 ///
 /// Produced by [`FoldPlan::plan`]; consumed by the simulator core and the
 /// trace generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FoldPlan {
     /// Dataflow used to build this plan.
     pub dataflow: Dataflow,

@@ -1,14 +1,12 @@
 //! Network layer descriptions and their GEMM lowering.
 
-use serde::{Deserialize, Serialize};
-
 /// A single neural-network layer as seen by the accelerator.
 ///
 /// Convolutions are lowered to GEMM via im2col (the SCALE-Sim convention);
 /// dense layers map directly. Only the layers appearing in the AutoPilot E2E
 /// template are modelled, plus pooling (which executes on the vector path and
 /// contributes traffic but negligible MACs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum Layer {
     /// 2-D convolution over an `in_h x in_w x in_c` input producing `out_c`
@@ -157,7 +155,7 @@ fn conv_out(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
 }
 
 /// A GEMM problem `C[M x N] = A[M x K] * B[K x N]` as mapped onto the array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GemmShape {
     /// Output rows (convolution output pixels).
     pub m: usize,

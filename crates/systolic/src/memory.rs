@@ -13,14 +13,12 @@
 //! 3. **Streamed** — not even one tile fits: every SRAM read misses on
 //!    chip reuse and the full stream comes from DRAM.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::ArrayConfig;
 use crate::dataflow::{Dataflow, FoldPlan};
 use crate::layer::Layer;
 
 /// Identifies one of the three accelerator scratchpads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BufferKind {
     /// Input feature map buffer.
     Ifmap,
@@ -31,7 +29,7 @@ pub enum BufferKind {
 }
 
 /// Reuse tier assigned to an operand by the fit analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReuseTier {
     /// Whole operand resident on chip; fetched once.
     Resident,
@@ -42,7 +40,7 @@ pub enum ReuseTier {
 }
 
 /// DRAM traffic and stall plan for one layer on one configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScratchpadPlan {
     /// Reuse tier of the input feature map.
     pub ifmap_tier: ReuseTier,
@@ -157,7 +155,7 @@ impl ScratchpadPlan {
         let total_dram = dram_read + dram_write;
         let dram_cycles = (total_dram as f64 / bw).ceil() as u64;
         let overlap = plan.compute_cycles;
-        let stall_cycles = fill_cycles + dram_cycles.saturating_sub(overlap + fill_cycles).max(0);
+        let stall_cycles = fill_cycles + dram_cycles.saturating_sub(overlap + fill_cycles);
 
         ScratchpadPlan {
             ifmap_tier,

@@ -1,12 +1,10 @@
 //! Per-layer and per-network simulation reports.
 
-use serde::{Deserialize, Serialize};
-
 use crate::layer::Layer;
 use crate::memory::ReuseTier;
 
 /// Simulation results for a single layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerStats {
     /// The simulated layer.
     pub layer: Layer,
@@ -57,7 +55,7 @@ impl LayerStats {
 }
 
 /// Aggregated simulation results for a whole network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkStats {
     /// Per-layer results in network order.
     pub layers: Vec<LayerStats>,

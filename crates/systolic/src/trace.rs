@@ -7,13 +7,11 @@
 //! linear in access counts) while keeping traces small enough to iterate
 //! over millions of folds.
 
-use serde::{Deserialize, Serialize};
-
 use crate::dataflow::FoldPlan;
 use crate::memory::ScratchpadPlan;
 
 /// One fold-window of accelerator activity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEvent {
     /// First cycle of the window (inclusive).
     pub start_cycle: u64,
@@ -62,8 +60,8 @@ pub struct TraceIter {
 impl TraceIter {
     pub(crate) fn new(plan: FoldPlan, mem: ScratchpadPlan) -> TraceIter {
         let total_folds = plan.total_folds() as u64;
-        let per_fold_cycles = if total_folds > 0 { plan.compute_cycles / total_folds } else { 0 };
-        let div = |x: u64| if total_folds > 0 { x / total_folds } else { 0 };
+        let per_fold_cycles = plan.compute_cycles.checked_div(total_folds).unwrap_or(0);
+        let div = |x: u64| x.checked_div(total_folds).unwrap_or(0);
         TraceIter {
             plan,
             total_folds,

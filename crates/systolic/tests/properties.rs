@@ -1,140 +1,170 @@
-//! Property-based tests for the systolic-array simulator invariants.
+//! Randomized property tests for the systolic-array simulator
+//! invariants, driven by seeded `autopilot-rng` streams (one
+//! deterministic stream per test and case, so failures reproduce
+//! exactly).
 
-use proptest::prelude::*;
+use autopilot_rng::Rng;
 use systolic_sim::{ArrayConfig, Dataflow, FoldPlan, GemmShape, Layer, Simulator};
 
-fn arb_dataflow() -> impl Strategy<Value = Dataflow> {
-    prop_oneof![
-        Just(Dataflow::OutputStationary),
-        Just(Dataflow::WeightStationary),
-        Just(Dataflow::InputStationary),
-    ]
+const CASES: u64 = 64;
+
+fn case_rng(tag: u64, case: u64) -> Rng {
+    Rng::seed_stream(0x5157_0000 + tag, case)
 }
 
-fn arb_pow2(lo: u32, hi: u32) -> impl Strategy<Value = usize> {
-    (lo..=hi).prop_map(|e| 1usize << e)
+fn any_dataflow(rng: &mut Rng) -> Dataflow {
+    Dataflow::ALL[rng.below(Dataflow::ALL.len())]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn pow2(rng: &mut Rng, lo: u32, hi: u32) -> usize {
+    1usize << rng.range_inclusive(lo as usize, hi as usize)
+}
 
-    /// MACs executed never exceed the peak MAC slots of the compute window.
-    #[test]
-    fn utilization_never_exceeds_one(
-        df in arb_dataflow(),
-        rows in arb_pow2(3, 8),
-        cols in arb_pow2(3, 8),
-        m in 1usize..4000,
-        k in 1usize..4000,
-        n in 1usize..512,
-    ) {
+/// MACs executed never exceed the peak MAC slots of the compute window.
+#[test]
+fn utilization_never_exceeds_one() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let df = any_dataflow(&mut rng);
+        let rows = pow2(&mut rng, 3, 8);
+        let cols = pow2(&mut rng, 3, 8);
+        let m = rng.range_usize(1, 4000);
+        let k = rng.range_usize(1, 4000);
+        let n = rng.range_usize(1, 512);
         let plan = FoldPlan::plan(df, GemmShape { m, k, n }, rows, cols);
-        prop_assert!(plan.utilization() <= 1.0 + 1e-12);
-        prop_assert!(plan.utilization() >= 0.0);
+        assert!(plan.utilization() <= 1.0 + 1e-12, "case {case}");
+        assert!(plan.utilization() >= 0.0, "case {case}");
     }
+}
 
-    /// Compute cycles are at least the ideal (perfect utilization) bound.
-    #[test]
-    fn cycles_at_least_ideal(
-        df in arb_dataflow(),
-        rows in arb_pow2(3, 7),
-        cols in arb_pow2(3, 7),
-        m in 1usize..2000,
-        k in 1usize..2000,
-        n in 1usize..256,
-    ) {
-        let g = GemmShape { m, k, n };
+/// Compute cycles are at least the ideal (perfect utilization) bound.
+#[test]
+fn cycles_at_least_ideal() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let df = any_dataflow(&mut rng);
+        let rows = pow2(&mut rng, 3, 7);
+        let cols = pow2(&mut rng, 3, 7);
+        let g = GemmShape {
+            m: rng.range_usize(1, 2000),
+            k: rng.range_usize(1, 2000),
+            n: rng.range_usize(1, 256),
+        };
         let plan = FoldPlan::plan(df, g, rows, cols);
         let ideal = g.macs().div_ceil((rows * cols) as u64);
-        prop_assert!(plan.compute_cycles >= ideal);
+        assert!(plan.compute_cycles >= ideal, "case {case}");
     }
+}
 
-    /// Overhead cycles are a subset of compute cycles.
-    #[test]
-    fn overhead_subset_of_compute(
-        df in arb_dataflow(),
-        rows in arb_pow2(3, 7),
-        cols in arb_pow2(3, 7),
-        m in 1usize..2000,
-        k in 1usize..2000,
-        n in 1usize..256,
-    ) {
-        let plan = FoldPlan::plan(df, GemmShape { m, k, n }, rows, cols);
-        prop_assert!(plan.overhead_cycles <= plan.compute_cycles);
+/// Overhead cycles are a subset of compute cycles.
+#[test]
+fn overhead_subset_of_compute() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let df = any_dataflow(&mut rng);
+        let rows = pow2(&mut rng, 3, 7);
+        let cols = pow2(&mut rng, 3, 7);
+        let g = GemmShape {
+            m: rng.range_usize(1, 2000),
+            k: rng.range_usize(1, 2000),
+            n: rng.range_usize(1, 256),
+        };
+        let plan = FoldPlan::plan(df, g, rows, cols);
+        assert!(plan.overhead_cycles <= plan.compute_cycles, "case {case}");
     }
+}
 
-    /// Output-stationary SRAM write count equals output elements exactly.
-    #[test]
-    fn os_writes_every_output_once(
-        rows in arb_pow2(3, 7),
-        cols in arb_pow2(3, 7),
-        m in 1usize..2000,
-        k in 1usize..500,
-        n in 1usize..256,
-    ) {
-        let plan = FoldPlan::plan(
-            Dataflow::OutputStationary, GemmShape { m, k, n }, rows, cols);
-        prop_assert_eq!(plan.ofmap_sram_writes, (m * n) as u64);
-        prop_assert_eq!(plan.ofmap_sram_reads, 0);
+/// Output-stationary SRAM write count equals output elements exactly.
+#[test]
+fn os_writes_every_output_once() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let rows = pow2(&mut rng, 3, 7);
+        let cols = pow2(&mut rng, 3, 7);
+        let m = rng.range_usize(1, 2000);
+        let k = rng.range_usize(1, 500);
+        let n = rng.range_usize(1, 256);
+        let plan = FoldPlan::plan(Dataflow::OutputStationary, GemmShape { m, k, n }, rows, cols);
+        assert_eq!(plan.ofmap_sram_writes, (m * n) as u64, "case {case}");
+        assert_eq!(plan.ofmap_sram_reads, 0, "case {case}");
     }
+}
 
-    /// Growing the SRAM never increases DRAM traffic or total cycles.
-    #[test]
-    fn dram_traffic_monotone_in_sram(
-        df in arb_dataflow(),
-        in_hw in 8usize..64,
-        in_c in 1usize..32,
-        out_c in 1usize..64,
-    ) {
+/// Growing the SRAM never increases DRAM traffic.
+#[test]
+fn dram_traffic_monotone_in_sram() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let df = any_dataflow(&mut rng);
+        let in_hw = rng.range_usize(8, 64);
+        let in_c = rng.range_usize(1, 32);
+        let out_c = rng.range_usize(1, 64);
         let layer = Layer::conv2d(in_hw, in_hw, in_c, out_c, 3, 1, 1);
         let mut prev_traffic = u64::MAX;
         for kb in [2usize, 16, 128, 1024] {
             let cfg = ArrayConfig::builder()
-                .rows(16).cols(16)
+                .rows(16)
+                .cols(16)
                 .dataflow(df)
-                .ifmap_sram_kb(kb).filter_sram_kb(kb).ofmap_sram_kb(kb)
-                .build().unwrap();
+                .ifmap_sram_kb(kb)
+                .filter_sram_kb(kb)
+                .ofmap_sram_kb(kb)
+                .build()
+                .expect("valid array config");
             let stats = Simulator::new(cfg).simulate_layer(&layer);
             let traffic = stats.dram_total_bytes();
-            prop_assert!(traffic <= prev_traffic,
-                "traffic grew from {prev_traffic} to {traffic} at {kb} KiB");
+            assert!(
+                traffic <= prev_traffic,
+                "case {case}: traffic grew from {prev_traffic} to {traffic} at {kb} KiB"
+            );
             prev_traffic = traffic;
         }
     }
+}
 
-    /// DRAM traffic is bounded below by the unique operand footprints.
-    #[test]
-    fn dram_traffic_at_least_unique_footprint(
-        df in arb_dataflow(),
-        kb in arb_pow2(1, 12),
-        in_hw in 8usize..64,
-        in_c in 1usize..16,
-        out_c in 1usize..32,
-    ) {
+/// DRAM traffic is bounded below by the unique operand footprints.
+#[test]
+fn dram_traffic_at_least_unique_footprint() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let df = any_dataflow(&mut rng);
+        let kb = pow2(&mut rng, 1, 12);
+        let in_hw = rng.range_usize(8, 64);
+        let in_c = rng.range_usize(1, 16);
+        let out_c = rng.range_usize(1, 32);
         let layer = Layer::conv2d(in_hw, in_hw, in_c, out_c, 3, 1, 1);
         let cfg = ArrayConfig::builder()
-            .rows(16).cols(16)
+            .rows(16)
+            .cols(16)
             .dataflow(df)
-            .ifmap_sram_kb(kb).filter_sram_kb(kb).ofmap_sram_kb(kb)
-            .build().unwrap();
+            .ifmap_sram_kb(kb)
+            .filter_sram_kb(kb)
+            .ofmap_sram_kb(kb)
+            .build()
+            .expect("valid array config");
         let stats = Simulator::new(cfg).simulate_layer(&layer);
-        let unique = layer.ifmap_elements() + layer.filter_elements()
-            + layer.ofmap_elements();
-        prop_assert!(stats.dram_total_bytes() >= unique);
+        let unique = layer.ifmap_elements() + layer.filter_elements() + layer.ofmap_elements();
+        assert!(stats.dram_total_bytes() >= unique, "case {case}");
     }
+}
 
-    /// Trace access totals always reconcile with the layer statistics.
-    #[test]
-    fn trace_reconciles_with_stats(
-        df in arb_dataflow(),
-        in_hw in 8usize..48,
-        in_c in 1usize..8,
-        out_c in 1usize..32,
-        stride in 1usize..3,
-    ) {
+/// Trace access totals always reconcile with the layer statistics.
+#[test]
+fn trace_reconciles_with_stats() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let df = any_dataflow(&mut rng);
+        let in_hw = rng.range_usize(8, 48);
+        let in_c = rng.range_usize(1, 8);
+        let out_c = rng.range_usize(1, 32);
+        let stride = rng.range_usize(1, 3);
         let layer = Layer::conv2d(in_hw, in_hw, in_c, out_c, 3, stride, 1);
-        let cfg = ArrayConfig::builder().rows(16).cols(16).dataflow(df)
-            .build().unwrap();
+        let cfg = ArrayConfig::builder()
+            .rows(16)
+            .cols(16)
+            .dataflow(df)
+            .build()
+            .expect("valid array config");
         let sim = Simulator::new(cfg);
         let stats = sim.simulate_layer(&layer);
         let (mut i, mut f, mut ow, mut or) = (0u64, 0u64, 0u64, 0u64);
@@ -144,23 +174,29 @@ proptest! {
             ow += e.ofmap_writes;
             or += e.ofmap_reads;
         }
-        prop_assert_eq!(i, stats.ifmap_sram_reads);
-        prop_assert_eq!(f, stats.filter_sram_reads);
-        prop_assert_eq!(ow, stats.ofmap_sram_writes);
-        prop_assert_eq!(or, stats.ofmap_sram_reads);
+        assert_eq!(i, stats.ifmap_sram_reads, "case {case}");
+        assert_eq!(f, stats.filter_sram_reads, "case {case}");
+        assert_eq!(ow, stats.ofmap_sram_writes, "case {case}");
+        assert_eq!(or, stats.ofmap_sram_reads, "case {case}");
     }
+}
 
-    /// Network latency in seconds is inversely proportional to clock.
-    #[test]
-    fn latency_inverse_in_clock(mhz in 50.0f64..2000.0) {
-        let net = [Layer::conv2d(32, 32, 3, 16, 3, 2, 1)];
-        let base = Simulator::new(
-            ArrayConfig::builder().clock_mhz(100.0).build().unwrap())
-            .simulate_network(&net);
+/// Network latency in seconds is inversely proportional to clock.
+#[test]
+fn latency_inverse_in_clock() {
+    let net = [Layer::conv2d(32, 32, 3, 16, 3, 2, 1)];
+    let base = Simulator::new(
+        ArrayConfig::builder().clock_mhz(100.0).build().expect("valid array config"),
+    )
+    .simulate_network(&net);
+    for case in 0..CASES {
+        let mut rng = case_rng(8, case);
+        let mhz = rng.range_f64(50.0, 2000.0);
         let scaled = Simulator::new(
-            ArrayConfig::builder().clock_mhz(mhz).build().unwrap())
-            .simulate_network(&net);
+            ArrayConfig::builder().clock_mhz(mhz).build().expect("valid array config"),
+        )
+        .simulate_network(&net);
         let expected = base.latency_s() * 100.0 / mhz;
-        prop_assert!((scaled.latency_s() - expected).abs() < 1e-9);
+        assert!((scaled.latency_s() - expected).abs() < 1e-9, "case {case} at {mhz:.1} MHz");
     }
 }

@@ -6,12 +6,10 @@
 //! counts degrade gracefully for power-hungry configurations instead of
 //! assuming ideal storage.
 
-use serde::{Deserialize, Serialize};
-
 use crate::physics::battery_energy_j;
 
 /// A lithium-polymer pack with capacity-rate derating.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Battery {
     /// Rated capacity, mAh.
     pub capacity_mah: f64,

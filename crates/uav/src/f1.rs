@@ -1,8 +1,6 @@
 //! The F-1 visual performance model (roofline of safe velocity vs. action
 //! throughput).
 
-use serde::{Deserialize, Serialize};
-
 use crate::payload::PayloadAnalysis;
 use crate::safety::safe_velocity;
 use crate::spec::UavSpec;
@@ -27,7 +25,7 @@ const REACTION_DISTANCE_M: f64 = 0.22;
 const BALANCE_MARGIN: f64 = 0.15;
 
 /// Classification of a design point against the F-1 knee.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Provisioning {
     /// Action throughput below the knee: compute-bound, safe velocity
     /// sacrificed.
@@ -45,7 +43,7 @@ pub enum Provisioning {
 /// the sensor-compute-control pipeline) and the UAV's safe velocity. The
 /// payload weight lowers the body-dynamics ceiling; the sensor frame rate
 /// bounds the achievable action throughput.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct F1Model {
     spec: UavSpec,
     payload: PayloadAnalysis,
@@ -174,7 +172,7 @@ impl F1Model {
 }
 
 /// A sampled F-1 roofline curve.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct F1Curve {
     /// `(throughput FPS, safe velocity m/s)` samples.
     pub samples: Vec<(f64, f64)>,

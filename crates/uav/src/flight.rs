@@ -9,10 +9,8 @@
 //! collision-free speed, which must agree with
 //! [`safe_velocity`](crate::safe_velocity).
 
-use serde::{Deserialize, Serialize};
-
 /// Result of simulating one obstacle encounter.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EncounterOutcome {
     /// Distance remaining to the obstacle when the vehicle stopped
     /// (negative = collision, by the overlap amount).
@@ -29,7 +27,7 @@ impl EncounterOutcome {
 }
 
 /// Fixed-step braking simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BrakingSim {
     /// Integration step, seconds.
     pub dt: f64,

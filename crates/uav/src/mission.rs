@@ -1,13 +1,11 @@
 //! Mission-level metrics: Eq. 1–4 of the paper.
 
-use serde::{Deserialize, Serialize};
-
 use crate::payload::PayloadAnalysis;
 use crate::rotor::hover_power_w;
 use crate::spec::UavSpec;
 
 /// Parameters of one representative mission.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MissionProfile {
     /// Distance flown per mission, in metres.
     pub distance_m: f64,
@@ -77,7 +75,7 @@ impl Default for MissionProfile {
 }
 
 /// Result of evaluating Eq. 1–4 for one design on one UAV.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MissionReport {
     /// Safe velocity used, m/s.
     pub v_safe_ms: f64,

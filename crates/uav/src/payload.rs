@@ -1,7 +1,5 @@
 //! Effect of a compute payload on UAV flight physics.
 
-use serde::{Deserialize, Serialize};
-
 use crate::physics::GRAVITY;
 use crate::spec::UavSpec;
 
@@ -13,7 +11,7 @@ use crate::spec::UavSpec;
 /// effective thrust-to-weight ratio and with it the maximum lateral
 /// acceleration `a_max = g * (T/W - 1)` the vehicle can command while
 /// holding altitude.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PayloadAnalysis {
     /// Payload mass in grams.
     pub payload_g: f64,

@@ -1,12 +1,11 @@
 //! Base UAV system specifications (Table IV).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::physics;
 
 /// UAV size category.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UavClass {
     /// Mini-UAV (kg-class, e.g. AscTec Pelican).
     Mini,
@@ -35,7 +34,7 @@ impl fmt::Display for UavClass {
 /// (thrust-to-weight, rotor disk area, propulsive figure of merit, sensing
 /// range) are calibrated against publicly reported flight times and the
 /// paper's knee-points (46 FPS nano, 27 FPS micro at 60 FPS sensors).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UavSpec {
     /// Human-readable platform name.
     pub name: String,

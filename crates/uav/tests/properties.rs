@@ -1,111 +1,132 @@
-//! Property-based tests for the UAV physics stack.
+//! Randomized property tests for the UAV physics stack, driven by
+//! seeded `autopilot-rng` streams (one deterministic stream per test
+//! and case, so failures reproduce exactly).
 
-use proptest::prelude::*;
+use autopilot_rng::Rng;
 use uav_dynamics::{
     hover_power_w, safe_velocity, BrakingSim, F1Model, MissionProfile, PayloadAnalysis, UavSpec,
 };
 
-fn arb_uav() -> impl Strategy<Value = UavSpec> {
-    (0usize..3).prop_map(|i| UavSpec::all()[i].clone())
+const CASES: u64 = 64;
+
+fn case_rng(tag: u64, case: u64) -> Rng {
+    Rng::seed_stream(0x0af_0000 + tag, case)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn any_uav(rng: &mut Rng) -> UavSpec {
+    UavSpec::all()[rng.below(UavSpec::all().len())].clone()
+}
 
-    /// Safe velocity satisfies the stopping-distance equation exactly.
-    #[test]
-    fn safety_equation_holds(
-        a in 0.5f64..30.0,
-        t in 0.0f64..0.5,
-        d in 0.5f64..20.0,
-    ) {
+/// Safe velocity satisfies the stopping-distance equation exactly.
+#[test]
+fn safety_equation_holds() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let a = rng.range_f64(0.5, 30.0);
+        let t = rng.range_f64(0.0, 0.5);
+        let d = rng.range_f64(0.5, 20.0);
         let v = safe_velocity(a, t, d);
         let distance = v * t + v * v / (2.0 * a);
-        prop_assert!((distance - d).abs() < 1e-6);
+        assert!((distance - d).abs() < 1e-6, "case {case}");
     }
+}
 
-    /// The closed-loop braking simulation agrees with the closed form.
-    #[test]
-    fn simulation_matches_closed_form(
-        a in 2.0f64..20.0,
-        t in 0.005f64..0.2,
-        d in 2.0f64..10.0,
-    ) {
+/// The closed-loop braking simulation agrees with the closed form.
+#[test]
+fn simulation_matches_closed_form() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let a = rng.range_f64(2.0, 20.0);
+        let t = rng.range_f64(0.005, 0.2);
+        let d = rng.range_f64(2.0, 10.0);
         let analytic = safe_velocity(a, t, d);
         let empirical = BrakingSim::new().max_safe_velocity(a, t, d);
-        prop_assert!(
+        assert!(
             (analytic - empirical).abs() / analytic < 0.02,
-            "analytic {analytic} vs simulated {empirical}"
+            "case {case}: analytic {analytic} vs simulated {empirical}"
         );
     }
+}
 
-    /// The F-1 curve is monotone non-decreasing and below its ceiling for
-    /// every platform, payload, and sensor rate.
-    #[test]
-    fn f1_curve_monotone_below_ceiling(
-        uav in arb_uav(),
-        payload in 0.0f64..60.0,
-        sensor in prop::sample::select(vec![30.0f64, 60.0, 90.0]),
-    ) {
+/// The F-1 curve is monotone non-decreasing and below its ceiling for
+/// every platform, payload, and sensor rate.
+#[test]
+fn f1_curve_monotone_below_ceiling() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let uav = any_uav(&mut rng);
+        let payload = rng.range_f64(0.0, 60.0);
+        let sensor = [30.0f64, 60.0, 90.0][rng.below(3)];
         let f1 = F1Model::new(uav, payload, sensor);
         let ceiling = f1.velocity_ceiling();
         let mut prev = 0.0;
         for i in 1..=30 {
             let f = i as f64 * 3.0;
             let v = f1.safe_velocity(f);
-            prop_assert!(v + 1e-9 >= prev, "curve decreased at {f} FPS");
-            prop_assert!(v <= ceiling + 1e-9, "curve above ceiling at {f} FPS");
+            assert!(v + 1e-9 >= prev, "case {case}: curve decreased at {f} FPS");
+            assert!(v <= ceiling + 1e-9, "case {case}: curve above ceiling at {f} FPS");
             prev = v;
         }
     }
+}
 
-    /// More payload never increases the ceiling or the knee's velocity.
-    #[test]
-    fn payload_only_hurts(
-        uav in arb_uav(),
-        payload in 0.0f64..40.0,
-        extra in 1.0f64..40.0,
-    ) {
+/// More payload never increases the ceiling.
+#[test]
+fn payload_only_hurts() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let uav = any_uav(&mut rng);
+        let payload = rng.range_f64(0.0, 40.0);
+        let extra = rng.range_f64(1.0, 40.0);
         let light = F1Model::new(uav.clone(), payload, 60.0);
         let heavy = F1Model::new(uav, payload + extra, 60.0);
-        prop_assert!(heavy.velocity_ceiling() <= light.velocity_ceiling() + 1e-9);
+        assert!(heavy.velocity_ceiling() <= light.velocity_ceiling() + 1e-9, "case {case}");
     }
+}
 
-    /// Eq. 4 identity: missions * mission energy == battery energy for
-    /// every flying configuration.
-    #[test]
-    fn mission_energy_identity(
-        uav in arb_uav(),
-        payload in 0.0f64..40.0,
-        v in 0.5f64..12.0,
-        p_compute in 0.05f64..10.0,
-        distance in 10.0f64..500.0,
-    ) {
+/// Eq. 4 identity: missions * mission energy == battery energy for
+/// every flying configuration.
+#[test]
+fn mission_energy_identity() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let uav = any_uav(&mut rng);
+        let payload = rng.range_f64(0.0, 40.0);
+        let v = rng.range_f64(0.5, 12.0);
+        let p_compute = rng.range_f64(0.05, 10.0);
+        let distance = rng.range_f64(10.0, 500.0);
         let report = MissionProfile::new(distance).evaluate(&uav, payload, v, p_compute);
         if report.missions > 0.0 {
             let total = report.missions * report.mission_energy_j;
             let battery = uav.battery_energy_j();
-            prop_assert!((total - battery).abs() / battery < 1e-9);
+            assert!((total - battery).abs() / battery < 1e-9, "case {case}");
         }
     }
+}
 
-    /// Rotor power is superlinear in weight and positive.
-    #[test]
-    fn rotor_power_superlinear(
-        uav in arb_uav(),
-        w in 20.0f64..2000.0,
-    ) {
+/// Rotor power is superlinear in weight and positive.
+#[test]
+fn rotor_power_superlinear() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let uav = any_uav(&mut rng);
+        let w = rng.range_f64(20.0, 2000.0);
         let p1 = hover_power_w(w, uav.rotor_area_m2, uav.figure_of_merit);
         let p2 = hover_power_w(2.0 * w, uav.rotor_area_m2, uav.figure_of_merit);
-        prop_assert!(p1 > 0.0);
-        prop_assert!(p2 > 2.0 * p1);
+        assert!(p1 > 0.0, "case {case}");
+        assert!(p2 > 2.0 * p1, "case {case}");
     }
+}
 
-    /// Thrust-to-weight analysis is continuous at the grounding boundary.
-    #[test]
-    fn grounding_is_consistent(uav in arb_uav(), payload in 0.0f64..5000.0) {
+/// Thrust-to-weight analysis is continuous at the grounding boundary.
+#[test]
+fn grounding_is_consistent() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let uav = any_uav(&mut rng);
+        let payload = rng.range_f64(0.0, 5000.0);
         let a = PayloadAnalysis::new(&uav, payload);
-        prop_assert_eq!(a.grounded(), a.max_accel_ms2 == 0.0);
-        prop_assert!(a.total_weight_g >= uav.base_weight_g);
+        assert_eq!(a.grounded(), a.max_accel_ms2 == 0.0, "case {case}");
+        assert!(a.total_weight_g >= uav.base_weight_g, "case {case}");
     }
 }

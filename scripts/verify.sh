@@ -4,6 +4,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> hermeticity gate: offline locked build (no registry, no network)"
+# The workspace must build from the committed Cargo.lock with zero
+# external crates. This is the first gate so any reintroduced
+# third-party dependency fails fast, before lints or tests run.
+cargo build --workspace --offline --locked
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

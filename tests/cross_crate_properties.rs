@@ -1,10 +1,18 @@
-//! Property-based tests spanning crates: any legal joint design point
-//! must evaluate to physically sensible numbers end to end.
+//! Randomized property tests spanning crates: any legal joint design
+//! point must evaluate to physically sensible numbers end to end.
+//! Driven by seeded `autopilot-rng` streams (one deterministic stream
+//! per test and case, so failures reproduce exactly).
 
 use air_sim::{AirLearningDatabase, ObstacleDensity};
 use autopilot::{DssocEvaluator, JointSpace, Phase1, Phase3, SuccessModel, TaskSpec};
-use proptest::prelude::*;
+use autopilot_rng::Rng;
 use uav_dynamics::UavSpec;
+
+const CASES: u64 = 48;
+
+fn case_rng(tag: u64, case: u64) -> Rng {
+    Rng::seed_stream(0xc40c_0000 + tag, case)
+}
 
 fn evaluator() -> DssocEvaluator {
     let mut db = AirLearningDatabase::new();
@@ -12,31 +20,36 @@ fn evaluator() -> DssocEvaluator {
     DssocEvaluator::new(db, ObstacleDensity::Medium)
 }
 
-fn arb_point() -> impl Strategy<Value = Vec<usize>> {
-    (0usize..9, 0usize..3, 0usize..8, 0usize..8, 0usize..8, 0usize..8, 0usize..8)
-        .prop_map(|(a, b, c, d, e, f, g)| vec![a, b, c, d, e, f, g])
+fn any_point(rng: &mut Rng) -> Vec<usize> {
+    let mut point = vec![rng.below(9), rng.below(3)];
+    point.extend((0..5).map(|_| rng.below(8)));
+    point
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every joint design point produces finite, positive metrics.
-    #[test]
-    fn any_design_point_evaluates_sanely(point in arb_point()) {
-        let ev = evaluator();
+/// Every joint design point produces finite, positive metrics.
+#[test]
+fn any_design_point_evaluates_sanely() {
+    let ev = evaluator();
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let point = any_point(&mut rng);
         let c = ev.evaluate_design(&point).expect("legal point evaluates");
-        prop_assert!(c.fps.is_finite() && c.fps > 0.0);
-        prop_assert!(c.latency_s > 0.0);
-        prop_assert!((0.0..=1.0).contains(&c.success_rate));
-        prop_assert!(c.soc_avg_w > 0.0 && c.soc_avg_w < 500.0);
-        prop_assert!(c.tdp_w >= c.soc_avg_w * 0.2);
-        prop_assert!(c.payload_g >= 20.0); // at least the motherboard
-        prop_assert!(c.efficiency_fps_per_w > 0.0);
+        assert!(c.fps.is_finite() && c.fps > 0.0, "case {case}");
+        assert!(c.latency_s > 0.0, "case {case}");
+        assert!((0.0..=1.0).contains(&c.success_rate), "case {case}");
+        assert!(c.soc_avg_w > 0.0 && c.soc_avg_w < 500.0, "case {case}");
+        assert!(c.tdp_w >= c.soc_avg_w * 0.2, "case {case}");
+        assert!(c.payload_g >= 20.0, "case {case}"); // at least the motherboard
+        assert!(c.efficiency_fps_per_w > 0.0, "case {case}");
     }
+}
 
-    /// Decode/encode round-trips over the whole space.
-    #[test]
-    fn joint_space_round_trips(point in arb_point()) {
+/// Decode/encode round-trips over the whole space.
+#[test]
+fn joint_space_round_trips() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let point = any_point(&mut rng);
         let (hyper, config) = JointSpace::decode(&point).expect("legal point decodes");
         let back = JointSpace::encode(
             hyper,
@@ -45,46 +58,55 @@ proptest! {
             config.ifmap_sram_bytes() / 1024,
             config.filter_sram_bytes() / 1024,
             config.ofmap_sram_bytes() / 1024,
-        ).expect("decoded values are legal");
-        prop_assert_eq!(back, point);
+        )
+        .expect("decoded values are legal");
+        assert_eq!(back, point, "case {case}");
     }
+}
 
-    /// Mission count decreases (weakly) as compute payload grows, all
-    /// else equal.
-    #[test]
-    fn missions_monotone_in_payload(
-        base in 20.0f64..40.0,
-        extra in 1.0f64..60.0,
-        v in 1.0f64..9.0,
-    ) {
+/// Mission count decreases (weakly) as compute payload grows, all else
+/// equal.
+#[test]
+fn missions_monotone_in_payload() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let base = rng.range_f64(20.0, 40.0);
+        let extra = rng.range_f64(1.0, 60.0);
+        let v = rng.range_f64(1.0, 9.0);
         let task = TaskSpec::navigation(ObstacleDensity::Medium);
         let uav = UavSpec::micro();
         let light = task.mission.evaluate(&uav, base, v, 0.5);
         let heavy = task.mission.evaluate(&uav, base + extra, v, 0.5);
-        prop_assert!(heavy.missions <= light.missions);
+        assert!(heavy.missions <= light.missions, "case {case}");
     }
+}
 
-    /// Mission count increases with safe velocity, all else equal.
-    #[test]
-    fn missions_monotone_in_velocity(
-        v in 1.0f64..9.0,
-        dv in 0.1f64..3.0,
-    ) {
+/// Mission count increases with safe velocity, all else equal.
+#[test]
+fn missions_monotone_in_velocity() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let v = rng.range_f64(1.0, 9.0);
+        let dv = rng.range_f64(0.1, 3.0);
         let task = TaskSpec::navigation(ObstacleDensity::Medium);
         let uav = UavSpec::mini();
         let slow = task.mission.evaluate(&uav, 24.0, v, 0.5);
         let fast = task.mission.evaluate(&uav, 24.0, v + dv, 0.5);
-        prop_assert!(fast.missions > slow.missions);
+        assert!(fast.missions > slow.missions, "case {case}");
     }
+}
 
-    /// A design's mission report is deterministic.
-    #[test]
-    fn mission_report_deterministic(point in arb_point()) {
-        let ev = evaluator();
+/// A design's mission report is deterministic.
+#[test]
+fn mission_report_deterministic() {
+    let ev = evaluator();
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let point = any_point(&mut rng);
         let c = ev.evaluate_design(&point).expect("legal point evaluates");
         let task = TaskSpec::navigation(ObstacleDensity::Medium);
         let a = Phase3::mission_report(&UavSpec::nano(), &task, &c);
         let b = Phase3::mission_report(&UavSpec::nano(), &task, &c);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
 }

@@ -97,8 +97,9 @@ fn all_optimizers_complete_the_pipeline() {
 #[test]
 fn mission_counts_are_physically_plausible() {
     for uav in UavSpec::all() {
-        let result =
-            pilot(9).run(&uav, &TaskSpec::navigation(ObstacleDensity::Medium)).expect("pipeline runs");
+        let result = pilot(9)
+            .run(&uav, &TaskSpec::navigation(ObstacleDensity::Medium))
+            .expect("pipeline runs");
         if let Some(sel) = result.selection {
             // Missions * mission energy must not exceed the battery.
             let total = sel.missions.missions * sel.missions.mission_energy_j;

@@ -8,8 +8,7 @@ use autopilot::{
     SuccessModel,
 };
 use dse_opt::{
-    DesignSpace, DseError, EvaluationRecord, Evaluator, MultiObjectiveOptimizer,
-    OptimizationResult,
+    DesignSpace, DseError, EvaluationRecord, Evaluator, MultiObjectiveOptimizer, OptimizationResult,
 };
 
 /// A deterministic diagonal sweep: walks the design space along its main

@@ -101,7 +101,7 @@ fn telemetry_snapshot_round_trips_through_json() {
     obs::force_metrics(true);
     // Make sure there is real data of every kind in the registry.
     let ev = evaluator();
-    ev.evaluate(&[5, 2, 3, 3, 3, 3, 3]);
+    ev.evaluate(&[5, 2, 3, 3, 3, 3, 3]).expect("legal point evaluates");
     obs::observe("telemetry.test_seconds", 0.125);
     obs::gauge_set("telemetry.test_gauge", -3.5);
 
@@ -119,7 +119,7 @@ fn disabled_metrics_record_nothing() {
     obs::force_metrics(false);
     let before = obs::snapshot();
     let ev = evaluator();
-    ev.evaluate(&[5, 2, 2, 2, 2, 2, 2]);
+    ev.evaluate(&[5, 2, 2, 2, 2, 2, 2]).expect("legal point evaluates");
     let after = obs::snapshot();
     assert_eq!(
         before.counter("systolic.layers"),
