@@ -48,6 +48,32 @@ fn bench_gp(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batch_predict(c: &mut Criterion) {
+    // The Phase-2 acquisition hot path: scoring a whole candidate pool
+    // against one fitted GP. The batched path amortizes the kernel
+    // cross-matrix and runs blocked multi-RHS triangular solves; the
+    // scalar path is what the optimizer used before batching.
+    let mut group = c.benchmark_group("gp_pool_scoring");
+    let mut rng = Rng::seed_from_u64(4);
+    let x: Vec<Vec<f64>> = (0..128).map(|_| (0..7).map(|_| rng.next_f64()).collect()).collect();
+    let y: Vec<f64> = x.iter().map(|p| p.iter().sum::<f64>().sin()).collect();
+    let gp = GaussianProcess::fit(&x, &y).expect("GP fits the synthetic sample");
+    for pool_size in [64usize, 256] {
+        let pool: Vec<Vec<f64>> =
+            (0..pool_size).map(|_| (0..7).map(|_| rng.next_f64()).collect()).collect();
+        group.bench_with_input(BenchmarkId::new("scalar_predict", pool_size), &pool, |b, pool| {
+            b.iter(|| {
+                let out: Vec<(f64, f64)> = pool.iter().map(|p| gp.predict(p)).collect();
+                black_box(out)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("predict_batch", pool_size), &pool, |b, pool| {
+            b.iter(|| black_box(gp.predict_batch(black_box(pool))))
+        });
+    }
+    group.finish();
+}
+
 fn bench_hypervolume(c: &mut Criterion) {
     let mut group = c.benchmark_group("hypervolume");
     let mut rng = Rng::seed_from_u64(2);
@@ -85,5 +111,5 @@ fn bench_optimizers(c: &mut Criterion) {
     group.finish();
 }
 
-bench_group!(benches, bench_gp, bench_hypervolume, bench_optimizers);
+bench_group!(benches, bench_gp, bench_batch_predict, bench_hypervolume, bench_optimizers);
 bench_main!(benches);

@@ -5,7 +5,7 @@ use autopilot_bench::tinybench::{BenchmarkId, Criterion};
 use autopilot_bench::{bench_group, bench_main};
 use policy_nn::{PolicyHyperparams, PolicyModel};
 use std::hint::black_box;
-use systolic_sim::{ArrayConfig, Dataflow, Layer, Simulator};
+use systolic_sim::{ArrayConfig, Dataflow, Layer, LayerMemo, Simulator};
 
 fn bench_layers(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_layer");
@@ -36,6 +36,27 @@ fn bench_networks(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_memo(c: &mut Criterion) {
+    // Phase-2 evaluators see the same conv/FC shapes across candidate
+    // networks: warm memo lookups (clone of a cached LayerStats) versus
+    // the cold full simulation they replace.
+    let mut group = c.benchmark_group("layer_memo");
+    let sim = Simulator::new(ArrayConfig::default());
+    let layer = Layer::conv2d(96, 96, 48, 48, 3, 1, 1);
+    let warm = LayerMemo::with_enabled(true);
+    warm.simulate_layer(&sim, &layer);
+    group.bench_function("warm_hit", |b| {
+        b.iter(|| black_box(warm.simulate_layer(black_box(&sim), black_box(&layer))))
+    });
+    group.bench_function("cold_simulation", |b| {
+        b.iter(|| {
+            let memo = LayerMemo::with_enabled(true);
+            black_box(memo.simulate_layer(black_box(&sim), black_box(&layer)))
+        })
+    });
+    group.finish();
+}
+
 fn bench_traces(c: &mut Criterion) {
     let sim = Simulator::new(ArrayConfig::default());
     let layer = Layer::conv2d(96, 96, 48, 48, 3, 1, 1);
@@ -50,5 +71,5 @@ fn bench_traces(c: &mut Criterion) {
     });
 }
 
-bench_group!(benches, bench_layers, bench_networks, bench_traces);
+bench_group!(benches, bench_layers, bench_networks, bench_memo, bench_traces);
 bench_main!(benches);

@@ -7,8 +7,8 @@ use policy_nn::{PolicyHyperparams, PolicyModel};
 use soc_power::SocPowerModel;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
-use systolic_sim::{ArrayConfig, Simulator};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use systolic_sim::{ArrayConfig, LayerMemo, MemoStats, Simulator};
 
 use crate::error::AutopilotError;
 use crate::registry::{self, OptimizerContext};
@@ -72,17 +72,42 @@ pub struct DssocEvaluator {
     db: AirLearningDatabase,
     density: ObstacleDensity,
     power_model: SocPowerModel,
+    /// Per-(config, layer) simulation memo shared by clones of this
+    /// evaluator (and so by all parallel optimizer workers): candidate
+    /// NNs repeat conv/FC layer shapes, so most layer simulations after
+    /// the first few design points are cache hits. Keyed by the full
+    /// timing-relevant configuration, so it is scenario-independent and
+    /// safe to share.
+    layer_memo: Arc<LayerMemo>,
 }
 
 impl DssocEvaluator {
     /// Creates an evaluator for one deployment scenario.
     pub fn new(db: AirLearningDatabase, density: ObstacleDensity) -> DssocEvaluator {
-        DssocEvaluator { db, density, power_model: SocPowerModel::new() }
+        DssocEvaluator {
+            db,
+            density,
+            power_model: SocPowerModel::new(),
+            layer_memo: Arc::new(LayerMemo::new()),
+        }
     }
 
     /// The scenario this evaluator scores against.
     pub fn density(&self) -> ObstacleDensity {
         self.density
+    }
+
+    /// Hit/miss/entry counters of the layer-simulation memo.
+    pub fn layer_memo_stats(&self) -> MemoStats {
+        self.layer_memo.stats()
+    }
+
+    /// Returns a copy of this evaluator with a fresh layer-simulation
+    /// memo, switched on or off explicitly (overriding the
+    /// `AUTOPILOT_LAYER_MEMO` environment gate).
+    pub fn with_layer_memo(mut self, enabled: bool) -> DssocEvaluator {
+        self.layer_memo = Arc::new(LayerMemo::with_enabled(enabled));
+        self
     }
 
     /// Success rate for a policy, preferring Phase-1 records.
@@ -130,7 +155,7 @@ impl DssocEvaluator {
     ) -> DesignCandidate {
         let model = PolicyModel::build(hyper);
         let sim = Simulator::new(config.clone());
-        let stats = sim.simulate_network(model.layers());
+        let stats = self.layer_memo.simulate_network(&sim, model.layers());
         let power_model = if node == self.power_model.node() {
             self.power_model
         } else {
@@ -544,6 +569,24 @@ mod tests {
         assert_eq!(uncached.result, cached.result);
         assert_eq!(uncached.candidates, cached.candidates);
         assert_eq!(uncached.pareto_indices, cached.pareto_indices);
+    }
+
+    #[test]
+    fn layer_memo_transparent_to_phase2() {
+        // Identical runs with the layer memo on and off: the memo must
+        // change nothing about the results, only skip re-simulation.
+        let memo_on = evaluator().with_layer_memo(true);
+        let memo_off = evaluator().with_layer_memo(false);
+        let a = Phase2::new(OptimizerChoice::Random, 10, 7).run(&memo_on).unwrap();
+        let b = Phase2::new(OptimizerChoice::Random, 10, 7).run(&memo_off).unwrap();
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.candidates, b.candidates);
+        assert_eq!(a.pareto_indices, b.pareto_indices);
+        let st = memo_on.layer_memo_stats();
+        assert!(st.hits > 0, "repeated layer shapes must hit the memo");
+        assert!(st.misses > 0);
+        assert!(st.entries as u64 <= st.misses);
+        assert_eq!(memo_off.layer_memo_stats(), MemoStats::default());
     }
 
     #[test]

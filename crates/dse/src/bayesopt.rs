@@ -8,7 +8,7 @@ use crate::error::{DseError, EvalError};
 use crate::evaluator::{Evaluator, MultiObjectiveOptimizer};
 use crate::gp::{DistanceCache, GaussianProcess};
 use crate::par;
-use crate::pareto::{hypervolume_contribution, pareto_indices};
+use crate::pareto::{hypervolume_contribution, IncrementalFront};
 use crate::result::{EvaluationRecord, OptimizationResult};
 use crate::space::DesignSpace;
 
@@ -122,6 +122,72 @@ impl Archive {
         }
         self.seen.insert(point.clone());
         self.history.push(EvaluationRecord { iteration: self.history.len(), point, objectives });
+    }
+}
+
+/// Number of candidates scored per batched GP prediction: one kernel
+/// cross-matrix (shared across the objective GPs) and one blocked
+/// triangular solve per chunk, with chunks fanned out across workers.
+const ACQ_CHUNK: usize = 64;
+
+/// Acquisition bookkeeping reused across BO iterations instead of being
+/// rebuilt from the full history every time a candidate pool is scored.
+///
+/// The raw-objective Pareto front only ever *extends* (raw objective
+/// values never change once evaluated), so it is maintained purely
+/// incrementally. The normalized front depends on the archive's running
+/// objective ranges: while the ranges hold still it extends
+/// incrementally too, and only a range-moving evaluation triggers a
+/// renormalizing rebuild. Both fronts reproduce `pareto_indices` over
+/// the corresponding point sequence exactly (see
+/// [`IncrementalFront`]'s equivalence contract), so acquisition scores
+/// are bit-identical to the full-rescan implementation.
+struct AcquisitionState {
+    raw_front: IncrementalFront,
+    norm_front: IncrementalFront,
+    norm_mins: Vec<f64>,
+    norm_maxs: Vec<f64>,
+    synced: usize,
+}
+
+impl AcquisitionState {
+    fn new(n_obj: usize) -> AcquisitionState {
+        AcquisitionState {
+            raw_front: IncrementalFront::new(),
+            norm_front: IncrementalFront::new(),
+            norm_mins: vec![f64::INFINITY; n_obj],
+            norm_maxs: vec![f64::NEG_INFINITY; n_obj],
+            synced: 0,
+        }
+    }
+
+    /// Brings both fronts up to date with the archive.
+    fn sync(&mut self, archive: &Archive) {
+        let normalized = |rec: &EvaluationRecord| -> Vec<f64> {
+            rec.objectives
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| normalize(v, archive.mins[i], archive.maxs[i]))
+                .collect()
+        };
+        for rec in &archive.history[self.synced..] {
+            self.raw_front.push(rec.iteration, rec.objectives.clone());
+        }
+        if self.norm_mins == archive.mins && self.norm_maxs == archive.maxs {
+            for rec in &archive.history[self.synced..] {
+                self.norm_front.push(rec.iteration, normalized(rec));
+            }
+            obs::add("bo.front.extend", (archive.len() - self.synced) as u64);
+        } else {
+            self.norm_front.clear();
+            for rec in &archive.history {
+                self.norm_front.push(rec.iteration, normalized(rec));
+            }
+            self.norm_mins = archive.mins.clone();
+            self.norm_maxs = archive.maxs.clone();
+            obs::add("bo.front.rebuild", 1);
+        }
+        self.synced = archive.len();
     }
 }
 
@@ -275,9 +341,10 @@ impl MultiObjectiveOptimizer for SmsEgoOptimizer {
             archive.commit(p, o?);
         }
 
-        // BO loop: one evaluation per iteration, surrogates kept current
-        // incrementally.
+        // BO loop: one evaluation per iteration, surrogates and Pareto
+        // fronts kept current incrementally.
         let mut surrogates: Option<Surrogates> = None;
+        let mut acquisition = AcquisitionState::new(n_obj);
         while archive.len() < budget {
             let _iter = obs::span("bo.iteration");
             surrogates = obs::time("bo.surrogate_update", || {
@@ -285,7 +352,7 @@ impl MultiObjectiveOptimizer for SmsEgoOptimizer {
             });
             let next = match &surrogates {
                 Some(s) => obs::time("bo.acquisition", || {
-                    self.select_candidate(space, &archive, s, workers, &mut rng)
+                    self.select_candidate(space, &archive, s, &mut acquisition, workers, &mut rng)
                 }),
                 None => None,
             };
@@ -317,23 +384,15 @@ impl SmsEgoOptimizer {
         space: &DesignSpace,
         archive: &Archive,
         surrogates: &Surrogates,
+        acquisition: &mut AcquisitionState,
         workers: usize,
         rng: &mut Rng,
     ) -> Option<Vec<usize>> {
-        // Current normalized front.
-        let normalized: Vec<Vec<f64>> = archive
-            .history
-            .iter()
-            .map(|e| {
-                e.objectives
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &v)| normalize(v, archive.mins[i], archive.maxs[i]))
-                    .collect()
-            })
-            .collect();
-        let front: Vec<Vec<f64>> =
-            pareto_indices(&normalized).into_iter().map(|i| normalized[i].clone()).collect();
+        // Fronts maintained across iterations: only the points committed
+        // since the last call are pushed (plus a renormalizing rebuild
+        // when the archive ranges moved).
+        obs::time("bo.acquisition.front_sync", || acquisition.sync(archive));
+        let front = acquisition.norm_front.points();
         let reference = vec![1.2; surrogates.gps.len()];
 
         // Candidate pool: random points plus ordinal neighbours of the
@@ -343,45 +402,70 @@ impl SmsEgoOptimizer {
         for _ in 0..self.candidate_pool {
             pool.push(space.random_point(rng));
         }
-        let front_points: Vec<&EvaluationRecord> = {
-            let objs: Vec<Vec<f64>> =
-                archive.history.iter().map(|e| e.objectives.clone()).collect();
-            pareto_indices(&objs).into_iter().map(|i| &archive.history[i]).collect()
-        };
-        for rec in front_points.iter().take(16) {
-            pool.extend(space.neighbors(&rec.point));
+        for &i in acquisition.raw_front.indices().iter().take(16) {
+            pool.extend(space.neighbors(&archive.history[i].point));
         }
+        obs::observe("bo.acquisition.pool_size", pool.len() as f64);
 
-        // Score the pool in parallel; each score is a pure function of
-        // the frozen surrogates and front.
-        let scores: Vec<Option<f64>> = par::parallel_map_with(workers, &pool, |_, cand| {
-            if archive.seen.contains(cand) {
-                return None;
-            }
-            let x = space.encode(cand);
-            let lcb: Vec<f64> = surrogates.gps.iter().map(|gp| gp.lcb(&x, self.beta)).collect();
-            // SMS-EGO scoring: epsilon-dominated candidates get a negative
-            // penalty proportional to how deep they are dominated;
-            // otherwise score by hypervolume improvement (the exclusive
-            // contribution of the LCB vector to the front).
-            let eps = 1e-3;
-            let mut penalty = 0.0;
-            for f in &front {
-                if f.iter().zip(&lcb).all(|(fv, lv)| *fv <= lv + eps) {
-                    let depth: f64 = f.iter().zip(&lcb).map(|(fv, lv)| (lv - fv).max(0.0)).sum();
-                    penalty += depth + eps;
-                }
-            }
-            Some(if penalty > 0.0 {
-                -penalty
-            } else {
-                hypervolume_contribution(&front, &lcb, &reference)
+        // Score the pool in parallel, a chunk of candidates at a time;
+        // each score is a pure function of the frozen surrogates and
+        // front. Within a chunk the kernel cross-matrix is computed once
+        // — the objective GPs share training inputs and lengthscale — and
+        // every GP answers the whole chunk through one blocked triangular
+        // solve, bit-identical to the scalar per-candidate path.
+        let chunks: Vec<&[Vec<usize>]> = pool.chunks(ACQ_CHUNK).collect();
+        obs::add("bo.acquisition.batches", chunks.len() as u64);
+        let scores: Vec<Vec<Option<f64>>> = obs::time("bo.acquisition.score", || {
+            par::parallel_map_with(workers, &chunks, |_, chunk| {
+                obs::observe("bo.acquisition.batch_size", chunk.len() as f64);
+                let xs: Vec<Vec<f64>> = chunk.iter().map(|cand| space.encode(cand)).collect();
+                let corr = surrogates.gps[0].cross_correlations(&xs);
+                let preds: Vec<Vec<(f64, f64)>> = surrogates
+                    .gps
+                    .iter()
+                    .map(|gp| gp.predict_batch_from_correlations(&corr))
+                    .collect();
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(k, cand)| {
+                        if archive.seen.contains(cand) {
+                            return None;
+                        }
+                        let lcb: Vec<f64> = preds
+                            .iter()
+                            .map(|p| {
+                                let (m, v) = p[k];
+                                m - self.beta * v.sqrt()
+                            })
+                            .collect();
+                        // SMS-EGO scoring: epsilon-dominated candidates
+                        // get a negative penalty proportional to how deep
+                        // they are dominated; otherwise score by
+                        // hypervolume improvement (the exclusive
+                        // contribution of the LCB vector to the front).
+                        let eps = 1e-3;
+                        let mut penalty = 0.0;
+                        for f in front {
+                            if f.iter().zip(&lcb).all(|(fv, lv)| *fv <= lv + eps) {
+                                let depth: f64 =
+                                    f.iter().zip(&lcb).map(|(fv, lv)| (lv - fv).max(0.0)).sum();
+                                penalty += depth + eps;
+                            }
+                        }
+                        Some(if penalty > 0.0 {
+                            -penalty
+                        } else {
+                            hypervolume_contribution(front, &lcb, &reference)
+                        })
+                    })
+                    .collect()
             })
         });
 
         // First-max-wins over the pool, in pool order.
         let mut best: Option<(f64, usize)> = None;
-        for (i, score) in scores.into_iter().enumerate() {
+        for (i, score) in scores.into_iter().flatten().enumerate() {
             let Some(score) = score else { continue };
             match &best {
                 Some((s, _)) if *s >= score => {}

@@ -222,6 +222,89 @@ impl GaussianProcess {
         let (m, v) = self.predict(point);
         m - beta * v.sqrt()
     }
+
+    /// Kernel cross-correlation matrix between the training inputs and a
+    /// batch of query points: entry `(i, j)` is
+    /// `exp(-0.5·‖x_i − p_j‖²/ℓ²)`, i.e. bit-identical to `cstar[i]` as
+    /// computed inside [`GaussianProcess::predict`] for query `j`.
+    ///
+    /// The matrix depends only on the training inputs and the
+    /// lengthscale, so GPs that share both (the SMS-EGO per-objective
+    /// surrogate pack trains every objective on the same encoded points
+    /// at one shared lengthscale) can compute it once and reuse it via
+    /// [`GaussianProcess::predict_batch_from_correlations`] — one
+    /// `exp`-matrix for all objectives instead of one per objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query point has the wrong dimension.
+    pub fn cross_correlations(&self, points: &[Vec<f64>]) -> Matrix {
+        let dim = self.x[0].len();
+        for p in points {
+            assert_eq!(p.len(), dim, "dimension mismatch");
+        }
+        Matrix::from_fn(self.x.len(), points.len(), |i, j| {
+            (-0.5 * sq_dist(&self.x[i], &points[j]) / self.lengthscale_sq).exp()
+        })
+    }
+
+    /// Batched posterior `(mean, variance)` from a precomputed
+    /// cross-correlation matrix (`n` training rows × `m` query columns),
+    /// as produced by [`GaussianProcess::cross_correlations`] — by this
+    /// GP, or by another GP with identical training inputs and
+    /// lengthscale.
+    ///
+    /// Output `j` is bit-identical to `predict(p_j)`: means accumulate
+    /// `corr[i][j]·alpha[i]` in ascending `i` (the same operation order
+    /// as the scalar `dot`), variances come from the blocked multi-column
+    /// triangular solve whose columns are bit-identical to per-column
+    /// [`Matrix::solve_lower`], with the sum of squares likewise
+    /// accumulated in ascending `i`. The speedup is purely structural:
+    /// the Cholesky factor and `alpha` stream through the cache once per
+    /// column block instead of once per candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corr.rows()` differs from the training-set size.
+    pub fn predict_batch_from_correlations(&self, corr: &Matrix) -> Vec<(f64, f64)> {
+        let n = self.x.len();
+        assert_eq!(corr.rows(), n, "correlation matrix has wrong row count");
+        let m = corr.cols();
+        // Means: every column's dot product with alpha, accumulated in
+        // ascending row order so each partial sum matches the scalar
+        // `dot(cstar, alpha)` bit-for-bit.
+        let mut means = vec![0.0f64; m];
+        for i in 0..n {
+            let a = self.alpha[i];
+            for (j, mean) in means.iter_mut().enumerate() {
+                *mean += corr[(i, j)] * a;
+            }
+        }
+        // Variances: v = L⁻¹·corr column-wise, then per-column Σv².
+        let v = self.chol.solve_lower_columns(corr);
+        let mut sumsq = vec![0.0f64; m];
+        for i in 0..n {
+            for (j, s) in sumsq.iter_mut().enumerate() {
+                let w = v[(i, j)];
+                *s += w * w;
+            }
+        }
+        means
+            .into_iter()
+            .zip(sumsq)
+            .map(|(acc, s)| (self.mean_y + acc, (self.signal_var * (1.0 - s)).max(0.0)))
+            .collect()
+    }
+
+    /// Batched posterior mean and variance for a pool of query points —
+    /// output `j` is bit-identical to `predict(&points[j])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query point has the wrong dimension.
+    pub fn predict_batch(&self, points: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        self.predict_batch_from_correlations(&self.cross_correlations(points))
+    }
 }
 
 /// Median of a scratch list of squared distances (via selection, O(m));
@@ -411,6 +494,55 @@ mod tests {
             assert_eq!(before, after);
             assert_eq!(gp.len(), 3);
         }
+    }
+
+    #[test]
+    fn predict_batch_matches_scalar_predict_bitwise() {
+        let x: Vec<Vec<f64>> =
+            (0..9).map(|i| vec![i as f64 / 8.0, (i * i % 5) as f64 / 4.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| (3.0 * p[0]).sin() + p[1] * p[1]).collect();
+        let gp = GaussianProcess::fit(&x, &y).unwrap();
+        // Pool larger than the solve's column block, including exact
+        // training points (variance clamp at 0) and far-away queries.
+        let pool: Vec<Vec<f64>> = (0..40)
+            .map(|j| vec![(j as f64 * 0.37) % 1.3, (j as f64 * 0.51) % 1.1 - 0.2])
+            .chain(x.iter().cloned())
+            .collect();
+        let batch = gp.predict_batch(&pool);
+        assert_eq!(batch.len(), pool.len());
+        for (p, (bm, bv)) in pool.iter().zip(&batch) {
+            let (m, v) = gp.predict(p);
+            assert_eq!(bm.to_bits(), m.to_bits(), "mean at {p:?}");
+            assert_eq!(bv.to_bits(), v.to_bits(), "variance at {p:?}");
+        }
+    }
+
+    #[test]
+    fn shared_correlations_valid_across_gps_with_same_inputs() {
+        // Two GPs on the same inputs and lengthscale but different
+        // targets — the surrogate-pack invariant. One cross-correlation
+        // matrix must serve both, bit-identically to their own.
+        let x = grid1d(7);
+        let y1: Vec<f64> = x.iter().map(|p| p[0] * p[0]).collect();
+        let y2: Vec<f64> = x.iter().map(|p| (5.0 * p[0]).cos()).collect();
+        let a = GaussianProcess::fit(&x, &y1).unwrap();
+        let b = GaussianProcess::fit_with_lengthscale(&x, &y2, a.lengthscale_sq()).unwrap();
+        let pool: Vec<Vec<f64>> = (0..11).map(|j| vec![j as f64 * 0.09 - 0.05]).collect();
+        let corr = a.cross_correlations(&pool);
+        let via_shared = b.predict_batch_from_correlations(&corr);
+        for (p, got) in pool.iter().zip(&via_shared) {
+            let direct = b.predict(p);
+            assert_eq!(got.0.to_bits(), direct.0.to_bits());
+            assert_eq!(got.1.to_bits(), direct.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn predict_batch_empty_pool_is_empty() {
+        let x = grid1d(4);
+        let y = vec![0.0, 1.0, 0.5, 0.25];
+        let gp = GaussianProcess::fit(&x, &y).unwrap();
+        assert!(gp.predict_batch(&[]).is_empty());
     }
 
     #[test]

@@ -37,6 +37,91 @@ pub fn pareto_indices(points: &[Vec<f64>]) -> Vec<usize> {
     out
 }
 
+/// A Pareto front maintained incrementally under point insertion.
+///
+/// Pushing points in ascending index order yields exactly the members
+/// (and member order) of [`pareto_indices`] over the full point
+/// sequence: a new point is rejected when an existing member dominates
+/// or equals it (existing members always carry smaller indices, matching
+/// the keep-first-duplicate rule), and otherwise evicts every member it
+/// dominates before being appended. Eviction is transitively sound — if
+/// a point was ever rejected by a member that is later evicted, the
+/// evictor dominates the rejected point too — so no rescan of history is
+/// needed. This turns the per-iteration O(n²) front rebuild in the BO
+/// acquisition loop into O(n·|front|) total across the whole run.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalFront {
+    indices: Vec<usize>,
+    points: Vec<Vec<f64>>,
+}
+
+impl IncrementalFront {
+    /// Creates an empty front.
+    pub fn new() -> IncrementalFront {
+        IncrementalFront::default()
+    }
+
+    /// Offers a point to the front; returns `true` when it was admitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not strictly greater than every index pushed
+    /// before it — the batch-equivalence contract requires ascending
+    /// insertion order.
+    pub fn push(&mut self, index: usize, point: Vec<f64>) -> bool {
+        assert!(
+            self.indices.last().is_none_or(|&last| last < index),
+            "IncrementalFront requires strictly ascending indices"
+        );
+        for q in &self.points {
+            if dominates(q, &point) || *q == point {
+                return false;
+            }
+        }
+        // Stable in-place compaction of the survivors.
+        let mut w = 0;
+        for r in 0..self.points.len() {
+            if dominates(&point, &self.points[r]) {
+                continue;
+            }
+            self.points.swap(w, r);
+            self.indices.swap(w, r);
+            w += 1;
+        }
+        self.points.truncate(w);
+        self.indices.truncate(w);
+        self.indices.push(index);
+        self.points.push(point);
+        true
+    }
+
+    /// Current front members, in ascending insertion-index order.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
+    /// Insertion indices of the current members, ascending.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Number of points on the front.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the front has no members.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Drops all members.
+    pub fn clear(&mut self) {
+        self.indices.clear();
+        self.points.clear();
+    }
+}
+
 /// Fast non-dominated sort (NSGA-II): returns fronts of indices, best
 /// front first.
 pub fn non_dominated_sort(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
@@ -246,6 +331,54 @@ mod tests {
     fn pareto_keeps_one_of_duplicates() {
         let pts = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
         assert_eq!(pareto_indices(&pts), vec![0]);
+    }
+
+    #[test]
+    fn incremental_front_matches_batch_recompute() {
+        // Quantized pseudo-random points force duplicates and long
+        // dominance chains; after every push the incremental front must
+        // equal a from-scratch pareto_indices over the prefix.
+        for seed in 0..8u64 {
+            for d in 2..=3usize {
+                let raw = lcg_points(seed * 31 + 3, 40, d, 1.0);
+                let pts: Vec<Vec<f64>> = raw
+                    .iter()
+                    .map(|p| p.iter().map(|v| (v * 4.0).floor() / 4.0).collect())
+                    .collect();
+                let mut front = IncrementalFront::new();
+                for (i, p) in pts.iter().enumerate() {
+                    front.push(i, p.clone());
+                    let expect = pareto_indices(&pts[..=i]);
+                    assert_eq!(front.indices(), expect.as_slice(), "seed={seed} d={d} i={i}");
+                    let expect_pts: Vec<&Vec<f64>> = expect.iter().map(|&j| &pts[j]).collect();
+                    let got_pts: Vec<&Vec<f64>> = front.points().iter().collect();
+                    assert_eq!(got_pts, expect_pts);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_front_rejects_duplicates_and_dominated() {
+        let mut front = IncrementalFront::new();
+        assert!(front.is_empty());
+        assert!(front.push(0, vec![1.0, 4.0]));
+        assert!(front.push(1, vec![2.0, 2.0]));
+        assert!(!front.push(2, vec![2.0, 2.0]), "duplicate must be rejected");
+        assert!(!front.push(3, vec![3.0, 3.0]), "dominated point must be rejected");
+        assert!(front.push(4, vec![0.5, 0.5]), "dominating point must evict");
+        assert_eq!(front.indices(), &[4]);
+        assert_eq!(front.len(), 1);
+        front.clear();
+        assert!(front.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn incremental_front_panics_on_non_ascending_index() {
+        let mut front = IncrementalFront::new();
+        front.push(5, vec![1.0]);
+        front.push(5, vec![0.5]);
     }
 
     #[test]

@@ -4,11 +4,11 @@
 use autopilot_rng::Rng;
 use dse_opt::pareto::{
     crowding_distance, dominates, hypervolume, inverted_generational_distance, non_dominated_sort,
-    pareto_indices,
+    pareto_indices, IncrementalFront,
 };
 use dse_opt::{
     AnnealingOptimizer, CachedEvaluator, DesignSpace, EvalError, Evaluator, ExhaustiveSearch,
-    MultiObjectiveOptimizer, Nsga2Optimizer, RandomSearch,
+    GaussianProcess, MultiObjectiveOptimizer, Nsga2Optimizer, RandomSearch,
 };
 
 const CASES: u64 = 64;
@@ -163,6 +163,67 @@ fn optimizers_respect_budget_and_space() {
             // Hypervolume trace is monotone.
             for w in r.hypervolume_trace.windows(2) {
                 assert!(w[1] >= w[0] - 1e-12, "case {case}");
+            }
+        }
+    }
+}
+
+/// Batched GP prediction is bit-for-bit identical to per-point
+/// prediction — means and variances — across random fits, including
+/// incrementally extended GPs and pools containing training points.
+#[test]
+fn predict_batch_bit_identical_to_scalar() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_stream(0xd5e_0008, case);
+        let d = rng.range_usize(1, 5);
+        let n = rng.range_usize(3, 25);
+        let xs: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..d).map(|_| rng.range_f64(0.0, 1.0)).collect()).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.range_f64(-5.0, 5.0)).collect();
+        // Fit on a prefix, then extend point by point: the optimizer
+        // predicts from extended GPs, so the extended Cholesky path must
+        // be covered too.
+        let split = rng.range_usize(2, n + 1).min(n);
+        let mut gp = GaussianProcess::fit(&xs[..split], &ys[..split]).expect("fit succeeds");
+        for i in split..n {
+            assert!(gp.extend(&xs[i], ys[i]), "case {case}: extend rejected point {i}");
+        }
+        // Pool: random queries plus exact training points (variance ~ 0
+        // there, exercising the clamp path identically in both code paths).
+        let mut pool: Vec<Vec<f64>> = (0..rng.range_usize(1, 40))
+            .map(|_| (0..d).map(|_| rng.range_f64(-0.5, 1.5)).collect())
+            .collect();
+        pool.push(xs[0].clone());
+        pool.push(xs[n - 1].clone());
+        let batch = gp.predict_batch(&pool);
+        assert_eq!(batch.len(), pool.len(), "case {case}");
+        for (j, (p, b)) in pool.iter().zip(&batch).enumerate() {
+            let (sm, sv) = gp.predict(p);
+            assert_eq!(sm.to_bits(), b.0.to_bits(), "case {case}: mean differs at pool[{j}]");
+            assert_eq!(sv.to_bits(), b.1.to_bits(), "case {case}: variance differs at pool[{j}]");
+        }
+    }
+}
+
+/// Pushing points in ascending index order into an `IncrementalFront`
+/// reproduces `pareto_indices` exactly at every step — membership,
+/// order, and the stored points.
+#[test]
+fn incremental_front_tracks_batch_pareto_indices() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_stream(0xd5e_0009, case);
+        let d = rng.range_usize(2, 4);
+        // Quantize to quarter-steps so duplicates actually occur.
+        let points: Vec<Vec<f64>> = (0..rng.range_usize(1, 32))
+            .map(|_| (0..d).map(|_| (rng.range_f64(0.0, 4.0) * 4.0).floor() / 4.0).collect())
+            .collect();
+        let mut front = IncrementalFront::new();
+        for (i, p) in points.iter().enumerate() {
+            front.push(i, p.clone());
+            let expected = pareto_indices(&points[..=i]);
+            assert_eq!(front.indices(), &expected[..], "case {case}: after push {i}");
+            for (&idx, stored) in front.indices().iter().zip(front.points()) {
+                assert_eq!(stored, &points[idx], "case {case}: stored point mismatch");
             }
         }
     }

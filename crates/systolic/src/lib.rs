@@ -51,6 +51,7 @@ pub mod engine;
 mod error;
 pub mod export;
 mod layer;
+mod memo;
 mod memory;
 pub mod presets;
 mod report;
@@ -61,6 +62,7 @@ pub use config::{ArrayConfig, ArrayConfigBuilder};
 pub use dataflow::{Dataflow, FoldPlan};
 pub use error::ConfigError;
 pub use layer::{GemmShape, Layer};
+pub use memo::{LayerMemo, MemoStats};
 pub use memory::{BufferKind, ScratchpadPlan};
 pub use report::{LayerStats, NetworkStats};
 pub use sim::Simulator;

@@ -1,0 +1,284 @@
+//! Per-(array config, layer shape) memoization of layer simulations.
+//!
+//! A [`crate::report::LayerStats`] is a pure function of the array
+//! configuration's timing-relevant knobs and the layer shape — the clock
+//! only enters at the network level, when cycles are converted to
+//! seconds. Joint NN×accelerator design-space exploration therefore
+//! re-simulates the same (config, layer) pair many times: candidate
+//! networks share conv/FC layer shapes, and Phase-3 frequency scaling
+//! sweeps the clock across an otherwise identical configuration. The
+//! [`LayerMemo`] caches each pair once and serves every repeat from the
+//! map, one level below the per-design-point candidate cache.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use autopilot_obs as obs;
+
+use crate::config::ArrayConfig;
+use crate::dataflow::Dataflow;
+use crate::layer::Layer;
+use crate::report::{LayerStats, NetworkStats};
+use crate::sim::Simulator;
+
+/// Everything that determines a layer's cycle/traffic statistics — the
+/// array configuration minus the clock (LayerStats is clock-independent,
+/// so frequency-scaling sweeps hit the same entries) plus the layer
+/// shape. The DRAM bandwidth is keyed by bit pattern; configurations
+/// validate it as positive and finite, so `NaN` never reaches the key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MemoKey {
+    rows: usize,
+    cols: usize,
+    ifmap_sram_bytes: usize,
+    filter_sram_bytes: usize,
+    ofmap_sram_bytes: usize,
+    dataflow: Dataflow,
+    dram_bandwidth_bits: u64,
+    word_bytes: usize,
+    layer: Layer,
+}
+
+impl MemoKey {
+    fn new(config: &ArrayConfig, layer: &Layer) -> MemoKey {
+        MemoKey {
+            rows: config.rows(),
+            cols: config.cols(),
+            ifmap_sram_bytes: config.ifmap_sram_bytes(),
+            filter_sram_bytes: config.filter_sram_bytes(),
+            ofmap_sram_bytes: config.ofmap_sram_bytes(),
+            dataflow: config.dataflow(),
+            dram_bandwidth_bits: config.dram_bandwidth_bytes_per_cycle().to_bits(),
+            word_bytes: config.word_bytes(),
+            layer: *layer,
+        }
+    }
+}
+
+/// Hit/miss/entry counters of a [`LayerMemo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Layer simulations served from the memo.
+    pub hits: u64,
+    /// Layer simulations that actually ran the cycle model.
+    pub misses: u64,
+    /// Distinct (config, layer) pairs cached.
+    pub entries: usize,
+}
+
+impl MemoStats {
+    /// Fraction of lookups served from the memo (`0.0` before any
+    /// lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe memo of layer simulations, keyed by the timing-relevant
+/// configuration knobs and the layer shape.
+///
+/// Results are bit-identical to simulating directly: the simulator is
+/// deterministic, so a cached [`LayerStats`] is exactly what a re-run
+/// would produce, and [`NetworkStats`] still takes its clock from the
+/// simulator at hand (a memo shared across clocks stays correct). The
+/// simulation obs counters (`systolic.layers`, cycle and traffic
+/// totals) are only recorded on a miss — they keep counting *actual*
+/// simulations — while `systolic.memo.hits`/`systolic.memo.misses`
+/// record the memo traffic itself.
+///
+/// Set `AUTOPILOT_LAYER_MEMO=0` (or `off`/`false`) in the environment to
+/// construct disabled memos that delegate every call straight to the
+/// simulator.
+#[derive(Debug, Default)]
+pub struct LayerMemo {
+    entries: Mutex<HashMap<MemoKey, LayerStats>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    disabled: bool,
+}
+
+impl LayerMemo {
+    /// Creates an empty memo, honouring the `AUTOPILOT_LAYER_MEMO`
+    /// environment gate at construction time.
+    pub fn new() -> LayerMemo {
+        let disabled = matches!(
+            std::env::var("AUTOPILOT_LAYER_MEMO").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        );
+        LayerMemo { disabled, ..LayerMemo::default() }
+    }
+
+    /// Creates a memo with the environment gate overridden.
+    pub fn with_enabled(enabled: bool) -> LayerMemo {
+        LayerMemo { disabled: !enabled, ..LayerMemo::default() }
+    }
+
+    /// True when lookups actually consult the cache.
+    pub fn enabled(&self) -> bool {
+        !self.disabled
+    }
+
+    fn map_lock(&self) -> MutexGuard<'_, HashMap<MemoKey, LayerStats>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Simulates `layer` under `sim`'s configuration, serving repeats of
+    /// the same (config, layer) pair from the memo.
+    pub fn simulate_layer(&self, sim: &Simulator, layer: &Layer) -> LayerStats {
+        if self.disabled {
+            return sim.simulate_layer(layer);
+        }
+        let key = MemoKey::new(sim.config(), layer);
+        if let Some(stats) = self.map_lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            obs::add("systolic.memo.hits", 1);
+            return stats.clone();
+        }
+        // Simulate outside the lock so workers fill distinct entries
+        // concurrently; a racing duplicate insert is harmless (both
+        // computed the same deterministic stats).
+        let stats = sim.simulate_layer(layer);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::add("systolic.memo.misses", 1);
+        self.map_lock().entry(key).or_insert_with(|| stats.clone());
+        stats
+    }
+
+    /// Simulates every layer of `network` in order through the memo. The
+    /// clock comes from `sim`, so the same memo serves every point of a
+    /// frequency-scaling sweep.
+    pub fn simulate_network(&self, sim: &Simulator, network: &[Layer]) -> NetworkStats {
+        NetworkStats {
+            layers: network.iter().map(|l| self.simulate_layer(sim, l)).collect(),
+            clock_mhz: sim.config().clock_mhz(),
+        }
+    }
+
+    /// Snapshots hit/miss/entry counters.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map_lock().len(),
+        }
+    }
+
+    /// Number of distinct (config, layer) pairs cached.
+    pub fn len(&self) -> usize {
+        self.map_lock().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached entry (counters are kept).
+    pub fn clear(&self) {
+        self.map_lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ArrayConfig;
+    use crate::dataflow::Dataflow;
+
+    fn sim(rows: usize, cols: usize) -> Simulator {
+        Simulator::new(ArrayConfig::builder().rows(rows).cols(cols).build().unwrap())
+    }
+
+    #[test]
+    fn memoized_stats_equal_direct_simulation() {
+        let memo = LayerMemo::with_enabled(true);
+        let s = sim(16, 16);
+        let layers =
+            [Layer::conv2d(32, 32, 3, 16, 3, 2, 1), Layer::dense(1024, 25), Layer::dense(1024, 25)];
+        for l in &layers {
+            let direct = s.simulate_layer(l);
+            let memoized = memo.simulate_layer(&s, l);
+            assert_eq!(direct, memoized);
+            // Second call must hit and return the identical stats.
+            assert_eq!(memo.simulate_layer(&s, l), direct);
+        }
+        let st = memo.stats();
+        assert_eq!(st.entries, 2, "duplicate dense layer shares one entry");
+        assert_eq!(st.misses, 2);
+        assert_eq!(st.hits, 4);
+        assert!((st.hit_rate() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_stats_match_plain_simulator() {
+        let memo = LayerMemo::with_enabled(true);
+        let s = sim(32, 32);
+        let net = [Layer::conv2d(84, 84, 3, 32, 3, 2, 1), Layer::dense(4096, 25)];
+        assert_eq!(memo.simulate_network(&s, &net), s.simulate_network(&net));
+        assert_eq!(memo.simulate_network(&s, &net), s.simulate_network(&net));
+    }
+
+    #[test]
+    fn different_configs_do_not_collide() {
+        let memo = LayerMemo::with_enabled(true);
+        let layer = Layer::conv2d(32, 32, 3, 16, 3, 2, 1);
+        let a = memo.simulate_layer(&sim(16, 16), &layer);
+        let b = memo.simulate_layer(&sim(64, 64), &layer);
+        assert_ne!(a.compute_cycles, b.compute_cycles);
+        assert_eq!(memo.len(), 2);
+        let df = Simulator::new(
+            ArrayConfig::builder()
+                .rows(16)
+                .cols(16)
+                .dataflow(Dataflow::WeightStationary)
+                .build()
+                .unwrap(),
+        );
+        let c = memo.simulate_layer(&df, &layer);
+        assert_eq!(memo.len(), 3);
+        assert_eq!(c, df.simulate_layer(&layer));
+    }
+
+    #[test]
+    fn clock_change_hits_the_same_entry() {
+        let memo = LayerMemo::with_enabled(true);
+        let base = ArrayConfig::builder().rows(16).cols(16).clock_mhz(200.0).build().unwrap();
+        let fast = base.with_clock_mhz(800.0).unwrap();
+        let net = [Layer::dense(1024, 25)];
+        let slow_stats = memo.simulate_network(&Simulator::new(base), &net);
+        let fast_stats = memo.simulate_network(&Simulator::new(fast), &net);
+        assert_eq!(memo.len(), 1, "clock must not be part of the memo key");
+        assert_eq!(memo.stats().hits, 1);
+        assert_eq!(slow_stats.total_cycles(), fast_stats.total_cycles());
+        assert!(fast_stats.fps() > slow_stats.fps());
+    }
+
+    #[test]
+    fn disabled_memo_caches_nothing() {
+        let memo = LayerMemo::with_enabled(false);
+        assert!(!memo.enabled());
+        let s = sim(16, 16);
+        let layer = Layer::dense(512, 25);
+        let a = memo.simulate_layer(&s, &layer);
+        let b = memo.simulate_layer(&s, &layer);
+        assert_eq!(a, b);
+        assert!(memo.is_empty());
+        assert_eq!(memo.stats(), MemoStats::default());
+    }
+
+    #[test]
+    fn clear_drops_entries() {
+        let memo = LayerMemo::with_enabled(true);
+        memo.simulate_layer(&sim(8, 8), &Layer::dense(256, 25));
+        assert_eq!(memo.len(), 1);
+        memo.clear();
+        assert!(memo.is_empty());
+        assert_eq!(memo.stats().misses, 1, "counters survive clear");
+    }
+}

@@ -29,4 +29,27 @@ echo "==> telemetry smoke (obs_smoke: small experiment + JSON validation)"
 # snapshot carries non-zero span and cache-counter data.
 AUTOPILOT_OBS=1 cargo run -q --release -p autopilot-bench --bin obs_smoke
 
+echo "==> phase-2 perf guard (fast timing probe)"
+# Reduced-budget probe (AUTOPILOT_BENCH_FAST trims the BO budget and
+# skips the tracked-copy write). Guards against performance regressions:
+# the memoized sequential run must not be slower than the uncached
+# baseline, and the batched acquisition path must be measured at all.
+AUTOPILOT_BENCH_FAST=1 cargo run -q --release -p autopilot-bench --bin timing_probe >/dev/null
+bench_json=results/BENCH_phase2.json
+grep -q '"acquisition_batch_speedup"' "$bench_json" || {
+    echo "verify: FAIL — acquisition_batch_speedup missing from $bench_json" >&2
+    exit 1
+}
+speedup=$(grep -o '"speedup_single_thread": *[0-9.eE+-]*' "$bench_json" | head -1 \
+    | sed 's/.*: *//')
+if [ -z "$speedup" ]; then
+    echo "verify: FAIL — speedup_single_thread missing from $bench_json" >&2
+    exit 1
+fi
+awk -v s="$speedup" 'BEGIN { exit (s + 0 >= 1.0) ? 0 : 1 }' || {
+    echo "verify: FAIL — speedup_single_thread=$speedup < 1.0 (perf regression)" >&2
+    exit 1
+}
+echo "perf guard: speedup_single_thread=$speedup"
+
 echo "verify: OK"

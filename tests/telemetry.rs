@@ -78,6 +78,60 @@ fn pipeline_cache_hits_are_counted_across_uavs() {
 }
 
 #[test]
+fn obs_cache_counters_match_per_run_stats_exactly() {
+    let _guard = guard();
+    obs::force_metrics(true);
+
+    // Regression: the obs cache counters used to read double the per-run
+    // `cache_stats` in the timing probe because one snapshot spanned two
+    // runs. Within a single run, every lookup must be counted exactly
+    // once on exactly one of the hit/miss paths.
+    let ev = evaluator();
+    let phase2 = Phase2::new(OptimizerChoice::Random, 12, 9);
+    let before = obs::snapshot();
+    let out = phase2.run(&ev).expect("phase 2 runs");
+    let after = obs::snapshot();
+    let delta = |name: &str| (after.counter(name) - before.counter(name)) as usize;
+    assert_eq!(
+        delta("phase2.candidate_cache.misses"),
+        out.cache_stats.misses,
+        "each cache miss must increment the obs counter exactly once"
+    );
+    assert_eq!(
+        delta("phase2.candidate_cache.hits"),
+        out.cache_stats.hits,
+        "each cache hit must increment the obs counter exactly once"
+    );
+    assert_eq!(out.cache_stats.misses, out.result.evaluation_count());
+}
+
+#[test]
+fn layer_memo_traffic_reaches_obs() {
+    let _guard = guard();
+    obs::force_metrics(true);
+
+    let ev = evaluator();
+    let before = obs::snapshot();
+    let point = vec![5, 2, 3, 3, 3, 3, 3];
+    ev.evaluate(&point).expect("legal point evaluates");
+    ev.evaluate(&point).expect("legal point evaluates");
+    let after = obs::snapshot();
+    let delta = |name: &str| after.counter(name) - before.counter(name);
+    let stats = ev.layer_memo_stats();
+    if stats.hits == 0 {
+        // Memo disabled via AUTOPILOT_LAYER_MEMO: nothing to check.
+        return;
+    }
+    assert_eq!(delta("systolic.memo.misses"), stats.misses);
+    assert_eq!(delta("systolic.memo.hits"), stats.hits);
+    assert_eq!(
+        delta("systolic.layers"),
+        stats.misses,
+        "the simulation counter must only count actual (memo-miss) simulations"
+    );
+}
+
+#[test]
 fn cached_evaluator_traffic_reaches_obs() {
     let _guard = guard();
     obs::force_metrics(true);
