@@ -4,10 +4,11 @@
 use autopilot_bench::tinybench::{BenchmarkId, Criterion};
 use autopilot_bench::{bench_group, bench_main};
 use autopilot_rng::Rng;
-use dse_opt::pareto::hypervolume;
+use dse_opt::linalg::sq_dist;
+use dse_opt::pareto::{hypervolume, hypervolume_contribution, ContributionScorer};
 use dse_opt::{
     DesignSpace, EvalError, Evaluator, GaussianProcess, MultiObjectiveOptimizer, Nsga2Optimizer,
-    RandomSearch, SmsEgoOptimizer,
+    RandomSearch, SmsEgoOptimizer, SparseGaussianProcess,
 };
 use std::hint::black_box;
 
@@ -74,6 +75,106 @@ fn bench_batch_predict(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_kernel_assembly(c: &mut Criterion) {
+    // Fused, cache-blocked kernel cross-matrix assembly
+    // (`cross_correlations`, shared by the exact and sparse GP paths)
+    // against the textbook per-entry loop it replaced.
+    let mut group = c.benchmark_group("gp_kernel_assembly");
+    let mut rng = Rng::seed_from_u64(6);
+    for n in [128usize, 512] {
+        let x: Vec<Vec<f64>> = (0..n).map(|_| (0..7).map(|_| rng.next_f64()).collect()).collect();
+        let y: Vec<f64> = x.iter().map(|p| p.iter().sum::<f64>().sin()).collect();
+        let gp = GaussianProcess::fit(&x, &y).expect("GP fits the synthetic sample");
+        let pool: Vec<Vec<f64>> =
+            (0..256).map(|_| (0..7).map(|_| rng.next_f64()).collect()).collect();
+        let ls = gp.lengthscale_sq();
+        group.bench_with_input(BenchmarkId::new("naive", n), &pool, |b, pool| {
+            b.iter(|| {
+                let out: Vec<Vec<f64>> = x
+                    .iter()
+                    .map(|xi| pool.iter().map(|p| (-0.5 * sq_dist(xi, p) / ls).exp()).collect())
+                    .collect();
+                black_box(out)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &pool, |b, pool| {
+            b.iter(|| black_box(gp.cross_correlations(black_box(pool))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hv_incremental(c: &mut Criterion) {
+    // SMS-EGO candidate scoring: the per-iteration ContributionScorer
+    // (obj-0 penalty prefix + incremental staircase union) against the
+    // naive full-front epsilon scan plus hypervolume_contribution
+    // rescan it replaced.
+    let mut group = c.benchmark_group("hv_incremental");
+    let mut rng = Rng::seed_from_u64(7);
+    let reference = vec![1.2, 1.2, 1.2];
+    for n in [64usize, 256] {
+        let front: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..3).map(|_| rng.next_f64()).collect()).collect();
+        let pool: Vec<Vec<f64>> =
+            (0..64).map(|_| (0..3).map(|_| rng.next_f64()).collect()).collect();
+        group.bench_with_input(BenchmarkId::new("full_rescan", n), &pool, |b, pool| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for cand in pool {
+                    let mut penalty = 0.0;
+                    for f in &front {
+                        if f.iter().zip(cand).all(|(fv, cv)| *fv <= cv + 1e-3) {
+                            let depth: f64 =
+                                f.iter().zip(cand).map(|(fv, cv)| (cv - fv).max(0.0)).sum();
+                            penalty += depth + 1e-3;
+                        }
+                    }
+                    acc += if penalty > 0.0 {
+                        -penalty
+                    } else {
+                        hypervolume_contribution(&front, cand, &reference)
+                    };
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scorer", n), &pool, |b, pool| {
+            b.iter(|| {
+                let scorer = ContributionScorer::new(&front, &reference);
+                let mut scratch = scorer.scratch();
+                let mut acc = 0.0;
+                for cand in pool {
+                    acc += scorer.score_with(&mut scratch, cand, 1e-3);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_inference(c: &mut Criterion) {
+    // Exact vs sparse batched inference at an archive size past the
+    // SurrogateMode threshold — the tentpole trade: O(n·pool) exact
+    // prediction against O(m·pool) sparse with m = 64 inducing points.
+    let mut group = c.benchmark_group("gp_sparse_inference");
+    group.sample_size(10);
+    let mut rng = Rng::seed_from_u64(8);
+    let n = 512;
+    let x: Vec<Vec<f64>> = (0..n).map(|_| (0..7).map(|_| rng.next_f64()).collect()).collect();
+    let y: Vec<f64> = x.iter().map(|p| p.iter().sum::<f64>().sin()).collect();
+    let exact = GaussianProcess::fit(&x, &y).expect("GP fits the synthetic sample");
+    let sparse = SparseGaussianProcess::fit(&x, &y, 64).expect("sparse GP fits");
+    let pool: Vec<Vec<f64>> = (0..256).map(|_| (0..7).map(|_| rng.next_f64()).collect()).collect();
+    group.bench_with_input(BenchmarkId::new("exact", n), &pool, |b, pool| {
+        b.iter(|| black_box(exact.predict_batch(black_box(pool))))
+    });
+    group.bench_with_input(BenchmarkId::new("sparse", n), &pool, |b, pool| {
+        b.iter(|| black_box(sparse.predict_batch(black_box(pool))))
+    });
+    group.finish();
+}
+
 fn bench_hypervolume(c: &mut Criterion) {
     let mut group = c.benchmark_group("hypervolume");
     let mut rng = Rng::seed_from_u64(2);
@@ -111,5 +212,14 @@ fn bench_optimizers(c: &mut Criterion) {
     group.finish();
 }
 
-bench_group!(benches, bench_gp, bench_batch_predict, bench_hypervolume, bench_optimizers);
+bench_group!(
+    benches,
+    bench_gp,
+    bench_batch_predict,
+    bench_kernel_assembly,
+    bench_hv_incremental,
+    bench_sparse_inference,
+    bench_hypervolume,
+    bench_optimizers
+);
 bench_main!(benches);

@@ -41,9 +41,26 @@
 //! Set `AUTOPILOT_BENCH_FAST=1` to run at a reduced budget and skip the
 //! tracked root copy and the end-to-end pipeline run — the mode the
 //! `scripts/verify.sh` perf-regression guard uses.
+//!
+//! Set `AUTOPILOT_BENCH_BUDGET=<n>` to switch to the *scale probe*: one
+//! instrumented sequential Phase-2 run at the given budget (large enough
+//! to engage the sparse surrogate), emitting `BENCH_phase2_scale.json`
+//! with the acquisition-to-run span ratio, the sparse-vs-exact inference
+//! speedup (`gp_sparse_speedup`), and the incremental-surrogate
+//! counters. The verify-script scale guard runs this at budget 2000.
+//!
+//! Cache-counter naming: the within-run `CandidateCache` hit counters are
+//! suffixed `_within_run` because continuous candidate keys are raw f64
+//! bit patterns — an optimizer that never revisits a design point cannot
+//! hit within a single run, and a bare `cache_hits: 0` used to read as
+//! "cache broken" instead of "cache keyed for cross-run reuse". The
+//! `cache_hits_cross_run` fields measure the cache doing its actual job:
+//! a repeated run against a shared cache must be pure hits.
 
 use air_sim::{AirLearningDatabase, ObstacleDensity};
-use autopilot::{AutoPilot, AutopilotConfig, DssocEvaluator, Phase1, Phase2, TaskSpec};
+use autopilot::{
+    AutoPilot, AutopilotConfig, CandidateCache, DssocEvaluator, Phase1, Phase2, TaskSpec,
+};
 use autopilot_obs as obs;
 use autopilot_obs::json::Value;
 use std::time::Instant;
@@ -67,6 +84,15 @@ fn min_time(reps: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
+    // Scale mode: a budget override switches to the single-run scale
+    // probe (the full overhead/replay battery would multiply a
+    // multi-thousand-point run seven-fold for no extra information).
+    if let Some(budget) =
+        std::env::var("AUTOPILOT_BENCH_BUDGET").ok().and_then(|v| v.parse::<usize>().ok())
+    {
+        scale_probe(budget);
+        return;
+    }
     let fast = matches!(std::env::var("AUTOPILOT_BENCH_FAST"), Ok(v) if v != "0");
     let config = AutopilotConfig::paper(7);
     let density = ObstacleDensity::Dense;
@@ -111,10 +137,11 @@ fn main() {
         last_on = Some(on_out);
     }
     let seq_out = last_on.expect("overhead loop ran");
-    // Min-of-reps makes a negative difference noise by construction;
-    // floor it so the reported overhead is never below zero.
-    let obs_overhead_pct =
-        ((phase2_sequential_s - phase2_obs_off_s) / phase2_obs_off_s * 100.0).max(0.0);
+    // Min-of-reps makes a negative difference noise by construction; the
+    // raw signed value is reported alongside so negative-noise runs are
+    // visible instead of silently clamped to zero.
+    let obs_overhead_pct_raw = (phase2_sequential_s - phase2_obs_off_s) / phase2_obs_off_s * 100.0;
+    let obs_overhead_pct = obs_overhead_pct_raw.max(0.0);
 
     // Snapshot *before* the parallel runs: these counters and spans
     // cover exactly one sequential run, so the obs cache counters must
@@ -130,6 +157,9 @@ fn main() {
     );
     let gp_full_refits = seq_snap.counter("dse.gp.full_refit");
     let gp_rank1_extends = seq_snap.counter("dse.gp.rank1_extend");
+    let gp_retargets = seq_snap.counter("bo.gp.retarget");
+    let gp_downdates = seq_snap.counter("bo.gp.downdate");
+    let hv_incremental_scores = seq_snap.counter("bo.hv.incremental");
     let systolic_layers = seq_snap.counter("systolic.layers");
     let span_phase2_run_s = seq_snap.span_total_s("phase2.run");
     let span_acquisition_s = seq_snap.span_total_s("bo.acquisition");
@@ -145,6 +175,20 @@ fn main() {
             "optimizer output must be bit-identical across thread counts"
         );
     });
+
+    // Cross-run cache traffic: within one run every continuous candidate
+    // key is unique, so the within-run hit counters are structurally zero
+    // at paper budgets; the cache earns its keep across repeated runs
+    // (Fig5-style scenario repetition), where the second pass must be
+    // pure hits.
+    let (cross_run_hits, cross_run_misses) = {
+        let shared = CandidateCache::new();
+        let first = phase2.run_with_cache(&evaluator, &shared).expect("phase 2 runs");
+        let second = phase2.run_with_cache(&evaluator, &shared).expect("phase 2 runs");
+        assert_eq!(first.result, second.result, "shared-cache rerun must be deterministic");
+        assert_eq!(second.cache_stats.misses, 0, "repeat run must be pure cache hits");
+        (second.cache_stats.hits, first.cache_stats.misses)
+    };
 
     // The pre-cache Phase 2 re-ran the simulator over the whole history
     // a second time while assembling candidates; measure that pass with
@@ -231,6 +275,7 @@ fn main() {
         ("phase2_sequential_obs_off_s".into(), num(phase2_obs_off_s)),
         ("phase2_sequential_obs_on_s".into(), num(phase2_sequential_s)),
         ("obs_overhead_pct".into(), num(obs_overhead_pct)),
+        ("obs_overhead_pct_raw".into(), num(obs_overhead_pct_raw)),
         ("reeval_history_s".into(), num(reeval_history_s)),
         ("gp_every_iteration_s".into(), num(gp_every_iteration_s)),
         ("gp_milestones_s".into(), num(gp_milestones_s)),
@@ -240,14 +285,28 @@ fn main() {
         ("uncached_baseline_s".into(), num(uncached_baseline_s)),
         ("speedup_single_thread".into(), num(uncached_baseline_s / phase2_sequential_s)),
         ("speedup_parallel".into(), num(uncached_baseline_s / phase2_parallel_s)),
-        ("cache_hits".into(), num(stats.hits as f64)),
-        ("cache_misses".into(), num(stats.misses as f64)),
-        ("cache_hit_rate".into(), num(stats.hit_rate())),
-        ("obs_cache_hits".into(), num(cache_hits as f64)),
-        ("obs_cache_misses".into(), num(cache_misses as f64)),
-        ("obs_cache_hit_rate".into(), num(cache_hits as f64 / total as f64)),
+        (
+            "cache_note".into(),
+            Value::Str(
+                "within-run hit counters are structurally 0: candidate keys are exact design \
+                 points and the optimizer never revisits one; cross-run fields show the cache \
+                 serving repeated scenario runs"
+                    .into(),
+            ),
+        ),
+        ("cache_hits_within_run".into(), num(stats.hits as f64)),
+        ("cache_misses_within_run".into(), num(stats.misses as f64)),
+        ("cache_hit_rate_within_run".into(), num(stats.hit_rate())),
+        ("cache_hits_cross_run".into(), num(cross_run_hits as f64)),
+        ("cache_misses_cross_run".into(), num(cross_run_misses as f64)),
+        ("obs_cache_hits_within_run".into(), num(cache_hits as f64)),
+        ("obs_cache_misses_within_run".into(), num(cache_misses as f64)),
+        ("obs_cache_hit_rate_within_run".into(), num(cache_hits as f64 / total as f64)),
         ("gp_full_refits".into(), num(gp_full_refits as f64)),
         ("gp_rank1_extends".into(), num(gp_rank1_extends as f64)),
+        ("gp_retargets".into(), num(gp_retargets as f64)),
+        ("gp_downdates".into(), num(gp_downdates as f64)),
+        ("hv_incremental_scores".into(), num(hv_incremental_scores as f64)),
         ("systolic_layers_simulated".into(), num(systolic_layers as f64)),
         ("systolic_memo_hits".into(), num(memo_stats.hits as f64)),
         ("systolic_memo_misses".into(), num(memo_stats.misses as f64)),
@@ -295,4 +354,106 @@ fn main() {
         );
     }
     autopilot_bench::write_telemetry("timing_probe");
+}
+
+/// Scale probe (`AUTOPILOT_BENCH_BUDGET=<n>`): one instrumented
+/// sequential Phase-2 run at an arbitrary budget, plus a sparse-vs-exact
+/// inference benchmark over the resulting archive. Emits
+/// `BENCH_phase2_scale.json` under `results/`; never touches the tracked
+/// full-probe numbers.
+///
+/// Past the default [`dse_opt::SurrogateMode`] threshold (256 points)
+/// the optimizer engages the low-rank sparse surrogates automatically,
+/// so a budget-2000 run here exercises the scalable-inference path
+/// end-to-end; the verify-script guard asserts the acquisition-scoring
+/// span stays under half the total run span.
+fn scale_probe(budget: usize) {
+    let config = AutopilotConfig::paper(7);
+    let density = ObstacleDensity::Dense;
+    let mut db = AirLearningDatabase::new();
+    Phase1::new(config.success_model, config.seed).populate(density, &mut db);
+    let evaluator = DssocEvaluator::new(db, density);
+    let phase2 = Phase2::new(config.optimizer, budget, config.seed);
+
+    obs::force_metrics(true);
+    obs::reset();
+    let t0 = Instant::now();
+    let out = phase2.with_threads(1).run(&evaluator).expect("phase 2 runs");
+    let wall_s = t0.elapsed().as_secs_f64();
+    let snap = obs::snapshot();
+    let span_phase2_run_s = snap.span_total_s("phase2.run");
+    let span_score_s = snap.span_total_s("bo.acquisition.score");
+    let span_gp_predict_s = snap.span_total_s("bo.acquisition.gp_predict");
+    let span_hv_score_s = snap.span_total_s("bo.acquisition.hv_score");
+    let score_ratio = span_score_s / span_phase2_run_s.max(1e-12);
+
+    // Sparse-vs-exact batched inference over this run's archive, same
+    // query pool for both packs. The exact pack's training size is
+    // capped: its O(n³) fit and O(n·pool) prediction are precisely what
+    // stops scaling, and the cap keeps the baseline measurable instead
+    // of dominating the probe.
+    let space = autopilot::JointSpace::design_space();
+    let xs: Vec<Vec<f64>> = out.result.evaluations.iter().map(|e| space.encode(&e.point)).collect();
+    let ys: Vec<Vec<f64>> =
+        (0..3).map(|k| out.result.evaluations.iter().map(|e| e.objectives[k]).collect()).collect();
+    let n_exact = xs.len().min(768);
+    let exact0 =
+        dse_opt::GaussianProcess::fit(&xs[..n_exact], &ys[0][..n_exact]).expect("exact GP fits");
+    let ls = exact0.lengthscale_sq();
+    let exact: Vec<dse_opt::GaussianProcess> = ys
+        .iter()
+        .map(|y| {
+            dse_opt::GaussianProcess::fit_with_lengthscale(&xs[..n_exact], &y[..n_exact], ls)
+                .expect("exact GP fits")
+        })
+        .collect();
+    let sparse: Vec<dse_opt::SparseGaussianProcess> = ys
+        .iter()
+        .map(|y| {
+            dse_opt::SparseGaussianProcess::fit_with_lengthscale(&xs, y, ls, 64)
+                .expect("sparse GP fits")
+        })
+        .collect();
+    let pool: Vec<Vec<f64>> = xs.iter().take(512).cloned().collect();
+    let exact_batch_s = min_time(3, || {
+        let corr = exact[0].cross_correlations(&pool);
+        for gp in &exact {
+            let _ = std::hint::black_box(gp.predict_batch_from_correlations(&corr));
+        }
+    });
+    let sparse_batch_s = min_time(3, || {
+        let corr = sparse[0].cross_correlations(&pool);
+        for gp in &sparse {
+            let _ = std::hint::black_box(gp.predict_batch_from_correlations(&corr));
+        }
+    });
+    let gp_sparse_speedup = exact_batch_s / sparse_batch_s.max(1e-12);
+
+    let report = Value::Obj(vec![
+        ("budget".into(), num(budget as f64)),
+        ("optimizer".into(), Value::Str(format!("{:?}", config.optimizer))),
+        ("wall_s".into(), num(wall_s)),
+        ("span_phase2_run_s".into(), num(span_phase2_run_s)),
+        ("span_bo_acquisition_score_s".into(), num(span_score_s)),
+        ("span_bo_acquisition_gp_predict_s".into(), num(span_gp_predict_s)),
+        ("span_bo_acquisition_hv_score_s".into(), num(span_hv_score_s)),
+        ("acquisition_score_ratio".into(), num(score_ratio)),
+        ("gp_sparse_speedup".into(), num(gp_sparse_speedup)),
+        ("gp_sparse_speedup_exact_n".into(), num(n_exact as f64)),
+        ("gp_sparse_speedup_pool".into(), num(pool.len() as f64)),
+        ("gp_sparse_fits".into(), num(snap.counter("bo.gp.sparse.fit") as f64)),
+        ("gp_sparse_extends".into(), num(snap.counter("bo.gp.sparse.extend") as f64)),
+        ("gp_sparse_predicts".into(), num(snap.counter("bo.gp.sparse.predict") as f64)),
+        ("gp_full_refits".into(), num(snap.counter("dse.gp.full_refit") as f64)),
+        ("gp_rank1_extends".into(), num(snap.counter("dse.gp.rank1_extend") as f64)),
+        ("gp_retargets".into(), num(snap.counter("bo.gp.retarget") as f64)),
+        ("gp_downdates".into(), num(snap.counter("bo.gp.downdate") as f64)),
+        ("hv_incremental_scores".into(), num(snap.counter("bo.hv.incremental") as f64)),
+    ]);
+    autopilot_bench::emit("BENCH_phase2_scale.json", &report.to_json_pretty());
+    println!(
+        "scale probe: budget {budget} in {wall_s:.2}s | score span {span_score_s:.3}s / run span \
+         {span_phase2_run_s:.3}s (ratio {score_ratio:.3}) | gp {span_gp_predict_s:.3}s / hv \
+         {span_hv_score_s:.3}s | sparse speedup {gp_sparse_speedup:.1}x (exact n={n_exact})"
+    );
 }

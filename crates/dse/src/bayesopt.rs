@@ -6,9 +6,9 @@ use std::collections::HashSet;
 
 use crate::error::{DseError, EvalError};
 use crate::evaluator::{Evaluator, MultiObjectiveOptimizer};
-use crate::gp::{DistanceCache, GaussianProcess};
+use crate::gp::{DistanceCache, GaussianProcess, SparseGaussianProcess, SurrogateMode};
 use crate::par;
-use crate::pareto::{hypervolume_contribution, IncrementalFront};
+use crate::pareto::{ContributionScorer, IncrementalFront};
 use crate::result::{EvaluationRecord, OptimizationResult};
 use crate::space::DesignSpace;
 
@@ -23,12 +23,20 @@ use crate::space::DesignSpace;
 /// The inner loop is engineered to stay cheap at paper-scale budgets:
 /// the per-objective GPs grow by rank-1 Cholesky extension (O(n²) per
 /// new observation) between milestone full refits of the lengthscale,
-/// objective ranges are running min/max rather than per-iteration
-/// rescans, candidate scores use the exclusive hypervolume contribution
-/// (no full-front recomputation per candidate), and both the initial
-/// sampling and the acquisition scoring fan out over worker threads
-/// with results gathered in index order — so a run is bit-identical for
-/// a fixed seed regardless of thread count.
+/// range moves of the normalization *retarget* the existing
+/// factorization instead of refitting, window slides *downdate* it one
+/// oldest point at a time, objective ranges are running min/max rather
+/// than per-iteration rescans, candidate scores reuse a per-iteration
+/// [`ContributionScorer`] (no full-front rescan per candidate), and
+/// both the initial sampling and the acquisition scoring fan out over
+/// worker threads with results gathered in index order — so a run is
+/// bit-identical for a fixed seed regardless of thread count.
+///
+/// Past the archive size set by [`SurrogateMode`] (default threshold
+/// 256, overridable via the `AUTOPILOT_GP_SPARSE` env variable), the
+/// per-objective surrogates switch from exact GPs to low-rank sparse
+/// ones over the *full* archive, keeping large-budget runs
+/// (paper-style budget-2000 fleet sweeps) out of O(n³) territory.
 #[derive(Debug, Clone)]
 pub struct SmsEgoOptimizer {
     seed: u64,
@@ -36,6 +44,7 @@ pub struct SmsEgoOptimizer {
     candidate_pool: usize,
     beta: f64,
     max_gp_points: usize,
+    surrogate: SurrogateMode,
     seed_points: Vec<Vec<usize>>,
     threads: Option<usize>,
 }
@@ -49,9 +58,26 @@ impl SmsEgoOptimizer {
             candidate_pool: 256,
             beta: 1.0,
             max_gp_points: 256,
+            surrogate: SurrogateMode::from_env(),
             seed_points: Vec::new(),
             threads: None,
         }
+    }
+
+    /// Overrides the surrogate engagement policy (default: read from the
+    /// `AUTOPILOT_GP_SPARSE` env variable, falling back to sparse past
+    /// 256 archived points).
+    pub fn with_surrogate_mode(mut self, mode: SurrogateMode) -> SmsEgoOptimizer {
+        self.surrogate = mode;
+        self
+    }
+
+    /// Overrides the exact-GP sliding-window size (the most recent `n`
+    /// archive points train the surrogates while the exact path is
+    /// active).
+    pub fn with_max_gp_points(mut self, n: usize) -> SmsEgoOptimizer {
+        self.max_gp_points = n.max(8);
+        self
     }
 
     /// Adds domain-informed points evaluated before the random
@@ -191,17 +217,78 @@ impl AcquisitionState {
     }
 }
 
+/// The per-objective surrogate ensemble, exact or sparse. All members
+/// always share training inputs, lengthscale, and (for the sparse kind)
+/// inducing set, which is what lets one kernel cross-matrix serve the
+/// whole pack during acquisition scoring.
+enum SurrogatePack {
+    Exact(Vec<GaussianProcess>),
+    Sparse(Vec<SparseGaussianProcess>),
+}
+
+impl SurrogatePack {
+    fn is_sparse(&self) -> bool {
+        matches!(self, SurrogatePack::Sparse(_))
+    }
+
+    fn n_obj(&self) -> usize {
+        match self {
+            SurrogatePack::Exact(gps) => gps.len(),
+            SurrogatePack::Sparse(gps) => gps.len(),
+        }
+    }
+
+    /// Appends one observation to every member. A partial failure leaves
+    /// the pack inconsistent; the caller must fall back to a full refit
+    /// in that case.
+    fn extend_all(&mut self, x: &[f64], ys: &[f64]) -> bool {
+        match self {
+            SurrogatePack::Exact(gps) => gps.iter_mut().zip(ys).all(|(gp, &y)| gp.extend(x, y)),
+            SurrogatePack::Sparse(gps) => gps.iter_mut().zip(ys).all(|(gp, &y)| gp.extend(x, y)),
+        }
+    }
+
+    /// Replaces every member's training targets in place (same
+    /// inconsistency caveat as [`SurrogatePack::extend_all`]).
+    fn retarget_all(&mut self, ys: &[Vec<f64>]) -> bool {
+        match self {
+            SurrogatePack::Exact(gps) => gps.iter_mut().zip(ys).all(|(gp, y)| gp.retarget(y)),
+            SurrogatePack::Sparse(gps) => gps.iter_mut().zip(ys).all(|(gp, y)| gp.retarget(y)),
+        }
+    }
+
+    /// Downdates every member past its oldest training point. Only the
+    /// exact kind supports this (the sparse kind trains on the full
+    /// archive and never slides).
+    fn drop_oldest_all(&mut self) -> bool {
+        match self {
+            SurrogatePack::Exact(gps) => gps.iter_mut().all(GaussianProcess::drop_oldest),
+            SurrogatePack::Sparse(_) => false,
+        }
+    }
+}
+
 /// Per-objective GP surrogates kept current incrementally.
 ///
-/// Training targets are objectives normalized by the archive ranges, so
-/// the pack is only extendable while those ranges (and the training
-/// window) are unchanged; any range movement, window slide, milestone
-/// refit, or failed rank-1 extension falls back to a full refit. Between
-/// refits the lengthscale is frozen, which is what makes the O(n²)
-/// Cholesky bordering exact.
+/// Training targets are objectives normalized by the archive ranges.
+/// Between milestone refits the lengthscale (and noise) is frozen, which
+/// is what makes every incremental pathway exact linear algebra rather
+/// than approximation:
+///
+/// * new observations are rank-1 Cholesky *extensions* (O(n²) exact,
+///   O(m²) sparse),
+/// * archive range moves are *retargets* — new normalized targets are
+///   re-solved against the existing factorization (O(n²) / O(n·m))
+///   instead of refitting,
+/// * training-window slides are rank-1 Cholesky *downdates* of the
+///   oldest point (exact kind only; the sparse kind trains on the full
+///   archive).
+///
+/// Any failed incremental step falls back to a full refit, and the
+/// milestone schedule still refreshes the lengthscale every
+/// `max(n/4, 4)` points.
 struct Surrogates {
-    gps: Vec<GaussianProcess>,
-    dists: DistanceCache,
+    pack: SurrogatePack,
     start: usize,
     trained: usize,
     next_refit: usize,
@@ -210,52 +297,109 @@ struct Surrogates {
 }
 
 impl Surrogates {
-    /// Brings the surrogates up to date with the archive, extending
-    /// incrementally when valid and refitting otherwise. Returns `None`
-    /// when the window cannot be fitted (degenerate geometry); the caller
-    /// then falls back to random sampling for this iteration.
+    /// Brings the surrogates up to date with the archive, incrementally
+    /// when valid and refitting otherwise. Returns `None` when the
+    /// window cannot be fitted (degenerate geometry); the caller then
+    /// falls back to random sampling for this iteration.
     fn update(
         current: Option<Surrogates>,
         space: &DesignSpace,
         archive: &Archive,
         max_gp_points: usize,
+        mode: SurrogateMode,
     ) -> Option<Surrogates> {
         let n = archive.len();
-        let start = n.saturating_sub(max_gp_points);
+        let sparse_inducing = match mode {
+            SurrogateMode::Sparse { threshold, inducing } if n > threshold => Some(inducing),
+            _ => None,
+        };
+        // The sparse surrogate is low-rank in the inducing set, so it
+        // affords the full archive; the exact kind slides a window.
+        let start = if sparse_inducing.is_some() { 0 } else { n.saturating_sub(max_gp_points) };
         if let Some(mut s) = current {
-            let extendable = s.start == start
-                && n < s.next_refit
-                && s.norm_mins == archive.mins
-                && s.norm_maxs == archive.maxs;
-            if extendable {
-                let before = s.trained;
-                if s.try_extend(space, archive) {
-                    obs::add("dse.gp.rank1_extend", (s.trained - before) as u64);
+            let compatible = s.pack.is_sparse() == sparse_inducing.is_some()
+                && s.start <= start
+                && n < s.next_refit;
+            if compatible {
+                if s.reuse(space, archive, start) {
                     return Some(s);
                 }
                 obs::add("dse.gp.extend_fallback", 1);
             }
         }
         obs::add("dse.gp.full_refit", 1);
-        Surrogates::full_fit(space, archive, start)
+        Surrogates::full_fit(space, archive, start, sparse_inducing)
+    }
+
+    /// Brings an existing pack current without refitting: retarget on
+    /// range moves, slide the window by downdates, extend new points.
+    fn reuse(&mut self, space: &DesignSpace, archive: &Archive, start: usize) -> bool {
+        if (self.norm_mins != archive.mins || self.norm_maxs != archive.maxs)
+            && !self.retarget(archive)
+        {
+            return false;
+        }
+        while self.start < start {
+            if !self.pack.drop_oldest_all() {
+                return false;
+            }
+            self.start += 1;
+            obs::add("bo.gp.downdate", 1);
+        }
+        self.try_extend(space, archive)
+    }
+
+    /// Renormalizes the training targets of the records already inside
+    /// the pack against the archive's moved ranges, reusing the
+    /// factorization. Pairs with the acquisition side's
+    /// `bo.front.rebuild`: a range move now costs two triangular solves
+    /// per objective instead of a full refit.
+    fn retarget(&mut self, archive: &Archive) -> bool {
+        let window = &archive.history[self.start..self.trained];
+        let n_obj = archive.mins.len();
+        let ys: Vec<Vec<f64>> = (0..n_obj)
+            .map(|obj| {
+                window
+                    .iter()
+                    .map(|e| normalize(e.objectives[obj], archive.mins[obj], archive.maxs[obj]))
+                    .collect()
+            })
+            .collect();
+        if !self.pack.retarget_all(&ys) {
+            return false;
+        }
+        self.norm_mins = archive.mins.clone();
+        self.norm_maxs = archive.maxs.clone();
+        obs::add("bo.gp.retarget", 1);
+        true
     }
 
     fn try_extend(&mut self, space: &DesignSpace, archive: &Archive) -> bool {
+        let counter =
+            if self.pack.is_sparse() { "bo.gp.sparse.extend" } else { "dse.gp.rank1_extend" };
         for rec in &archive.history[self.trained..] {
             let x = space.encode(&rec.point);
-            self.dists.push(x.clone());
-            for (obj, gp) in self.gps.iter_mut().enumerate() {
-                let y = normalize(rec.objectives[obj], self.norm_mins[obj], self.norm_maxs[obj]);
-                if !gp.extend(&x, y) {
-                    return false;
-                }
+            let ys: Vec<f64> = rec
+                .objectives
+                .iter()
+                .enumerate()
+                .map(|(obj, &v)| normalize(v, self.norm_mins[obj], self.norm_maxs[obj]))
+                .collect();
+            if !self.pack.extend_all(&x, &ys) {
+                return false;
             }
+            obs::add(counter, 1);
         }
         self.trained = archive.len();
         true
     }
 
-    fn full_fit(space: &DesignSpace, archive: &Archive, start: usize) -> Option<Surrogates> {
+    fn full_fit(
+        space: &DesignSpace,
+        archive: &Archive,
+        start: usize,
+        sparse_inducing: Option<usize>,
+    ) -> Option<Surrogates> {
         let n = archive.len();
         let train = &archive.history[start..];
         let xs: Vec<Vec<f64>> = train.iter().map(|e| space.encode(&e.point)).collect();
@@ -265,20 +409,43 @@ impl Surrogates {
         }
         let lengthscale_sq = dists.median_sq_dist();
         let n_obj = archive.mins.len();
-        let mut gps = Vec::with_capacity(n_obj);
-        for obj in 0..n_obj {
-            let ys: Vec<f64> = train
+        let targets = |obj: usize| -> Vec<f64> {
+            train
                 .iter()
                 .map(|e| normalize(e.objectives[obj], archive.mins[obj], archive.maxs[obj]))
-                .collect();
-            // A degenerate fit (duplicate geometry, singular kernel) is
-            // non-fatal here: the caller falls back to random sampling
-            // for this iteration rather than aborting the run.
-            gps.push(GaussianProcess::fit_with_lengthscale(&xs, &ys, lengthscale_sq).ok()?);
-        }
+                .collect()
+        };
+        // A degenerate fit (duplicate geometry, singular kernel) is
+        // non-fatal here: the caller falls back to random sampling for
+        // this iteration rather than aborting the run.
+        let pack = if let Some(m) = sparse_inducing {
+            let mut gps = Vec::with_capacity(n_obj);
+            for obj in 0..n_obj {
+                gps.push(
+                    SparseGaussianProcess::fit_with_lengthscale(
+                        &xs,
+                        &targets(obj),
+                        lengthscale_sq,
+                        m,
+                    )
+                    .ok()?,
+                );
+            }
+            obs::add("bo.gp.sparse.fit", 1);
+            obs::gauge_set("bo.gp.sparse.inducing", gps[0].inducing_count() as f64);
+            SurrogatePack::Sparse(gps)
+        } else {
+            let mut gps = Vec::with_capacity(n_obj);
+            for obj in 0..n_obj {
+                gps.push(
+                    GaussianProcess::fit_with_lengthscale(&xs, &targets(obj), lengthscale_sq)
+                        .ok()?,
+                );
+            }
+            SurrogatePack::Exact(gps)
+        };
         Some(Surrogates {
-            gps,
-            dists,
+            pack,
             start,
             trained: n,
             // Milestone schedule: refreshing the lengthscale every
@@ -348,7 +515,13 @@ impl MultiObjectiveOptimizer for SmsEgoOptimizer {
         while archive.len() < budget {
             let _iter = obs::span("bo.iteration");
             surrogates = obs::time("bo.surrogate_update", || {
-                Surrogates::update(surrogates.take(), space, &archive, self.max_gp_points)
+                Surrogates::update(
+                    surrogates.take(),
+                    space,
+                    &archive,
+                    self.max_gp_points,
+                    self.surrogate,
+                )
             });
             let next = match &surrogates {
                 Some(s) => obs::time("bo.acquisition", || {
@@ -393,7 +566,12 @@ impl SmsEgoOptimizer {
         // when the archive ranges moved).
         obs::time("bo.acquisition.front_sync", || acquisition.sync(archive));
         let front = acquisition.norm_front.points();
-        let reference = vec![1.2; surrogates.gps.len()];
+        obs::gauge_set("bo.front.size", front.len() as f64);
+        let reference = vec![1.2; surrogates.pack.n_obj()];
+        // One scorer per iteration: the front is frozen during scoring,
+        // so its obj-0 index and incremental-staircase machinery are
+        // shared read-only across every chunk below.
+        let scorer = ContributionScorer::new(front, &reference);
 
         // Candidate pool: random points plus ordinal neighbours of the
         // Pareto-set designs (local refinement). Drawn sequentially so the
@@ -419,47 +597,45 @@ impl SmsEgoOptimizer {
             par::parallel_map_with(workers, &chunks, |_, chunk| {
                 obs::observe("bo.acquisition.batch_size", chunk.len() as f64);
                 let xs: Vec<Vec<f64>> = chunk.iter().map(|cand| space.encode(cand)).collect();
-                let corr = surrogates.gps[0].cross_correlations(&xs);
-                let preds: Vec<Vec<(f64, f64)>> = surrogates
-                    .gps
-                    .iter()
-                    .map(|gp| gp.predict_batch_from_correlations(&corr))
-                    .collect();
-                chunk
-                    .iter()
-                    .enumerate()
-                    .map(|(k, cand)| {
-                        if archive.seen.contains(cand) {
-                            return None;
+                let preds: Vec<Vec<(f64, f64)>> =
+                    obs::time("bo.acquisition.gp_predict", || match &surrogates.pack {
+                        SurrogatePack::Exact(gps) => {
+                            let corr = gps[0].cross_correlations(&xs);
+                            gps.iter().map(|gp| gp.predict_batch_from_correlations(&corr)).collect()
                         }
-                        let lcb: Vec<f64> = preds
-                            .iter()
-                            .map(|p| {
-                                let (m, v) = p[k];
-                                m - self.beta * v.sqrt()
-                            })
-                            .collect();
-                        // SMS-EGO scoring: epsilon-dominated candidates
-                        // get a negative penalty proportional to how deep
-                        // they are dominated; otherwise score by
-                        // hypervolume improvement (the exclusive
-                        // contribution of the LCB vector to the front).
-                        let eps = 1e-3;
-                        let mut penalty = 0.0;
-                        for f in front {
-                            if f.iter().zip(&lcb).all(|(fv, lv)| *fv <= lv + eps) {
-                                let depth: f64 =
-                                    f.iter().zip(&lcb).map(|(fv, lv)| (lv - fv).max(0.0)).sum();
-                                penalty += depth + eps;
+                        SurrogatePack::Sparse(gps) => {
+                            obs::add("bo.gp.sparse.predict", 1);
+                            let corr = gps[0].cross_correlations(&xs);
+                            gps.iter().map(|gp| gp.predict_batch_from_correlations(&corr)).collect()
+                        }
+                    });
+                // Buffers reused across the whole chunk: steady-state
+                // scoring allocates nothing per candidate.
+                let mut scratch = scorer.scratch();
+                let mut lcb = vec![0.0; preds.len()];
+                let scores: Vec<Option<f64>> = obs::time("bo.acquisition.hv_score", || {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(k, cand)| {
+                            if archive.seen.contains(cand) {
+                                return None;
                             }
-                        }
-                        Some(if penalty > 0.0 {
-                            -penalty
-                        } else {
-                            hypervolume_contribution(front, &lcb, &reference)
+                            for (slot, p) in lcb.iter_mut().zip(&preds) {
+                                let (m, v) = p[k];
+                                *slot = m - self.beta * v.sqrt();
+                            }
+                            // SMS-EGO scoring: epsilon-dominated candidates
+                            // get a negative penalty proportional to how deep
+                            // they are dominated; otherwise score by
+                            // hypervolume improvement (the exclusive
+                            // contribution of the LCB vector to the front).
+                            Some(scorer.score_with(&mut scratch, &lcb, 1e-3))
                         })
-                    })
-                    .collect()
+                        .collect()
+                });
+                obs::add("bo.hv.incremental", scores.iter().filter(|s| s.is_some()).count() as u64);
+                scores
             })
         });
 
@@ -571,6 +747,75 @@ mod tests {
         let mut bo = SmsEgoOptimizer::new(1).with_init_samples(2);
         let res = bo.run(&space, &Tradeoff, 50).unwrap();
         assert_eq!(res.evaluation_count(), 3); // space exhausted
+    }
+
+    #[test]
+    fn sparse_mode_is_deterministic_across_threads() {
+        // Low threshold forces the sparse surrogate to engage mid-run;
+        // the run must stay bit-identical for any worker count.
+        let space = DesignSpace::new(vec![8, 8, 8]).unwrap();
+        let run = |threads| {
+            SmsEgoOptimizer::new(9)
+                .with_init_samples(8)
+                .with_candidate_pool(32)
+                .with_surrogate_mode(SurrogateMode::Sparse { threshold: 12, inducing: 8 })
+                .with_threads(threads)
+                .run(&space, &Bowl3, 30)
+                .unwrap()
+        };
+        let base = run(1);
+        assert_eq!(base.evaluation_count(), 30);
+        for t in [2, 4] {
+            assert_eq!(base, run(t), "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn sparse_mode_keeps_pace_with_exact_on_bowl() {
+        let space = DesignSpace::new(vec![8, 8, 8]).unwrap();
+        let budget = 40;
+        let mut sparse_total = 0.0;
+        let mut exact_total = 0.0;
+        for seed in 0..3 {
+            sparse_total += SmsEgoOptimizer::new(seed)
+                .with_init_samples(10)
+                .with_candidate_pool(64)
+                .with_surrogate_mode(SurrogateMode::Sparse { threshold: 16, inducing: 12 })
+                .run(&space, &Bowl3, budget)
+                .unwrap()
+                .final_hypervolume();
+            exact_total += SmsEgoOptimizer::new(seed)
+                .with_init_samples(10)
+                .with_candidate_pool(64)
+                .with_surrogate_mode(SurrogateMode::Exact)
+                .run(&space, &Bowl3, budget)
+                .unwrap()
+                .final_hypervolume();
+        }
+        assert!(
+            sparse_total >= exact_total * 0.95,
+            "sparse BO {sparse_total:.4} clearly worse than exact {exact_total:.4}"
+        );
+    }
+
+    #[test]
+    fn sliding_window_downdates_stay_deterministic() {
+        // A tiny exact-GP window on a longer run forces the downdate
+        // (drop-oldest) path every iteration past the window size.
+        let space = DesignSpace::new(vec![8, 8, 8]).unwrap();
+        let run = |threads| {
+            SmsEgoOptimizer::new(11)
+                .with_init_samples(8)
+                .with_candidate_pool(32)
+                .with_max_gp_points(12)
+                .with_surrogate_mode(SurrogateMode::Exact)
+                .with_threads(threads)
+                .run(&space, &Bowl3, 28)
+                .unwrap()
+        };
+        let base = run(1);
+        assert_eq!(base.evaluation_count(), 28);
+        assert_eq!(base, run(3), "downdate path must be thread-independent");
     }
 
     #[test]

@@ -1,8 +1,172 @@
-//! Exact Gaussian-process regression with a squared-exponential kernel,
-//! supporting incremental O(n²) updates.
+//! Gaussian-process regression with a squared-exponential kernel:
+//! an exact GP supporting incremental O(n²) updates and downdates, a
+//! low-rank Nyström/DTC sparse GP for large archives
+//! ([`SparseGaussianProcess`]), and the [`SurrogateMode`] switch that
+//! selects between them (`AUTOPILOT_GP_SPARSE`).
 
 use crate::error::GpError;
 use crate::linalg::{dot, sq_dist, Matrix};
+
+/// Environment variable selecting the surrogate inference mode for the
+/// SMS-EGO optimizer. Accepted values:
+///
+/// | value                        | meaning                                            |
+/// |------------------------------|----------------------------------------------------|
+/// | *(unset)*, `1`, `on`, `true` | default: exact below 256 points, sparse above      |
+/// | `0`, `off`, `false`, `exact` | always exact (sliding-window) GPs                  |
+/// | `N`                          | sparse past `N` points, `max(N/4, 16)` inducing    |
+/// | `N:M`                        | sparse past `N` points with `M` inducing points    |
+pub const GP_SPARSE_ENV: &str = "AUTOPILOT_GP_SPARSE";
+
+/// Which surrogate the Bayesian-optimization loop trains as the archive
+/// grows. Exact GP inference is O(n³) per refit and O(n²) per candidate
+/// batch row; the sparse mode caps both at the inducing-point count `m`,
+/// trading a bounded approximation error for archive-scale budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SurrogateMode {
+    /// Always exact (sliding-window) GPs, regardless of archive size.
+    Exact,
+    /// Exact while the training window holds at most `threshold` points;
+    /// past that, a [`SparseGaussianProcess`] with `inducing` inducing
+    /// points trained on the *full* archive (no window).
+    Sparse {
+        /// Training-set size past which the sparse path engages.
+        threshold: usize,
+        /// Number of inducing points (clamped to the training size).
+        inducing: usize,
+    },
+}
+
+impl SurrogateMode {
+    /// The default threshold/inducing configuration: exact below n≈256,
+    /// 64 inducing points above.
+    pub const fn default_sparse() -> SurrogateMode {
+        SurrogateMode::Sparse { threshold: 256, inducing: 64 }
+    }
+
+    /// Reads the mode from [`GP_SPARSE_ENV`]; unset or unparsable values
+    /// fall back to [`SurrogateMode::default_sparse`] (with a warn-level
+    /// obs event for the unparsable case).
+    pub fn from_env() -> SurrogateMode {
+        let raw = match std::env::var(GP_SPARSE_ENV) {
+            Ok(v) => v,
+            Err(_) => return SurrogateMode::default_sparse(),
+        };
+        match SurrogateMode::parse(&raw) {
+            Some(mode) => mode,
+            None => {
+                autopilot_obs::obs_warn!(
+                    "gp: {GP_SPARSE_ENV}={raw:?} is not a recognized surrogate mode; \
+                     using the default (sparse past 256 points)"
+                );
+                SurrogateMode::default_sparse()
+            }
+        }
+    }
+
+    /// Parses the [`GP_SPARSE_ENV`] grammar; `None` for unrecognized
+    /// input.
+    pub fn parse(raw: &str) -> Option<SurrogateMode> {
+        let v = raw.trim().to_ascii_lowercase();
+        match v.as_str() {
+            "" | "1" | "on" | "true" => Some(SurrogateMode::default_sparse()),
+            "0" | "off" | "false" | "exact" => Some(SurrogateMode::Exact),
+            _ => {
+                if let Some((t, m)) = v.split_once(':') {
+                    let threshold = t.parse::<usize>().ok()?.max(8);
+                    let inducing = m.parse::<usize>().ok()?.max(2);
+                    Some(SurrogateMode::Sparse { threshold, inducing })
+                } else {
+                    let threshold = v.parse::<usize>().ok()?.max(8);
+                    Some(SurrogateMode::Sparse { threshold, inducing: (threshold / 4).max(16) })
+                }
+            }
+        }
+    }
+}
+
+/// The kernel exponent coefficient with the lengthscale division hoisted
+/// out of the inner loops: every kernel entry is
+/// `exp(sq_dist · scale)` with `scale = -0.5/ℓ²`. All kernel paths —
+/// fit, extend, scalar predict, and the blocked panel — go through this
+/// one formula, so they stay bit-identical to each other.
+#[inline]
+fn kernel_scale(lengthscale_sq: f64) -> f64 {
+    -0.5 / lengthscale_sq
+}
+
+/// Cache-blocked, fused distance+exp kernel panel: entry `(i, j)` is
+/// `exp(‖rows[i] − cols[j]‖² · scale)`, bit-identical to the scalar
+/// `(sq_dist(&rows[i], &cols[j]) * scale).exp()`.
+///
+/// Layout: the query points are transposed tile-by-tile into
+/// dimension-major scratch rows, so the inner loop over a tile of
+/// queries reads both operands contiguously and autovectorizes; squared
+/// distances accumulate dimension-by-dimension in the same ascending
+/// order as [`sq_dist`] (preserving bit-identity), and the exponential
+/// is applied in a fused second pass over each finished row segment
+/// while it is still cache-resident.
+pub(crate) fn correlation_panel(rows: &[Vec<f64>], cols: &[Vec<f64>], scale: f64) -> Matrix {
+    let n = rows.len();
+    let m = cols.len();
+    let mut out = Matrix::zeros(n, m);
+    if n == 0 || m == 0 {
+        return out;
+    }
+    let d = rows[0].len();
+    // Tile width: a d×TILE transposed query block plus an n-row output
+    // stripe of TILE f64s stays L1/L2-resident for the small d used here.
+    const TILE: usize = 128;
+    let mut scratch = vec![0.0f64; d * TILE];
+    let mut c0 = 0;
+    while c0 < m {
+        let c1 = (c0 + TILE).min(m);
+        let w = c1 - c0;
+        for k in 0..d {
+            for (j, slot) in scratch[k * w..k * w + w].iter_mut().enumerate() {
+                *slot = cols[c0 + j][k];
+            }
+        }
+        for (i, xi) in rows.iter().enumerate() {
+            let orow = &mut out.row_mut(i)[c0..c1];
+            for (k, &xik) in xi.iter().enumerate() {
+                let qs = &scratch[k * w..k * w + w];
+                for (acc, &q) in orow.iter_mut().zip(qs) {
+                    let t = xik - q;
+                    *acc += t * t;
+                }
+            }
+            for v in orow.iter_mut() {
+                *v = (*v * scale).exp();
+            }
+        }
+        c0 = c1;
+    }
+    out
+}
+
+/// Shared input validation for the exact and sparse fits.
+fn validate_training(x: &[Vec<f64>], y: &[f64]) -> Result<(), GpError> {
+    if x.len() != y.len() {
+        return Err(GpError::DimensionMismatch {
+            detail: format!("{} inputs vs {} targets", x.len(), y.len()),
+        });
+    }
+    let n = x.len();
+    if n < 2 {
+        return Err(GpError::TooFewPoints { got: n });
+    }
+    let dim = x[0].len();
+    if let Some(bad) = x.iter().find(|p| p.len() != dim) {
+        return Err(GpError::DimensionMismatch {
+            detail: format!("input dims {} vs {}", bad.len(), dim),
+        });
+    }
+    if x.iter().flatten().chain(y).any(|v| !v.is_finite()) {
+        return Err(GpError::NonFiniteInput);
+    }
+    Ok(())
+}
 
 /// A fitted Gaussian process over normalized inputs in `[0, 1]^d`.
 ///
@@ -89,24 +253,8 @@ impl GaussianProcess {
         y: &[f64],
         lengthscale_sq: f64,
     ) -> Result<GaussianProcess, GpError> {
-        if x.len() != y.len() {
-            return Err(GpError::DimensionMismatch {
-                detail: format!("{} inputs vs {} targets", x.len(), y.len()),
-            });
-        }
+        validate_training(x, y)?;
         let n = x.len();
-        if n < 2 {
-            return Err(GpError::TooFewPoints { got: n });
-        }
-        let dim = x[0].len();
-        if let Some(bad) = x.iter().find(|p| p.len() != dim) {
-            return Err(GpError::DimensionMismatch {
-                detail: format!("input dims {} vs {}", bad.len(), dim),
-            });
-        }
-        if x.iter().flatten().chain(y).any(|v| !v.is_finite()) {
-            return Err(GpError::NonFiniteInput);
-        }
         let lengthscale_sq = lengthscale_sq.max(1e-6);
 
         let mean_y = y.iter().sum::<f64>() / n as f64;
@@ -117,14 +265,10 @@ impl GaussianProcess {
         // Relative jitter equivalent to the classic absolute noise term
         // `signal_var * 1e-4 + 1e-10` after dividing K by signal_var.
         let jitter = 1e-4 + 1e-10 / signal_var;
-        let c = Matrix::from_fn(n, n, |i, j| {
-            let v = (-0.5 * sq_dist(&x[i], &x[j]) / lengthscale_sq).exp();
-            if i == j {
-                v + jitter
-            } else {
-                v
-            }
-        });
+        let mut c = correlation_panel(x, x, kernel_scale(lengthscale_sq));
+        for i in 0..n {
+            c[(i, i)] += jitter;
+        }
         let chol = c.cholesky().ok_or(GpError::NotPositiveDefinite)?;
         let mut gp = GaussianProcess {
             x: x.to_vec(),
@@ -153,11 +297,8 @@ impl GaussianProcess {
     /// Panics if `x_new` has the wrong dimension.
     pub fn extend(&mut self, x_new: &[f64], y_new: f64) -> bool {
         assert_eq!(x_new.len(), self.x[0].len(), "dimension mismatch");
-        let c: Vec<f64> = self
-            .x
-            .iter()
-            .map(|xi| (-0.5 * sq_dist(xi, x_new) / self.lengthscale_sq).exp())
-            .collect();
+        let scale = kernel_scale(self.lengthscale_sq);
+        let c: Vec<f64> = self.x.iter().map(|xi| (sq_dist(xi, x_new) * scale).exp()).collect();
         let w = self.chol.solve_lower(&c);
         let d2 = 1.0 + self.jitter - w.iter().map(|v| v * v).sum::<f64>();
         // Guard well above zero: a tiny pivot makes the factor
@@ -168,6 +309,68 @@ impl GaussianProcess {
         self.chol.extend_lower(&w, d2.sqrt());
         self.x.push(x_new.to_vec());
         self.y.push(y_new);
+        self.refresh_targets();
+        true
+    }
+
+    /// Replaces every training target in place, reusing the existing
+    /// Cholesky factorization — O(n²) instead of the O(n³) refit.
+    ///
+    /// The factor depends only on the inputs and the lengthscale, so a
+    /// wholesale target change (the BO loop renormalizes all targets
+    /// when the archive's objective ranges move) only needs the
+    /// target-dependent state recomputed. The relative jitter stays
+    /// frozen at its factorization-time value, exactly as it does across
+    /// [`GaussianProcess::extend`] calls.
+    ///
+    /// Returns `false` — leaving the GP unchanged — when `y` has the
+    /// wrong length or contains non-finite values.
+    pub fn retarget(&mut self, y: &[f64]) -> bool {
+        if y.len() != self.y.len() || y.iter().any(|v| !v.is_finite()) {
+            return false;
+        }
+        self.y.clear();
+        self.y.extend_from_slice(y);
+        self.refresh_targets();
+        true
+    }
+
+    /// Removes the *oldest* training point in O(n²) by downdating the
+    /// Cholesky factor (see [`Matrix::delete_lower_first`]), keeping the
+    /// current lengthscale frozen. This is how the BO loop slides its
+    /// training window forward without refactorizing.
+    ///
+    /// Returns `false` — leaving the GP unchanged — when fewer than
+    /// three points remain (a GP needs two) or the downdate degenerates
+    /// numerically.
+    pub fn drop_oldest(&mut self) -> bool {
+        if self.x.len() <= 2 || !self.chol.delete_lower_first() {
+            return false;
+        }
+        self.x.remove(0);
+        self.y.remove(0);
+        self.refresh_targets();
+        true
+    }
+
+    /// Truncates the GP back to its first `n` training points.
+    ///
+    /// Because [`Matrix::extend_lower`] never rewrites the leading block
+    /// of the factor, truncation is the *bitwise-exact* inverse of a
+    /// sequence of [`GaussianProcess::extend`] calls: truncating an
+    /// extended GP back to its pre-extension size and re-extending with
+    /// the same points reproduces the factor — and therefore every
+    /// prediction — bit for bit.
+    ///
+    /// Returns `false` — leaving the GP unchanged — when `n < 2` or `n`
+    /// exceeds the training size.
+    pub fn truncate(&mut self, n: usize) -> bool {
+        if n < 2 || n > self.x.len() {
+            return false;
+        }
+        self.chol.truncate_lower(n);
+        self.x.truncate(n);
+        self.y.truncate(n);
         self.refresh_targets();
         true
     }
@@ -206,11 +409,8 @@ impl GaussianProcess {
     /// Panics if `point` has the wrong dimension.
     pub fn predict(&self, point: &[f64]) -> (f64, f64) {
         assert_eq!(point.len(), self.x[0].len(), "dimension mismatch");
-        let cstar: Vec<f64> = self
-            .x
-            .iter()
-            .map(|xi| (-0.5 * sq_dist(xi, point) / self.lengthscale_sq).exp())
-            .collect();
+        let scale = kernel_scale(self.lengthscale_sq);
+        let cstar: Vec<f64> = self.x.iter().map(|xi| (sq_dist(xi, point) * scale).exp()).collect();
         let mean = self.mean_y + dot(&cstar, &self.alpha);
         let v = self.chol.solve_lower(&cstar);
         let var = (self.signal_var * (1.0 - v.iter().map(|x| x * x).sum::<f64>())).max(0.0);
@@ -243,9 +443,7 @@ impl GaussianProcess {
         for p in points {
             assert_eq!(p.len(), dim, "dimension mismatch");
         }
-        Matrix::from_fn(self.x.len(), points.len(), |i, j| {
-            (-0.5 * sq_dist(&self.x[i], &points[j]) / self.lengthscale_sq).exp()
-        })
+        correlation_panel(&self.x, points, kernel_scale(self.lengthscale_sq))
     }
 
     /// Batched posterior `(mean, variance)` from a precomputed
@@ -305,6 +503,436 @@ impl GaussianProcess {
     pub fn predict_batch(&self, points: &[Vec<f64>]) -> Vec<(f64, f64)> {
         self.predict_batch_from_correlations(&self.cross_correlations(points))
     }
+}
+
+/// Ridge added to the inducing correlation matrix `C_mm` before
+/// factorization — far below the observation noise, just enough to keep
+/// near-duplicate inducing points factorizable.
+const INDUCING_RIDGE: f64 = 1e-8;
+
+/// A low-rank sparse Gaussian process (Nyström / inducing-point, the DTC
+/// approximation of Quiñonero-Candela & Rasmussen 2005) over normalized
+/// inputs, held in the same correlation form as [`GaussianProcess`].
+///
+/// With `m` inducing points `Z` chosen deterministically from the `n`
+/// training inputs (greedy farthest-point, see
+/// [`SparseGaussianProcess::fit_with_lengthscale`]), the training
+/// correlations `C_nm` enter only through the `m×m` system
+/// `A = C_mm + λ⁻¹·C_nmᵀC_nm` (λ is the relative noise, playing the
+/// exact GP's jitter role). Predictions then cost O(m) dot products and
+/// two O(m²) triangular solves per query:
+///
+/// * mean: `ȳ + k_xᵀ·w` with `w = λ⁻¹·A⁻¹·C_nmᵀ(y − ȳ)`,
+/// * variance: `σ²·(1 − ‖L_mm⁻¹k_x‖² + ‖L_A⁻¹k_x‖²)`, clamped at zero,
+///
+/// where `k_x` is the query's correlation vector against `Z`. Fitting is
+/// O(n·m²), appending one observation is O(m²) (a rank-1 Cholesky
+/// update of `L_A` plus an O(n·m) weight refresh), and a wholesale
+/// target change ([`SparseGaussianProcess::retarget`]) is O(n·m). With
+/// `Z` equal to the full training set the approximation is exact: DTC
+/// then reproduces the exact GP's noisy posterior identically (up to the
+/// tiny `C_mm` ridge), which is the accuracy contract the property tests
+/// pin down.
+///
+/// The variance is target-independent, so a per-objective surrogate pack
+/// sharing inputs and lengthscale computes it once for all objectives
+/// (see [`SparseGaussianProcess::variances_from_correlations`]).
+#[derive(Debug, Clone)]
+pub struct SparseGaussianProcess {
+    /// Inducing inputs `Z` (clones of selected training points).
+    inducing: Vec<Vec<f64>>,
+    /// Training-to-inducing correlations `C_nm` (kept for retargeting).
+    cnm: Matrix,
+    y: Vec<f64>,
+    /// Cholesky factor of `C_mm + INDUCING_RIDGE·I`.
+    l_mm: Matrix,
+    /// Cholesky factor of `A = C_mm + ridge·I + λ⁻¹·C_nmᵀC_nm`.
+    l_a: Matrix,
+    /// Posterior mean weights `λ⁻¹·A⁻¹·C_nmᵀ(y − ȳ)`.
+    w: Vec<f64>,
+    /// Cholesky factor `L_D` of the PSD variance form
+    /// `D = C_mm⁻¹ − A⁻¹` (plus [`INDUCING_RIDGE`]·I), so the posterior
+    /// variance is `σ²(1 − ‖L_Dᵀc‖²)` — one dependency-free triangular
+    /// product per query instead of two triangular solves. `None` when
+    /// `D` is too close to singular to factor; predictions then fall
+    /// back to the solve-based form.
+    var_form_l: Option<Matrix>,
+    mean_y: f64,
+    signal_var: f64,
+    lengthscale_sq: f64,
+    /// Relative observation noise λ, frozen at factorization time.
+    noise: f64,
+}
+
+impl SparseGaussianProcess {
+    /// Fits a sparse GP with at most `inducing` inducing points, using
+    /// the same median-pairwise-distance lengthscale heuristic as
+    /// [`GaussianProcess::fit`].
+    ///
+    /// # Errors
+    ///
+    /// Same taxonomy as [`GaussianProcess::fit`].
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        inducing: usize,
+    ) -> Result<SparseGaussianProcess, GpError> {
+        validate_training(x, y)?;
+        let n = x.len();
+        let mut dists: Vec<f64> = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                dists.push(sq_dist(&x[i], &x[j]));
+            }
+        }
+        let lengthscale_sq = median_sq_dist(&mut dists);
+        SparseGaussianProcess::fit_with_lengthscale(x, y, lengthscale_sq, inducing)
+    }
+
+    /// Fits a sparse GP at an explicitly chosen squared lengthscale.
+    ///
+    /// Inducing points are selected deterministically from the training
+    /// inputs by greedy farthest-point traversal: start from index 0,
+    /// repeatedly take the point with the largest squared distance to
+    /// the chosen set (first maximum wins on ties), and stop early when
+    /// every remaining point duplicates a chosen one. The selection
+    /// depends only on the training inputs, so refits over the same
+    /// archive are reproducible bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Same taxonomy as [`GaussianProcess::fit`].
+    pub fn fit_with_lengthscale(
+        x: &[Vec<f64>],
+        y: &[f64],
+        lengthscale_sq: f64,
+        inducing: usize,
+    ) -> Result<SparseGaussianProcess, GpError> {
+        validate_training(x, y)?;
+        let n = x.len();
+        let lengthscale_sq = lengthscale_sq.max(1e-6);
+        let scale = kernel_scale(lengthscale_sq);
+
+        let mean_y = y.iter().sum::<f64>() / n as f64;
+        let centred: Vec<f64> = y.iter().map(|v| v - mean_y).collect();
+        let signal_var = (centred.iter().map(|v| v * v).sum::<f64>() / n as f64).max(1e-12);
+        let noise = 1e-4 + 1e-10 / signal_var;
+
+        let inducing = select_inducing(x, inducing.clamp(2, n));
+        let m = inducing.len();
+        let cnm = correlation_panel(x, &inducing, scale);
+        let mut cmm = correlation_panel(&inducing, &inducing, scale);
+        for i in 0..m {
+            cmm[(i, i)] += INDUCING_RIDGE;
+        }
+        let l_mm = cmm.cholesky().ok_or(GpError::NotPositiveDefinite)?;
+        let b = cnm.gram();
+        let a = Matrix::from_fn(m, m, |i, j| cmm[(i, j)] + b[(i, j)] / noise);
+        let l_a = a.cholesky().ok_or(GpError::NotPositiveDefinite)?;
+        let var_form_l = variance_form(&l_mm, &l_a);
+
+        let mut gp = SparseGaussianProcess {
+            inducing,
+            cnm,
+            y: y.to_vec(),
+            l_mm,
+            l_a,
+            w: Vec::new(),
+            var_form_l,
+            mean_y,
+            signal_var,
+            lengthscale_sq,
+            noise,
+        };
+        gp.refresh_targets();
+        Ok(gp)
+    }
+
+    /// Recomputes the target-dependent state (mean, signal variance, and
+    /// the posterior weights `w`) against the current factorizations —
+    /// O(n·m + m²). The noise stays frozen, mirroring the exact GP's
+    /// frozen jitter.
+    fn refresh_targets(&mut self) {
+        let n = self.y.len();
+        self.mean_y = self.y.iter().sum::<f64>() / n as f64;
+        let centred: Vec<f64> = self.y.iter().map(|v| v - self.mean_y).collect();
+        self.signal_var = (centred.iter().map(|v| v * v).sum::<f64>() / n as f64).max(1e-12);
+        let t = self.cnm.transpose_mul_vec(&centred);
+        let u = self.l_a.solve_lower(&t);
+        let v = self.l_a.solve_lower_transpose(&u);
+        self.w = v.into_iter().map(|wi| wi / self.noise).collect();
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when the GP has no training points (never constructed this
+    /// way, but part of the `len`/`is_empty` contract).
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of inducing points actually in use.
+    pub fn inducing_count(&self) -> usize {
+        self.inducing.len()
+    }
+
+    /// The squared lengthscale currently in effect (frozen between fits).
+    pub fn lengthscale_sq(&self) -> f64 {
+        self.lengthscale_sq
+    }
+
+    /// Posterior mean and variance at `point`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` has the wrong dimension.
+    pub fn predict(&self, point: &[f64]) -> (f64, f64) {
+        assert_eq!(point.len(), self.inducing[0].len(), "dimension mismatch");
+        let scale = kernel_scale(self.lengthscale_sq);
+        let k: Vec<f64> = self.inducing.iter().map(|z| (sq_dist(z, point) * scale).exp()).collect();
+        let mean = self.mean_y + dot(&k, &self.w);
+        let var = match &self.var_form_l {
+            Some(ld) => {
+                // Same accumulation order as the batched path: for each
+                // output row i, sum L_D[k][i]·c[k] over ascending k ≥ i,
+                // then square-sum over ascending i — bit-identical to
+                // `variances_from_correlations` column j.
+                let m = k.len();
+                let mut quad = 0.0;
+                for i in 0..m {
+                    let mut t = 0.0;
+                    for (kk, ck) in k.iter().enumerate().skip(i) {
+                        t += ld[(kk, i)] * ck;
+                    }
+                    quad += t * t;
+                }
+                (self.signal_var * (1.0 - quad)).max(0.0)
+            }
+            None => {
+                let q = self.l_mm.solve_lower(&k);
+                let s = self.l_a.solve_lower(&k);
+                (self.signal_var
+                    * (1.0 - q.iter().map(|v| v * v).sum::<f64>()
+                        + s.iter().map(|v| v * v).sum::<f64>()))
+                .max(0.0)
+            }
+        };
+        (mean, var)
+    }
+
+    /// Lower confidence bound `mean - beta * std` at `point`.
+    pub fn lcb(&self, point: &[f64], beta: f64) -> f64 {
+        let (m, v) = self.predict(point);
+        m - beta * v.sqrt()
+    }
+
+    /// Kernel correlation matrix between the *inducing* inputs and a
+    /// batch of query points (`m` inducing rows × query columns) — the
+    /// sparse analogue of [`GaussianProcess::cross_correlations`].
+    /// Shareable across a surrogate pack with identical inducing sets
+    /// and lengthscale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query point has the wrong dimension.
+    pub fn cross_correlations(&self, points: &[Vec<f64>]) -> Matrix {
+        let dim = self.inducing[0].len();
+        for p in points {
+            assert_eq!(p.len(), dim, "dimension mismatch");
+        }
+        correlation_panel(&self.inducing, points, kernel_scale(self.lengthscale_sq))
+    }
+
+    /// Batched posterior means from a precomputed inducing-correlation
+    /// matrix; output `j` is bit-identical to `predict(p_j).0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corr.rows()` differs from the inducing count.
+    pub fn means_from_correlations(&self, corr: &Matrix) -> Vec<f64> {
+        let m = self.inducing.len();
+        assert_eq!(corr.rows(), m, "correlation matrix has wrong row count");
+        let cols = corr.cols();
+        let mut means = vec![0.0f64; cols];
+        for i in 0..m {
+            let wi = self.w[i];
+            for (j, mean) in means.iter_mut().enumerate() {
+                *mean += corr[(i, j)] * wi;
+            }
+        }
+        for mean in &mut means {
+            *mean += self.mean_y;
+        }
+        means
+    }
+
+    /// Batched posterior variances from a precomputed
+    /// inducing-correlation matrix; output `j` is bit-identical to
+    /// `predict(p_j).1`. The result is target-independent, so one call
+    /// serves every objective GP in a pack sharing inducing inputs and
+    /// lengthscale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corr.rows()` differs from the inducing count.
+    pub fn variances_from_correlations(&self, corr: &Matrix) -> Vec<f64> {
+        let m = self.inducing.len();
+        assert_eq!(corr.rows(), m, "correlation matrix has wrong row count");
+        let cols = corr.cols();
+        if let Some(ld) = &self.var_form_l {
+            // One triangular product against the precomputed PSD form
+            // instead of two triangular solves — half the flops and no
+            // sequential dependency between rows.
+            let t = ld.transpose_mul_columns(corr);
+            let mut quad = vec![0.0f64; cols];
+            for i in 0..m {
+                for (j, acc) in quad.iter_mut().enumerate() {
+                    let v = t[(i, j)];
+                    *acc += v * v;
+                }
+            }
+            return quad.into_iter().map(|qv| (self.signal_var * (1.0 - qv)).max(0.0)).collect();
+        }
+        let q = self.l_mm.solve_lower_columns(corr);
+        let s = self.l_a.solve_lower_columns(corr);
+        let mut qss = vec![0.0f64; cols];
+        let mut sss = vec![0.0f64; cols];
+        for i in 0..m {
+            for (j, acc) in qss.iter_mut().enumerate() {
+                let v = q[(i, j)];
+                *acc += v * v;
+            }
+            for (j, acc) in sss.iter_mut().enumerate() {
+                let v = s[(i, j)];
+                *acc += v * v;
+            }
+        }
+        qss.into_iter()
+            .zip(sss)
+            .map(|(qv, sv)| (self.signal_var * (1.0 - qv + sv)).max(0.0))
+            .collect()
+    }
+
+    /// Batched posterior `(mean, variance)` from a precomputed
+    /// inducing-correlation matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corr.rows()` differs from the inducing count.
+    pub fn predict_batch_from_correlations(&self, corr: &Matrix) -> Vec<(f64, f64)> {
+        self.means_from_correlations(corr)
+            .into_iter()
+            .zip(self.variances_from_correlations(corr))
+            .collect()
+    }
+
+    /// Batched posterior mean and variance for a pool of query points —
+    /// output `j` is bit-identical to `predict(&points[j])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query point has the wrong dimension.
+    pub fn predict_batch(&self, points: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        self.predict_batch_from_correlations(&self.cross_correlations(points))
+    }
+
+    /// Appends one observation in O(m²) + O(n·m): the new point's
+    /// inducing correlations `c` enter `A` as the rank-1 term
+    /// `λ⁻¹·c·cᵀ` (an *additive* Cholesky update of `L_A`, so positive
+    /// definiteness is preserved unconditionally), and the posterior
+    /// weights are refreshed against the stored `C_nm`. The inducing
+    /// set, lengthscale, and noise stay frozen until the next milestone
+    /// refit.
+    ///
+    /// Returns `false` — leaving the GP unchanged — on non-finite input
+    /// or a numerically degenerate update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_new` has the wrong dimension.
+    pub fn extend(&mut self, x_new: &[f64], y_new: f64) -> bool {
+        assert_eq!(x_new.len(), self.inducing[0].len(), "dimension mismatch");
+        if !y_new.is_finite() || x_new.iter().any(|v| !v.is_finite()) {
+            return false;
+        }
+        let scale = kernel_scale(self.lengthscale_sq);
+        let c: Vec<f64> = self.inducing.iter().map(|z| (sq_dist(z, x_new) * scale).exp()).collect();
+        let inv_sqrt_noise = 1.0 / self.noise.sqrt();
+        let v: Vec<f64> = c.iter().map(|ci| ci * inv_sqrt_noise).collect();
+        if !self.l_a.rank1_update_lower(&v) {
+            return false;
+        }
+        self.cnm.push_row(&c);
+        self.y.push(y_new);
+        self.var_form_l = variance_form(&self.l_mm, &self.l_a);
+        self.refresh_targets();
+        true
+    }
+
+    /// Replaces every training target in place, reusing both
+    /// factorizations — O(n·m) instead of the O(n·m²) refit. The sparse
+    /// analogue of [`GaussianProcess::retarget`].
+    ///
+    /// Returns `false` — leaving the GP unchanged — when `y` has the
+    /// wrong length or contains non-finite values.
+    pub fn retarget(&mut self, y: &[f64]) -> bool {
+        if y.len() != self.y.len() || y.iter().any(|v| !v.is_finite()) {
+            return false;
+        }
+        self.y.clear();
+        self.y.extend_from_slice(y);
+        self.refresh_targets();
+        true
+    }
+}
+
+/// Cholesky factor of the sparse posterior's variance form
+/// `D = C_mm⁻¹ − A⁻¹` (ridged by [`INDUCING_RIDGE`]). `A ⪰ C_mm` makes
+/// `D` PSD, so the factorization exists up to roundoff; `None` signals
+/// the caller to fall back to the solve-based variance. O(m³) — paid
+/// once per fit/extend, amortized over every subsequent batched query.
+fn variance_form(l_mm: &Matrix, l_a: &Matrix) -> Option<Matrix> {
+    let m = l_mm.rows();
+    // C_mm⁻¹ = XᵀX and A⁻¹ = YᵀY for X = L_mm⁻¹, Y = L_A⁻¹.
+    let gx = l_mm.invert_lower().gram();
+    let gy = l_a.invert_lower().gram();
+    let d = Matrix::from_fn(m, m, |i, j| {
+        gx[(i, j)] - gy[(i, j)] + if i == j { INDUCING_RIDGE } else { 0.0 }
+    });
+    d.cholesky()
+}
+
+/// Greedy farthest-point inducing selection: deterministic, O(n·m·d),
+/// first maximum wins on ties, stops early when every remaining point
+/// duplicates a chosen one.
+fn select_inducing(x: &[Vec<f64>], m: usize) -> Vec<Vec<f64>> {
+    let mut chosen: Vec<usize> = Vec::with_capacity(m);
+    chosen.push(0);
+    let mut min_d: Vec<f64> = x.iter().map(|p| sq_dist(p, &x[0])).collect();
+    while chosen.len() < m {
+        let mut best = 0usize;
+        let mut best_d = -1.0f64;
+        for (i, &dv) in min_d.iter().enumerate() {
+            if dv > best_d {
+                best_d = dv;
+                best = i;
+            }
+        }
+        if best_d <= 0.0 {
+            break;
+        }
+        chosen.push(best);
+        for (i, dv) in min_d.iter_mut().enumerate() {
+            let d = sq_dist(&x[i], &x[best]);
+            if d < *dv {
+                *dv = d;
+            }
+        }
+    }
+    chosen.into_iter().map(|i| x[i].clone()).collect()
 }
 
 /// Median of a scratch list of squared distances (via selection, O(m));
@@ -579,5 +1207,230 @@ mod tests {
             cache.push(p.clone());
         }
         assert_eq!(gp.lengthscale_sq(), cache.median_sq_dist());
+    }
+
+    #[test]
+    fn surrogate_mode_grammar() {
+        use SurrogateMode::*;
+        assert_eq!(SurrogateMode::parse(""), Some(SurrogateMode::default_sparse()));
+        assert_eq!(SurrogateMode::parse("1"), Some(SurrogateMode::default_sparse()));
+        assert_eq!(SurrogateMode::parse("on"), Some(SurrogateMode::default_sparse()));
+        assert_eq!(SurrogateMode::parse("true"), Some(SurrogateMode::default_sparse()));
+        assert_eq!(SurrogateMode::parse("0"), Some(Exact));
+        assert_eq!(SurrogateMode::parse("off"), Some(Exact));
+        assert_eq!(SurrogateMode::parse("exact"), Some(Exact));
+        assert_eq!(SurrogateMode::parse("300:48"), Some(Sparse { threshold: 300, inducing: 48 }));
+        assert_eq!(SurrogateMode::parse("100"), Some(Sparse { threshold: 100, inducing: 25 }));
+        // Floors keep degenerate configurations usable.
+        assert_eq!(SurrogateMode::parse("4:1"), Some(Sparse { threshold: 8, inducing: 2 }));
+        assert_eq!(SurrogateMode::parse("banana"), None);
+        assert_eq!(SurrogateMode::parse("12:"), None);
+    }
+
+    #[test]
+    fn sparse_with_all_inducing_matches_exact() {
+        // DTC with the inducing set equal to the full training set is the
+        // exact noisy GP posterior, up to the tiny C_mm ridge. This is the
+        // strongest accuracy anchor the sparse path has.
+        let x: Vec<Vec<f64>> =
+            (0..24).map(|i| vec![(i * 7 % 24) as f64 / 23.0, (i * 5 % 24) as f64 / 23.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| (4.0 * p[0]).sin() - p[1] * p[1]).collect();
+        let exact = GaussianProcess::fit(&x, &y).unwrap();
+        let sparse =
+            SparseGaussianProcess::fit_with_lengthscale(&x, &y, exact.lengthscale_sq(), x.len())
+                .unwrap();
+        assert_eq!(sparse.inducing_count(), x.len());
+        for q in [[0.1, 0.9], [0.45, 0.2], [0.77, 0.61], [1.3, -0.2]] {
+            let (me, ve) = exact.predict(&q);
+            let (ms, vs) = sparse.predict(&q);
+            assert!((me - ms).abs() < 1e-5, "mean {me} vs {ms} at {q:?}");
+            assert!((ve - vs).abs() < 1e-5, "var {ve} vs {vs} at {q:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_low_rank_tracks_exact_closely() {
+        // Under-complete inducing set on a smooth function: predictions
+        // must stay close to exact even at m = n/4.
+        let x = grid1d(32);
+        let y: Vec<f64> = x.iter().map(|p| (2.0 * p[0]).sin()).collect();
+        let exact = GaussianProcess::fit(&x, &y).unwrap();
+        let sparse =
+            SparseGaussianProcess::fit_with_lengthscale(&x, &y, exact.lengthscale_sq(), 8).unwrap();
+        assert_eq!(sparse.inducing_count(), 8);
+        for q in [0.05, 0.31, 0.62, 0.94] {
+            let (me, _) = exact.predict(&[q]);
+            let (ms, _) = sparse.predict(&[q]);
+            assert!((me - ms).abs() < 1e-2, "mean {me} vs {ms} at {q}");
+        }
+    }
+
+    #[test]
+    fn sparse_batch_matches_scalar_bitwise() {
+        let x: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![i as f64 / 19.0, (i * 3 % 7) as f64 / 6.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| p[0] - p[1] * p[1]).collect();
+        let gp = SparseGaussianProcess::fit(&x, &y, 6).unwrap();
+        let pool: Vec<Vec<f64>> = (0..37)
+            .map(|j| vec![(j as f64 * 0.41) % 1.2, (j as f64 * 0.23) % 1.0])
+            .chain(x.iter().cloned())
+            .collect();
+        let batch = gp.predict_batch(&pool);
+        assert_eq!(batch.len(), pool.len());
+        for (p, (bm, bv)) in pool.iter().zip(&batch) {
+            let (m, v) = gp.predict(p);
+            assert_eq!(bm.to_bits(), m.to_bits(), "mean at {p:?}");
+            assert_eq!(bv.to_bits(), v.to_bits(), "variance at {p:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_extend_matches_full_sparse_refit() {
+        let x = grid1d(16);
+        let y: Vec<f64> = x.iter().map(|p| (3.0 * p[0]).cos()).collect();
+        let mut inc = SparseGaussianProcess::fit(&x[..12], &y[..12], 5).unwrap();
+        let ls = inc.lengthscale_sq();
+        for i in 12..16 {
+            assert!(inc.extend(&x[i], y[i]), "sparse extension failed at {i}");
+        }
+        assert_eq!(inc.len(), 16);
+        // A refit over all 16 points selects its own inducing set, so
+        // compare against a refit that reuses the incremental GP's frozen
+        // lengthscale and (via the first 12 points) inducing selection.
+        let refit = SparseGaussianProcess::fit_with_lengthscale(&x, &y, ls, 5).unwrap();
+        for q in [0.08, 0.37, 0.66, 0.91] {
+            let (mi, _) = inc.predict(&[q]);
+            let (mr, _) = refit.predict(&[q]);
+            assert!((mi - mr).abs() < 5e-2, "mean {mi} vs refit {mr} at {q}");
+        }
+    }
+
+    #[test]
+    fn sparse_extend_rejects_non_finite_unchanged() {
+        let x = grid1d(8);
+        let y: Vec<f64> = x.iter().map(|p| p[0]).collect();
+        let mut gp = SparseGaussianProcess::fit(&x, &y, 4).unwrap();
+        let before = gp.predict(&[0.4]);
+        assert!(!gp.extend(&[f64::NAN], 0.0));
+        assert!(!gp.extend(&[0.3], f64::INFINITY));
+        assert_eq!(gp.predict(&[0.4]), before);
+        assert_eq!(gp.len(), 8);
+    }
+
+    #[test]
+    fn sparse_retarget_matches_fresh_weights() {
+        // Retargeting replaces y and refreshes the weights against the
+        // frozen factorization; a fresh fit at the same lengthscale and
+        // inducing set differs only in its noise term, so predictions
+        // agree to well under the noise scale.
+        let x = grid1d(12);
+        let y1: Vec<f64> = x.iter().map(|p| p[0]).collect();
+        let y2: Vec<f64> = x.iter().map(|p| (6.0 * p[0]).sin()).collect();
+        let mut gp = SparseGaussianProcess::fit(&x, &y1, x.len()).unwrap();
+        assert!(gp.retarget(&y2));
+        let fresh =
+            SparseGaussianProcess::fit_with_lengthscale(&x, &y2, gp.lengthscale_sq(), x.len())
+                .unwrap();
+        for q in [0.11, 0.48, 0.83] {
+            let (mr, _) = gp.predict(&[q]);
+            let (mf, _) = fresh.predict(&[q]);
+            assert!((mr - mf).abs() < 1e-3, "mean {mr} vs {mf} at {q}");
+        }
+        // Bad inputs leave the GP untouched.
+        let before = gp.predict(&[0.4]);
+        assert!(!gp.retarget(&y2[..5]));
+        assert!(!gp.retarget(&[f64::NAN; 12]));
+        assert_eq!(gp.predict(&[0.4]), before);
+    }
+
+    #[test]
+    fn inducing_selection_collapses_duplicates() {
+        let mut x = grid1d(4);
+        x.push(x[1].clone());
+        x.push(x[2].clone());
+        let y = vec![0.0, 1.0, 2.0, 3.0, 1.0, 2.0];
+        let gp = SparseGaussianProcess::fit(&x, &y, 6).unwrap();
+        // Only 4 distinct locations exist, so farthest-point selection
+        // stops early instead of ridging duplicate inducing rows.
+        assert_eq!(gp.inducing_count(), 4);
+        let (m, _) = gp.predict(&[x[1][0]]);
+        assert!((m - 1.0).abs() < 0.2, "mean {m} at duplicated point");
+    }
+
+    #[test]
+    fn exact_retarget_reuses_factorization() {
+        let x = grid1d(9);
+        let y1: Vec<f64> = x.iter().map(|p| p[0]).collect();
+        let y2: Vec<f64> = x.iter().map(|p| (4.0 * p[0]).cos()).collect();
+        let mut gp = GaussianProcess::fit(&x, &y1).unwrap();
+        assert!(gp.retarget(&y2));
+        // Same factorization, new targets: close to a fresh fit (which
+        // differs only through the target-dependent jitter).
+        let fresh = GaussianProcess::fit_with_lengthscale(&x, &y2, gp.lengthscale_sq()).unwrap();
+        for q in [0.15, 0.52, 0.88] {
+            let (mr, _) = gp.predict(&[q]);
+            let (mf, _) = fresh.predict(&[q]);
+            assert!((mr - mf).abs() < 1e-3, "mean {mr} vs {mf} at {q}");
+        }
+        let before = gp.predict(&[0.3]);
+        assert!(!gp.retarget(&y2[..4]));
+        assert!(!gp.retarget(&[f64::NAN; 9]));
+        assert_eq!(gp.predict(&[0.3]), before);
+    }
+
+    #[test]
+    fn drop_oldest_tracks_fresh_fit_on_suffix() {
+        let x = grid1d(10);
+        let y: Vec<f64> = x.iter().map(|p| (2.5 * p[0]).sin() + p[0]).collect();
+        let mut gp = GaussianProcess::fit(&x, &y).unwrap();
+        let ls = gp.lengthscale_sq();
+        assert!(gp.drop_oldest());
+        assert!(gp.drop_oldest());
+        assert_eq!(gp.len(), 8);
+        let fresh = GaussianProcess::fit_with_lengthscale(&x[2..], &y[2..], ls).unwrap();
+        for q in [0.3, 0.55, 0.81] {
+            let (md, vd) = gp.predict(&[q]);
+            let (mf, vf) = fresh.predict(&[q]);
+            assert!((md - mf).abs() < 1e-6, "mean {md} vs {mf} at {q}");
+            assert!((vd - vf).abs() < 1e-6, "var {vd} vs {vf} at {q}");
+        }
+    }
+
+    #[test]
+    fn drop_oldest_refuses_to_shrink_below_two() {
+        let x = grid1d(3);
+        let y = vec![0.0, 0.5, 1.0];
+        let mut gp = GaussianProcess::fit(&x, &y).unwrap();
+        assert!(gp.drop_oldest());
+        assert_eq!(gp.len(), 2);
+        assert!(!gp.drop_oldest(), "must not shrink below 2 points");
+        assert_eq!(gp.len(), 2);
+    }
+
+    #[test]
+    fn truncate_then_reextend_is_bitwise_identical() {
+        // truncate() removes trailing observations without touching the
+        // retained factor rows, so replaying the same extends must land on
+        // bit-identical state — the downdate-then-extend round trip.
+        let x = grid1d(11);
+        let y: Vec<f64> = x.iter().map(|p| p[0] * p[0] - 0.3 * p[0]).collect();
+        let mut gp = GaussianProcess::fit(&x[..7], &y[..7]).unwrap();
+        for i in 7..11 {
+            assert!(gp.extend(&x[i], y[i]));
+        }
+        let probe: Vec<Vec<f64>> = (0..9).map(|j| vec![j as f64 * 0.12 + 0.01]).collect();
+        let reference = gp.predict_batch(&probe);
+        assert!(gp.truncate(7));
+        assert_eq!(gp.len(), 7);
+        for i in 7..11 {
+            assert!(gp.extend(&x[i], y[i]));
+        }
+        let replay = gp.predict_batch(&probe);
+        for ((rm, rv), (pm, pv)) in reference.iter().zip(&replay) {
+            assert_eq!(rm.to_bits(), pm.to_bits(), "round-trip mean drifted");
+            assert_eq!(rv.to_bits(), pv.to_bits(), "round-trip variance drifted");
+        }
+        assert!(!gp.truncate(1), "truncate below 2 must refuse");
+        assert!(!gp.truncate(99), "truncate beyond len must refuse");
     }
 }

@@ -75,7 +75,7 @@ pub use error::{DseError, EvalError, GpError};
 pub use evaluator::{Evaluator, MultiObjectiveOptimizer};
 pub use exhaustive::ExhaustiveSearch;
 pub use ga::Nsga2Optimizer;
-pub use gp::{DistanceCache, GaussianProcess};
+pub use gp::{DistanceCache, GaussianProcess, SparseGaussianProcess, SurrogateMode, GP_SPARSE_ENV};
 pub use random::RandomSearch;
 pub use result::{EvaluationRecord, OptimizationResult};
 pub use space::{DesignSpace, SpaceError};

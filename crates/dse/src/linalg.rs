@@ -162,6 +162,66 @@ impl Matrix {
         x
     }
 
+    /// Explicit inverse of a lower-triangular matrix by forward
+    /// substitution per column — O(n³/6). Used to precompute quadratic
+    /// forms (`C⁻¹ = L⁻ᵀL⁻¹`) that turn per-query triangular solves into
+    /// dense, dependency-free products.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn invert_lower(&self) -> Matrix {
+        assert_eq!(self.rows, self.cols, "invert_lower requires a square matrix");
+        let n = self.rows;
+        let mut inv = Matrix::zeros(n, n);
+        for j in 0..n {
+            inv[(j, j)] = 1.0 / self[(j, j)];
+            for i in (j + 1)..n {
+                let mut sum = 0.0;
+                for k in j..i {
+                    sum += self[(i, k)] * inv[(k, j)];
+                }
+                inv[(i, j)] = -sum / self[(i, i)];
+            }
+        }
+        inv
+    }
+
+    /// Product `Lᵀ·B` for lower-triangular `self` and a multi-column
+    /// `B` (`n×m`). Unlike a triangular *solve*, every output row is an
+    /// independent accumulation over the rows of `B` below it, so the
+    /// loop has no sequential dependency and streams both operands
+    /// row-major. Columns are processed in cache-sized blocks like
+    /// [`Matrix::solve_lower_columns`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not square or `b.rows() != self.rows()`.
+    pub fn transpose_mul_columns(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.rows, self.cols, "transpose_mul_columns requires a square matrix");
+        assert_eq!(self.rows, b.rows, "operand has wrong row count");
+        let n = self.rows;
+        let m = b.cols;
+        let mut t = Matrix::zeros(n, m);
+        const BLOCK: usize = 32;
+        let mut c0 = 0;
+        while c0 < m {
+            let c1 = (c0 + BLOCK).min(m);
+            for i in 0..n {
+                let row_i = &mut t.data[i * m..i * m + m];
+                for k in i..n {
+                    let lki = self.data[k * self.cols + i];
+                    let row_k = &b.data[k * m..k * m + m];
+                    for j in c0..c1 {
+                        row_i[j] += lki * row_k[j];
+                    }
+                }
+            }
+            c0 = c1;
+        }
+        t
+    }
+
     /// Grows a lower-triangular `n×n` matrix to `(n+1)×(n+1)` by
     /// appending `[row, diag]` as the last row (the entries above the new
     /// diagonal stay zero). This is the rank-1 Cholesky extension step:
@@ -196,6 +256,166 @@ impl Matrix {
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len());
         (0..self.rows).map(|r| (0..self.cols).map(|c| self[(r, c)] * v[c]).sum()).collect()
+    }
+
+    /// Row `r` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Appends a row, growing the matrix from `n×m` to `(n+1)×m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.cols()`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(self.cols, row.len(), "appended row has wrong length");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Rank-1 *update* of a lower-triangular Cholesky factor: replaces
+    /// `L` with the factor of `L·Lᵀ + v·vᵀ`, in place, in O(n²) using
+    /// the classic Givens-style recurrence (`r = √(L_kk² + w_k²)`,
+    /// `c = r/L_kk`, `s = w_k/L_kk`, then column-`k` row updates).
+    ///
+    /// Adding `v·vᵀ` keeps the matrix positive definite, so the update
+    /// cannot fail mathematically; `false` is returned — with `self`
+    /// untouched — only when the recurrence degenerates numerically
+    /// (a non-finite or non-positive pivot), in which case the caller
+    /// should refactorize from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `v.len() != self.rows()`.
+    pub fn rank1_update_lower(&mut self, v: &[f64]) -> bool {
+        assert_eq!(self.rows, self.cols, "rank1_update_lower requires a square matrix");
+        assert_eq!(self.rows, v.len(), "update vector has wrong length");
+        let n = self.rows;
+        let mut data = self.data.clone();
+        let mut work = v.to_vec();
+        for k in 0..n {
+            let lkk = data[k * n + k];
+            let r = (lkk * lkk + work[k] * work[k]).sqrt();
+            if !r.is_finite() || r <= 0.0 || lkk <= 0.0 {
+                return false;
+            }
+            let c = r / lkk;
+            let s = work[k] / lkk;
+            data[k * n + k] = r;
+            for i in (k + 1)..n {
+                let lik = (data[i * n + k] + s * work[i]) / c;
+                work[i] = c * work[i] - s * lik;
+                data[i * n + k] = lik;
+            }
+        }
+        self.data = data;
+        true
+    }
+
+    /// Cholesky *downdate* that deletes the first row and column of the
+    /// factorized matrix: given lower-triangular `L` with `L·Lᵀ = A`,
+    /// replaces `L` with the factor of `A` minus its first row/column,
+    /// in O(n²) instead of an O(n³) refactorization.
+    ///
+    /// Partitioning `L = [[l₁₁, 0], [l₂₁, L₂₂]]` gives the trailing
+    /// block `A₂₂ = L₂₂·L₂₂ᵀ + l₂₁·l₂₁ᵀ`, so the new factor is the
+    /// rank-1 *update* of `L₂₂` by the deleted column `l₂₁` — an
+    /// additive update, hence unconditionally positive definite (no
+    /// cancellation, unlike a general downdate). Returns `false` with
+    /// `self` untouched only on numerical degeneracy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or has fewer than two rows.
+    pub fn delete_lower_first(&mut self) -> bool {
+        assert_eq!(self.rows, self.cols, "delete_lower_first requires a square matrix");
+        assert!(self.rows >= 2, "cannot delete the only row");
+        let n = self.rows;
+        let l21: Vec<f64> = (1..n).map(|i| self.data[i * n]).collect();
+        let mut trailing = Matrix::zeros(n - 1, n - 1);
+        for i in 1..n {
+            for j in 1..=i {
+                trailing.data[(i - 1) * (n - 1) + (j - 1)] = self.data[i * n + j];
+            }
+        }
+        if !trailing.rank1_update_lower(&l21) {
+            return false;
+        }
+        *self = trailing;
+        true
+    }
+
+    /// Truncates a lower-triangular factor to its leading `n×n` block —
+    /// the exact inverse of [`Matrix::extend_lower`]: the retained
+    /// entries are bit-identical to what they were before any
+    /// extension, because bordering never rewrites the leading block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `n > self.rows()`.
+    pub fn truncate_lower(&mut self, n: usize) {
+        assert_eq!(self.rows, self.cols, "truncate_lower requires a square matrix");
+        assert!(n <= self.rows, "cannot truncate {} rows to {n}", self.rows);
+        let old = self.rows;
+        let mut data = Vec::with_capacity(n * n);
+        for r in 0..n {
+            data.extend_from_slice(&self.data[r * old..r * old + n]);
+        }
+        self.rows = n;
+        self.cols = n;
+        self.data = data;
+    }
+
+    /// Gram matrix `AᵀA` of this `n×m` matrix (an `m×m` symmetric
+    /// result), accumulated row-by-row so the `n`-long dimension streams
+    /// through the cache once — the `CₙₘᵀCₙₘ` product of the sparse-GP
+    /// fit.
+    pub fn gram(&self) -> Matrix {
+        let m = self.cols;
+        let mut g = Matrix::zeros(m, m);
+        for r in 0..self.rows {
+            let row = &self.data[r * m..(r + 1) * m];
+            for (i, &ai) in row.iter().enumerate() {
+                let gi = &mut g.data[i * m..(i + 1) * m];
+                for (gij, &aj) in gi.iter_mut().zip(row) {
+                    *gij += ai * aj;
+                }
+            }
+        }
+        g
+    }
+
+    /// Transposed matrix-vector product `Aᵀv` (length `m` for an `n×m`
+    /// matrix), accumulated over rows in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.rows()`.
+    pub fn transpose_mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, v.len());
+        let m = self.cols;
+        let mut out = vec![0.0; m];
+        for (r, &vr) in v.iter().enumerate() {
+            let row = &self.data[r * m..(r + 1) * m];
+            for (o, &a) in out.iter_mut().zip(row) {
+                *o += a * vr;
+            }
+        }
+        out
     }
 }
 
@@ -246,6 +466,38 @@ mod tests {
             }
             s
         })
+    }
+
+    #[test]
+    fn invert_lower_times_original_is_identity() {
+        let l = spd3().cholesky().expect("SPD");
+        let inv = l.invert_lower();
+        for r in 0..3 {
+            for c in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += inv[(r, k)] * l[(k, c)];
+                }
+                let want = if r == c { 1.0 } else { 0.0 };
+                assert!((s - want).abs() < 1e-12, "inv*L[{r}][{c}] = {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_mul_columns_matches_naive() {
+        let l = spd3().cholesky().expect("SPD");
+        let b = Matrix::from_fn(3, 5, |r, c| (r as f64 + 1.0) * 0.3 - c as f64 * 0.7);
+        let t = l.transpose_mul_columns(&b);
+        for i in 0..3 {
+            for j in 0..5 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += l[(k, i)] * b[(k, j)];
+                }
+                assert!((t[(i, j)] - s).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]
@@ -344,6 +596,95 @@ mod tests {
                 assert_eq!(x[(r, c)].to_bits(), expect[r].to_bits(), "({r},{c})");
             }
         }
+    }
+
+    /// SPD matrix `M Mᵀ + d·I` from a deterministic dense seed.
+    fn spd(n: usize, d: f64) -> Matrix {
+        let m = Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 17) % 13) as f64 * 0.11 + 0.3);
+        Matrix::from_fn(n, n, |r, c| {
+            let mut s = if r == c { d } else { 0.0 };
+            for k in 0..n {
+                s += m[(r, k)] * m[(c, k)];
+            }
+            s
+        })
+    }
+
+    #[test]
+    fn rank1_update_matches_refactorization() {
+        let a = spd(6, 2.0);
+        let mut l = a.cholesky().expect("SPD");
+        let v: Vec<f64> = (0..6).map(|i| (i as f64 * 0.7 - 1.3).sin()).collect();
+        assert!(l.rank1_update_lower(&v));
+        let updated = Matrix::from_fn(6, 6, |r, c| a[(r, c)] + v[r] * v[c]);
+        let direct = updated.cholesky().expect("still SPD");
+        for r in 0..6 {
+            for c in 0..=r {
+                assert!((l[(r, c)] - direct[(r, c)]).abs() < 1e-10, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn delete_lower_first_matches_trailing_cholesky() {
+        let a = spd(7, 1.5);
+        let mut l = a.cholesky().expect("SPD");
+        assert!(l.delete_lower_first());
+        let trailing = Matrix::from_fn(6, 6, |r, c| a[(r + 1, c + 1)]);
+        let direct = trailing.cholesky().expect("SPD");
+        assert_eq!(l.rows(), 6);
+        for r in 0..6 {
+            for c in 0..=r {
+                assert!((l[(r, c)] - direct[(r, c)]).abs() < 1e-10, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_lower_inverts_extend_lower_bitwise() {
+        let a = spd(5, 2.5);
+        let l4 = Matrix::from_fn(4, 4, |r, c| a[(r, c)]).cholesky().expect("SPD block");
+        let mut grown = l4.clone();
+        let border: Vec<f64> = (0..4).map(|r| a[(r, 4)]).collect();
+        let w = grown.solve_lower(&border);
+        let d2 = a[(4, 4)] - w.iter().map(|x| x * x).sum::<f64>();
+        grown.extend_lower(&w, d2.sqrt());
+        grown.truncate_lower(4);
+        assert_eq!(grown, l4, "truncation must restore the pre-extension factor exactly");
+    }
+
+    #[test]
+    fn gram_and_transpose_mul_vec() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f64 * 0.5 - 2.0);
+        let g = a.gram();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for r in 0..4 {
+                    s += a[(r, i)] * a[(r, j)];
+                }
+                assert!((g[(i, j)] - s).abs() < 1e-12, "({i},{j})");
+            }
+        }
+        let v = vec![1.0, -0.5, 2.0, 0.25];
+        let got = a.transpose_mul_vec(&v);
+        for (j, gj) in got.iter().enumerate() {
+            let mut s = 0.0;
+            for r in 0..4 {
+                s += a[(r, j)] * v[r];
+            }
+            assert!((gj - s).abs() < 1e-12, "{j}");
+        }
+    }
+
+    #[test]
+    fn push_row_grows_matrix() {
+        let mut m = Matrix::from_fn(2, 3, |r, c| (r + c) as f64);
+        m.push_row(&[7.0, 8.0, 9.0]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.row(2), &[7.0, 8.0, 9.0]);
+        m.row_mut(0)[1] = -1.0;
+        assert_eq!(m[(0, 1)], -1.0);
     }
 
     #[test]

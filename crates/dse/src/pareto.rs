@@ -304,6 +304,282 @@ fn hv3d(front: &[Vec<f64>], reference: &[f64]) -> f64 {
     hv
 }
 
+/// A reusable scorer for SMS-EGO acquisition: precomputes front indexes
+/// once so that scoring a large candidate pool against a frozen front
+/// stops rescanning the whole front per candidate.
+///
+/// Two accelerations over the naive per-candidate loop:
+///
+/// * [`ContributionScorer::epsilon_penalty`] pre-sorts the front by its
+///   first objective, so the epsilon-dominance scan only visits the
+///   prefix with `f₀ ≤ c₀ + ε` (a necessary condition for the full
+///   check) instead of the whole front. Qualifying points are then
+///   accumulated in front order, making the result **bit-identical** to
+///   the naive in-order scan.
+/// * [`ContributionScorer::contribution`] replaces the generic
+///   `hypervolume(clipped)` recomputation inside
+///   [`hypervolume_contribution`] — which re-runs Pareto filtering per
+///   z-slab, O(k³) worst-case in three objectives — with a single
+///   z-sweep that maintains the clipped union's 2-D staircase *and its
+///   area* incrementally, O(k log k) typical / O(k²) worst-case. Within
+///   ~1e-9 of the rescan (floating-point reassociation only).
+///
+/// Build one per acquisition iteration and share it read-only across
+/// scoring chunks; give each chunk its own [`ScorerScratch`] so the hot
+/// loop allocates nothing per candidate.
+#[derive(Debug, Clone)]
+pub struct ContributionScorer {
+    reference: Vec<f64>,
+    /// Front points padded to three objectives and stored contiguously,
+    /// so the per-candidate clip scan streams one flat allocation.
+    front: Vec<[f64; 3]>,
+    d: usize,
+    /// Front indices sorted ascending by first objective.
+    by_obj0: Vec<usize>,
+}
+
+/// Reusable working buffers for [`ContributionScorer`]. One per scoring
+/// thread/chunk; every buffer is cleared (not shrunk) between candidates
+/// so steady-state scoring performs no heap allocation.
+#[derive(Debug, Default, Clone)]
+pub struct ScorerScratch {
+    /// Candidate-clipped front points, padded to three objectives.
+    clipped: Vec<[f64; 3]>,
+    /// Indices of epsilon-dominating front points, restored to front order.
+    hits: Vec<usize>,
+    /// The 3-D sweep's active 2-D staircase.
+    stairs: Vec<(f64, f64)>,
+}
+
+impl ContributionScorer {
+    /// Builds a scorer over a frozen `front` and `reference` (an upper
+    /// bound every scored point should dominate). O(F log F).
+    ///
+    /// # Panics
+    ///
+    /// Panics for 0 or more than three objectives, or mismatched front
+    /// dimensions.
+    pub fn new(front: &[Vec<f64>], reference: &[f64]) -> ContributionScorer {
+        let d = reference.len();
+        assert!((1..=3).contains(&d), "scorer implemented for 1-3 objectives, got {d}");
+        let mut flat: Vec<[f64; 3]> = Vec::with_capacity(front.len());
+        for f in front {
+            assert_eq!(f.len(), d, "objective dimension mismatch");
+            let mut row = [0.0f64; 3];
+            row[..d].copy_from_slice(f);
+            flat.push(row);
+        }
+        let mut by_obj0: Vec<usize> = (0..flat.len()).collect();
+        by_obj0.sort_by(|&a, &b| flat[a][0].total_cmp(&flat[b][0]));
+        ContributionScorer { reference: reference.to_vec(), front: flat, d, by_obj0 }
+    }
+
+    /// Number of front points the scorer was built over.
+    pub fn len(&self) -> usize {
+        self.front.len()
+    }
+
+    /// True when the scorer's front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.front.is_empty()
+    }
+
+    /// Creates a scratch sized for this scorer's front. One per scoring
+    /// thread/chunk.
+    pub fn scratch(&self) -> ScorerScratch {
+        ScorerScratch {
+            clipped: Vec::with_capacity(self.front.len()),
+            hits: Vec::with_capacity(self.front.len()),
+            stairs: Vec::with_capacity(self.front.len() + 1),
+        }
+    }
+
+    /// Total SMS-EGO epsilon-dominance penalty of `candidate`: for every
+    /// front point that epsilon-dominates it (`f ≤ c + ε` in all
+    /// objectives), the dominated depth `Σ max(c − f, 0) + ε` is
+    /// accumulated in front order — bit-identical to the naive full-front
+    /// scan, but only the `f₀ ≤ c₀ + ε` prefix of the obj-0 sorted index
+    /// is visited.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidate` has the wrong dimension.
+    pub fn epsilon_penalty(&self, candidate: &[f64], eps: f64) -> f64 {
+        self.epsilon_penalty_with(&mut self.scratch(), candidate, eps)
+    }
+
+    /// [`ContributionScorer::epsilon_penalty`] against caller-owned
+    /// buffers — the allocation-free form for hot scoring loops.
+    pub fn epsilon_penalty_with(
+        &self,
+        scratch: &mut ScorerScratch,
+        candidate: &[f64],
+        eps: f64,
+    ) -> f64 {
+        assert_eq!(candidate.len(), self.reference.len(), "objective dimension mismatch");
+        let cut = self.by_obj0.partition_point(|&i| self.front[i][0] <= candidate[0] + eps);
+        scratch.hits.clear();
+        scratch.hits.extend(
+            self.by_obj0[..cut]
+                .iter()
+                .copied()
+                .filter(|&i| self.front[i].iter().zip(candidate).all(|(fv, cv)| *fv <= cv + eps)),
+        );
+        scratch.hits.sort_unstable();
+        let mut penalty = 0.0;
+        for &i in &scratch.hits {
+            let depth: f64 =
+                self.front[i].iter().zip(candidate).map(|(fv, cv)| (cv - fv).max(0.0)).sum();
+            penalty += depth + eps;
+        }
+        penalty
+    }
+
+    /// Exclusive hypervolume contribution of `candidate` against the
+    /// frozen front — semantically [`hypervolume_contribution`], within
+    /// ~1e-9 (the incremental union sweep reassociates additions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidate` has the wrong dimension.
+    pub fn contribution(&self, candidate: &[f64]) -> f64 {
+        self.contribution_with(&mut self.scratch(), candidate)
+    }
+
+    /// [`ContributionScorer::contribution`] against caller-owned buffers
+    /// — the allocation-free form for hot scoring loops.
+    pub fn contribution_with(&self, scratch: &mut ScorerScratch, candidate: &[f64]) -> f64 {
+        let d = self.d;
+        assert_eq!(candidate.len(), d, "objective dimension mismatch");
+        if !candidate.iter().zip(&self.reference).all(|(x, r)| x < r) {
+            return 0.0;
+        }
+        scratch.clipped.clear();
+        for f in &self.front {
+            if f.iter().zip(candidate).all(|(a, b)| a <= b) {
+                return 0.0;
+            }
+            let mut g = [0.0f64; 3];
+            let mut inside = true;
+            for j in 0..d {
+                g[j] = f[j].max(candidate[j]);
+                inside &= g[j] < self.reference[j];
+            }
+            if inside {
+                scratch.clipped.push(g);
+            }
+        }
+        let box_vol: f64 = candidate.iter().zip(&self.reference).map(|(c, r)| r - c).product();
+        if scratch.clipped.is_empty() {
+            return box_vol;
+        }
+        let union = match d {
+            1 => {
+                self.reference[0]
+                    - scratch.clipped.iter().map(|g| g[0]).fold(f64::INFINITY, f64::min)
+            }
+            2 => union_area_2d(&mut scratch.clipped, &self.reference),
+            _ => union_volume_3d(&mut scratch.clipped, &mut scratch.stairs, &self.reference),
+        };
+        (box_vol - union).max(0.0)
+    }
+
+    /// The full SMS-EGO acquisition score: `-penalty` when any front
+    /// point epsilon-dominates the candidate, otherwise the hypervolume
+    /// contribution. Matches the historical inline scoring exactly.
+    pub fn score(&self, candidate: &[f64], eps: f64) -> f64 {
+        self.score_with(&mut self.scratch(), candidate, eps)
+    }
+
+    /// [`ContributionScorer::score`] against caller-owned buffers — the
+    /// allocation-free form for hot scoring loops.
+    pub fn score_with(&self, scratch: &mut ScorerScratch, candidate: &[f64], eps: f64) -> f64 {
+        let penalty = self.epsilon_penalty_with(scratch, candidate, eps);
+        if penalty > 0.0 {
+            -penalty
+        } else {
+            self.contribution_with(scratch, candidate)
+        }
+    }
+}
+
+/// Union area of the boxes `[gᵢ, reference]` in 2-D: the hv2d sweep
+/// without the (unnecessary for a union) Pareto pre-filter.
+fn union_area_2d(clipped: &mut [[f64; 3]], reference: &[f64]) -> f64 {
+    clipped.sort_unstable_by(|a, b| a[0].total_cmp(&b[0]));
+    let mut area = 0.0;
+    let mut prev_y = reference[1];
+    for g in clipped {
+        if g[1] < prev_y {
+            area += (reference[0] - g[0]) * (prev_y - g[1]);
+            prev_y = g[1];
+        }
+    }
+    area
+}
+
+/// Union volume of the boxes `[gᵢ, reference]` in 3-D: sweep ascending
+/// z, maintaining the active points' 2-D union as a staircase whose area
+/// is updated incrementally on insertion, and accumulate `area · Δz` per
+/// slab. O(k log k) typical; each staircase point is inserted and
+/// evicted at most once.
+fn union_volume_3d(
+    clipped: &mut [[f64; 3]],
+    stairs: &mut Vec<(f64, f64)>,
+    reference: &[f64],
+) -> f64 {
+    clipped.sort_unstable_by(|a, b| a[2].total_cmp(&b[2]));
+    stairs.clear();
+    let mut area = 0.0;
+    let mut volume = 0.0;
+    for i in 0..clipped.len() {
+        insert_stair(stairs, &mut area, clipped[i][0], clipped[i][1], reference);
+        let z_lo = clipped[i][2];
+        let z_hi = if i + 1 < clipped.len() { clipped[i + 1][2] } else { reference[2] };
+        if z_hi > z_lo {
+            volume += area * (z_hi - z_lo);
+        }
+    }
+    volume
+}
+
+/// Inserts `(x, y)` into a staircase of mutually non-dominated points
+/// (x strictly ascending, y strictly descending), keeping `area` — the
+/// union area of the boxes `[(xᵢ, yᵢ), reference]` — consistent via the
+/// slab identity `area = Σ (x_{i+1} − xᵢ)(ref₁ − yᵢ)` (with `x_{last+1}`
+/// = `ref₀`). Covered points are no-ops; points dominated by the new one
+/// are evicted as one contiguous block.
+fn insert_stair(stairs: &mut Vec<(f64, f64)>, area: &mut f64, x: f64, y: f64, reference: &[f64]) {
+    let lo = stairs.partition_point(|p| p.0 < x);
+    // Covered: a predecessor at strictly smaller x with y no larger, or
+    // an existing stair at exactly this x with y no larger.
+    if lo > 0 && stairs[lo - 1].1 <= y {
+        return;
+    }
+    if lo < stairs.len() && stairs[lo].0 == x && stairs[lo].1 <= y {
+        return;
+    }
+    // Evict the contiguous block the new point dominates (y descending
+    // makes `p.1 >= y` a prefix property from `lo`).
+    let mut hi = lo;
+    while hi < stairs.len() && stairs[hi].1 >= y {
+        hi += 1;
+    }
+    for j in lo..hi {
+        let right = if j + 1 < stairs.len() { stairs[j + 1].0 } else { reference[0] };
+        *area -= (right - stairs[j].0) * (reference[1] - stairs[j].1);
+    }
+    if lo > 0 {
+        // The predecessor's slab now ends at the new point instead of at
+        // the first (possibly evicted) stair to its right.
+        let old_right = if lo < stairs.len() { stairs[lo].0 } else { reference[0] };
+        *area -= (old_right - x) * (reference[1] - stairs[lo - 1].1);
+    }
+    let right = if hi < stairs.len() { stairs[hi].0 } else { reference[0] };
+    *area += (right - x) * (reference[1] - y);
+    stairs.splice(lo..hi, [(x, y)]);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -506,6 +782,117 @@ mod tests {
         let front: Vec<Vec<f64>> = Vec::new();
         let got = hypervolume_contribution(&front, &[1.0, 2.0], &[4.0, 4.0]);
         assert!((got - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scorer_contribution_matches_rescan() {
+        // Raw (un-filtered) LCG point sets stress dominated front members,
+        // duplicate coordinates, and clipped-box collapse; the incremental
+        // staircase must agree with the rescan path to fp-reassociation
+        // tolerance in every dimension it supports.
+        for d in 1..=3usize {
+            let reference = vec![10.0; d];
+            for seed in 0..8u64 {
+                let front = lcg_points(seed * 11 + 2, 20, d, 9.5);
+                let scorer = ContributionScorer::new(&front, &reference);
+                assert_eq!(scorer.len(), 20);
+                for c in lcg_points(seed * 17 + 9, 12, d, 11.0) {
+                    let expect = hypervolume_contribution(&front, &c, &reference);
+                    let got = scorer.contribution(&c);
+                    assert!(
+                        (got - expect).abs() < 1e-9,
+                        "d={d} seed={seed}: {got} vs {expect} for {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scorer_penalty_bitwise_matches_naive_scan() {
+        let eps = 1e-3;
+        for d in 2..=3usize {
+            for seed in 0..6u64 {
+                // Quantize to force exact coordinate ties across points.
+                let front: Vec<Vec<f64>> = lcg_points(seed * 5 + 1, 24, d, 4.0)
+                    .into_iter()
+                    .map(|p| p.into_iter().map(|v| (v * 8.0).floor() / 8.0).collect())
+                    .collect();
+                let scorer = ContributionScorer::new(&front, &vec![5.0; d]);
+                for c in lcg_points(seed * 3 + 7, 16, d, 4.5) {
+                    let mut naive = 0.0;
+                    for f in &front {
+                        if f.iter().zip(&c).all(|(fv, cv)| *fv <= cv + eps) {
+                            let depth: f64 =
+                                f.iter().zip(&c).map(|(fv, cv)| (cv - fv).max(0.0)).sum();
+                            naive += depth + eps;
+                        }
+                    }
+                    let got = scorer.epsilon_penalty(&c, eps);
+                    assert_eq!(
+                        got.to_bits(),
+                        naive.to_bits(),
+                        "d={d} seed={seed}: {got} vs naive {naive} for {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scorer_score_combines_penalty_and_contribution() {
+        let front = vec![vec![1.0, 3.0], vec![3.0, 1.0]];
+        let reference = vec![5.0, 5.0];
+        let scorer = ContributionScorer::new(&front, &reference);
+        let eps = 1e-3;
+        // Epsilon-dominated candidate: negative penalty score.
+        let dominated = [2.0, 4.0];
+        let pen = scorer.epsilon_penalty(&dominated, eps);
+        assert!(pen > 0.0);
+        assert_eq!(scorer.score(&dominated, eps), -pen);
+        // Non-dominated candidate: positive contribution score.
+        let good = [0.5, 0.5];
+        let score = scorer.score(&good, eps);
+        assert!(score > 0.0);
+        assert!(
+            (score - hypervolume_contribution(&front, &good, &reference)).abs() < 1e-9,
+            "score {score}"
+        );
+    }
+
+    #[test]
+    fn scorer_edge_cases() {
+        let reference = vec![4.0, 4.0, 4.0];
+        let empty = ContributionScorer::new(&[], &reference);
+        assert!(empty.is_empty());
+        let got = empty.contribution(&[1.0, 2.0, 3.0]);
+        assert!((got - 6.0).abs() < 1e-12, "empty front must yield the box volume, got {got}");
+        assert_eq!(empty.epsilon_penalty(&[1.0, 1.0, 1.0], 1e-3), 0.0);
+
+        let scorer = ContributionScorer::new(&[vec![1.0, 1.0, 1.0]], &reference);
+        assert_eq!(scorer.contribution(&[2.0, 2.0, 2.0]), 0.0, "dominated candidate");
+        assert_eq!(scorer.contribution(&[1.0, 1.0, 1.0]), 0.0, "duplicate candidate");
+        assert_eq!(scorer.contribution(&[5.0, 1.0, 1.0]), 0.0, "outside reference");
+    }
+
+    #[test]
+    fn staircase_handles_exact_coordinate_ties() {
+        // Same-x and same-y insertions exercise the covered / evicted tie
+        // branches of the staircase; validate against the rescan.
+        let reference = vec![10.0, 10.0, 10.0];
+        let front = vec![
+            vec![2.0, 6.0, 1.0],
+            vec![2.0, 4.0, 2.0], // same x, better y: evicts the first in-slab
+            vec![4.0, 4.0, 3.0], // dominated in xy by the second: covered
+            vec![2.0, 4.0, 4.0], // exact xy duplicate: covered
+            vec![1.0, 8.0, 5.0], // new leftmost stair
+        ];
+        let scorer = ContributionScorer::new(&front, &reference);
+        for c in [[0.5, 0.5, 0.5], [1.5, 3.0, 0.2], [3.0, 3.0, 3.0]] {
+            let expect = hypervolume_contribution(&front, &c, &reference);
+            let got = scorer.contribution(&c);
+            assert!((got - expect).abs() < 1e-9, "{got} vs {expect} for {c:?}");
+        }
     }
 }
 

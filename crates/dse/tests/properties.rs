@@ -8,7 +8,7 @@ use dse_opt::pareto::{
 };
 use dse_opt::{
     AnnealingOptimizer, CachedEvaluator, DesignSpace, EvalError, Evaluator, ExhaustiveSearch,
-    GaussianProcess, MultiObjectiveOptimizer, Nsga2Optimizer, RandomSearch,
+    GaussianProcess, MultiObjectiveOptimizer, Nsga2Optimizer, RandomSearch, SparseGaussianProcess,
 };
 
 const CASES: u64 = 64;
@@ -252,5 +252,109 @@ fn cached_evaluator_never_stale() {
         assert_eq!(stats.misses, distinct.len(), "case {case}");
         assert_eq!(stats.entries, distinct.len(), "case {case}");
         assert_eq!(stats.hits, queries.len() - distinct.len(), "case {case}");
+    }
+}
+
+/// A smooth synthetic target over the unit cube.
+fn smooth_target(p: &[f64]) -> f64 {
+    p.iter().enumerate().map(|(i, v)| (v * (1.3 + i as f64 * 0.4)).sin()).sum()
+}
+
+/// With the inducing set covering every training input (`m = n`), the
+/// DTC sparse posterior coincides with the exact GP posterior at the
+/// same lengthscale — means and variances within 1e-5 across random
+/// archives and query points.
+#[test]
+fn sparse_gp_with_full_inducing_matches_exact() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_stream(0xd5e_000a, case);
+        let n = rng.range_usize(24, 56);
+        let d = rng.range_usize(2, 6);
+        let x: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| rng.next_f64()).collect()).collect();
+        let y: Vec<f64> = x.iter().map(|p| smooth_target(p)).collect();
+        let exact = GaussianProcess::fit(&x, &y).expect("exact GP fits");
+        let sparse = SparseGaussianProcess::fit_with_lengthscale(&x, &y, exact.lengthscale_sq(), n)
+            .expect("sparse GP fits");
+        assert_eq!(sparse.inducing_count(), n, "case {case}");
+        for _ in 0..8 {
+            let q: Vec<f64> = (0..d).map(|_| rng.next_f64()).collect();
+            let (em, ev) = exact.predict(&q);
+            let (sm, sv) = sparse.predict(&q);
+            assert!((em - sm).abs() < 1e-5, "case {case}: mean {em} vs {sm}");
+            assert!((ev - sv).abs() < 1e-5, "case {case}: var {ev} vs {sv}");
+        }
+    }
+}
+
+/// A genuinely low-rank sparse posterior (`m < n`) stays well-formed on
+/// random archives: finite means, variances in `[0, signal cap]`, and
+/// the batched path bit-identical to scalar prediction.
+#[test]
+fn sparse_gp_low_rank_is_well_formed_and_batch_consistent() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_stream(0xd5e_000b, case);
+        let n = rng.range_usize(32, 72);
+        let d = rng.range_usize(2, 6);
+        let m = rng.range_usize(8, 24);
+        let x: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| rng.next_f64()).collect()).collect();
+        let y: Vec<f64> = x.iter().map(|p| smooth_target(p)).collect();
+        let sparse = SparseGaussianProcess::fit(&x, &y, m).expect("sparse GP fits");
+        assert!(sparse.inducing_count() <= m, "case {case}");
+        let pool: Vec<Vec<f64>> =
+            (0..16).map(|_| (0..d).map(|_| rng.next_f64()).collect()).collect();
+        let batch = sparse.predict_batch(&pool);
+        let spread = y.iter().fold(f64::NEG_INFINITY, |a, &v| a.max(v))
+            - y.iter().fold(f64::INFINITY, |a, &v| a.min(v));
+        for (q, &(bm, bv)) in pool.iter().zip(&batch) {
+            let (sm, sv) = sparse.predict(q);
+            assert_eq!(sm.to_bits(), bm.to_bits(), "case {case}: batched mean differs");
+            assert_eq!(sv.to_bits(), bv.to_bits(), "case {case}: batched var differs");
+            assert!(sm.is_finite(), "case {case}");
+            assert!(sv >= 0.0 && sv.is_finite(), "case {case}");
+            // Posterior mean stays within the observed target range
+            // padded by its spread — the prior mean is the average
+            // target, so a sane posterior cannot run away from it.
+            let lo = y.iter().fold(f64::INFINITY, |a, &v| a.min(v)) - spread;
+            let hi = y.iter().fold(f64::NEG_INFINITY, |a, &v| a.max(v)) + spread;
+            assert!(sm >= lo && sm <= hi, "case {case}: mean {sm} outside [{lo}, {hi}]");
+        }
+    }
+}
+
+/// Truncating an extended exact GP back to its fit size and replaying
+/// the same extensions reproduces the factorization **bitwise**: the
+/// truncate-then-extend round trip is the identity on predictions.
+#[test]
+fn exact_gp_truncate_then_extend_roundtrip_is_bitwise() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_stream(0xd5e_000c, case);
+        let d = rng.range_usize(2, 5);
+        let base = rng.range_usize(8, 20);
+        let extra = rng.range_usize(2, 8);
+        let x: Vec<Vec<f64>> =
+            (0..base + extra).map(|_| (0..d).map(|_| rng.next_f64()).collect()).collect();
+        let y: Vec<f64> = x.iter().map(|p| smooth_target(p)).collect();
+        let mut gp = GaussianProcess::fit(&x[..base], &y[..base]).expect("exact GP fits");
+        for i in base..base + extra {
+            assert!(gp.extend(&x[i], y[i]), "case {case}: extend {i}");
+        }
+        let pool: Vec<Vec<f64>> =
+            (0..8).map(|_| (0..d).map(|_| rng.next_f64()).collect()).collect();
+        let before: Vec<(u64, u64)> = pool
+            .iter()
+            .map(|q| {
+                let (m, v) = gp.predict(q);
+                (m.to_bits(), v.to_bits())
+            })
+            .collect();
+        assert!(gp.truncate(base), "case {case}: truncate");
+        assert_eq!(gp.len(), base, "case {case}");
+        for i in base..base + extra {
+            assert!(gp.extend(&x[i], y[i]), "case {case}: re-extend {i}");
+        }
+        for (q, want) in pool.iter().zip(&before) {
+            let (m, v) = gp.predict(q);
+            assert_eq!((m.to_bits(), v.to_bits()), *want, "case {case}: round trip drifted");
+        }
     }
 }

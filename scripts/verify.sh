@@ -52,4 +52,31 @@ awk -v s="$speedup" 'BEGIN { exit (s + 0 >= 1.0) ? 0 : 1 }' || {
 }
 echo "perf guard: speedup_single_thread=$speedup"
 
+echo "==> phase-2 scale guard (budget-2000 sparse-surrogate probe)"
+# Large-budget probe of the scalable-inference path: sparse GPs must
+# engage past the SurrogateMode threshold, and the acquisition-scoring
+# span — the historical hot path — must stay at or below half the
+# phase-2 run span. Also requires the sparse-vs-exact batched inference
+# speedup to have been measured at all.
+AUTOPILOT_BENCH_FAST=1 AUTOPILOT_BENCH_BUDGET=2000 \
+    cargo run -q --release -p autopilot-bench --bin timing_probe >/dev/null
+scale_json=results/BENCH_phase2_scale.json
+grep -q '"gp_sparse_speedup"' "$scale_json" || {
+    echo "verify: FAIL — gp_sparse_speedup missing from $scale_json" >&2
+    exit 1
+}
+score_s=$(grep -o '"span_bo_acquisition_score_s": *[0-9.eE+-]*' "$scale_json" | head -1 \
+    | sed 's/.*: *//')
+run_s=$(grep -o '"span_phase2_run_s": *[0-9.eE+-]*' "$scale_json" | head -1 \
+    | sed 's/.*: *//')
+if [ -z "$score_s" ] || [ -z "$run_s" ]; then
+    echo "verify: FAIL — acquisition/run spans missing from $scale_json" >&2
+    exit 1
+fi
+awk -v a="$score_s" -v b="$run_s" 'BEGIN { exit (a + 0 <= 0.5 * (b + 0)) ? 0 : 1 }' || {
+    echo "verify: FAIL — acquisition score span ${score_s}s > 50% of run span ${run_s}s" >&2
+    exit 1
+}
+echo "scale guard: score span ${score_s}s / run span ${run_s}s"
+
 echo "verify: OK"
