@@ -1,0 +1,164 @@
+//! Perf-budget regression gate for `scripts/verify.sh`.
+//!
+//! ```text
+//! budget_gate [<budgets.json>]
+//! ```
+//!
+//! Reads the checked-in budget file (default
+//! `results/BASELINE_budgets.json`) and evaluates each rule against the
+//! freshly generated benchmark / telemetry JSON it names. A rule is
+//!
+//! ```text
+//! { "name":   "human-readable label",
+//!   "source": "BENCH_phase2_scale.json",      // under results/
+//!   "metric": "span_bo_acquisition_score_s",  // field of that file
+//!   "denominator": "span_phase2_run_s",       // optional: gate a ratio
+//!   "max": 0.5 }                              // and/or "min"
+//! ```
+//!
+//! Sources are the flat `BENCH_*.json` objects written by the probes; a
+//! `telemetry_*.json` source is read through the snapshot schema, with
+//! the metric addressed as `counter:<name>`, `gauge:<name>`, or
+//! `span_total:<name>`. Prints a PASS/FAIL table with the measured value
+//! next to its bound and exits non-zero when any budget is breached —
+//! the readable diff a perf regression should fail CI with.
+
+use autopilot_obs as obs;
+use obs::json::Value;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Pulls `metric` out of one results file, loading and caching it.
+fn lookup(
+    cache: &mut BTreeMap<String, Option<Value>>,
+    source: &str,
+    metric: &str,
+) -> Result<f64, String> {
+    let doc = cache
+        .entry(source.to_owned())
+        .or_insert_with(|| {
+            let path = autopilot_bench::results_dir().join(source);
+            std::fs::read_to_string(&path).ok().and_then(|t| Value::parse(&t).ok())
+        })
+        .as_ref()
+        .ok_or_else(|| format!("source {source} missing or unparsable under results/"))?;
+
+    if let Some(name) = metric.strip_prefix("counter:") {
+        let snap = snapshot_of(doc, source)?;
+        return Ok(snap.counter(name) as f64);
+    }
+    if let Some(name) = metric.strip_prefix("gauge:") {
+        let snap = snapshot_of(doc, source)?;
+        return snap
+            .gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("gauge {name} missing from {source}"));
+    }
+    if let Some(name) = metric.strip_prefix("span_total:") {
+        let snap = snapshot_of(doc, source)?;
+        return Ok(snap.span_total_s(name));
+    }
+    doc.get(metric)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("field {metric} missing from {source}"))
+}
+
+fn snapshot_of(doc: &Value, source: &str) -> Result<obs::Snapshot, String> {
+    obs::Snapshot::from_json(&doc.to_json())
+        .map_err(|e| format!("{source} is not a telemetry snapshot: {e}"))
+}
+
+fn main() -> ExitCode {
+    let path =
+        std::env::args().nth(1).unwrap_or_else(|| "results/BASELINE_budgets.json".to_owned());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("budget_gate: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Value::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("budget_gate: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rules = match doc.get("rules").and_then(Value::as_arr) {
+        Some(r) if !r.is_empty() => r,
+        _ => {
+            eprintln!("budget_gate: {path} holds no rules");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut cache: BTreeMap<String, Option<Value>> = BTreeMap::new();
+    let mut table = autopilot_bench::TextTable::new(vec!["budget", "value", "bound", "status"]);
+    let mut breaches = 0usize;
+    for (i, rule) in rules.iter().enumerate() {
+        let field = |key: &str| rule.get(key).and_then(Value::as_str);
+        let (name, source, metric) = match (field("name"), field("source"), field("metric")) {
+            (Some(n), Some(s), Some(m)) => (n, s, m),
+            _ => {
+                eprintln!("budget_gate: rule #{i} needs string name/source/metric");
+                return ExitCode::FAILURE;
+            }
+        };
+        let min = rule.get("min").and_then(Value::as_f64);
+        let max = rule.get("max").and_then(Value::as_f64);
+        if min.is_none() && max.is_none() {
+            eprintln!("budget_gate: rule '{name}' sets neither min nor max");
+            return ExitCode::FAILURE;
+        }
+
+        let value = lookup(&mut cache, source, metric).and_then(|num| {
+            match rule.get("denominator").and_then(Value::as_str) {
+                None => Ok(num),
+                Some(den) => {
+                    let d = lookup(&mut cache, source, den)?;
+                    if d == 0.0 {
+                        Err(format!("denominator {den} is zero in {source}"))
+                    } else {
+                        Ok(num / d)
+                    }
+                }
+            }
+        });
+        let bound = match (min, max) {
+            (Some(lo), Some(hi)) => format!("[{lo}, {hi}]"),
+            (Some(lo), None) => format!(">= {lo}"),
+            (None, Some(hi)) => format!("<= {hi}"),
+            (None, None) => unreachable!(),
+        };
+        match value {
+            Ok(v) => {
+                let ok = min.is_none_or(|lo| v >= lo) && max.is_none_or(|hi| v <= hi);
+                if !ok {
+                    breaches += 1;
+                }
+                table.row(vec![
+                    name.to_owned(),
+                    format!("{v:.4}"),
+                    bound,
+                    if ok { "PASS".to_owned() } else { "FAIL".to_owned() },
+                ]);
+            }
+            Err(e) => {
+                breaches += 1;
+                table.row(vec![name.to_owned(), format!("error: {e}"), bound, "FAIL".to_owned()]);
+            }
+        }
+    }
+
+    println!("perf budgets ({path}):\n{}", table.render());
+    if breaches == 0 {
+        println!("budget gate OK: {} budgets within bounds", rules.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("budget gate FAILED: {breaches} of {} budgets breached", rules.len());
+        ExitCode::FAILURE
+    }
+}

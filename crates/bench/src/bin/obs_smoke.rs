@@ -36,7 +36,17 @@ fn main() {
     assert!(snap.counter("pipeline.phase2_cache.hits") > 0, "phase2 pipeline cache never hit");
     assert!(snap.counter("phase2.candidate_cache.misses") > 0, "candidate cache never filled");
     assert!(snap.counter("systolic.layers") > 0, "systolic simulator not instrumented");
-    assert!(snap.histogram("systolic.cycles_per_layer").is_some(), "cycle histogram missing");
+    let hist = snap.histogram("systolic.cycles_per_layer").expect("cycle histogram missing");
+
+    // Derived quantiles: monotone, inside the observed extremes, and
+    // present in the serialized telemetry.
+    let (p50, p95, p99) = (hist.quantile(0.50), hist.quantile(0.95), hist.quantile(0.99));
+    assert!(hist.min <= p50, "p50 {p50} below histogram min {}", hist.min);
+    assert!(p50 <= p95 && p95 <= p99, "quantiles not monotone: {p50} {p95} {p99}");
+    assert!(p99 <= hist.max, "p99 {p99} above histogram max {}", hist.max);
+    for key in ["\"p50\":", "\"p95\":", "\"p99\":"] {
+        assert!(text.contains(key), "telemetry JSON missing {key} field");
+    }
 
     // The snapshot must survive a JSON round-trip bit-for-bit.
     assert_eq!(text, snap.to_json(), "telemetry JSON round-trip mismatch");

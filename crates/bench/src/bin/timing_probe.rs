@@ -117,6 +117,7 @@ fn main() {
     let mut phase2_obs_off_s = f64::INFINITY;
     let mut phase2_sequential_s = f64::INFINITY;
     let mut last_on = None;
+    let mut memo_window = evaluator.layer_memo_stats();
     for rep in 0..OVERHEAD_REPS {
         obs::force_metrics(false);
         let t = Instant::now();
@@ -125,15 +126,29 @@ fn main() {
         assert_eq!(warm_out.result, off_out.result, "sequential runs must be deterministic");
 
         obs::force_metrics(true);
-        if rep == OVERHEAD_REPS - 1 {
+        let counted = rep == OVERHEAD_REPS - 1;
+        let memo_before = if counted {
             // The counters read back below should reflect exactly one
-            // instrumented sequential run.
+            // instrumented sequential run. The layer-memo counters are
+            // cumulative per evaluator, so the same window is carved out
+            // of them by differencing around this run.
             obs::reset();
-        }
+            evaluator.layer_memo_stats()
+        } else {
+            memo_window
+        };
         let t = Instant::now();
         let on_out = phase2.clone().with_threads(1).run(&evaluator).expect("phase 2 runs");
         phase2_sequential_s = phase2_sequential_s.min(t.elapsed().as_secs_f64());
         assert_eq!(off_out.result, on_out.result, "metrics gating must not change results");
+        if counted {
+            let after = evaluator.layer_memo_stats();
+            memo_window = systolic_sim::MemoStats {
+                hits: after.hits - memo_before.hits,
+                misses: after.misses - memo_before.misses,
+                entries: after.entries,
+            };
+        }
         last_on = Some(on_out);
     }
     let seq_out = last_on.expect("overhead loop ran");
@@ -166,7 +181,18 @@ fn main() {
     let span_acquisition_score_s = seq_snap.span_total_s("bo.acquisition.score");
     let span_front_sync_s = seq_snap.span_total_s("bo.acquisition.front_sync");
     let span_surrogate_s = seq_snap.span_total_s("bo.surrogate_update");
-    let memo_stats = evaluator.layer_memo_stats();
+    // Cumulative memo counters cover every run this evaluator served
+    // (warmup + overhead reps); `memo_window` carved out the counted run,
+    // the same window the obs counters were reset around. A layer only
+    // reaches the cycle model on a memo miss, so within the shared window
+    // the two must agree exactly.
+    let memo_total = evaluator.layer_memo_stats();
+    if evaluator.layer_memo_enabled() {
+        assert_eq!(
+            systolic_layers, memo_window.misses,
+            "layers actually simulated must equal memo misses over the same run window"
+        );
+    }
 
     let phase2_parallel_s = min_time(OVERHEAD_REPS, || {
         let par_out = phase2.run(&evaluator).expect("phase 2 runs");
@@ -307,10 +333,24 @@ fn main() {
         ("gp_retargets".into(), num(gp_retargets as f64)),
         ("gp_downdates".into(), num(gp_downdates as f64)),
         ("hv_incremental_scores".into(), num(hv_incremental_scores as f64)),
+        (
+            "systolic_memo_note".into(),
+            Value::Str(
+                "run-window fields cover the one counted instrumented run (warm memo: repeats of \
+                 the same deterministic run are pure hits, so layers_simulated == memo_misses == \
+                 0 is the memo working); _total fields are cumulative across every probe run on \
+                 this evaluator"
+                    .into(),
+            ),
+        ),
         ("systolic_layers_simulated".into(), num(systolic_layers as f64)),
-        ("systolic_memo_hits".into(), num(memo_stats.hits as f64)),
-        ("systolic_memo_misses".into(), num(memo_stats.misses as f64)),
-        ("systolic_memo_hit_rate".into(), num(memo_stats.hit_rate())),
+        ("systolic_memo_hits".into(), num(memo_window.hits as f64)),
+        ("systolic_memo_misses".into(), num(memo_window.misses as f64)),
+        ("systolic_memo_hit_rate".into(), num(memo_window.hit_rate())),
+        ("systolic_memo_hits_total".into(), num(memo_total.hits as f64)),
+        ("systolic_memo_misses_total".into(), num(memo_total.misses as f64)),
+        ("systolic_memo_hit_rate_total".into(), num(memo_total.hit_rate())),
+        ("systolic_memo_entries".into(), num(memo_total.entries as f64)),
         ("span_phase2_run_s".into(), num(span_phase2_run_s)),
         ("span_bo_acquisition_s".into(), num(span_acquisition_s)),
         ("span_bo_acquisition_score_s".into(), num(span_acquisition_score_s)),
@@ -354,6 +394,7 @@ fn main() {
         );
     }
     autopilot_bench::write_telemetry("timing_probe");
+    autopilot_bench::write_trace("timing_probe");
 }
 
 /// Scale probe (`AUTOPILOT_BENCH_BUDGET=<n>`): one instrumented
@@ -368,12 +409,28 @@ fn main() {
 /// end-to-end; the verify-script guard asserts the acquisition-scoring
 /// span stays under half the total run span.
 fn scale_probe(budget: usize) {
+    // Exact-GP window band (ROADMAP, PR 6 handoff): with the default
+    // window cap (256) equal to the sparse threshold (256) the exact
+    // window never slides — the sparse pack takes over at exactly the
+    // point the window would first move — so the rank-1 downdate path
+    // sat dormant and `gp_downdates` was structurally zero. Opening a
+    // band between the window cap and the sparse threshold makes the
+    // exact window slide (one downdate per objective-pack slide) for
+    // every archive size in (window, threshold].
+    const GP_WINDOW: usize = 192;
+    const GP_SPARSE_THRESHOLD: usize = 320;
+    const GP_SPARSE_INDUCING: usize = 64;
     let config = AutopilotConfig::paper(7);
     let density = ObstacleDensity::Dense;
     let mut db = AirLearningDatabase::new();
     Phase1::new(config.success_model, config.seed).populate(density, &mut db);
     let evaluator = DssocEvaluator::new(db, density);
-    let phase2 = Phase2::new(config.optimizer, budget, config.seed);
+    let phase2 = Phase2::new(config.optimizer, budget, config.seed)
+        .with_gp_window(GP_WINDOW)
+        .with_surrogate_mode(dse_opt::SurrogateMode::Sparse {
+            threshold: GP_SPARSE_THRESHOLD,
+            inducing: GP_SPARSE_INDUCING,
+        });
 
     obs::force_metrics(true);
     obs::reset();
@@ -429,9 +486,24 @@ fn scale_probe(budget: usize) {
     });
     let gp_sparse_speedup = exact_batch_s / sparse_batch_s.max(1e-12);
 
+    // The band is only exercised once the archive outgrows the window;
+    // any budget comfortably past it must have slid the exact window and
+    // fired downdates (the counter this probe exists to keep alive).
+    let gp_downdates = snap.counter("bo.gp.downdate");
+    if budget > GP_WINDOW + 16 {
+        assert!(
+            gp_downdates > 0,
+            "budget {budget} exceeds the exact-GP window ({GP_WINDOW}); the window must have \
+             slid and recorded downdates"
+        );
+    }
+
     let report = Value::Obj(vec![
         ("budget".into(), num(budget as f64)),
         ("optimizer".into(), Value::Str(format!("{:?}", config.optimizer))),
+        ("gp_window".into(), num(GP_WINDOW as f64)),
+        ("gp_sparse_threshold".into(), num(GP_SPARSE_THRESHOLD as f64)),
+        ("gp_sparse_inducing".into(), num(GP_SPARSE_INDUCING as f64)),
         ("wall_s".into(), num(wall_s)),
         ("span_phase2_run_s".into(), num(span_phase2_run_s)),
         ("span_bo_acquisition_score_s".into(), num(span_score_s)),
@@ -447,10 +519,11 @@ fn scale_probe(budget: usize) {
         ("gp_full_refits".into(), num(snap.counter("dse.gp.full_refit") as f64)),
         ("gp_rank1_extends".into(), num(snap.counter("dse.gp.rank1_extend") as f64)),
         ("gp_retargets".into(), num(snap.counter("bo.gp.retarget") as f64)),
-        ("gp_downdates".into(), num(snap.counter("bo.gp.downdate") as f64)),
+        ("gp_downdates".into(), num(gp_downdates as f64)),
         ("hv_incremental_scores".into(), num(snap.counter("bo.hv.incremental") as f64)),
     ]);
     autopilot_bench::emit("BENCH_phase2_scale.json", &report.to_json_pretty());
+    autopilot_bench::write_trace("timing_probe_scale");
     println!(
         "scale probe: budget {budget} in {wall_s:.2}s | score span {span_score_s:.3}s / run span \
          {span_phase2_run_s:.3}s (ratio {score_ratio:.3}) | gp {span_gp_predict_s:.3}s / hv \

@@ -1,0 +1,187 @@
+//! Text flamegraph and self-time report over a Chrome trace-event JSON
+//! file written by the `AUTOPILOT_TRACE=1` tracing pipeline.
+//!
+//! ```text
+//! trace_report [<trace.json>] [--top N] [--require NAME]...
+//! ```
+//!
+//! Reads the trace (default `results/trace_timing_probe.json`), rebuilds
+//! the span tree from the recorded `id`/`parent` links (including
+//! cross-thread `par.worker` hops), and prints:
+//!
+//! 1. an aggregated flamegraph — every distinct span *path* with its
+//!    inclusive time, share of the root, and invocation count;
+//! 2. a top-N self-time table — per span *name*, time spent outside any
+//!    child span, which is where optimization effort should go.
+//!
+//! Every `--require NAME` asserts that at least one span with that name
+//! exists in the trace; the process exits non-zero when one is missing,
+//! so `scripts/verify.sh` can gate on the decomposition staying intact.
+
+use autopilot_obs as obs;
+use obs::trace::ParsedSpan;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Aggregated flamegraph node: one span path (chain of names).
+#[derive(Debug, Default)]
+struct Node {
+    total_us: f64,
+    self_us: f64,
+    count: u64,
+    children: BTreeMap<String, Node>,
+}
+
+impl Node {
+    fn child(&mut self, name: &str) -> &mut Node {
+        self.children.entry(name.to_owned()).or_default()
+    }
+}
+
+fn render_tree(node: &Node, name: &str, depth: usize, root_total: f64, out: &mut String) {
+    let pct = if root_total > 0.0 { 100.0 * node.total_us / root_total } else { 0.0 };
+    out.push_str(&format!(
+        "{:>9.3}ms {:>6.2}% {:>8}x  {}{}\n",
+        node.total_us / 1000.0,
+        pct,
+        node.count,
+        "  ".repeat(depth),
+        name
+    ));
+    // Children sorted by inclusive time, heaviest first.
+    let mut kids: Vec<(&String, &Node)> = node.children.iter().collect();
+    kids.sort_by(|a, b| b.1.total_us.total_cmp(&a.1.total_us));
+    for (child_name, child) in kids {
+        render_tree(child, child_name, depth + 1, root_total, out);
+    }
+}
+
+fn main() -> ExitCode {
+    let mut path = String::from("results/trace_timing_probe.json");
+    let mut top_n: usize = 15;
+    let mut required: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--top" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => top_n = n,
+                None => {
+                    eprintln!("trace_report: --top needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--require" => match args.next() {
+                Some(name) => required.push(name),
+                None => {
+                    eprintln!("trace_report: --require needs a span name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => path = other.to_owned(),
+        }
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_report: cannot read {path}: {e}");
+            eprintln!("hint: run with AUTOPILOT_TRACE=1 to produce a trace first");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match obs::trace::parse_chrome_trace(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_report: {path} is not a chrome trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if trace.spans.is_empty() {
+        eprintln!("trace_report: {path} holds no complete spans");
+        return ExitCode::FAILURE;
+    }
+
+    // Parents begin strictly before their children (adoption happens
+    // while the parent is live), so a start-time sweep sees every
+    // parent's path before its children need it.
+    let mut spans: Vec<&ParsedSpan> = trace.spans.iter().collect();
+    spans.sort_by(|a, b| a.start_us.total_cmp(&b.start_us).then(a.id.cmp(&b.id)));
+
+    let mut child_us: BTreeMap<u64, f64> = BTreeMap::new();
+    for s in &spans {
+        if s.parent != 0 {
+            *child_us.entry(s.parent).or_insert(0.0) += s.dur_us;
+        }
+    }
+
+    let mut root = Node::default();
+    let mut paths: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut self_by_name: BTreeMap<String, (f64, u64)> = BTreeMap::new();
+    for s in &spans {
+        // A parent missing from the file (overwritten in the ring) makes
+        // the span a root of its own path — still counted, never lost.
+        let mut chain = paths.get(&s.parent).cloned().unwrap_or_default();
+        chain.push(s.name.clone());
+        paths.insert(s.id, chain.clone());
+
+        // Self time: inclusive minus direct children; concurrent
+        // children (par.worker fan-out) can overlap the parent wall
+        // time, so clamp at zero rather than report negative work.
+        let self_us = (s.dur_us - child_us.get(&s.id).copied().unwrap_or(0.0)).max(0.0);
+        let mut node = &mut root;
+        for name in &chain {
+            node = node.child(name);
+        }
+        node.total_us += s.dur_us;
+        node.self_us += self_us;
+        node.count += 1;
+        let entry = self_by_name.entry(s.name.clone()).or_insert((0.0, 0));
+        entry.0 += self_us;
+        entry.1 += 1;
+    }
+
+    let root_total: f64 = root.children.values().map(|n| n.total_us).sum();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace: {path} ({} spans, {} dropped events)\n\n",
+        trace.spans.len(),
+        trace.dropped_events
+    ));
+    out.push_str("flamegraph (inclusive time, share of roots, calls):\n");
+    let mut tops: Vec<(&String, &Node)> = root.children.iter().collect();
+    tops.sort_by(|a, b| b.1.total_us.total_cmp(&a.1.total_us));
+    for (name, node) in tops {
+        render_tree(node, name, 0, root_total, &mut out);
+    }
+
+    out.push_str(&format!("\ntop {top_n} spans by self time:\n"));
+    let mut table =
+        autopilot_bench::TextTable::new(vec!["span", "self_ms", "calls", "self/call_us"]);
+    let mut ranked: Vec<(&String, &(f64, u64))> = self_by_name.iter().collect();
+    ranked.sort_by(|a, b| b.1 .0.total_cmp(&a.1 .0));
+    for (name, (self_us, calls)) in ranked.into_iter().take(top_n) {
+        table.row(vec![
+            name.clone(),
+            format!("{:.3}", self_us / 1000.0),
+            calls.to_string(),
+            format!("{:.2}", self_us / *calls as f64),
+        ]);
+    }
+    out.push_str(&table.render());
+    println!("{out}");
+
+    let mut ok = true;
+    for name in &required {
+        if trace.spans.iter().any(|s| &s.name == name) {
+            println!("require {name}: present");
+        } else {
+            eprintln!("trace_report: required span '{name}' missing from {path}");
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -119,6 +119,39 @@ pub fn write_telemetry(run: &str) -> Option<PathBuf> {
     }
 }
 
+/// Drains the per-event trace and writes it as Chrome trace-event JSON
+/// to `results/trace_<run>.json` (Perfetto / `chrome://tracing`
+/// loadable), returning the path.
+///
+/// A no-op returning `None` when `AUTOPILOT_TRACE` is off or nothing
+/// was recorded, so every experiment binary can call it unconditionally
+/// at exit.
+pub fn write_trace(run: &str) -> Option<PathBuf> {
+    if !obs::trace::enabled() {
+        return None;
+    }
+    let trace = obs::trace::take();
+    if trace.is_empty() {
+        return None;
+    }
+    let path = results_dir().join(format!("trace_{run}.json"));
+    match fs::write(&path, trace.to_chrome_json()) {
+        Ok(()) => {
+            obs::obs_info!(
+                "[trace {} ({} events, {} dropped)]",
+                path.display(),
+                trace.len(),
+                trace.dropped
+            );
+            Some(path)
+        }
+        Err(e) => {
+            obs::obs_warn!("warning: could not write trace {}: {e}", path.display());
+            None
+        }
+    }
+}
+
 /// Formats a ratio like `2.25x`.
 pub fn ratio(a: f64, b: f64) -> String {
     if b > 0.0 {

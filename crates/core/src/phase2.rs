@@ -102,6 +102,12 @@ impl DssocEvaluator {
         self.layer_memo.stats()
     }
 
+    /// True when layer simulations are served through the memo (the
+    /// `AUTOPILOT_LAYER_MEMO` gate was not switched off).
+    pub fn layer_memo_enabled(&self) -> bool {
+        self.layer_memo.enabled()
+    }
+
     /// Returns a copy of this evaluator with a fresh layer-simulation
     /// memo, switched on or off explicitly (overriding the
     /// `AUTOPILOT_LAYER_MEMO` environment gate).
@@ -345,13 +351,22 @@ pub struct Phase2 {
     budget: usize,
     seed: u64,
     threads: Option<usize>,
+    gp_window: Option<usize>,
+    surrogate: Option<dse_opt::SurrogateMode>,
 }
 
 impl Phase2 {
     /// Creates a Phase-2 runner. `optimizer` is a registry name (or an
     /// [`OptimizerChoice`], which converts to one).
     pub fn new(optimizer: impl Into<String>, budget: usize, seed: u64) -> Phase2 {
-        Phase2 { optimizer: optimizer.into(), budget: budget.max(4), seed, threads: None }
+        Phase2 {
+            optimizer: optimizer.into(),
+            budget: budget.max(4),
+            seed,
+            threads: None,
+            gp_window: None,
+            surrogate: None,
+        }
     }
 
     /// The registry name of the configured optimizer.
@@ -364,6 +379,22 @@ impl Phase2 {
     /// any thread count.
     pub fn with_threads(mut self, n: usize) -> Phase2 {
         self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Caps the exact-GP history window for GP-based optimizers (others
+    /// ignore it). Together with [`Phase2::with_surrogate_mode`] this
+    /// controls when the exact window slides (incremental downdates)
+    /// versus when the sparse surrogate takes over.
+    pub fn with_gp_window(mut self, n: usize) -> Phase2 {
+        self.gp_window = Some(n);
+        self
+    }
+
+    /// Pins the surrogate mode for GP-based optimizers, overriding the
+    /// `AUTOPILOT_GP_SPARSE` environment default (others ignore it).
+    pub fn with_surrogate_mode(mut self, mode: dse_opt::SurrogateMode) -> Phase2 {
+        self.surrogate = Some(mode);
         self
     }
 
@@ -410,6 +441,8 @@ impl Phase2 {
             budget: self.budget,
             threads: self.threads,
             seed_points: seeds,
+            gp_window: self.gp_window,
+            surrogate: self.surrogate,
         };
         let mut opt = registry::build_optimizer(&self.optimizer, &ctx)?;
         let result = opt.run(&space, &cached, self.budget)?;

@@ -85,6 +85,11 @@ where
     // Per-worker busy time and item counts, collected only when metrics
     // are on (the per-item `Instant` reads are confined to that mode).
     let track = obs::metrics_enabled();
+    // Trace flow linkage: workers adopt the caller's innermost live span
+    // as their parent, so worker timelines attach to the spawning
+    // iteration in the exported trace. Unlinked (zero-cost) when tracing
+    // is off.
+    let flow = obs::trace::flow_handle();
     let worker_stats: Mutex<Vec<(Duration, u64)>> = Mutex::new(Vec::new());
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
@@ -95,33 +100,45 @@ where
             let f = &f;
             let worker_stats = &worker_stats;
             scope.spawn(move || {
-                let mut busy = Duration::ZERO;
-                let mut claimed = 0u64;
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
+                let traced = flow.is_linked();
+                {
+                    let _flow = obs::trace::adopt(flow);
+                    let _worker_span = if traced { Some(obs::span("par.worker")) } else { None };
+                    let mut busy = Duration::ZERO;
+                    let mut claimed = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let r = if track {
+                            let t = Instant::now();
+                            let r = f(i, &items[i]);
+                            busy += t.elapsed();
+                            claimed += 1;
+                            r
+                        } else {
+                            f(i, &items[i])
+                        };
+                        if tx.send((i, r)).is_err() {
+                            break;
+                        }
                     }
-                    let r = if track {
-                        let t = Instant::now();
-                        let r = f(i, &items[i]);
-                        busy += t.elapsed();
-                        claimed += 1;
-                        r
-                    } else {
-                        f(i, &items[i])
-                    };
-                    if tx.send((i, r)).is_err() {
-                        break;
+                    if track {
+                        // Stats are advisory; a poisoned lock (another
+                        // worker panicked mid-push) must not take down
+                        // the fan-out.
+                        worker_stats
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push((busy, claimed));
                     }
                 }
-                if track {
-                    // Stats are advisory; a poisoned lock (another worker
-                    // panicked mid-push) must not take down the fan-out.
-                    worker_stats
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .push((busy, claimed));
+                if traced {
+                    // The scope can return before this thread's exit-time
+                    // TLS flush runs; flush now so a take() right after
+                    // the map sees every worker event.
+                    obs::trace::flush_thread();
                 }
             });
         }

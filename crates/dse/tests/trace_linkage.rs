@@ -1,0 +1,101 @@
+//! Cross-thread trace flow linkage through `dse_opt::par`: spans opened
+//! inside worker closures must parent back to the span that was live on
+//! the spawning thread, at any worker count.
+
+use autopilot_obs as obs;
+use dse_opt::par::parallel_map_with;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Serializes tests: the trace gate and event pool are process-global.
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn ancestry_reaches(spans: &[obs::trace::CompleteSpan], mut parent: u64, target: u64) -> bool {
+    let mut hops = 0;
+    while parent != 0 && hops < 64 {
+        if parent == target {
+            return true;
+        }
+        parent = match spans.iter().find(|s| s.id == parent) {
+            Some(p) => p.parent,
+            None => return false,
+        };
+        hops += 1;
+    }
+    parent == target
+}
+
+#[test]
+fn worker_spans_parent_to_the_spawning_span_at_any_worker_count() {
+    let _guard = guard();
+    obs::trace::force_enabled(true);
+    for workers in [1usize, 2, 8] {
+        obs::trace::clear();
+        let items: Vec<u64> = (0..32).collect();
+        let root_span = obs::span("tl.root");
+        let got = parallel_map_with(workers, &items, |_, &x| {
+            let _child = obs::span("tl.child");
+            x * 2
+        });
+        drop(root_span);
+        assert_eq!(got, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+
+        let paired = obs::trace::take().pair();
+        assert_eq!(paired.unmatched_begins, 0, "workers = {workers}");
+        assert_eq!(paired.unmatched_ends, 0, "workers = {workers}");
+        let root = paired
+            .spans
+            .iter()
+            .find(|s| s.name == "tl.root")
+            .unwrap_or_else(|| panic!("root span missing at workers = {workers}"));
+        let children: Vec<_> = paired.spans.iter().filter(|s| s.name == "tl.child").collect();
+        assert_eq!(children.len(), 32, "workers = {workers}");
+        for child in &children {
+            assert!(
+                ancestry_reaches(&paired.spans, child.parent, root.id),
+                "workers = {workers}: child {child:?} does not reach the root"
+            );
+        }
+        if workers == 1 {
+            // Inline path: children sit directly under the root on the
+            // same thread, with no par.worker hop.
+            assert!(children.iter().all(|c| c.parent == root.id && c.tid == root.tid));
+            assert!(paired.spans.iter().all(|s| s.name != "par.worker"));
+        } else {
+            // Cross-thread children hop through a par.worker span that
+            // parents to the root.
+            let hops: Vec<_> = paired.spans.iter().filter(|s| s.name == "par.worker").collect();
+            assert!(!hops.is_empty(), "workers = {workers}");
+            assert!(
+                hops.iter().all(|h| h.parent == root.id && h.tid != root.tid),
+                "workers = {workers}: root = {root:?}, hops = {hops:#?}"
+            );
+            for child in &children {
+                let parent = paired
+                    .spans
+                    .iter()
+                    .find(|s| s.id == child.parent)
+                    .unwrap_or_else(|| panic!("parent of {child:?} missing"));
+                assert_eq!(parent.tid, child.tid, "child nests in its own worker's span");
+            }
+        }
+    }
+    obs::trace::force_enabled(false);
+}
+
+#[test]
+fn tracing_off_leaves_par_silent() {
+    let _guard = guard();
+    obs::trace::force_enabled(false);
+    obs::trace::clear();
+    let items: Vec<u64> = (0..8).collect();
+    let _root = obs::span("tl.off_root");
+    let got = parallel_map_with(4, &items, |_, &x| {
+        let _child = obs::span("tl.off_child");
+        x + 1
+    });
+    assert_eq!(got.len(), 8);
+    assert!(obs::trace::take().is_empty());
+}

@@ -24,6 +24,11 @@
 //! the cycle-accurate simulator and the DSE inner loops. Tests and the
 //! timing probe can override the environment with [`force_metrics`].
 //!
+//! Per-event tracing is gated separately by `AUTOPILOT_TRACE` (see the
+//! [`trace`] module): when on, every [`span`] additionally records a
+//! timestamped begin/end event pair into a thread-local ring buffer
+//! that exports Chrome trace-event JSON for Perfetto.
+//!
 //! ## Model
 //!
 //! A process-global [`Registry`] owns four kinds of metrics, all keyed
@@ -68,6 +73,7 @@
 pub mod json;
 mod registry;
 mod span;
+pub mod trace;
 
 use std::fmt;
 use std::sync::atomic::{AtomicU8, Ordering};

@@ -310,6 +310,42 @@ pub struct HistogramSnapshot {
     pub counts: Vec<u64>,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the fixed bucket
+    /// counts, Prometheus-style: find the bucket where the cumulative
+    /// count reaches `q * count`, then interpolate linearly inside it.
+    /// The estimate is clamped to the observed `[min, max]`, so exact
+    /// extremes never widen and single-bucket histograms stay sane.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.counts.is_empty() {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cumulative + c;
+            if (next as f64) >= rank {
+                // Interpolate inside bucket i: its value range is
+                // (lower, upper] where lower is the previous bound (or
+                // the observed min for the first bucket) and upper is
+                // bounds[i] (or the observed max for the overflow
+                // bucket).
+                let lower = if i == 0 { self.min } else { self.bounds[i - 1] };
+                let upper = if i < self.bounds.len() { self.bounds[i] } else { self.max };
+                let fraction = (rank - cumulative as f64) / c as f64;
+                let estimate = lower + (upper - lower).max(0.0) * fraction;
+                return estimate.clamp(self.min, self.max);
+            }
+            cumulative = next;
+        }
+        self.max
+    }
+}
+
 /// One span path in a [`Snapshot`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanSnapshot {
@@ -375,6 +411,9 @@ impl Snapshot {
                     ("sum".into(), Value::Num(h.sum)),
                     ("min".into(), Value::Num(h.min)),
                     ("max".into(), Value::Num(h.max)),
+                    ("p50".into(), Value::Num(h.quantile(0.50))),
+                    ("p95".into(), Value::Num(h.quantile(0.95))),
+                    ("p99".into(), Value::Num(h.quantile(0.99))),
                     (
                         "bounds".into(),
                         Value::Arr(h.bounds.iter().map(|&b| Value::Num(b)).collect()),
@@ -560,6 +599,44 @@ mod tests {
         let h = r.histogram("h", &[5.0, 6.0]);
         h.observe(0.5);
         assert_eq!(r.snapshot().histogram("h").unwrap().bounds, vec![1.0]);
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_stay_within_extremes() {
+        let r = Registry::new();
+        let h = r.histogram("q", &[1.0, 10.0, 100.0]);
+        for v in [0.5, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 500.0] {
+            h.observe(v);
+        }
+        let snap = r.snapshot();
+        let h = snap.histogram("q").unwrap();
+        let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+        // Monotone, inside the observed range, and the median lands in
+        // the (1, 10] bucket that holds ranks 2..=9.
+        assert!(h.min <= p50 && p50 <= p95 && p95 <= p99 && p99 <= h.max);
+        assert!(p50 > 1.0 && p50 <= 10.0, "p50 = {p50}");
+        // Rank 10 of 10 lives in the overflow bucket; clamped to max.
+        assert!(p99 > 10.0, "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), h.max);
+        // The JSON rendering carries the derived quantiles.
+        let text = snap.to_json();
+        for key in ["\"p50\"", "\"p95\"", "\"p99\""] {
+            assert!(text.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_empty_and_single_value_histograms() {
+        let r = Registry::new();
+        r.histogram("empty", &[1.0]);
+        let h = r.histogram("one", &[1.0]);
+        h.observe(0.25);
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram("empty").unwrap().quantile(0.5), 0.0);
+        let one = snap.histogram("one").unwrap();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 0.25);
+        }
     }
 
     #[test]

@@ -20,21 +20,26 @@ thread_local! {
 }
 
 /// A live span; records its wall time into the global registry when
-/// dropped. Not `Send` — a span must end on the thread that opened it.
+/// dropped, and a begin/end event pair into the trace ring when tracing
+/// is on. Not `Send` — a span must end on the thread that opened it.
 #[derive(Debug)]
 pub struct Span {
     start: Option<Instant>,
+    name: &'static str,
+    traced: bool,
     _not_send: PhantomData<*const ()>,
 }
 
-/// Opens a span named `name`. With metrics off this returns an inert
-/// guard and records nothing.
+/// Opens a span named `name`. With both metrics and tracing off this
+/// returns an inert guard and records nothing (two relaxed atomic loads
+/// and untaken branches).
 pub fn span(name: &'static str) -> Span {
+    let traced = crate::trace::begin(name);
     if !metrics_enabled() {
-        return Span { start: None, _not_send: PhantomData };
+        return Span { start: None, name, traced, _not_send: PhantomData };
     }
     STACK.with(|stack| stack.borrow_mut().push(name));
-    Span { start: Some(Instant::now()), _not_send: PhantomData }
+    Span { start: Some(Instant::now()), name, traced, _not_send: PhantomData }
 }
 
 /// Times `f` under a span named `name`.
@@ -45,6 +50,9 @@ pub fn time<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if self.traced {
+            crate::trace::end(self.name);
+        }
         let Some(start) = self.start else { return };
         let elapsed_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         let path = STACK.with(|stack| {

@@ -143,7 +143,7 @@ impl LayerMemo {
         // Simulate outside the lock so workers fill distinct entries
         // concurrently; a racing duplicate insert is harmless (both
         // computed the same deterministic stats).
-        let stats = sim.simulate_layer(layer);
+        let stats = obs::time("systolic.layer_sim", || sim.simulate_layer(layer));
         self.misses.fetch_add(1, Ordering::Relaxed);
         obs::add("systolic.memo.misses", 1);
         self.map_lock().entry(key).or_insert_with(|| stats.clone());
@@ -154,6 +154,7 @@ impl LayerMemo {
     /// clock comes from `sim`, so the same memo serves every point of a
     /// frequency-scaling sweep.
     pub fn simulate_network(&self, sim: &Simulator, network: &[Layer]) -> NetworkStats {
+        let _span = obs::span("systolic.network");
         NetworkStats {
             layers: network.iter().map(|l| self.simulate_layer(sim, l)).collect(),
             clock_mhz: sim.config().clock_mhz(),

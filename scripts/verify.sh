@@ -26,38 +26,43 @@ cargo test -q --workspace
 echo "==> telemetry smoke (obs_smoke: small experiment + JSON validation)"
 # Runs a small two-UAV scenario with metrics forced on, writes
 # results/telemetry_obs_smoke.json, parses it back, and asserts the
-# snapshot carries non-zero span and cache-counter data.
+# snapshot carries non-zero span, cache-counter, and histogram-quantile
+# data.
 AUTOPILOT_OBS=1 cargo run -q --release -p autopilot-bench --bin obs_smoke
 
-echo "==> phase-2 perf guard (fast timing probe)"
+echo "==> tracing smoke (trace_smoke: recorder semantics + overhead bound)"
+# Exercises the per-event trace recorder on a 2-worker Phase-2 run:
+# begin/end pairing, cross-thread flow linkage, export/parse round-trip,
+# and a generous traced-vs-untraced overhead bound.
+cargo run -q --release -p autopilot-bench --bin trace_smoke
+
+echo "==> phase-2 perf probe (fast timing probe, traced)"
 # Reduced-budget probe (AUTOPILOT_BENCH_FAST trims the BO budget and
-# skips the tracked-copy write). Guards against performance regressions:
-# the memoized sequential run must not be slower than the uncached
-# baseline, and the batched acquisition path must be measured at all.
-AUTOPILOT_BENCH_FAST=1 cargo run -q --release -p autopilot-bench --bin timing_probe >/dev/null
+# skips the tracked-copy write) with per-event tracing on, so the
+# flamegraph gate below sees a real trace. The numeric guards moved to
+# the budget gate at the end.
+AUTOPILOT_BENCH_FAST=1 AUTOPILOT_TRACE=1 \
+    cargo run -q --release -p autopilot-bench --bin timing_probe >/dev/null
 bench_json=results/BENCH_phase2.json
 grep -q '"acquisition_batch_speedup"' "$bench_json" || {
     echo "verify: FAIL — acquisition_batch_speedup missing from $bench_json" >&2
     exit 1
 }
-speedup=$(grep -o '"speedup_single_thread": *[0-9.eE+-]*' "$bench_json" | head -1 \
-    | sed 's/.*: *//')
-if [ -z "$speedup" ]; then
-    echo "verify: FAIL — speedup_single_thread missing from $bench_json" >&2
-    exit 1
-fi
-awk -v s="$speedup" 'BEGIN { exit (s + 0 >= 1.0) ? 0 : 1 }' || {
-    echo "verify: FAIL — speedup_single_thread=$speedup < 1.0 (perf regression)" >&2
-    exit 1
-}
-echo "perf guard: speedup_single_thread=$speedup"
 
-echo "==> phase-2 scale guard (budget-2000 sparse-surrogate probe)"
-# Large-budget probe of the scalable-inference path: sparse GPs must
-# engage past the SurrogateMode threshold, and the acquisition-scoring
-# span — the historical hot path — must stay at or below half the
-# phase-2 run span. Also requires the sparse-vs-exact batched inference
-# speedup to have been measured at all.
+echo "==> flamegraph gate (trace_report over the probe trace)"
+# The phase-2 hot path must still decompose into GP prediction and
+# hypervolume scoring under the acquisition span; a missing span means
+# the instrumentation (or the pipeline itself) silently changed shape.
+cargo run -q --release -p autopilot-bench --bin trace_report -- \
+    results/trace_timing_probe.json \
+    --require bo.acquisition.gp_predict --require bo.acquisition.hv_score \
+    --top 10
+
+echo "==> phase-2 scale probe (budget-2000 sparse-surrogate probe)"
+# Large-budget probe of the scalable-inference path: sparse GPs engage
+# past the SurrogateMode threshold and the narrowed exact window slides
+# by Cholesky downdates. Tracing stays off here so the budget-gated
+# span ratios measure the untraced pipeline.
 AUTOPILOT_BENCH_FAST=1 AUTOPILOT_BENCH_BUDGET=2000 \
     cargo run -q --release -p autopilot-bench --bin timing_probe >/dev/null
 scale_json=results/BENCH_phase2_scale.json
@@ -65,18 +70,10 @@ grep -q '"gp_sparse_speedup"' "$scale_json" || {
     echo "verify: FAIL — gp_sparse_speedup missing from $scale_json" >&2
     exit 1
 }
-score_s=$(grep -o '"span_bo_acquisition_score_s": *[0-9.eE+-]*' "$scale_json" | head -1 \
-    | sed 's/.*: *//')
-run_s=$(grep -o '"span_phase2_run_s": *[0-9.eE+-]*' "$scale_json" | head -1 \
-    | sed 's/.*: *//')
-if [ -z "$score_s" ] || [ -z "$run_s" ]; then
-    echo "verify: FAIL — acquisition/run spans missing from $scale_json" >&2
-    exit 1
-fi
-awk -v a="$score_s" -v b="$run_s" 'BEGIN { exit (a + 0 <= 0.5 * (b + 0)) ? 0 : 1 }' || {
-    echo "verify: FAIL — acquisition score span ${score_s}s > 50% of run span ${run_s}s" >&2
-    exit 1
-}
-echo "scale guard: score span ${score_s}s / run span ${run_s}s"
+
+echo "==> perf budget gate (results/BASELINE_budgets.json)"
+# Every checked-in budget is evaluated against the freshly generated
+# probe/telemetry JSON above; any breach fails with a PASS/FAIL diff.
+cargo run -q --release -p autopilot-bench --bin budget_gate
 
 echo "verify: OK"

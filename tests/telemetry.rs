@@ -132,6 +132,57 @@ fn layer_memo_traffic_reaches_obs() {
 }
 
 #[test]
+fn phase2_layers_simulated_equal_memo_misses() {
+    let _guard = guard();
+    obs::force_metrics(true);
+
+    // Regression: `systolic_layers_simulated` used to read 0 against a
+    // warm memo while the memo reported nonzero misses, because the obs
+    // counter window and the cumulative memo stats covered different
+    // intervals. Over the lifetime of a *fresh* evaluator the two views
+    // must agree exactly: every actual simulation is a memo miss.
+    let ev = evaluator();
+    if !ev.layer_memo_enabled() {
+        // Memo disabled via AUTOPILOT_LAYER_MEMO: invariant vacuous.
+        return;
+    }
+    let before = obs::snapshot();
+    let phase2 = Phase2::new(OptimizerChoice::Random, 24, 11);
+    phase2.run(&ev).expect("phase 2 runs");
+    let after = obs::snapshot();
+    let layers = after.counter("systolic.layers") - before.counter("systolic.layers");
+    let stats = ev.layer_memo_stats();
+    assert!(stats.hits > 0, "a 24-point DSE must produce memo hits");
+    assert_eq!(
+        layers, stats.misses,
+        "layers actually simulated must equal memo misses when the memo is on"
+    );
+}
+
+#[test]
+fn gp_window_plumbs_through_and_records_downdates() {
+    let _guard = guard();
+    obs::force_metrics(true);
+
+    // Regression: the default exact-GP window equalled the sparse
+    // threshold, so the window never slid and `bo.gp.downdate` stayed 0
+    // forever. With an explicit window smaller than the budget the
+    // incremental Cholesky downdate path must actually fire.
+    let ev = evaluator();
+    let before = obs::snapshot();
+    let phase2 = Phase2::new(OptimizerChoice::SmsEgo, 24, 5)
+        .with_gp_window(10)
+        .with_surrogate_mode(dse_opt::SurrogateMode::Exact);
+    phase2.run(&ev).expect("phase 2 runs");
+    let after = obs::snapshot();
+    let downdates = after.counter("bo.gp.downdate") - before.counter("bo.gp.downdate");
+    assert!(
+        downdates > 0,
+        "a budget-24 SMS-EGO run with a 10-point GP window must slide the window"
+    );
+}
+
+#[test]
 fn cached_evaluator_traffic_reaches_obs() {
     let _guard = guard();
     obs::force_metrics(true);
