@@ -59,7 +59,7 @@
 
 use air_sim::{AirLearningDatabase, ObstacleDensity};
 use autopilot::{
-    AutoPilot, AutopilotConfig, CandidateCache, DssocEvaluator, Phase1, Phase2, TaskSpec,
+    AutoPilot, AutopilotConfig, CandidateCache, DssocEvaluator, JobConfig, Phase1, Phase2, TaskSpec,
 };
 use autopilot_obs as obs;
 use autopilot_obs::json::Value;
@@ -101,10 +101,17 @@ fn main() {
     // Phase-1 database once; the probe isolates Phase-2 cost.
     let mut db = AirLearningDatabase::new();
     Phase1::new(config.success_model, config.seed).populate(density, &mut db);
-    let evaluator = DssocEvaluator::new(db.clone(), density);
 
-    let workers = dse_opt::par::worker_count();
-    let phase2 = Phase2::new(config.optimizer, budget, config.seed);
+    // The probe runs through the same explicit JobConfig path the
+    // server uses: startup-captured environment defaults, with the
+    // sequential legs pinning threads=1 per job rather than via env.
+    let job = JobConfig::from_env();
+    let evaluator = DssocEvaluator::new(db.clone(), density).with_layer_memo(job.layer_memo);
+
+    let workers = job.effective_threads();
+    let phase2 = job.apply_to_phase2(Phase2::new(config.optimizer, budget, config.seed));
+    let phase2_seq =
+        job.with_threads(1).apply_to_phase2(Phase2::new(config.optimizer, budget, config.seed));
 
     // Obs overhead: identical sequential runs with metrics gated off and
     // forced on, alternated (after a warmup pass) and reduced with min —
@@ -113,7 +120,7 @@ fn main() {
     // difference is the whole cost of the instrumentation.
     const OVERHEAD_REPS: usize = 3;
     obs::force_metrics(false);
-    let warm_out = phase2.clone().with_threads(1).run(&evaluator).expect("phase 2 runs");
+    let warm_out = phase2_seq.clone().run(&evaluator).expect("phase 2 runs");
     let mut phase2_obs_off_s = f64::INFINITY;
     let mut phase2_sequential_s = f64::INFINITY;
     let mut last_on = None;
@@ -121,7 +128,7 @@ fn main() {
     for rep in 0..OVERHEAD_REPS {
         obs::force_metrics(false);
         let t = Instant::now();
-        let off_out = phase2.clone().with_threads(1).run(&evaluator).expect("phase 2 runs");
+        let off_out = phase2_seq.clone().run(&evaluator).expect("phase 2 runs");
         phase2_obs_off_s = phase2_obs_off_s.min(t.elapsed().as_secs_f64());
         assert_eq!(warm_out.result, off_out.result, "sequential runs must be deterministic");
 
@@ -138,7 +145,7 @@ fn main() {
             memo_window
         };
         let t = Instant::now();
-        let on_out = phase2.clone().with_threads(1).run(&evaluator).expect("phase 2 runs");
+        let on_out = phase2_seq.clone().run(&evaluator).expect("phase 2 runs");
         phase2_sequential_s = phase2_sequential_s.min(t.elapsed().as_secs_f64());
         assert_eq!(off_out.result, on_out.result, "metrics gating must not change results");
         if counted {
@@ -147,6 +154,8 @@ fn main() {
                 hits: after.hits - memo_before.hits,
                 misses: after.misses - memo_before.misses,
                 entries: after.entries,
+                cross_run_hits: after.cross_run_hits - memo_before.cross_run_hits,
+                evictions: after.evictions - memo_before.evictions,
             };
         }
         last_on = Some(on_out);

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 mod baselines;
+mod config;
 mod error;
 mod phase1;
 mod phase2;
@@ -56,6 +57,7 @@ mod spec;
 pub mod taxonomy;
 
 pub use baselines::{BaselineBoard, BaselineEvaluation};
+pub use config::JobConfig;
 pub use error::AutopilotError;
 pub use phase1::{Phase1, SuccessModel};
 pub use phase2::{

@@ -2,12 +2,12 @@
 
 use air_sim::{AirLearningDatabase, ObstacleDensity, SuccessSurrogate};
 use autopilot_obs as obs;
-use dse_opt::{CacheStats, EvalError, Evaluator, OptimizationResult};
+use autopilot_shard::ShardedMap;
+use dse_opt::{CacheStats, EvalError, Evaluator, OptimizationResult, RunControl};
 use policy_nn::{PolicyHyperparams, PolicyModel};
 use soc_power::SocPowerModel;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 use systolic_sim::{ArrayConfig, LayerMemo, MemoStats, Simulator};
 
 use crate::error::AutopilotError;
@@ -79,6 +79,10 @@ pub struct DssocEvaluator {
     /// timing-relevant configuration, so it is scenario-independent and
     /// safe to share.
     layer_memo: Arc<LayerMemo>,
+    /// Owner tag (job id) stamped on memo entries this evaluator
+    /// inserts; hits on entries another owner inserted count as
+    /// cross-run hits. Zero for the single-run CLI path.
+    owner: u64,
 }
 
 impl DssocEvaluator {
@@ -89,12 +93,18 @@ impl DssocEvaluator {
             density,
             power_model: SocPowerModel::new(),
             layer_memo: Arc::new(LayerMemo::new()),
+            owner: 0,
         }
     }
 
     /// The scenario this evaluator scores against.
     pub fn density(&self) -> ObstacleDensity {
         self.density
+    }
+
+    /// The owner tag stamped on cache entries this evaluator inserts.
+    pub fn owner(&self) -> u64 {
+        self.owner
     }
 
     /// Hit/miss/entry counters of the layer-simulation memo.
@@ -113,6 +123,19 @@ impl DssocEvaluator {
     /// `AUTOPILOT_LAYER_MEMO` environment gate).
     pub fn with_layer_memo(mut self, enabled: bool) -> DssocEvaluator {
         self.layer_memo = Arc::new(LayerMemo::with_enabled(enabled));
+        self
+    }
+
+    /// Returns a copy of this evaluator backed by a **shared**
+    /// process-lifetime layer memo, stamping entries it inserts with
+    /// `owner` (a job id). This is how the multi-tenant server lets
+    /// concurrent jobs over the same scenario reuse each other's layer
+    /// simulations: the memo is keyed by the full timing-relevant
+    /// configuration (scenario-independent), so sharing across tenants
+    /// never changes results — only which job paid for the simulation.
+    pub fn with_shared_layer_memo(mut self, memo: Arc<LayerMemo>, owner: u64) -> DssocEvaluator {
+        self.layer_memo = memo;
+        self.owner = owner;
         self
     }
 
@@ -161,7 +184,7 @@ impl DssocEvaluator {
     ) -> DesignCandidate {
         let model = PolicyModel::build(hyper);
         let sim = Simulator::new(config.clone());
-        let stats = self.layer_memo.simulate_network(&sim, model.layers());
+        let stats = self.layer_memo.simulate_network_as(self.owner, &sim, model.layers());
         let power_model = if node == self.power_model.node() {
             self.power_model
         } else {
@@ -236,32 +259,59 @@ pub struct DesignCandidate {
     pub efficiency_fps_per_w: f64,
 }
 
+/// Number of shards in a [`CandidateCache`]; matches the layer memo so
+/// the two caches scale contention the same way.
+const CACHE_SHARDS: usize = 8;
+
 /// Thread-safe memoization of full design-point evaluations
-/// (point → [`DesignCandidate`]).
+/// (point → [`DesignCandidate`]), sharded for multi-tenant sharing.
 ///
 /// A candidate is a deterministic function of the point for a fixed
 /// evaluator (database, scenario, power model), so one cache must only
 /// ever be fed by evaluators of the same scenario — [`Phase2::run`]
-/// creates a private cache, and the pipeline-level cache keys by
-/// scenario. The lock is not held across simulator runs, so parallel
-/// optimizer workers evaluate distinct points concurrently. Failed
-/// evaluations are never cached, and a poisoned lock is recovered (the
-/// map is always left consistent: entries are inserted atomically).
-#[derive(Debug, Default)]
+/// creates a private cache, the pipeline-level cache keys by scenario,
+/// and the co-design server keeps one process-lifetime cache per
+/// scenario key. Storage is an [`ShardedMap`]: per-shard locks (with
+/// poisoned-lock recovery) so concurrent jobs contend only on shard
+/// collisions, owner-tagged entries so a hit served from another job's
+/// work is counted as a *cross-run* hit, and optional clock eviction
+/// when constructed with [`CandidateCache::bounded`]. No lock is held
+/// across simulator runs, so parallel optimizer workers evaluate
+/// distinct points concurrently; failed evaluations are never cached.
+#[derive(Debug)]
 pub struct CandidateCache {
-    map: Mutex<HashMap<Vec<usize>, DesignCandidate>>,
+    map: ShardedMap<Vec<usize>, DesignCandidate>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    cross_run_hits: AtomicUsize,
+}
+
+impl Default for CandidateCache {
+    fn default() -> CandidateCache {
+        CandidateCache::new()
+    }
 }
 
 impl CandidateCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache (the per-run semantics).
     pub fn new() -> CandidateCache {
-        CandidateCache::default()
+        CandidateCache::with_capacity(0)
     }
 
-    fn map_lock(&self) -> MutexGuard<'_, HashMap<Vec<usize>, DesignCandidate>> {
-        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Creates a cache bounded at roughly `capacity` entries (spread
+    /// across shards), evicting cold entries clock-style once full —
+    /// the process-lifetime configuration the server uses.
+    pub fn bounded(capacity: usize) -> CandidateCache {
+        CandidateCache::with_capacity(capacity.max(1))
+    }
+
+    fn with_capacity(capacity: usize) -> CandidateCache {
+        CandidateCache {
+            map: ShardedMap::new(CACHE_SHARDS, capacity).with_obs_prefix("phase2.candidate_cache"),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            cross_run_hits: AtomicUsize::new(0),
+        }
     }
 
     /// Returns the candidate for `point`, running the full evaluation
@@ -278,22 +328,45 @@ impl CandidateCache {
         evaluator: &DssocEvaluator,
         point: &[usize],
     ) -> Result<DesignCandidate, AutopilotError> {
-        if let Some(c) = self.map_lock().get(point) {
+        self.evaluate_as(evaluator.owner(), evaluator, point)
+    }
+
+    /// Like [`CandidateCache::evaluate`], tagging any inserted entry
+    /// with `owner` (a job id) and counting a hit on an entry a
+    /// *different* owner inserted as a cross-run hit — the multi-tenant
+    /// server's measure of one job reusing another's evaluations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AutopilotError`] from
+    /// [`DssocEvaluator::evaluate_design`].
+    pub fn evaluate_as(
+        &self,
+        owner: u64,
+        evaluator: &DssocEvaluator,
+        point: &[usize],
+    ) -> Result<DesignCandidate, AutopilotError> {
+        let key = point.to_vec();
+        if let Some((c, entry_owner)) = self.map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             obs::add("phase2.candidate_cache.hits", 1);
-            return Ok(c.clone());
+            if entry_owner != owner {
+                self.cross_run_hits.fetch_add(1, Ordering::Relaxed);
+                obs::add("phase2.candidate_cache.cross_run_hits", 1);
+            }
+            return Ok(c);
         }
         let c = evaluator.evaluate_design(point)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         obs::add("phase2.candidate_cache.misses", 1);
-        self.map_lock().entry(point.to_vec()).or_insert_with(|| c.clone());
+        self.map.insert(key, c.clone(), owner);
         Ok(c)
     }
 
     /// The cached candidate for `point`, if any (does not count toward
     /// hit/miss statistics).
     pub fn get(&self, point: &[usize]) -> Option<DesignCandidate> {
-        self.map_lock().get(point).cloned()
+        self.map.peek(&point.to_vec())
     }
 
     /// Snapshots hit/miss/entry counters.
@@ -301,18 +374,31 @@ impl CandidateCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map_lock().len(),
+            entries: self.map.len(),
         }
+    }
+
+    /// Hits served from entries another owner inserted (see
+    /// [`CandidateCache::evaluate_as`]).
+    pub fn cross_run_hits(&self) -> usize {
+        self.cross_run_hits.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard hit/miss/eviction statistics of the backing map. The
+    /// shard-level hit/miss counts track [`CandidateCache::stats`]
+    /// exactly (every counted lookup goes through one shard).
+    pub fn shard_stats(&self) -> Vec<autopilot_shard::ShardStats> {
+        self.map.shard_stats()
     }
 
     /// Number of distinct points cached.
     pub fn len(&self) -> usize {
-        self.map_lock().len()
+        self.map.len()
     }
 
     /// True when nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.map.is_empty()
     }
 }
 
@@ -425,6 +511,26 @@ impl Phase2 {
         evaluator: &DssocEvaluator,
         cache: &CandidateCache,
     ) -> Result<Phase2Output, AutopilotError> {
+        self.run_with_cache_controlled(evaluator, cache, &RunControl::none())
+    }
+
+    /// Like [`Phase2::run_with_cache`], threading a [`RunControl`] token
+    /// through the optimizer so the run can be cancelled cooperatively
+    /// (`DELETE /jobs/:id` on the co-design server) and its progress
+    /// polled mid-flight. A never-cancelled token yields bit-identical
+    /// results to [`Phase2::run_with_cache`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Phase2::run_with_cache`], plus [`AutopilotError::Dse`]
+    /// wrapping [`dse_opt::DseError::Cancelled`] when `control` is
+    /// cancelled mid-run.
+    pub fn run_with_cache_controlled(
+        &self,
+        evaluator: &DssocEvaluator,
+        cache: &CandidateCache,
+        control: &RunControl,
+    ) -> Result<Phase2Output, AutopilotError> {
         let _span = obs::span("phase2.run");
         let stats_before = cache.stats();
         let space = JointSpace::design_space();
@@ -445,7 +551,7 @@ impl Phase2 {
             surrogate: self.surrogate,
         };
         let mut opt = registry::build_optimizer(&self.optimizer, &ctx)?;
-        let result = opt.run(&space, &cached, self.budget)?;
+        let result = opt.run_controlled(&space, &cached, self.budget, control)?;
         // Every history point went through the cache, so assembling the
         // candidate list is a lookup, not a re-simulation (this used to
         // re-run the simulator once per history point).
@@ -636,6 +742,63 @@ mod tests {
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
         assert_eq!(cache.get(&point), Some(a));
         assert_eq!(cache.get(&[0, 0, 0, 0, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn candidate_cache_counts_cross_run_hits_by_owner() {
+        let ev = evaluator();
+        let cache = CandidateCache::new();
+        let point = vec![5, 2, 3, 3, 3, 3, 3];
+        cache.evaluate_as(1, &ev, &point).unwrap(); // owner 1 inserts
+        cache.evaluate_as(1, &ev, &point).unwrap(); // same-owner hit
+        cache.evaluate_as(2, &ev, &point).unwrap(); // cross-run hit
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert_eq!(cache.cross_run_hits(), 1);
+        // Shard counters must agree with the aggregate counters.
+        let shard_total: u64 = cache.shard_stats().iter().map(|s| s.hits + s.misses).sum();
+        assert_eq!(shard_total, 3);
+    }
+
+    #[test]
+    fn bounded_candidate_cache_evicts() {
+        let ev = evaluator();
+        let cache = CandidateCache::bounded(8);
+        for pe in 0..6usize {
+            for act in 0..4usize {
+                let point = vec![5, 2, pe, pe, act, 3, 3];
+                if ev.evaluate_design(&point).is_ok() {
+                    let _ = cache.evaluate(&ev, &point);
+                }
+            }
+        }
+        assert!(cache.len() <= 8, "bound violated: {} entries", cache.len());
+        let evictions: u64 = cache.shard_stats().iter().map(|s| s.evictions).sum();
+        assert!(evictions > 0, "streaming past capacity must evict");
+    }
+
+    #[test]
+    fn phase2_cancellation_is_a_typed_error() {
+        let ev = evaluator();
+        let control = RunControl::new();
+        control.cancel();
+        let err = Phase2::new(OptimizerChoice::Random, 12, 3)
+            .run_with_cache_controlled(&ev, &CandidateCache::new(), &control)
+            .unwrap_err();
+        assert!(err.to_string().contains("cancelled"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn controlled_run_with_inert_token_matches_run() {
+        let ev = evaluator();
+        let plain = Phase2::new(OptimizerChoice::Random, 10, 4).run(&ev).unwrap();
+        let control = RunControl::new();
+        let controlled = Phase2::new(OptimizerChoice::Random, 10, 4)
+            .run_with_cache_controlled(&ev, &CandidateCache::new(), &control)
+            .unwrap();
+        assert_eq!(plain.result, controlled.result);
+        assert_eq!(plain.candidates, controlled.candidates);
+        assert!(control.evaluations() > 0, "checkpoints must publish progress");
     }
 
     #[test]

@@ -8,6 +8,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use uav_dynamics::UavSpec;
 
+use crate::config::JobConfig;
 use crate::error::AutopilotError;
 use crate::phase1::{Phase1, SuccessModel};
 use crate::phase2::{DssocEvaluator, OptimizerChoice, Phase2, Phase2Output};
@@ -168,12 +169,13 @@ pub struct AutoPilot {
     config: AutopilotConfig,
     cache: Option<Arc<PipelineCache>>,
     threads: Option<usize>,
+    job: Option<JobConfig>,
 }
 
 impl AutoPilot {
     /// Creates a pipeline with `config`.
     pub fn new(config: AutopilotConfig) -> AutoPilot {
-        AutoPilot { config, cache: None, threads: None }
+        AutoPilot { config, cache: None, threads: None, job: None }
     }
 
     /// Shares phase-1/phase-2 results with other runs through `cache`.
@@ -186,6 +188,20 @@ impl AutoPilot {
     /// Pins the Phase-2 worker count (default: the engine-wide default).
     pub fn with_threads(mut self, n: usize) -> AutoPilot {
         self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Applies an explicit per-job engine configuration: worker count,
+    /// GP window, surrogate mode, and layer-memo gating all come from
+    /// `job` instead of the process environment. Thread counts never
+    /// change results; the GP knobs legitimately do, so the pipeline
+    /// cache (scenario-keyed, knob-agnostic) is only consulted when no
+    /// GP knob deviates from the default.
+    pub fn with_job_config(mut self, job: JobConfig) -> AutoPilot {
+        if let Some(t) = job.threads {
+            self.threads = Some(t.max(1));
+        }
+        self.job = Some(job);
         self
     }
 
@@ -220,14 +236,28 @@ impl AutoPilot {
         };
 
         // Phase 2: multi-objective DSE.
-        let evaluator = DssocEvaluator::new(db.clone(), task.density);
+        let evaluator = {
+            let ev = DssocEvaluator::new(db.clone(), task.density);
+            match &self.job {
+                Some(job) => ev.with_layer_memo(job.layer_memo),
+                None => ev,
+            }
+        };
+        // GP knobs change the search trajectory; a job that deviates
+        // from the defaults must bypass the knob-agnostic scenario cache.
+        let cacheable = self.job.is_none_or(|j| j.gp_window.is_none() && j.surrogate.is_none());
         let phase2 = match &self.cache {
-            Some(cache) => cache.phase2_output(&self.config, &evaluator, self.threads)?,
-            None => {
+            Some(cache) if cacheable => {
+                cache.phase2_output(&self.config, &evaluator, self.threads)?
+            }
+            _ => {
                 let mut phase2 =
                     Phase2::new(self.config.optimizer, self.config.phase2_budget, self.config.seed);
                 if let Some(t) = self.threads {
                     phase2 = phase2.with_threads(t);
+                }
+                if let Some(job) = &self.job {
+                    phase2 = job.apply_to_phase2(phase2);
                 }
                 phase2.run(&evaluator)?
             }

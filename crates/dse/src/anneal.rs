@@ -4,6 +4,7 @@
 use autopilot_rng::Rng;
 use std::collections::HashMap;
 
+use crate::control::RunControl;
 use crate::error::{DseError, EvalError};
 use crate::evaluator::{Evaluator, MultiObjectiveOptimizer};
 use crate::result::{EvaluationRecord, OptimizationResult};
@@ -39,12 +40,14 @@ impl MultiObjectiveOptimizer for AnnealingOptimizer {
         "simulated-annealing"
     }
 
-    fn run(
+    fn run_controlled(
         &mut self,
         space: &DesignSpace,
         evaluator: &dyn Evaluator,
         budget: usize,
+        control: &RunControl,
     ) -> Result<OptimizationResult, DseError> {
+        control.check()?;
         let mut rng = Rng::seed_from_u64(self.seed);
         let n_obj = evaluator.num_objectives();
         let mut cache: HashMap<Vec<usize>, Vec<f64>> = HashMap::new();
@@ -82,6 +85,8 @@ impl MultiObjectiveOptimizer for AnnealingOptimizer {
 
         let mut step = 0usize;
         while history.len() < budget {
+            control.check()?;
+            control.checkpoint(history.len(), 0);
             step += 1;
             if step.is_multiple_of(self.reweight_every) {
                 weights = random_weights(n_obj, &mut rng);

@@ -4,6 +4,7 @@ use autopilot_obs as obs;
 use autopilot_rng::Rng;
 use std::collections::HashSet;
 
+use crate::control::RunControl;
 use crate::error::{DseError, EvalError};
 use crate::evaluator::{Evaluator, MultiObjectiveOptimizer};
 use crate::gp::{DistanceCache, GaussianProcess, SparseGaussianProcess, SurrogateMode};
@@ -463,13 +464,15 @@ impl MultiObjectiveOptimizer for SmsEgoOptimizer {
         "sms-ego-bo"
     }
 
-    fn run(
+    fn run_controlled(
         &mut self,
         space: &DesignSpace,
         evaluator: &dyn Evaluator,
         budget: usize,
+        control: &RunControl,
     ) -> Result<OptimizationResult, DseError> {
         let _span = obs::span("sms_ego.run");
+        control.check()?;
         let mut rng = Rng::seed_from_u64(self.seed);
         let n_obj = evaluator.num_objectives();
         let workers = self.workers();
@@ -502,6 +505,7 @@ impl MultiObjectiveOptimizer for SmsEgoOptimizer {
             archive.seen.insert(p.clone());
             planned.push(p);
         }
+        control.check()?;
         let objectives: Vec<Result<Vec<f64>, EvalError>> =
             par::parallel_map_with(workers, &planned, |_, p| evaluator.evaluate(p));
         for (p, o) in planned.into_iter().zip(objectives) {
@@ -513,6 +517,8 @@ impl MultiObjectiveOptimizer for SmsEgoOptimizer {
         let mut surrogates: Option<Surrogates> = None;
         let mut acquisition = AcquisitionState::new(n_obj);
         while archive.len() < budget {
+            control.check()?;
+            control.checkpoint(archive.len(), acquisition.raw_front.indices().len());
             let _iter = obs::span("bo.iteration");
             surrogates = obs::time("bo.surrogate_update", || {
                 Surrogates::update(

@@ -127,6 +127,10 @@ pub enum DseError {
     Surrogate(GpError),
     /// The design space is malformed for this algorithm.
     Space(SpaceError),
+    /// The run was cancelled through its [`crate::RunControl`] token
+    /// before the budget was exhausted. Not a failure of the search
+    /// itself: the archive built so far is simply abandoned.
+    Cancelled,
 }
 
 impl fmt::Display for DseError {
@@ -135,6 +139,7 @@ impl fmt::Display for DseError {
             DseError::Eval(e) => write!(f, "{e}"),
             DseError::Surrogate(e) => write!(f, "{e}"),
             DseError::Space(e) => write!(f, "{e}"),
+            DseError::Cancelled => write!(f, "optimization run cancelled"),
         }
     }
 }
@@ -145,6 +150,7 @@ impl std::error::Error for DseError {
             DseError::Eval(e) => Some(e),
             DseError::Surrogate(e) => Some(e),
             DseError::Space(e) => Some(e),
+            DseError::Cancelled => None,
         }
     }
 }

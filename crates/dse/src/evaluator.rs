@@ -1,5 +1,6 @@
 //! The evaluator and optimizer abstractions shared by all DSE algorithms.
 
+use crate::control::RunControl;
 use crate::error::{DseError, EvalError};
 use crate::result::OptimizationResult;
 use crate::space::DesignSpace;
@@ -66,6 +67,10 @@ pub trait MultiObjectiveOptimizer {
 
     /// Runs the optimizer for at most `budget` objective evaluations.
     ///
+    /// Equivalent to [`MultiObjectiveOptimizer::run_controlled`] with
+    /// the inert [`RunControl::none`] token — bit-identical results,
+    /// nothing to cancel.
+    ///
     /// # Errors
     ///
     /// Returns a [`DseError`] when an evaluation fails or the search
@@ -75,6 +80,30 @@ pub trait MultiObjectiveOptimizer {
         space: &DesignSpace,
         evaluator: &dyn Evaluator,
         budget: usize,
+    ) -> Result<OptimizationResult, DseError> {
+        self.run_controlled(space, evaluator, budget, &RunControl::none())
+    }
+
+    /// Runs the optimizer under a [`RunControl`] token: the inner loop
+    /// polls [`RunControl::check`] and publishes progress via
+    /// [`RunControl::checkpoint`].
+    ///
+    /// Cancellation must not perturb the search: a token that is never
+    /// cancelled yields results bit-identical to [`run`]
+    /// (the determinism goldens hold either way).
+    ///
+    /// [`run`]: MultiObjectiveOptimizer::run
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::Cancelled`] once the token is cancelled, or any
+    /// [`DseError`] an uncontrolled run could return.
+    fn run_controlled(
+        &mut self,
+        space: &DesignSpace,
+        evaluator: &dyn Evaluator,
+        budget: usize,
+        control: &RunControl,
     ) -> Result<OptimizationResult, DseError>;
 }
 

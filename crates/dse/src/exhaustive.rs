@@ -1,5 +1,6 @@
 //! Exhaustive enumeration, the ground-truth baseline for small spaces.
 
+use crate::control::RunControl;
 use crate::error::DseError;
 use crate::evaluator::{Evaluator, MultiObjectiveOptimizer};
 use crate::result::{EvaluationRecord, OptimizationResult};
@@ -26,16 +27,19 @@ impl MultiObjectiveOptimizer for ExhaustiveSearch {
         "exhaustive"
     }
 
-    fn run(
+    fn run_controlled(
         &mut self,
         space: &DesignSpace,
         evaluator: &dyn Evaluator,
         budget: usize,
+        control: &RunControl,
     ) -> Result<OptimizationResult, DseError> {
         let mut history: Vec<EvaluationRecord> = Vec::new();
         for (iteration, point) in space.iter_points().take(budget).enumerate() {
+            control.check()?;
             let objectives = evaluator.evaluate(&point)?;
             history.push(EvaluationRecord { iteration, point, objectives });
+            control.checkpoint(history.len(), 0);
         }
         Ok(OptimizationResult::from_history(self.name(), history, evaluator.reference_point()))
     }

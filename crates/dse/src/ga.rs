@@ -5,6 +5,7 @@ use autopilot_obs as obs;
 use autopilot_rng::Rng;
 use std::collections::{HashMap, HashSet};
 
+use crate::control::RunControl;
 use crate::error::{DseError, EvalError};
 use crate::evaluator::{Evaluator, MultiObjectiveOptimizer};
 use crate::par;
@@ -65,13 +66,15 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
         "nsga-ii"
     }
 
-    fn run(
+    fn run_controlled(
         &mut self,
         space: &DesignSpace,
         evaluator: &dyn Evaluator,
         budget: usize,
+        control: &RunControl,
     ) -> Result<OptimizationResult, DseError> {
         let _span = obs::span("nsga2.run");
+        control.check()?;
         let mut rng = Rng::seed_from_u64(self.seed);
         let workers = self.workers();
         let mut cache: HashMap<Vec<usize>, Vec<f64>> = HashMap::new();
@@ -120,11 +123,13 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
         let mut pop_objs: Vec<Vec<f64>> = pop.iter().map(|p| cache[p].clone()).collect();
 
         while history.len() < budget {
+            control.check()?;
             let _gen = obs::span("nsga2.generation");
             obs::add("dse.nsga2.generations", 1);
             let history_before = history.len();
             // Ranks and crowding for parent selection.
             let fronts = non_dominated_sort(&pop_objs);
+            control.checkpoint(history.len(), fronts.first().map_or(0, Vec::len));
             let mut rank = vec![0usize; pop.len()];
             let mut crowd = vec![0.0f64; pop.len()];
             for (r, front) in fronts.iter().enumerate() {

@@ -47,21 +47,34 @@ impl SurrogateMode {
     /// Reads the mode from [`GP_SPARSE_ENV`]; unset or unparsable values
     /// fall back to [`SurrogateMode::default_sparse`] (with a warn-level
     /// obs event for the unparsable case).
+    ///
+    /// The variable is captured **once per process** (via
+    /// [`autopilot_obs::env_once`]); later env mutations warn once and
+    /// are otherwise ignored. Per-job surrogate modes go through
+    /// [`SmsEgoOptimizer::with_surrogate_mode`] instead.
+    ///
+    /// [`SmsEgoOptimizer::with_surrogate_mode`]: crate::SmsEgoOptimizer::with_surrogate_mode
     pub fn from_env() -> SurrogateMode {
-        let raw = match std::env::var(GP_SPARSE_ENV) {
-            Ok(v) => v,
-            Err(_) => return SurrogateMode::default_sparse(),
-        };
-        match SurrogateMode::parse(&raw) {
-            Some(mode) => mode,
-            None => {
-                autopilot_obs::obs_warn!(
-                    "gp: {GP_SPARSE_ENV}={raw:?} is not a recognized surrogate mode; \
-                     using the default (sparse past 256 points)"
-                );
-                SurrogateMode::default_sparse()
+        static CACHED: std::sync::OnceLock<SurrogateMode> = std::sync::OnceLock::new();
+        // env_once re-checks the live environment for drift (warning
+        // once) while pinning the value used for parsing.
+        let raw = autopilot_obs::env_once(GP_SPARSE_ENV);
+        *CACHED.get_or_init(|| {
+            let raw = match raw {
+                Some(v) => v,
+                None => return SurrogateMode::default_sparse(),
+            };
+            match SurrogateMode::parse(&raw) {
+                Some(mode) => mode,
+                None => {
+                    autopilot_obs::obs_warn!(
+                        "gp: {GP_SPARSE_ENV}={raw:?} is not a recognized surrogate mode; \
+                         using the default (sparse past 256 points)"
+                    );
+                    SurrogateMode::default_sparse()
+                }
             }
-        }
+        })
     }
 
     /// Parses the [`GP_SPARSE_ENV`] grammar; `None` for unrecognized

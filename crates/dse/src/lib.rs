@@ -56,6 +56,7 @@
 mod anneal;
 mod bayesopt;
 mod cache;
+mod control;
 mod error;
 mod evaluator;
 mod exhaustive;
@@ -71,6 +72,7 @@ mod space;
 pub use anneal::AnnealingOptimizer;
 pub use bayesopt::SmsEgoOptimizer;
 pub use cache::{CacheStats, CachedEvaluator};
+pub use control::RunControl;
 pub use error::{DseError, EvalError, GpError};
 pub use evaluator::{Evaluator, MultiObjectiveOptimizer};
 pub use exhaustive::ExhaustiveSearch;

@@ -28,17 +28,28 @@ pub const THREADS_ENV: &str = "AUTOPILOT_THREADS";
 /// unparsable `AUTOPILOT_THREADS` falls back to the hardware count and
 /// emits a warn-level obs event (once per process) so the
 /// misconfiguration is visible instead of silently ignored.
+///
+/// The environment is read **once per process** (via
+/// [`obs::env_once`]): this is a startup default, and mutating
+/// `AUTOPILOT_THREADS` afterwards only triggers a one-shot obs warning.
+/// Per-job thread counts go through the optimizers' `with_threads`
+/// builders (plumbed from the core crate's `JobConfig`).
 pub fn worker_count() -> usize {
-    match std::env::var(THREADS_ENV) {
-        Ok(v) => match v.trim().parse::<usize>() {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    // Re-read through env_once on every call so a post-startup env
+    // mutation is detected and warned about, while the parsed value
+    // stays pinned to the first read.
+    let raw = obs::env_once(THREADS_ENV);
+    *CACHED.get_or_init(|| match raw {
+        Some(v) => match v.trim().parse::<usize>() {
             Ok(n) if n >= 1 => n,
             _ => {
                 warn_bad_threads_env(&v);
                 hardware_workers()
             }
         },
-        Err(_) => hardware_workers(),
-    }
+        None => hardware_workers(),
+    })
 }
 
 fn warn_bad_threads_env(value: &str) {

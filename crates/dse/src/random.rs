@@ -4,6 +4,7 @@ use autopilot_obs as obs;
 use autopilot_rng::Rng;
 use std::collections::HashSet;
 
+use crate::control::RunControl;
 use crate::error::{DseError, EvalError};
 use crate::evaluator::{Evaluator, MultiObjectiveOptimizer};
 use crate::par;
@@ -44,13 +45,15 @@ impl MultiObjectiveOptimizer for RandomSearch {
         "random-search"
     }
 
-    fn run(
+    fn run_controlled(
         &mut self,
         space: &DesignSpace,
         evaluator: &dyn Evaluator,
         budget: usize,
+        control: &RunControl,
     ) -> Result<OptimizationResult, DseError> {
         let _span = obs::span("random_search.run");
+        control.check()?;
         let mut rng = Rng::seed_from_u64(self.seed);
         let mut seen: HashSet<Vec<usize>> = HashSet::new();
         let mut points: Vec<Vec<usize>> = Vec::with_capacity(budget);
@@ -63,11 +66,25 @@ impl MultiObjectiveOptimizer for RandomSearch {
             }
             points.push(p);
         }
-        let objectives: Vec<Result<Vec<f64>, EvalError>> =
-            par::parallel_map_with(self.workers(), &points, |_, p| evaluator.evaluate(p));
+        // The point sequence depends only on the seed, so evaluating it
+        // in chunks with a cancellation check between chunks changes
+        // nothing about the result — it only bounds how much work a
+        // cancelled run still performs.
+        const CHUNK: usize = 32;
         let mut history: Vec<EvaluationRecord> = Vec::with_capacity(points.len());
-        for (iteration, (point, objectives)) in points.into_iter().zip(objectives).enumerate() {
-            history.push(EvaluationRecord { iteration, point, objectives: objectives? });
+        for chunk in points.chunks(CHUNK) {
+            control.check()?;
+            let objectives: Vec<Result<Vec<f64>, EvalError>> =
+                par::parallel_map_with(self.workers(), chunk, |_, p| evaluator.evaluate(p));
+            for (point, objectives) in chunk.iter().zip(objectives) {
+                let iteration = history.len();
+                history.push(EvaluationRecord {
+                    iteration,
+                    point: point.clone(),
+                    objectives: objectives?,
+                });
+            }
+            control.checkpoint(history.len(), 0);
         }
         Ok(OptimizationResult::from_history(self.name(), history, evaluator.reference_point()))
     }

@@ -1,0 +1,234 @@
+//! End-to-end smoke check for `scripts/verify.sh`: boots the co-design
+//! server on an ephemeral port, drives it over real TCP, and asserts
+//! the service contract:
+//!
+//! * two concurrent jobs over the same scenario both return valid
+//!   `RunSummary` JSON, byte-identical to each other and to the
+//!   in-process CLI path at the same seed and [`JobConfig`];
+//! * the second job is served from the first one's shared sharded
+//!   caches (cross-run layer-memo and candidate hits observable);
+//! * `/metrics` round-trips through `autopilot_obs::json`;
+//! * keep-alive, malformed-request, cancellation, and shutdown paths
+//!   all answer with the documented status codes.
+//!
+//! Writes `results/telemetry_serve_smoke.json` for the perf budget
+//! gate (`counter:systolic.memo.cross_run_hits` floor).
+
+// Smoke binaries assert their way through the contract; unwraps are the
+// failure mode, exactly as in #[test] code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use air_sim::ObstacleDensity;
+use autopilot::{
+    AutoPilot, AutopilotConfig, JobConfig, OptimizerChoice, RunSummary, SuccessModel, TaskSpec,
+};
+use autopilot_obs as obs;
+use autopilot_obs::json::Value;
+use autopilot_serve::{JobManager, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use uav_dynamics::UavSpec;
+
+const JOB: &str = r#"{"uav_class": "nano", "scenario": "low",
+                      "budget": 12, "optimizer": "random-search", "seed": 3}"#;
+
+/// One parsed HTTP reply.
+struct Reply {
+    status: u16,
+    body: String,
+}
+
+/// Sends one request on an open connection and reads the reply
+/// (keep-alive aware: the body is delimited by `Content-Length`).
+fn rpc(stream: &mut TcpStream, method: &str, path: &str, body: &str) -> Reply {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: smoke\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("request written");
+    stream.write_all(body.as_bytes()).expect("body written");
+    stream.flush().expect("request flushed");
+
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    while !raw.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte).expect("reply head readable");
+        assert!(n > 0, "server closed mid-reply (got {:?})", String::from_utf8_lossy(&raw));
+        raw.push(byte[0]);
+    }
+    let head_text = String::from_utf8_lossy(&raw).into_owned();
+    let status: u16 = head_text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code in reply");
+    let content_length: usize = head_text
+        .lines()
+        .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(str::to_owned))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("content-length in reply");
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("reply body readable");
+    Reply { status, body: String::from_utf8_lossy(&body).into_owned() }
+}
+
+/// One-shot request on a fresh connection.
+fn one_shot(addr: SocketAddr, method: &str, path: &str, body: &str) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("server reachable");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout set");
+    rpc(&mut stream, method, path, body)
+}
+
+/// Polls a job until it reaches a terminal state; returns the final
+/// status JSON.
+fn await_terminal(addr: SocketAddr, id: u64) -> Value {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let reply = one_shot(addr, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(reply.status, 200, "status poll failed: {}", reply.body);
+        let status = Value::parse(&reply.body).expect("status JSON parses");
+        match status.get("state").and_then(Value::as_str) {
+            Some("completed" | "failed" | "cancelled") => return status,
+            _ => {
+                assert!(Instant::now() < deadline, "job {id} never finished: {}", reply.body);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+fn main() {
+    obs::force_metrics(true);
+    obs::reset();
+
+    // Boot the server on an ephemeral port with the same per-job
+    // defaults the bit-identity comparison below uses.
+    let defaults = JobConfig::from_env().with_threads(1);
+    let manager = Arc::new(JobManager::new(16, defaults));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&manager), 2).expect("bind ephemeral");
+    let addr = server.local_addr().expect("bound address");
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Liveness.
+    let reply = one_shot(addr, "GET", "/healthz", "");
+    assert_eq!(reply.status, 200, "healthz: {}", reply.body);
+
+    // Two concurrent jobs over the same scenario.
+    let mut ids = Vec::new();
+    for _ in 0..2 {
+        let reply = one_shot(addr, "POST", "/jobs", JOB);
+        assert_eq!(reply.status, 202, "submit: {}", reply.body);
+        let accepted = Value::parse(&reply.body).expect("submit reply parses");
+        ids.push(accepted.get("id").and_then(Value::as_u64).expect("job id"));
+    }
+    let mut results = Vec::new();
+    for &id in &ids {
+        let status = await_terminal(addr, id);
+        assert_eq!(
+            status.get("state").and_then(Value::as_str),
+            Some("completed"),
+            "job {id}: {}",
+            status.to_json()
+        );
+        let reply = one_shot(addr, "GET", &format!("/jobs/{id}/result"), "");
+        assert_eq!(reply.status, 200, "result {id}: {}", reply.body);
+        let summary = RunSummary::from_json(&reply.body).expect("result is a RunSummary");
+        assert_eq!(summary.evaluations, 12, "budget honored");
+        results.push(reply.body);
+    }
+    assert_eq!(results[0], results[1], "same spec, same seed: identical results");
+
+    // Bit-identity with the CLI path at the same seed and JobConfig.
+    let config = AutopilotConfig::fast(3).with_budget(12).with_optimizer(OptimizerChoice::Random);
+    let via_cli = AutoPilot::new(config)
+        .with_job_config(defaults)
+        .run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Low))
+        .map(|r| RunSummary::from_result(&r).to_json().expect("summary serializes"))
+        .expect("CLI pipeline runs");
+    assert_eq!(results[0], via_cli, "server result must be bit-identical to the CLI path");
+
+    // Cross-run reuse: the second job must have been served from the
+    // first one's shared sharded caches.
+    let memo_stats = manager.caches().layer_memo().stats();
+    assert!(memo_stats.cross_run_hits > 0, "no cross-run layer-memo hits: {memo_stats:?}");
+    let cache = manager.caches().candidate_cache(ObstacleDensity::Low, SuccessModel::Surrogate, 3);
+    assert!(cache.cross_run_hits() > 0, "no cross-run candidate hits");
+
+    // Keep-alive: two requests on one connection.
+    {
+        let mut stream = TcpStream::connect(addr).expect("server reachable");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout set");
+        assert_eq!(rpc(&mut stream, "GET", "/healthz", "").status, 200);
+        let reply = rpc(&mut stream, "GET", "/jobs", "");
+        assert_eq!(reply.status, 200);
+        let jobs = Value::parse(&reply.body).expect("job list parses");
+        assert!(jobs.as_arr().is_some_and(|a| a.len() >= 2), "job list: {}", reply.body);
+    }
+
+    // Protocol edges: malformed request, unknown resource, bad method,
+    // invalid submission, unknown job.
+    {
+        let mut stream = TcpStream::connect(addr).expect("server reachable");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout set");
+        stream.write_all(b"NOT /a/request HTTP/9.9\r\n\r\n").expect("garbage written");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("reply readable");
+        assert!(raw.starts_with("HTTP/1.1 400 "), "malformed request: {raw:?}");
+    }
+    assert_eq!(one_shot(addr, "GET", "/teapot", "").status, 404);
+    assert_eq!(one_shot(addr, "PUT", "/jobs", "").status, 405);
+    assert_eq!(one_shot(addr, "POST", "/jobs", "{}").status, 400);
+    assert_eq!(one_shot(addr, "GET", "/jobs/999", "").status, 404);
+    assert_eq!(one_shot(addr, "DELETE", "/jobs/999", "").status, 404);
+
+    // Cancellation: DELETE either catches the job before/while it runs
+    // (200, state ends cancelled) or loses the race to a fast worker
+    // (409, state completed) — both answer the documented codes.
+    let reply = one_shot(addr, "POST", "/jobs", JOB);
+    assert_eq!(reply.status, 202);
+    let third = Value::parse(&reply.body).unwrap().get("id").and_then(Value::as_u64).unwrap();
+    let cancel = one_shot(addr, "DELETE", &format!("/jobs/{third}"), "");
+    assert!(matches!(cancel.status, 200 | 409), "cancel: {} {}", cancel.status, cancel.body);
+    let status = await_terminal(addr, third);
+    let state = status.get("state").and_then(Value::as_str).unwrap().to_owned();
+    let result = one_shot(addr, "GET", &format!("/jobs/{third}/result"), "");
+    match state.as_str() {
+        "cancelled" => assert_eq!(result.status, 410, "cancelled result: {}", result.body),
+        "completed" => assert_eq!(result.status, 200, "completed result: {}", result.body),
+        other => panic!("unexpected terminal state {other}"),
+    }
+
+    // /metrics must round-trip through the zero-dep JSON layer and
+    // carry the service + cross-run counters.
+    let reply = one_shot(addr, "GET", "/metrics", "");
+    assert_eq!(reply.status, 200);
+    let snap = obs::Snapshot::from_json(&reply.body).expect("metrics parse");
+    assert_eq!(snap.to_json(), reply.body, "metrics JSON round-trip mismatch");
+    assert!(snap.counter("serve.jobs.completed") >= 2, "completed counter missing");
+    assert!(snap.counter("serve.http.2xx") > 0, "request counters missing");
+    assert!(
+        snap.counter("systolic.memo.cross_run_hits") >= 1,
+        "cross-run memo counter missing from /metrics"
+    );
+    assert!(
+        snap.histogram("serve.latency.post_jobs").is_some(),
+        "per-endpoint latency histogram missing"
+    );
+
+    // Graceful shutdown over HTTP, then join the drained server.
+    let reply = one_shot(addr, "POST", "/shutdown", "");
+    assert_eq!(reply.status, 200, "shutdown: {}", reply.body);
+    server_thread.join().expect("server thread joins").expect("server exits cleanly");
+    assert!(manager.is_shutting_down(), "manager drained");
+
+    // Persist the snapshot for the perf budget gate.
+    let path = autopilot_bench::write_telemetry("serve_smoke").expect("telemetry written");
+    println!(
+        "serve smoke OK: {} (jobs {:?}, memo cross-run hits {})",
+        path.display(),
+        ids,
+        memo_stats.cross_run_hits
+    );
+}

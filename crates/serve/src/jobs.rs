@@ -1,0 +1,715 @@
+//! Job admission, queueing, execution, and lifecycle for the
+//! multi-tenant co-design server.
+//!
+//! A job is one full AutoPilot pipeline run — Phase 1 (scenario
+//! database), Phase 2 (multi-objective DSE), Phase 3 (full-system
+//! selection) — for a `{uav_class, scenario, budget, optimizer}`
+//! request. Jobs pass through the state machine
+//!
+//! ```text
+//! Queued ──► Running ──► Completed
+//!    │          │    └──► Failed
+//!    └──────────┴───────► Cancelled
+//! ```
+//!
+//! driven by a fixed pool of worker threads pulling from a bounded
+//! FIFO admission queue (`POST /jobs` returns `429` when the queue is
+//! full). Cancellation (`DELETE /jobs/:id`) is cooperative: each job
+//! carries a [`RunControl`] token threaded through the optimizer's
+//! inner loop, which also publishes progress (evaluations done, front
+//! size) for `GET /jobs/:id`.
+//!
+//! Jobs of the same scenario share the process-lifetime caches in
+//! [`SharedCaches`]: one sharded [`LayerMemo`] (scenario-independent)
+//! and one sharded [`CandidateCache`] per `(scenario, success model,
+//! seed)` key, with entries owner-tagged by job id so cross-run reuse
+//! is observable (`systolic.memo.cross_run_hits`,
+//! `phase2.candidate_cache.cross_run_hits`).
+
+use air_sim::{AirLearningDatabase, ObstacleDensity};
+use autopilot::{
+    AutopilotResult, CandidateCache, DssocEvaluator, JobConfig, Phase1, Phase3, RunSummary,
+    SuccessModel, TaskSpec,
+};
+use autopilot_obs as obs;
+use autopilot_obs::json::Value;
+use dse_opt::RunControl;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use systolic_sim::LayerMemo;
+use uav_dynamics::UavSpec;
+
+/// Largest accepted Phase-2 budget per job (admission-time guard
+/// against a single request monopolizing the pool).
+pub const MAX_BUDGET: usize = 10_000;
+
+/// Approximate capacity of the process-lifetime candidate cache per
+/// scenario key (entries; clock eviction beyond this).
+const CANDIDATE_CACHE_CAPACITY: usize = 65_536;
+
+/// A validated job request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// UAV platform class (`"nano"`, `"micro"`, `"mini"`).
+    pub uav: String,
+    /// Deployment scenario.
+    pub scenario: ObstacleDensity,
+    /// Phase-2 evaluation budget.
+    pub budget: usize,
+    /// Registry name of the Phase-2 optimizer.
+    pub optimizer: String,
+    /// Deterministic seed (default 7, the repo-wide experiment seed).
+    pub seed: u64,
+    /// Per-job engine knobs (threads, GP window, surrogate, memo,
+    /// trace), defaulting to the server's startup-captured environment.
+    pub config: JobConfig,
+}
+
+impl JobSpec {
+    /// Parses and validates a `POST /jobs` JSON body against the
+    /// platform table, scenario ids, and the optimizer registry.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending field and the
+    /// accepted values.
+    pub fn parse(body: &str, defaults: JobConfig) -> Result<JobSpec, String> {
+        let root = Value::parse(body).map_err(|e| format!("invalid JSON body: {e}"))?;
+        let uav = root
+            .get("uav_class")
+            .and_then(Value::as_str)
+            .ok_or("missing string field `uav_class`")?
+            .to_owned();
+        if uav_spec(&uav).is_none() {
+            return Err(format!("unknown `uav_class` {uav:?}; expected nano, micro, or mini"));
+        }
+        let scenario_id = root
+            .get("scenario")
+            .and_then(Value::as_str)
+            .ok_or("missing string field `scenario`")?;
+        let scenario = ObstacleDensity::parse_id(scenario_id).ok_or_else(|| {
+            format!("unknown `scenario` {scenario_id:?}; expected low, medium, or dense")
+        })?;
+        let budget =
+            root.get("budget").and_then(Value::as_u64).ok_or("missing integer field `budget`")?
+                as usize;
+        if !(4..=MAX_BUDGET).contains(&budget) {
+            return Err(format!("`budget` must be in 4..={MAX_BUDGET}, got {budget}"));
+        }
+        let optimizer = root
+            .get("optimizer")
+            .and_then(Value::as_str)
+            .ok_or("missing string field `optimizer`")?
+            .to_owned();
+        let registered = autopilot::registered_optimizers();
+        if !registered.contains(&optimizer) {
+            return Err(format!(
+                "unknown `optimizer` {optimizer:?}; registered: {}",
+                registered.join(", ")
+            ));
+        }
+        let seed = root.get("seed").and_then(Value::as_u64).unwrap_or(7);
+
+        // Optional per-job engine knobs on top of the startup defaults.
+        let mut config = defaults;
+        if let Some(t) = root.get("threads").and_then(Value::as_u64) {
+            if t == 0 {
+                return Err("`threads` must be >= 1".into());
+            }
+            config = config.with_threads(t as usize);
+        }
+        if let Some(w) = root.get("gp_window").and_then(Value::as_u64) {
+            config = config.with_gp_window(w as usize);
+        }
+        match root.get("layer_memo") {
+            None | Some(Value::Null) => {}
+            Some(Value::Bool(b)) => config = config.with_layer_memo(*b),
+            Some(_) => return Err("`layer_memo` must be a boolean".into()),
+        }
+        Ok(JobSpec { uav, scenario, budget, optimizer, seed, config })
+    }
+}
+
+/// Resolves a platform-class id to its Table IV specification.
+pub fn uav_spec(class: &str) -> Option<UavSpec> {
+    match class {
+        "nano" => Some(UavSpec::nano()),
+        "micro" => Some(UavSpec::micro()),
+        "mini" => Some(UavSpec::mini()),
+        _ => None,
+    }
+}
+
+/// Job lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is executing the pipeline.
+    Running,
+    /// Finished; result JSON available.
+    Completed,
+    /// Finished with an error.
+    Failed,
+    /// Cancelled before or during execution.
+    Cancelled,
+}
+
+impl JobState {
+    /// Stable lower-case identifier.
+    pub fn id(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Mutable portion of a job, behind one lock.
+#[derive(Debug)]
+struct JobStatus {
+    state: JobState,
+    /// `RunSummary` JSON once completed.
+    result: Option<String>,
+    /// Failure detail once failed.
+    error: Option<String>,
+}
+
+/// One admitted job.
+#[derive(Debug)]
+pub struct Job {
+    /// Server-assigned id (also the cache owner tag).
+    pub id: u64,
+    /// The validated request.
+    pub spec: JobSpec,
+    control: RunControl,
+    status: Mutex<JobStatus>,
+}
+
+impl Job {
+    fn new(id: u64, spec: JobSpec) -> Job {
+        Job {
+            id,
+            spec,
+            control: RunControl::new(),
+            status: Mutex::new(JobStatus { state: JobState::Queued, result: None, error: None }),
+        }
+    }
+
+    fn status(&self) -> std::sync::MutexGuard<'_, JobStatus> {
+        self.status.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> JobState {
+        self.status().state
+    }
+
+    /// The result JSON, when completed.
+    pub fn result_json(&self) -> Option<String> {
+        self.status().result.clone()
+    }
+
+    /// The failure detail, when failed.
+    pub fn error(&self) -> Option<String> {
+        self.status().error.clone()
+    }
+
+    /// Requests cooperative cancellation. Returns `false` when the job
+    /// already reached a terminal state.
+    pub fn cancel(&self) -> bool {
+        let mut st = self.status();
+        match st.state {
+            JobState::Completed | JobState::Failed | JobState::Cancelled => false,
+            JobState::Queued => {
+                // Never started: terminal immediately. The worker that
+                // eventually dequeues it skips terminal jobs.
+                st.state = JobState::Cancelled;
+                self.control.cancel();
+                true
+            }
+            JobState::Running => {
+                // The worker observes the token at its next checkpoint
+                // and transitions the state itself.
+                self.control.cancel();
+                true
+            }
+        }
+    }
+
+    /// Progress snapshot `(evaluations done, current front size)` as
+    /// published by the optimizer's checkpoints.
+    pub fn progress(&self) -> (u64, u64) {
+        (self.control.evaluations(), self.control.front_size())
+    }
+
+    /// Status JSON for `GET /jobs/:id`.
+    pub fn status_json(&self) -> String {
+        let st = self.status();
+        let (evaluations, front) = self.progress();
+        Value::Obj(vec![
+            ("id".into(), Value::Num(self.id as f64)),
+            ("state".into(), Value::Str(st.state.id().into())),
+            ("uav_class".into(), Value::Str(self.spec.uav.clone())),
+            ("scenario".into(), Value::Str(self.spec.scenario.id().into())),
+            ("optimizer".into(), Value::Str(self.spec.optimizer.clone())),
+            ("budget".into(), Value::Num(self.spec.budget as f64)),
+            ("seed".into(), Value::Num(self.spec.seed as f64)),
+            ("evaluations".into(), Value::Num(evaluations as f64)),
+            ("front_size".into(), Value::Num(front as f64)),
+            ("error".into(), st.error.as_ref().map_or(Value::Null, |e| Value::Str(e.clone()))),
+        ])
+        .to_json()
+    }
+}
+
+/// Process-lifetime caches shared by every job the server runs.
+///
+/// * `layer_memo` — the sharded per-(config, layer) simulation memo;
+///   scenario-independent, so one instance serves every tenant.
+/// * `candidates` — one sharded, bounded [`CandidateCache`] per
+///   `(scenario, success model, seed)` key: candidates are functions of
+///   the evaluator identity, so the key pins everything that identity
+///   depends on.
+/// * `phase1` — scenario databases, keyed the same way.
+#[derive(Debug)]
+pub struct SharedCaches {
+    layer_memo: Arc<LayerMemo>,
+    phase1: Mutex<HashMap<String, AirLearningDatabase>>,
+    candidates: Mutex<HashMap<String, Arc<CandidateCache>>>,
+}
+
+impl Default for SharedCaches {
+    fn default() -> SharedCaches {
+        SharedCaches::new()
+    }
+}
+
+impl SharedCaches {
+    /// Creates the shared cache set (layer memo enabled and unbounded,
+    /// candidate caches bounded with clock eviction).
+    pub fn new() -> SharedCaches {
+        SharedCaches {
+            layer_memo: Arc::new(LayerMemo::with_enabled(true)),
+            phase1: Mutex::new(HashMap::new()),
+            candidates: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn scenario_key(scenario: ObstacleDensity, model: SuccessModel, seed: u64) -> String {
+        format!("{}|{model:?}|{seed}", scenario.id())
+    }
+
+    /// The process-lifetime layer memo.
+    pub fn layer_memo(&self) -> Arc<LayerMemo> {
+        Arc::clone(&self.layer_memo)
+    }
+
+    /// The Phase-1 database for a scenario key, populated on first use.
+    pub fn phase1_database(
+        &self,
+        scenario: ObstacleDensity,
+        model: SuccessModel,
+        seed: u64,
+    ) -> AirLearningDatabase {
+        let key = SharedCaches::scenario_key(scenario, model, seed);
+        if let Some(db) = self.phase1.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
+            obs::add("serve.phase1_cache.hits", 1);
+            return db.clone();
+        }
+        obs::add("serve.phase1_cache.misses", 1);
+        let mut db = AirLearningDatabase::new();
+        Phase1::new(model, seed).populate(scenario, &mut db);
+        self.phase1.lock().unwrap_or_else(PoisonError::into_inner).entry(key).or_insert(db).clone()
+    }
+
+    /// The shared candidate cache for a scenario key.
+    pub fn candidate_cache(
+        &self,
+        scenario: ObstacleDensity,
+        model: SuccessModel,
+        seed: u64,
+    ) -> Arc<CandidateCache> {
+        let key = SharedCaches::scenario_key(scenario, model, seed);
+        Arc::clone(
+            self.candidates
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .entry(key)
+                .or_insert_with(|| Arc::new(CandidateCache::bounded(CANDIDATE_CACHE_CAPACITY))),
+        )
+    }
+}
+
+/// The server's job registry, admission queue, and worker pool.
+#[derive(Debug)]
+pub struct JobManager {
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    queue_cv: Condvar,
+    next_id: AtomicU64,
+    max_queue: usize,
+    shutdown: AtomicBool,
+    caches: SharedCaches,
+    defaults: JobConfig,
+}
+
+/// Why a job submission was refused.
+#[derive(Debug)]
+pub enum AdmitError {
+    /// The request body failed validation (`400`).
+    Invalid(String),
+    /// The admission queue is full (`429`).
+    QueueFull,
+    /// The server is shutting down (`503`).
+    ShuttingDown,
+}
+
+impl JobManager {
+    /// Creates a manager whose admission queue holds at most
+    /// `max_queue` waiting jobs, with `defaults` as the per-job
+    /// configuration baseline.
+    pub fn new(max_queue: usize, defaults: JobConfig) -> JobManager {
+        JobManager {
+            jobs: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            max_queue: max_queue.max(1),
+            shutdown: AtomicBool::new(false),
+            caches: SharedCaches::new(),
+            defaults,
+        }
+    }
+
+    /// The startup-captured per-job defaults.
+    pub fn defaults(&self) -> JobConfig {
+        self.defaults
+    }
+
+    /// The shared caches (exposed for smoke tests and metrics).
+    pub fn caches(&self) -> &SharedCaches {
+        &self.caches
+    }
+
+    /// Validates `body` and enqueues the job FIFO.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::Invalid`] on validation failure,
+    /// [`AdmitError::QueueFull`] when admission is at capacity, and
+    /// [`AdmitError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, body: &str) -> Result<Arc<Job>, AdmitError> {
+        if self.shutdown.load(Ordering::Relaxed) {
+            return Err(AdmitError::ShuttingDown);
+        }
+        let spec = JobSpec::parse(body, self.defaults).map_err(AdmitError::Invalid)?;
+        let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        if queue.len() >= self.max_queue {
+            obs::add("serve.jobs.rejected_queue_full", 1);
+            return Err(AdmitError::QueueFull);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let job = Arc::new(Job::new(id, spec));
+        self.jobs.lock().unwrap_or_else(PoisonError::into_inner).insert(id, Arc::clone(&job));
+        queue.push_back(Arc::clone(&job));
+        drop(queue);
+        self.queue_cv.notify_one();
+        obs::add("serve.jobs.submitted", 1);
+        Ok(job)
+    }
+
+    /// Looks a job up by id.
+    pub fn get(&self, id: u64) -> Option<Arc<Job>> {
+        self.jobs.lock().unwrap_or_else(PoisonError::into_inner).get(&id).cloned()
+    }
+
+    /// All jobs, ascending by id.
+    pub fn list(&self) -> Vec<Arc<Job>> {
+        let mut jobs: Vec<Arc<Job>> =
+            self.jobs.lock().unwrap_or_else(PoisonError::into_inner).values().cloned().collect();
+        jobs.sort_by_key(|j| j.id);
+        jobs
+    }
+
+    /// Begins shutdown: stops admission, cancels every non-terminal
+    /// job, and wakes all workers so they can drain and exit.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for job in self.list() {
+            job.cancel();
+        }
+        self.queue_cv.notify_all();
+    }
+
+    /// True once [`JobManager::shutdown`] ran.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until a job is available (skipping jobs cancelled while
+    /// queued) or shutdown begins with the queue drained; workers call
+    /// this in a loop and exit on `None`.
+    pub fn next_job(&self) -> Option<Arc<Job>> {
+        let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            while let Some(job) = queue.pop_front() {
+                if job.state() == JobState::Queued {
+                    return Some(job);
+                }
+                // Cancelled while queued: already terminal, skip.
+            }
+            if self.shutdown.load(Ordering::Relaxed) {
+                return None;
+            }
+            queue = self.queue_cv.wait(queue).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Executes `job` to a terminal state (worker-thread body).
+    pub fn execute(&self, job: &Job) {
+        {
+            let mut st = job.status();
+            if st.state != JobState::Queued {
+                return; // cancelled while queued
+            }
+            st.state = JobState::Running;
+        }
+        obs::add("serve.jobs.started", 1);
+        let outcome = run_pipeline(&self.caches, job);
+        let mut st = job.status();
+        match outcome {
+            Ok(summary_json) => {
+                st.state = JobState::Completed;
+                st.result = Some(summary_json);
+                obs::add("serve.jobs.completed", 1);
+            }
+            Err(message) => {
+                if job.control.is_cancelled() {
+                    st.state = JobState::Cancelled;
+                    obs::add("serve.jobs.cancelled", 1);
+                } else {
+                    st.state = JobState::Failed;
+                    st.error = Some(message);
+                    obs::add("serve.jobs.failed", 1);
+                }
+            }
+        }
+    }
+}
+
+/// Runs the three-phase pipeline for `job` against the shared caches.
+///
+/// This mirrors `AutoPilot::run` exactly — same phase order, same
+/// evaluator construction, same Phase-3 configuration — so a job's
+/// `RunSummary` is bit-identical to the CLI path at the same seed and
+/// [`JobConfig`]. The only differences are cache *placement* (shared,
+/// owner-tagged) and the cancellation token, neither of which affects
+/// results.
+fn run_pipeline(caches: &SharedCaches, job: &Job) -> Result<String, String> {
+    let spec = &job.spec;
+    let model = SuccessModel::Surrogate;
+    let db = caches.phase1_database(spec.scenario, model, spec.seed);
+
+    let evaluator = if spec.config.layer_memo {
+        DssocEvaluator::new(db.clone(), spec.scenario)
+            .with_shared_layer_memo(caches.layer_memo(), job.id)
+    } else {
+        DssocEvaluator::new(db.clone(), spec.scenario).with_layer_memo(false)
+    };
+    // The shared cache is keyed by evaluator identity; owner tags come
+    // from the evaluator, so hits on other jobs' entries are counted as
+    // cross-run traffic.
+    let cache = caches.candidate_cache(spec.scenario, model, spec.seed);
+    let phase2_runner = spec.config.apply_to_phase2(autopilot::Phase2::new(
+        spec.optimizer.clone(),
+        spec.budget,
+        spec.seed,
+    ));
+    let phase2 = phase2_runner
+        .run_with_cache_controlled(&evaluator, &cache, &job.control)
+        .map_err(|e| e.to_string())?;
+
+    let uav = uav_spec(&spec.uav).ok_or_else(|| format!("unknown uav class {:?}", spec.uav))?;
+    let task = TaskSpec::navigation(spec.scenario);
+    let selection = Phase3::new().select(&uav, &task, &phase2, &evaluator);
+    let result = AutopilotResult {
+        uav,
+        task,
+        database: db,
+        phase2,
+        selection_error: selection.as_ref().err().map(|e| e.to_string()),
+        selection: selection.ok(),
+    };
+    RunSummary::from_result(&result).to_json().map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn defaults() -> JobConfig {
+        JobConfig::from_env().with_threads(1)
+    }
+
+    const VALID: &str = r#"{"uav_class": "nano", "scenario": "low",
+                            "budget": 12, "optimizer": "random-search", "seed": 3}"#;
+
+    #[test]
+    fn spec_parses_and_validates() {
+        let spec = JobSpec::parse(VALID, defaults()).unwrap();
+        assert_eq!(spec.uav, "nano");
+        assert_eq!(spec.scenario, ObstacleDensity::Low);
+        assert_eq!((spec.budget, spec.seed), (12, 3));
+
+        for (body, needle) in [
+            ("{", "invalid JSON"),
+            (r#"{"scenario": "low", "budget": 12, "optimizer": "random-search"}"#, "uav_class"),
+            (
+                r#"{"uav_class": "jumbo", "scenario": "low", "budget": 12, "optimizer": "random-search"}"#,
+                "jumbo",
+            ),
+            (
+                r#"{"uav_class": "nano", "scenario": "mars", "budget": 12, "optimizer": "random-search"}"#,
+                "mars",
+            ),
+            (
+                r#"{"uav_class": "nano", "scenario": "low", "budget": 1, "optimizer": "random-search"}"#,
+                "budget",
+            ),
+            (
+                r#"{"uav_class": "nano", "scenario": "low", "budget": 12, "optimizer": "gradient-descent"}"#,
+                "gradient-descent",
+            ),
+            (
+                r#"{"uav_class": "nano", "scenario": "low", "budget": 12, "optimizer": "random-search", "threads": 0}"#,
+                "threads",
+            ),
+        ] {
+            let err = JobSpec::parse(body, defaults()).unwrap_err();
+            assert!(err.contains(needle), "{body} -> {err}");
+        }
+    }
+
+    #[test]
+    fn job_runs_to_completion() {
+        let mgr = JobManager::new(4, defaults());
+        let job = mgr.submit(VALID).unwrap();
+        assert_eq!(job.state(), JobState::Queued);
+        let next = mgr.next_job().unwrap();
+        assert_eq!(next.id, job.id);
+        mgr.execute(&next);
+        assert_eq!(job.state(), JobState::Completed);
+        let summary = RunSummary::from_json(&job.result_json().unwrap()).unwrap();
+        assert_eq!(summary.evaluations, 12);
+        let (evals, _) = job.progress();
+        assert_eq!(evals, 12);
+    }
+
+    #[test]
+    fn server_result_matches_cli_path() {
+        let mgr = JobManager::new(4, defaults());
+        let job = mgr.submit(VALID).unwrap();
+        mgr.execute(&job);
+        let via_server = job.result_json().unwrap();
+
+        let config = autopilot::AutopilotConfig::fast(3)
+            .with_budget(12)
+            .with_optimizer(autopilot::OptimizerChoice::Random);
+        let pilot = autopilot::AutoPilot::new(config).with_job_config(defaults());
+        let result =
+            pilot.run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Low)).unwrap();
+        let via_cli = RunSummary::from_result(&result).to_json().unwrap();
+        assert_eq!(via_server, via_cli, "server pipeline must be bit-identical to the CLI path");
+    }
+
+    #[test]
+    fn queue_admission_is_bounded() {
+        let mgr = JobManager::new(2, defaults());
+        mgr.submit(VALID).unwrap();
+        mgr.submit(VALID).unwrap();
+        assert!(matches!(mgr.submit(VALID), Err(AdmitError::QueueFull)));
+    }
+
+    #[test]
+    fn queued_job_cancels_immediately() {
+        let mgr = JobManager::new(4, defaults());
+        let job = mgr.submit(VALID).unwrap();
+        assert!(job.cancel());
+        assert_eq!(job.state(), JobState::Cancelled);
+        assert!(!job.cancel(), "terminal jobs refuse re-cancellation");
+        // The worker must skip it without executing.
+        mgr.shutdown();
+        assert!(mgr.next_job().is_none());
+        assert_eq!(job.state(), JobState::Cancelled);
+    }
+
+    #[test]
+    fn shutdown_stops_admission() {
+        let mgr = JobManager::new(4, defaults());
+        mgr.shutdown();
+        assert!(matches!(mgr.submit(VALID), Err(AdmitError::ShuttingDown)));
+        assert!(mgr.is_shutting_down());
+    }
+
+    #[test]
+    fn concurrent_workers_share_caches_and_conserve_counters() {
+        let mgr = Arc::new(JobManager::new(8, defaults()));
+        let mut submitted = Vec::new();
+        for _ in 0..4 {
+            submitted.push(mgr.submit(VALID).unwrap());
+        }
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let mgr = Arc::clone(&mgr);
+                std::thread::spawn(move || {
+                    while let Some(job) = mgr.next_job() {
+                        mgr.execute(&job);
+                    }
+                })
+            })
+            .collect();
+        // Workers drain the queue, then exit once shutdown begins.
+        while submitted.iter().any(|j| !matches!(j.state(), JobState::Completed)) {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        mgr.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let first = submitted[0].result_json().unwrap();
+        for job in &submitted {
+            assert_eq!(job.result_json().unwrap(), first, "identical specs, identical results");
+        }
+        // Counter conservation under contention: per-shard hits+misses
+        // must sum exactly to the aggregate lookups the cache counted.
+        let cache = mgr.caches().candidate_cache(ObstacleDensity::Low, SuccessModel::Surrogate, 3);
+        let per_shard: u64 = cache.shard_stats().iter().map(|s| s.hits + s.misses).sum();
+        let agg = cache.stats();
+        assert_eq!(per_shard, (agg.hits + agg.misses) as u64, "shard counters must conserve");
+        assert!(cache.cross_run_hits() > 0, "later jobs must reuse earlier jobs' entries");
+    }
+
+    #[test]
+    fn second_job_sees_cross_run_cache_hits() {
+        let mgr = JobManager::new(4, defaults());
+        let first = mgr.submit(VALID).unwrap();
+        mgr.execute(&first);
+        let second = mgr.submit(VALID).unwrap();
+        mgr.execute(&second);
+        assert_eq!(first.state(), JobState::Completed);
+        assert_eq!(second.state(), JobState::Completed);
+        assert_eq!(first.result_json(), second.result_json());
+        let cache = mgr.caches().candidate_cache(ObstacleDensity::Low, SuccessModel::Surrogate, 3);
+        assert!(
+            cache.cross_run_hits() > 0,
+            "identical rerun must be served from the first job's entries"
+        );
+        let memo = mgr.caches().layer_memo();
+        assert!(memo.stats().cross_run_hits > 0, "layer memo must see cross-run hits too");
+    }
+}

@@ -1,0 +1,71 @@
+//! Minimal SIGTERM/SIGINT handling without external crates.
+//!
+//! The handler only sets a process-global `AtomicBool`
+//! (async-signal-safe); the accept loop polls [`shutdown_requested`]
+//! between accepts and drains gracefully. Installation goes through
+//! libc's `signal(2)` via a private `extern "C"` declaration — the one
+//! unsafe block in the crate, confined to this module.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler when SIGTERM or SIGINT arrives.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// SIGINT signal number (POSIX).
+const SIGINT: i32 = 2;
+/// SIGTERM signal number (POSIX).
+const SIGTERM: i32 = 15;
+
+#[allow(unsafe_code)]
+mod ffi {
+    /// The C signal-handler shape `signal(2)` expects.
+    pub type Handler = extern "C" fn(i32);
+
+    extern "C" {
+        /// libc `signal(2)`; returns the previous disposition (unused).
+        pub fn signal(signum: i32, handler: Handler) -> usize;
+    }
+
+    /// Installs `handler` for `signum`.
+    pub fn install(signum: i32, handler: Handler) {
+        // SAFETY: `signal(2)` with a valid signal number and a function
+        // pointer of the correct shape; the handler only performs an
+        // async-signal-safe atomic store.
+        unsafe {
+            signal(signum, handler);
+        }
+    }
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Installs the SIGTERM/SIGINT handlers (idempotent).
+pub fn install_handlers() {
+    ffi::install(SIGTERM, on_signal);
+    ffi::install(SIGINT, on_signal);
+}
+
+/// True once SIGTERM/SIGINT arrived (or a test forced it).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Forces the flag, as the signal handler would (tests, and the
+/// `POST /shutdown` control endpoint).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trips() {
+        install_handlers();
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

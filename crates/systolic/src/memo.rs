@@ -9,12 +9,21 @@
 //! sweeps the clock across an otherwise identical configuration. The
 //! [`LayerMemo`] caches each pair once and serves every repeat from the
 //! map, one level below the per-design-point candidate cache.
+//!
+//! The backing store is an [`autopilot_shard::ShardedMap`]: N-way
+//! sharded by key hash with per-shard locks, so a memo promoted to
+//! process lifetime (the DSE server shares one across every job) scales
+//! with concurrent tenants, and — when constructed through
+//! [`LayerMemo::bounded`] — clock-evicts cold entries instead of
+//! growing without bound. Entries are tagged with the inserting job's
+//! owner id; a hit served from *another* owner's entry counts as a
+//! **cross-run hit** (`systolic.memo.cross_run_hits`), the number that
+//! proves tenants are serving each other's simulated layers.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use autopilot_obs as obs;
+use autopilot_shard::ShardedMap;
 
 use crate::config::ArrayConfig;
 use crate::dataflow::Dataflow;
@@ -65,6 +74,13 @@ pub struct MemoStats {
     pub misses: u64,
     /// Distinct (config, layer) pairs cached.
     pub entries: usize,
+    /// Hits served from an entry inserted by a *different* owner (job):
+    /// the cross-tenant sharing a process-lifetime memo exists for.
+    /// Always zero for single-run memos (every caller is owner 0).
+    pub cross_run_hits: u64,
+    /// Entries displaced by clock eviction (only possible for memos
+    /// built with [`LayerMemo::bounded`]).
+    pub evictions: u64,
 }
 
 impl MemoStats {
@@ -94,29 +110,68 @@ impl MemoStats {
 ///
 /// Set `AUTOPILOT_LAYER_MEMO=0` (or `off`/`false`) in the environment to
 /// construct disabled memos that delegate every call straight to the
-/// simulator.
-#[derive(Debug, Default)]
+/// simulator. The variable is captured once per process (see
+/// [`autopilot_obs::env_once`]); per-job gating goes through the core
+/// crate's `JobConfig` instead of env mutation.
+#[derive(Debug)]
 pub struct LayerMemo {
-    entries: Mutex<HashMap<MemoKey, LayerStats>>,
+    map: ShardedMap<MemoKey, LayerStats>,
     hits: AtomicU64,
     misses: AtomicU64,
+    cross_run_hits: AtomicU64,
     disabled: bool,
 }
 
+/// Shard fan-out for every memo; per-run memos stay tiny, and the
+/// process-lifetime server memo wants contention spread across jobs.
+const MEMO_SHARDS: usize = 8;
+
+impl Default for LayerMemo {
+    fn default() -> LayerMemo {
+        LayerMemo::with_enabled(true)
+    }
+}
+
 impl LayerMemo {
-    /// Creates an empty memo, honouring the `AUTOPILOT_LAYER_MEMO`
-    /// environment gate at construction time.
+    /// Creates an empty, unbounded memo, honouring the
+    /// `AUTOPILOT_LAYER_MEMO` environment gate (as captured at the first
+    /// read this process) at construction time.
     pub fn new() -> LayerMemo {
-        let disabled = matches!(
-            std::env::var("AUTOPILOT_LAYER_MEMO").as_deref(),
-            Ok("0") | Ok("off") | Ok("false")
-        );
-        LayerMemo { disabled, ..LayerMemo::default() }
+        LayerMemo::with_enabled(LayerMemo::env_default_enabled())
     }
 
-    /// Creates a memo with the environment gate overridden.
+    /// The `AUTOPILOT_LAYER_MEMO` startup default: `false` when the
+    /// variable was `0`/`off`/`false` at its first read this process.
+    /// This is the default `JobConfig` picks up.
+    pub fn env_default_enabled() -> bool {
+        static CACHED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        let raw = obs::env_once("AUTOPILOT_LAYER_MEMO");
+        *CACHED.get_or_init(|| !matches!(raw.as_deref(), Some("0") | Some("off") | Some("false")))
+    }
+
+    /// Creates an unbounded memo with the environment gate overridden.
     pub fn with_enabled(enabled: bool) -> LayerMemo {
-        LayerMemo { disabled: !enabled, ..LayerMemo::default() }
+        LayerMemo {
+            map: ShardedMap::new(MEMO_SHARDS, 0).with_obs_prefix("systolic.memo"),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            cross_run_hits: AtomicU64::new(0),
+            disabled: !enabled,
+        }
+    }
+
+    /// Creates an enabled memo bounded to roughly `capacity` entries
+    /// spread across [`MEMO_SHARDS`] shards, with clock (second-chance)
+    /// eviction once a shard fills — the process-lifetime configuration
+    /// the DSE server shares across all jobs.
+    pub fn bounded(capacity: usize) -> LayerMemo {
+        LayerMemo {
+            map: ShardedMap::new(MEMO_SHARDS, capacity).with_obs_prefix("systolic.memo"),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            cross_run_hits: AtomicU64::new(0),
+            disabled: false,
+        }
     }
 
     /// True when lookups actually consult the cache.
@@ -124,21 +179,30 @@ impl LayerMemo {
         !self.disabled
     }
 
-    fn map_lock(&self) -> MutexGuard<'_, HashMap<MemoKey, LayerStats>> {
-        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Simulates `layer` under `sim`'s configuration, serving repeats of
+    /// the same (config, layer) pair from the memo. Single-tenant entry
+    /// point: everything is owner 0, so no cross-run hits are counted.
+    pub fn simulate_layer(&self, sim: &Simulator, layer: &Layer) -> LayerStats {
+        self.simulate_layer_as(0, sim, layer)
     }
 
-    /// Simulates `layer` under `sim`'s configuration, serving repeats of
-    /// the same (config, layer) pair from the memo.
-    pub fn simulate_layer(&self, sim: &Simulator, layer: &Layer) -> LayerStats {
+    /// Like [`LayerMemo::simulate_layer`], attributing inserts to
+    /// `owner` (a job id). A hit on an entry inserted by a different
+    /// owner counts toward `systolic.memo.cross_run_hits`: one tenant's
+    /// simulation served another's lookup.
+    pub fn simulate_layer_as(&self, owner: u64, sim: &Simulator, layer: &Layer) -> LayerStats {
         if self.disabled {
             return sim.simulate_layer(layer);
         }
         let key = MemoKey::new(sim.config(), layer);
-        if let Some(stats) = self.map_lock().get(&key) {
+        if let Some((stats, entry_owner)) = self.map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             obs::add("systolic.memo.hits", 1);
-            return stats.clone();
+            if entry_owner != owner {
+                self.cross_run_hits.fetch_add(1, Ordering::Relaxed);
+                obs::add("systolic.memo.cross_run_hits", 1);
+            }
+            return stats;
         }
         // Simulate outside the lock so workers fill distinct entries
         // concurrently; a racing duplicate insert is harmless (both
@@ -146,7 +210,7 @@ impl LayerMemo {
         let stats = obs::time("systolic.layer_sim", || sim.simulate_layer(layer));
         self.misses.fetch_add(1, Ordering::Relaxed);
         obs::add("systolic.memo.misses", 1);
-        self.map_lock().entry(key).or_insert_with(|| stats.clone());
+        self.map.insert(key, stats.clone(), owner);
         stats
     }
 
@@ -154,9 +218,20 @@ impl LayerMemo {
     /// clock comes from `sim`, so the same memo serves every point of a
     /// frequency-scaling sweep.
     pub fn simulate_network(&self, sim: &Simulator, network: &[Layer]) -> NetworkStats {
+        self.simulate_network_as(0, sim, network)
+    }
+
+    /// Like [`LayerMemo::simulate_network`], attributing the lookups to
+    /// `owner` for cross-run accounting.
+    pub fn simulate_network_as(
+        &self,
+        owner: u64,
+        sim: &Simulator,
+        network: &[Layer],
+    ) -> NetworkStats {
         let _span = obs::span("systolic.network");
         NetworkStats {
-            layers: network.iter().map(|l| self.simulate_layer(sim, l)).collect(),
+            layers: network.iter().map(|l| self.simulate_layer_as(owner, sim, l)).collect(),
             clock_mhz: sim.config().clock_mhz(),
         }
     }
@@ -166,23 +241,25 @@ impl LayerMemo {
         MemoStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map_lock().len(),
+            entries: self.map.len(),
+            cross_run_hits: self.cross_run_hits.load(Ordering::Relaxed),
+            evictions: self.map.stats().evictions,
         }
     }
 
     /// Number of distinct (config, layer) pairs cached.
     pub fn len(&self) -> usize {
-        self.map_lock().len()
+        self.map.len()
     }
 
     /// True when nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.map.is_empty()
     }
 
     /// Drops every cached entry (counters are kept).
     pub fn clear(&self) {
-        self.map_lock().clear();
+        self.map.clear();
     }
 }
 
@@ -271,6 +348,38 @@ mod tests {
         assert_eq!(a, b);
         assert!(memo.is_empty());
         assert_eq!(memo.stats(), MemoStats::default());
+    }
+
+    #[test]
+    fn cross_run_hits_attributed_by_owner() {
+        let memo = LayerMemo::with_enabled(true);
+        let s = sim(16, 16);
+        let layer = Layer::dense(512, 25);
+        memo.simulate_layer_as(1, &s, &layer); // miss: owner 1 inserts
+        memo.simulate_layer_as(1, &s, &layer); // same-owner hit
+        memo.simulate_layer_as(2, &s, &layer); // cross-run hit for owner 2
+        let st = memo.stats();
+        assert_eq!((st.hits, st.misses), (2, 1));
+        assert_eq!(st.cross_run_hits, 1, "owner-2 hit on an owner-1 entry");
+        // The owner-0 convenience path never counts cross-run traffic
+        // against itself.
+        let solo = LayerMemo::with_enabled(true);
+        solo.simulate_layer(&s, &layer);
+        solo.simulate_layer(&s, &layer);
+        assert_eq!(solo.stats().cross_run_hits, 0);
+    }
+
+    #[test]
+    fn bounded_memo_evicts_cold_entries() {
+        let memo = LayerMemo::bounded(8);
+        let s = sim(8, 8);
+        for k in 0..40 {
+            memo.simulate_layer(&s, &Layer::dense(64 + k, 25));
+        }
+        assert!(memo.len() <= 8, "bound violated: {} entries", memo.len());
+        let st = memo.stats();
+        assert!(st.evictions > 0, "no evictions recorded");
+        assert_eq!(st.misses, 40, "every distinct layer simulates once");
     }
 
     #[test]

@@ -71,6 +71,14 @@ grep -q '"gp_sparse_speedup"' "$scale_json" || {
     exit 1
 }
 
+echo "==> service smoke (serve_smoke: HTTP server + cross-run shared caches)"
+# Boots the co-design server on an ephemeral port, runs two concurrent
+# same-scenario jobs over real TCP, checks the second is served from the
+# first's sharded caches, that results are bit-identical to the CLI
+# path, and that /metrics round-trips. Writes
+# results/telemetry_serve_smoke.json for the budget gate below.
+cargo run -q --release -p autopilot-serve --bin serve_smoke
+
 echo "==> perf budget gate (results/BASELINE_budgets.json)"
 # Every checked-in budget is evaluated against the freshly generated
 # probe/telemetry JSON above; any breach fails with a PASS/FAIL diff.

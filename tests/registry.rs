@@ -8,7 +8,8 @@ use autopilot::{
     SuccessModel,
 };
 use dse_opt::{
-    DesignSpace, DseError, EvaluationRecord, Evaluator, MultiObjectiveOptimizer, OptimizationResult,
+    DesignSpace, DseError, EvaluationRecord, Evaluator, MultiObjectiveOptimizer,
+    OptimizationResult, RunControl,
 };
 
 /// A deterministic diagonal sweep: walks the design space along its main
@@ -24,14 +25,16 @@ impl MultiObjectiveOptimizer for DiagonalSweep {
         "diagonal-sweep"
     }
 
-    fn run(
+    fn run_controlled(
         &mut self,
         space: &DesignSpace,
         evaluator: &dyn Evaluator,
         budget: usize,
+        control: &RunControl,
     ) -> Result<OptimizationResult, DseError> {
         let mut evaluations = Vec::new();
         for step in 0..budget {
+            control.check()?;
             let level = step * self.stride;
             let point: Vec<usize> =
                 (0..space.dims()).map(|d| level.min(space.cardinality(d) - 1)).collect();
