@@ -9,7 +9,7 @@ use uav_dynamics::{F1Model, MissionProfile, UavSpec};
 fn bench_f1(c: &mut Criterion) {
     let mut group = c.benchmark_group("f1_model");
     for spec in UavSpec::all() {
-        let f1 = F1Model::new(spec.clone(), 24.0, 60.0);
+        let f1 = F1Model::new(spec.clone(), 24.0, 60.0).expect("valid payload");
         group.bench_with_input(BenchmarkId::new("safe_velocity", &spec.name), &f1, |b, f1| {
             b.iter(|| black_box(f1.safe_velocity(black_box(46.0))))
         });
@@ -29,7 +29,7 @@ fn bench_missions(c: &mut Criterion) {
 }
 
 fn bench_curves(c: &mut Criterion) {
-    let f1 = F1Model::new(UavSpec::micro(), 24.0, 60.0);
+    let f1 = F1Model::new(UavSpec::micro(), 24.0, 60.0).expect("valid payload");
     c.bench_function("f1_curve_64pts", |b| b.iter(|| black_box(f1.curve(64))));
 }
 

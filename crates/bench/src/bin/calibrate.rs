@@ -53,7 +53,7 @@ fn main() {
     println!("SoC power band: {min_w:.3} .. {max_w:.3} W (paper: 0.7 .. 8.24)");
 
     for uav in UavSpec::all() {
-        let f1 = F1Model::new(uav.clone(), 24.0, 60.0);
+        let f1 = F1Model::new(uav.clone(), 24.0, 60.0).expect("valid payload");
         println!(
             "{}: knee = {:?} FPS, ceiling = {:.2} m/s, a_max = {:.2} m/s^2",
             uav.name,

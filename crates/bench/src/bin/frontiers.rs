@@ -1,0 +1,6 @@
+//! Reproduction binary for the per-weight-class SWaP frontier sweep.
+
+fn main() {
+    autopilot_bench::emit("frontiers.txt", &autopilot_bench::experiments::frontiers::run());
+    autopilot_bench::write_telemetry("frontiers");
+}

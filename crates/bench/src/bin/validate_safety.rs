@@ -16,7 +16,7 @@ fn main() {
     ]);
     let mut worst: f64 = 0.0;
     for uav in UavSpec::all() {
-        let f1 = F1Model::new(uav.clone(), 24.0, 60.0);
+        let f1 = F1Model::new(uav.clone(), 24.0, 60.0).expect("valid payload");
         for fps in [6.0, 20.0, 46.0, 60.0] {
             let t = f1.response_time_s(fps);
             let analytic =

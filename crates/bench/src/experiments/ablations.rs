@@ -168,7 +168,8 @@ pub fn run_phase3() -> String {
                 .iter()
                 .max_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite"))
                 .expect("eligible non-empty");
-            let missions = Phase3::mission_report(&uav, &task, pick).missions;
+            let missions =
+                Phase3::mission_report(&uav, &task, pick).expect("valid candidate").missions;
             table.row(vec![
                 uav.class.to_string(),
                 (*name).to_owned(),

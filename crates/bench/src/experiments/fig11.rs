@@ -11,8 +11,8 @@ use crate::TextTable;
 /// Regenerates the Fig. 11 comparison (both UAVs with 60 FPS sensors).
 pub fn run() -> String {
     let payload = 24.0; // AP-class compute payload for both platforms
-    let spark = F1Model::new(UavSpec::micro(), payload, 60.0);
-    let nano = F1Model::new(UavSpec::nano(), payload, 60.0);
+    let spark = F1Model::new(UavSpec::micro(), payload, 60.0).expect("valid payload");
+    let nano = F1Model::new(UavSpec::nano(), payload, 60.0).expect("valid payload");
 
     let mut curve = TextTable::new(vec!["throughput_fps", "v_safe DJI Spark", "v_safe nano-UAV"]);
     for f in [2.0, 5.0, 10.0, 15.0, 20.0, 27.0, 35.0, 46.0, 60.0] {
@@ -57,8 +57,8 @@ mod tests {
 
     #[test]
     fn knee_points_match_paper_shape() {
-        let spark = F1Model::new(UavSpec::micro(), 24.0, 60.0);
-        let nano = F1Model::new(UavSpec::nano(), 24.0, 60.0);
+        let spark = F1Model::new(UavSpec::micro(), 24.0, 60.0).expect("valid payload");
+        let nano = F1Model::new(UavSpec::nano(), 24.0, 60.0).expect("valid payload");
         let ratio = nano.knee_fps().unwrap() / spark.knee_fps().unwrap();
         assert!((1.4..=2.0).contains(&ratio), "knee ratio {ratio:.2}");
     }

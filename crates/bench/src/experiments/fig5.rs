@@ -76,7 +76,7 @@ pub fn run() -> String {
         let model = PolicyModel::build(sel.candidate.policy);
         let mut baseline_missions = Vec::new();
         for board in BaselineBoard::figure5_set() {
-            let eval = board.evaluate(uav, &task, &model);
+            let eval = board.evaluate(uav, &task, &model).expect("valid board payload");
             baseline_missions.push(eval.missions.missions);
             table.row(vec![
                 label.clone(),

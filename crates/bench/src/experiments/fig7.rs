@@ -62,7 +62,7 @@ pub fn labelled_designs() -> LabelledDesigns {
 }
 
 fn design_row(table: &mut TextTable, name: &str, c: &DesignCandidate, uav: &UavSpec) {
-    let f1 = F1Model::new(uav.clone(), c.payload_g, 60.0);
+    let f1 = F1Model::new(uav.clone(), c.payload_g, 60.0).expect("valid payload");
     table.row(vec![
         name.to_owned(),
         c.policy.id(),

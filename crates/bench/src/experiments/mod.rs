@@ -10,6 +10,7 @@ pub mod fig3b;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod frontiers;
 pub mod pitfalls;
 pub mod table2;
 pub mod table3;

@@ -13,8 +13,8 @@ fn compare(name: &str, rival: &DesignCandidate, designs: &LabelledDesigns, paper
     let uav = UavSpec::nano();
     let task = TaskSpec::navigation(ObstacleDensity::Dense);
     let ap = &designs.ap.candidate;
-    let ap_missions = Phase3::mission_report(&uav, &task, ap);
-    let rival_missions = Phase3::mission_report(&uav, &task, rival);
+    let ap_missions = Phase3::mission_report(&uav, &task, ap).expect("valid candidate");
+    let rival_missions = Phase3::mission_report(&uav, &task, rival).expect("valid candidate");
 
     let mut table = TextTable::new(vec![
         "design",
@@ -26,8 +26,8 @@ fn compare(name: &str, rival: &DesignCandidate, designs: &LabelledDesigns, paper
         "provisioning",
     ]);
     for (label, c) in [("AP", ap), (name, rival)] {
-        let f1 = F1Model::new(uav.clone(), c.payload_g, task.sensor_fps);
-        let report = Phase3::mission_report(&uav, &task, c);
+        let f1 = F1Model::new(uav.clone(), c.payload_g, task.sensor_fps).expect("valid payload");
+        let report = Phase3::mission_report(&uav, &task, c).expect("valid candidate");
         table.row(vec![
             label.to_owned(),
             format!("{:.0}", c.fps),
@@ -40,8 +40,9 @@ fn compare(name: &str, rival: &DesignCandidate, designs: &LabelledDesigns, paper
     }
 
     // F-1 roofline samples for both payloads.
-    let f1_ap = F1Model::new(uav.clone(), ap.payload_g, task.sensor_fps);
-    let f1_rival = F1Model::new(uav.clone(), rival.payload_g, task.sensor_fps);
+    let f1_ap = F1Model::new(uav.clone(), ap.payload_g, task.sensor_fps).expect("valid payload");
+    let f1_rival =
+        F1Model::new(uav.clone(), rival.payload_g, task.sensor_fps).expect("valid payload");
     let mut curve = TextTable::new(vec![
         "throughput_fps".to_owned(),
         "v_safe (AP payload)".to_owned(),

@@ -49,7 +49,7 @@ pub fn run() -> String {
     let ev = DssocEvaluator::new(db, ObstacleDensity::Medium);
     let deployment_policy = medium.policy;
 
-    let reference = Phase3::mission_report(&uav, &task, &medium).missions;
+    let reference = Phase3::mission_report(&uav, &task, &medium).expect("valid candidate").missions;
 
     let mut table =
         TextTable::new(vec!["design", "fps", "payload_g", "missions", "degradation", "comment"]);
@@ -57,9 +57,11 @@ pub fn run() -> String {
         // Reuse the hardware, run the deployment policy on it.
         let reused =
             ev.evaluate_config(c.point.clone(), deployment_policy, c.config.clone(), TechNode::N28);
-        let missions = Phase3::mission_report(&uav, &task, &reused).missions;
+        let missions =
+            Phase3::mission_report(&uav, &task, &reused).expect("valid candidate").missions;
         let degradation = (1.0 - missions / reference).max(0.0) * 100.0;
-        let f1 = F1Model::new(uav.clone(), reused.payload_g, task.sensor_fps);
+        let f1 =
+            F1Model::new(uav.clone(), reused.payload_g, task.sensor_fps).expect("valid payload");
         let comment = match f1.classify(reused.fps) {
             uav_dynamics::Provisioning::UnderProvisioned => "compute bound lowers Vsafe",
             uav_dynamics::Provisioning::Balanced => "optimal design",
@@ -78,9 +80,9 @@ pub fn run() -> String {
     // General-purpose boards running the medium-scenario policy.
     let model = PolicyModel::build(deployment_policy);
     for board in [BaselineBoard::jetson_tx2(), BaselineBoard::intel_ncs()] {
-        let eval = board.evaluate(&uav, &task, &model);
+        let eval = board.evaluate(&uav, &task, &model).expect("valid board payload");
         let degradation = (1.0 - eval.missions.missions / reference).max(0.0) * 100.0;
-        let f1 = F1Model::new(uav.clone(), board.weight_g, task.sensor_fps);
+        let f1 = F1Model::new(uav.clone(), board.weight_g, task.sensor_fps).expect("valid payload");
         let comment = match f1.classify(eval.fps) {
             uav_dynamics::Provisioning::UnderProvisioned => "compute bound lowers Vsafe",
             uav_dynamics::Provisioning::Balanced => "balanced by accident",

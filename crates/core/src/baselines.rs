@@ -13,6 +13,7 @@
 use policy_nn::PolicyModel;
 use uav_dynamics::{F1Model, MissionReport, UavSpec};
 
+use crate::error::AutopilotError;
 use crate::spec::TaskSpec;
 
 /// A fixed (off-the-shelf or published) compute platform.
@@ -111,17 +112,22 @@ impl BaselineBoard {
 
     /// Full-system mission evaluation of this board flying `model` on
     /// `uav`.
+    ///
+    /// # Errors
+    ///
+    /// [`AutopilotError::UavModel`] when the board weight or the task's
+    /// sensor rate fail validation.
     pub fn evaluate(
         &self,
         uav: &UavSpec,
         task: &TaskSpec,
         model: &PolicyModel,
-    ) -> BaselineEvaluation {
+    ) -> Result<BaselineEvaluation, AutopilotError> {
         let fps = self.fps(model);
-        let f1 = F1Model::new(uav.clone(), self.weight_g, task.sensor_fps);
+        let f1 = F1Model::new(uav.clone(), self.weight_g, task.sensor_fps)?;
         let v_safe = f1.safe_velocity(fps);
-        let missions = task.mission.evaluate(uav, self.weight_g, v_safe, self.power_w);
-        BaselineEvaluation { board: self.clone(), fps, missions }
+        let missions = task.mission.evaluate_analysed(uav, f1.payload(), v_safe, self.power_w);
+        Ok(BaselineEvaluation { board: self.clone(), fps, missions })
     }
 }
 
@@ -173,10 +179,10 @@ mod tests {
         // AutoPilot-class 24 g payload.
         let task = TaskSpec::navigation(ObstacleDensity::Low);
         let tx2 = BaselineBoard::jetson_tx2();
-        let heavy = tx2.evaluate(&UavSpec::nano(), &task, &model());
+        let heavy = tx2.evaluate(&UavSpec::nano(), &task, &model()).unwrap();
         let mut light_board = tx2.clone();
         light_board.weight_g = 24.0;
-        let light = light_board.evaluate(&UavSpec::nano(), &task, &model());
+        let light = light_board.evaluate(&UavSpec::nano(), &task, &model()).unwrap();
         assert!(heavy.missions.missions > 0.0);
         assert!(
             heavy.missions.missions < 0.6 * light.missions.missions,
@@ -190,7 +196,7 @@ mod tests {
     fn mini_uav_carries_all_boards() {
         let task = TaskSpec::navigation(ObstacleDensity::Low);
         for board in BaselineBoard::figure5_set() {
-            let eval = board.evaluate(&UavSpec::mini(), &task, &model());
+            let eval = board.evaluate(&UavSpec::mini(), &task, &model()).unwrap();
             assert!(
                 eval.missions.missions > 0.0,
                 "{} flies zero missions on the mini-UAV",
@@ -202,11 +208,12 @@ mod tests {
     #[test]
     fn pulp_is_underprovisioned_but_light() {
         let task = TaskSpec::navigation(ObstacleDensity::Low);
-        let pulp = BaselineBoard::pulp_dronet().evaluate(&UavSpec::nano(), &task, &model());
+        let pulp =
+            BaselineBoard::pulp_dronet().evaluate(&UavSpec::nano(), &task, &model()).unwrap();
         // It flies (light), but slowly (6 FPS decision rate).
         assert!(pulp.missions.missions > 0.0);
         assert!(pulp.missions.v_safe_ms > 0.0);
-        let f1 = F1Model::new(UavSpec::nano(), 5.0, task.sensor_fps);
+        let f1 = F1Model::new(UavSpec::nano(), 5.0, task.sensor_fps).unwrap();
         assert!(pulp.missions.v_safe_ms < f1.velocity_ceiling() * 0.9);
     }
 }

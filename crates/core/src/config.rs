@@ -13,6 +13,7 @@
 
 use crate::phase2::Phase2;
 use crate::pipeline::AutopilotConfig;
+use crate::swap::SwapMode;
 use autopilot_obs as obs;
 use dse_opt::SurrogateMode;
 use systolic_sim::LayerMemo;
@@ -43,6 +44,10 @@ pub struct JobConfig {
     /// export per job, but it cannot turn tracing on for one job and
     /// off for a concurrent one within the same process.
     pub trace: bool,
+    /// Whether compute weight is enforced as an airframe SWaP constraint
+    /// ([`SwapMode::Constraint`]) or ignored (legacy scalar-payload
+    /// mode, the default).
+    pub swap: SwapMode,
 }
 
 impl JobConfig {
@@ -60,6 +65,7 @@ impl JobConfig {
             surrogate: None,
             layer_memo: LayerMemo::env_default_enabled(),
             trace: obs::trace::enabled(),
+            swap: SwapMode::from_env(),
         }
     }
 
@@ -91,6 +97,13 @@ impl JobConfig {
     /// Records whether this job wants per-event tracing.
     pub fn with_trace(mut self, enabled: bool) -> JobConfig {
         self.trace = enabled;
+        self
+    }
+
+    /// Sets the SWaP-constraint mode, overriding the startup
+    /// `AUTOPILOT_SWAP` default.
+    pub fn with_swap(mut self, mode: SwapMode) -> JobConfig {
+        self.swap = mode;
         self
     }
 
@@ -137,13 +150,15 @@ mod tests {
             .with_gp_window(128)
             .with_surrogate(SurrogateMode::Exact)
             .with_layer_memo(false)
-            .with_trace(false);
+            .with_trace(false)
+            .with_swap(SwapMode::Constraint);
         assert_eq!(cfg.threads, Some(3));
         assert_eq!(cfg.effective_threads(), 3);
         assert_eq!(cfg.gp_window, Some(128));
         assert_eq!(cfg.surrogate, Some(SurrogateMode::Exact));
         assert!(!cfg.layer_memo);
         assert!(!cfg.trace);
+        assert_eq!(cfg.swap, SwapMode::Constraint);
     }
 
     #[test]

@@ -56,6 +56,19 @@ pub enum AutopilotError {
         /// Underlying serializer message.
         message: String,
     },
+    /// A UAV physics model rejected its input (non-finite payload,
+    /// invalid sensor rate, malformed airframe).
+    UavModel(uav_dynamics::UavModelError),
+    /// The SWaP constraint rejected every otherwise-eligible candidate:
+    /// no design fits the airframe's weight class and stability margin.
+    SwapInfeasible {
+        /// UAV platform name.
+        uav: String,
+        /// Airframe name the candidates were checked against.
+        airframe: String,
+        /// How many eligible candidates the feasibility filter rejected.
+        rejected: usize,
+    },
 }
 
 impl fmt::Display for AutopilotError {
@@ -82,6 +95,12 @@ impl fmt::Display for AutopilotError {
             AutopilotError::Serialization { message } => {
                 write!(f, "serialization failed: {message}")
             }
+            AutopilotError::UavModel(e) => write!(f, "UAV model rejected its input: {e}"),
+            AutopilotError::SwapInfeasible { uav, airframe, rejected } => write!(
+                f,
+                "no candidate satisfies the SWaP constraint for {uav} on airframe {airframe} \
+                 ({rejected} eligible candidates rejected)"
+            ),
         }
     }
 }
@@ -92,6 +111,7 @@ impl Error for AutopilotError {
             AutopilotError::InvalidConfiguration(e) => Some(e),
             AutopilotError::Database(e) => Some(e),
             AutopilotError::Dse(e) => Some(e),
+            AutopilotError::UavModel(e) => Some(e),
             _ => None,
         }
     }
@@ -127,6 +147,12 @@ impl From<dse_opt::GpError> for AutopilotError {
     }
 }
 
+impl From<uav_dynamics::UavModelError> for AutopilotError {
+    fn from(e: uav_dynamics::UavModelError) -> Self {
+        AutopilotError::UavModel(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +171,22 @@ mod tests {
         assert!(e.to_string().contains("nsga-ii"));
         let e = AutopilotError::InvalidDesignPoint { point: vec![9, 9], reason: "too big".into() };
         assert!(e.to_string().contains("[9, 9]"));
+        let e = AutopilotError::SwapInfeasible {
+            uav: "nano".into(),
+            airframe: "tinywhoop-nano".into(),
+            rejected: 7,
+        };
+        assert!(e.to_string().contains("tinywhoop-nano"));
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn uav_model_error_converts() {
+        let source = uav_dynamics::validate_payload_g(f64::NAN).unwrap_err();
+        let e = AutopilotError::from(source);
+        assert!(matches!(e, AutopilotError::UavModel(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("finite"));
     }
 
     #[test]

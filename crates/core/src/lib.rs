@@ -54,6 +54,7 @@ pub mod registry;
 mod report;
 mod space;
 mod spec;
+mod swap;
 pub mod taxonomy;
 
 pub use baselines::{BaselineBoard, BaselineEvaluation};
@@ -71,3 +72,4 @@ pub use registry::{
 pub use report::{CandidateSummary, RunSummary};
 pub use space::{JointSpace, PE_CHOICES, SRAM_KB_CHOICES};
 pub use spec::TaskSpec;
+pub use swap::{SwapMode, SWAP_ENV};

@@ -13,6 +13,8 @@ use systolic_sim::{ArrayConfig, LayerMemo, MemoStats, Simulator};
 use crate::error::AutopilotError;
 use crate::registry::{self, OptimizerContext};
 use crate::space::JointSpace;
+use crate::swap::SwapMode;
+use uav_dynamics::Airframe;
 
 /// Which optimizer drives the DSE (the paper uses Bayesian optimization
 /// and lists the others as drop-in replacements).
@@ -83,6 +85,12 @@ pub struct DssocEvaluator {
     /// inserts; hits on entries another owner inserted count as
     /// cross-run hits. Zero for the single-run CLI path.
     owner: u64,
+    /// Whether compute weight is enforced as an airframe feasibility
+    /// constraint ([`SwapMode::Constraint`]) or ignored (legacy mode).
+    swap: SwapMode,
+    /// The airframe the SWaP constraint checks against; `None` outside
+    /// [`SwapMode::Constraint`].
+    airframe: Option<Arc<Airframe>>,
 }
 
 impl DssocEvaluator {
@@ -94,7 +102,48 @@ impl DssocEvaluator {
             power_model: SocPowerModel::new(),
             layer_memo: Arc::new(LayerMemo::new()),
             owner: 0,
+            swap: SwapMode::Off,
+            airframe: None,
         }
+    }
+
+    /// Returns a copy of this evaluator with the SWaP constraint set. In
+    /// [`SwapMode::Constraint`] every candidate whose compute payload is
+    /// structurally infeasible on `airframe` (weight-class cap or static
+    /// margin) is death-penalized: its objectives are replaced by the
+    /// reference point, so it never enters the Pareto front. In
+    /// [`SwapMode::Off`] the airframe is dropped and objectives are the
+    /// legacy bit-identical values.
+    pub fn with_swap(mut self, mode: SwapMode, airframe: Airframe) -> DssocEvaluator {
+        self.swap = mode;
+        self.airframe = mode.is_on().then(|| Arc::new(airframe));
+        self
+    }
+
+    /// The configured SWaP mode.
+    pub fn swap_mode(&self) -> SwapMode {
+        self.swap
+    }
+
+    /// The airframe the SWaP constraint checks against, when one is set.
+    pub fn airframe(&self) -> Option<&Airframe> {
+        self.airframe.as_deref()
+    }
+
+    /// The objective vector of an evaluated candidate:
+    /// `(1 - success rate, average SoC power W, inference latency s)`,
+    /// death-penalized to the reference point when the SWaP constraint
+    /// is on and the candidate's payload is structurally infeasible.
+    pub fn objectives(&self, c: &DesignCandidate) -> Vec<f64> {
+        if let Some(airframe) = self.airframe.as_deref() {
+            let feasible =
+                airframe.check_payload(c.payload_g).map(|f| f.feasible()).unwrap_or(false);
+            if !feasible {
+                obs::add("phase2.swap.penalized", 1);
+                return self.reference_point();
+            }
+        }
+        vec![1.0 - c.success_rate, c.soc_avg_w, c.latency_s]
     }
 
     /// The scenario this evaluator scores against.
@@ -224,7 +273,7 @@ impl Evaluator for DssocEvaluator {
 
     fn evaluate(&self, point: &[usize]) -> Result<Vec<f64>, EvalError> {
         let c = self.evaluate_design(point).map_err(to_eval_error)?;
-        Ok(vec![1.0 - c.success_rate, c.soc_avg_w, c.latency_s])
+        Ok(self.objectives(&c))
     }
 
     fn reference_point(&self) -> Vec<f64> {
@@ -417,7 +466,7 @@ impl Evaluator for CachingEvaluator<'_> {
 
     fn evaluate(&self, point: &[usize]) -> Result<Vec<f64>, EvalError> {
         let c = self.cache.evaluate(self.inner, point).map_err(to_eval_error)?;
-        Ok(vec![1.0 - c.success_rate, c.soc_avg_w, c.latency_s])
+        Ok(self.inner.objectives(&c))
     }
 
     fn reference_point(&self) -> Vec<f64> {
@@ -799,6 +848,35 @@ mod tests {
         assert_eq!(plain.result, controlled.result);
         assert_eq!(plain.candidates, controlled.candidates);
         assert!(control.evaluations() > 0, "checkpoints must publish progress");
+    }
+
+    #[test]
+    fn swap_constraint_death_penalizes_infeasible_payloads() {
+        let legacy = evaluator();
+        let swapped = evaluator().with_swap(SwapMode::Constraint, Airframe::nano());
+        assert_eq!(swapped.swap_mode(), SwapMode::Constraint);
+        assert!(swapped.airframe().is_some());
+        // Large array: payload far above the 50 g headroom of the 100 g
+        // nano cap -> penalized to the reference point.
+        let heavy = swapped.evaluate_design(&[5, 2, 5, 5, 3, 3, 3]).unwrap();
+        assert!(heavy.payload_g > 50.0, "test premise: payload {}", heavy.payload_g);
+        assert_eq!(swapped.objectives(&heavy), swapped.reference_point());
+        // The legacy evaluator reports the true objectives for the same
+        // candidate, and a feasible candidate is untouched in swap mode.
+        assert_ne!(legacy.objectives(&heavy), legacy.reference_point());
+        let light = swapped.evaluate_design(&[5, 2, 0, 0, 3, 3, 3]).unwrap();
+        assert!(light.payload_g < 50.0, "test premise: payload {}", light.payload_g);
+        assert_eq!(swapped.objectives(&light), legacy.objectives(&light));
+    }
+
+    #[test]
+    fn swap_off_drops_airframe_and_is_legacy_identical() {
+        let legacy = evaluator();
+        let off = evaluator().with_swap(SwapMode::Off, Airframe::nano());
+        assert!(off.airframe().is_none());
+        let c = off.evaluate_design(&[5, 2, 5, 5, 3, 3, 3]).unwrap();
+        assert_eq!(off.objectives(&c), legacy.objectives(&c));
+        assert_eq!(off.evaluate(&[5, 2, 5, 5, 3, 3, 3]), legacy.evaluate(&[5, 2, 5, 5, 3, 3, 3]));
     }
 
     #[test]

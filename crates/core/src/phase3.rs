@@ -2,7 +2,7 @@
 
 use autopilot_obs as obs;
 use soc_power::TechNode;
-use uav_dynamics::{F1Model, MissionReport, Provisioning, UavSpec};
+use uav_dynamics::{Airframe, F1Model, MissionReport, Provisioning, SwapFeasibility, UavSpec};
 
 use crate::error::AutopilotError;
 use crate::phase2::{DesignCandidate, DssocEvaluator, Phase2Output};
@@ -37,6 +37,9 @@ pub struct Phase3Selection {
     pub missions: MissionReport,
     /// Fine-tuning record when Phase 3 adjusted the design.
     pub fine_tuning: Option<FineTuning>,
+    /// SWaP feasibility of the selected design (mass, CG, static margin,
+    /// weight class); `None` in legacy scalar-payload mode.
+    pub swap: Option<SwapFeasibility>,
 }
 
 /// The domain-specific back end: filters Phase-2 candidates by success,
@@ -59,14 +62,19 @@ impl Phase3 {
     }
 
     /// Evaluates one candidate's mission performance on `uav`.
+    ///
+    /// # Errors
+    ///
+    /// [`AutopilotError::UavModel`] when the candidate's payload or the
+    /// task's sensor rate fail validation.
     pub fn mission_report(
         uav: &UavSpec,
         task: &TaskSpec,
         candidate: &DesignCandidate,
-    ) -> MissionReport {
-        let f1 = F1Model::new(uav.clone(), candidate.payload_g, task.sensor_fps);
+    ) -> Result<MissionReport, AutopilotError> {
+        let f1 = F1Model::new(uav.clone(), candidate.payload_g, task.sensor_fps)?;
         let v = f1.safe_velocity(candidate.fps);
-        task.mission.evaluate(uav, candidate.payload_g, v, candidate.soc_avg_w)
+        Ok(task.mission.evaluate_analysed(uav, f1.payload(), v, candidate.soc_avg_w))
     }
 
     /// Selects the mission-optimal design from Phase-2's output.
@@ -78,6 +86,11 @@ impl Phase3 {
     ///   the best observed rate).
     /// * [`AutopilotError::NoFlyableDesign`] when every candidate grounds
     ///   the UAV or has zero safe velocity.
+    /// * [`AutopilotError::SwapInfeasible`] when the evaluator runs in
+    ///   [`SwapMode::Constraint`](crate::SwapMode::Constraint) and the
+    ///   airframe feasibility filter rejects every eligible candidate
+    ///   (rejections are counted on `phase3.swap.rejected` and
+    ///   `phase3.swap.rejected.<kind>`).
     pub fn select(
         &self,
         uav: &UavSpec,
@@ -113,11 +126,48 @@ impl Phase3 {
             }
         }
 
+        // SWaP feasibility filter: in constraint mode every eligible
+        // candidate's compute payload must close on the airframe (weight
+        // class, static margin, lift budget) before knee-point selection.
+        let swap_airframe: Option<Airframe> = evaluator.swap_mode().is_on().then(|| {
+            evaluator
+                .airframe()
+                .cloned()
+                .or_else(|| uav.airframe.clone())
+                .unwrap_or_else(|| Airframe::default_for(uav.class))
+        });
+        if let Some(airframe) = &swap_airframe {
+            let mut feasible: Vec<&DesignCandidate> = Vec::with_capacity(eligible.len());
+            let mut rejected = 0usize;
+            for &c in &eligible {
+                obs::add("phase3.swap.checked", 1);
+                let check = airframe.check_payload_on(uav, c.payload_g)?;
+                if check.feasible() {
+                    obs::add("phase3.swap.feasible", 1);
+                    feasible.push(c);
+                } else {
+                    rejected += 1;
+                    obs::add("phase3.swap.rejected", 1);
+                    for v in &check.violations {
+                        obs::add(&format!("phase3.swap.rejected.{}", v.kind()), 1);
+                    }
+                }
+            }
+            if feasible.is_empty() {
+                return Err(AutopilotError::SwapInfeasible {
+                    uav: uav.name.clone(),
+                    airframe: airframe.name().to_owned(),
+                    rejected,
+                });
+            }
+            eligible = feasible;
+        }
+
         // Full-system evaluation: missions per charge for each candidate.
-        let scored: Vec<(f64, &DesignCandidate)> = eligible
-            .into_iter()
-            .map(|c| (Self::mission_report(uav, task, c).missions, c))
-            .collect();
+        let mut scored: Vec<(f64, &DesignCandidate)> = Vec::with_capacity(eligible.len());
+        for c in eligible {
+            scored.push((Self::mission_report(uav, task, c)?.missions, c));
+        }
         let (best_missions, best) = scored
             .iter()
             .max_by(|a, b| a.0.total_cmp(&b.0))
@@ -131,25 +181,41 @@ impl Phase3 {
         let mut fine_tuning = None;
         if self.enable_fine_tuning {
             if let Some(tuned) = self.fine_tune(uav, task, &selected, evaluator) {
-                obs::add("phase3.fine_tuned", 1);
-                fine_tuning = Some(FineTuning {
-                    clock_mhz: tuned.config.clock_mhz(),
-                    node: TechNode::N28,
-                    missions_before: best_missions,
-                    missions_after: Self::mission_report(uav, task, &tuned).missions,
-                });
-                selected = tuned;
+                // In constraint mode a tuned design must stay feasible;
+                // otherwise keep the untuned selection.
+                let tuned_feasible = match &swap_airframe {
+                    Some(af) => af
+                        .check_payload_on(uav, tuned.payload_g)
+                        .map(|f| f.feasible())
+                        .unwrap_or(false),
+                    None => true,
+                };
+                if tuned_feasible {
+                    obs::add("phase3.fine_tuned", 1);
+                    fine_tuning = Some(FineTuning {
+                        clock_mhz: tuned.config.clock_mhz(),
+                        node: TechNode::N28,
+                        missions_before: best_missions,
+                        missions_after: Self::mission_report(uav, task, &tuned)?.missions,
+                    });
+                    selected = tuned;
+                }
             }
         }
 
-        let f1 = F1Model::new(uav.clone(), selected.payload_g, task.sensor_fps);
-        let missions = Self::mission_report(uav, task, &selected);
+        let swap = match &swap_airframe {
+            Some(af) => Some(af.check_payload_on(uav, selected.payload_g)?),
+            None => None,
+        };
+        let f1 = F1Model::new(uav.clone(), selected.payload_g, task.sensor_fps)?;
+        let missions = Self::mission_report(uav, task, &selected)?;
         Ok(Phase3Selection {
             knee_fps: f1.knee_fps(),
             provisioning: f1.classify(selected.fps),
             missions,
             candidate: selected,
             fine_tuning,
+            swap,
         })
     }
 
@@ -163,7 +229,7 @@ impl Phase3 {
         candidate: &DesignCandidate,
         evaluator: &DssocEvaluator,
     ) -> Option<DesignCandidate> {
-        let f1 = F1Model::new(uav.clone(), candidate.payload_g, task.sensor_fps);
+        let f1 = F1Model::new(uav.clone(), candidate.payload_g, task.sensor_fps).ok()?;
         let knee = f1.knee_fps()?;
         if candidate.fps <= 0.0 {
             return None;
@@ -180,8 +246,8 @@ impl Phase3 {
             tuned_config,
             TechNode::N28,
         );
-        let before = Self::mission_report(uav, task, candidate).missions;
-        let after = Self::mission_report(uav, task, &tuned).missions;
+        let before = Self::mission_report(uav, task, candidate).ok()?.missions;
+        let after = Self::mission_report(uav, task, &tuned).ok()?.missions;
         // Keep the knee-balanced design when it gains missions, or when an
         // over-provisioned design can move to the knee at a near-tie while
         // shedding power/weight (the paper's notion of a balanced DSSoC
@@ -222,7 +288,7 @@ mod tests {
         let threshold = task.min_success_rate.max(out.best_success() - 0.02);
         for c in &out.candidates {
             if c.success_rate >= threshold {
-                let m = Phase3::mission_report(&uav, &task, c).missions;
+                let m = Phase3::mission_report(&uav, &task, c).unwrap().missions;
                 assert!(
                     sel.missions.missions >= m * 0.97,
                     "candidate with {m:.1} missions beats selection {:.1}",
@@ -252,6 +318,56 @@ mod tests {
         let task = TaskSpec::navigation(ObstacleDensity::Low);
         let err = Phase3::new().select(&uav, &task, &out, &ev).unwrap_err();
         assert!(matches!(err, AutopilotError::NoFlyableDesign { .. }));
+    }
+
+    #[test]
+    fn legacy_mode_reports_no_swap_feasibility() {
+        let (ev, out) = setup(ObstacleDensity::Dense);
+        let uav = UavSpec::nano();
+        let task = TaskSpec::navigation(ObstacleDensity::Dense);
+        let sel = Phase3::new().select(&uav, &task, &out, &ev).unwrap();
+        assert!(sel.swap.is_none());
+    }
+
+    #[test]
+    fn swap_mode_filters_and_reports_feasibility() {
+        use crate::swap::SwapMode;
+        let (ev, out) = setup(ObstacleDensity::Dense);
+        let ev = ev.with_swap(SwapMode::Constraint, uav_dynamics::Airframe::nano());
+        let uav = UavSpec::nano();
+        let task = TaskSpec::navigation(ObstacleDensity::Dense);
+        let sel = Phase3::new().select(&uav, &task, &out, &ev).unwrap();
+        let swap = sel.swap.expect("constraint mode records feasibility");
+        assert!(swap.feasible(), "selected design must be feasible: {:?}", swap.violations);
+        // Nano build + feasible payload stays under the 100 g nano cap.
+        assert!(swap.total_mass_g <= 100.0);
+        assert!(swap.static_margin >= uav_dynamics::MIN_STATIC_MARGIN);
+    }
+
+    #[test]
+    fn swap_mode_errors_when_nothing_fits() {
+        use crate::swap::SwapMode;
+        let (ev, out) = setup(ObstacleDensity::Dense);
+        // A deliberately unstable airframe: every payload is rejected.
+        let tail = uav_dynamics::Component::new(
+            "tail-battery",
+            uav_dynamics::ComponentKind::Battery,
+            100.0,
+            [-80.0, 0.0, 0.0],
+        )
+        .unwrap();
+        let unstable = uav_dynamics::Airframe::new("tail-heavy", 0.0, 100.0, vec![tail]).unwrap();
+        let ev = ev.with_swap(SwapMode::Constraint, unstable);
+        let uav = UavSpec::nano();
+        let task = TaskSpec::navigation(ObstacleDensity::Dense);
+        let err = Phase3::new().select(&uav, &task, &out, &ev).unwrap_err();
+        match err {
+            AutopilotError::SwapInfeasible { airframe, rejected, .. } => {
+                assert_eq!(airframe, "tail-heavy");
+                assert!(rejected > 0);
+            }
+            other => panic!("expected SwapInfeasible, got {other}"),
+        }
     }
 
     #[test]

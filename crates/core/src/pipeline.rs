@@ -14,6 +14,8 @@ use crate::phase1::{Phase1, SuccessModel};
 use crate::phase2::{DssocEvaluator, OptimizerChoice, Phase2, Phase2Output};
 use crate::phase3::{Phase3, Phase3Selection};
 use crate::spec::TaskSpec;
+use crate::swap::SwapMode;
+use uav_dynamics::Airframe;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -210,6 +212,25 @@ impl AutoPilot {
         &self.config
     }
 
+    /// The effective SWaP mode of this pipeline: the job's explicit
+    /// knob when one is set, else the startup `AUTOPILOT_SWAP` default.
+    fn swap_mode(&self) -> SwapMode {
+        self.job.as_ref().map(|j| j.swap).unwrap_or_else(SwapMode::from_env)
+    }
+
+    /// Applies the SWaP constraint to an evaluator for `uav`: in
+    /// constraint mode the check runs against the UAV's own airframe
+    /// when one was built, else the default build of its class.
+    fn apply_swap(&self, ev: DssocEvaluator, uav: &UavSpec) -> DssocEvaluator {
+        let swap = self.swap_mode();
+        if swap.is_on() {
+            let airframe = uav.airframe.clone().unwrap_or_else(|| Airframe::default_for(uav.class));
+            ev.with_swap(swap, airframe)
+        } else {
+            ev
+        }
+    }
+
     /// Runs all three phases for one (UAV, task) pair.
     ///
     /// `selection` is `None` when Phase 3 found no flyable design (see
@@ -238,14 +259,18 @@ impl AutoPilot {
         // Phase 2: multi-objective DSE.
         let evaluator = {
             let ev = DssocEvaluator::new(db.clone(), task.density);
-            match &self.job {
+            let ev = match &self.job {
                 Some(job) => ev.with_layer_memo(job.layer_memo),
                 None => ev,
-            }
+            };
+            self.apply_swap(ev, uav)
         };
-        // GP knobs change the search trajectory; a job that deviates
-        // from the defaults must bypass the knob-agnostic scenario cache.
-        let cacheable = self.job.is_none_or(|j| j.gp_window.is_none() && j.surrogate.is_none());
+        // GP knobs change the search trajectory, and the SWaP constraint
+        // makes Phase-2 objectives depend on the UAV's airframe; a job
+        // that deviates from the defaults must bypass the knob-agnostic,
+        // UAV-agnostic scenario cache.
+        let cacheable = !self.swap_mode().is_on()
+            && self.job.is_none_or(|j| j.gp_window.is_none() && j.surrogate.is_none());
         let phase2 = match &self.cache {
             Some(cache) if cacheable => {
                 cache.phase2_output(&self.config, &evaluator, self.threads)?
@@ -295,7 +320,8 @@ impl AutoPilot {
             Some(s) => Ok(s),
             None => {
                 // Re-derive the typed error (run() keeps only its text).
-                let evaluator = DssocEvaluator::new(result.database, task.density);
+                let evaluator =
+                    self.apply_swap(DssocEvaluator::new(result.database, task.density), uav);
                 let phase3 = if self.config.fine_tuning {
                     Phase3::new()
                 } else {
@@ -399,6 +425,33 @@ mod tests {
         assert_eq!(stats.misses, 1, "phase 2 must run once for a shared scenario");
         assert_eq!(stats.hits, 1);
         assert_eq!(nano.phase2.candidates, micro.phase2.candidates);
+    }
+
+    #[test]
+    fn swap_job_produces_feasible_selection_and_bypasses_cache() {
+        let task = TaskSpec::navigation(ObstacleDensity::Dense);
+        let cache = Arc::new(PipelineCache::new());
+        let config =
+            AutopilotConfig::fast(5).with_optimizer(OptimizerChoice::Random).with_budget(24);
+        let job = JobConfig::from_env().with_swap(SwapMode::Constraint);
+        let pilot = AutoPilot::new(config).with_cache(Arc::clone(&cache)).with_job_config(job);
+        let uav = UavSpec::nano().with_airframe(Airframe::nano());
+        let result = pilot.run(&uav, &task).expect("pipeline runs");
+        let sel = result.selection.expect("swap-mode selection");
+        let swap = sel.swap.expect("constraint mode records feasibility");
+        assert!(swap.feasible());
+        assert!(sel.candidate.payload_g <= 50.0, "payload must fit the 100 g nano cap");
+        // The UAV-agnostic scenario cache must not serve swap-mode runs.
+        assert_eq!(cache.phase2_stats().hits + cache.phase2_stats().misses, 0);
+        // An explicit Off job stays on the legacy path and caches.
+        let legacy_job = JobConfig::from_env().with_swap(SwapMode::Off);
+        let legacy = AutoPilot::new(config)
+            .with_cache(Arc::clone(&cache))
+            .with_job_config(legacy_job)
+            .run(&UavSpec::nano(), &task)
+            .expect("pipeline runs");
+        assert!(legacy.selection.expect("legacy selection").swap.is_none());
+        assert_eq!(cache.phase2_stats().misses, 1);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! The SWaP-constraint knob: whether Phase 2/3 treat compute weight as
+//! a first-class airframe feasibility constraint (`AUTOPILOT_SWAP`).
+
+/// Environment variable selecting the SWaP-constraint mode for the
+/// pipeline. Accepted values:
+///
+/// | value                          | meaning                                 |
+/// |--------------------------------|-----------------------------------------|
+/// | *(unset)*, `0`, `off`, `false` | legacy scalar-payload mode (default)    |
+/// | `1`, `on`, `true`, `constraint`| airframe CG/stability/weight constraint |
+pub const SWAP_ENV: &str = "AUTOPILOT_SWAP";
+
+/// Whether the pipeline enforces component-level SWaP feasibility.
+///
+/// In [`SwapMode::Off`] (the default) the payload is the legacy scalar
+/// weight and results are bit-identical to the pre-airframe pipeline.
+/// In [`SwapMode::Constraint`], Phase 2 applies a death penalty to
+/// candidates whose compute payload violates the airframe's weight-class
+/// cap or static-stability margin (their objectives are replaced by the
+/// reference point, so they never enter the Pareto front), and Phase 3
+/// filters the eligible set through the full CG/stability/lift
+/// feasibility check before knee-point selection.
+///
+/// Weight stays a *constraint* rather than a fourth objective: the
+/// hypervolume machinery (and the SMS-EGO contribution scorer built on
+/// it) is specified for at most three objectives, and a death penalty
+/// preserves determinism and cache-shareability of the evaluations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SwapMode {
+    /// Legacy scalar-payload mode; bit-identical to the pre-airframe
+    /// pipeline.
+    #[default]
+    Off,
+    /// Weight/CG/stability enforced as an explicit Phase-2 constraint
+    /// and Phase-3 feasibility filter.
+    Constraint,
+}
+
+impl SwapMode {
+    /// Reads the mode from [`SWAP_ENV`]; unset or unparsable values fall
+    /// back to [`SwapMode::Off`] (with a warn-level obs event for the
+    /// unparsable case).
+    ///
+    /// The variable is captured **once per process** (via
+    /// [`autopilot_obs::env_once`]); later env mutations warn once and
+    /// are otherwise ignored. Per-job swap modes go through
+    /// [`JobConfig::with_swap`](crate::JobConfig::with_swap) instead.
+    pub fn from_env() -> SwapMode {
+        static CACHED: std::sync::OnceLock<SwapMode> = std::sync::OnceLock::new();
+        let raw = autopilot_obs::env_once(SWAP_ENV);
+        *CACHED.get_or_init(|| {
+            let raw = match raw {
+                Some(v) => v,
+                None => return SwapMode::Off,
+            };
+            match SwapMode::parse(&raw) {
+                Some(mode) => mode,
+                None => {
+                    autopilot_obs::obs_warn!(
+                        "swap: {SWAP_ENV}={raw:?} is not a recognized SWaP mode; \
+                         staying in legacy scalar-payload mode"
+                    );
+                    SwapMode::Off
+                }
+            }
+        })
+    }
+
+    /// Parses the [`SWAP_ENV`] grammar; `None` for unrecognized input.
+    pub fn parse(raw: &str) -> Option<SwapMode> {
+        let v = raw.trim().to_ascii_lowercase();
+        match v.as_str() {
+            "" | "0" | "off" | "false" => Some(SwapMode::Off),
+            "1" | "on" | "true" | "constraint" => Some(SwapMode::Constraint),
+            _ => None,
+        }
+    }
+
+    /// True in [`SwapMode::Constraint`].
+    pub fn is_on(&self) -> bool {
+        matches!(self, SwapMode::Constraint)
+    }
+
+    /// Stable lower-case identifier (for job specs and reports).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SwapMode::Off => "off",
+            SwapMode::Constraint => "constraint",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_grammar() {
+        for v in ["", "0", "off", "false", " OFF ", "False"] {
+            assert_eq!(SwapMode::parse(v), Some(SwapMode::Off), "{v:?}");
+        }
+        for v in ["1", "on", "true", "constraint", " Constraint "] {
+            assert_eq!(SwapMode::parse(v), Some(SwapMode::Constraint), "{v:?}");
+        }
+        for v in ["2", "objective", "yes!", "swap"] {
+            assert_eq!(SwapMode::parse(v), None, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn default_is_off() {
+        assert_eq!(SwapMode::default(), SwapMode::Off);
+        assert!(!SwapMode::Off.is_on());
+        assert!(SwapMode::Constraint.is_on());
+        assert_eq!(SwapMode::Off.as_str(), "off");
+        assert_eq!(SwapMode::Constraint.as_str(), "constraint");
+    }
+}

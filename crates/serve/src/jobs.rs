@@ -29,7 +29,7 @@
 use air_sim::{AirLearningDatabase, ObstacleDensity};
 use autopilot::{
     AutopilotResult, CandidateCache, DssocEvaluator, JobConfig, Phase1, Phase3, RunSummary,
-    SuccessModel, TaskSpec,
+    SuccessModel, SwapMode, TaskSpec,
 };
 use autopilot_obs as obs;
 use autopilot_obs::json::Value;
@@ -38,7 +38,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use systolic_sim::LayerMemo;
-use uav_dynamics::UavSpec;
+use uav_dynamics::{Airframe, UavSpec};
 
 /// Largest accepted Phase-2 budget per job (admission-time guard
 /// against a single request monopolizing the pool).
@@ -126,6 +126,18 @@ impl JobSpec {
             None | Some(Value::Null) => {}
             Some(Value::Bool(b)) => config = config.with_layer_memo(*b),
             Some(_) => return Err("`layer_memo` must be a boolean".into()),
+        }
+        match root.get("swap") {
+            None | Some(Value::Null) => {}
+            Some(Value::Str(s)) => match SwapMode::parse(s) {
+                Some(mode) => config = config.with_swap(mode),
+                None => {
+                    return Err(format!(
+                        "unknown `swap` {s:?}; expected off (0/false) or constraint (1/on/true)"
+                    ));
+                }
+            },
+            Some(_) => return Err("`swap` must be a string".into()),
         }
         Ok(JobSpec { uav, scenario, budget, optimizer, seed, config })
     }
@@ -514,13 +526,20 @@ fn run_pipeline(caches: &SharedCaches, job: &Job) -> Result<String, String> {
     let spec = &job.spec;
     let model = SuccessModel::Surrogate;
     let db = caches.phase1_database(spec.scenario, model, spec.seed);
+    let uav = uav_spec(&spec.uav).ok_or_else(|| format!("unknown uav class {:?}", spec.uav))?;
 
-    let evaluator = if spec.config.layer_memo {
+    let mut evaluator = if spec.config.layer_memo {
         DssocEvaluator::new(db.clone(), spec.scenario)
             .with_shared_layer_memo(caches.layer_memo(), job.id)
     } else {
         DssocEvaluator::new(db.clone(), spec.scenario).with_layer_memo(false)
     };
+    if spec.config.swap.is_on() {
+        // Same airframe resolution as the CLI path: the job's platform
+        // class picks the default catalog build.
+        let airframe = uav.airframe.clone().unwrap_or_else(|| Airframe::default_for(uav.class));
+        evaluator = evaluator.with_swap(spec.config.swap, airframe);
+    }
     // The shared cache is keyed by evaluator identity; owner tags come
     // from the evaluator, so hits on other jobs' entries are counted as
     // cross-run traffic.
@@ -534,7 +553,6 @@ fn run_pipeline(caches: &SharedCaches, job: &Job) -> Result<String, String> {
         .run_with_cache_controlled(&evaluator, &cache, &job.control)
         .map_err(|e| e.to_string())?;
 
-    let uav = uav_spec(&spec.uav).ok_or_else(|| format!("unknown uav class {:?}", spec.uav))?;
     let task = TaskSpec::navigation(spec.scenario);
     let selection = Phase3::new().select(&uav, &task, &phase2, &evaluator);
     let result = AutopilotResult {
@@ -589,10 +607,53 @@ mod tests {
                 r#"{"uav_class": "nano", "scenario": "low", "budget": 12, "optimizer": "random-search", "threads": 0}"#,
                 "threads",
             ),
+            (
+                r#"{"uav_class": "nano", "scenario": "low", "budget": 12, "optimizer": "random-search", "swap": "sideways"}"#,
+                "swap",
+            ),
+            (
+                r#"{"uav_class": "nano", "scenario": "low", "budget": 12, "optimizer": "random-search", "swap": 3}"#,
+                "swap",
+            ),
         ] {
             let err = JobSpec::parse(body, defaults()).unwrap_err();
             assert!(err.contains(needle), "{body} -> {err}");
         }
+    }
+
+    #[test]
+    fn swap_field_selects_constraint_mode() {
+        let body = r#"{"uav_class": "nano", "scenario": "low", "budget": 12,
+                       "optimizer": "random-search", "seed": 3, "swap": "constraint"}"#;
+        let spec = JobSpec::parse(body, defaults()).unwrap();
+        assert_eq!(spec.config.swap, SwapMode::Constraint);
+        // Absent field keeps the startup default.
+        let spec = JobSpec::parse(VALID, defaults()).unwrap();
+        assert_eq!(spec.config.swap, defaults().swap);
+    }
+
+    #[test]
+    fn swap_job_matches_cli_path_and_reports_feasibility() {
+        let body = r#"{"uav_class": "nano", "scenario": "low", "budget": 24,
+                       "optimizer": "random-search", "seed": 5, "swap": "on"}"#;
+        let mgr = JobManager::new(4, defaults());
+        let job = mgr.submit(body).unwrap();
+        mgr.execute(&job);
+        assert_eq!(job.state(), JobState::Completed, "error: {:?}", job.error());
+        let via_server = job.result_json().unwrap();
+
+        let config = autopilot::AutopilotConfig::fast(5)
+            .with_budget(24)
+            .with_optimizer(autopilot::OptimizerChoice::Random);
+        let pilot = autopilot::AutoPilot::new(config)
+            .with_job_config(defaults().with_swap(SwapMode::Constraint));
+        let result =
+            pilot.run(&UavSpec::nano(), &TaskSpec::navigation(ObstacleDensity::Low)).unwrap();
+        let selection = result.selection.as_ref().expect("swap run selects a design");
+        let swap = selection.swap.as_ref().expect("swap mode reports feasibility");
+        assert!(swap.feasible(), "selected design must satisfy the SWaP check");
+        let via_cli = RunSummary::from_result(&result).to_json().unwrap();
+        assert_eq!(via_server, via_cli, "swap jobs must be bit-identical to the CLI path");
     }
 
     #[test]

@@ -1,0 +1,675 @@
+//! Component-level airframe model: mass budget, center of gravity,
+//! static stability, and regulatory weight class.
+//!
+//! The arXiv AutoPilot variant frames the whole co-design problem as
+//! SWaP-constrained: a DSSoC is only deployable if the airframe that
+//! carries it closes on mass, balance, and the regulatory weight band
+//! the operator certified for. This module replaces the scalar
+//! payload-weight view with a catalog of real components (autopilot
+//! boards, compute modules, sensors, motors, ESCs, batteries), each
+//! with a mass and a 3-D mount position, composed into an [`Airframe`]
+//! that reports:
+//!
+//! * **total mass** — the component sum;
+//! * **center of gravity** — the mass-weighted mean position;
+//! * **static margin** — `(x_cg - x_np) / chord` with `x` positive
+//!   forward: the CG must sit ahead of the neutral point by at least
+//!   [`MIN_STATIC_MARGIN`] of the reference chord or the vehicle is
+//!   divergent in pitch;
+//! * **weight class** — the regulatory band of the takeoff mass
+//!   (nano / sub-250 g / micro / mini).
+//!
+//! A compute payload is mounted *at the current CG* (the payload rail
+//! sits on the balance point by design), so adding compute never moves
+//! the CG or the static margin — feasibility of a loaded airframe is
+//! therefore monotone in payload mass: only the weight-class cap and
+//! the lift budget can be violated by a heavier SoC.
+
+use crate::error::{validate_payload_g, UavModelError};
+use crate::payload::PayloadAnalysis;
+use crate::spec::{UavClass, UavSpec};
+use std::fmt;
+
+/// Minimum acceptable static margin, as a fraction of the reference
+/// chord (2 %): below this the airframe is pitch-divergent.
+pub const MIN_STATIC_MARGIN: f64 = 0.02;
+
+/// What a component is, for catalog bookkeeping and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentKind {
+    /// Flight-controller / autopilot board.
+    Autopilot,
+    /// Compute module (the DSSoC payload AutoPilot designs).
+    Compute,
+    /// Camera, GPS, rangefinder, flow deck, ...
+    Sensor,
+    /// Brushless motor.
+    Motor,
+    /// Electronic speed controller.
+    Esc,
+    /// Battery pack.
+    Battery,
+    /// Structure: frame, canopy, wiring, landing gear.
+    Frame,
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComponentKind::Autopilot => "autopilot",
+            ComponentKind::Compute => "compute",
+            ComponentKind::Sensor => "sensor",
+            ComponentKind::Motor => "motor",
+            ComponentKind::Esc => "esc",
+            ComponentKind::Battery => "battery",
+            ComponentKind::Frame => "frame",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One physical part: a name, a kind, a mass, and where it is mounted.
+///
+/// Positions are millimetres in the body frame: `x` positive forward,
+/// `y` positive right, `z` positive up, origin at the geometric centre
+/// of the motor layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Part name (catalog id).
+    pub name: String,
+    /// What the part is.
+    pub kind: ComponentKind,
+    /// Mass in grams.
+    pub mass_g: f64,
+    /// Mount position `[x, y, z]` in millimetres.
+    pub position_mm: [f64; 3],
+}
+
+impl Component {
+    /// A validated component: mass finite and non-negative, position
+    /// finite.
+    ///
+    /// # Errors
+    ///
+    /// [`UavModelError::InvalidComponent`] naming the offending field.
+    pub fn new(
+        name: impl Into<String>,
+        kind: ComponentKind,
+        mass_g: f64,
+        position_mm: [f64; 3],
+    ) -> Result<Component, UavModelError> {
+        let name = name.into();
+        if !mass_g.is_finite() || mass_g < 0.0 {
+            return Err(UavModelError::InvalidComponent {
+                name,
+                reason: format!("mass must be finite and non-negative, got {mass_g} g"),
+            });
+        }
+        if position_mm.iter().any(|p| !p.is_finite()) {
+            return Err(UavModelError::InvalidComponent {
+                name,
+                reason: format!("position must be finite, got {position_mm:?}"),
+            });
+        }
+        Ok(Component { name, kind, mass_g, position_mm })
+    }
+}
+
+/// Catalog constructor for statically known-valid parts.
+fn part(name: &str, kind: ComponentKind, mass_g: f64, position_mm: [f64; 3]) -> Component {
+    Component { name: name.to_owned(), kind, mass_g, position_mm }
+}
+
+/// Regulatory weight class of a takeoff mass.
+///
+/// The bands follow the common small-UAS ladder: nano toys below
+/// 100 g, the registration-free sub-250 g band, micro up to 900 g,
+/// and mini (kg-class) above that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightClass {
+    /// Takeoff mass <= 100 g.
+    Nano,
+    /// 100 g < takeoff mass <= 250 g (the registration-free band).
+    Sub250,
+    /// 250 g < takeoff mass <= 900 g.
+    Micro,
+    /// Takeoff mass above 900 g (capped at 25 kg for small UAS).
+    Mini,
+}
+
+impl WeightClass {
+    /// All classes, lightest first.
+    pub const ALL: [WeightClass; 4] =
+        [WeightClass::Nano, WeightClass::Sub250, WeightClass::Micro, WeightClass::Mini];
+
+    /// The class of a takeoff mass. Boundaries are inclusive on the
+    /// lighter side: exactly 250.0 g is still [`WeightClass::Sub250`].
+    pub fn classify(mass_g: f64) -> WeightClass {
+        if mass_g <= 100.0 {
+            WeightClass::Nano
+        } else if mass_g <= 250.0 {
+            WeightClass::Sub250
+        } else if mass_g <= 900.0 {
+            WeightClass::Micro
+        } else {
+            WeightClass::Mini
+        }
+    }
+
+    /// Maximum takeoff mass of this class, grams.
+    pub fn max_takeoff_g(&self) -> f64 {
+        match self {
+            WeightClass::Nano => 100.0,
+            WeightClass::Sub250 => 250.0,
+            WeightClass::Micro => 900.0,
+            WeightClass::Mini => 25_000.0,
+        }
+    }
+
+    /// Stable lower-case identifier (used in result files and obs
+    /// counter names).
+    pub fn id(&self) -> &'static str {
+        match self {
+            WeightClass::Nano => "nano",
+            WeightClass::Sub250 => "sub250",
+            WeightClass::Micro => "micro",
+            WeightClass::Mini => "mini",
+        }
+    }
+}
+
+impl fmt::Display for WeightClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// A composed airframe: components plus the longitudinal geometry
+/// needed for the static-stability check.
+///
+/// The *design class* is the weight class of the dry (payload-free)
+/// build, frozen at construction: it is the band the operator
+/// certified the airframe for, so a compute payload that pushes the
+/// takeoff mass past the design class's cap is a feasibility
+/// violation, not a silent re-classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Airframe {
+    name: String,
+    components: Vec<Component>,
+    /// Longitudinal neutral point, mm (x positive forward).
+    neutral_point_mm: f64,
+    /// Reference chord for the static margin, mm.
+    reference_chord_mm: f64,
+    design_class: WeightClass,
+}
+
+impl Airframe {
+    /// A validated airframe.
+    ///
+    /// # Errors
+    ///
+    /// [`UavModelError::InvalidAirframe`] when `components` is empty,
+    /// total mass is not strictly positive, or the geometry is not
+    /// finite with a positive chord.
+    pub fn new(
+        name: impl Into<String>,
+        neutral_point_mm: f64,
+        reference_chord_mm: f64,
+        components: Vec<Component>,
+    ) -> Result<Airframe, UavModelError> {
+        let name = name.into();
+        if components.is_empty() {
+            return Err(UavModelError::InvalidAirframe { name, reason: "no components".into() });
+        }
+        let total: f64 = components.iter().map(|c| c.mass_g).sum();
+        if total <= 0.0 {
+            return Err(UavModelError::InvalidAirframe {
+                name,
+                reason: format!("total mass must be positive, got {total} g"),
+            });
+        }
+        if !neutral_point_mm.is_finite()
+            || !reference_chord_mm.is_finite()
+            || reference_chord_mm <= 0.0
+        {
+            return Err(UavModelError::InvalidAirframe {
+                name,
+                reason: format!(
+                    "geometry must be finite with a positive chord, got neutral point \
+                     {neutral_point_mm} mm, chord {reference_chord_mm} mm"
+                ),
+            });
+        }
+        let design_class = WeightClass::classify(total);
+        Ok(Airframe { name, components, neutral_point_mm, reference_chord_mm, design_class })
+    }
+
+    /// Airframe name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The component list.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// The weight class this airframe was designed (and certified) to.
+    pub fn design_class(&self) -> WeightClass {
+        self.design_class
+    }
+
+    /// Longitudinal neutral point, mm.
+    pub fn neutral_point_mm(&self) -> f64 {
+        self.neutral_point_mm
+    }
+
+    /// Reference chord for the static margin, mm.
+    pub fn reference_chord_mm(&self) -> f64 {
+        self.reference_chord_mm
+    }
+
+    /// Total mass in grams: the component sum.
+    pub fn total_mass_g(&self) -> f64 {
+        self.components.iter().map(|c| c.mass_g).sum()
+    }
+
+    /// Center of gravity `[x, y, z]` in mm: the mass-weighted mean of
+    /// the component positions.
+    pub fn cg_mm(&self) -> [f64; 3] {
+        let total = self.total_mass_g();
+        let mut cg = [0.0; 3];
+        for c in &self.components {
+            for (axis, p) in cg.iter_mut().zip(c.position_mm) {
+                *axis += c.mass_g * p;
+            }
+        }
+        for axis in &mut cg {
+            *axis /= total;
+        }
+        cg
+    }
+
+    /// Static stability margin as a fraction of the reference chord:
+    /// `(x_cg - x_np) / chord`, positive when the CG sits ahead of the
+    /// neutral point (stable).
+    pub fn static_margin(&self) -> f64 {
+        (self.cg_mm()[0] - self.neutral_point_mm) / self.reference_chord_mm
+    }
+
+    /// Regulatory weight class of the *current* total mass (the design
+    /// class is [`Airframe::design_class`]).
+    pub fn weight_class(&self) -> WeightClass {
+        WeightClass::classify(self.total_mass_g())
+    }
+
+    /// Adds a component. The design class stays frozen at the dry
+    /// build's class.
+    pub fn with_component(mut self, component: Component) -> Airframe {
+        self.components.push(component);
+        self
+    }
+
+    /// This airframe carrying `payload_g` grams of compute, mounted at
+    /// the current CG (so balance and static margin are unchanged).
+    ///
+    /// # Errors
+    ///
+    /// [`UavModelError::NonFinitePayload`] /
+    /// [`UavModelError::NegativePayload`] for invalid masses.
+    pub fn with_compute_payload(&self, payload_g: f64) -> Result<Airframe, UavModelError> {
+        let payload_g = validate_payload_g(payload_g)?;
+        let cg = self.cg_mm();
+        Ok(self.clone().with_component(Component {
+            name: "compute-payload".to_owned(),
+            kind: ComponentKind::Compute,
+            mass_g: payload_g,
+            position_mm: cg,
+        }))
+    }
+
+    /// Structural feasibility of carrying `payload_g` grams of
+    /// compute: static margin and the design class's takeoff-mass cap.
+    /// (Lift feasibility needs the platform's thrust rating — see
+    /// [`Airframe::check_payload_on`].)
+    ///
+    /// # Errors
+    ///
+    /// Payload validation errors from
+    /// [`Airframe::with_compute_payload`].
+    pub fn check_payload(&self, payload_g: f64) -> Result<SwapFeasibility, UavModelError> {
+        let loaded = self.with_compute_payload(payload_g)?;
+        let total_mass_g = loaded.total_mass_g();
+        let static_margin = loaded.static_margin();
+        let mut violations = Vec::new();
+        if static_margin < MIN_STATIC_MARGIN {
+            violations
+                .push(SwapViolation::Unstable { margin: static_margin, min: MIN_STATIC_MARGIN });
+        }
+        let cap_g = self.design_class.max_takeoff_g();
+        if total_mass_g > cap_g {
+            violations.push(SwapViolation::Overweight {
+                total_g: total_mass_g,
+                cap_g,
+                class: self.design_class,
+            });
+        }
+        Ok(SwapFeasibility {
+            total_mass_g,
+            cg_mm: loaded.cg_mm(),
+            static_margin,
+            weight_class: WeightClass::classify(total_mass_g),
+            violations,
+        })
+    }
+
+    /// Full feasibility of carrying `payload_g` grams of compute on
+    /// `spec`: [`Airframe::check_payload`] plus the lift budget (a
+    /// payload that grounds the platform is a violation).
+    ///
+    /// # Errors
+    ///
+    /// Payload validation errors from [`PayloadAnalysis::new`].
+    pub fn check_payload_on(
+        &self,
+        spec: &UavSpec,
+        payload_g: f64,
+    ) -> Result<SwapFeasibility, UavModelError> {
+        let mut feasibility = self.check_payload(payload_g)?;
+        let analysis = PayloadAnalysis::new(spec, payload_g)?;
+        if analysis.grounded() {
+            feasibility
+                .violations
+                .push(SwapViolation::Grounded { thrust_to_weight: analysis.thrust_to_weight });
+        }
+        Ok(feasibility)
+    }
+
+    /// The default airframe of a Table IV platform class. Dry masses
+    /// match the corresponding [`UavSpec`] base weights exactly, so the
+    /// component view and the scalar physics agree.
+    pub fn default_for(class: UavClass) -> Airframe {
+        match class {
+            UavClass::Nano => Airframe::nano(),
+            UavClass::Micro => Airframe::micro(),
+            UavClass::Mini => Airframe::mini(),
+        }
+    }
+
+    /// All four default builds, lightest first (one per weight class).
+    pub fn all() -> Vec<Airframe> {
+        vec![Airframe::nano(), Airframe::sub250(), Airframe::micro(), Airframe::mini()]
+    }
+
+    /// A 50 g tinywhoop-style nano build (class: nano).
+    pub fn nano() -> Airframe {
+        Airframe {
+            name: "tinywhoop-nano".to_owned(),
+            neutral_point_mm: -3.0,
+            reference_chord_mm: 65.0,
+            design_class: WeightClass::Nano,
+            components: vec![
+                part("whoop-frame-65", ComponentKind::Frame, 6.0, [0.0, 0.0, 0.0]),
+                part("motor-0603", ComponentKind::Motor, 2.0, [35.0, 35.0, 0.0]),
+                part("motor-0603", ComponentKind::Motor, 2.0, [35.0, -35.0, 0.0]),
+                part("motor-0603", ComponentKind::Motor, 2.0, [-35.0, 35.0, 0.0]),
+                part("motor-0603", ComponentKind::Motor, 2.0, [-35.0, -35.0, 0.0]),
+                part("crazyflie-bolt-fc", ComponentKind::Autopilot, 9.0, [0.0, 0.0, 3.0]),
+                part("lipo-1s-500", ComponentKind::Battery, 12.0, [-4.0, 0.0, -3.0]),
+                part("flow-deck-pmw3901", ComponentKind::Sensor, 1.5, [18.0, 0.0, -2.0]),
+                part("himax-hm01b0-cam", ComponentKind::Sensor, 2.0, [24.0, 0.0, 1.0]),
+                part("canopy-and-wiring", ComponentKind::Frame, 11.5, [0.0, 0.0, 4.0]),
+            ],
+        }
+    }
+
+    /// A 110 g toothpick build in the registration-free band
+    /// (class: sub-250 g).
+    pub fn sub250() -> Airframe {
+        Airframe {
+            name: "toothpick-sub250".to_owned(),
+            neutral_point_mm: -6.0,
+            reference_chord_mm: 90.0,
+            design_class: WeightClass::Sub250,
+            components: vec![
+                part("toothpick-frame-3in", ComponentKind::Frame, 28.0, [0.0, 0.0, 0.0]),
+                part("motor-1103", ComponentKind::Motor, 5.0, [45.0, 45.0, 0.0]),
+                part("motor-1103", ComponentKind::Motor, 5.0, [45.0, -45.0, 0.0]),
+                part("motor-1103", ComponentKind::Motor, 5.0, [-45.0, 45.0, 0.0]),
+                part("motor-1103", ComponentKind::Motor, 5.0, [-45.0, -45.0, 0.0]),
+                part("aio-f4-fc-12a", ComponentKind::Autopilot, 7.0, [0.0, 0.0, 3.0]),
+                part("lipo-2s-650", ComponentKind::Battery, 38.0, [-6.0, 0.0, -4.0]),
+                part("caddx-ant-cam", ComponentKind::Sensor, 2.0, [30.0, 0.0, 2.0]),
+                part("micro-gps-m10", ComponentKind::Sensor, 4.0, [26.0, 0.0, 6.0]),
+                part("props-and-canopy", ComponentKind::Frame, 11.0, [0.0, 0.0, 5.0]),
+            ],
+        }
+    }
+
+    /// A 300 g Spark-class build (class: micro). Dry mass matches
+    /// [`UavSpec::micro`].
+    pub fn micro() -> Airframe {
+        Airframe {
+            name: "spark-micro".to_owned(),
+            neutral_point_mm: -8.0,
+            reference_chord_mm: 120.0,
+            design_class: WeightClass::Micro,
+            components: vec![
+                part("freestyle-frame-3in", ComponentKind::Frame, 45.0, [0.0, 0.0, 0.0]),
+                part("motor-1404", ComponentKind::Motor, 8.0, [55.0, 55.0, 0.0]),
+                part("motor-1404", ComponentKind::Motor, 8.0, [55.0, -55.0, 0.0]),
+                part("motor-1404", ComponentKind::Motor, 8.0, [-55.0, 55.0, 0.0]),
+                part("motor-1404", ComponentKind::Motor, 8.0, [-55.0, -55.0, 0.0]),
+                part("esc-4in1-20a", ComponentKind::Esc, 7.0, [0.0, 0.0, -4.0]),
+                part("kakute-f7-fc", ComponentKind::Autopilot, 8.0, [0.0, 0.0, 4.0]),
+                part("lipo-3s-1480", ComponentKind::Battery, 150.0, [-6.0, 0.0, -6.0]),
+                part("ublox-neo-m8n-gps", ComponentKind::Sensor, 9.0, [28.0, 0.0, 8.0]),
+                part("runcam-nano-cam", ComponentKind::Sensor, 6.0, [38.0, 0.0, 2.0]),
+                part("props-standoffs-wiring", ComponentKind::Frame, 43.0, [0.0, 0.0, 5.0]),
+            ],
+        }
+    }
+
+    /// A 1650 g Pelican-class build (class: mini). Dry mass matches
+    /// [`UavSpec::mini`].
+    pub fn mini() -> Airframe {
+        Airframe {
+            name: "pelican-mini".to_owned(),
+            neutral_point_mm: -10.0,
+            reference_chord_mm: 350.0,
+            design_class: WeightClass::Mini,
+            components: vec![
+                part("pelican-frame", ComponentKind::Frame, 320.0, [0.0, 0.0, 0.0]),
+                part("motor-2212", ComponentKind::Motor, 60.0, [180.0, 180.0, 0.0]),
+                part("motor-2212", ComponentKind::Motor, 60.0, [180.0, -180.0, 0.0]),
+                part("motor-2212", ComponentKind::Motor, 60.0, [-180.0, 180.0, 0.0]),
+                part("motor-2212", ComponentKind::Motor, 60.0, [-180.0, -180.0, 0.0]),
+                part("esc-30a-x4", ComponentKind::Esc, 48.0, [0.0, 0.0, -8.0]),
+                part("pixhawk-4", ComponentKind::Autopilot, 33.0, [0.0, 0.0, 10.0]),
+                part("lipo-4s-6250", ComponentKind::Battery, 580.0, [-12.0, 0.0, -15.0]),
+                part("ublox-neo-m8n-gps", ComponentKind::Sensor, 9.0, [60.0, 0.0, 25.0]),
+                part("stereo-camera-rig", ComponentKind::Sensor, 85.0, [95.0, 0.0, 5.0]),
+                part("lidar-lite-v3", ComponentKind::Sensor, 22.0, [80.0, 0.0, -5.0]),
+                part("landing-gear-and-shell", ComponentKind::Frame, 313.0, [0.0, 0.0, -20.0]),
+            ],
+        }
+    }
+}
+
+/// Feasibility report of one (airframe, compute payload) pairing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwapFeasibility {
+    /// Takeoff mass with the payload, grams.
+    pub total_mass_g: f64,
+    /// Loaded center of gravity, mm.
+    pub cg_mm: [f64; 3],
+    /// Loaded static margin (fraction of the reference chord).
+    pub static_margin: f64,
+    /// Weight class of the loaded takeoff mass.
+    pub weight_class: WeightClass,
+    /// Every violated constraint; empty means deployable.
+    pub violations: Vec<SwapViolation>,
+}
+
+impl SwapFeasibility {
+    /// True when no constraint is violated.
+    pub fn feasible(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// One violated SWaP constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwapViolation {
+    /// Static margin below the stability floor.
+    Unstable {
+        /// Achieved margin.
+        margin: f64,
+        /// Required minimum.
+        min: f64,
+    },
+    /// Takeoff mass exceeds the design class's cap.
+    Overweight {
+        /// Takeoff mass, grams.
+        total_g: f64,
+        /// Class cap, grams.
+        cap_g: f64,
+        /// The design class whose cap was exceeded.
+        class: WeightClass,
+    },
+    /// The payload exceeds the lift budget (thrust-to-weight <= 1).
+    Grounded {
+        /// Effective thrust-to-weight with the payload.
+        thrust_to_weight: f64,
+    },
+}
+
+impl SwapViolation {
+    /// Stable lower-case identifier (used as an obs counter suffix).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SwapViolation::Unstable { .. } => "unstable",
+            SwapViolation::Overweight { .. } => "overweight",
+            SwapViolation::Grounded { .. } => "grounded",
+        }
+    }
+}
+
+impl fmt::Display for SwapViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwapViolation::Unstable { margin, min } => {
+                write!(f, "static margin {margin:.3} below the {min:.3} floor")
+            }
+            SwapViolation::Overweight { total_g, cap_g, class } => {
+                write!(f, "takeoff mass {total_g:.0} g exceeds the {class} cap of {cap_g:.0} g")
+            }
+            SwapViolation::Grounded { thrust_to_weight } => {
+                write!(f, "thrust-to-weight {thrust_to_weight:.2} cannot lift the payload")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_dry_masses_match_table_iv_specs() {
+        assert!((Airframe::nano().total_mass_g() - UavSpec::nano().base_weight_g).abs() < 1e-9);
+        assert!((Airframe::micro().total_mass_g() - UavSpec::micro().base_weight_g).abs() < 1e-9);
+        assert!((Airframe::mini().total_mass_g() - UavSpec::mini().base_weight_g).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_four_default_builds_cover_all_four_classes() {
+        let classes: Vec<WeightClass> =
+            Airframe::all().iter().map(Airframe::design_class).collect();
+        assert_eq!(classes, WeightClass::ALL.to_vec());
+        for af in Airframe::all() {
+            assert_eq!(af.weight_class(), af.design_class());
+        }
+    }
+
+    #[test]
+    fn default_builds_are_statically_stable() {
+        for af in Airframe::all() {
+            let margin = af.static_margin();
+            assert!(margin >= MIN_STATIC_MARGIN, "{} margin {margin:.3} below floor", af.name());
+        }
+    }
+
+    #[test]
+    fn weight_class_boundaries_are_exact() {
+        assert_eq!(WeightClass::classify(100.0), WeightClass::Nano);
+        assert_eq!(WeightClass::classify(100.0 + 1e-9), WeightClass::Sub250);
+        assert_eq!(WeightClass::classify(250.0), WeightClass::Sub250);
+        assert_eq!(WeightClass::classify(250.0 + 1e-9), WeightClass::Micro);
+        assert_eq!(WeightClass::classify(900.0), WeightClass::Micro);
+        assert_eq!(WeightClass::classify(900.0 + 1e-9), WeightClass::Mini);
+    }
+
+    #[test]
+    fn payload_at_cg_preserves_margin_and_adds_mass() {
+        let af = Airframe::micro();
+        let loaded = af.with_compute_payload(48.0).unwrap();
+        assert!((loaded.total_mass_g() - af.total_mass_g() - 48.0).abs() < 1e-9);
+        assert!((loaded.static_margin() - af.static_margin()).abs() < 1e-12);
+        let (a, b) = (af.cg_mm(), loaded.cg_mm());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn overweight_payload_is_rejected() {
+        // 50 g nano build + 60 g SoC = 110 g > the 100 g nano cap.
+        let f = Airframe::nano().check_payload(60.0).unwrap();
+        assert!(!f.feasible());
+        assert!(f.violations.iter().any(|v| v.kind() == "overweight"));
+        assert_eq!(f.weight_class, WeightClass::Sub250);
+        // A 24 g SoC fits.
+        assert!(Airframe::nano().check_payload(24.0).unwrap().feasible());
+    }
+
+    #[test]
+    fn grounding_payload_is_rejected_on_spec() {
+        let mut weak = UavSpec::nano();
+        weak.base_thrust_to_weight = 1.1; // 55 g of thrust on a 50 g frame
+        let f = Airframe::nano().check_payload_on(&weak, 20.0).unwrap();
+        assert!(f.violations.iter().any(|v| v.kind() == "grounded"));
+    }
+
+    #[test]
+    fn invalid_payload_and_components_are_typed_errors() {
+        assert!(Airframe::nano().check_payload(f64::NAN).is_err());
+        assert!(Airframe::nano().with_compute_payload(-1.0).is_err());
+        assert!(Component::new("x", ComponentKind::Motor, f64::NAN, [0.0; 3]).is_err());
+        assert!(Component::new("x", ComponentKind::Motor, -1.0, [0.0; 3]).is_err());
+        assert!(Component::new("x", ComponentKind::Motor, 1.0, [f64::NAN, 0.0, 0.0]).is_err());
+        assert!(Airframe::new("empty", 0.0, 100.0, vec![]).is_err());
+        let c = Component::new("m", ComponentKind::Motor, 1.0, [0.0; 3]).unwrap();
+        assert!(Airframe::new("flat", 0.0, 0.0, vec![c]).is_err());
+    }
+
+    #[test]
+    fn unstable_build_is_flagged() {
+        // All the mass far behind the neutral point.
+        let tail = Component::new("tail-battery", ComponentKind::Battery, 100.0, [-80.0, 0.0, 0.0])
+            .unwrap();
+        let af = Airframe::new("tail-heavy", 0.0, 100.0, vec![tail]).unwrap();
+        let f = af.check_payload(0.0).unwrap();
+        assert!(f.violations.iter().any(|v| v.kind() == "unstable"));
+        assert!(f.static_margin < 0.0);
+    }
+
+    #[test]
+    fn violation_displays_name_the_limit() {
+        let f = Airframe::nano().check_payload(60.0).unwrap();
+        let text = f.violations[0].to_string();
+        assert!(text.contains("100"), "{text}");
+        assert!(WeightClass::Nano.to_string() == "nano");
+        assert_eq!(ComponentKind::Compute.to_string(), "compute");
+    }
+}

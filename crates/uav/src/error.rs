@@ -1,0 +1,125 @@
+//! Typed validation errors for the UAV physics models.
+//!
+//! The physics layer used to accept any `f64` payload and silently
+//! clamp or propagate it; a NaN payload would flow through
+//! thrust-to-weight into safe-velocity and missions without a trace.
+//! Every constructor that takes user-controlled numbers now rejects
+//! non-finite or out-of-range input with a [`UavModelError`] instead.
+
+use std::error::Error;
+use std::fmt;
+
+/// Validation errors raised by the UAV model constructors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum UavModelError {
+    /// A payload mass was NaN or infinite.
+    NonFinitePayload {
+        /// The offending value.
+        value: f64,
+    },
+    /// A payload mass was negative.
+    NegativePayload {
+        /// The offending value.
+        value: f64,
+    },
+    /// A sensor frame rate was NaN, infinite, or not strictly positive.
+    InvalidSensorRate {
+        /// The offending value.
+        value: f64,
+    },
+    /// An airframe component failed validation (non-finite mass or
+    /// position, negative mass).
+    InvalidComponent {
+        /// Component name.
+        name: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// An airframe had no components, zero total mass, or a
+    /// non-positive reference chord.
+    InvalidAirframe {
+        /// Airframe name.
+        name: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for UavModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UavModelError::NonFinitePayload { value } => {
+                write!(f, "payload mass must be finite, got {value}")
+            }
+            UavModelError::NegativePayload { value } => {
+                write!(f, "payload mass must be non-negative, got {value} g")
+            }
+            UavModelError::InvalidSensorRate { value } => {
+                write!(f, "sensor frame rate must be finite and positive, got {value}")
+            }
+            UavModelError::InvalidComponent { name, reason } => {
+                write!(f, "component {name:?} is invalid: {reason}")
+            }
+            UavModelError::InvalidAirframe { name, reason } => {
+                write!(f, "airframe {name:?} is invalid: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for UavModelError {}
+
+/// Validates a payload mass in grams: finite and non-negative.
+///
+/// # Errors
+///
+/// [`UavModelError::NonFinitePayload`] or
+/// [`UavModelError::NegativePayload`].
+pub fn validate_payload_g(value: f64) -> Result<f64, UavModelError> {
+    if !value.is_finite() {
+        return Err(UavModelError::NonFinitePayload { value });
+    }
+    if value < 0.0 {
+        return Err(UavModelError::NegativePayload { value });
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_payload_accepts_range() {
+        assert_eq!(validate_payload_g(0.0), Ok(0.0));
+        assert_eq!(validate_payload_g(24.5), Ok(24.5));
+    }
+
+    #[test]
+    fn validate_payload_rejects_bad_input() {
+        assert!(matches!(
+            validate_payload_g(f64::NAN),
+            Err(UavModelError::NonFinitePayload { .. })
+        ));
+        assert!(matches!(
+            validate_payload_g(f64::INFINITY),
+            Err(UavModelError::NonFinitePayload { .. })
+        ));
+        assert!(matches!(
+            validate_payload_g(-1.0),
+            Err(UavModelError::NegativePayload { value }) if value == -1.0
+        ));
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(validate_payload_g(-2.0).unwrap_err().to_string().contains("-2"));
+        let e = UavModelError::InvalidSensorRate { value: 0.0 };
+        assert!(e.to_string().contains("frame rate"));
+        let e = UavModelError::InvalidComponent { name: "motor".into(), reason: "NaN mass".into() };
+        assert!(e.to_string().contains("motor"));
+        let e = UavModelError::InvalidAirframe { name: "x".into(), reason: "empty".into() };
+        assert!(e.to_string().contains("empty"));
+    }
+}

@@ -1,6 +1,7 @@
 //! The F-1 visual performance model (roofline of safe velocity vs. action
 //! throughput).
 
+use crate::error::UavModelError;
 use crate::payload::PayloadAnalysis;
 use crate::safety::safe_velocity;
 use crate::spec::UavSpec;
@@ -53,9 +54,18 @@ pub struct F1Model {
 impl F1Model {
     /// Builds the model for `spec` carrying `payload_g` grams of compute
     /// payload and sensing at `sensor_fps` frames per second.
-    pub fn new(spec: UavSpec, payload_g: f64, sensor_fps: f64) -> F1Model {
-        let payload = PayloadAnalysis::new(&spec, payload_g);
-        F1Model { spec, payload, sensor_fps }
+    ///
+    /// # Errors
+    ///
+    /// Payload validation errors from [`PayloadAnalysis::new`], or
+    /// [`UavModelError::InvalidSensorRate`] when `sensor_fps` is not
+    /// finite and strictly positive.
+    pub fn new(spec: UavSpec, payload_g: f64, sensor_fps: f64) -> Result<F1Model, UavModelError> {
+        let payload = PayloadAnalysis::new(&spec, payload_g)?;
+        if !sensor_fps.is_finite() || sensor_fps <= 0.0 {
+            return Err(UavModelError::InvalidSensorRate { value: sensor_fps });
+        }
+        Ok(F1Model { spec, payload, sensor_fps })
     }
 
     /// The UAV specification.
@@ -187,11 +197,11 @@ mod tests {
     use super::*;
 
     fn nano() -> F1Model {
-        F1Model::new(UavSpec::nano(), 24.0, 60.0)
+        F1Model::new(UavSpec::nano(), 24.0, 60.0).unwrap()
     }
 
     fn micro() -> F1Model {
-        F1Model::new(UavSpec::micro(), 24.0, 60.0)
+        F1Model::new(UavSpec::micro(), 24.0, 60.0).unwrap()
     }
 
     #[test]
@@ -228,8 +238,8 @@ mod tests {
 
     #[test]
     fn heavier_payload_lowers_ceiling() {
-        let light = F1Model::new(UavSpec::nano(), 24.0, 60.0);
-        let heavy = F1Model::new(UavSpec::nano(), 65.0, 60.0);
+        let light = F1Model::new(UavSpec::nano(), 24.0, 60.0).unwrap();
+        let heavy = F1Model::new(UavSpec::nano(), 65.0, 60.0).unwrap();
         assert!(heavy.velocity_ceiling() < light.velocity_ceiling());
     }
 
@@ -244,7 +254,7 @@ mod tests {
 
     #[test]
     fn grounded_uav_has_no_knee() {
-        let f1 = F1Model::new(UavSpec::nano(), 200.0, 60.0);
+        let f1 = F1Model::new(UavSpec::nano(), 200.0, 60.0).unwrap();
         assert!(f1.payload().grounded());
         assert!(f1.knee_fps().is_none());
         assert_eq!(f1.safe_velocity(100.0), 0.0);
@@ -270,8 +280,29 @@ mod tests {
 
     #[test]
     fn slower_sensor_lowers_ceiling() {
-        let fast = F1Model::new(UavSpec::micro(), 24.0, 60.0);
-        let slow = F1Model::new(UavSpec::micro(), 24.0, 30.0);
+        let fast = F1Model::new(UavSpec::micro(), 24.0, 60.0).unwrap();
+        let slow = F1Model::new(UavSpec::micro(), 24.0, 30.0).unwrap();
         assert!(slow.velocity_ceiling() < fast.velocity_ceiling());
+    }
+
+    #[test]
+    fn invalid_inputs_are_typed_errors() {
+        assert!(matches!(
+            F1Model::new(UavSpec::nano(), f64::NAN, 60.0),
+            Err(UavModelError::NonFinitePayload { .. })
+        ));
+        assert!(matches!(
+            F1Model::new(UavSpec::nano(), -5.0, 60.0),
+            Err(UavModelError::NegativePayload { .. })
+        ));
+        for bad_fps in [0.0, -30.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    F1Model::new(UavSpec::nano(), 24.0, bad_fps),
+                    Err(UavModelError::InvalidSensorRate { .. })
+                ),
+                "sensor rate {bad_fps} accepted"
+            );
+        }
     }
 }

@@ -13,6 +13,13 @@
 //! throughput to safe velocity (with its knee-point), and finally the
 //! *number of missions* objective the whole methodology maximizes.
 //!
+//! Beyond the scalar-payload physics, the crate carries a
+//! component-level airframe model ([`Airframe`]): a catalog of real
+//! parts (autopilot boards, compute modules, sensors, motors, ESCs,
+//! batteries) with mass and 3-D position, composed into total mass,
+//! center of gravity, static stability margin, and a regulatory weight
+//! class — the SWaP-feasibility layer of the arXiv AutoPilot variant.
+//!
 //! # Example
 //!
 //! ```
@@ -20,17 +27,32 @@
 //!
 //! let nano = UavSpec::nano();
 //! // A 24 g compute payload on the nano-UAV with a 60 FPS sensor:
-//! let f1 = F1Model::new(nano.clone(), 24.0, 60.0);
+//! let f1 = F1Model::new(nano.clone(), 24.0, 60.0).unwrap();
 //! let v = f1.safe_velocity(46.0);
 //! assert!(v > 0.0);
-//! let report = MissionProfile::default().evaluate(&nano, 24.0, v, 0.7);
+//! let report = MissionProfile::default().evaluate(&nano, 24.0, v, 0.7).unwrap();
 //! assert!(report.missions > 0.0);
+//! ```
+//!
+//! And the SWaP side:
+//!
+//! ```
+//! use uav_dynamics::{Airframe, UavSpec, WeightClass};
+//!
+//! let airframe = Airframe::nano(); // 50 g tinywhoop build
+//! assert_eq!(airframe.design_class(), WeightClass::Nano);
+//! // A 24 g SoC fits under the 100 g nano cap; a 60 g SoC does not.
+//! let spec = UavSpec::nano();
+//! assert!(airframe.check_payload_on(&spec, 24.0).unwrap().feasible());
+//! assert!(!airframe.check_payload_on(&spec, 60.0).unwrap().feasible());
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod airframe;
 mod battery;
+mod error;
 mod f1;
 mod flight;
 mod mission;
@@ -40,7 +62,12 @@ mod rotor;
 mod safety;
 mod spec;
 
+pub use airframe::{
+    Airframe, Component, ComponentKind, SwapFeasibility, SwapViolation, WeightClass,
+    MIN_STATIC_MARGIN,
+};
 pub use battery::Battery;
+pub use error::{validate_payload_g, UavModelError};
 pub use f1::{F1Curve, F1Model, Provisioning};
 pub use flight::{BrakingSim, EncounterOutcome};
 pub use mission::{MissionProfile, MissionReport};

@@ -1,5 +1,6 @@
 //! Mission-level metrics: Eq. 1–4 of the paper.
 
+use crate::error::UavModelError;
 use crate::payload::PayloadAnalysis;
 use crate::rotor::hover_power_w;
 use crate::spec::UavSpec;
@@ -23,14 +24,31 @@ impl MissionProfile {
     ///
     /// Returns an all-zero report (zero missions) when the UAV cannot fly
     /// (`v_safe <= 0` or the payload grounds it).
+    ///
+    /// # Errors
+    ///
+    /// Payload validation errors from [`PayloadAnalysis::new`].
     pub fn evaluate(
         &self,
         spec: &UavSpec,
         payload_g: f64,
         v_safe: f64,
         p_compute_w: f64,
+    ) -> Result<MissionReport, UavModelError> {
+        let payload = PayloadAnalysis::new(spec, payload_g)?;
+        Ok(self.evaluate_analysed(spec, &payload, v_safe, p_compute_w))
+    }
+
+    /// Evaluates Eq. 1–4 for an already-validated payload analysis (the
+    /// infallible core of [`MissionProfile::evaluate`]; callers holding an
+    /// [`F1Model`](crate::F1Model) can reuse its payload analysis here).
+    pub fn evaluate_analysed(
+        &self,
+        spec: &UavSpec,
+        payload: &PayloadAnalysis,
+        v_safe: f64,
+        p_compute_w: f64,
     ) -> MissionReport {
-        let payload = PayloadAnalysis::new(spec, payload_g);
         let p_rotors_w =
             hover_power_w(payload.total_weight_g, spec.rotor_area_m2, spec.figure_of_merit);
         let p_others_w = spec.other_electronics_w;
@@ -113,7 +131,7 @@ mod tests {
     #[test]
     fn eq4_identity_holds() {
         let spec = UavSpec::nano();
-        let r = MissionProfile::default().evaluate(&spec, 24.0, 8.0, 0.7);
+        let r = MissionProfile::default().evaluate(&spec, 24.0, 8.0, 0.7).unwrap();
         let lhs = r.missions;
         let rhs = spec.battery_energy_j() * r.v_safe_ms / (r.p_total_w() * 80.0);
         assert!((lhs - rhs).abs() / rhs < 1e-12);
@@ -123,8 +141,8 @@ mod tests {
     fn faster_flight_more_missions() {
         let spec = UavSpec::micro();
         let p = MissionProfile::default();
-        let slow = p.evaluate(&spec, 24.0, 3.0, 0.7);
-        let fast = p.evaluate(&spec, 24.0, 6.0, 0.7);
+        let slow = p.evaluate(&spec, 24.0, 3.0, 0.7).unwrap();
+        let fast = p.evaluate(&spec, 24.0, 6.0, 0.7).unwrap();
         assert!(fast.missions > slow.missions);
     }
 
@@ -132,8 +150,8 @@ mod tests {
     fn heavier_compute_fewer_missions_same_velocity() {
         let spec = UavSpec::micro();
         let p = MissionProfile::default();
-        let light = p.evaluate(&spec, 24.0, 5.0, 0.7);
-        let heavy = p.evaluate(&spec, 65.0, 5.0, 0.7);
+        let light = p.evaluate(&spec, 24.0, 5.0, 0.7).unwrap();
+        let heavy = p.evaluate(&spec, 65.0, 5.0, 0.7).unwrap();
         assert!(heavy.missions < light.missions);
     }
 
@@ -141,7 +159,7 @@ mod tests {
     fn rotors_dominate_power_budget() {
         // MAVBench: ~95 % of power goes to rotors.
         for spec in UavSpec::all() {
-            let r = MissionProfile::default().evaluate(&spec, 24.0, 5.0, 0.7);
+            let r = MissionProfile::default().evaluate(&spec, 24.0, 5.0, 0.7).unwrap();
             assert!(
                 r.rotor_power_fraction() > 0.6,
                 "{}: rotors only {:.0}%",
@@ -154,14 +172,14 @@ mod tests {
     #[test]
     fn grounded_uav_flies_zero_missions() {
         let spec = UavSpec::nano();
-        let r = MissionProfile::default().evaluate(&spec, 500.0, 5.0, 0.7);
+        let r = MissionProfile::default().evaluate(&spec, 500.0, 5.0, 0.7).unwrap();
         assert_eq!(r.missions, 0.0);
     }
 
     #[test]
     fn zero_velocity_zero_missions() {
         let spec = UavSpec::mini();
-        let r = MissionProfile::default().evaluate(&spec, 24.0, 0.0, 0.7);
+        let r = MissionProfile::default().evaluate(&spec, 24.0, 0.0, 0.7).unwrap();
         assert_eq!(r.missions, 0.0);
         assert!(r.mission_time_s.is_infinite());
     }
@@ -169,8 +187,8 @@ mod tests {
     #[test]
     fn longer_missions_reduce_count_proportionally() {
         let spec = UavSpec::mini();
-        let short = MissionProfile::new(40.0).evaluate(&spec, 24.0, 5.0, 0.7);
-        let long = MissionProfile::new(80.0).evaluate(&spec, 24.0, 5.0, 0.7);
+        let short = MissionProfile::new(40.0).evaluate(&spec, 24.0, 5.0, 0.7).unwrap();
+        let long = MissionProfile::new(80.0).evaluate(&spec, 24.0, 5.0, 0.7).unwrap();
         assert!((short.missions / long.missions - 2.0).abs() < 1e-9);
     }
 }

@@ -1,5 +1,6 @@
 //! Effect of a compute payload on UAV flight physics.
 
+use crate::error::{validate_payload_g, UavModelError};
 use crate::physics::GRAVITY;
 use crate::spec::UavSpec;
 
@@ -26,12 +27,19 @@ pub struct PayloadAnalysis {
 
 impl PayloadAnalysis {
     /// Analyses `payload_g` grams of payload on `spec`.
-    pub fn new(spec: &UavSpec, payload_g: f64) -> PayloadAnalysis {
-        let payload_g = payload_g.max(0.0);
+    ///
+    /// # Errors
+    ///
+    /// [`UavModelError::NonFinitePayload`] or
+    /// [`UavModelError::NegativePayload`] when the payload mass is NaN,
+    /// infinite, or negative — such values used to flow silently into
+    /// the physics.
+    pub fn new(spec: &UavSpec, payload_g: f64) -> Result<PayloadAnalysis, UavModelError> {
+        let payload_g = validate_payload_g(payload_g)?;
         let total_weight_g = spec.base_weight_g + payload_g;
         let thrust_to_weight = spec.max_thrust_g() / total_weight_g;
         let max_accel_ms2 = (GRAVITY * (thrust_to_weight - 1.0)).max(0.0);
-        PayloadAnalysis { payload_g, total_weight_g, thrust_to_weight, max_accel_ms2 }
+        Ok(PayloadAnalysis { payload_g, total_weight_g, thrust_to_weight, max_accel_ms2 })
     }
 
     /// True when the platform cannot generate more thrust than its own
@@ -48,7 +56,7 @@ mod tests {
     #[test]
     fn zero_payload_recovers_base_twr() {
         let spec = UavSpec::nano();
-        let a = PayloadAnalysis::new(&spec, 0.0);
+        let a = PayloadAnalysis::new(&spec, 0.0).unwrap();
         assert!((a.thrust_to_weight - spec.base_thrust_to_weight).abs() < 1e-12);
         assert!(a.max_accel_ms2 > 0.0);
     }
@@ -56,8 +64,8 @@ mod tests {
     #[test]
     fn heavier_payload_less_agile() {
         let spec = UavSpec::micro();
-        let light = PayloadAnalysis::new(&spec, 24.0);
-        let heavy = PayloadAnalysis::new(&spec, 65.0);
+        let light = PayloadAnalysis::new(&spec, 24.0).unwrap();
+        let heavy = PayloadAnalysis::new(&spec, 65.0).unwrap();
         assert!(heavy.max_accel_ms2 < light.max_accel_ms2);
         assert!(heavy.thrust_to_weight < light.thrust_to_weight);
     }
@@ -65,16 +73,40 @@ mod tests {
     #[test]
     fn overload_grounds_the_uav() {
         let spec = UavSpec::nano(); // 50 g base, TWR 3.0 -> 150 g thrust
-        let a = PayloadAnalysis::new(&spec, 120.0); // 170 g total > thrust
+        let a = PayloadAnalysis::new(&spec, 120.0).unwrap(); // 170 g total > thrust
         assert!(a.grounded());
         assert_eq!(a.max_accel_ms2, 0.0);
     }
 
     #[test]
-    fn negative_payload_clamped() {
+    fn invalid_payload_is_a_typed_error() {
         let spec = UavSpec::mini();
-        let a = PayloadAnalysis::new(&spec, -10.0);
-        assert_eq!(a.payload_g, 0.0);
-        assert_eq!(a.total_weight_g, spec.base_weight_g);
+        assert!(matches!(
+            PayloadAnalysis::new(&spec, -10.0),
+            Err(UavModelError::NegativePayload { value }) if value == -10.0
+        ));
+        assert!(matches!(
+            PayloadAnalysis::new(&spec, f64::NAN),
+            Err(UavModelError::NonFinitePayload { .. })
+        ));
+        assert!(matches!(
+            PayloadAnalysis::new(&spec, f64::NEG_INFINITY),
+            Err(UavModelError::NonFinitePayload { .. })
+        ));
+    }
+
+    #[test]
+    fn grounded_edge_is_exact_at_unit_twr() {
+        // Payload chosen so thrust-to-weight lands exactly on 1.0: the
+        // platform can hover but not manoeuvre, which counts as grounded.
+        let spec = UavSpec::nano(); // 150 g thrust
+        let a = PayloadAnalysis::new(&spec, 100.0).unwrap(); // 150 g total
+        assert_eq!(a.thrust_to_weight, 1.0);
+        assert!(a.grounded());
+        assert_eq!(a.max_accel_ms2, 0.0);
+        // One milligram lighter and it flies (barely).
+        let b = PayloadAnalysis::new(&spec, 99.999).unwrap();
+        assert!(!b.grounded());
+        assert!(b.max_accel_ms2 > 0.0);
     }
 }

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::airframe::Airframe;
 use crate::physics;
 
 /// UAV size category.
@@ -62,6 +63,11 @@ pub struct UavSpec {
     pub other_electronics_w: f64,
     /// Available sensor frame rates (Table IV lists 30/60 FPS).
     pub sensor_fps_options: Vec<f64>,
+    /// Component-level airframe model, when built via
+    /// [`UavSpec::with_airframe`]. `None` is the legacy scalar-payload
+    /// mode: physics depends only on `base_weight_g`, bit-identical to
+    /// the pre-airframe pipeline.
+    pub airframe: Option<Airframe>,
 }
 
 impl UavSpec {
@@ -80,6 +86,7 @@ impl UavSpec {
             control_latency_s: 1.0e-3, // 1 kHz inner loop
             other_electronics_w: 4.0,
             sensor_fps_options: vec![30.0, 60.0],
+            airframe: None,
         }
     }
 
@@ -98,6 +105,7 @@ impl UavSpec {
             control_latency_s: 1.0e-3,
             other_electronics_w: 2.0,
             sensor_fps_options: vec![30.0, 60.0],
+            airframe: None,
         }
     }
 
@@ -116,6 +124,7 @@ impl UavSpec {
             control_latency_s: 1.0e-3,
             other_electronics_w: 0.3,
             sensor_fps_options: vec![30.0, 60.0],
+            airframe: None,
         }
     }
 
@@ -132,6 +141,20 @@ impl UavSpec {
     /// Maximum thrust of the base platform, expressed in grams-force.
     pub fn max_thrust_g(&self) -> f64 {
         self.base_thrust_to_weight * self.base_weight_g
+    }
+
+    /// This platform re-based on a component-level airframe: the base
+    /// weight becomes the airframe's dry component sum, and the airframe
+    /// is kept for CG/stability feasibility checks downstream.
+    ///
+    /// The thrust-to-weight rating is assumed to apply at the airframe's
+    /// dry mass (the motors are part of the build), so `max_thrust_g`
+    /// scales with the airframe's mass exactly as it did with the scalar
+    /// base weight.
+    pub fn with_airframe(mut self, airframe: Airframe) -> UavSpec {
+        self.base_weight_g = airframe.total_mass_g();
+        self.airframe = Some(airframe);
+        self
     }
 }
 
@@ -176,5 +199,17 @@ mod tests {
     fn class_display_names() {
         assert_eq!(UavClass::Nano.to_string(), "nano-UAV");
         assert_eq!(UavClass::Mini.to_string(), "mini-UAV");
+    }
+
+    #[test]
+    fn with_airframe_rebases_weight_and_thrust() {
+        let af = Airframe::sub250();
+        let dry = af.total_mass_g();
+        let spec = UavSpec::micro().with_airframe(af);
+        assert_eq!(spec.base_weight_g, dry);
+        assert_eq!(spec.max_thrust_g(), spec.base_thrust_to_weight * dry);
+        assert!(spec.airframe.is_some());
+        // Legacy constructors carry no airframe.
+        assert!(UavSpec::micro().airframe.is_none());
     }
 }

@@ -1,0 +1,168 @@
+//! Randomized property tests for the component-level airframe model,
+//! driven by seeded `autopilot-rng` streams (one deterministic stream
+//! per test and case, so failures reproduce exactly).
+
+use autopilot_rng::Rng;
+use uav_dynamics::{Airframe, Component, ComponentKind, UavSpec, WeightClass};
+
+const CASES: u64 = 64;
+
+fn case_rng(tag: u64, case: u64) -> Rng {
+    Rng::seed_stream(0x0af_1000 + tag, case)
+}
+
+const KINDS: [ComponentKind; 7] = [
+    ComponentKind::Autopilot,
+    ComponentKind::Compute,
+    ComponentKind::Sensor,
+    ComponentKind::Motor,
+    ComponentKind::Esc,
+    ComponentKind::Battery,
+    ComponentKind::Frame,
+];
+
+fn any_component(rng: &mut Rng, idx: usize) -> Component {
+    let kind = KINDS[rng.below(KINDS.len())];
+    let mass_g = rng.range_f64(0.5, 400.0);
+    let position_mm =
+        [rng.range_f64(-120.0, 120.0), rng.range_f64(-120.0, 120.0), rng.range_f64(-30.0, 30.0)];
+    Component::new(format!("part-{idx}"), kind, mass_g, position_mm).unwrap()
+}
+
+fn any_airframe(rng: &mut Rng) -> Airframe {
+    let n = 2 + rng.below(8);
+    let components: Vec<Component> = (0..n).map(|i| any_component(rng, i)).collect();
+    let neutral_point_mm = rng.range_f64(-40.0, 40.0);
+    let chord_mm = rng.range_f64(50.0, 400.0);
+    Airframe::new("random-build", neutral_point_mm, chord_mm, components).unwrap()
+}
+
+/// Translating every component (and the neutral point) by the same
+/// offset translates the CG by exactly that offset and preserves the
+/// static margin.
+#[test]
+fn cg_is_translation_equivariant() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let af = any_airframe(&mut rng);
+        let offset =
+            [rng.range_f64(-50.0, 50.0), rng.range_f64(-50.0, 50.0), rng.range_f64(-50.0, 50.0)];
+        let shifted_parts: Vec<Component> = af
+            .components()
+            .iter()
+            .map(|c| {
+                let mut p = c.position_mm;
+                for (axis, d) in p.iter_mut().zip(offset) {
+                    *axis += d;
+                }
+                Component::new(c.name.clone(), c.kind, c.mass_g, p).unwrap()
+            })
+            .collect();
+        let shifted = Airframe::new(
+            af.name(),
+            af.neutral_point_mm() + offset[0],
+            af.reference_chord_mm(),
+            shifted_parts,
+        )
+        .unwrap();
+        let (a, b) = (af.cg_mm(), shifted.cg_mm());
+        for ((x, y), d) in a.iter().zip(b).zip(offset) {
+            assert!((x + d - y).abs() < 1e-6, "case {case}: cg moved {x}+{d} != {y}");
+        }
+        assert!(
+            (af.static_margin() - shifted.static_margin()).abs() < 1e-9,
+            "case {case}: margin not translation-invariant"
+        );
+    }
+}
+
+/// Adding any mass exactly at the CG never changes the stability margin
+/// (this is why the compute payload mounts on the balance point).
+#[test]
+fn mass_at_cg_never_changes_margin() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let af = any_airframe(&mut rng);
+        let extra = rng.range_f64(0.1, 500.0);
+        let at_cg = Component::new("ballast", ComponentKind::Compute, extra, af.cg_mm()).unwrap();
+        let loaded = af.clone().with_component(at_cg);
+        assert!(
+            (af.static_margin() - loaded.static_margin()).abs() < 1e-9,
+            "case {case}: margin moved by mass at CG"
+        );
+        let (a, b) = (af.cg_mm(), loaded.cg_mm());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-6, "case {case}: CG moved");
+        }
+    }
+}
+
+/// Total mass is exactly the component sum, and `with_compute_payload`
+/// adds exactly the payload mass.
+#[test]
+fn total_mass_is_component_sum() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let af = any_airframe(&mut rng);
+        let sum: f64 = af.components().iter().map(|c| c.mass_g).sum();
+        assert!((af.total_mass_g() - sum).abs() < 1e-9, "case {case}");
+        let payload = rng.range_f64(0.0, 100.0);
+        let loaded = af.with_compute_payload(payload).unwrap();
+        assert!(
+            (loaded.total_mass_g() - sum - payload).abs() < 1e-9,
+            "case {case}: payload mass not additive"
+        );
+    }
+}
+
+/// Weight-class boundaries are exact: masses on the boundary stay in
+/// the lighter class, one ULP-scale step above crosses.
+#[test]
+fn weight_class_boundaries_exact() {
+    assert_eq!(WeightClass::classify(250.0), WeightClass::Sub250);
+    assert_eq!(WeightClass::classify(f64::from_bits(250.0f64.to_bits() + 1)), WeightClass::Micro);
+    assert_eq!(WeightClass::classify(100.0), WeightClass::Nano);
+    assert_eq!(WeightClass::classify(f64::from_bits(100.0f64.to_bits() + 1)), WeightClass::Sub250);
+    assert_eq!(WeightClass::classify(900.0), WeightClass::Micro);
+    assert_eq!(WeightClass::classify(f64::from_bits(900.0f64.to_bits() + 1)), WeightClass::Mini);
+    // Randomized: classify is monotone in mass.
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let a = rng.range_f64(1.0, 2000.0);
+        let b = rng.range_f64(1.0, 2000.0);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let rank = |c: WeightClass| WeightClass::ALL.iter().position(|k| *k == c).unwrap();
+        assert!(
+            rank(WeightClass::classify(lo)) <= rank(WeightClass::classify(hi)),
+            "case {case}: classify not monotone at {lo} vs {hi}"
+        );
+    }
+}
+
+/// Feasibility is monotone in payload mass: if a payload is infeasible
+/// on a default build, every heavier payload is infeasible too (payload
+/// mounts at the CG, so only mass-driven constraints can trip).
+#[test]
+fn feasibility_monotone_in_payload() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let builds = Airframe::all();
+        let af = &builds[rng.below(builds.len())];
+        let spec = match af.design_class() {
+            WeightClass::Nano => UavSpec::nano(),
+            WeightClass::Sub250 | WeightClass::Micro => UavSpec::micro(),
+            WeightClass::Mini => UavSpec::mini(),
+        }
+        .with_airframe(af.clone());
+        let a = rng.range_f64(0.0, 400.0);
+        let b = rng.range_f64(0.0, 400.0);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let light = af.check_payload_on(&spec, lo).unwrap();
+        let heavy = af.check_payload_on(&spec, hi).unwrap();
+        assert!(
+            light.feasible() || !heavy.feasible(),
+            "case {case}: {} infeasible at {lo:.1} g but feasible at {hi:.1} g",
+            af.name()
+        );
+    }
+}

@@ -57,7 +57,7 @@ fn f1_curve_monotone_below_ceiling() {
         let uav = any_uav(&mut rng);
         let payload = rng.range_f64(0.0, 60.0);
         let sensor = [30.0f64, 60.0, 90.0][rng.below(3)];
-        let f1 = F1Model::new(uav, payload, sensor);
+        let f1 = F1Model::new(uav, payload, sensor).unwrap();
         let ceiling = f1.velocity_ceiling();
         let mut prev = 0.0;
         for i in 1..=30 {
@@ -78,8 +78,8 @@ fn payload_only_hurts() {
         let uav = any_uav(&mut rng);
         let payload = rng.range_f64(0.0, 40.0);
         let extra = rng.range_f64(1.0, 40.0);
-        let light = F1Model::new(uav.clone(), payload, 60.0);
-        let heavy = F1Model::new(uav, payload + extra, 60.0);
+        let light = F1Model::new(uav.clone(), payload, 60.0).unwrap();
+        let heavy = F1Model::new(uav, payload + extra, 60.0).unwrap();
         assert!(heavy.velocity_ceiling() <= light.velocity_ceiling() + 1e-9, "case {case}");
     }
 }
@@ -95,7 +95,7 @@ fn mission_energy_identity() {
         let v = rng.range_f64(0.5, 12.0);
         let p_compute = rng.range_f64(0.05, 10.0);
         let distance = rng.range_f64(10.0, 500.0);
-        let report = MissionProfile::new(distance).evaluate(&uav, payload, v, p_compute);
+        let report = MissionProfile::new(distance).evaluate(&uav, payload, v, p_compute).unwrap();
         if report.missions > 0.0 {
             let total = report.missions * report.mission_energy_j;
             let battery = uav.battery_energy_j();
@@ -125,7 +125,7 @@ fn grounding_is_consistent() {
         let mut rng = case_rng(7, case);
         let uav = any_uav(&mut rng);
         let payload = rng.range_f64(0.0, 5000.0);
-        let a = PayloadAnalysis::new(&uav, payload);
+        let a = PayloadAnalysis::new(&uav, payload).unwrap();
         assert_eq!(a.grounded(), a.max_accel_ms2 == 0.0, "case {case}");
         assert!(a.total_weight_g >= uav.base_weight_g, "case {case}");
     }

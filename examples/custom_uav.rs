@@ -26,13 +26,14 @@ fn main() {
         control_latency_s: 0.5e-3, // 2 kHz racing firmware
         other_electronics_w: 3.0,
         sensor_fps_options: vec![60.0, 90.0],
+        airframe: None,
     };
 
     // Racing gates are a dense-obstacle scenario with a fast camera.
     let task = TaskSpec::navigation(ObstacleDensity::Dense).with_sensor_fps(90.0);
 
     // How demanding is this platform before we even pick compute?
-    let f1 = F1Model::new(racer.clone(), 24.0, task.sensor_fps);
+    let f1 = F1Model::new(racer.clone(), 24.0, task.sensor_fps).expect("valid payload");
     println!(
         "platform physics: a_max {:.1} m/s^2, ceiling {:.1} m/s, knee {:?} FPS",
         f1.payload().max_accel_ms2,

@@ -42,7 +42,8 @@ fn main() {
     println!();
     println!("--- off-the-shelf alternative ---");
     let model = PolicyModel::build(sel.candidate.policy);
-    let tx2 = BaselineBoard::jetson_tx2().evaluate(&uav, &task, &model);
+    let tx2 =
+        BaselineBoard::jetson_tx2().evaluate(&uav, &task, &model).expect("valid board payload");
     println!(
         "Jetson TX2 ({} g, {} W): cruise {:.1} m/s -> {:.1} deliveries per charge",
         tx2.board.weight_g, tx2.board.power_w, tx2.missions.v_safe_ms, tx2.missions.missions

@@ -38,7 +38,8 @@ fn main() {
         );
 
         // Print the roofline this design sits on.
-        let f1 = F1Model::new(uav.clone(), sel.candidate.payload_g, sensor_fps);
+        let f1 =
+            F1Model::new(uav.clone(), sel.candidate.payload_g, sensor_fps).expect("valid payload");
         let curve = f1.curve(8);
         println!("F-1 roofline (throughput FPS -> safe velocity m/s):");
         for (f, v) in &curve.samples {

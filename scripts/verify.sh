@@ -23,6 +23,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> SWaP env matrix (goldens invariant under AUTOPILOT_SWAP x AUTOPILOT_GP_SPARSE)"
+# The golden tests pin the swap mode per run via JobConfig, so the
+# environment knobs must not leak into them: the legacy fingerprints
+# (and the constraint-mode ones) have to hold in all four env corners.
+for swap in 0 1; do
+    for sparse in 0 1; do
+        echo "    AUTOPILOT_SWAP=$swap AUTOPILOT_GP_SPARSE=$sparse"
+        AUTOPILOT_SWAP=$swap AUTOPILOT_GP_SPARSE=$sparse \
+            cargo test -q --test swap_goldens >/dev/null
+    done
+done
+
 echo "==> telemetry smoke (obs_smoke: small experiment + JSON validation)"
 # Runs a small two-UAV scenario with metrics forced on, writes
 # results/telemetry_obs_smoke.json, parses it back, and asserts the
@@ -78,6 +90,18 @@ echo "==> service smoke (serve_smoke: HTTP server + cross-run shared caches)"
 # path, and that /metrics round-trips. Writes
 # results/telemetry_serve_smoke.json for the budget gate below.
 cargo run -q --release -p autopilot-serve --bin serve_smoke
+
+echo "==> SWaP frontier sweep (per-weight-class frontiers + rejection telemetry)"
+# Runs the constraint-mode pipeline once per regulatory weight class and
+# writes results/frontier_<class>.csv, frontiers_swap.json,
+# BENCH_frontiers.json, and telemetry_frontiers.json; the budget gate
+# floors the per-class frontier sizes and the phase3.swap.rejected
+# counter against them.
+AUTOPILOT_OBS=1 cargo run -q --release -p autopilot-bench --bin frontiers >/dev/null
+grep -q '"frontier_sub250"' results/BENCH_frontiers.json || {
+    echo "verify: FAIL — frontier_sub250 missing from results/BENCH_frontiers.json" >&2
+    exit 1
+}
 
 echo "==> perf budget gate (results/BASELINE_budgets.json)"
 # Every checked-in budget is evaluated against the freshly generated

@@ -75,8 +75,8 @@ fn missions_monotone_in_payload() {
         let v = rng.range_f64(1.0, 9.0);
         let task = TaskSpec::navigation(ObstacleDensity::Medium);
         let uav = UavSpec::micro();
-        let light = task.mission.evaluate(&uav, base, v, 0.5);
-        let heavy = task.mission.evaluate(&uav, base + extra, v, 0.5);
+        let light = task.mission.evaluate(&uav, base, v, 0.5).unwrap();
+        let heavy = task.mission.evaluate(&uav, base + extra, v, 0.5).unwrap();
         assert!(heavy.missions <= light.missions, "case {case}");
     }
 }
@@ -90,8 +90,8 @@ fn missions_monotone_in_velocity() {
         let dv = rng.range_f64(0.1, 3.0);
         let task = TaskSpec::navigation(ObstacleDensity::Medium);
         let uav = UavSpec::mini();
-        let slow = task.mission.evaluate(&uav, 24.0, v, 0.5);
-        let fast = task.mission.evaluate(&uav, 24.0, v + dv, 0.5);
+        let slow = task.mission.evaluate(&uav, 24.0, v, 0.5).unwrap();
+        let fast = task.mission.evaluate(&uav, 24.0, v + dv, 0.5).unwrap();
         assert!(fast.missions > slow.missions, "case {case}");
     }
 }
@@ -105,8 +105,8 @@ fn mission_report_deterministic() {
         let point = any_point(&mut rng);
         let c = ev.evaluate_design(&point).expect("legal point evaluates");
         let task = TaskSpec::navigation(ObstacleDensity::Medium);
-        let a = Phase3::mission_report(&UavSpec::nano(), &task, &c);
-        let b = Phase3::mission_report(&UavSpec::nano(), &task, &c);
+        let a = Phase3::mission_report(&UavSpec::nano(), &task, &c).unwrap();
+        let b = Phase3::mission_report(&UavSpec::nano(), &task, &c).unwrap();
         assert_eq!(a, b, "case {case}");
     }
 }

@@ -55,8 +55,8 @@ fn scenario_best_models_match_section_v_a() {
 #[test]
 fn knee_points_match_fig11() {
     // Paper: nano ~46 FPS, DJI Spark ~27 FPS with 60 FPS sensors.
-    let nano = F1Model::new(UavSpec::nano(), 24.0, 60.0).knee_fps().unwrap();
-    let spark = F1Model::new(UavSpec::micro(), 24.0, 60.0).knee_fps().unwrap();
+    let nano = F1Model::new(UavSpec::nano(), 24.0, 60.0).unwrap().knee_fps().unwrap();
+    let spark = F1Model::new(UavSpec::micro(), 24.0, 60.0).unwrap().knee_fps().unwrap();
     assert!((40.0..=54.0).contains(&nano), "nano knee {nano:.1}");
     assert!((24.0..=33.0).contains(&spark), "spark knee {spark:.1}");
     let ratio = nano / spark;
@@ -91,7 +91,7 @@ fn accelerator_band_matches_table_iii() {
 fn pulp_dronet_is_badly_underprovisioned() {
     // Paper motivation: PULP's 6 FPS sits far below every knee.
     for uav in UavSpec::all() {
-        let f1 = F1Model::new(uav.clone(), 5.0, 60.0);
+        let f1 = F1Model::new(uav.clone(), 5.0, 60.0).unwrap();
         assert_eq!(f1.classify(6.0), uav_dynamics::Provisioning::UnderProvisioned, "{}", uav.name);
     }
 }
@@ -99,7 +99,7 @@ fn pulp_dronet_is_badly_underprovisioned() {
 #[test]
 fn heavier_payload_lowers_the_f1_ceiling() {
     // Fig. 4a: power -> heatsink weight -> lower ceilings.
-    let light = F1Model::new(UavSpec::nano(), compute_payload_grams(0.7), 60.0);
-    let heavy = F1Model::new(UavSpec::nano(), compute_payload_grams(8.24), 60.0);
+    let light = F1Model::new(UavSpec::nano(), compute_payload_grams(0.7), 60.0).unwrap();
+    let heavy = F1Model::new(UavSpec::nano(), compute_payload_grams(8.24), 60.0).unwrap();
     assert!(heavy.velocity_ceiling() < light.velocity_ceiling() * 0.8);
 }

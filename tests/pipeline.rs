@@ -34,7 +34,7 @@ fn selection_maximizes_missions_among_high_success_candidates() {
     let threshold = result.phase2.best_success() - 0.02;
     for c in &result.phase2.candidates {
         if c.success_rate >= threshold.max(task.min_success_rate) {
-            let m = Phase3::mission_report(&uav, &task, c).missions;
+            let m = Phase3::mission_report(&uav, &task, c).unwrap().missions;
             assert!(
                 sel.missions.missions >= m * 0.97,
                 "{} at {m:.1} missions beats the selection's {:.1}",

@@ -71,7 +71,7 @@ fn spa_and_source_seeking_share_the_capacity_story() {
 fn braking_sim_validates_f1_velocities_for_all_platforms() {
     let sim = BrakingSim::new();
     for uav in UavSpec::all() {
-        let f1 = F1Model::new(uav.clone(), 24.0, 60.0);
+        let f1 = F1Model::new(uav.clone(), 24.0, 60.0).unwrap();
         let t = f1.response_time_s(46.0);
         let analytic =
             uav_dynamics::safe_velocity(f1.payload().max_accel_ms2, t, uav.sensor_range_m);
