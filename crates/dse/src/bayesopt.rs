@@ -2,12 +2,14 @@
 
 use autopilot_obs as obs;
 use autopilot_rng::Rng;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use crate::control::RunControl;
 use crate::error::{DseError, EvalError};
 use crate::evaluator::{Evaluator, MultiObjectiveOptimizer};
+use crate::fastexp::KernelExpMode;
 use crate::gp::{DistanceCache, GaussianProcess, SparseGaussianProcess, SurrogateMode};
+use crate::linalg::Matrix;
 use crate::par;
 use crate::pareto::{ContributionScorer, IncrementalFront};
 use crate::result::{EvaluationRecord, OptimizationResult};
@@ -46,6 +48,7 @@ pub struct SmsEgoOptimizer {
     beta: f64,
     max_gp_points: usize,
     surrogate: SurrogateMode,
+    exp_mode: KernelExpMode,
     seed_points: Vec<Vec<usize>>,
     threads: Option<usize>,
 }
@@ -60,6 +63,7 @@ impl SmsEgoOptimizer {
             beta: 1.0,
             max_gp_points: 256,
             surrogate: SurrogateMode::from_env(),
+            exp_mode: KernelExpMode::from_env(),
             seed_points: Vec::new(),
             threads: None,
         }
@@ -70,6 +74,14 @@ impl SmsEgoOptimizer {
     /// 256 archived points).
     pub fn with_surrogate_mode(mut self, mode: SurrogateMode) -> SmsEgoOptimizer {
         self.surrogate = mode;
+        self
+    }
+
+    /// Overrides the kernel exponential mode (default: read from the
+    /// `AUTOPILOT_GP_FASTEXP` env variable, falling back to the
+    /// bit-exact [`KernelExpMode::Exact`]).
+    pub fn with_exp_mode(mut self, mode: KernelExpMode) -> SmsEgoOptimizer {
+        self.exp_mode = mode;
         self
     }
 
@@ -175,7 +187,21 @@ struct AcquisitionState {
     norm_mins: Vec<f64>,
     norm_maxs: Vec<f64>,
     synced: usize,
+    /// Memoized kernel columns against the sparse pack's inducing set,
+    /// keyed by ordinal candidate. A column's bits depend only on
+    /// (inducing set, lengthscale, exp mode, candidate) — all frozen
+    /// between sparse refits — so hits replay recomputation exactly
+    /// while skipping the kernel panel (and the candidate encode)
+    /// entirely. Cleared whenever [`Surrogates::fit_generation`] moves.
+    panel_cache: HashMap<Vec<usize>, Vec<f64>>,
+    /// The [`Surrogates::fit_generation`] the cache was filled under.
+    panel_cache_generation: u64,
 }
+
+/// Entry cap for [`AcquisitionState::panel_cache`]; the steady-state
+/// working set (front neighbours plus recent randoms) refills within an
+/// iteration or two of a clear.
+const PANEL_CACHE_CAP: usize = 65_536;
 
 impl AcquisitionState {
     fn new(n_obj: usize) -> AcquisitionState {
@@ -185,6 +211,8 @@ impl AcquisitionState {
             norm_mins: vec![f64::INFINITY; n_obj],
             norm_maxs: vec![f64::NEG_INFINITY; n_obj],
             synced: 0,
+            panel_cache: HashMap::new(),
+            panel_cache_generation: 0,
         }
     }
 
@@ -295,6 +323,12 @@ struct Surrogates {
     next_refit: usize,
     norm_mins: Vec<f64>,
     norm_maxs: Vec<f64>,
+    /// Bumped on every full refit — the only event that can change the
+    /// pack's training rows, inducing set, or lengthscale wholesale.
+    /// Incremental reuse (extend/retarget/downdate) keeps the
+    /// generation, which is what lets the acquisition side's kernel
+    /// panel cache survive across iterations.
+    fit_generation: u64,
 }
 
 impl Surrogates {
@@ -308,6 +342,7 @@ impl Surrogates {
         archive: &Archive,
         max_gp_points: usize,
         mode: SurrogateMode,
+        exp_mode: KernelExpMode,
     ) -> Option<Surrogates> {
         let n = archive.len();
         let sparse_inducing = match mode {
@@ -317,6 +352,7 @@ impl Surrogates {
         // The sparse surrogate is low-rank in the inducing set, so it
         // affords the full archive; the exact kind slides a window.
         let start = if sparse_inducing.is_some() { 0 } else { n.saturating_sub(max_gp_points) };
+        let next_generation = current.as_ref().map_or(1, |s| s.fit_generation + 1);
         if let Some(mut s) = current {
             let compatible = s.pack.is_sparse() == sparse_inducing.is_some()
                 && s.start <= start
@@ -329,7 +365,7 @@ impl Surrogates {
             }
         }
         obs::add("dse.gp.full_refit", 1);
-        Surrogates::full_fit(space, archive, start, sparse_inducing)
+        Surrogates::full_fit(space, archive, start, sparse_inducing, exp_mode, next_generation)
     }
 
     /// Brings an existing pack current without refitting: retarget on
@@ -400,6 +436,8 @@ impl Surrogates {
         archive: &Archive,
         start: usize,
         sparse_inducing: Option<usize>,
+        exp_mode: KernelExpMode,
+        fit_generation: u64,
     ) -> Option<Surrogates> {
         let n = archive.len();
         let train = &archive.history[start..];
@@ -423,11 +461,12 @@ impl Surrogates {
             let mut gps = Vec::with_capacity(n_obj);
             for obj in 0..n_obj {
                 gps.push(
-                    SparseGaussianProcess::fit_with_lengthscale(
+                    SparseGaussianProcess::fit_with_lengthscale_mode(
                         &xs,
                         &targets(obj),
                         lengthscale_sq,
                         m,
+                        exp_mode,
                     )
                     .ok()?,
                 );
@@ -439,8 +478,13 @@ impl Surrogates {
             let mut gps = Vec::with_capacity(n_obj);
             for obj in 0..n_obj {
                 gps.push(
-                    GaussianProcess::fit_with_lengthscale(&xs, &targets(obj), lengthscale_sq)
-                        .ok()?,
+                    GaussianProcess::fit_with_lengthscale_mode(
+                        &xs,
+                        &targets(obj),
+                        lengthscale_sq,
+                        exp_mode,
+                    )
+                    .ok()?,
                 );
             }
             SurrogatePack::Exact(gps)
@@ -455,6 +499,7 @@ impl Surrogates {
             next_refit: n + (n / 4).max(4),
             norm_mins: archive.mins.clone(),
             norm_maxs: archive.maxs.clone(),
+            fit_generation,
         })
     }
 }
@@ -527,6 +572,7 @@ impl MultiObjectiveOptimizer for SmsEgoOptimizer {
                     &archive,
                     self.max_gp_points,
                     self.surrogate,
+                    self.exp_mode,
                 )
             });
             let next = match &surrogates {
@@ -589,7 +635,41 @@ impl SmsEgoOptimizer {
         for &i in acquisition.raw_front.indices().iter().take(16) {
             pool.extend(space.neighbors(&archive.history[i].point));
         }
+        // Drop already-evaluated candidates and intra-pool duplicates
+        // before any GP work: a seen candidate's score is structurally
+        // `None`, and an identical candidate scores identically, so
+        // under first-max-wins neither can change the selection — the
+        // pool just stops paying kernel and triangular work for
+        // candidates that cannot win. (The RNG draws above are
+        // untouched; only the scored set shrinks.)
+        let mut distinct: HashSet<Vec<usize>> = HashSet::with_capacity(pool.len());
+        pool.retain(|cand| !archive.seen.contains(cand) && distinct.insert(cand.clone()));
+        drop(distinct);
         obs::observe("bo.acquisition.pool_size", pool.len() as f64);
+
+        // Sparse pack: resolve the whole pool's kernel columns up front
+        // through the per-generation panel cache — recurring candidates
+        // (front neighbours, intra-pool duplicates) skip both the
+        // encode and the kernel panel, and the panel over the remaining
+        // misses runs once pool-wide (column-striped across workers)
+        // instead of once per chunk. Charged to the same score /
+        // gp_predict spans the per-chunk panel used to live in, so the
+        // budget-gate ratio sees real savings only.
+        let sparse_corr: Option<Vec<Matrix>> = match &surrogates.pack {
+            SurrogatePack::Sparse(gps) => obs::time("bo.acquisition.score", || {
+                obs::time("bo.acquisition.gp_predict", || {
+                    Some(cached_chunk_correlations(
+                        &gps[0],
+                        space,
+                        &pool,
+                        surrogates.fit_generation,
+                        &mut acquisition.panel_cache,
+                        &mut acquisition.panel_cache_generation,
+                    ))
+                })
+            }),
+            SurrogatePack::Exact(_) => None,
+        };
 
         // Score the pool in parallel, a chunk of candidates at a time;
         // each score is a pure function of the frozen surrogates and
@@ -597,22 +677,36 @@ impl SmsEgoOptimizer {
         // — the objective GPs share training inputs and lengthscale — and
         // every GP answers the whole chunk through one blocked triangular
         // solve, bit-identical to the scalar per-candidate path.
-        let chunks: Vec<&[Vec<usize>]> = pool.chunks(ACQ_CHUNK).collect();
+        let chunks: Vec<(usize, &[Vec<usize>])> = pool.chunks(ACQ_CHUNK).enumerate().collect();
         obs::add("bo.acquisition.batches", chunks.len() as u64);
         let scores: Vec<Vec<Option<f64>>> = obs::time("bo.acquisition.score", || {
-            par::parallel_map_with(workers, &chunks, |_, chunk| {
+            par::parallel_map_with(workers, &chunks, |_, &(ci, chunk)| {
                 obs::observe("bo.acquisition.batch_size", chunk.len() as f64);
-                let xs: Vec<Vec<f64>> = chunk.iter().map(|cand| space.encode(cand)).collect();
                 let preds: Vec<Vec<(f64, f64)>> =
                     obs::time("bo.acquisition.gp_predict", || match &surrogates.pack {
                         SurrogatePack::Exact(gps) => {
+                            let xs: Vec<Vec<f64>> =
+                                chunk.iter().map(|cand| space.encode(cand)).collect();
                             let corr = gps[0].cross_correlations(&xs);
                             gps.iter().map(|gp| gp.predict_batch_from_correlations(&corr)).collect()
                         }
                         SurrogatePack::Sparse(gps) => {
                             obs::add("bo.gp.sparse.predict", 1);
-                            let corr = gps[0].cross_correlations(&xs);
-                            gps.iter().map(|gp| gp.predict_batch_from_correlations(&corr)).collect()
+                            let fallback;
+                            let corr = match &sparse_corr {
+                                Some(corrs) => &corrs[ci],
+                                // Unreachable in practice — the
+                                // pool-wide resolve above always runs
+                                // for a sparse pack — but recomputing
+                                // keeps this arm self-sufficient.
+                                None => {
+                                    let xs: Vec<Vec<f64>> =
+                                        chunk.iter().map(|cand| space.encode(cand)).collect();
+                                    fallback = gps[0].cross_correlations(&xs);
+                                    &fallback
+                                }
+                            };
+                            gps.iter().map(|gp| gp.predict_batch_from_correlations(corr)).collect()
                         }
                     });
                 // Buffers reused across the whole chunk: steady-state
@@ -656,6 +750,67 @@ impl SmsEgoOptimizer {
         }
         best.map(|(_, i)| pool.swap_remove(i))
     }
+}
+
+/// Resolves the pool's inducing-correlation columns through the
+/// per-generation panel cache and assembles one `m × chunk` matrix per
+/// [`ACQ_CHUNK`] chunk, each bit-identical to
+/// `gp.cross_correlations(&encoded_chunk)`.
+///
+/// A cached column is exact, not approximate: its bits depend only on
+/// the inducing set, lengthscale, and exp mode (all frozen for a fit
+/// generation) and the candidate itself, and kernel-panel entries are
+/// independent of how the panel is partitioned. Only the pool's unseen
+/// candidates are encoded and pushed through the kernel panel — one
+/// pool-wide call, column-striped across workers — so recurring front
+/// neighbours and intra-pool duplicates cost a column copy instead of
+/// `m` kernel evaluations.
+fn cached_chunk_correlations(
+    gp: &SparseGaussianProcess,
+    space: &DesignSpace,
+    pool: &[Vec<usize>],
+    fit_generation: u64,
+    cache: &mut HashMap<Vec<usize>, Vec<f64>>,
+    cache_generation: &mut u64,
+) -> Vec<Matrix> {
+    if *cache_generation != fit_generation || cache.len() > PANEL_CACHE_CAP {
+        cache.clear();
+        *cache_generation = fit_generation;
+    }
+    let m = gp.inducing_count();
+    // First pass: queue each distinct uncached candidate once. The
+    // placeholder insert is what dedups repeats within the same pool.
+    let mut misses: Vec<Vec<usize>> = Vec::new();
+    for cand in pool {
+        if !cache.contains_key(cand) {
+            cache.insert(cand.clone(), Vec::new());
+            misses.push(cand.clone());
+        }
+    }
+    obs::add("bo.gp.panel.cache_miss", misses.len() as u64);
+    obs::add("bo.gp.panel.cache_hit", (pool.len() - misses.len()) as u64);
+    if !misses.is_empty() {
+        let miss_xs: Vec<Vec<f64>> = misses.iter().map(|cand| space.encode(cand)).collect();
+        let panel = gp.cross_correlations(&miss_xs);
+        for (j, key) in misses.iter().enumerate() {
+            if let Some(slot) = cache.get_mut(key) {
+                slot.extend((0..m).map(|i| panel[(i, j)]));
+            }
+        }
+    }
+    pool.chunks(ACQ_CHUNK)
+        .map(|chunk| {
+            let mut corr = Matrix::zeros(m, chunk.len());
+            for (j, cand) in chunk.iter().enumerate() {
+                if let Some(col) = cache.get(cand) {
+                    for (i, &v) in col.iter().enumerate() {
+                        corr[(i, j)] = v;
+                    }
+                }
+            }
+            corr
+        })
+        .collect()
 }
 
 fn normalize(v: f64, min: f64, max: f64) -> f64 {

@@ -5,7 +5,11 @@
 //! selects between them (`AUTOPILOT_GP_SPARSE`).
 
 use crate::error::GpError;
+use crate::fastexp::{exp_slice, KernelExpMode};
 use crate::linalg::{dot, sq_dist, Matrix};
+use crate::par;
+use autopilot_obs as obs;
+use std::cell::RefCell;
 
 /// Environment variable selecting the surrogate inference mode for the
 /// SMS-EGO optimizer. Accepted values:
@@ -108,54 +112,216 @@ fn kernel_scale(lengthscale_sq: f64) -> f64 {
     -0.5 / lengthscale_sq
 }
 
+/// Tile width: a d×TILE transposed query block plus an n-row output
+/// stripe of TILE f64s stays L1/L2-resident for the small d used here.
+const PANEL_TILE: usize = 128;
+/// Minimum panel entries worth handing to each parallel stripe worker;
+/// below this, spawning a scoped thread costs more than it saves.
+const PANEL_PAR_ENTRIES_PER_WORKER: usize = 8192;
+/// Narrowest column stripe worth dispatching to its own worker.
+const PANEL_MIN_STRIPE: usize = 16;
+
+/// Reusable per-thread panel buffers: the dimension-major transposed
+/// query tile and the output stripe being assembled. On the inline path
+/// these persist across calls, so steady-state chunk scoring allocates
+/// nothing for panel scratch; parallel-stripe workers are per-call
+/// scoped threads, so theirs are taken by value into the reassembly.
+struct PanelScratch {
+    transpose: Vec<f64>,
+    stripe: Vec<f64>,
+}
+
+std::thread_local! {
+    static PANEL_SCRATCH: RefCell<PanelScratch> =
+        const { RefCell::new(PanelScratch { transpose: Vec::new(), stripe: Vec::new() }) };
+    /// Reusable kernel/solve vectors for the scalar predict and extend
+    /// paths (`cstar` and `L⁻¹·cstar`); steady-state scalar queries
+    /// allocate nothing per call.
+    static VECTOR_SCRATCH: RefCell<(Vec<f64>, Vec<f64>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Runs `f` with the thread's reusable kernel-vector scratch pair. Do
+/// not call GP query methods from inside `f` — they borrow the same
+/// thread-local pair.
+fn with_kernel_scratch<R>(f: impl FnOnce(&mut Vec<f64>, &mut Vec<f64>) -> R) -> R {
+    VECTOR_SCRATCH.with(|cell| {
+        let (a, b) = &mut *cell.borrow_mut();
+        f(a, b)
+    })
+}
+
+/// Kernel correlation vector of one query `point` against `xs`, written
+/// into a reusable buffer: squared distances accumulate in the same
+/// ascending-dimension order as [`sq_dist`], then the exponential mode's
+/// fused pass — element `i` is bit-identical to the legacy scalar
+/// `(sq_dist(&xs[i], point) * scale).exp()` in `Exact` mode.
+fn kernel_vector_into(
+    xs: &[Vec<f64>],
+    point: &[f64],
+    scale: f64,
+    mode: KernelExpMode,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.extend(xs.iter().map(|xi| sq_dist(xi, point) * scale));
+    exp_slice(out, mode);
+}
+
 /// Cache-blocked, fused distance+exp kernel panel: entry `(i, j)` is
-/// `exp(‖rows[i] − cols[j]‖² · scale)`, bit-identical to the scalar
+/// `exp(‖rows[i] − cols[j]‖² · scale)` — in [`KernelExpMode::Exact`]
+/// bit-identical to the scalar
 /// `(sq_dist(&rows[i], &cols[j]) * scale).exp()`.
 ///
-/// Layout: the query points are transposed tile-by-tile into
+/// Large panels fan their column stripes out across
+/// [`par::worker_count`] workers; see [`correlation_panel_with`] for the
+/// determinism contract.
+pub fn correlation_panel(
+    rows: &[Vec<f64>],
+    cols: &[Vec<f64>],
+    scale: f64,
+    mode: KernelExpMode,
+) -> Matrix {
+    correlation_panel_with(par::worker_count(), rows, cols, scale, mode)
+}
+
+/// [`correlation_panel`] with an explicit worker budget.
+///
+/// The panel is split into contiguous disjoint column stripes, each
+/// assembled into a private buffer by one worker and scattered back in
+/// stripe order. Every entry's arithmetic — ascending-dimension
+/// accumulation in the same order as [`sq_dist`], one multiply by
+/// `scale`, one exponential — depends only on its `(row, col)` pair;
+/// tile and stripe boundaries never enter it. The output is therefore
+/// **bit-identical at any worker count**, including the inline path
+/// taken for small panels, for `workers <= 1`, and from inside a
+/// [`par`] worker (where nested fan-out would oversubscribe the
+/// machine).
+///
+/// Layout per stripe: the query points are transposed tile-by-tile into
 /// dimension-major scratch rows, so the inner loop over a tile of
-/// queries reads both operands contiguously and autovectorizes; squared
-/// distances accumulate dimension-by-dimension in the same ascending
-/// order as [`sq_dist`] (preserving bit-identity), and the exponential
-/// is applied in a fused second pass over each finished row segment
-/// while it is still cache-resident.
-pub(crate) fn correlation_panel(rows: &[Vec<f64>], cols: &[Vec<f64>], scale: f64) -> Matrix {
+/// queries reads both operands contiguously and autovectorizes, and the
+/// exponential pass runs over each finished row segment while it is
+/// still cache-resident.
+pub fn correlation_panel_with(
+    workers: usize,
+    rows: &[Vec<f64>],
+    cols: &[Vec<f64>],
+    scale: f64,
+    mode: KernelExpMode,
+) -> Matrix {
     let n = rows.len();
     let m = cols.len();
     let mut out = Matrix::zeros(n, m);
     if n == 0 || m == 0 {
         return out;
     }
+    obs::add("bo.gp.panel.calls", 1);
+    obs::add("bo.gp.panel.entries", (n * m) as u64);
+    let stripes = panel_stripe_count(workers, n, m);
+    if stripes <= 1 {
+        obs::add("bo.gp.panel.inline", 1);
+        PANEL_SCRATCH.with(|cell| {
+            let s = &mut *cell.borrow_mut();
+            panel_stripe(rows, cols, 0, m, scale, mode, s);
+            scatter_stripe(&mut out, &s.stripe, 0, m);
+        });
+        return out;
+    }
+    obs::add("bo.gp.panel.parallel", 1);
+    obs::add("bo.gp.panel.stripes", stripes as u64);
+    obs::time("bo.gp.panel.assemble", || {
+        // Balanced contiguous stripes covering 0..m, widest first so the
+        // remainder lands on the leading stripes.
+        let base = m / stripes;
+        let extra = m % stripes;
+        let mut bounds: Vec<(usize, usize)> = Vec::with_capacity(stripes);
+        let mut c0 = 0;
+        for sidx in 0..stripes {
+            let c1 = c0 + base + usize::from(sidx < extra);
+            bounds.push((c0, c1));
+            c0 = c1;
+        }
+        let filled = par::parallel_map_with(stripes, &bounds, |_, &(c0, c1)| {
+            PANEL_SCRATCH.with(|cell| {
+                let s = &mut *cell.borrow_mut();
+                panel_stripe(rows, cols, c0, c1, scale, mode, s);
+                std::mem::take(&mut s.stripe)
+            })
+        });
+        for (&(c0, c1), stripe) in bounds.iter().zip(&filled) {
+            scatter_stripe(&mut out, stripe, c0, c1);
+        }
+    });
+    out
+}
+
+/// How many column stripes a panel of `n×m` entries should fan out to:
+/// capped by the worker budget, by keeping at least
+/// [`PANEL_PAR_ENTRIES_PER_WORKER`] entries per worker, and by the
+/// narrowest useful stripe width. One stripe means the inline path —
+/// always the case from inside a [`par`] worker.
+fn panel_stripe_count(workers: usize, n: usize, m: usize) -> usize {
+    if workers <= 1 || par::in_worker() {
+        return 1;
+    }
+    let by_work = (n * m) / PANEL_PAR_ENTRIES_PER_WORKER;
+    let by_width = m / PANEL_MIN_STRIPE;
+    workers.min(by_work).min(by_width).max(1)
+}
+
+/// Assembles panel columns `[c0, c1)` for every row into
+/// `scratch.stripe` (row-major `n × (c1-c0)`), tile by tile.
+fn panel_stripe(
+    rows: &[Vec<f64>],
+    cols: &[Vec<f64>],
+    c0: usize,
+    c1: usize,
+    scale: f64,
+    mode: KernelExpMode,
+    scratch: &mut PanelScratch,
+) {
     let d = rows[0].len();
-    // Tile width: a d×TILE transposed query block plus an n-row output
-    // stripe of TILE f64s stays L1/L2-resident for the small d used here.
-    const TILE: usize = 128;
-    let mut scratch = vec![0.0f64; d * TILE];
-    let mut c0 = 0;
-    while c0 < m {
-        let c1 = (c0 + TILE).min(m);
-        let w = c1 - c0;
-        for k in 0..d {
-            for (j, slot) in scratch[k * w..k * w + w].iter_mut().enumerate() {
-                *slot = cols[c0 + j][k];
+    let width = c1 - c0;
+    scratch.stripe.clear();
+    scratch.stripe.resize(rows.len() * width, 0.0);
+    let mut t0 = c0;
+    while t0 < c1 {
+        let t1 = (t0 + PANEL_TILE).min(c1);
+        let w = t1 - t0;
+        scratch.transpose.clear();
+        scratch.transpose.resize(d * w, 0.0);
+        for (k, trow) in scratch.transpose.chunks_exact_mut(w).enumerate() {
+            for (slot, col) in trow.iter_mut().zip(&cols[t0..t1]) {
+                *slot = col[k];
             }
         }
         for (i, xi) in rows.iter().enumerate() {
-            let orow = &mut out.row_mut(i)[c0..c1];
+            let off = i * width + (t0 - c0);
+            let orow = &mut scratch.stripe[off..off + w];
             for (k, &xik) in xi.iter().enumerate() {
-                let qs = &scratch[k * w..k * w + w];
+                let qs = &scratch.transpose[k * w..k * w + w];
                 for (acc, &q) in orow.iter_mut().zip(qs) {
                     let t = xik - q;
                     *acc += t * t;
                 }
             }
             for v in orow.iter_mut() {
-                *v = (*v * scale).exp();
+                *v *= scale;
             }
+            exp_slice(orow, mode);
         }
-        c0 = c1;
+        t0 = t1;
     }
-    out
+}
+
+/// Copies a finished `n × (c1-c0)` stripe buffer into columns
+/// `[c0, c1)` of the output matrix.
+fn scatter_stripe(out: &mut Matrix, stripe: &[f64], c0: usize, c1: usize) {
+    let width = c1 - c0;
+    for i in 0..out.rows() {
+        out.row_mut(i)[c0..c1].copy_from_slice(&stripe[i * width..(i + 1) * width]);
+    }
 }
 
 /// Shared input validation for the exact and sparse fits.
@@ -218,6 +384,10 @@ pub struct GaussianProcess {
     lengthscale_sq: f64,
     /// Relative diagonal jitter, frozen at factorization time.
     jitter: f64,
+    /// Kernel exponential mode, frozen at fit time so every correlation
+    /// this GP ever computes — fit panel, extend vector, predict vector,
+    /// batched cross-correlations — uses one consistent exponential.
+    exp_mode: KernelExpMode,
 }
 
 impl GaussianProcess {
@@ -266,6 +436,22 @@ impl GaussianProcess {
         y: &[f64],
         lengthscale_sq: f64,
     ) -> Result<GaussianProcess, GpError> {
+        GaussianProcess::fit_with_lengthscale_mode(x, y, lengthscale_sq, KernelExpMode::Exact)
+    }
+
+    /// [`GaussianProcess::fit_with_lengthscale`] with an explicit kernel
+    /// exponential mode; the mode is frozen into the GP so every later
+    /// query uses the same exponential as the fit-time factorization.
+    ///
+    /// # Errors
+    ///
+    /// Same taxonomy as [`GaussianProcess::fit`].
+    pub fn fit_with_lengthscale_mode(
+        x: &[Vec<f64>],
+        y: &[f64],
+        lengthscale_sq: f64,
+        exp_mode: KernelExpMode,
+    ) -> Result<GaussianProcess, GpError> {
         validate_training(x, y)?;
         let n = x.len();
         let lengthscale_sq = lengthscale_sq.max(1e-6);
@@ -278,7 +464,7 @@ impl GaussianProcess {
         // Relative jitter equivalent to the classic absolute noise term
         // `signal_var * 1e-4 + 1e-10` after dividing K by signal_var.
         let jitter = 1e-4 + 1e-10 / signal_var;
-        let mut c = correlation_panel(x, x, kernel_scale(lengthscale_sq));
+        let mut c = correlation_panel(x, x, kernel_scale(lengthscale_sq), exp_mode);
         for i in 0..n {
             c[(i, i)] += jitter;
         }
@@ -292,6 +478,7 @@ impl GaussianProcess {
             signal_var,
             lengthscale_sq,
             jitter,
+            exp_mode,
         };
         gp.refresh_targets();
         Ok(gp)
@@ -311,15 +498,21 @@ impl GaussianProcess {
     pub fn extend(&mut self, x_new: &[f64], y_new: f64) -> bool {
         assert_eq!(x_new.len(), self.x[0].len(), "dimension mismatch");
         let scale = kernel_scale(self.lengthscale_sq);
-        let c: Vec<f64> = self.x.iter().map(|xi| (sq_dist(xi, x_new) * scale).exp()).collect();
-        let w = self.chol.solve_lower(&c);
-        let d2 = 1.0 + self.jitter - w.iter().map(|v| v * v).sum::<f64>();
-        // Guard well above zero: a tiny pivot makes the factor
-        // ill-conditioned even when it technically exists.
-        if !d2.is_finite() || d2 <= 1e-10 {
+        let ok = with_kernel_scratch(|c, w| {
+            kernel_vector_into(&self.x, x_new, scale, self.exp_mode, c);
+            self.chol.solve_lower_into(c, w);
+            let d2 = 1.0 + self.jitter - w.iter().map(|v| v * v).sum::<f64>();
+            // Guard well above zero: a tiny pivot makes the factor
+            // ill-conditioned even when it technically exists.
+            if !d2.is_finite() || d2 <= 1e-10 {
+                return false;
+            }
+            self.chol.extend_lower(w, d2.sqrt());
+            true
+        });
+        if !ok {
             return false;
         }
-        self.chol.extend_lower(&w, d2.sqrt());
         self.x.push(x_new.to_vec());
         self.y.push(y_new);
         self.refresh_targets();
@@ -415,6 +608,11 @@ impl GaussianProcess {
         self.lengthscale_sq
     }
 
+    /// The kernel exponential mode frozen at fit time.
+    pub fn exp_mode(&self) -> KernelExpMode {
+        self.exp_mode
+    }
+
     /// Posterior mean and variance at `point`.
     ///
     /// # Panics
@@ -423,11 +621,13 @@ impl GaussianProcess {
     pub fn predict(&self, point: &[f64]) -> (f64, f64) {
         assert_eq!(point.len(), self.x[0].len(), "dimension mismatch");
         let scale = kernel_scale(self.lengthscale_sq);
-        let cstar: Vec<f64> = self.x.iter().map(|xi| (sq_dist(xi, point) * scale).exp()).collect();
-        let mean = self.mean_y + dot(&cstar, &self.alpha);
-        let v = self.chol.solve_lower(&cstar);
-        let var = (self.signal_var * (1.0 - v.iter().map(|x| x * x).sum::<f64>())).max(0.0);
-        (mean, var)
+        with_kernel_scratch(|cstar, v| {
+            kernel_vector_into(&self.x, point, scale, self.exp_mode, cstar);
+            let mean = self.mean_y + dot(cstar, &self.alpha);
+            self.chol.solve_lower_into(cstar, v);
+            let var = (self.signal_var * (1.0 - v.iter().map(|x| x * x).sum::<f64>())).max(0.0);
+            (mean, var)
+        })
     }
 
     /// Lower confidence bound `mean - beta * std` at `point`.
@@ -456,7 +656,7 @@ impl GaussianProcess {
         for p in points {
             assert_eq!(p.len(), dim, "dimension mismatch");
         }
-        correlation_panel(&self.x, points, kernel_scale(self.lengthscale_sq))
+        correlation_panel(&self.x, points, kernel_scale(self.lengthscale_sq), self.exp_mode)
     }
 
     /// Batched posterior `(mean, variance)` from a precomputed
@@ -487,16 +687,15 @@ impl GaussianProcess {
         let mut means = vec![0.0f64; m];
         for i in 0..n {
             let a = self.alpha[i];
-            for (j, mean) in means.iter_mut().enumerate() {
-                *mean += corr[(i, j)] * a;
+            for (mean, &c) in means.iter_mut().zip(corr.row(i)) {
+                *mean += c * a;
             }
         }
         // Variances: v = L⁻¹·corr column-wise, then per-column Σv².
         let v = self.chol.solve_lower_columns(corr);
         let mut sumsq = vec![0.0f64; m];
         for i in 0..n {
-            for (j, s) in sumsq.iter_mut().enumerate() {
-                let w = v[(i, j)];
+            for (s, &w) in sumsq.iter_mut().zip(v.row(i)) {
                 *s += w * w;
             }
         }
@@ -547,9 +746,15 @@ const INDUCING_RIDGE: f64 = 1e-8;
 /// tiny `C_mm` ridge), which is the accuracy contract the property tests
 /// pin down.
 ///
-/// The variance is target-independent, so a per-objective surrogate pack
-/// sharing inputs and lengthscale computes it once for all objectives
-/// (see [`SparseGaussianProcess::variances_from_correlations`]).
+/// The variance depends on the target through the relative noise λ
+/// (scaled by each objective's signal variance) and through `L_A`, so a
+/// per-objective surrogate pack cannot share one variance computation
+/// across objectives. What the pack *does* share is the candidate
+/// correlation panel against `Z`: the panel depends only on the
+/// inducing set, the lengthscale, and the exponential mode — all frozen
+/// between full refits — so the acquisition loop builds it once per
+/// candidate pool and feeds every objective's
+/// [`SparseGaussianProcess::predict_batch_from_correlations`] from it.
 #[derive(Debug, Clone)]
 pub struct SparseGaussianProcess {
     /// Inducing inputs `Z` (clones of selected training points).
@@ -575,6 +780,9 @@ pub struct SparseGaussianProcess {
     lengthscale_sq: f64,
     /// Relative observation noise λ, frozen at factorization time.
     noise: f64,
+    /// Kernel exponential mode, frozen at fit time (see
+    /// [`GaussianProcess`]'s field of the same name).
+    exp_mode: KernelExpMode,
 }
 
 impl SparseGaussianProcess {
@@ -621,6 +829,28 @@ impl SparseGaussianProcess {
         lengthscale_sq: f64,
         inducing: usize,
     ) -> Result<SparseGaussianProcess, GpError> {
+        SparseGaussianProcess::fit_with_lengthscale_mode(
+            x,
+            y,
+            lengthscale_sq,
+            inducing,
+            KernelExpMode::Exact,
+        )
+    }
+
+    /// [`SparseGaussianProcess::fit_with_lengthscale`] with an explicit
+    /// kernel exponential mode, frozen into the GP for every later query.
+    ///
+    /// # Errors
+    ///
+    /// Same taxonomy as [`GaussianProcess::fit`].
+    pub fn fit_with_lengthscale_mode(
+        x: &[Vec<f64>],
+        y: &[f64],
+        lengthscale_sq: f64,
+        inducing: usize,
+        exp_mode: KernelExpMode,
+    ) -> Result<SparseGaussianProcess, GpError> {
         validate_training(x, y)?;
         let n = x.len();
         let lengthscale_sq = lengthscale_sq.max(1e-6);
@@ -633,8 +863,8 @@ impl SparseGaussianProcess {
 
         let inducing = select_inducing(x, inducing.clamp(2, n));
         let m = inducing.len();
-        let cnm = correlation_panel(x, &inducing, scale);
-        let mut cmm = correlation_panel(&inducing, &inducing, scale);
+        let cnm = correlation_panel(x, &inducing, scale, exp_mode);
+        let mut cmm = correlation_panel(&inducing, &inducing, scale, exp_mode);
         for i in 0..m {
             cmm[(i, i)] += INDUCING_RIDGE;
         }
@@ -656,6 +886,7 @@ impl SparseGaussianProcess {
             signal_var,
             lengthscale_sq,
             noise,
+            exp_mode,
         };
         gp.refresh_targets();
         Ok(gp)
@@ -697,6 +928,11 @@ impl SparseGaussianProcess {
         self.lengthscale_sq
     }
 
+    /// The kernel exponential mode frozen at fit time.
+    pub fn exp_mode(&self) -> KernelExpMode {
+        self.exp_mode
+    }
+
     /// Posterior mean and variance at `point`.
     ///
     /// # Panics
@@ -705,35 +941,39 @@ impl SparseGaussianProcess {
     pub fn predict(&self, point: &[f64]) -> (f64, f64) {
         assert_eq!(point.len(), self.inducing[0].len(), "dimension mismatch");
         let scale = kernel_scale(self.lengthscale_sq);
-        let k: Vec<f64> = self.inducing.iter().map(|z| (sq_dist(z, point) * scale).exp()).collect();
-        let mean = self.mean_y + dot(&k, &self.w);
-        let var = match &self.var_form_l {
-            Some(ld) => {
-                // Same accumulation order as the batched path: for each
-                // output row i, sum L_D[k][i]·c[k] over ascending k ≥ i,
-                // then square-sum over ascending i — bit-identical to
-                // `variances_from_correlations` column j.
-                let m = k.len();
-                let mut quad = 0.0;
-                for i in 0..m {
-                    let mut t = 0.0;
-                    for (kk, ck) in k.iter().enumerate().skip(i) {
-                        t += ld[(kk, i)] * ck;
+        with_kernel_scratch(|k, q| {
+            kernel_vector_into(&self.inducing, point, scale, self.exp_mode, k);
+            let mean = self.mean_y + dot(k, &self.w);
+            let var = match &self.var_form_l {
+                Some(ld) => {
+                    // Same accumulation order as the batched path: for each
+                    // output row i, sum L_D[k][i]·c[k] over ascending k ≥ i,
+                    // then square-sum over ascending i — bit-identical to
+                    // `variances_from_correlations` column j.
+                    let m = k.len();
+                    let mut quad = 0.0;
+                    for i in 0..m {
+                        let mut t = 0.0;
+                        for (kk, ck) in k.iter().enumerate().skip(i) {
+                            t += ld[(kk, i)] * ck;
+                        }
+                        quad += t * t;
                     }
-                    quad += t * t;
+                    (self.signal_var * (1.0 - quad)).max(0.0)
                 }
-                (self.signal_var * (1.0 - quad)).max(0.0)
-            }
-            None => {
-                let q = self.l_mm.solve_lower(&k);
-                let s = self.l_a.solve_lower(&k);
-                (self.signal_var
-                    * (1.0 - q.iter().map(|v| v * v).sum::<f64>()
-                        + s.iter().map(|v| v * v).sum::<f64>()))
-                .max(0.0)
-            }
-        };
-        (mean, var)
+                None => {
+                    // Rare fallback when the variance form failed to
+                    // factor; one of the two solves still allocates.
+                    self.l_mm.solve_lower_into(k, q);
+                    let s = self.l_a.solve_lower(k);
+                    (self.signal_var
+                        * (1.0 - q.iter().map(|v| v * v).sum::<f64>()
+                            + s.iter().map(|v| v * v).sum::<f64>()))
+                    .max(0.0)
+                }
+            };
+            (mean, var)
+        })
     }
 
     /// Lower confidence bound `mean - beta * std` at `point`.
@@ -756,7 +996,7 @@ impl SparseGaussianProcess {
         for p in points {
             assert_eq!(p.len(), dim, "dimension mismatch");
         }
-        correlation_panel(&self.inducing, points, kernel_scale(self.lengthscale_sq))
+        correlation_panel(&self.inducing, points, kernel_scale(self.lengthscale_sq), self.exp_mode)
     }
 
     /// Batched posterior means from a precomputed inducing-correlation
@@ -772,8 +1012,8 @@ impl SparseGaussianProcess {
         let mut means = vec![0.0f64; cols];
         for i in 0..m {
             let wi = self.w[i];
-            for (j, mean) in means.iter_mut().enumerate() {
-                *mean += corr[(i, j)] * wi;
+            for (mean, &c) in means.iter_mut().zip(corr.row(i)) {
+                *mean += c * wi;
             }
         }
         for mean in &mut means {
@@ -796,17 +1036,12 @@ impl SparseGaussianProcess {
         assert_eq!(corr.rows(), m, "correlation matrix has wrong row count");
         let cols = corr.cols();
         if let Some(ld) = &self.var_form_l {
-            // One triangular product against the precomputed PSD form
-            // instead of two triangular solves — half the flops and no
-            // sequential dependency between rows.
-            let t = ld.transpose_mul_columns(corr);
-            let mut quad = vec![0.0f64; cols];
-            for i in 0..m {
-                for (j, acc) in quad.iter_mut().enumerate() {
-                    let v = t[(i, j)];
-                    *acc += v * v;
-                }
-            }
+            // One fused triangular product against the precomputed PSD
+            // form instead of two triangular solves — half the flops, no
+            // sequential dependency between rows, and no intermediate
+            // `m×cols` matrix (the quadratic form is squared into the
+            // output as each product row is produced).
+            let quad = ld.transpose_mul_sumsq_columns(corr);
             return quad.into_iter().map(|qv| (self.signal_var * (1.0 - qv)).max(0.0)).collect();
         }
         let q = self.l_mm.solve_lower_columns(corr);
@@ -814,12 +1049,10 @@ impl SparseGaussianProcess {
         let mut qss = vec![0.0f64; cols];
         let mut sss = vec![0.0f64; cols];
         for i in 0..m {
-            for (j, acc) in qss.iter_mut().enumerate() {
-                let v = q[(i, j)];
+            for (acc, &v) in qss.iter_mut().zip(q.row(i)) {
                 *acc += v * v;
             }
-            for (j, acc) in sss.iter_mut().enumerate() {
-                let v = s[(i, j)];
+            for (acc, &v) in sss.iter_mut().zip(s.row(i)) {
                 *acc += v * v;
             }
         }
@@ -872,13 +1105,20 @@ impl SparseGaussianProcess {
             return false;
         }
         let scale = kernel_scale(self.lengthscale_sq);
-        let c: Vec<f64> = self.inducing.iter().map(|z| (sq_dist(z, x_new) * scale).exp()).collect();
         let inv_sqrt_noise = 1.0 / self.noise.sqrt();
-        let v: Vec<f64> = c.iter().map(|ci| ci * inv_sqrt_noise).collect();
-        if !self.l_a.rank1_update_lower(&v) {
+        let ok = with_kernel_scratch(|c, v| {
+            kernel_vector_into(&self.inducing, x_new, scale, self.exp_mode, c);
+            v.clear();
+            v.extend(c.iter().map(|ci| ci * inv_sqrt_noise));
+            if !self.l_a.rank1_update_lower(v) {
+                return false;
+            }
+            self.cnm.push_row(c);
+            true
+        });
+        if !ok {
             return false;
         }
-        self.cnm.push_row(&c);
         self.y.push(y_new);
         self.var_form_l = variance_form(&self.l_mm, &self.l_a);
         self.refresh_targets();

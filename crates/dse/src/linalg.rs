@@ -78,10 +78,25 @@ impl Matrix {
     ///
     /// Panics if dimensions disagree.
     pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = Vec::new();
+        self.solve_lower_into(b, &mut x);
+        x
+    }
+
+    /// [`Matrix::solve_lower`] into a caller-provided buffer (cleared and
+    /// resized), so steady-state predict paths reuse scratch instead of
+    /// allocating per call. The result is bit-identical to
+    /// [`Matrix::solve_lower`] — it *is* the implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn solve_lower_into(&self, b: &[f64], x: &mut Vec<f64>) {
         assert_eq!(self.rows, self.cols);
         assert_eq!(self.rows, b.len());
         let n = self.rows;
-        let mut x = vec![0.0; n];
+        x.clear();
+        x.resize(n, 0.0);
         for i in 0..n {
             let mut sum = b[i];
             for k in 0..i {
@@ -89,7 +104,6 @@ impl Matrix {
             }
             x[i] = sum / self[(i, i)];
         }
-        x
     }
 
     /// Solves `L^T x = b` for lower-triangular `L` (backward substitution
@@ -137,25 +151,58 @@ impl Matrix {
         let mut x = Matrix::zeros(n, m);
         // Block width tuned so a block of X (n rows × BLOCK columns of
         // f64) stays resident while the factor streams past it.
-        const BLOCK: usize = 32;
+        const BLOCK: usize = 64;
+        // Output rows resolved per sweep over the already-solved rows.
+        // Forward substitution re-reads every solved row per output row,
+        // so resolving RBLK outputs per sweep divides that traffic by
+        // RBLK; the accumulators live in stack buffers the whole time.
+        const RBLK: usize = 4;
         let mut c0 = 0;
         while c0 < m {
             let c1 = (c0 + BLOCK).min(m);
-            for i in 0..n {
-                let (done, rest) = x.data.split_at_mut(i * m);
-                let row_i = &mut rest[..m];
-                row_i[c0..c1].copy_from_slice(&b.data[i * m + c0..i * m + c1]);
-                for k in 0..i {
-                    let lik = self.data[i * self.cols + k];
-                    let row_k = &done[k * m..k * m + m];
-                    for j in c0..c1 {
-                        row_i[j] -= lik * row_k[j];
+            let w = c1 - c0;
+            let mut i0 = 0;
+            while i0 < n {
+                let r = RBLK.min(n - i0);
+                let mut acc = [[0.0f64; BLOCK]; RBLK];
+                for (ri, a) in acc.iter_mut().enumerate().take(r) {
+                    let row = (i0 + ri) * m;
+                    a[..w].copy_from_slice(&b.data[row + c0..row + c1]);
+                }
+                // Uniform sweep: contributions of the rows solved before
+                // this row block, one pass over X for all r outputs.
+                // Each output's subtractions still run in ascending k.
+                for k in 0..i0 {
+                    let row_k = &x.data[k * m + c0..k * m + c1];
+                    for (ri, a) in acc.iter_mut().enumerate().take(r) {
+                        let lik = self.data[(i0 + ri) * self.cols + k];
+                        for (av, &xv) in a[..w].iter_mut().zip(row_k) {
+                            *av -= lik * xv;
+                        }
                     }
                 }
-                let lii = self.data[i * self.cols + i];
-                for v in &mut row_i[c0..c1] {
-                    *v /= lii;
+                // Triangular tail among the block's own rows: row ri
+                // subtracts the block rows solved just before it (still
+                // ascending k), then divides by its diagonal.
+                for ri in 0..r {
+                    let (solved, tail) = acc.split_at_mut(ri);
+                    let a = &mut tail[0];
+                    for (kj, row_k) in solved.iter().enumerate() {
+                        let lik = self.data[(i0 + ri) * self.cols + (i0 + kj)];
+                        for (av, &xv) in a[..w].iter_mut().zip(&row_k[..w]) {
+                            *av -= lik * xv;
+                        }
+                    }
+                    let lii = self.data[(i0 + ri) * self.cols + (i0 + ri)];
+                    for av in &mut a[..w] {
+                        *av /= lii;
+                    }
                 }
+                for (ri, a) in acc.iter().enumerate().take(r) {
+                    let row = (i0 + ri) * m;
+                    x.data[row + c0..row + c1].copy_from_slice(&a[..w]);
+                }
+                i0 += r;
             }
             c0 = c1;
         }
@@ -220,6 +267,73 @@ impl Matrix {
             c0 = c1;
         }
         t
+    }
+
+    /// Per-column sum of squares of `Lᵀ·B`, fused: each row of the
+    /// product is accumulated in a reused block-width buffer and squared
+    /// into the output immediately, never materializing the `n×m`
+    /// intermediate that [`Matrix::transpose_mul_columns`] returns.
+    ///
+    /// Output `j` is **bit-identical** to summing `t[(i, j)]²` over
+    /// ascending `i` for `t = self.transpose_mul_columns(b)`: per
+    /// element the accumulation order (`L[k][i]·B[k][j]` for ascending
+    /// `k ≥ i`, then squares over ascending `i`) is unchanged — this is
+    /// the batched GP variance quadratic form without the intermediate's
+    /// memory traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not square or `b.rows() != self.rows()`.
+    pub fn transpose_mul_sumsq_columns(&self, b: &Matrix) -> Vec<f64> {
+        assert_eq!(self.rows, self.cols, "transpose_mul_sumsq_columns requires a square matrix");
+        assert_eq!(self.rows, b.rows, "operand has wrong row count");
+        let n = self.rows;
+        let m = b.cols;
+        let mut sumsq = vec![0.0f64; m];
+        const BLOCK: usize = 64;
+        // Product rows accumulated per sweep over B (see
+        // [`Matrix::solve_lower_columns`] for the traffic argument).
+        const RBLK: usize = 4;
+        let mut c0 = 0;
+        while c0 < m {
+            let c1 = (c0 + BLOCK).min(m);
+            let w = c1 - c0;
+            let mut i0 = 0;
+            while i0 < n {
+                let r = RBLK.min(n - i0);
+                let mut acc = [[0.0f64; BLOCK]; RBLK];
+                // Triangular head: rows k inside the block contribute
+                // only to product rows i ≤ k, in ascending k.
+                for k in i0..i0 + r {
+                    let row_k = &b.data[k * m + c0..k * m + c1];
+                    for (ri, a) in acc.iter_mut().enumerate().take(k - i0 + 1) {
+                        let lki = self.data[k * self.cols + (i0 + ri)];
+                        for (av, &bv) in a[..w].iter_mut().zip(row_k) {
+                            *av += lki * bv;
+                        }
+                    }
+                }
+                // Uniform sweep: every later row of B feeds all r
+                // product rows, one pass over B for the whole block.
+                for k in i0 + r..n {
+                    let row_k = &b.data[k * m + c0..k * m + c1];
+                    for (ri, a) in acc.iter_mut().enumerate().take(r) {
+                        let lki = self.data[k * self.cols + (i0 + ri)];
+                        for (av, &bv) in a[..w].iter_mut().zip(row_k) {
+                            *av += lki * bv;
+                        }
+                    }
+                }
+                for a in acc.iter().take(r) {
+                    for (ss, &t) in sumsq[c0..c1].iter_mut().zip(&a[..w]) {
+                        *ss += t * t;
+                    }
+                }
+                i0 += r;
+            }
+            c0 = c1;
+        }
+        sumsq
     }
 
     /// Grows a lower-triangular `n×n` matrix to `(n+1)×(n+1)` by

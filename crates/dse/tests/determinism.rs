@@ -7,8 +7,8 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use dse_opt::{
-    CachedEvaluator, DesignSpace, EvalError, Evaluator, MultiObjectiveOptimizer, Nsga2Optimizer,
-    OptimizationResult, RandomSearch, SmsEgoOptimizer,
+    CachedEvaluator, DesignSpace, EvalError, Evaluator, KernelExpMode, MultiObjectiveOptimizer,
+    Nsga2Optimizer, OptimizationResult, RandomSearch, SmsEgoOptimizer,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -140,6 +140,72 @@ fn phase2_goldens_hold_at_every_thread_count() {
             );
         }
     }
+}
+
+/// Golden for the same SMS-EGO run with [`KernelExpMode::Fast`]
+/// kernels: the batched Cody–Waite exponential is deterministic too, so
+/// its evaluation stream pins its own fingerprint at every thread
+/// count. At this problem size the ≤2-ULP kernel perturbation never
+/// flips an acquisition argmax, so the stream coincides with the exact
+/// golden — the value of pinning it is that any *larger* fast-exp error
+/// (a broken coefficient, a bad range reduction) flips selections and
+/// fails here. Regenerate like [`GOLDENS`]: set the fingerprint to `0`
+/// and rerun with `-- --nocapture`.
+const FAST_GOLDEN: (u64, u64) = (0x9234_da32_9078_1113, 0x401f_24ba_93dc_2ddc);
+
+#[test]
+fn fast_exp_golden_holds_at_every_thread_count() {
+    let (fp, hv_bits) = FAST_GOLDEN;
+    for threads in [1usize, 2, 8] {
+        let r = SmsEgoOptimizer::new(13)
+            .with_threads(threads)
+            .with_exp_mode(KernelExpMode::Fast)
+            .run(&space(), &Bowl, 28)
+            .unwrap();
+        if fp == 0 {
+            if threads == 1 {
+                eprintln!(
+                    "golden: (0x{:016x}, 0x{:016x}),",
+                    fingerprint(&r),
+                    r.final_hypervolume().to_bits()
+                );
+            }
+            continue;
+        }
+        assert_eq!(
+            fingerprint(&r),
+            fp,
+            "fast-exp evaluation stream diverged from golden at {threads} threads"
+        );
+        assert_eq!(
+            r.final_hypervolume().to_bits(),
+            hv_bits,
+            "fast-exp final hypervolume diverged from golden at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn fast_exp_front_stays_close_to_exact() {
+    // The ≤4-ULP kernel perturbation may steer SMS-EGO toward different
+    // candidates, but the *quality* of the resulting front must not
+    // move: the final hypervolumes of the Exact and Fast runs have to
+    // agree to a tight relative bound.
+    let exact = SmsEgoOptimizer::new(13)
+        .with_exp_mode(KernelExpMode::Exact)
+        .run(&space(), &Bowl, 28)
+        .unwrap();
+    let fast = SmsEgoOptimizer::new(13)
+        .with_exp_mode(KernelExpMode::Fast)
+        .run(&space(), &Bowl, 28)
+        .unwrap();
+    let (hv_exact, hv_fast) = (exact.final_hypervolume(), fast.final_hypervolume());
+    assert!(hv_exact > 0.0);
+    let rel = (hv_fast - hv_exact).abs() / hv_exact;
+    assert!(
+        rel <= 1e-2,
+        "fast-exp front hypervolume drifted {rel:e} from exact ({hv_fast} vs {hv_exact})"
+    );
 }
 
 #[test]

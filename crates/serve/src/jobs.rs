@@ -33,7 +33,7 @@ use autopilot::{
 };
 use autopilot_obs as obs;
 use autopilot_obs::json::Value;
-use dse_opt::RunControl;
+use dse_opt::{KernelExpMode, RunControl};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -138,6 +138,18 @@ impl JobSpec {
                 }
             },
             Some(_) => return Err("`swap` must be a string".into()),
+        }
+        match root.get("fastexp") {
+            None | Some(Value::Null) => {}
+            Some(Value::Str(s)) => match KernelExpMode::parse(s) {
+                Some(mode) => config = config.with_exp_mode(mode),
+                None => {
+                    return Err(format!(
+                        "unknown `fastexp` {s:?}; expected exact (0/off/false) or fast (1/on/true)"
+                    ));
+                }
+            },
+            Some(_) => return Err("`fastexp` must be a string".into()),
         }
         Ok(JobSpec { uav, scenario, budget, optimizer, seed, config })
     }
@@ -615,10 +627,33 @@ mod tests {
                 r#"{"uav_class": "nano", "scenario": "low", "budget": 12, "optimizer": "random-search", "swap": 3}"#,
                 "swap",
             ),
+            (
+                r#"{"uav_class": "nano", "scenario": "low", "budget": 12, "optimizer": "random-search", "fastexp": "approximate"}"#,
+                "fastexp",
+            ),
+            (
+                r#"{"uav_class": "nano", "scenario": "low", "budget": 12, "optimizer": "random-search", "fastexp": 1}"#,
+                "fastexp",
+            ),
         ] {
             let err = JobSpec::parse(body, defaults()).unwrap_err();
             assert!(err.contains(needle), "{body} -> {err}");
         }
+    }
+
+    #[test]
+    fn fastexp_field_selects_exp_mode() {
+        let body = r#"{"uav_class": "nano", "scenario": "low", "budget": 12,
+                       "optimizer": "random-search", "seed": 3, "fastexp": "fast"}"#;
+        let spec = JobSpec::parse(body, defaults()).unwrap();
+        assert_eq!(spec.config.exp_mode, Some(KernelExpMode::Fast));
+        let body = r#"{"uav_class": "nano", "scenario": "low", "budget": 12,
+                       "optimizer": "random-search", "seed": 3, "fastexp": "exact"}"#;
+        let spec = JobSpec::parse(body, defaults()).unwrap();
+        assert_eq!(spec.config.exp_mode, Some(KernelExpMode::Exact));
+        // Absent field keeps the startup default.
+        let spec = JobSpec::parse(VALID, defaults()).unwrap();
+        assert_eq!(spec.config.exp_mode, defaults().exp_mode);
     }
 
     #[test]

@@ -23,15 +23,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
-echo "==> SWaP env matrix (goldens invariant under AUTOPILOT_SWAP x AUTOPILOT_GP_SPARSE)"
+echo "==> env matrix (goldens invariant under AUTOPILOT_SWAP x AUTOPILOT_GP_SPARSE x AUTOPILOT_GP_FASTEXP)"
 # The golden tests pin the swap mode per run via JobConfig, so the
 # environment knobs must not leak into them: the legacy fingerprints
-# (and the constraint-mode ones) have to hold in all four env corners.
+# (and the constraint-mode ones) have to hold in every env corner,
+# including both kernel-exponential modes.
 for swap in 0 1; do
     for sparse in 0 1; do
-        echo "    AUTOPILOT_SWAP=$swap AUTOPILOT_GP_SPARSE=$sparse"
-        AUTOPILOT_SWAP=$swap AUTOPILOT_GP_SPARSE=$sparse \
-            cargo test -q --test swap_goldens >/dev/null
+        for fastexp in 0 1; do
+            echo "    AUTOPILOT_SWAP=$swap AUTOPILOT_GP_SPARSE=$sparse AUTOPILOT_GP_FASTEXP=$fastexp"
+            AUTOPILOT_SWAP=$swap AUTOPILOT_GP_SPARSE=$sparse AUTOPILOT_GP_FASTEXP=$fastexp \
+                cargo test -q --test swap_goldens >/dev/null
+        done
     done
 done
 
@@ -50,9 +53,10 @@ cargo run -q --release -p autopilot-bench --bin trace_smoke
 
 echo "==> phase-2 perf probe (fast timing probe, traced)"
 # Reduced-budget probe (AUTOPILOT_BENCH_FAST trims the BO budget and
-# skips the tracked-copy write) with per-event tracing on, so the
-# flamegraph gate below sees a real trace. The numeric guards moved to
-# the budget gate at the end.
+# skips the end-to-end pipeline run) with per-event tracing on, so the
+# flamegraph gate below sees a real trace. It refreshes the tracked
+# results/BENCH_phase2.json in place; the numeric guards moved to the
+# budget gate at the end.
 AUTOPILOT_BENCH_FAST=1 AUTOPILOT_TRACE=1 \
     cargo run -q --release -p autopilot-bench --bin timing_probe >/dev/null
 bench_json=results/BENCH_phase2.json
